@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Ablations of POLCA's design choices (DESIGN.md section 5):
+ *  1. hysteresis gap (uncap offset below the cap threshold),
+ *  2. telemetry decision smoothing,
+ *  3. OOB command latency,
+ *  4. derated provisioning depth,
+ *  5. phase-aware token clocks,
+ *  6. workload-aware lock frequencies,
+ *  7. padded batching (Insight 5),
+ *  8. SMBPBI failure injection.
+
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "core/oversub_experiment.hh"
+#include "core/workload_aware.hh"
+
+#include <iostream>
+
+using namespace polca;
+using namespace polca::core;
+
+namespace {
+
+PolicyConfig
+polcaWithGap(double gap)
+{
+    PolicyConfig policy = PolicyConfig::polca();
+    for (auto &rule : policy.rules)
+        rule.uncapFraction = rule.capFraction - gap;
+    return policy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseArgs(
+        argc, argv, "Ablates POLCA design choices");
+    bench::banner(
+        "Ablations -- POLCA design choices at +30% servers",
+        "Hysteresis gap and decision smoothing prevent cap/uncap "
+        "thrash; 40s OOB latency forces the conservative T2 margin");
+
+    ExperimentConfig base;
+    base.row.addedServerFraction = 0.30;
+    base.duration = options.horizon(0.5, 7.0);
+    base.seed = options.seed;
+
+    std::printf("(1) Hysteresis gap (uncap offset below cap)\n");
+    analysis::Table gapTable({"Gap", "Cap cmds", "Uncap cmds",
+                              "Brakes", "LP locked (h)"});
+    for (double gap : {0.01, 0.03, 0.05, 0.08}) {
+        ExperimentConfig config = base;
+        config.policy = polcaWithGap(gap);
+        ExperimentResult r = runOversubExperiment(config);
+        gapTable.row()
+            .percentCell(gap, 0)
+            .cell(static_cast<long long>(r.capCommands))
+            .cell(static_cast<long long>(r.uncapCommands))
+            .cell(static_cast<long long>(r.powerBrakeEvents))
+            .cell(sim::ticksToSeconds(r.lpLockedTicks) / 3600.0, 2);
+    }
+    gapTable.print(std::cout);
+
+    std::printf("\n(2) Telemetry decision smoothing window\n");
+    analysis::Table smoothTable({"Window (s)", "Cap cmds",
+                                 "Uncap cmds", "Brakes"});
+    for (double window : {2.0, 10.0, 30.0, 60.0}) {
+        ExperimentConfig config = base;
+        config.manager.decisionSmoothingWindow =
+            sim::secondsToTicks(window);
+        ExperimentResult r = runOversubExperiment(config);
+        smoothTable.row()
+            .cell(window, 0)
+            .cell(static_cast<long long>(r.capCommands))
+            .cell(static_cast<long long>(r.uncapCommands))
+            .cell(static_cast<long long>(r.powerBrakeEvents));
+    }
+    smoothTable.print(std::cout);
+
+    std::printf("\n(3) OOB capping command latency\n");
+    analysis::Table latencyTable({"OOB latency (s)", "Brakes",
+                                  "Max util", "LP p99 (s)"});
+    for (double latency : {5.0, 20.0, 40.0, 80.0}) {
+        ExperimentConfig config = base;
+        config.manager.oobCommandLatency =
+            sim::secondsToTicks(latency);
+        ExperimentResult r = runOversubExperiment(config);
+        latencyTable.row()
+            .cell(latency, 0)
+            .cell(static_cast<long long>(r.powerBrakeEvents))
+            .percentCell(r.maxUtilization)
+            .cell(r.low.p99, 1);
+    }
+    latencyTable.print(std::cout);
+
+    std::printf("\n(4) Provisioned budget per base server "
+                "(derating depth)\n");
+    analysis::Table budgetTable({"Budget (W/server)", "Mean util",
+                                 "Max util", "Brakes",
+                                 "LP locked (h)"});
+    for (double budget : {4500.0, 4950.0, 5400.0, 5850.0, 6500.0}) {
+        ExperimentConfig config = base;
+        config.row.provisionedPerServerWatts = budget;
+        ExperimentResult r = runOversubExperiment(config);
+        budgetTable.row()
+            .cell(budget, 0)
+            .percentCell(r.meanUtilization)
+            .percentCell(r.maxUtilization)
+            .cell(static_cast<long long>(r.powerBrakeEvents))
+            .cell(sim::ticksToSeconds(r.lpLockedTicks) / 3600.0, 2);
+    }
+    budgetTable.print(std::cout);
+
+    std::printf("\n(5) Phase-aware power management (Section 5.2): "
+                "token phases at a lower clock\n");
+    analysis::Table phaseTable({"Token clock", "Mean util",
+                                "Max util", "LP p50", "LP p99",
+                                "Brakes"});
+    {
+        ExperimentResult unthrottled =
+            runOversubExperiment(unthrottledBaseline(base));
+        for (double mhz : {0.0, 1350.0, 1275.0, 1200.0}) {
+            ExperimentConfig config = base;
+            config.row.phaseAwareTokenClockMhz = mhz;
+            ExperimentResult r = runOversubExperiment(config);
+            NormalizedLatency low =
+                normalizeLatency(r.low, unthrottled.low);
+            phaseTable.row()
+                .cell(mhz > 0.0
+                          ? analysis::formatFixed(mhz, 0) + " MHz"
+                          : std::string("off"))
+                .percentCell(r.meanUtilization)
+                .percentCell(r.maxUtilization)
+                .cell(low.p50, 3)
+                .cell(low.p99, 3)
+                .cell(static_cast<long long>(r.powerBrakeEvents));
+        }
+    }
+    phaseTable.print(std::cout);
+    std::printf("  Token phases are memory bound: a lower token "
+                "clock trims the power floor for little latency.\n");
+
+    std::printf("\n(6) Workload-aware lock frequencies "
+                "(Section 6.7) vs Table 5 constants\n");
+    {
+        analysis::Table awareTable(
+            {"Policy", "T1/T2-LP/T2-HP locks", "Brakes",
+             "Mean util", "LP p99 (s)"});
+        llm::ModelCatalog catalog;
+        for (bool aware : {false, true}) {
+            ExperimentConfig config = base;
+            config.policy = aware
+                ? workloadAwarePolicy(catalog.byName("BLOOM-176B"))
+                : PolicyConfig::polca();
+            ExperimentResult r = runOversubExperiment(config);
+            std::string locks;
+            for (const auto &rule : config.policy.rules) {
+                if (!locks.empty())
+                    locks += "/";
+                locks += analysis::formatFixed(rule.lockMhz, 0);
+            }
+            awareTable.row()
+                .cell(aware ? "workload-aware" : "Table 5 constants")
+                .cell(locks)
+                .cell(static_cast<long long>(r.powerBrakeEvents))
+                .percentCell(r.meanUtilization)
+                .cell(r.low.p99, 1);
+        }
+        awareTable.print(std::cout);
+        std::printf("  Derived frequencies land near the paper's "
+                    "constants for BLOOM; clock-insensitive models "
+                    "would cap far deeper.\n");
+    }
+
+    std::printf("\n(7) Batching as a knob (Insight 5): padded "
+                "batches at +30%% servers\n");
+    {
+        analysis::Table batchTable({"Max batch", "LP p50 (s)",
+                                    "LP p99 (s)", "Mean util",
+                                    "Max util", "Brakes"});
+        for (std::size_t maxBatch : {1u, 2u, 4u}) {
+            ExperimentConfig config = base;
+            config.row.maxBatchSize = maxBatch;
+            config.row.bufferSize = std::max<std::size_t>(
+                maxBatch, config.row.bufferSize);
+            ExperimentResult r = runOversubExperiment(config);
+            batchTable.row()
+                .cell(static_cast<long long>(maxBatch))
+                .cell(r.low.p50, 1)
+                .cell(r.low.p99, 1)
+                .percentCell(r.meanUtilization)
+                .percentCell(r.maxUtilization)
+                .cell(static_cast<long long>(r.powerBrakeEvents));
+        }
+        batchTable.print(std::cout);
+        std::printf("  Batching absorbs queueing at the cost of "
+                    "higher peak power per server (Fig 8c).\n");
+    }
+
+    std::printf("\n(8) SMBPBI silent-failure injection "
+                "(guardrail check)\n");
+    analysis::Table failTable({"Failure prob", "Re-issued cmds",
+                               "Brakes", "LP p99 (s)"});
+    for (double p : {0.0, 0.1, 0.3, 0.5}) {
+        ExperimentConfig config = base;
+        config.manager.smbpbiFailureProbability = p;
+        ExperimentResult r = runOversubExperiment(config);
+        failTable.row()
+            .percentCell(p, 0)
+            .cell(static_cast<long long>(r.reissuedCommands))
+            .cell(static_cast<long long>(r.powerBrakeEvents))
+            .cell(r.low.p99, 1);
+    }
+    failTable.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "analysis/csv.hh"
+#include "sim/timeseries.hh"
+
+namespace polca::bench {
+
+void
+exportSeriesCsv(const BenchOptions &options,
+                const std::vector<std::string> &labels,
+                const std::vector<const sim::TimeSeries *> &series,
+                sim::Tick grid)
+{
+    if (options.csvPath.empty())
+        return;
+    if (labels.size() != series.size())
+        sim::fatal("exportSeriesCsv: labels/series size mismatch");
+
+    std::ofstream file(options.csvPath);
+    if (!file)
+        sim::fatal("cannot open '", options.csvPath, "' for writing");
+
+    analysis::CsvWriter writer(file);
+    std::vector<std::string> header{"time_s"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    writer.header(header);
+
+    sim::Tick start = sim::maxTick;
+    sim::Tick end = 0;
+    for (const sim::TimeSeries *s : series) {
+        if (!s || s->empty())
+            sim::fatal("exportSeriesCsv: null or empty series");
+        start = std::min(start, s->startTime());
+        end = std::max(end, s->endTime());
+    }
+
+    for (sim::Tick t = start; t <= end; t += grid) {
+        std::vector<double> row{sim::ticksToSeconds(t)};
+        for (const sim::TimeSeries *s : series)
+            row.push_back(s->valueAt(t));
+        writer.row(row);
+    }
+    std::printf("\n[exported %zu series to %s]\n", series.size(),
+                options.csvPath.c_str());
+}
+
+} // namespace polca::bench

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction bench binaries: flag
+ * parsing (--full for paper-scale horizons, --days/--seed overrides)
+ * and uniform experiment headers so output is easy to diff against
+ * the paper.
+ */
+
+#ifndef POLCA_BENCH_COMMON_HH
+#define POLCA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/timeseries.hh"
+#include "sim/types.hh"
+
+namespace polca::bench {
+
+/** Common bench options. */
+struct BenchOptions
+{
+    bool full = false;           ///< paper-scale horizons
+    double days = 0.0;           ///< explicit horizon override
+    std::uint64_t seed = 42;
+    std::string csvPath;         ///< optional series export target
+
+    /** Evaluation horizon: default short, --full = paper scale. */
+    sim::Tick
+    horizon(double defaultDays, double fullDays) const
+    {
+        double d = days > 0.0 ? days : (full ? fullDays : defaultDays);
+        return sim::secondsToTicks(d * 24.0 * 3600.0);
+    }
+};
+
+/** Parse --full, --days <n>, --seed <n>; exits on --help. */
+inline BenchOptions
+parseArgs(int argc, char **argv, const char *description)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--full")) {
+            options.full = true;
+        } else if (!std::strcmp(argv[i], "--days") && i + 1 < argc) {
+            options.days = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            options.seed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+            options.csvPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::printf("%s\n\nOptions:\n"
+                        "  --full       paper-scale horizons\n"
+                        "  --days <n>   explicit horizon in days\n"
+                        "  --seed <n>   RNG seed (default 42)\n"
+                        "  --csv <f>    export plotted series to a "
+                        "CSV file\n",
+                        description);
+            std::exit(0);
+        }
+    }
+    sim::setQuiet(true);
+    return options;
+}
+
+/** Print a banner naming the experiment and the paper artifact. */
+inline void
+banner(const char *artifact, const char *claim)
+{
+    std::printf("==================================================="
+                "=============================\n");
+    std::printf("%s\n", artifact);
+    std::printf("Paper: %s\n", claim);
+    std::printf("==================================================="
+                "=============================\n\n");
+}
+
+/** Print a paper-vs-measured comparison line. */
+inline void
+compare(const char *metric, const char *paperValue, double measured,
+        const char *unit = "")
+{
+    std::printf("  %-46s paper: %-14s measured: %.3f%s\n", metric,
+                paperValue, measured, unit);
+}
+
+/**
+ * Export labelled time series as CSV (time_s, <label>...) when the
+ * user passed --csv.  Series are step-sampled onto a common grid so
+ * the file plots directly in any tool.
+ */
+void exportSeriesCsv(const BenchOptions &options,
+                     const std::vector<std::string> &labels,
+                     const std::vector<const sim::TimeSeries *> &series,
+                     sim::Tick grid = sim::msToTicks(100));
+
+} // namespace polca::bench
+
+#endif // POLCA_BENCH_COMMON_HH

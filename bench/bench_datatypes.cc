@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Section 4.2 "Impact of datatypes" (Insight 6): Llama2-70B and
+ * Llama2-13B with FP32/FP16/INT8 weights — GPUs required, latency,
+ * and peak/mean power.  Quantization shrinks deployments and power
+ * but does not change the prompt/token phase asymmetry.
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/phase_model.hh"
+#include "power/gpu_power_model.hh"
+
+#include <iostream>
+
+using namespace polca;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reproduces the Section 4.2 datatype study");
+    bench::banner(
+        "Section 4.2 -- Impact of datatypes (Insight 6)",
+        "Llama2-70B: 4 GPUs at FP32, 2 at INT8; FP16 fastest and "
+        "highest peak (tensor cores); quantization cuts deployment "
+        "power, phases stay asymmetric");
+
+    llm::ModelCatalog catalog;
+    llm::InferenceConfig config;
+    config.inputTokens = 2048;
+    config.outputTokens = 256;
+
+    analysis::Table table(
+        {"Model", "Datatype", "GPUs", "Latency (s)",
+         "Peak W/GPU", "Token W/GPU", "Deployment peak (W)"});
+
+    for (const char *name : {"Llama2-13B", "Llama2-70B"}) {
+        llm::PhaseModel phases(catalog.byName(name));
+        for (llm::Datatype datatype :
+             {llm::Datatype::FP32, llm::Datatype::FP16,
+              llm::Datatype::INT8}) {
+            llm::InferenceConfig c = config;
+            c.datatype = datatype;
+
+            power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+            gpu.setActivity(phases.promptActivity(c));
+            double peak = gpu.powerWatts();
+            gpu.setActivity(phases.tokenActivity(c));
+            double token = gpu.powerWatts();
+            int gpus = phases.numGpus(c);
+
+            table.row()
+                .cell(std::string(name))
+                .cell(llm::toString(datatype))
+                .cell(static_cast<long long>(gpus))
+                .cell(sim::ticksToSeconds(phases.totalLatency(c)), 2)
+                .cell(peak, 0)
+                .cell(token, 0)
+                .cell(peak * gpus, 0);
+        }
+    }
+    table.print(std::cout);
+
+    // Anchors.
+    llm::PhaseModel llama70(catalog.byName("Llama2-70B"));
+    llm::InferenceConfig fp32 = config;
+    fp32.datatype = llm::Datatype::FP32;
+    llm::InferenceConfig fp16 = config;
+    llm::InferenceConfig int8 = config;
+    int8.datatype = llm::Datatype::INT8;
+
+    std::printf("\n");
+    bench::compare("Llama2-70B GPUs at FP32", "4 (paper)",
+                   llama70.numGpus(fp32));
+    bench::compare("Llama2-70B GPUs at INT8", "2 (paper)",
+                   llama70.numGpus(int8));
+    bench::compare(
+        "FP16 vs FP32 latency", "FP16 much faster",
+        static_cast<double>(llama70.totalLatency(fp32)) /
+            static_cast<double>(llama70.totalLatency(fp16)),
+        "x");
+    bench::compare(
+        "INT8 deployment peak vs FP16", "< 1.0 (fewer GPUs)",
+        [&] {
+            power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+            gpu.setActivity(llama70.promptActivity(int8));
+            double int8Peak =
+                gpu.powerWatts() * llama70.numGpus(int8);
+            gpu.setActivity(llama70.promptActivity(fp16));
+            double fp16Peak =
+                gpu.powerWatts() * llama70.numGpus(fp16);
+            return int8Peak / fp16Peak;
+        }(),
+        "x");
+    std::printf("\nInsight 6: quantization reduces model sizes and "
+                "power, enabling more workloads under a budget, but "
+                "the prompt/token asymmetry persists.\n");
+    return 0;
+}

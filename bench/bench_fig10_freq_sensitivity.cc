@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 10: (a) peak power vs performance reduction across models
+ * under SM frequency locking; (b) BLOOM sensitivity across
+ * input/batch configurations; (c) performance vs SM frequency.
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/phase_model.hh"
+#include "power/gpu_power_model.hh"
+
+#include <iostream>
+
+using namespace polca;
+
+namespace {
+
+struct Point
+{
+    double peakReduction;   ///< vs unthrottled prompt peak
+    double perfReduction;   ///< vs unthrottled end-to-end latency
+};
+
+Point
+measure(const llm::ModelSpec &model, const llm::InferenceConfig &config,
+        double lockMhz)
+{
+    llm::PhaseModel phases(model);
+    power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+
+    gpu.setActivity(phases.promptActivity(config));
+    double basePeak = gpu.powerWatts();
+    sim::Tick baseLatency = phases.latencyAtClock(config, gpu);
+
+    gpu.lockClock(lockMhz);
+    double peak = gpu.powerWatts();
+    sim::Tick latency = phases.latencyAtClock(config, gpu);
+
+    return {1.0 - peak / basePeak,
+            1.0 - static_cast<double>(baseLatency) /
+                static_cast<double>(latency)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reproduces Fig 10: frequency-lock sensitivity");
+    bench::banner(
+        "Figure 10 -- Peak power vs. performance reduction under SM "
+        "frequency locking",
+        "Superlinear: up to ~20% peak power for <=7% perf loss; "
+        "GPT-NeoX ~0% loss, BLOOM ~5% at ~13% power reduction");
+
+    llm::ModelCatalog catalog;
+    llm::InferenceConfig defaultConfig;
+    defaultConfig.inputTokens = 2048;
+    defaultConfig.outputTokens = 512;
+
+    std::printf("(a) All models (input=2048, output=512, batch=1)\n");
+    analysis::Table a({"Model", "SM MHz", "Peak power reduction",
+                       "Perf reduction"});
+    for (const std::string &name : catalog.inferenceModelNames()) {
+        const llm::ModelSpec &model = catalog.byName(name);
+        for (double mhz : {1400.0, 1300.0, 1200.0, 1100.0}) {
+            Point p = measure(model, defaultConfig, mhz);
+            a.row().cell(name).cell(mhz, 0)
+                .percentCell(p.peakReduction)
+                .percentCell(p.perfReduction);
+        }
+    }
+    a.print(std::cout);
+
+    std::printf("\n(b) BLOOM across configurations\n");
+    analysis::Table b({"Config", "SM MHz", "Peak power reduction",
+                       "Perf reduction"});
+    const llm::ModelSpec &bloom = catalog.byName("BLOOM-176B");
+    struct NamedConfig
+    {
+        const char *label;
+        int input;
+        int batch;
+    };
+    for (const NamedConfig &nc :
+         {NamedConfig{"b=1 i=512", 512, 1},
+          NamedConfig{"b=1 i=2048", 2048, 1},
+          NamedConfig{"b=1 i=8192", 8192, 1},
+          NamedConfig{"b=16 i=512", 512, 16}}) {
+        llm::InferenceConfig config;
+        config.inputTokens = nc.input;
+        config.batchSize = nc.batch;
+        config.outputTokens = 512;
+        for (double mhz : {1300.0, 1100.0}) {
+            Point p = measure(bloom, config, mhz);
+            b.row().cell(nc.label).cell(mhz, 0)
+                .percentCell(p.peakReduction)
+                .percentCell(p.perfReduction);
+        }
+    }
+    b.print(std::cout);
+
+    std::printf("\n(c) Performance vs SM frequency (BLOOM, "
+                "i=2048 o=512 b=1)\n");
+    analysis::Table c({"SM MHz", "Relative performance"});
+    for (double mhz = 1100.0; mhz <= 1410.0; mhz += 50.0) {
+        Point p = measure(bloom, defaultConfig, mhz);
+        c.row().cell(mhz, 0).cell(1.0 - p.perfReduction, 4);
+    }
+    c.print(std::cout);
+
+    std::printf("\n");
+    Point neox = measure(catalog.byName("GPT-NeoX-20B"),
+                         defaultConfig, 1200.0);
+    Point bloomPt = measure(bloom, defaultConfig, 1200.0);
+    bench::compare("GPT-NeoX perf loss at ~13% power reduction",
+                   "~0%", neox.perfReduction * 100.0, "%");
+    bench::compare("BLOOM perf loss at ~13% power reduction", "~5%",
+                   bloomPt.perfReduction * 100.0, "%");
+    Point near = measure(bloom, defaultConfig, 1305.0);
+    bench::compare("perf loss ~100MHz below max", "<2%",
+                   near.perfReduction * 100.0, "%");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 13: threshold space search — normalized p50/p99 latency per
+ * priority and power-brake onset as servers are added, for T1-T2
+ * in {75-85%, 80-89%, 85-95%}.
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "core/oversub_experiment.hh"
+
+#include <iostream>
+#include <map>
+
+using namespace polca;
+using namespace polca::core;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseArgs(
+        argc, argv, "Reproduces Fig 13: threshold space search");
+    bench::banner(
+        "Figure 13 -- Threshold space search (added servers sweep)",
+        "75-85% and 80-89% allow ~35% more servers brake-free "
+        "(85-95% only ~32.5%); 75-85% over-caps LP; POLCA picks "
+        "80-89% and deploys +30%");
+
+    const std::vector<double> addedLevels{0.0, 0.10, 0.20, 0.30,
+                                          0.35, 0.40, 0.45, 0.50};
+    struct Combo
+    {
+        const char *label;
+        double t1;
+        double t2;
+    };
+    const std::vector<Combo> combos{
+        {"T1=75% T2=85%", 0.75, 0.85},
+        {"T1=80% T2=89%", 0.80, 0.89},
+        {"T1=85% T2=95%", 0.85, 0.95},
+    };
+
+    // Unthrottled baselines per added level (latency normalizer).
+    std::map<double, ExperimentResult> baselines;
+    for (double added : addedLevels) {
+        ExperimentConfig config;
+        config.row.addedServerFraction = added;
+        config.duration = options.horizon(2.0, 7.0);
+        config.seed = options.seed;
+        baselines[added] =
+            runOversubExperiment(unthrottledBaseline(config));
+    }
+
+    workload::SloSpec slos = workload::paperSlos();
+    for (const Combo &combo : combos) {
+        std::printf("\n%s\n", combo.label);
+        analysis::Table table({"Added", "LP p50", "LP p99", "HP p50",
+                               "HP p99", "Brakes", "Meets SLOs"});
+        double maxBrakeFree = -1.0;
+        for (double added : addedLevels) {
+            ExperimentConfig config;
+            config.row.addedServerFraction = added;
+            config.duration = options.horizon(2.0, 7.0);
+            config.seed = options.seed;
+            config.policy = PolicyConfig::polca(combo.t1, combo.t2);
+            ExperimentResult result = runOversubExperiment(config);
+            const ExperimentResult &base = baselines[added];
+
+            NormalizedLatency low =
+                normalizeLatency(result.low, base.low);
+            NormalizedLatency high =
+                normalizeLatency(result.high, base.high);
+            bool ok = meetsSlos(low, high, result.powerBrakeEvents,
+                                slos);
+            if (result.powerBrakeEvents == 0)
+                maxBrakeFree = added;
+
+            table.row()
+                .percentCell(added, 0)
+                .cell(low.p50, 3)
+                .cell(low.p99, 3)
+                .cell(high.p50, 3)
+                .cell(high.p99, 3)
+                .cell(static_cast<long long>(result.powerBrakeEvents))
+                .cell(ok ? "yes" : "no");
+        }
+        table.print(std::cout);
+        std::printf("  max added servers without power brake: "
+                    "%.0f%%\n", maxBrakeFree * 100.0);
+    }
+
+    std::printf("\nPaper conclusion: select T1=80%%, T2=89%%, deploy "
+                "+30%% servers strictly within SLOs.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 14: normalized server throughput per priority as servers
+ * are added under the chosen POLCA configuration (T1=80%, T2=89%).
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "core/oversub_experiment.hh"
+
+#include <iostream>
+
+using namespace polca;
+using namespace polca::core;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseArgs(
+        argc, argv, "Reproduces Fig 14: server throughput");
+    bench::banner(
+        "Figure 14 -- Server throughput under POLCA",
+        "High-priority throughput unaffected; low-priority sees a "
+        "minor < 2% decline at +30%");
+
+    analysis::Table table({"Added", "LP throughput (norm.)",
+                           "HP throughput (norm.)",
+                           "LP completions", "HP completions"});
+
+    for (double added : {0.0, 0.10, 0.20, 0.30, 0.40}) {
+        ExperimentConfig config;
+        config.row.addedServerFraction = added;
+        config.duration = options.horizon(1.0, 7.0);
+        config.seed = options.seed;
+        ExperimentResult managed = runOversubExperiment(config);
+        ExperimentResult base =
+            runOversubExperiment(unthrottledBaseline(config));
+
+        table.row()
+            .percentCell(added, 0)
+            .cell(managed.lowThroughput / base.lowThroughput, 4)
+            .cell(managed.highThroughput / base.highThroughput, 4)
+            .cell(static_cast<long long>(managed.lowCompletions))
+            .cell(static_cast<long long>(managed.highCompletions));
+    }
+    table.print(std::cout);
+
+    ExperimentConfig headline;
+    headline.row.addedServerFraction = 0.30;
+    headline.duration = options.horizon(1.0, 7.0);
+    headline.seed = options.seed;
+    ExperimentResult managed = runOversubExperiment(headline);
+    ExperimentResult base =
+        runOversubExperiment(unthrottledBaseline(headline));
+    std::printf("\n");
+    bench::compare("LP throughput at +30%", ">= 0.98",
+                   managed.lowThroughput / base.lowThroughput);
+    bench::compare("HP throughput at +30%", "~1.00",
+                   managed.highThroughput / base.highThroughput);
+    return 0;
+}

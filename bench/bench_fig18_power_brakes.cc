@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 18: number of power-brake events per policy, for the
+ * default and +5%-power workloads at +30% oversubscription.
+ */
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "core/oversub_experiment.hh"
+
+#include <cmath>
+#include <iostream>
+
+using namespace polca;
+using namespace polca::core;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseArgs(
+        argc, argv, "Reproduces Fig 18: power brake event counts");
+    bench::banner(
+        "Figure 18 -- Power brake events per policy (+30% servers)",
+        "POLCA: zero brakes normally and the fewest under +5% power; "
+        "No-cap incurs orders of magnitude more");
+
+    const std::vector<std::pair<const char *, PolicyConfig>> policies{
+        {"POLCA", PolicyConfig::polca()},
+        {"1-Thresh-Low-Pri", PolicyConfig::oneThreshLowPri()},
+        {"1-Thresh-All", PolicyConfig::oneThreshAll()},
+        {"No-cap", PolicyConfig::noCap()},
+    };
+
+    analysis::Table table({"Policy", "Brakes (default)",
+                           "Brakes (+5% power)"});
+    std::vector<std::string> labels;
+    std::vector<double> logCounts;
+    std::uint64_t polcaDefault = 0, nocapDefault = 0;
+
+    for (const auto &[name, policy] : policies) {
+        std::uint64_t counts[2] = {0, 0};
+        int i = 0;
+        for (double powerScale : {1.0, 1.05}) {
+            ExperimentConfig config;
+            config.row.addedServerFraction = 0.30;
+            config.duration = options.horizon(2.0, 35.0);
+            config.seed = options.seed;
+            config.powerScaleFactor = powerScale;
+            config.policy = policy;
+            ExperimentResult result = runOversubExperiment(config);
+            counts[i++] = result.powerBrakeEvents;
+
+            labels.push_back(std::string(name) +
+                             (powerScale == 1.0 ? "" : "+5%"));
+            logCounts.push_back(std::log10(
+                1.0 + static_cast<double>(result.powerBrakeEvents)));
+        }
+        table.row()
+            .cell(name)
+            .cell(static_cast<long long>(counts[0]))
+            .cell(static_cast<long long>(counts[1]));
+        if (std::string(name) == "POLCA")
+            polcaDefault = counts[0];
+        if (std::string(name) == "No-cap")
+            nocapDefault = counts[0];
+    }
+    table.print(std::cout);
+
+    std::printf("\nlog10(1 + brake events):\n%s\n",
+                analysis::asciiBars(labels, logCounts, 40).c_str());
+
+    bench::compare("POLCA brakes (default)", "0",
+                   static_cast<double>(polcaDefault));
+    bench::compare("No-cap brakes vs POLCA", ">> 0",
+                   static_cast<double>(nocapDefault));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/** @file Figure 3: provisioned power breakdown of a DGX server. */
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "power/server_model.hh"
+
+#include <iostream>
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    bench::parseArgs(
+        argc, argv,
+        "Reproduces Fig 3: provisioned power per server component");
+    bench::banner(
+        "Figure 3 -- Provisioned power (8xA100-80GB server)",
+        "~50% of provisioned power for GPUs, fans ~25% (Section 5); "
+        "6500 W rated");
+
+    power::ServerSpec spec = power::ServerSpec::dgxA100_80gb();
+    auto breakdown = spec.provisionedBreakdown();
+
+    analysis::Table table({"Component", "Watts", "Share"});
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const auto &[name, watts] : breakdown) {
+        table.row().cell(name).cell(watts, 0).percentCell(
+            watts / spec.ratedPowerWatts);
+        labels.push_back(name);
+        values.push_back(watts);
+    }
+    table.row().cell("Total").cell(spec.ratedPowerWatts, 0)
+        .percentCell(1.0);
+    table.print(std::cout);
+
+    std::printf("\n%s\n",
+                analysis::asciiBars(labels, values, 50).c_str());
+
+    bench::compare("GPU share of provisioned power", "~50%",
+                   spec.provisionedGpuWatts() / spec.ratedPowerWatts);
+    bench::compare("Fan share of provisioned power", "~25%",
+                   spec.provisionedFansWatts / spec.ratedPowerWatts);
+    return 0;
+}

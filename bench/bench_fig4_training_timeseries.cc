@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 4: GPU power time-series for training workloads under no
+ * cap, a 325 W power cap, and a 1.1 GHz frequency lock (RoBERTa,
+ * GPT-NeoX, Flan-T5; 5 iterations; 100 ms sampling).
+ */
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/executor.hh"
+#include "llm/segments.hh"
+#include "llm/training_model.hh"
+#include "power/server_model.hh"
+
+#include <iostream>
+
+using namespace polca;
+
+namespace {
+
+enum class Knob
+{
+    NoCap,
+    PowerCap325,
+    Lock1100,
+};
+
+sim::TimeSeries
+run(const char *model_name, Knob knob, int iterations)
+{
+    power::ServerModel server(power::ServerSpec::dgxA100_40gb());
+    if (knob == Knob::PowerCap325)
+        server.setPowerCapAll(325.0);
+    else if (knob == Knob::Lock1100)
+        server.lockClockAll(1100.0);
+
+    llm::TrainingModel model(llm::TrainingSpec::forModel(model_name));
+    llm::SegmentExecutor exec(server, {0, 1, 2, 3, 4, 5, 6, 7});
+    auto iteration = llm::trainingIterationSegments(model);
+    for (int i = 0; i < iterations; ++i)
+        exec.run(iteration);
+    // Normalize to TDP like the paper's y-axis.
+    return exec.firstGpuPowerSeries().scaled(1.0 / 400.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reproduces Fig 4: training power time-series "
+                     "under capping knobs");
+    bench::banner(
+        "Figure 4 -- Power usage time-series for training workloads",
+        "Peaks reach/exceed TDP (except RoBERTa); troughs at "
+        "75/50/20% TDP; caps clip peaks; locks lower everything");
+
+    analysis::Table table({"Model", "Knob", "Peak (xTDP)",
+                           "Trough (xTDP)", "Iteration (s)"});
+
+    for (const char *name : {"RoBERTa", "GPT-NeoX-20B", "Flan-T5-XXL"}) {
+        for (Knob knob : {Knob::NoCap, Knob::PowerCap325,
+                          Knob::Lock1100}) {
+            sim::TimeSeries series = run(name, knob, 5);
+            const char *label = knob == Knob::NoCap ? "no cap"
+                : knob == Knob::PowerCap325 ? "325W cap" : "1.1GHz";
+            table.row()
+                .cell(std::string(name))
+                .cell(label)
+                .cell(series.maxValue(), 3)
+                .cell(series.minValue(), 3)
+                .cell(sim::ticksToSeconds(series.endTime()) / 5.0, 2);
+
+            if (knob == Knob::NoCap) {
+                analysis::ChartOptions options;
+                options.title = std::string("  ") + name +
+                    " (no cap), GPU power / TDP:";
+                options.height = 10;
+                options.width = 90;
+                std::cout << analysis::asciiChart(series, options)
+                          << "\n";
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nPaper anchors:\n");
+    std::printf("  RoBERTa trough ~0.75 TDP, GPT-NeoX ~0.50, "
+                "Flan-T5 ~0.20 (idle)\n");
+    std::printf("  GPT-NeoX / Flan-T5 peaks at or above 1.0 TDP; "
+                "RoBERTa below\n");
+    std::printf("  Power capping clips peaks but leaves troughs; "
+                "frequency locking lowers both (Insight 3)\n");
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Figure 8: peak/mean power (normalized to TDP) and latency
+ * sensitivity to input size (a,b), batch size (c,d), and output size
+ * (e,f) across the five inference models.
+ */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/phase_model.hh"
+#include "power/gpu_power_model.hh"
+
+#include <functional>
+#include <iostream>
+
+using namespace polca;
+
+namespace {
+
+struct Measured
+{
+    double peakOverTdp;
+    double meanOverTdp;
+    double latencySeconds;
+};
+
+/**
+ * Analytic power per phase plus duration-weighted mean over the
+ * request, matching the paper's stacked peak/mean bars.
+ */
+Measured
+measure(const llm::ModelSpec &model, const llm::InferenceConfig &config)
+{
+    llm::PhaseModel phases(model);
+    power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+
+    gpu.setActivity(phases.promptActivity(config));
+    double promptPower = gpu.powerWatts();
+    gpu.setActivity(phases.tokenActivity(config));
+    double tokenPower = gpu.powerWatts();
+
+    double promptSec =
+        sim::ticksToSeconds(phases.promptDuration(config));
+    double tokenSec =
+        sim::ticksToSeconds(phases.tokenPhaseDuration(config));
+    double total = promptSec + tokenSec;
+    double mean = total > 0.0
+        ? (promptPower * promptSec + tokenPower * tokenSec) / total
+        : promptPower;
+
+    return {std::max(promptPower, tokenPower) / 400.0, mean / 400.0,
+            total};
+}
+
+void
+sweep(const char *title, const char *paperNote,
+      const std::vector<llm::InferenceConfig> &configs,
+      const char *knobName,
+      const std::function<int(const llm::InferenceConfig &)> &knob)
+{
+    std::printf("%s\n  paper: %s\n", title, paperNote);
+    llm::ModelCatalog catalog;
+
+    std::vector<std::string> headers{"Model"};
+    for (const auto &config : configs)
+        headers.push_back(std::string(knobName) + "=" +
+                          std::to_string(knob(config)));
+    analysis::Table table(headers);
+
+    for (const std::string &name : catalog.inferenceModelNames()) {
+        const llm::ModelSpec &model = catalog.byName(name);
+        table.row().cell(name + " peak/mean xTDP | lat(s)");
+        for (const auto &config : configs) {
+            Measured m = measure(model, config);
+            table.cell(analysis::formatFixed(m.peakOverTdp, 2) + "/" +
+                       analysis::formatFixed(m.meanOverTdp, 2) + "|" +
+                       analysis::formatFixed(m.latencySeconds, 1));
+        }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reproduces Fig 8: power/latency sensitivity to "
+                     "input, batch, and output sizes");
+    bench::banner(
+        "Figure 8 -- Power (peak, mean) and latency vs. "
+        "configuration knobs",
+        "Peak power rises with input and batch size; mean power "
+        "stays low; latency rises with output size (Insight 5)");
+
+    auto config = [](int input, int batch, int output) {
+        llm::InferenceConfig c;
+        c.inputTokens = input;
+        c.batchSize = batch;
+        c.outputTokens = output;
+        return c;
+    };
+
+    std::vector<llm::InferenceConfig> inputSweep;
+    for (int input : {256, 512, 1024, 2048, 4096, 8192})
+        inputSweep.push_back(config(input, 1, 128));
+    sweep("(a,b) Input size sweep (batch=1, output=128)",
+          "peak grows with input, mean/latency barely move until "
+          ">4096",
+          inputSweep, "in",
+          [](const llm::InferenceConfig &c) { return c.inputTokens; });
+
+    std::vector<llm::InferenceConfig> batchSweep;
+    for (int batch : {1, 2, 4, 8, 16})
+        batchSweep.push_back(config(1024, batch, 128));
+    sweep("(c,d) Batch size sweep (input=1024, output=128)",
+          "peak grows like input-size growth; mean rises gradually; "
+          "slight latency increase",
+          batchSweep, "b",
+          [](const llm::InferenceConfig &c) { return c.batchSize; });
+
+    std::vector<llm::InferenceConfig> outputSweep;
+    for (int output : {128, 256, 512, 1024, 2048, 4096})
+        outputSweep.push_back(config(1024, 1, output));
+    sweep("(e,f) Output size sweep (input=1024, batch=1)",
+          "peak and mean power unchanged; latency scales linearly "
+          "with output size",
+          outputSweep, "out",
+          [](const llm::InferenceConfig &c) { return c.outputTokens; });
+
+    // Quantified anchors.
+    llm::ModelCatalog catalog;
+    const llm::ModelSpec &bloom = catalog.byName("BLOOM-176B");
+    Measured small = measure(bloom, config(256, 1, 128));
+    Measured large = measure(bloom, config(8192, 1, 128));
+    bench::compare("BLOOM peak xTDP at input 8192", ">1.0",
+                   large.peakOverTdp);
+    bench::compare("BLOOM peak growth 256->8192", "large",
+                   large.peakOverTdp / small.peakOverTdp, "x");
+    Measured out1 = measure(bloom, config(1024, 1, 512));
+    Measured out4 = measure(bloom, config(1024, 1, 2048));
+    bench::compare("BLOOM latency scaling output 512->2048", "4x",
+                   out4.latencySeconds / out1.latencySeconds, "x");
+    return 0;
+}

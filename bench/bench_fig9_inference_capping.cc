@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 9: BLOOM inference (input=8192, output=128, batch=1) under
+ * no cap, a 325 W power cap, and a 1.1 GHz frequency lock.
+ */
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/executor.hh"
+#include "llm/phase_model.hh"
+#include "llm/segments.hh"
+#include "power/server_model.hh"
+
+#include <iostream>
+
+using namespace polca;
+
+namespace {
+
+enum class Knob
+{
+    NoCap,
+    PowerCap325,
+    Lock1100,
+};
+
+sim::TimeSeries
+run(Knob knob, double *latencySeconds)
+{
+    llm::ModelCatalog catalog;
+    const llm::ModelSpec &model = catalog.byName("BLOOM-176B");
+    llm::PhaseModel phases(model);
+    llm::InferenceConfig config;
+    config.inputTokens = 8192;
+    config.outputTokens = 128;
+    config.batchSize = 1;
+
+    power::ServerModel server(power::ServerSpec::dgxA100_80gb());
+    if (knob == Knob::PowerCap325)
+        server.setPowerCapAll(325.0);
+    else if (knob == Knob::Lock1100)
+        server.lockClockAll(1100.0);
+
+    llm::SegmentExecutor exec(server, {0, 1, 2, 3, 4, 5, 6, 7});
+    auto segments = llm::inferenceSegments(phases, config);
+    sim::Tick total = 0;
+    for (int request = 0; request < 3; ++request) {
+        total += exec.run(segments);
+        exec.idle(sim::msToTicks(500));
+    }
+    *latencySeconds = sim::ticksToSeconds(total) / 3.0;
+    return exec.firstGpuPowerSeries().scaled(1.0 / 400.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reproduces Fig 9: capping vs locking on BLOOM "
+                     "inference");
+    bench::banner(
+        "Figure 9 -- Power capping / frequency locking on BLOOM "
+        "inference (in=8192, out=128, b=1)",
+        "Reactive caps let prompt peaks through; locks bound the "
+        "whole series but slow the entire request (Insight 7)");
+
+    analysis::Table table({"Knob", "Peak (xTDP)", "Cap (xTDP)",
+                           "Latency (s)", "Latency vs no cap"});
+
+    double baseLatency = 0.0;
+    for (Knob knob : {Knob::NoCap, Knob::PowerCap325, Knob::Lock1100}) {
+        double latency = 0.0;
+        sim::TimeSeries series = run(knob, &latency);
+        if (knob == Knob::NoCap)
+            baseLatency = latency;
+        const char *label = knob == Knob::NoCap ? "(a) no cap"
+            : knob == Knob::PowerCap325 ? "(b) 325W cap"
+                                        : "(c) 1.1GHz lock";
+        table.row()
+            .cell(label)
+            .cell(series.maxValue(), 3)
+            .cell(knob == Knob::PowerCap325 ? "0.81" : "-")
+            .cell(latency, 2)
+            .cell(latency / baseLatency, 3);
+
+        analysis::ChartOptions options;
+        options.title = std::string("  ") + label +
+            " -- GPU power / TDP:";
+        options.height = 9;
+        options.width = 90;
+        std::cout << analysis::asciiChart(series, options) << "\n";
+    }
+    table.print(std::cout);
+
+    double capLatency = 0.0, lockLatency = 0.0;
+    sim::TimeSeries capped = run(Knob::PowerCap325, &capLatency);
+    run(Knob::Lock1100, &lockLatency);
+    std::printf("\n");
+    bench::compare("capped series still spikes above cap", "> 0.81",
+                   capped.maxValue(), " xTDP");
+    bench::compare("lock slows request end-to-end", "> 1.0",
+                   lockLatency / baseLatency, "x");
+    return 0;
+}

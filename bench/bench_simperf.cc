@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate: the
+ * event kernel, the GPU power model, and an end-to-end simulated
+ * cluster-hour, so performance regressions in the simulator itself
+ * are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/oversub_experiment.hh"
+#include "llm/phase_model.hh"
+#include "power/gpu_power_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/timeseries.hh"
+
+using namespace polca;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        int fired = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            queue.schedule((i * 7919) % 100000, [&] { ++fired; });
+        queue.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_GpuPowerEvaluation(benchmark::State &state)
+{
+    power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+    gpu.setActivity({0.8, 0.6});
+    gpu.lockClock(1200.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gpu.powerWatts());
+    }
+}
+BENCHMARK(BM_GpuPowerEvaluation);
+
+void
+BM_CapControllerStep(benchmark::State &state)
+{
+    power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+    gpu.setActivity({1.05, 0.5});
+    gpu.setPowerCap(325.0);
+    for (auto _ : state) {
+        gpu.stepCapController();
+        benchmark::DoNotOptimize(gpu.effectiveClockMhz());
+    }
+}
+BENCHMARK(BM_CapControllerStep);
+
+void
+BM_PhaseModelLatency(benchmark::State &state)
+{
+    llm::ModelCatalog catalog;
+    llm::PhaseModel phases(catalog.byName("BLOOM-176B"));
+    llm::InferenceConfig config;
+    config.inputTokens = 2048;
+    config.outputTokens = 512;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(phases.totalLatency(config));
+    }
+}
+BENCHMARK(BM_PhaseModelLatency);
+
+void
+BM_TimeSeriesMaxRise(benchmark::State &state)
+{
+    sim::TimeSeries series;
+    for (int i = 0; i < state.range(0); ++i) {
+        series.add(i * 1000,
+                   static_cast<double>((i * 2654435761u) % 1000));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            series.maxRiseWithin(sim::secondsToTicks(2)));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimeSeriesMaxRise)->Arg(100000);
+
+void
+BM_ClusterHourEndToEnd(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    for (auto _ : state) {
+        core::ExperimentConfig config;
+        config.row.baseServers = static_cast<int>(state.range(0));
+        config.row.addedServerFraction = 0.30;
+        config.duration = sim::secondsToTicks(3600.0);
+        config.seed = 9;
+        core::ExperimentResult result =
+            runOversubExperiment(config);
+        benchmark::DoNotOptimize(result.lowCompletions);
+    }
+}
+BENCHMARK(BM_ClusterHourEndToEnd)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/** @file Table 1: power monitoring interfaces in an LLM cluster. */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "telemetry/interface_registry.hh"
+
+#include <iostream>
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    bench::parseArgs(argc, argv,
+                     "Reproduces Table 1: power monitoring interfaces");
+    bench::banner(
+        "Table 1 -- Power monitoring interfaces in an LLM cluster",
+        "RAPL 1-10ms IB; DCGM 100ms+ IB; SMBPBI 5s+ OOB; IPMI 1-5s "
+        "OOB; row manager 2s OOB");
+
+    analysis::Table table(
+        {"Mechanism", "Granularity", "Path", "Interval",
+         "Simulated interval"});
+    for (const auto &mi : telemetry::monitoringInterfaces()) {
+        table.row()
+            .cell(mi.mechanism)
+            .cell(mi.granularity)
+            .cell(mi.path)
+            .cell(mi.intervalText)
+            .cell(analysis::formatFixed(
+                      sim::ticksToMs(mi.typicalInterval), 0) + " ms");
+    }
+    table.print(std::cout);
+    return 0;
+}

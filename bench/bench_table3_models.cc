@@ -1,0 +1,33 @@
+/** @file Table 3: the characterized LLM workloads. */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/model_spec.hh"
+
+#include <iostream>
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    bench::parseArgs(argc, argv,
+                     "Reproduces Table 3: characterized LLMs");
+    bench::banner(
+        "Table 3 -- LLM workloads that we characterize",
+        "Encoder RoBERTa 355M/1; Decoder Llama2 13B/70B, GPT-NeoX "
+        "20B/2, OPT 30B/4, BLOOM 176B/8; Enc-Dec Flan-T5 XXL 11B/1");
+
+    llm::ModelCatalog catalog;
+    analysis::Table table({"Category", "Model", "#Params (B)",
+                           "#Inference GPUs", "Fine-tuned here"});
+    for (const auto &model : catalog.models()) {
+        table.row()
+            .cell(llm::toString(model.architecture))
+            .cell(model.name)
+            .cell(model.paramsBillions, 3)
+            .cell(static_cast<long long>(model.inferenceGpus))
+            .cell(model.trainable ? "yes" : "no (inference only)");
+    }
+    table.print(std::cout);
+    return 0;
+}

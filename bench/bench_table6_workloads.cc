@@ -1,0 +1,62 @@
+/** @file Table 6: workload distribution and SLOs. */
+
+#include "analysis/table.hh"
+#include "bench_common.hh"
+#include "llm/phase_model.hh"
+#include "workload/trace_gen.hh"
+
+#include <iostream>
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    bench::parseArgs(argc, argv,
+                     "Reproduces Table 6: workload mix and SLOs");
+    bench::banner(
+        "Table 6 -- Workload distribution and SLOs",
+        "Summarize 2048-8192/256-512 25% low; Search 512-2048/"
+        "1024-2048 25% high; Chat 2048-4096/128-2048 50% 50:50");
+
+    analysis::Table mix({"Workload", "Prompt size", "Output size",
+                         "Traffic", "Priority", "Mean service (s)"});
+    workload::TraceGenerator generator;
+    llm::ModelCatalog catalog;
+    llm::PhaseModel phases(catalog.byName("BLOOM-176B"));
+    for (const auto &w : generator.mix()) {
+        llm::InferenceConfig config;
+        config.inputTokens = (w.promptMin + w.promptMax) / 2;
+        config.outputTokens = (w.outputMin + w.outputMax) / 2;
+        std::string priority = w.highPriorityFraction == 0.0 ? "Low"
+            : w.highPriorityFraction == 1.0 ? "High" : "50:50";
+        mix.row()
+            .cell(w.name)
+            .cell(std::to_string(w.promptMin) + "-" +
+                  std::to_string(w.promptMax))
+            .cell(std::to_string(w.outputMin) + "-" +
+                  std::to_string(w.outputMax))
+            .percentCell(w.trafficFraction, 0)
+            .cell(priority)
+            .cell(sim::ticksToSeconds(phases.totalLatency(config)), 1);
+    }
+    mix.print(std::cout);
+
+    workload::SloSpec slos = workload::paperSlos();
+    std::printf("\nSLOs (normalized to unthrottled latency):\n");
+    analysis::Table slo({"Metric", "High priority", "Low priority"});
+    slo.row().cell("p50 latency impact")
+        .cell("< " + analysis::formatPercent(slos.hpP50Limit - 1.0, 0))
+        .cell("< " +
+              analysis::formatPercent(slos.lpP50Limit - 1.0, 0));
+    slo.row().cell("p99 latency impact")
+        .cell("< " + analysis::formatPercent(slos.hpP99Limit - 1.0, 0))
+        .cell("< " +
+              analysis::formatPercent(slos.lpP99Limit - 1.0, 0));
+    slo.row().cell("Power brake events").cell("0").cell("0");
+    slo.print(std::cout);
+
+    std::printf("\nLow-priority share of total work: %.1f%% (pool "
+                "sizing uses work share, not request share).\n",
+                generator.lowPriorityWorkShare(phases) * 100.0);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Model characterization tool: the Section 4.2 methodology as a CLI.
+ * Profiles one model's prompt/token phases — durations, power,
+ * frequency sensitivity — and renders its power waveform.
+ *
+ * Usage:
+ *   characterize_model [model] [input] [output] [batch]
+ *   characterize_model BLOOM-176B 4096 512 1
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "llm/executor.hh"
+#include "llm/phase_model.hh"
+#include "llm/segments.hh"
+#include "power/server_model.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    sim::setQuiet(true);
+
+    std::string modelName = argc > 1 ? argv[1] : "BLOOM-176B";
+    llm::InferenceConfig config;
+    config.inputTokens = argc > 2 ? std::atoi(argv[2]) : 4096;
+    config.outputTokens = argc > 3 ? std::atoi(argv[3]) : 512;
+    config.batchSize = argc > 4 ? std::atoi(argv[4]) : 1;
+
+    llm::ModelCatalog catalog;
+    if (!catalog.contains(modelName)) {
+        std::printf("Unknown model '%s'. Available:\n",
+                    modelName.c_str());
+        for (const auto &model : catalog.models())
+            std::printf("  %s\n", model.name.c_str());
+        return 1;
+    }
+
+    const llm::ModelSpec &model = catalog.byName(modelName);
+    llm::PhaseModel phases(model);
+
+    std::printf("Characterizing %s (%s, %.1fB params, %d GPUs)\n",
+                model.name.c_str(), llm::toString(model.architecture),
+                model.paramsBillions, model.inferenceGpus);
+    std::printf("Config: input=%d output=%d batch=%d FP16\n\n",
+                config.inputTokens, config.outputTokens,
+                config.batchSize);
+
+    // Phase report.
+    power::GpuPowerModel gpu(power::GpuSpec::a100_80gb());
+    analysis::Table table({"Phase", "Duration (s)", "GPU power (W)",
+                           "xTDP", "Compute-bound"});
+    gpu.setActivity(phases.promptActivity(config));
+    table.row()
+        .cell("prompt")
+        .cell(sim::ticksToSeconds(phases.promptDuration(config)), 3)
+        .cell(gpu.powerWatts(), 0)
+        .cell(gpu.powerWatts() / 400.0, 2)
+        .percentCell(phases.computeBoundFraction(llm::Phase::Prompt));
+    gpu.setActivity(phases.tokenActivity(config));
+    table.row()
+        .cell("token")
+        .cell(sim::ticksToSeconds(phases.tokenPhaseDuration(config)),
+              3)
+        .cell(gpu.powerWatts(), 0)
+        .cell(gpu.powerWatts() / 400.0, 2)
+        .percentCell(phases.computeBoundFraction(llm::Phase::Token));
+    table.print(std::cout);
+
+    // Frequency sensitivity (the Insight 7 trade-off).
+    std::printf("\nFrequency-lock sensitivity:\n");
+    analysis::Table freq({"SM clock (MHz)", "Peak power reduction",
+                          "Latency increase"});
+    gpu.setActivity(phases.promptActivity(config));
+    gpu.unlockClock();
+    double basePeak = gpu.powerWatts();
+    sim::Tick baseLatency = phases.latencyAtClock(config, gpu);
+    for (double mhz : {1410.0, 1305.0, 1275.0, 1200.0, 1110.0}) {
+        gpu.lockClock(mhz);
+        freq.row()
+            .cell(mhz, 0)
+            .percentCell(1.0 - gpu.powerWatts() / basePeak)
+            .percentCell(static_cast<double>(
+                             phases.latencyAtClock(config, gpu)) /
+                             static_cast<double>(baseLatency) - 1.0);
+    }
+    freq.print(std::cout);
+
+    // Power waveform over two requests.
+    power::ServerModel server(power::ServerSpec::dgxA100_80gb());
+    std::vector<std::size_t> gpus;
+    for (int i = 0; i < model.inferenceGpus; ++i)
+        gpus.push_back(static_cast<std::size_t>(i));
+    llm::SegmentExecutor exec(server, gpus);
+    auto segments = llm::inferenceSegments(phases, config);
+    for (int request = 0; request < 2; ++request) {
+        exec.run(segments);
+        exec.idle(sim::msToTicks(500));
+    }
+    analysis::ChartOptions chart;
+    chart.title = "\nGPU power waveform (2 requests), watts:";
+    chart.height = 10;
+    chart.width = 90;
+    std::cout << analysis::asciiChart(exec.firstGpuPowerSeries(),
+                                      chart);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fleet view: several rows (PDU domains), each oversubscribed +30%
+ * and managed by its own POLCA instance — the Figure 2 hierarchy end
+ * to end.  Shows that per-row management composes: each row keeps
+ * its own budget while the fleet gains rows x 30% extra capacity.
+ *
+ * Usage:
+ *   datacenter_fleet [numRows] [serversPerRow] [hours]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "analysis/table.hh"
+#include "cluster/datacenter.hh"
+#include "core/power_manager.hh"
+#include "llm/phase_model.hh"
+#include "sim/logging.hh"
+#include "telemetry/energy_meter.hh"
+#include "workload/trace_gen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    sim::setQuiet(true);
+
+    int numRows = argc > 1 ? std::atoi(argv[1]) : 3;
+    int serversPerRow = argc > 2 ? std::atoi(argv[2]) : 20;
+    double hours = argc > 3 ? std::atof(argv[3]) : 6.0;
+
+    sim::Simulation sim(7);
+
+    cluster::DatacenterConfig config;
+    config.numRows = numRows;
+    config.row.baseServers = serversPerRow;
+    config.row.addedServerFraction = 0.30;
+    cluster::Datacenter dc(sim, config, sim.rng().fork(1));
+
+    // One POLCA manager per row (the PDU is the control domain).
+    std::vector<std::unique_ptr<core::PowerManager>> managers;
+    for (int r = 0; r < dc.numRows(); ++r) {
+        cluster::Row &row = dc.row(r);
+        auto manager = std::make_unique<core::PowerManager>(
+            sim, row.rowManager(), row.provisionedWatts(),
+            core::PolicyConfig::polca(),
+            sim.rng().fork(100 + static_cast<std::uint64_t>(r)));
+        for (workload::Priority p :
+             {workload::Priority::Low, workload::Priority::High}) {
+            for (cluster::InferenceServer *server : row.pool(p))
+                manager->addTarget(p, server);
+        }
+        manager->start();
+        managers.push_back(std::move(manager));
+    }
+
+    // Independent diurnal traffic per row.
+    workload::TraceGenerator generator;
+    llm::PhaseModel phases(
+        llm::ModelCatalog().byName("BLOOM-176B"));
+    std::vector<workload::Trace> traces;
+    traces.reserve(static_cast<std::size_t>(dc.numRows()));
+    for (int r = 0; r < dc.numRows(); ++r) {
+        workload::TraceGenOptions traceOptions;
+        traceOptions.duration = sim::secondsToTicks(hours * 3600.0);
+        traceOptions.numServers = dc.row(r).numServers();
+        traceOptions.serviceSecondsPerRequest =
+            generator.expectedServiceSeconds(phases);
+        traceOptions.seed = 1000 + static_cast<std::uint64_t>(r);
+        traces.push_back(generator.generate(traceOptions));
+    }
+    for (int r = 0; r < dc.numRows(); ++r)
+        dc.row(r).dispatcher().injectTrace(
+            traces[static_cast<std::size_t>(r)]);
+
+    telemetry::EnergyMeter fleetEnergy(
+        sim, [&dc] { return dc.powerWatts(); });
+    fleetEnergy.start();
+
+    std::printf("Simulating %d rows x (%d + 30%%) servers for %.1f "
+                "hours...\n\n", numRows, serversPerRow, hours);
+    sim.runFor(sim::secondsToTicks(hours * 3600.0));
+
+    analysis::Table table({"Row", "Servers", "Mean util", "Peak util",
+                           "Brakes", "Caps", "Completions"});
+    std::uint64_t fleetBrakes = 0;
+    for (int r = 0; r < dc.numRows(); ++r) {
+        core::PowerManager &manager =
+            *managers[static_cast<std::size_t>(r)];
+        fleetBrakes += manager.powerBrakeEvents();
+        std::uint64_t completions =
+            dc.row(r).dispatcher().completions(
+                workload::Priority::Low) +
+            dc.row(r).dispatcher().completions(
+                workload::Priority::High);
+        table.row()
+            .cell(static_cast<long long>(r))
+            .cell(static_cast<long long>(dc.row(r).numServers()))
+            .percentCell(manager.meanUtilization())
+            .percentCell(manager.maxUtilization())
+            .cell(static_cast<long long>(manager.powerBrakeEvents()))
+            .cell(static_cast<long long>(manager.capCommands()))
+            .cell(static_cast<long long>(completions));
+    }
+    table.print(std::cout);
+
+    int extraServers = dc.numServers() - numRows * serversPerRow;
+    std::printf("\nFleet: %d servers under a %.0f kW total budget "
+                "(%d of them added via oversubscription)\n",
+                dc.numServers(), dc.provisionedWatts() / 1000.0,
+                extraServers);
+    std::printf("Fleet energy: %.1f kWh; power brakes fleet-wide: "
+                "%llu\n", fleetEnergy.kilowattHours(),
+                static_cast<unsigned long long>(fleetBrakes));
+    std::printf("\nPer-row POLCA instances compose: each PDU domain "
+                "is protected independently, so the\nfleet gains "
+                "+30%% capacity without any cross-row coordination.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Training power audit: the Section 4.1/5.1 view. Shows a training
+ * job's iteration waveform, how far cluster-scale synchronized
+ * swings stress the power infrastructure, and what each capping
+ * knob buys.
+ *
+ * Usage:
+ *   training_power_audit [model] [numServers]
+ *   training_power_audit Flan-T5-XXL 64
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/ascii_chart.hh"
+#include "analysis/table.hh"
+#include "cluster/training_cluster.hh"
+#include "llm/executor.hh"
+#include "llm/segments.hh"
+#include "llm/training_model.hh"
+#include "power/server_model.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace polca;
+    sim::setQuiet(true);
+
+    std::string modelName = argc > 1 ? argv[1] : "GPT-NeoX-20B";
+    int numServers = argc > 2 ? std::atoi(argv[2]) : 40;
+
+    llm::TrainingModel model(llm::TrainingSpec::forModel(modelName));
+    std::printf("Training power audit: %s on %d DGX-A100 servers\n\n",
+                modelName.c_str(), numServers);
+
+    // Server-level waveform under each knob.
+    analysis::Table table({"Knob", "Peak server (W)",
+                           "Trough server (W)", "Iterations/s",
+                           "Perf vs uncapped"});
+    double baseRate = 0.0;
+    for (int knob = 0; knob < 3; ++knob) {
+        power::ServerModel server(power::ServerSpec::dgxA100_40gb());
+        if (knob == 1)
+            server.setPowerCapAll(325.0);
+        else if (knob == 2)
+            server.lockClockAll(1100.0);
+
+        llm::SegmentExecutor exec(server, {0, 1, 2, 3, 4, 5, 6, 7});
+        auto iteration = llm::trainingIterationSegments(model);
+        for (int i = 0; i < 5; ++i)
+            exec.run(iteration);
+
+        double rate = 5.0 / sim::ticksToSeconds(exec.now());
+        if (knob == 0)
+            baseRate = rate;
+        const char *label = knob == 0 ? "uncapped"
+            : knob == 1 ? "325W power cap" : "1.1GHz lock";
+        table.row()
+            .cell(label)
+            .cell(exec.serverPowerSeries().maxValue(), 0)
+            .cell(exec.serverPowerSeries().minValue(), 0)
+            .cell(rate, 3)
+            .percentCell(rate / baseRate);
+
+        if (knob == 0) {
+            analysis::ChartOptions chart;
+            chart.title = "Server power over 5 iterations "
+                          "(uncapped), watts:";
+            chart.height = 9;
+            chart.width = 90;
+            std::cout << analysis::asciiChart(
+                             exec.serverPowerSeries(), chart)
+                      << "\n";
+        }
+    }
+    table.print(std::cout);
+
+    // Cluster-scale synchronized swings (Insight 2).
+    cluster::TrainingClusterOptions tc;
+    tc.numServers = numServers;
+    tc.duration = sim::secondsToTicks(300.0);
+    // Sample at 0.5 s: the row manager cadence (2 s) aliases with
+    // round iteration periods and would hide the swings.
+    tc.sampleInterval = sim::msToTicks(500);
+    sim::TimeSeries cluster = cluster::trainingClusterPower(
+        model, power::ServerSpec::dgxA100_40gb(), tc);
+
+    double provisioned = numServers * 5850.0;
+    std::printf("\nCluster-scale (synchronized %d-server job):\n",
+                numServers);
+    std::printf("  peak utilization ........... %.1f%% of "
+                "provisioned\n",
+                cluster.maxValue() / provisioned * 100.0);
+    std::printf("  max 2s power swing ......... %.1f%% of "
+                "provisioned\n",
+                cluster.maxRiseWithin(sim::secondsToTicks(2)) /
+                    provisioned * 100.0);
+    std::printf("  swing magnitude ............ %.0f kW "
+                "(peak-to-trough)\n",
+                (cluster.maxValue() - cluster.minValue()) / 1000.0);
+    std::printf("\nImplication (Insight 2): training clusters offer "
+                "only ~3%% oversubscription headroom;\nuse frequency "
+                "locking to damp swings, and keep oversubscription "
+                "for inference rows.\n");
+    return 0;
+}

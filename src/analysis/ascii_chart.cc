@@ -1,0 +1,198 @@
+#include "analysis/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace polca::analysis {
+
+namespace {
+
+constexpr const char *glyphs = "*o+x#@";
+
+/** Bucket a series into per-column mean values. */
+std::vector<double>
+columnMeans(const sim::TimeSeries &series, sim::Tick start, sim::Tick end,
+            int width)
+{
+    std::vector<double> sums(static_cast<std::size_t>(width), 0.0);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(width), 0);
+
+    double span = static_cast<double>(end - start);
+    for (const auto &p : series.points()) {
+        if (p.time < start || p.time > end)
+            continue;
+        double t = span > 0.0
+            ? static_cast<double>(p.time - start) / span : 0.0;
+        auto col = static_cast<std::size_t>(
+            std::min<double>(t * width, width - 1));
+        sums[col] += p.value;
+        ++counts[col];
+    }
+
+    std::vector<double> means(static_cast<std::size_t>(width),
+                              std::numeric_limits<double>::quiet_NaN());
+    double last = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t c = 0; c < means.size(); ++c) {
+        if (counts[c] > 0) {
+            means[c] = sums[c] / static_cast<double>(counts[c]);
+            last = means[c];
+        } else if (!std::isnan(last)) {
+            means[c] = last;  // step-extend through empty columns
+        }
+    }
+    return means;
+}
+
+} // namespace
+
+std::string
+asciiChart(const sim::TimeSeries &series, const ChartOptions &options)
+{
+    return asciiChart({&series}, {""}, options);
+}
+
+std::string
+asciiChart(const std::vector<const sim::TimeSeries *> &series,
+           const std::vector<std::string> &labels,
+           const ChartOptions &options)
+{
+    if (series.empty())
+        sim::panic("asciiChart: no series");
+    if (labels.size() != series.size())
+        sim::panic("asciiChart: labels/series size mismatch");
+
+    sim::Tick start = sim::maxTick;
+    sim::Tick end = 0;
+    for (const auto *s : series) {
+        if (!s || s->empty())
+            sim::panic("asciiChart: null or empty series");
+        start = std::min(start, s->startTime());
+        end = std::max(end, s->endTime());
+    }
+
+    int width = std::max(options.width, 10);
+    int height = std::max(options.height, 4);
+
+    std::vector<std::vector<double>> cols;
+    cols.reserve(series.size());
+    for (const auto *s : series)
+        cols.push_back(columnMeans(*s, start, end, width));
+
+    double lo = options.yMin;
+    double hi = options.yMax;
+    if (options.autoScale) {
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+        for (const auto &c : cols) {
+            for (double v : c) {
+                if (std::isnan(v))
+                    continue;
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+        }
+        if (!(hi > lo)) {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        double pad = (hi - lo) * 0.05;
+        lo -= pad;
+        hi += pad;
+    }
+    if (!(hi > lo))
+        hi = lo + 1.0;
+
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(height),
+        std::string(static_cast<std::size_t>(width), ' '));
+
+    for (std::size_t s = 0; s < cols.size(); ++s) {
+        char glyph = glyphs[s % 6];
+        for (int c = 0; c < width; ++c) {
+            double v = cols[s][static_cast<std::size_t>(c)];
+            if (std::isnan(v))
+                continue;
+            double t = (v - lo) / (hi - lo);
+            t = std::clamp(t, 0.0, 1.0);
+            int r = static_cast<int>(t * (height - 1) + 0.5);
+            grid[static_cast<std::size_t>(height - 1 - r)]
+                [static_cast<std::size_t>(c)] = glyph;
+        }
+    }
+
+    std::ostringstream oss;
+    if (!options.title.empty())
+        oss << options.title << '\n';
+
+    bool anyLabel = false;
+    for (const auto &l : labels)
+        anyLabel = anyLabel || !l.empty();
+    if (anyLabel) {
+        oss << "  legend:";
+        for (std::size_t s = 0; s < labels.size(); ++s)
+            oss << "  [" << glyphs[s % 6] << "] " << labels[s];
+        oss << '\n';
+    }
+
+    for (int r = 0; r < height; ++r) {
+        double yv = hi - (hi - lo) * r / (height - 1);
+        oss << formatFixedWidth(yv, 9) << " |"
+            << grid[static_cast<std::size_t>(r)] << '\n';
+    }
+    oss << std::string(9, ' ') << " +" << std::string(
+        static_cast<std::size_t>(width), '-') << '\n';
+    oss << std::string(11, ' ') << "t=" << sim::ticksToSeconds(start)
+        << "s" << std::string(static_cast<std::size_t>(
+            std::max(0, width - 24)), ' ')
+        << "t=" << sim::ticksToSeconds(end) << "s";
+    if (!options.yLabel.empty())
+        oss << "   [y: " << options.yLabel << "]";
+    oss << '\n';
+    return oss.str();
+}
+
+std::string
+formatFixedWidth(double value, int width)
+{
+    std::ostringstream oss;
+    oss.precision(3);
+    oss << std::fixed << value;
+    std::string s = oss.str();
+    if (static_cast<int>(s.size()) < width)
+        s = std::string(static_cast<std::size_t>(width) - s.size(), ' ') + s;
+    return s;
+}
+
+std::string
+asciiBars(const std::vector<std::string> &labels,
+          const std::vector<double> &values, int width)
+{
+    if (labels.size() != values.size())
+        sim::panic("asciiBars: labels/values size mismatch");
+
+    double maxVal = 0.0;
+    std::size_t maxLabel = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        maxVal = std::max(maxVal, values[i]);
+        maxLabel = std::max(maxLabel, labels[i].size());
+    }
+    if (maxVal <= 0.0)
+        maxVal = 1.0;
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        std::string label = labels[i];
+        label.resize(maxLabel, ' ');
+        int n = static_cast<int>(values[i] / maxVal * width + 0.5);
+        oss << label << " |" << std::string(
+            static_cast<std::size_t>(std::max(n, 0)), '#')
+            << ' ' << values[i] << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace polca::analysis

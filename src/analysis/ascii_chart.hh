@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Terminal line-chart rendering so the bench binaries can show the
+ * *shape* of the paper's figures (power spikes, diurnal patterns)
+ * directly in their stdout output.
+ */
+
+#ifndef POLCA_ANALYSIS_ASCII_CHART_HH
+#define POLCA_ANALYSIS_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/timeseries.hh"
+
+namespace polca::analysis {
+
+/** Rendering options for asciiChart(). */
+struct ChartOptions
+{
+    int width = 100;          ///< columns of plot area
+    int height = 16;          ///< rows of plot area
+    double yMin = 0.0;        ///< lower bound; NaN -> auto
+    double yMax = 0.0;        ///< upper bound; use autoScale
+    bool autoScale = true;    ///< derive bounds from the data
+    std::string title;        ///< optional header line
+    std::string yLabel;       ///< axis annotation
+};
+
+/**
+ * Render a time series as an ASCII chart.  The series is resampled to
+ * one column per character; each column shows the mean of its bucket.
+ */
+std::string asciiChart(const sim::TimeSeries &series,
+                       const ChartOptions &options = {});
+
+/**
+ * Render several series on one chart; series i is drawn with the
+ * i-th glyph of "*o+x#@".
+ */
+std::string asciiChart(
+    const std::vector<const sim::TimeSeries *> &series,
+    const std::vector<std::string> &labels,
+    const ChartOptions &options = {});
+
+/**
+ * Render a horizontal bar chart: one labelled bar per value, scaled to
+ * @p width characters at the maximum value.
+ */
+std::string asciiBars(const std::vector<std::string> &labels,
+                      const std::vector<double> &values, int width = 60);
+
+/** Right-align @p value into a field of @p width characters. */
+std::string formatFixedWidth(double value, int width);
+
+} // namespace polca::analysis
+
+#endif // POLCA_ANALYSIS_ASCII_CHART_HH

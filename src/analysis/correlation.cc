@@ -1,0 +1,74 @@
+#include "analysis/correlation.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::analysis {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size()) {
+        sim::panic("pearson: length mismatch (", x.size(), " vs ",
+                   y.size(), ")");
+    }
+    std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = x[i] - mx;
+        double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+void
+CorrelationMatrix::addSignal(std::string name, std::vector<double> values)
+{
+    if (!columns_.empty() && values.size() != columns_.front().size()) {
+        sim::panic("CorrelationMatrix: signal '", name, "' has ",
+                   values.size(), " samples, expected ",
+                   columns_.front().size());
+    }
+    names_.push_back(std::move(name));
+    columns_.push_back(std::move(values));
+}
+
+double
+CorrelationMatrix::at(std::size_t i, std::size_t j) const
+{
+    return pearson(columns_.at(i), columns_.at(j));
+}
+
+std::vector<std::vector<double>>
+CorrelationMatrix::matrix() const
+{
+    std::size_t n = numSignals();
+    std::vector<std::vector<double>> out(n, std::vector<double>(n, 1.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double r = at(i, j);
+            out[i][j] = r;
+            out[j][i] = r;
+        }
+    }
+    return out;
+}
+
+} // namespace polca::analysis

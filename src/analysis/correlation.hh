@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pearson correlation utilities used to reproduce the paper's GPU
+ * counter correlation study (Figure 7).
+ */
+
+#ifndef POLCA_ANALYSIS_CORRELATION_HH
+#define POLCA_ANALYSIS_CORRELATION_HH
+
+#include <string>
+#include <vector>
+
+namespace polca::analysis {
+
+/**
+ * Pearson correlation coefficient of two equal-length vectors.
+ * Returns 0 when either vector has zero variance or fewer than two
+ * samples (a degenerate correlation).
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Named collection of equal-length signal columns with a pairwise
+ * correlation matrix, mirroring the counter matrices of Figure 7.
+ */
+class CorrelationMatrix
+{
+  public:
+    /** Add a named column; all columns must have equal length. */
+    void addSignal(std::string name, std::vector<double> values);
+
+    std::size_t numSignals() const { return names_.size(); }
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Pearson correlation between signals @p i and @p j. */
+    double at(std::size_t i, std::size_t j) const;
+
+    /** Full symmetric matrix (row-major). */
+    std::vector<std::vector<double>> matrix() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> columns_;
+};
+
+} // namespace polca::analysis
+
+#endif // POLCA_ANALYSIS_CORRELATION_HH

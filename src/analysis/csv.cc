@@ -1,0 +1,125 @@
+#include "analysis/csv.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace polca::analysis {
+
+std::string
+escapeCsvField(const std::string &field)
+{
+    bool needsQuote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needsQuote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    if (columns_ == 0)
+        columns_ = cells.size();
+    if (cells.size() != columns_) {
+        sim::panic("CsvWriter: row with ", cells.size(),
+                   " cells, expected ", columns_);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escapeCsvField(cells[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    emit(columns);
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream oss;
+        oss.precision(10);
+        oss << v;
+        cells.push_back(oss.str());
+    }
+    emit(cells);
+}
+
+void
+CsvWriter::rowStrings(const std::vector<std::string> &values)
+{
+    emit(values);
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> current;
+    std::string field;
+    bool inQuotes = false;
+    bool fieldStarted = false;
+
+    auto endField = [&] {
+        current.push_back(field);
+        field.clear();
+        fieldStarted = false;
+    };
+    auto endRow = [&] {
+        if (fieldStarted || !current.empty()) {
+            endField();
+            rows.push_back(current);
+            current.clear();
+        }
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                field += c;
+            }
+            fieldStarted = true;
+        } else if (c == '"') {
+            inQuotes = true;
+            fieldStarted = true;
+        } else if (c == ',') {
+            endField();
+            fieldStarted = true;  // next field exists even if empty
+        } else if (c == '\n') {
+            endRow();
+        } else if (c == '\r') {
+            // Swallow CR in CRLF.
+        } else {
+            field += c;
+            fieldStarted = true;
+        }
+    }
+    endRow();
+    return rows;
+}
+
+} // namespace polca::analysis

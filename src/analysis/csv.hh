@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV reading/writing used for trace persistence and for
+ * exporting bench series to plotting tools.
+ */
+
+#ifndef POLCA_ANALYSIS_CSV_HH
+#define POLCA_ANALYSIS_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polca::analysis {
+
+/**
+ * Streaming CSV writer.  The first call fixes the column count; later
+ * rows must match it.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Emit one data row (stringified doubles). */
+    void row(const std::vector<double> &values);
+
+    /** Emit one data row of raw strings (values are escaped). */
+    void rowStrings(const std::vector<std::string> &values);
+
+  private:
+    void emit(const std::vector<std::string> &cells);
+
+    std::ostream &os_;
+    std::size_t columns_ = 0;
+};
+
+/**
+ * Parse CSV text into rows of fields.  Handles quoted fields with
+ * embedded commas and doubled quotes; no embedded newlines.
+ */
+std::vector<std::vector<std::string>> parseCsv(const std::string &text);
+
+/** Escape one CSV field (quote when needed). */
+std::string escapeCsvField(const std::string &field);
+
+} // namespace polca::analysis
+
+#endif // POLCA_ANALYSIS_CSV_HH

@@ -1,0 +1,67 @@
+#include "analysis/error_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::analysis {
+
+double
+mape(const std::vector<double> &reference,
+     const std::vector<double> &candidate)
+{
+    if (reference.size() != candidate.size()) {
+        sim::panic("mape: length mismatch (", reference.size(), " vs ",
+                   candidate.size(), ")");
+    }
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i] <= 0.0)
+            continue;
+        sum += std::abs(candidate[i] - reference[i]) / reference[i];
+        ++used;
+    }
+    return used ? sum / static_cast<double>(used) : 0.0;
+}
+
+double
+mape(const sim::TimeSeries &reference, const sim::TimeSeries &candidate,
+     sim::Tick dt)
+{
+    if (reference.empty() || candidate.empty())
+        sim::panic("mape: empty time series");
+    sim::Tick start = std::max(reference.startTime(),
+                               candidate.startTime());
+    sim::Tick end = std::min(reference.endTime(), candidate.endTime());
+    if (end < start)
+        sim::panic("mape: series do not overlap");
+
+    std::vector<double> ref, cand;
+    for (sim::Tick t = start; t <= end; t += dt) {
+        ref.push_back(reference.valueAt(t));
+        cand.push_back(candidate.valueAt(t));
+    }
+    return mape(ref, cand);
+}
+
+double
+rmse(const std::vector<double> &reference,
+     const std::vector<double> &candidate)
+{
+    if (reference.size() != candidate.size()) {
+        sim::panic("rmse: length mismatch (", reference.size(), " vs ",
+                   candidate.size(), ")");
+    }
+    if (reference.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        double d = candidate[i] - reference[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(reference.size()));
+}
+
+} // namespace polca::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Error metrics for trace-fidelity validation: the paper validates its
+ * synthetic trace against the production trace with MAPE <= 3 %
+ * (Section 6.4).
+ */
+
+#ifndef POLCA_ANALYSIS_ERROR_METRICS_HH
+#define POLCA_ANALYSIS_ERROR_METRICS_HH
+
+#include <vector>
+
+#include "sim/timeseries.hh"
+
+namespace polca::analysis {
+
+/**
+ * Mean Absolute Percentage Error between a reference and a candidate
+ * vector.  Reference entries at (or below) zero are skipped; if all
+ * are skipped the result is 0.  Returned as a fraction (0.03 = 3 %).
+ */
+double mape(const std::vector<double> &reference,
+            const std::vector<double> &candidate);
+
+/**
+ * MAPE between two time series compared on a regular grid of period
+ * @p dt over their overlapping extent.
+ */
+double mape(const sim::TimeSeries &reference,
+            const sim::TimeSeries &candidate, sim::Tick dt);
+
+/** Root-mean-square error between equal-length vectors. */
+double rmse(const std::vector<double> &reference,
+            const std::vector<double> &candidate);
+
+} // namespace polca::analysis
+
+#endif // POLCA_ANALYSIS_ERROR_METRICS_HH

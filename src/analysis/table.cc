@@ -1,0 +1,114 @@
+#include "analysis/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace polca::analysis {
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatFixed(fraction * 100.0, precision) + "%";
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        sim::panic("Table: no headers");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(std::string value)
+{
+    if (rows_.empty())
+        sim::panic("Table::cell before row()");
+    if (rows_.back().size() >= headers_.size())
+        sim::panic("Table::cell: row wider than header");
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::percentCell(double fraction, int precision)
+{
+    return cell(formatPercent(fraction, precision));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::string text = c < cells.size() ? cells[c] : "";
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << text;
+            if (c + 1 < headers_.size())
+                oss << "  ";
+        }
+        oss << '\n';
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << str();
+}
+
+} // namespace polca::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harness output.  Every bench
+ * binary prints the paper's rows/series through this formatter so the
+ * reproductions are easy to eyeball against the paper.
+ */
+
+#ifndef POLCA_ANALYSIS_TABLE_HH
+#define POLCA_ANALYSIS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polca::analysis {
+
+/**
+ * Column-aligned text table.  Cells are strings; numeric helpers
+ * format with fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(std::string value);
+
+    /** Append a numeric cell with @p precision fraction digits. */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Append a percentage cell ("12.3%") from a fraction. */
+    Table &percentCell(double fraction, int precision = 1);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Cell text at (row, col); headers are not addressable. */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render with padding and a header underline. */
+    std::string str() const;
+
+    /** Stream the rendered table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision = 2);
+
+/** Format a fraction as a percentage string. */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace polca::analysis
+
+#endif // POLCA_ANALYSIS_TABLE_HH

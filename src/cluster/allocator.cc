@@ -1,0 +1,47 @@
+#include "cluster/allocator.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+std::vector<workload::Priority>
+allocatePriorities(int num_servers, double lp_fraction)
+{
+    if (num_servers <= 0)
+        sim::fatal("allocatePriorities: non-positive server count");
+    if (lp_fraction < 0.0 || lp_fraction > 1.0)
+        sim::fatal("allocatePriorities: fraction ", lp_fraction,
+                   " outside [0,1]");
+
+    int lp = static_cast<int>(
+        std::lround(lp_fraction * num_servers));
+    std::vector<workload::Priority> out(
+        static_cast<std::size_t>(num_servers),
+        workload::Priority::High);
+
+    // Bresenham-style even spread of LP slots.
+    int error = num_servers / 2;
+    for (int i = 0; i < num_servers && lp > 0; ++i) {
+        error -= lp;
+        if (error < 0) {
+            out[static_cast<std::size_t>(i)] = workload::Priority::Low;
+            error += num_servers;
+        }
+    }
+
+    // Fix rounding drift, if any.
+    int assigned = 0;
+    for (auto p : out)
+        assigned += (p == workload::Priority::Low) ? 1 : 0;
+    for (std::size_t i = 0; assigned < lp && i < out.size(); ++i) {
+        if (out[i] == workload::Priority::High) {
+            out[i] = workload::Priority::Low;
+            ++assigned;
+        }
+    }
+    return out;
+}
+
+} // namespace polca::cluster

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Priority-aware server allocation.  POLCA's cloud allocator ensures
+ * "a good mix of high and low-priority jobs in every row"
+ * (Section 6.3) so there is always low-priority power to reclaim
+ * before high-priority workloads must be touched.
+ */
+
+#ifndef POLCA_CLUSTER_ALLOCATOR_HH
+#define POLCA_CLUSTER_ALLOCATOR_HH
+
+#include <vector>
+
+#include "workload/workload_spec.hh"
+
+namespace polca::cluster {
+
+/**
+ * Spread @p lp_fraction of @p num_servers as low-priority servers,
+ * interleaved evenly (Bresenham spacing) so that any contiguous rack
+ * slice contains both priorities.
+ */
+std::vector<workload::Priority>
+allocatePriorities(int num_servers, double lp_fraction);
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_ALLOCATOR_HH

@@ -1,0 +1,57 @@
+#include "cluster/datacenter.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+Datacenter::Datacenter(sim::Simulation &sim, DatacenterConfig config,
+                       sim::Rng rng)
+    : sim_(sim), config_(std::move(config))
+{
+    if (config_.numRows <= 0)
+        sim::fatal("Datacenter: non-positive row count");
+    rows_.reserve(static_cast<std::size_t>(config_.numRows));
+    for (int i = 0; i < config_.numRows; ++i) {
+        rows_.push_back(std::make_unique<Row>(
+            sim_, config_.row,
+            rng.fork(static_cast<std::uint64_t>(i) + 1)));
+    }
+}
+
+int
+Datacenter::numServers() const
+{
+    int total = 0;
+    for (const auto &row : rows_)
+        total += row->numServers();
+    return total;
+}
+
+double
+Datacenter::provisionedWatts() const
+{
+    double total = 0.0;
+    for (const auto &row : rows_)
+        total += row->provisionedWatts();
+    return total;
+}
+
+double
+Datacenter::powerWatts() const
+{
+    double total = 0.0;
+    for (const auto &row : rows_)
+        total += row->powerWatts();
+    return total;
+}
+
+std::uint64_t
+Datacenter::completions(workload::Priority priority)
+{
+    std::uint64_t total = 0;
+    for (auto &row : rows_)
+        total += row->dispatcher().completions(priority);
+    return total;
+}
+
+} // namespace polca::cluster

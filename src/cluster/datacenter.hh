@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Datacenter-level topology (Figure 2): several rows, each with its
+ * own PDU budget, telemetry, and (optionally) its own POLCA manager.
+ * Power is provisioned and oversubscribed per row — the PDU breaker
+ * is the aggregation level POLCA acts on — while this layer rolls up
+ * fleet-wide statistics.
+ */
+
+#ifndef POLCA_CLUSTER_DATACENTER_HH
+#define POLCA_CLUSTER_DATACENTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/row.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace polca::cluster {
+
+/** Datacenter construction parameters. */
+struct DatacenterConfig
+{
+    /** Identical configuration applied to every row. */
+    RowConfig row;
+
+    /** Number of rows (PDU domains). */
+    int numRows = 4;
+};
+
+/**
+ * Owns a set of rows.  Traffic is injected per row (each row serves
+ * its own endpoints behind its own load balancer, as in production
+ * where a row hosts a service cell).
+ */
+class Datacenter
+{
+  public:
+    Datacenter(sim::Simulation &sim, DatacenterConfig config,
+               sim::Rng rng);
+
+    const DatacenterConfig &config() const { return config_; }
+
+    int numRows() const { return static_cast<int>(rows_.size()); }
+    Row &row(int index) { return *rows_.at(static_cast<std::size_t>(index)); }
+
+    /** Total deployed servers across rows. */
+    int numServers() const;
+
+    /** Sum of per-row provisioned budgets, watts. */
+    double provisionedWatts() const;
+
+    /** Instantaneous fleet draw, watts. */
+    double powerWatts() const;
+
+    /** Fleet-wide completions across rows. */
+    std::uint64_t completions(workload::Priority priority);
+
+  private:
+    sim::Simulation &sim_;
+    DatacenterConfig config_;
+    std::vector<std::unique_ptr<Row>> rows_;
+};
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_DATACENTER_HH

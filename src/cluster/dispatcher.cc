@@ -1,0 +1,166 @@
+#include "cluster/dispatcher.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+Dispatcher::Dispatcher(sim::Simulation &sim, sim::Rng rng)
+    : sim_(sim), rng_(rng)
+{
+}
+
+std::vector<InferenceServer *> &
+Dispatcher::pool(workload::Priority p)
+{
+    return p == workload::Priority::High ? highPool_ : lowPool_;
+}
+
+std::deque<workload::Request> &
+Dispatcher::central(workload::Priority p)
+{
+    return p == workload::Priority::High ? centralHigh_ : centralLow_;
+}
+
+void
+Dispatcher::addServer(InferenceServer *server)
+{
+    if (!server)
+        sim::panic("Dispatcher: null server");
+    pool(server->pool()).push_back(server);
+    server->setCompletionCallback(
+        [this](InferenceServer &s, const InferenceServer::Completion &c) {
+            workload::Priority p = c.request.priority;
+            double seconds = sim::ticksToSeconds(c.latency);
+            if (p == workload::Priority::High) {
+                highLatency_.add(seconds);
+                ++highCompletions_;
+            } else {
+                lowLatency_.add(seconds);
+                ++lowCompletions_;
+            }
+            if (c.request.workloadIndex >= byWorkload_.size())
+                byWorkload_.resize(c.request.workloadIndex + 1);
+            byWorkload_[c.request.workloadIndex].add(seconds);
+            onCompletion(s);
+        });
+}
+
+void
+Dispatcher::injectTrace(const workload::Trace &trace)
+{
+    if (trace.empty())
+        return;
+    const workload::Request &first = trace.requests().front();
+    sim::Tick when = std::max(first.arrival, sim_.now());
+    sim_.queue().schedule(
+        when, [this, &trace] { arrive(trace, 0); }, "arrival");
+}
+
+void
+Dispatcher::arrive(const workload::Trace &trace, std::size_t index)
+{
+    const workload::Request &request = trace.requests()[index];
+    if (request.priority == workload::Priority::High)
+        ++highArrivals_;
+    else
+        ++lowArrivals_;
+    route(request);
+
+    std::size_t next = index + 1;
+    if (next < trace.size()) {
+        sim::Tick when = std::max(trace.requests()[next].arrival,
+                                  sim_.now());
+        sim_.queue().schedule(
+            when, [this, &trace, next] { arrive(trace, next); },
+            "arrival");
+    }
+}
+
+InferenceServer *
+Dispatcher::pickServer(workload::Priority p)
+{
+    auto &servers = pool(p);
+    if (servers.empty()) {
+        sim::fatal("Dispatcher: no servers in the ",
+                   workload::toString(p), " priority pool");
+    }
+
+    // Prefer idle servers, then servers with buffer room; pick
+    // uniformly at random within the preferred class (load
+    // balancing without a shared queue).
+    std::vector<InferenceServer *> idle;
+    std::vector<InferenceServer *> buffered;
+    for (InferenceServer *server : servers) {
+        if (server->idleNow())
+            idle.push_back(server);
+        else if (server->bufferFree())
+            buffered.push_back(server);
+    }
+    auto pick = [this](std::vector<InferenceServer *> &candidates) {
+        auto i = static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(candidates.size()) - 1));
+        return candidates[i];
+    };
+    if (!idle.empty())
+        return pick(idle);
+    if (!buffered.empty())
+        return pick(buffered);
+    return nullptr;
+}
+
+void
+Dispatcher::route(const workload::Request &request)
+{
+    InferenceServer *server = pickServer(request.priority);
+    if (server)
+        server->submit(request);
+    else
+        central(request.priority).push_back(request);
+}
+
+void
+Dispatcher::onCompletion(InferenceServer &server)
+{
+    auto &queue = central(server.pool());
+    while (!queue.empty() && server.canAccept()) {
+        server.submit(queue.front());
+        queue.pop_front();
+    }
+}
+
+const sim::Sampler &
+Dispatcher::latencySeconds(workload::Priority p) const
+{
+    return p == workload::Priority::High ? highLatency_ : lowLatency_;
+}
+
+std::uint64_t
+Dispatcher::arrivals(workload::Priority p) const
+{
+    return p == workload::Priority::High ? highArrivals_ : lowArrivals_;
+}
+
+std::uint64_t
+Dispatcher::completions(workload::Priority p) const
+{
+    return p == workload::Priority::High ? highCompletions_
+                                         : lowCompletions_;
+}
+
+std::size_t
+Dispatcher::centralQueueDepth(workload::Priority p) const
+{
+    return p == workload::Priority::High ? centralHigh_.size()
+                                         : centralLow_.size();
+}
+
+double
+Dispatcher::throughput(workload::Priority p) const
+{
+    double seconds = sim::ticksToSeconds(sim_.now());
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(completions(p)) / seconds;
+}
+
+} // namespace polca::cluster

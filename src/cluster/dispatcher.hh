@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Load balancer for a pool of inference servers: routes arrivals to
+ * the priority-matching pool, preferring idle servers, then servers
+ * with buffer room, then a central FIFO (the "typical load balanced
+ * setup" with one-request buffers of Section 6.6).
+ */
+
+#ifndef POLCA_CLUSTER_DISPATCHER_HH
+#define POLCA_CLUSTER_DISPATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/inference_server.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "workload/trace.hh"
+
+namespace polca::cluster {
+
+/**
+ * Priority-aware request router and the cluster's latency/throughput
+ * bookkeeper.
+ */
+class Dispatcher
+{
+  public:
+    Dispatcher(sim::Simulation &sim, sim::Rng rng);
+
+    /** Register a server (joins the pool of its priority). */
+    void addServer(InferenceServer *server);
+
+    /**
+     * Schedule the trace's arrivals (lazily, one event at a time).
+     * @p trace must outlive the simulation run.
+     */
+    void injectTrace(const workload::Trace &trace);
+
+    /** @name Statistics */
+    /** @{ */
+    /** End-to-end latency (seconds) of completed requests. */
+    const sim::Sampler &latencySeconds(workload::Priority p) const;
+
+    std::uint64_t arrivals(workload::Priority p) const;
+    std::uint64_t completions(workload::Priority p) const;
+
+    /** Requests currently waiting in the central queue. */
+    std::size_t centralQueueDepth(workload::Priority p) const;
+
+    /** Completed requests per second of simulated time so far. */
+    double throughput(workload::Priority p) const;
+
+    /** Per-workload-class latency samplers (index = workloadIndex). */
+    const std::vector<sim::Sampler> &latencyByWorkload() const
+    {
+        return byWorkload_;
+    }
+    /** @} */
+
+  private:
+    void arrive(const workload::Trace &trace, std::size_t index);
+    void route(const workload::Request &request);
+    void onCompletion(InferenceServer &server);
+
+    std::vector<InferenceServer *> &pool(workload::Priority p);
+    std::deque<workload::Request> &central(workload::Priority p);
+
+    /** Pick an accepting server: random idle, else random with
+     *  buffer room; nullptr when none can accept. */
+    InferenceServer *pickServer(workload::Priority p);
+
+    sim::Simulation &sim_;
+    sim::Rng rng_;
+    std::vector<InferenceServer *> lowPool_;
+    std::vector<InferenceServer *> highPool_;
+    std::deque<workload::Request> centralLow_;
+    std::deque<workload::Request> centralHigh_;
+    sim::Sampler lowLatency_;
+    sim::Sampler highLatency_;
+    std::vector<sim::Sampler> byWorkload_;
+    std::uint64_t lowArrivals_ = 0;
+    std::uint64_t highArrivals_ = 0;
+    std::uint64_t lowCompletions_ = 0;
+    std::uint64_t highCompletions_ = 0;
+};
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_DISPATCHER_HH

@@ -1,0 +1,292 @@
+#include "cluster/inference_server.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+const char *
+toString(ServerRole role)
+{
+    switch (role) {
+      case ServerRole::Combined:
+        return "combined";
+      case ServerRole::PromptOnly:
+        return "prompt-only";
+      case ServerRole::TokenOnly:
+        return "token-only";
+    }
+    return "?";
+}
+
+InferenceServer::InferenceServer(sim::Simulation &sim,
+                                 power::ServerSpec serverSpec,
+                                 const llm::ModelSpec &model,
+                                 workload::Priority pool, int id,
+                                 std::size_t bufferSize,
+                                 ServerRole role)
+    : sim_(sim), server_(std::move(serverSpec)), phases_(model),
+      pool_(pool), id_(id), bufferSize_(bufferSize), role_(role)
+{
+    int needed = model.inferenceGpus;
+    if (needed <= 0 ||
+        static_cast<std::size_t>(needed) > server_.numGpus()) {
+        sim::fatal("InferenceServer: model '", model.name, "' needs ",
+                   needed, " GPUs; server has ", server_.numGpus());
+    }
+    for (int i = 0; i < needed; ++i)
+        usedGpus_.push_back(static_cast<std::size_t>(i));
+}
+
+llm::InferenceConfig
+InferenceServer::configFor(
+    const std::vector<workload::Request> &batch) const
+{
+    llm::InferenceConfig config;
+    config.batchSize = static_cast<int>(batch.size());
+    config.datatype = llm::Datatype::FP16;
+    config.inputTokens = 0;   // padded-batch maxima, not defaults
+    config.outputTokens = 0;
+    for (const workload::Request &r : batch) {
+        config.inputTokens = std::max(config.inputTokens,
+                                      r.inputTokens);
+        config.outputTokens = std::max(config.outputTokens,
+                                       r.outputTokens);
+    }
+    return config;
+}
+
+void
+InferenceServer::setMaxBatchSize(std::size_t n)
+{
+    if (n == 0)
+        sim::fatal("InferenceServer: zero max batch size");
+    maxBatchSize_ = n;
+}
+
+void
+InferenceServer::submit(const workload::Request &request)
+{
+    if (!active_.has_value()) {
+        startBatch({request});
+    } else if (bufferFree()) {
+        buffer_.push_back(request);
+    } else {
+        sim::panic("InferenceServer ", id_,
+                   ": submit with full buffer (dispatcher bug)");
+    }
+}
+
+void
+InferenceServer::startBatch(std::vector<workload::Request> requests)
+{
+    if (requests.empty())
+        sim::panic("InferenceServer: empty batch");
+    active_.emplace();
+    active_->requests = std::move(requests);
+    active_->serviceStart = sim_.now();
+    beginPhase(role_ == ServerRole::TokenOnly ? llm::Phase::Token
+                                              : llm::Phase::Prompt);
+}
+
+void
+InferenceServer::startNextFromBuffer()
+{
+    if (buffer_.empty())
+        return;
+    std::vector<workload::Request> batch;
+    while (!buffer_.empty() && batch.size() < maxBatchSize_) {
+        batch.push_back(buffer_.front());
+        buffer_.pop_front();
+    }
+    startBatch(std::move(batch));
+}
+
+double
+InferenceServer::currentSlowdown(llm::Phase phase) const
+{
+    return server_.gpu(usedGpus_.front())
+        .slowdownFactor(phases_.computeBoundFraction(phase));
+}
+
+void
+InferenceServer::setPhaseActivity()
+{
+    if (!active_.has_value()) {
+        for (std::size_t g : usedGpus_)
+            server_.gpu(g).setActivity(power::GpuActivity::idle());
+        return;
+    }
+    llm::InferenceConfig config = configFor(active_->requests);
+    power::GpuActivity activity =
+        phases_.activity(active_->phase, config);
+    activity.compute *= powerScale_;
+    activity.memory = std::min(activity.memory * powerScale_, 1.2);
+    for (std::size_t g : usedGpus_)
+        server_.gpu(g).setActivity(activity);
+}
+
+void
+InferenceServer::beginPhase(llm::Phase phase)
+{
+    llm::InferenceConfig config = configFor(active_->requests);
+    active_->phase = phase;
+    active_->workRemaining = static_cast<double>(
+        phase == llm::Phase::Prompt
+            ? phases_.promptDuration(config)
+            : phases_.tokenPhaseDuration(config));
+    applyDesiredClock();  // phase-aware clock for the new phase
+    setPhaseActivity();
+    schedulePhaseEnd();
+}
+
+void
+InferenceServer::schedulePhaseEnd()
+{
+    active_->slowdown = currentSlowdown(active_->phase);
+    active_->phaseUpdateTime = sim_.now();
+    auto wall = static_cast<sim::Tick>(
+        active_->workRemaining * active_->slowdown + 0.5);
+    active_->completionEvent = sim_.queue().scheduleAfter(
+        wall, [this] { phaseEnded(); }, "phase-end");
+}
+
+void
+InferenceServer::phaseEnded()
+{
+    bool anyOutput = false;
+    for (const workload::Request &r : active_->requests)
+        anyOutput |= r.outputTokens > 0;
+    if (active_->phase == llm::Phase::Prompt && anyOutput &&
+        role_ != ServerRole::PromptOnly) {
+        beginPhase(llm::Phase::Token);
+        return;
+    }
+
+    // All requests in the batch complete together.
+    std::vector<Completion> completions;
+    completions.reserve(active_->requests.size());
+    for (const workload::Request &r : active_->requests) {
+        Completion completion;
+        completion.request = r;
+        completion.completionTime = sim_.now();
+        completion.latency = sim_.now() - r.arrival;
+        completion.lastPhase = active_->phase;
+        completions.push_back(completion);
+    }
+    busyTicks_ += sim_.now() - active_->serviceStart;
+    completed_ += completions.size();
+    active_.reset();
+    applyDesiredClock();  // release any phase-aware token clock
+    setPhaseActivity();   // idle
+
+    startNextFromBuffer();
+
+    if (onComplete_) {
+        for (const Completion &completion : completions)
+            onComplete_(*this, completion);
+    }
+}
+
+void
+InferenceServer::clockChanged()
+{
+    if (!active_.has_value())
+        return;
+
+    // Account for progress at the old slowdown, then rebook the
+    // remaining work at the new one.
+    sim::Tick elapsed = sim_.now() - active_->phaseUpdateTime;
+    double done = static_cast<double>(elapsed) / active_->slowdown;
+    active_->workRemaining =
+        std::max(0.0, active_->workRemaining - done);
+    sim_.queue().cancel(active_->completionEvent);
+    schedulePhaseEnd();
+}
+
+void
+InferenceServer::applyDesiredClock()
+{
+    // Effective lock = the lower of the OOB-commanded lock and the
+    // phase-aware token clock (when a token phase is running).
+    double phase = 0.0;
+    if (phaseTokenClockMhz_ > 0.0 && active_.has_value() &&
+        active_->phase == llm::Phase::Token) {
+        phase = phaseTokenClockMhz_;
+    }
+
+    double desired;
+    if (policyLockMhz_ > 0.0 && phase > 0.0)
+        desired = std::min(policyLockMhz_, phase);
+    else
+        desired = std::max(policyLockMhz_, phase);
+
+    if (desired > 0.0)
+        server_.lockClockAll(desired);
+    else
+        server_.unlockClockAll();
+}
+
+void
+InferenceServer::refreshClock()
+{
+    applyDesiredClock();
+    clockChanged();
+}
+
+void
+InferenceServer::applyClockLock(double mhz)
+{
+    policyLockMhz_ = mhz;
+    refreshClock();
+}
+
+void
+InferenceServer::applyClockUnlock()
+{
+    policyLockMhz_ = 0.0;
+    refreshClock();
+}
+
+void
+InferenceServer::setPhaseAwareTokenClock(double mhz)
+{
+    if (mhz < 0.0)
+        sim::fatal("InferenceServer: negative token clock");
+    phaseTokenClockMhz_ = mhz;
+    refreshClock();
+}
+
+void
+InferenceServer::applyPowerBrake(bool engaged)
+{
+    server_.setPowerBrakeAll(engaged);
+    clockChanged();
+}
+
+double
+InferenceServer::appliedClockLockMhz() const
+{
+    // The BMC-visible state: what the OOB path last applied.  The
+    // transient phase-aware token clock is in-band and local, so it
+    // must not confuse the power manager's verification pass.
+    return policyLockMhz_;
+}
+
+bool
+InferenceServer::powerBrakeEngaged() const
+{
+    return server_.gpu(0).powerBrake();
+}
+
+void
+InferenceServer::setPowerScaleFactor(double factor)
+{
+    if (factor <= 0.0)
+        sim::fatal("InferenceServer: non-positive power scale");
+    powerScale_ = factor;
+    setPhaseActivity();
+}
+
+} // namespace polca::cluster

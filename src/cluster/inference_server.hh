@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Event-driven LLM inference endpoint: one server running one model
+ * replica with a one-request buffer (the paper's simulator setup,
+ * Section 6.6).  Executes prompt/token phases at the GPUs' effective
+ * clock and reschedules in-flight work exactly when POLCA changes the
+ * frequency locks.
+ */
+
+#ifndef POLCA_CLUSTER_INFERENCE_SERVER_HH
+#define POLCA_CLUSTER_INFERENCE_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "llm/phase_model.hh"
+#include "power/server_model.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "telemetry/smbpbi.hh"
+#include "workload/trace.hh"
+
+namespace polca::cluster {
+
+/**
+ * What part of an inference a server executes.  Combined is the
+ * paper's default deployment; PromptOnly/TokenOnly implement the
+ * Section 5.2 "separate prompt computation and token processing on
+ * different GPUs" design (Splitwise), coordinated by
+ * PhaseSplitCluster.
+ */
+enum class ServerRole
+{
+    Combined,
+    PromptOnly,
+    TokenOnly,
+};
+
+const char *toString(ServerRole role);
+
+/**
+ * One inference-serving GPU server.
+ *
+ * A request runs as a prompt segment then a token segment; segment
+ * progress is tracked in "work at max clock" units so a clock change
+ * mid-flight simply rescales the remaining wall time.  GPU activity
+ * follows the active phase, so the server's powerWatts() reflects the
+ * spiky-prompt / flat-token pattern of Insight 4.
+ */
+class InferenceServer : public telemetry::ClockControllable
+{
+  public:
+    /** Completion record handed to the completion callback. */
+    struct Completion
+    {
+        workload::Request request;
+        sim::Tick completionTime;
+        sim::Tick latency;          ///< completion - trace arrival
+        llm::Phase lastPhase;       ///< phase that finished the stay
+    };
+
+    using CompletionCallback =
+        std::function<void(InferenceServer &, const Completion &)>;
+
+    InferenceServer(sim::Simulation &sim, power::ServerSpec serverSpec,
+                    const llm::ModelSpec &model,
+                    workload::Priority pool, int id,
+                    std::size_t bufferSize = 1,
+                    ServerRole role = ServerRole::Combined);
+
+    int id() const { return id_; }
+    workload::Priority pool() const { return pool_; }
+    ServerRole role() const { return role_; }
+    const llm::ModelSpec &model() const { return phases_.model(); }
+
+    /** @name Request flow */
+    /** @{ */
+    /** @return true when no request is being served. */
+    bool idleNow() const { return !active_.has_value(); }
+
+    /** @return true when the buffer has room. */
+    bool bufferFree() const { return buffer_.size() < bufferSize_; }
+
+    /** @return true if submit() may be called. */
+    bool canAccept() const { return idleNow() || bufferFree(); }
+
+    std::size_t queueDepth() const { return buffer_.size(); }
+
+    /** Hand a request to this server; panics if !canAccept(). */
+    void submit(const workload::Request &request);
+
+    /**
+     * Enable batched serving (Insight 5: batching as a power and
+     * throughput knob): when the server becomes free it coalesces up
+     * to @p n buffered requests into one padded batch.  Size the
+     * request buffer to at least @p n for batches to actually form.
+     * Default 1 reproduces the paper's one-request-at-a-time setup.
+     */
+    void setMaxBatchSize(std::size_t n);
+    std::size_t maxBatchSize() const { return maxBatchSize_; }
+
+    /** Requests currently being served together (0 when idle). */
+    std::size_t activeBatchSize() const
+    {
+        return active_ ? active_->requests.size() : 0;
+    }
+
+    /** Invoked at each completion (after stats are recorded). */
+    void setCompletionCallback(CompletionCallback callback)
+    {
+        onComplete_ = std::move(callback);
+    }
+    /** @} */
+
+    /** @name ClockControllable (OOB control target) */
+    /** @{ */
+    void applyClockLock(double mhz) override;
+    void applyClockUnlock() override;
+    void applyPowerBrake(bool engaged) override;
+    double appliedClockLockMhz() const override;
+    bool powerBrakeEngaged() const override;
+    /** @} */
+
+    /** Instantaneous electrical draw of the whole server. */
+    double powerWatts() const { return server_.powerWatts(); }
+
+    /**
+     * Scale all GPU activity by @p factor: the Section 6.6 experiment
+     * where workloads become more power-intensive than profiled.
+     */
+    void setPowerScaleFactor(double factor);
+
+    /**
+     * Phase-aware power management (Section 5.2): run token phases
+     * at @p mhz (0 disables).  Token phases are memory bound, so
+     * this trades a small latency increase for a lower power floor;
+     * prompt phases keep the full clock.  Composes with POLCA's
+     * locks: the effective clock is the lower of the two.
+     */
+    void setPhaseAwareTokenClock(double mhz);
+
+    double phaseAwareTokenClockMhz() const
+    {
+        return phaseTokenClockMhz_;
+    }
+
+    /** Underlying power model (inspection/tests). */
+    const power::ServerModel &serverModel() const { return server_; }
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t completedRequests() const { return completed_; }
+    sim::Tick busyTicks() const { return busyTicks_; }
+    /** @} */
+
+  private:
+    struct ActiveBatch
+    {
+        std::vector<workload::Request> requests;
+        llm::Phase phase;
+        double workRemaining;       ///< ticks at max clock
+        double slowdown;            ///< factor in effect
+        sim::Tick phaseUpdateTime;  ///< when slowdown was applied
+        sim::Tick serviceStart;
+        sim::EventQueue::Handle completionEvent;
+    };
+
+    void startBatch(std::vector<workload::Request> requests);
+    void startNextFromBuffer();
+    void beginPhase(llm::Phase phase);
+    void schedulePhaseEnd();
+    void phaseEnded();
+    void clockChanged();
+    void applyDesiredClock();
+    void refreshClock();
+    void setPhaseActivity();
+    double currentSlowdown(llm::Phase phase) const;
+
+    /**
+     * Batched configuration: batch size = #requests; input/output
+     * sizes are the batch maxima (padded batching — conservative on
+     * both power and latency).
+     */
+    llm::InferenceConfig
+    configFor(const std::vector<workload::Request> &batch) const;
+
+    sim::Simulation &sim_;
+    power::ServerModel server_;
+    llm::PhaseModel phases_;
+    workload::Priority pool_;
+    int id_;
+    std::size_t bufferSize_;
+    ServerRole role_;
+    std::vector<std::size_t> usedGpus_;
+    double powerScale_ = 1.0;
+    double policyLockMhz_ = 0.0;     ///< lock commanded via OOB
+    double phaseTokenClockMhz_ = 0.0;  ///< phase-aware token clock
+
+    std::optional<ActiveBatch> active_;
+    std::size_t maxBatchSize_ = 1;
+    std::deque<workload::Request> buffer_;
+    CompletionCallback onComplete_;
+    std::uint64_t completed_ = 0;
+    sim::Tick busyTicks_ = 0;
+};
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_INFERENCE_SERVER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Phase-splitting deployment (Section 5.2 / Splitwise): prompt
+ * computation and token generation run on *different* servers.
+ * Prompt machines stay at full clock for the compute-heavy bursts;
+ * token machines run permanently frequency-locked, flattening the
+ * fleet's power profile.  The KV-cache is shipped between stages
+ * over the cluster interconnect, adding a size-dependent transfer
+ * delay.
+ */
+
+#ifndef POLCA_CLUSTER_PHASE_SPLIT_HH
+#define POLCA_CLUSTER_PHASE_SPLIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/inference_server.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "workload/trace.hh"
+
+namespace polca::cluster {
+
+/** Phase-split deployment parameters. */
+struct PhaseSplitConfig
+{
+    power::ServerSpec serverSpec = power::ServerSpec::dgxA100_80gb();
+    std::string modelName = "BLOOM-176B";
+
+    /** Pool sizes.  Prompt work is a few percent of request time, so
+     *  a small prompt pool feeds a large token pool. */
+    int promptServers = 2;
+    int tokenServers = 10;
+
+    /** Token machines run locked at this SM clock (0 = unlocked);
+     *  their phase is memory bound, so deep locks are cheap. */
+    double tokenClockMhz = 1110.0;
+
+    /** KV-cache transfer time between stages, ms per 1000 prompt
+     *  tokens (high-bandwidth Infiniband, Section 5.2). */
+    double transferMsPerKtoken = 80.0;
+
+    std::size_t bufferSize = 1;
+};
+
+/**
+ * Coordinator for a phase-split cell: routes arrivals to the prompt
+ * pool, ships finished prompts (after the KV transfer delay) to the
+ * token pool, and reports end-to-end latency against the original
+ * arrival times.
+ */
+class PhaseSplitCluster
+{
+  public:
+    PhaseSplitCluster(sim::Simulation &sim, PhaseSplitConfig config,
+                      sim::Rng rng);
+
+    const PhaseSplitConfig &config() const { return config_; }
+
+    /** Schedule a trace's arrivals (trace must outlive the run). */
+    void injectTrace(const workload::Trace &trace);
+
+    /** Instantaneous power of both pools, watts. */
+    double powerWatts() const;
+
+    /** End-to-end latency (seconds) of fully completed requests. */
+    const sim::Sampler &latencySeconds() const { return latency_; }
+
+    std::uint64_t completions() const { return completions_; }
+
+    /** Servers (prompt pool first, then token pool). */
+    std::vector<InferenceServer *> servers();
+
+    int numServers() const
+    {
+        return config_.promptServers + config_.tokenServers;
+    }
+
+  private:
+    void arrive(const workload::Trace &trace, std::size_t index);
+    void routePrompt(const workload::Request &request);
+    void routeToken(const workload::Request &request);
+    InferenceServer *pick(std::vector<std::unique_ptr<InferenceServer>> &pool);
+    void drain(std::deque<workload::Request> &queue,
+               std::vector<std::unique_ptr<InferenceServer>> &pool,
+               bool tokenStage);
+
+    sim::Simulation &sim_;
+    PhaseSplitConfig config_;
+    llm::ModelSpec model_;
+    sim::Rng rng_;
+    std::vector<std::unique_ptr<InferenceServer>> promptPool_;
+    std::vector<std::unique_ptr<InferenceServer>> tokenPool_;
+    std::deque<workload::Request> promptQueue_;
+    std::deque<workload::Request> tokenQueue_;
+    sim::Sampler latency_;
+    std::uint64_t completions_ = 0;
+};
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_PHASE_SPLIT_HH

@@ -1,0 +1,96 @@
+#include "cluster/row.hh"
+
+#include <cmath>
+
+#include "cluster/allocator.hh"
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+Row::Row(sim::Simulation &sim, RowConfig config, sim::Rng rng)
+    : sim_(sim), config_(std::move(config)),
+      model_(llm::ModelCatalog().byName(config_.modelName))
+{
+    if (config_.baseServers <= 0)
+        sim::fatal("Row: non-positive base server count");
+    if (config_.addedServerFraction < 0.0)
+        sim::fatal("Row: negative added-server fraction");
+
+    int total = config_.baseServers + static_cast<int>(std::lround(
+        config_.addedServerFraction * config_.baseServers));
+
+    dispatcher_ = std::make_unique<Dispatcher>(sim_, rng.fork(0x0d15));
+    rowManager_ = std::make_unique<telemetry::RowManager>(
+        sim_, config_.telemetryInterval, config_.recordPowerSeries);
+    if (config_.telemetryDropoutProbability > 0.0) {
+        rowManager_->setDropoutProbability(
+            config_.telemetryDropoutProbability, rng.fork(0xD80));
+    }
+
+    std::vector<workload::Priority> priorities =
+        allocatePriorities(total, config_.lpServerFraction);
+
+    servers_.reserve(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+        auto server = std::make_unique<InferenceServer>(
+            sim_, config_.serverSpec, model_,
+            priorities[static_cast<std::size_t>(i)], i,
+            config_.bufferSize);
+        if (config_.phaseAwareTokenClockMhz > 0.0) {
+            server->setPhaseAwareTokenClock(
+                config_.phaseAwareTokenClockMhz);
+        }
+        if (config_.maxBatchSize > 1)
+            server->setMaxBatchSize(config_.maxBatchSize);
+        dispatcher_->addServer(server.get());
+        InferenceServer *raw = server.get();
+        rowManager_->addSource([raw] { return raw->powerWatts(); });
+        servers_.push_back(std::move(server));
+    }
+    rowManager_->start();
+}
+
+double
+Row::provisionedWatts() const
+{
+    return config_.provisionedPerServerWatts * config_.baseServers;
+}
+
+std::vector<InferenceServer *>
+Row::servers()
+{
+    std::vector<InferenceServer *> out;
+    out.reserve(servers_.size());
+    for (auto &server : servers_)
+        out.push_back(server.get());
+    return out;
+}
+
+std::vector<InferenceServer *>
+Row::pool(workload::Priority priority)
+{
+    std::vector<InferenceServer *> out;
+    for (auto &server : servers_) {
+        if (server->pool() == priority)
+            out.push_back(server.get());
+    }
+    return out;
+}
+
+double
+Row::powerWatts() const
+{
+    double total = 0.0;
+    for (const auto &server : servers_)
+        total += server->powerWatts();
+    return total;
+}
+
+void
+Row::setPowerScaleFactor(double factor)
+{
+    for (auto &server : servers_)
+        server->setPowerScaleFactor(factor);
+}
+
+} // namespace polca::cluster

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One datacenter row (PDU domain): the unit at which power is
+ * provisioned, measured, and oversubscribed (Figure 2, Table 2).
+ * Bundles the servers, the load-balancing dispatcher, and the row
+ * manager telemetry into the object POLCA manages.
+ */
+
+#ifndef POLCA_CLUSTER_ROW_HH
+#define POLCA_CLUSTER_ROW_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatcher.hh"
+#include "cluster/inference_server.hh"
+#include "llm/model_spec.hh"
+#include "power/server_model.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "telemetry/row_manager.hh"
+
+namespace polca::cluster {
+
+/** Row construction parameters. */
+struct RowConfig
+{
+    power::ServerSpec serverSpec = power::ServerSpec::dgxA100_80gb();
+
+    /** Model served by every endpoint (POLCA eval: BLOOM-176B). */
+    std::string modelName = "BLOOM-176B";
+
+    /** Servers the row's power budget was provisioned for. */
+    int baseServers = 40;
+
+    /** Extra servers added via oversubscription (fraction of base;
+     *  0.30 = the paper's headline +30 %). */
+    double addedServerFraction = 0.0;
+
+    /** Fraction of servers placed in the low-priority pool. */
+    double lpServerFraction = 0.5;
+
+    /**
+     * Provisioned (budgeted) watts per base server.  The row budget
+     * is baseServers x this.  Defaults to a derated DGX-A100 budget
+     * (Section 5: observed peak ~5.7 kW rather than the 6.5 kW
+     * rating), which puts default-fleet peak utilization near the
+     * 79 % the paper reports for production inference rows (Table 4).
+     */
+    double provisionedPerServerWatts = 4950.0;
+
+    /** Row telemetry cadence (Table 1: 2 s). */
+    sim::Tick telemetryInterval = sim::secondsToTicks(2);
+
+    /** Per-server request buffer (Section 6.6: one). */
+    std::size_t bufferSize = 1;
+
+    /** Padded batching (Insight 5): coalesce up to this many
+     *  buffered requests per service turn.  Size bufferSize to at
+     *  least this for batches to form; 1 = the paper's setup. */
+    std::size_t maxBatchSize = 1;
+
+    /** Phase-aware power management (Section 5.2): run token phases
+     *  at this SM clock on every server (0 disables). */
+    double phaseAwareTokenClockMhz = 0.0;
+
+    /** Probability each 2 s row reading is silently dropped
+     *  (OOB telemetry unreliability, Section 3.3). */
+    double telemetryDropoutProbability = 0.0;
+
+    /** Record the full row power series (memory heavy on long runs;
+     *  POLCA itself only needs the latest reading). */
+    bool recordPowerSeries = false;
+};
+
+/**
+ * Owns the servers of one row plus their dispatcher and telemetry.
+ */
+class Row
+{
+  public:
+    Row(sim::Simulation &sim, RowConfig config, sim::Rng rng);
+
+    const RowConfig &config() const { return config_; }
+
+    /** Deployed servers (base + added). */
+    int numServers() const { return static_cast<int>(servers_.size()); }
+
+    /** Row power budget, watts. */
+    double provisionedWatts() const;
+
+    Dispatcher &dispatcher() { return *dispatcher_; }
+    telemetry::RowManager &rowManager() { return *rowManager_; }
+
+    /** All servers (owned by the row). */
+    std::vector<InferenceServer *> servers();
+
+    /** Servers in the @p priority pool. */
+    std::vector<InferenceServer *> pool(workload::Priority priority);
+
+    /** Current total row draw (instantaneous, not telemetry). */
+    double powerWatts() const;
+
+    /** Apply the +x% power-intensity experiment to every server. */
+    void setPowerScaleFactor(double factor);
+
+    /** Model spec served by the row's endpoints. */
+    const llm::ModelSpec &model() const { return model_; }
+
+  private:
+    sim::Simulation &sim_;
+    RowConfig config_;
+    llm::ModelSpec model_;
+    std::vector<std::unique_ptr<InferenceServer>> servers_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+    std::unique_ptr<telemetry::RowManager> rowManager_;
+};
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_ROW_HH

@@ -1,0 +1,59 @@
+#include "cluster/training_cluster.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace polca::cluster {
+
+sim::TimeSeries
+trainingClusterPower(const llm::TrainingModel &model,
+                     const power::ServerSpec &serverSpec,
+                     const TrainingClusterOptions &options)
+{
+    if (options.numServers <= 0 || options.duration <= 0 ||
+        options.sampleInterval <= 0) {
+        sim::fatal("trainingClusterPower: invalid options");
+    }
+
+    sim::Rng rng(options.seed);
+    sim::Tick period = model.spec().iterationPeriod;
+
+    // Fixed per-server offsets and activity scale factors.
+    std::vector<sim::Tick> offsets;
+    std::vector<double> scales;
+    offsets.reserve(static_cast<std::size_t>(options.numServers));
+    scales.reserve(static_cast<std::size_t>(options.numServers));
+    for (int s = 0; s < options.numServers; ++s) {
+        double jitter = rng.uniform(-options.phaseJitterFraction,
+                                    options.phaseJitterFraction);
+        offsets.push_back(static_cast<sim::Tick>(
+            jitter * static_cast<double>(period)));
+        scales.push_back(1.0 + rng.normal(0.0, options.activityJitter));
+    }
+
+    power::ServerModel server(serverSpec);
+    sim::TimeSeries out;
+    out.reserve(static_cast<std::size_t>(
+        options.duration / options.sampleInterval + 1));
+
+    for (sim::Tick t = 0; t <= options.duration;
+         t += options.sampleInterval) {
+        double total = 0.0;
+        for (int s = 0; s < options.numServers; ++s) {
+            auto i = static_cast<std::size_t>(s);
+            sim::Tick local = t + offsets[i];
+            if (local < 0)
+                local += period;
+            power::GpuActivity activity = model.activityAt(local);
+            activity.compute *= scales[i];
+            activity.memory *= scales[i];
+            server.setActivityAll(activity);
+            total += server.powerWatts();
+        }
+        out.add(t, total);
+    }
+    return out;
+}
+
+} // namespace polca::cluster

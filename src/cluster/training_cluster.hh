@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Training-cluster power at scale (Section 4.3, Table 4).
+ *
+ * A large synchronous training job keeps every server's iteration
+ * waveform in phase, so the compute/communication power swings are
+ * *correlated* across the whole cluster — the defining difference
+ * from inference rows, where arrival-time variation de-correlates
+ * prompt spikes (Insight 9).
+ */
+
+#ifndef POLCA_CLUSTER_TRAINING_CLUSTER_HH
+#define POLCA_CLUSTER_TRAINING_CLUSTER_HH
+
+#include "llm/training_model.hh"
+#include "power/server_model.hh"
+#include "sim/random.hh"
+#include "sim/timeseries.hh"
+
+namespace polca::cluster {
+
+/** Options for trainingClusterPower(). */
+struct TrainingClusterOptions
+{
+    int numServers = 40;
+    sim::Tick duration = sim::secondsToTicks(3600.0);
+    sim::Tick sampleInterval = sim::secondsToTicks(2.0);
+
+    /** Per-server activity jitter (silicon/imbalance variation). */
+    double activityJitter = 0.02;
+
+    /** Per-server phase jitter as a fraction of the iteration
+     *  period; synchronous training keeps this small. */
+    double phaseJitterFraction = 0.01;
+
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Aggregate power series of @p num_servers servers running the same
+ * synchronized training job.  Direct waveform sampling (no event
+ * queue): cheap enough for multi-day horizons at 2 s cadence.
+ */
+sim::TimeSeries
+trainingClusterPower(const llm::TrainingModel &model,
+                     const power::ServerSpec &serverSpec,
+                     const TrainingClusterOptions &options);
+
+} // namespace polca::cluster
+
+#endif // POLCA_CLUSTER_TRAINING_CLUSTER_HH

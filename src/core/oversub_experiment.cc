@@ -1,0 +1,169 @@
+#include "core/oversub_experiment.hh"
+
+#include "llm/phase_model.hh"
+#include "sim/logging.hh"
+#include "telemetry/energy_meter.hh"
+#include "workload/trace_gen.hh"
+
+namespace polca::core {
+
+LatencyStats
+LatencyStats::from(const sim::Sampler &sampler)
+{
+    LatencyStats stats;
+    stats.count = sampler.count();
+    if (sampler.empty())
+        return stats;
+    stats.p50 = sampler.quantile(0.50);
+    stats.p99 = sampler.quantile(0.99);
+    stats.max = sampler.max();
+    stats.mean = sampler.mean();
+    return stats;
+}
+
+ExperimentConfig
+unthrottledBaseline(ExperimentConfig config)
+{
+    config.managed = false;
+    config.recordRowSeries = false;
+    return config;
+}
+
+ExperimentResult
+runOversubExperiment(const ExperimentConfig &config)
+{
+    sim::Simulation sim(config.seed);
+
+    cluster::RowConfig rowConfig = config.row;
+    rowConfig.recordPowerSeries = config.recordRowSeries;
+    if (config.autoBalancePools) {
+        llm::ModelCatalog catalog;
+        llm::PhaseModel phases(catalog.byName(rowConfig.modelName));
+        rowConfig.lpServerFraction =
+            workload::TraceGenerator(config.mix)
+                .lowPriorityWorkShare(phases);
+    }
+    cluster::Row row(sim, rowConfig, sim.rng().fork(0xA110));
+
+    if (config.powerScaleFactor != 1.0)
+        row.setPowerScaleFactor(config.powerScaleFactor);
+
+    // Trace: external, or generated at an offered load matched to
+    // the deployed server count (oversubscribed rows serve
+    // proportionally more traffic — that is the point of adding
+    // servers).
+    workload::Trace generated;
+    const workload::Trace *trace = config.externalTrace;
+    if (!trace) {
+        workload::TraceGenerator generator(config.mix);
+        llm::PhaseModel phases(row.model());
+        workload::TraceGenOptions traceOptions;
+        traceOptions.duration = config.duration;
+        traceOptions.numServers = row.numServers();
+        traceOptions.serviceSecondsPerRequest =
+            generator.expectedServiceSeconds(phases);
+        traceOptions.diurnal = config.diurnal;
+        traceOptions.seed = config.seed ^ 0x7ace;
+        generated = generator.generate(traceOptions);
+        trace = &generated;
+    }
+
+    telemetry::EnergyMeter energy(
+        sim, [&row] { return row.powerWatts(); });
+    energy.start();
+
+    // Track row utilization independently of management so that
+    // unthrottled baselines also report max/mean utilization.
+    sim::Accumulator utilization;
+    double provisioned = row.provisionedWatts();
+    row.rowManager().addListener(
+        [&utilization, provisioned](sim::Tick, double watts) {
+            utilization.add(watts / provisioned);
+        });
+
+    std::unique_ptr<PowerManager> manager;
+    if (config.managed) {
+        manager = std::make_unique<PowerManager>(
+            sim, row.rowManager(), row.provisionedWatts(),
+            config.policy, sim.rng().fork(0x90CA), config.manager);
+        for (workload::Priority pool :
+             {workload::Priority::Low, workload::Priority::High}) {
+            for (cluster::InferenceServer *server : row.pool(pool))
+                manager->addTarget(pool, server);
+        }
+        manager->start();
+    }
+
+    row.dispatcher().injectTrace(*trace);
+    sim.runUntil(config.duration);
+
+    ExperimentResult result;
+    cluster::Dispatcher &dispatcher = row.dispatcher();
+    result.low = LatencyStats::from(
+        dispatcher.latencySeconds(workload::Priority::Low));
+    result.high = LatencyStats::from(
+        dispatcher.latencySeconds(workload::Priority::High));
+    result.lowThroughput =
+        dispatcher.throughput(workload::Priority::Low);
+    result.highThroughput =
+        dispatcher.throughput(workload::Priority::High);
+    result.lowArrivals = dispatcher.arrivals(workload::Priority::Low);
+    result.highArrivals = dispatcher.arrivals(workload::Priority::High);
+    result.lowCompletions =
+        dispatcher.completions(workload::Priority::Low);
+    result.highCompletions =
+        dispatcher.completions(workload::Priority::High);
+    for (const sim::Sampler &sampler : dispatcher.latencyByWorkload())
+        result.byWorkload.push_back(LatencyStats::from(sampler));
+
+    result.energyKwh = energy.kilowattHours();
+    std::uint64_t completions =
+        result.lowCompletions + result.highCompletions;
+    if (completions > 0) {
+        result.energyPerRequestKj = energy.joules() / 1000.0 /
+            static_cast<double>(completions);
+    }
+
+    if (utilization.count() > 0) {
+        result.maxUtilization = utilization.max();
+        result.meanUtilization = utilization.mean();
+    }
+    if (manager) {
+        result.powerBrakeEvents = manager->powerBrakeEvents();
+        result.capCommands = manager->capCommands();
+        result.uncapCommands = manager->uncapCommands();
+        result.reissuedCommands = manager->reissuedCommands();
+        result.lpLockedTicks =
+            manager->lockedTicks(workload::Priority::Low);
+        result.hpLockedTicks =
+            manager->lockedTicks(workload::Priority::High);
+    }
+
+    if (config.recordRowSeries)
+        result.rowPowerSeries = row.rowManager().series();
+    return result;
+}
+
+NormalizedLatency
+normalizeLatency(const LatencyStats &value, const LatencyStats &baseline)
+{
+    NormalizedLatency out;
+    if (baseline.count == 0 || value.count == 0)
+        return out;
+    out.p50 = value.p50 / baseline.p50;
+    out.p99 = value.p99 / baseline.p99;
+    out.max = value.max / baseline.max;
+    return out;
+}
+
+bool
+meetsSlos(const NormalizedLatency &low, const NormalizedLatency &high,
+          std::uint64_t powerBrakeEvents, const workload::SloSpec &slos)
+{
+    return low.p50 <= slos.lpP50Limit && low.p99 <= slos.lpP99Limit &&
+        high.p50 <= slos.hpP50Limit && high.p99 <= slos.hpP99Limit &&
+        powerBrakeEvents <=
+            static_cast<std::uint64_t>(slos.maxPowerBrakes);
+}
+
+} // namespace polca::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The oversubscription experiment harness (Section 6.4-6.6): build a
+ * row, generate (or accept) a request trace scaled to the deployed
+ * server count, attach a power manager with a policy, run, and report
+ * the paper's metrics — per-priority p50/p99/max latency, throughput,
+ * and power-brake counts.
+ */
+
+#ifndef POLCA_CORE_OVERSUB_EXPERIMENT_HH
+#define POLCA_CORE_OVERSUB_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/row.hh"
+#include "core/policy.hh"
+#include "core/power_manager.hh"
+#include "sim/timeseries.hh"
+#include "workload/diurnal.hh"
+#include "workload/trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace polca::core {
+
+/** Full experiment configuration. */
+struct ExperimentConfig
+{
+    cluster::RowConfig row;
+    PolicyConfig policy = PolicyConfig::polca();
+
+    /** false = run without any power manager (unthrottled). */
+    bool managed = true;
+
+    sim::Tick duration = sim::secondsToTicks(7 * 24 * 3600.0);
+    std::uint64_t seed = 42;
+
+    /** Uniform workload power intensification (1.05 = the paper's
+     *  +5 % robustness experiment). */
+    double powerScaleFactor = 1.0;
+
+    ManagerOptions manager;
+    workload::DiurnalModel::Params diurnal;
+
+    /** Optional externally-generated trace (must outlive the run);
+     *  when null a trace is generated from `diurnal` and `seed`,
+     *  scaled to the deployed server count. */
+    const workload::Trace *externalTrace = nullptr;
+
+    /** Record the 2 s row power series into the result (Fig 16). */
+    bool recordRowSeries = false;
+
+    /**
+     * Size the LP/HP server pools by the workload mix's *work*
+     * share (service-time weighted), overriding
+     * row.lpServerFraction.  Disable to sweep the pool split
+     * explicitly.
+     */
+    bool autoBalancePools = true;
+
+    /** Workload mix (defaults to Table 6); Fig 15b sweeps the
+     *  low- to high-priority ratio by overriding this. */
+    std::vector<workload::WorkloadSpec> mix =
+        workload::paperWorkloadMix();
+};
+
+/** Distribution summary of one priority class's latency. */
+struct LatencyStats
+{
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::uint64_t count = 0;
+
+    static LatencyStats from(const sim::Sampler &sampler);
+};
+
+/** Everything a policy evaluation reports. */
+struct ExperimentResult
+{
+    LatencyStats low;
+    LatencyStats high;
+
+    double lowThroughput = 0.0;    ///< completions per second
+    double highThroughput = 0.0;
+
+    std::uint64_t lowArrivals = 0;
+    std::uint64_t highArrivals = 0;
+    std::uint64_t lowCompletions = 0;
+    std::uint64_t highCompletions = 0;
+
+    std::uint64_t powerBrakeEvents = 0;
+    std::uint64_t capCommands = 0;
+    std::uint64_t uncapCommands = 0;
+    std::uint64_t reissuedCommands = 0;
+
+    double maxUtilization = 0.0;
+    double meanUtilization = 0.0;
+
+    /** Row energy over the run and its per-request share. */
+    double energyKwh = 0.0;
+    double energyPerRequestKj = 0.0;
+
+    /** Per-workload-class latency (index = position in the mix:
+     *  Summarize / Search / Chat for the Table 6 default). */
+    std::vector<LatencyStats> byWorkload;
+
+    sim::Tick lpLockedTicks = 0;
+    sim::Tick hpLockedTicks = 0;
+
+    sim::TimeSeries rowPowerSeries;  ///< empty unless recorded
+};
+
+/** Run one experiment end to end. */
+ExperimentResult runOversubExperiment(const ExperimentConfig &config);
+
+/**
+ * The same configuration with management disabled: the unthrottled
+ * reference against which latencies are normalized.
+ */
+ExperimentConfig unthrottledBaseline(ExperimentConfig config);
+
+/** Latency ratios against a baseline (the paper's "normalized
+ *  latency" y-axes). */
+struct NormalizedLatency
+{
+    double p50 = 1.0;
+    double p99 = 1.0;
+    double max = 1.0;
+};
+
+NormalizedLatency normalizeLatency(const LatencyStats &value,
+                                   const LatencyStats &baseline);
+
+/** Check a normalized result against the Table 6 SLOs. */
+bool meetsSlos(const NormalizedLatency &low,
+               const NormalizedLatency &high,
+               std::uint64_t powerBrakeEvents,
+               const workload::SloSpec &slos);
+
+} // namespace polca::core
+
+#endif // POLCA_CORE_OVERSUB_EXPERIMENT_HH

@@ -1,0 +1,254 @@
+#include "core/power_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::core {
+
+PowerManager::PowerManager(sim::Simulation &sim,
+                           telemetry::RowManager &telemetry,
+                           double provisionedWatts, PolicyConfig policy,
+                           sim::Rng rng, ManagerOptions options)
+    : sim_(sim), telemetry_(telemetry),
+      provisionedWatts_(provisionedWatts), policy_(std::move(policy)),
+      rng_(rng), options_(options),
+      ruleActive_(policy_.rules.size(), false),
+      ruleActivatedAt_(policy_.rules.size(), 0)
+{
+    if (provisionedWatts_ <= 0.0)
+        sim::fatal("PowerManager: non-positive provisioned power");
+    policy_.validate();
+}
+
+PowerManager::PoolState &
+PowerManager::poolState(workload::Priority pool)
+{
+    return pool == workload::Priority::High ? highPool_ : lowPool_;
+}
+
+const PowerManager::PoolState &
+PowerManager::poolState(workload::Priority pool) const
+{
+    return pool == workload::Priority::High ? highPool_ : lowPool_;
+}
+
+void
+PowerManager::addTarget(workload::Priority pool,
+                        telemetry::ClockControllable *target)
+{
+    if (started_)
+        sim::panic("PowerManager: addTarget after start");
+    if (!target)
+        sim::panic("PowerManager: null target");
+
+    PoolState &state = poolState(pool);
+    telemetry::SmbpbiController::Options channelOptions;
+    channelOptions.commandLatency = options_.oobCommandLatency;
+    channelOptions.brakeLatency = options_.brakeLatency;
+    channelOptions.silentFailureProbability =
+        options_.smbpbiFailureProbability;
+    state.targets.push_back(target);
+    state.channels.push_back(
+        std::make_unique<telemetry::SmbpbiController>(
+            sim_, *target,
+            rng_.fork(0x5b + state.channels.size() * 17 +
+                      (pool == workload::Priority::High ? 1000 : 0)),
+            channelOptions));
+}
+
+void
+PowerManager::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    telemetry_.addListener([this](sim::Tick now, double watts) {
+        onReading(now, watts);
+    });
+}
+
+void
+PowerManager::onReading(sim::Tick now, double watts)
+{
+    double utilization = watts / provisionedWatts_;
+    utilization_.add(utilization);
+
+    // Trailing-mean smoothing for threshold decisions.  Readings
+    // taken while the brake is engaged are artificially low and
+    // would trick the thresholds into uncapping, so they are kept
+    // out of the window.
+    if (!brakeEngaged_) {
+        recentReadings_.emplace_back(now, utilization);
+        smoothedSum_ += utilization;
+        while (now - recentReadings_.front().first >=
+               options_.decisionSmoothingWindow) {
+            smoothedSum_ -= recentReadings_.front().second;
+            recentReadings_.pop_front();
+        }
+    }
+    double smoothed = recentReadings_.empty()
+        ? utilization
+        : smoothedSum_ / static_cast<double>(recentReadings_.size());
+
+    // Locked-time accounting across the telemetry interval.
+    sim::Tick interval = now - lastReadingTime_;
+    lastReadingTime_ = now;
+    for (PoolState *pool : {&lowPool_, &highPool_}) {
+        if (pool->commandedMhz > 0.0)
+            pool->lockedTicks += interval;
+    }
+
+    // Emergency power brake dominates rule transitions, but cap
+    // commands keep flowing so the fleet is maximally capped by the
+    // time the brake releases.
+    if (brakeEngaged_) {
+        if (utilization <= policy_.powerBrakeReleaseFraction &&
+            now - brakeEngagedAt_ >= options_.minBrakeHold) {
+            releaseBrake();
+        }
+        applyDesiredLocks(now);
+        return;
+    }
+    if (policy_.powerBrakeEnabled &&
+        utilization >= policy_.powerBrakeFraction) {
+        engageBrake(now);
+        applyDesiredLocks(now);
+        return;
+    }
+
+    updateRuleStates(now, smoothed);
+    applyDesiredLocks(now);
+}
+
+void
+PowerManager::updateRuleStates(sim::Tick now, double utilization)
+{
+    // Release with hysteresis: scan the escalation ladder from the
+    // top, at most one rule per reading.  Uncapping is conservative:
+    // it also waits out the rule's dwell time.
+    for (std::size_t i = policy_.rules.size(); i-- > 0;) {
+        if (ruleActive_[i] &&
+            utilization <= policy_.rules[i].uncapFraction &&
+            now - ruleActivatedAt_[i] >= options_.minRuleDwell) {
+            ruleActive_[i] = false;
+            return;  // one transition per reading
+        }
+    }
+    // Escalate: first inactive rule whose trigger is breached.
+    for (std::size_t i = 0; i < policy_.rules.size(); ++i) {
+        if (!ruleActive_[i] &&
+            utilization >= policy_.rules[i].capFraction) {
+            ruleActive_[i] = true;
+            ruleActivatedAt_[i] = now;
+            return;
+        }
+    }
+}
+
+void
+PowerManager::applyDesiredLocks(sim::Tick now)
+{
+    for (workload::Priority pool :
+         {workload::Priority::Low, workload::Priority::High}) {
+        PoolState &state = poolState(pool);
+
+        // Desired lock = lowest frequency among active rules
+        // targeting this pool (deeper caps win).
+        double desired = 0.0;
+        for (std::size_t i = 0; i < policy_.rules.size(); ++i) {
+            if (!ruleActive_[i] || policy_.rules[i].target != pool)
+                continue;
+            if (desired == 0.0 || policy_.rules[i].lockMhz < desired)
+                desired = policy_.rules[i].lockMhz;
+        }
+
+        if (desired != state.commandedMhz) {
+            bool capping = desired > 0.0 &&
+                (state.commandedMhz == 0.0 ||
+                 desired < state.commandedMhz);
+            for (auto &channel : state.channels) {
+                if (desired > 0.0)
+                    channel->requestClockLock(desired);
+                else
+                    channel->requestClockUnlock();
+            }
+            state.commandedMhz = desired;
+            state.lastCommandTime = now;
+            if (capping)
+                ++capCommands_;
+            else
+                ++uncapCommands_;
+        } else {
+            verifyApplied(now, state);
+        }
+    }
+}
+
+void
+PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
+{
+    if (pool.lastCommandTime < 0)
+        return;
+    if (now - pool.lastCommandTime <
+        options_.oobCommandLatency + options_.verifySlack) {
+        return;  // command may still be in flight
+    }
+    for (std::size_t i = 0; i < pool.targets.size(); ++i) {
+        double applied = pool.targets[i]->appliedClockLockMhz();
+        if (applied == pool.commandedMhz)
+            continue;
+        // Silent SMBPBI failure: re-issue on the affected channel.
+        if (pool.commandedMhz > 0.0)
+            pool.channels[i]->requestClockLock(pool.commandedMhz);
+        else
+            pool.channels[i]->requestClockUnlock();
+        ++reissued_;
+        pool.lastCommandTime = now;
+    }
+}
+
+void
+PowerManager::engageBrake(sim::Tick now)
+{
+    brakeEngaged_ = true;
+    brakeEngagedAt_ = now;
+    ++brakeEvents_;
+    for (PoolState *pool : {&lowPool_, &highPool_}) {
+        for (auto &channel : pool->channels)
+            channel->requestPowerBrake(true);
+    }
+    // Hitting the brake means the policy under-capped: escalate
+    // every rule now so the row comes back from the brake at the
+    // deepest capping level instead of rebounding over the limit.
+    for (std::size_t i = 0; i < policy_.rules.size(); ++i) {
+        if (!ruleActive_[i]) {
+            ruleActive_[i] = true;
+            ruleActivatedAt_[i] = now;
+        }
+    }
+}
+
+void
+PowerManager::releaseBrake()
+{
+    brakeEngaged_ = false;
+    for (PoolState *pool : {&lowPool_, &highPool_}) {
+        for (auto &channel : pool->channels)
+            channel->requestPowerBrake(false);
+    }
+}
+
+sim::Tick
+PowerManager::lockedTicks(workload::Priority pool) const
+{
+    return poolState(pool).lockedTicks;
+}
+
+double
+PowerManager::desiredLockMhz(workload::Priority pool) const
+{
+    return poolState(pool).commandedMhz;
+}
+
+} // namespace polca::core

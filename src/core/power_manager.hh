@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The POLCA power manager (Section 6.3, Figure 12).
+ *
+ * Listens to 2 s row telemetry and drives per-server OOB control
+ * channels.  Escalates threshold rules one at a time, releases them
+ * with hysteresis, falls back to the power brake at the provisioned
+ * limit, and re-issues commands whose silent failure it detects by
+ * comparing desired against applied state (the guardrails Section
+ * 3.3 calls for).
+ */
+
+#ifndef POLCA_CORE_POWER_MANAGER_HH
+#define POLCA_CORE_POWER_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "telemetry/row_manager.hh"
+#include "telemetry/smbpbi.hh"
+
+namespace polca::core {
+
+/** Latency/reliability parameters of the manager's control paths. */
+struct ManagerOptions
+{
+    /** OOB capping command latency (Table 2: up to 40 s). */
+    sim::Tick oobCommandLatency;
+
+    /** Power brake actuation latency (Table 2: 5 s). */
+    sim::Tick brakeLatency;
+
+    /** Minimum time the brake is held before release is considered
+     *  (limits brake-release thrash under sustained overload). */
+    sim::Tick minBrakeHold;
+
+    /** Probability an OOB capping command fails silently. */
+    double smbpbiFailureProbability;
+
+    /** Extra wait past the command latency before state
+     *  verification triggers a re-issue. */
+    sim::Tick verifySlack;
+
+    /**
+     * Cap/uncap decisions use a trailing mean of the readings in
+     * this window; raw 2 s readings swing several percent from
+     * prompt-phase multiplexing and would thrash the thresholds.
+     * The brake decision always uses the raw reading (safety).
+     */
+    sim::Tick decisionSmoothingWindow;
+
+    /** Minimum time a rule stays active before release is
+     *  considered (uncapping is conservative; capping is not). */
+    sim::Tick minRuleDwell;
+
+    ManagerOptions()
+        : oobCommandLatency(sim::secondsToTicks(40)),
+          brakeLatency(sim::secondsToTicks(5)),
+          minBrakeHold(sim::secondsToTicks(45)),
+          smbpbiFailureProbability(0.0),
+          verifySlack(sim::secondsToTicks(4)),
+          decisionSmoothingWindow(sim::secondsToTicks(30)),
+          minRuleDwell(sim::secondsToTicks(60))
+    {}
+};
+
+/**
+ * Threshold-policy power manager over one row.
+ */
+class PowerManager
+{
+  public:
+    PowerManager(sim::Simulation &sim, telemetry::RowManager &telemetry,
+                 double provisionedWatts, PolicyConfig policy,
+                 sim::Rng rng, ManagerOptions options = ManagerOptions());
+
+    /** Register a control target in a priority pool (one per
+     *  server); call before start(). */
+    void addTarget(workload::Priority pool,
+                   telemetry::ClockControllable *target);
+
+    /** Subscribe to telemetry and begin managing. */
+    void start();
+
+    const PolicyConfig &policy() const { return policy_; }
+    double provisionedWatts() const { return provisionedWatts_; }
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t powerBrakeEvents() const { return brakeEvents_; }
+    std::uint64_t capCommands() const { return capCommands_; }
+    std::uint64_t uncapCommands() const { return uncapCommands_; }
+    std::uint64_t reissuedCommands() const { return reissued_; }
+
+    /** Max/mean row utilization seen by telemetry. */
+    double maxUtilization() const { return utilization_.max(); }
+    double meanUtilization() const { return utilization_.mean(); }
+    const sim::Accumulator &utilizationStats() const
+    {
+        return utilization_;
+    }
+
+    /** Total time the pool has spent under a non-zero desired lock. */
+    sim::Tick lockedTicks(workload::Priority pool) const;
+
+    /** Desired lock (MHz, 0 = none) currently commanded to a pool. */
+    double desiredLockMhz(workload::Priority pool) const;
+
+    /** @return true while the power brake is engaged. */
+    bool brakeEngaged() const { return brakeEngaged_; }
+    /** @} */
+
+  private:
+    struct PoolState
+    {
+        std::vector<telemetry::ClockControllable *> targets;
+        std::vector<std::unique_ptr<telemetry::SmbpbiController>>
+            channels;
+        double commandedMhz = 0.0;      ///< last commanded lock
+        sim::Tick lastCommandTime = -1;
+        sim::Tick lockedTicks = 0;
+    };
+
+    void onReading(sim::Tick now, double watts);
+    void updateRuleStates(sim::Tick now, double utilization);
+    void applyDesiredLocks(sim::Tick now);
+    void verifyApplied(sim::Tick now, PoolState &pool);
+    void engageBrake(sim::Tick now);
+    void releaseBrake();
+    PoolState &poolState(workload::Priority pool);
+    const PoolState &poolState(workload::Priority pool) const;
+
+    sim::Simulation &sim_;
+    telemetry::RowManager &telemetry_;
+    double provisionedWatts_;
+    PolicyConfig policy_;
+    sim::Rng rng_;
+    ManagerOptions options_;
+
+    PoolState lowPool_;
+    PoolState highPool_;
+    std::vector<bool> ruleActive_;
+    std::vector<sim::Tick> ruleActivatedAt_;
+    std::deque<std::pair<sim::Tick, double>> recentReadings_;
+    double smoothedSum_ = 0.0;
+    bool started_ = false;
+    bool brakeEngaged_ = false;
+    sim::Tick brakeEngagedAt_ = 0;
+    sim::Tick lastReadingTime_ = 0;
+
+    std::uint64_t brakeEvents_ = 0;
+    std::uint64_t capCommands_ = 0;
+    std::uint64_t uncapCommands_ = 0;
+    std::uint64_t reissued_ = 0;
+    sim::Accumulator utilization_;
+};
+
+} // namespace polca::core
+
+#endif // POLCA_CORE_POWER_MANAGER_HH

@@ -1,0 +1,53 @@
+#include "core/workload_aware.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::core {
+
+double
+frequencyForSlowdown(const llm::ModelSpec &model,
+                     const power::GpuSpec &gpu, double targetSlowdown)
+{
+    if (targetSlowdown <= 0.0)
+        sim::fatal("frequencyForSlowdown: non-positive target");
+
+    double cf = model.tokenComputeBoundFraction;
+    if (cf <= 0.0)
+        return gpu.minSmClockMhz;  // clock-insensitive: floor it
+
+    double f = gpu.maxSmClockMhz * cf / (cf + targetSlowdown);
+    return std::clamp(f, gpu.minSmClockMhz, gpu.maxSmClockMhz);
+}
+
+PolicyConfig
+workloadAwarePolicy(const llm::ModelSpec &model,
+                    const power::GpuSpec &gpu,
+                    const SlowdownTargets &targets, double t1,
+                    double t2)
+{
+    constexpr double hysteresisGap = 0.05;
+
+    PolicyConfig config;
+    config.name = "POLCA-workload-aware(" + model.name + ")";
+    config.rules = {
+        {"T1", workload::Priority::Low, t1, t1 - hysteresisGap,
+         frequencyForSlowdown(model, gpu, targets.t1LowPriority)},
+        {"T2-LP", workload::Priority::Low, t2, t2 - hysteresisGap,
+         frequencyForSlowdown(model, gpu, targets.t2LowPriority)},
+        {"T2-HP", workload::Priority::High, t2, t2 - hysteresisGap,
+         frequencyForSlowdown(model, gpu, targets.t2HighPriority)},
+    };
+
+    // The escalation invariant: T2's LP lock must be at least as
+    // deep as T1's (deeper caps win in the manager anyway, but keep
+    // the policy self-consistent).
+    if (config.rules[1].lockMhz > config.rules[0].lockMhz)
+        config.rules[1].lockMhz = config.rules[0].lockMhz;
+
+    config.validate();
+    return config;
+}
+
+} // namespace polca::core

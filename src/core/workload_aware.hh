@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload-aware policy construction (Section 6.7): instead of the
+ * fixed A100 frequencies of Table 5, derive each threshold's lock
+ * frequency from the served model's measured clock sensitivity so
+ * that the capping stage costs a *chosen* slowdown.  Models with
+ * memory-bound token phases (GPT-NeoX) can be capped far deeper than
+ * BLOOM for the same SLO cost, reclaiming more power.
+ */
+
+#ifndef POLCA_CORE_WORKLOAD_AWARE_HH
+#define POLCA_CORE_WORKLOAD_AWARE_HH
+
+#include "core/policy.hh"
+#include "llm/model_spec.hh"
+#include "power/gpu_spec.hh"
+
+namespace polca::core {
+
+/** Target token-phase slowdowns for each capping stage. */
+struct SlowdownTargets
+{
+    double t1LowPriority = 0.03;   ///< T1: LP pays <= 3 %
+    double t2LowPriority = 0.08;   ///< T2: LP pays <= 8 %
+    double t2HighPriority = 0.02;  ///< T2: HP pays <= 2 %
+};
+
+/**
+ * Lock frequency whose token-phase slowdown for @p model equals
+ * @p targetSlowdown, clamped to the GPU's legal range.
+ *
+ * Inverts slowdown = cf * (fmax / f - 1):
+ *   f = fmax * cf / (cf + target).
+ * A clock-insensitive model (cf -> 0) maps to the minimum clock —
+ * capping it is nearly free.
+ */
+double frequencyForSlowdown(const llm::ModelSpec &model,
+                            const power::GpuSpec &gpu,
+                            double targetSlowdown);
+
+/**
+ * POLCA with model-derived lock frequencies (thresholds and
+ * hysteresis unchanged from the paper's 80/89 configuration).
+ */
+PolicyConfig workloadAwarePolicy(
+    const llm::ModelSpec &model,
+    const power::GpuSpec &gpu = power::GpuSpec::a100_80gb(),
+    const SlowdownTargets &targets = SlowdownTargets(),
+    double t1 = 0.80, double t2 = 0.89);
+
+} // namespace polca::core
+
+#endif // POLCA_CORE_WORKLOAD_AWARE_HH

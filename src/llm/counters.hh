@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GPU performance-counter synthesis for the correlation study of
+ * Figure 7.  DCGM-style counters are generated per sample with the
+ * phase-dependent coupling the paper observes: during prompt phases,
+ * power moves with SM/tensor activity and against memory activity;
+ * during token phases the counters fluctuate independently.
+ */
+
+#ifndef POLCA_LLM_COUNTERS_HH
+#define POLCA_LLM_COUNTERS_HH
+
+#include <string>
+#include <vector>
+
+#include "llm/phase_model.hh"
+#include "sim/random.hh"
+
+namespace polca::llm {
+
+/** One DCGM-style counter sample (all utilizations in [0,1]). */
+struct CounterSample
+{
+    double powerWatts;
+    double gpuUtilization;
+    double memoryUtilization;
+    double smActivity;
+    double tensorActivity;
+    double pcieTxRate;      ///< normalized to link peak
+    double pcieRxRate;
+};
+
+/** Counter names in Figure 7's order. */
+std::vector<std::string> counterNames();
+
+/** Flatten a sample into counterNames() order. */
+std::vector<double> counterValues(const CounterSample &sample);
+
+/**
+ * Generates counter samples for a model running a given phase.
+ * Deterministic for a given Rng seed.
+ */
+class CounterSynthesizer
+{
+  public:
+    CounterSynthesizer(const ModelSpec &model, sim::Rng rng);
+
+    /**
+     * Draw the next sample for @p phase under @p config.  The power
+     * value is derived from the same latent activity that drives the
+     * SM/tensor counters, which is what creates the prompt-phase
+     * correlation structure.
+     */
+    CounterSample sample(Phase phase, const InferenceConfig &config);
+
+  private:
+    PhaseModel phases_;
+    sim::Rng rng_;
+};
+
+} // namespace polca::llm
+
+#endif // POLCA_LLM_COUNTERS_HH

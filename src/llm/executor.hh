@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Sub-stepped workload executor for server-level characterization.
+ *
+ * Runs a list of work segments (prompt/token phases, training
+ * forward/backward/sync phases) on a subset of a server's GPUs,
+ * advancing wall time in small steps so that reactive power capping
+ * and workload progress interact the way they do on real hardware:
+ * the cap controller only reacts after power has exceeded the cap,
+ * and throttled clocks stretch the remaining work (Figs 4, 9).
+ */
+
+#ifndef POLCA_LLM_EXECUTOR_HH
+#define POLCA_LLM_EXECUTOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/server_model.hh"
+#include "sim/timeseries.hh"
+#include "sim/types.hh"
+
+namespace polca::llm {
+
+/** One phase of work to execute at a given activity level. */
+struct WorkSegment
+{
+    /** Duration this segment would take at the maximum SM clock. */
+    sim::Tick workAtMaxClock;
+
+    /** GPU activity while the segment runs. */
+    power::GpuActivity activity;
+
+    /**
+     * How strongly the segment stretches when the clock drops
+     * (1 = pure compute, 0 = unaffected by SM clock).
+     */
+    double computeBoundFraction;
+
+    /** Label recorded with the executed-segment log. */
+    std::string label;
+};
+
+/** Stepping/sampling knobs of SegmentExecutor. */
+struct ExecutorOptions
+{
+    sim::Tick stepSize = sim::msToTicks(5);
+    sim::Tick sampleInterval = sim::msToTicks(100);
+};
+
+/**
+ * Synchronous, sub-stepped executor bound to a server and a set of
+ * its GPUs.  Keeps its own clock; samples GPU and server power on a
+ * fixed interval like DCGM would (100 ms by default).
+ */
+class SegmentExecutor
+{
+  public:
+    using Options = ExecutorOptions;
+
+    /** Executed-segment record. */
+    struct ExecutedSegment
+    {
+        std::string label;
+        sim::Tick start;
+        sim::Tick duration;
+    };
+
+    /**
+     * @param server  The server to run on (not owned; must outlive
+     *                the executor).
+     * @param gpu_ids Indices of the GPUs the workload occupies
+     *                (tensor-parallel width); the rest stay idle.
+     */
+    SegmentExecutor(power::ServerModel &server,
+                    std::vector<std::size_t> gpu_ids,
+                    Options options = Options());
+
+    /** Current executor wall time. */
+    sim::Tick now() const { return now_; }
+
+    /**
+     * Execute the segments in order; returns the elapsed wall time.
+     * Clock throttling (locks, caps, brakes) already configured on
+     * the GPUs applies and may stretch segments.
+     */
+    sim::Tick run(const std::vector<WorkSegment> &segments);
+
+    /** Advance time with the workload GPUs idle. */
+    void idle(sim::Tick duration);
+
+    /** Aggregate power of the workload GPUs, sampled per interval. */
+    const sim::TimeSeries &gpuPowerSeries() const { return gpuPower_; }
+
+    /** Whole-server power, sampled per interval. */
+    const sim::TimeSeries &serverPowerSeries() const
+    {
+        return serverPower_;
+    }
+
+    /** Per-GPU power of the first workload GPU (single-GPU views). */
+    const sim::TimeSeries &firstGpuPowerSeries() const
+    {
+        return firstGpuPower_;
+    }
+
+    /** Log of executed segments with their stretched durations. */
+    const std::vector<ExecutedSegment> &executedSegments() const
+    {
+        return executed_;
+    }
+
+  private:
+    void setActivity(const power::GpuActivity &activity);
+    void step(sim::Tick dt);
+    void maybeSample();
+
+    power::ServerModel &server_;
+    std::vector<std::size_t> gpuIds_;
+    Options options_;
+    sim::Tick now_ = 0;
+    sim::Tick nextSample_ = 0;
+    sim::Tick nextCapStep_ = 0;
+    sim::TimeSeries gpuPower_;
+    sim::TimeSeries serverPower_;
+    sim::TimeSeries firstGpuPower_;
+    std::vector<ExecutedSegment> executed_;
+};
+
+} // namespace polca::llm
+
+#endif // POLCA_LLM_EXECUTOR_HH

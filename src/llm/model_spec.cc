@@ -1,0 +1,169 @@
+#include "llm/model_spec.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::llm {
+
+const char *
+toString(Architecture architecture)
+{
+    switch (architecture) {
+      case Architecture::Encoder:
+        return "Encoder";
+      case Architecture::Decoder:
+        return "Decoder";
+      case Architecture::EncoderDecoder:
+        return "Encoder-Decoder";
+    }
+    return "?";
+}
+
+const char *
+toString(Datatype datatype)
+{
+    switch (datatype) {
+      case Datatype::FP32:
+        return "FP32";
+      case Datatype::FP16:
+        return "FP16";
+      case Datatype::INT8:
+        return "INT8";
+    }
+    return "?";
+}
+
+double
+ModelSpec::datatypeLatencyFactor(Datatype datatype)
+{
+    switch (datatype) {
+      case Datatype::FP16:
+        return 1.0;   // tensor cores, optimized kernels
+      case Datatype::FP32:
+        return 2.2;   // 2x footprint, no tensor-core path
+      case Datatype::INT8:
+        return 1.6;   // bitsandbytes dequant overhead (Sec 4.2)
+    }
+    return 1.0;
+}
+
+double
+ModelSpec::datatypePowerFactor(Datatype datatype)
+{
+    switch (datatype) {
+      case Datatype::FP16:
+        return 1.0;   // highest peak: optimized tensor-core kernels
+      case Datatype::FP32:
+        return 0.92;
+      case Datatype::INT8:
+        return 0.88;
+    }
+    return 1.0;
+}
+
+int
+ModelSpec::gpusForDatatype(Datatype datatype) const
+{
+    if (datatype == Datatype::FP16)
+        return inferenceGpus;  // Table 3's configuration
+
+    double bytesPerParam = datatype == Datatype::FP32 ? 4.0 : 1.0;
+    double weightsGb = paramsBillions * bytesPerParam;
+    // Workspace for activations and KV cache (the footnote in
+    // Section 4.2: extra state can preclude fewer GPUs).
+    constexpr double workspaceGb = 16.0;
+    constexpr double gpuMemGb = 80.0;
+    int gpus = static_cast<int>(
+        std::ceil((weightsGb + workspaceGb) / gpuMemGb));
+    return gpus < 1 ? 1 : gpus;
+}
+
+namespace {
+
+ModelSpec
+make(std::string name, Architecture arch, double paramsB, int gpus,
+     bool trainable, double token_time_ms, double prompt_base,
+     double prompt_max, double token_compute, double token_cf)
+{
+    ModelSpec spec;
+    spec.name = std::move(name);
+    spec.architecture = arch;
+    spec.paramsBillions = paramsB;
+    spec.inferenceGpus = gpus;
+    spec.trainable = trainable;
+    // Prompt time: 2*params FLOPs per token over tensor-parallel
+    // GPUs; calibrated so BLOOM-176B processes an 8K prompt in ~3 s.
+    spec.promptMsPerKtoken = 16.0 * paramsB / gpus;
+    spec.tokenTimeMs = token_time_ms;
+    spec.tokenBatchFactor = 0.06;
+    spec.promptComputeBase = prompt_base;
+    spec.promptComputeMax = prompt_max;
+    spec.promptMemActivity = 0.50;
+    spec.tokenComputeBase = token_compute;
+    spec.tokenMemActivity = 0.90;
+    spec.promptComputeBoundFraction = 0.85;
+    spec.tokenComputeBoundFraction = token_cf;
+    return spec;
+}
+
+} // namespace
+
+ModelCatalog::ModelCatalog()
+{
+    using A = Architecture;
+    // Table 3 entries.  Token compute-bound fractions give the Fig 10a
+    // ordering: GPT-NeoX nearly insensitive to clock, BLOOM ~5 % loss
+    // at ~13 % peak power reduction.
+    models_.push_back(make("RoBERTa", A::Encoder, 0.355, 1, true,
+                           5.0, 0.60, 0.90, 0.30, 0.50));
+    models_.push_back(make("Llama2-13B", A::Decoder, 13.0, 1, false,
+                           18.0, 0.66, 0.98, 0.30, 0.10));
+    models_.push_back(make("Llama2-70B", A::Decoder, 70.0, 4, false,
+                           35.0, 0.72, 1.06, 0.36, 0.20));
+    models_.push_back(make("GPT-NeoX-20B", A::Decoder, 20.0, 2, true,
+                           22.0, 0.68, 1.00, 0.31, 0.05));
+    models_.push_back(make("OPT-30B", A::Decoder, 30.0, 4, false,
+                           28.0, 0.70, 1.02, 0.33, 0.15));
+    models_.push_back(make("BLOOM-176B", A::Decoder, 176.0, 8, false,
+                           48.0, 0.75, 1.10, 0.35, 0.22));
+    models_.push_back(make("Flan-T5-XXL", A::EncoderDecoder, 11.0, 1,
+                           true, 20.0, 0.66, 0.98, 0.30, 0.12));
+}
+
+const ModelSpec &
+ModelCatalog::byName(const std::string &name) const
+{
+    for (const auto &model : models_) {
+        if (model.name == name)
+            return model;
+    }
+    sim::fatal("ModelCatalog: unknown model '", name, "'");
+}
+
+bool
+ModelCatalog::contains(const std::string &name) const
+{
+    for (const auto &model : models_) {
+        if (model.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+ModelCatalog::inferenceModelNames() const
+{
+    // The five generative models of Fig 6/8.
+    return {"Flan-T5-XXL", "GPT-NeoX-20B", "OPT-30B", "Llama2-70B",
+            "BLOOM-176B"};
+}
+
+std::vector<std::string>
+ModelCatalog::trainingModelNames() const
+{
+    // The three fine-tuned models of Fig 4/5.
+    return {"RoBERTa", "GPT-NeoX-20B", "Flan-T5-XXL"};
+}
+
+} // namespace polca::llm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The LLM catalog of Table 3 plus the per-model performance/power
+ * coefficients that drive the inference and training phase models.
+ *
+ * Coefficients are calibrated against the paper's published shapes:
+ * per-token latencies consistent with Fig 8f, prompt-phase peaks that
+ * reach/exceed TDP for large inputs (Fig 8a), model-dependent
+ * frequency sensitivity (Fig 10a: GPT-NeoX ~0 % loss, BLOOM ~5 % loss
+ * at ~13 % peak power reduction), and training troughs at 75/50/20 %
+ * of TDP (Fig 4).
+ */
+
+#ifndef POLCA_LLM_MODEL_SPEC_HH
+#define POLCA_LLM_MODEL_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace polca::llm {
+
+/** Transformer architecture classes of Section 2. */
+enum class Architecture
+{
+    Encoder,        ///< e.g. RoBERTa: understanding only
+    Decoder,        ///< e.g. GPT/BLOOM/Llama2/OPT: generative
+    EncoderDecoder, ///< e.g. Flan-T5
+};
+
+/** Weight datatypes studied in Section 4.2 (Insight 6). */
+enum class Datatype
+{
+    FP32,
+    FP16,
+    INT8,
+};
+
+const char *toString(Architecture architecture);
+const char *toString(Datatype datatype);
+
+/**
+ * One LLM's static description and model coefficients.
+ *
+ * Latency model (at maximum SM clock, FP16):
+ *  - prompt phase: promptMsPerKtoken * (input * batch) / 1000,
+ *    divided across the tensor-parallel GPUs already in the constant;
+ *  - token phase: tokenTimeMs per generated token, plus a small
+ *    per-batch increment (batch raises token-phase compute).
+ *
+ * Power model: activity factors handed to power::GpuPowerModel.
+ * Prompt compute activity rises with log2(input*batch) and saturates
+ * at promptComputeMax (so peaks grow with input size, Fig 8a); token
+ * activity is low-compute / high-memory (Insight 4).
+ */
+struct ModelSpec
+{
+    std::string name;
+    Architecture architecture;
+    double paramsBillions;
+
+    /** Tensor-parallel GPUs used for FP16 inference (Table 3). */
+    int inferenceGpus;
+
+    /** True for the models the paper also fine-tunes (Table 3: the
+     *  non-starred entries). */
+    bool trainable;
+
+    /** @name Latency coefficients (FP16, max clock) */
+    /** @{ */
+    double promptMsPerKtoken;   ///< prompt ms per 1000 input tokens
+    double tokenTimeMs;         ///< ms per generated token, batch 1
+    double tokenBatchFactor;    ///< fractional token-time increase
+                                ///< per doubling of batch size
+    /** @} */
+
+    /** @name Power activity coefficients */
+    /** @{ */
+    double promptComputeBase;   ///< compute activity at 256-token input
+    double promptComputeMax;    ///< saturated compute activity
+    double promptMemActivity;   ///< memory activity during prompt
+    double tokenComputeBase;    ///< compute activity during token phase
+    double tokenMemActivity;    ///< memory activity during token phase
+    /** @} */
+
+    /** @name Frequency sensitivity (Insight 7) */
+    /** @{ */
+    double promptComputeBoundFraction;  ///< prompt: ~compute bound
+    double tokenComputeBoundFraction;   ///< token: ~memory bound
+    /** @} */
+
+    /** GPUs required to hold the weights at @p datatype. */
+    int gpusForDatatype(Datatype datatype) const;
+
+    /** Latency multiplier of @p datatype relative to FP16 (Sec 4.2:
+     *  FP32 and INT8 are slower than FP16 on A100). */
+    static double datatypeLatencyFactor(Datatype datatype);
+
+    /** Peak-activity multiplier of @p datatype relative to FP16
+     *  (FP16 tensor-core kernels draw the highest peak power). */
+    static double datatypePowerFactor(Datatype datatype);
+};
+
+/**
+ * The models characterized in the paper (Table 3).
+ */
+class ModelCatalog
+{
+  public:
+    /** Build the Table 3 catalog. */
+    ModelCatalog();
+
+    const std::vector<ModelSpec> &models() const { return models_; }
+
+    /** Look up by name; fatal() if absent. */
+    const ModelSpec &byName(const std::string &name) const;
+
+    /** @return true if @p name is in the catalog. */
+    bool contains(const std::string &name) const;
+
+    /** The subset the paper uses for inference timeseries (Fig 6). */
+    std::vector<std::string> inferenceModelNames() const;
+
+    /** The subset the paper fine-tunes (Fig 4). */
+    std::vector<std::string> trainingModelNames() const;
+
+  private:
+    std::vector<ModelSpec> models_;
+};
+
+} // namespace polca::llm
+
+#endif // POLCA_LLM_MODEL_SPEC_HH

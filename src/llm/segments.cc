@@ -1,0 +1,45 @@
+#include "llm/segments.hh"
+
+namespace polca::llm {
+
+std::vector<WorkSegment>
+inferenceSegments(const PhaseModel &model, const InferenceConfig &config)
+{
+    std::vector<WorkSegment> segments;
+    segments.push_back({
+        model.promptDuration(config),
+        model.promptActivity(config),
+        model.computeBoundFraction(Phase::Prompt),
+        "prompt",
+    });
+    if (config.outputTokens > 0) {
+        segments.push_back({
+            model.tokenPhaseDuration(config),
+            model.tokenActivity(config),
+            model.computeBoundFraction(Phase::Token),
+            "token",
+        });
+    }
+    return segments;
+}
+
+std::vector<WorkSegment>
+trainingIterationSegments(const TrainingModel &model)
+{
+    static const char *labels[] = {"forward", "dip", "backward", "sync"};
+    std::vector<WorkSegment> segments;
+    std::size_t i = 0;
+    for (const auto &segment : model.segments(1.0)) {
+        segments.push_back({
+            segment.duration,
+            segment.activity,
+            segment.computeBound ? model.spec().computeBoundFraction
+                                 : 0.0,
+            labels[i % 4],
+        });
+        ++i;
+    }
+    return segments;
+}
+
+} // namespace polca::llm

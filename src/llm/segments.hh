@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Adapters turning the inference and training phase models into
+ * executable WorkSegment lists.
+ */
+
+#ifndef POLCA_LLM_SEGMENTS_HH
+#define POLCA_LLM_SEGMENTS_HH
+
+#include <vector>
+
+#include "llm/executor.hh"
+#include "llm/phase_model.hh"
+#include "llm/training_model.hh"
+
+namespace polca::llm {
+
+/** Prompt + token segments of one inference request. */
+std::vector<WorkSegment>
+inferenceSegments(const PhaseModel &model, const InferenceConfig &config);
+
+/** Forward / dip / backward / sync segments of one training
+ *  iteration. */
+std::vector<WorkSegment>
+trainingIterationSegments(const TrainingModel &model);
+
+} // namespace polca::llm
+
+#endif // POLCA_LLM_SEGMENTS_HH

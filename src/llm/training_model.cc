@@ -1,0 +1,102 @@
+#include "llm/training_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::llm {
+
+TrainingSpec
+TrainingSpec::forModel(const std::string &model_name)
+{
+    TrainingSpec spec;
+    spec.modelName = model_name;
+    // Forward/backward activity reaches or exceeds TDP for the larger
+    // models (Insight 1); RoBERTa stays below TDP (Fig 4).
+    if (model_name == "RoBERTa") {
+        spec.iterationPeriod = sim::secondsToTicks(1.0);
+        spec.computeActivity = {0.88, 0.50};   // ~93 % TDP peak
+        spec.midDipActivity = {0.72, 0.45};
+        spec.syncActivity = {0.66, 0.40};      // ~75 % TDP trough
+    } else if (model_name == "GPT-NeoX-20B") {
+        spec.iterationPeriod = sim::secondsToTicks(2.1);
+        spec.computeActivity = {1.03, 0.55};   // ~105 % TDP peak
+        spec.midDipActivity = {0.60, 0.45};
+        spec.syncActivity = {0.33, 0.30};      // ~50 % TDP trough
+    } else if (model_name == "Flan-T5-XXL") {
+        spec.iterationPeriod = sim::secondsToTicks(3.9);
+        spec.computeActivity = {1.05, 0.55};   // ~106 % TDP peak
+        spec.midDipActivity = {0.55, 0.40};
+        spec.syncActivity = {0.0, 0.0};        // idle trough (~20 %)
+    } else {
+        sim::fatal("TrainingSpec: no training calibration for '",
+                   model_name, "'");
+    }
+    return spec;
+}
+
+TrainingModel::TrainingModel(TrainingSpec spec)
+    : spec_(std::move(spec))
+{
+    double total = spec_.forwardFraction + spec_.midDipFraction +
+        spec_.backwardFraction + spec_.syncFraction;
+    if (std::abs(total - 1.0) > 1e-9)
+        sim::fatal("TrainingModel: phase fractions sum to ", total);
+    if (spec_.iterationPeriod <= 0)
+        sim::fatal("TrainingModel: non-positive iteration period");
+}
+
+std::vector<TrainingModel::Segment>
+TrainingModel::segments(double computeSlowdown) const
+{
+    if (computeSlowdown < 1.0) {
+        sim::panic("TrainingModel: slowdown ", computeSlowdown,
+                   " below 1");
+    }
+    auto period = static_cast<double>(spec_.iterationPeriod);
+    auto stretch = [&](double fraction, bool compute) {
+        double d = period * fraction * (compute ? computeSlowdown : 1.0);
+        return static_cast<sim::Tick>(d);
+    };
+    return {
+        {stretch(spec_.forwardFraction, true), spec_.computeActivity,
+         true},
+        {stretch(spec_.midDipFraction, false), spec_.midDipActivity,
+         false},
+        {stretch(spec_.backwardFraction, true), spec_.computeActivity,
+         true},
+        {stretch(spec_.syncFraction, false), spec_.syncActivity,
+         false},
+    };
+}
+
+sim::Tick
+TrainingModel::iterationDuration(double computeSlowdown) const
+{
+    sim::Tick total = 0;
+    for (const auto &segment : segments(computeSlowdown))
+        total += segment.duration;
+    return total;
+}
+
+double
+TrainingModel::relativeThroughput(double computeSlowdown) const
+{
+    return static_cast<double>(iterationDuration(1.0)) /
+        static_cast<double>(iterationDuration(computeSlowdown));
+}
+
+power::GpuActivity
+TrainingModel::activityAt(sim::Tick offset) const
+{
+    sim::Tick wrapped = offset % spec_.iterationPeriod;
+    sim::Tick cursor = 0;
+    for (const auto &segment : segments(1.0)) {
+        cursor += segment.duration;
+        if (wrapped < cursor)
+            return segment.activity;
+    }
+    return spec_.syncActivity;
+}
+
+} // namespace polca::llm

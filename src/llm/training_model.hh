@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Training-iteration power waveform model (Section 4.1).
+ *
+ * An LLM training iteration alternates computation-intensive phases
+ * (forward, backward) with communication/synchronization phases where
+ * GPU power dips.  The dip depth is model specific: the paper reports
+ * troughs at ~75 % of TDP for RoBERTa, ~50 % for GPT-NeoX, and ~20 %
+ * (idle) for Flan-T5 (Fig 4, Insight 2).
+ */
+
+#ifndef POLCA_LLM_TRAINING_MODEL_HH
+#define POLCA_LLM_TRAINING_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "llm/model_spec.hh"
+#include "power/gpu_power_model.hh"
+#include "sim/types.hh"
+
+namespace polca::llm {
+
+/**
+ * Shape of one training iteration.  Fractions refer to the iteration
+ * period at maximum clock; compute segments stretch when the clock
+ * drops, the synchronization segment does not (it is network bound).
+ */
+struct TrainingSpec
+{
+    std::string modelName;
+
+    /** Iteration period at maximum clock. */
+    sim::Tick iterationPeriod;
+
+    /** Phase fractions (sum to 1). */
+    double forwardFraction = 0.30;
+    double midDipFraction = 0.05;
+    double backwardFraction = 0.45;
+    double syncFraction = 0.20;
+
+    /** GPU activity per phase. */
+    power::GpuActivity computeActivity;  ///< forward/backward
+    power::GpuActivity midDipActivity;   ///< fwd/bwd boundary dip
+    power::GpuActivity syncActivity;     ///< end-of-iteration trough
+
+    /**
+     * Effective clock sensitivity of the forward/backward segments.
+     * Below 1 because training frameworks overlap gradient
+     * communication with computation, hiding part of a clock
+     * slowdown (calibrated to Fig 5: ~22 % peak power for ~10 %
+     * throughput at the 1.1 GHz lock).
+     */
+    double computeBoundFraction = 0.55;
+
+    /**
+     * Calibrated spec for one of the paper's fine-tuned models
+     * (RoBERTa / GPT-NeoX-20B / Flan-T5-XXL); fatal() otherwise.
+     */
+    static TrainingSpec forModel(const std::string &model_name);
+};
+
+/**
+ * Pure waveform queries over a TrainingSpec.
+ */
+class TrainingModel
+{
+  public:
+    explicit TrainingModel(TrainingSpec spec);
+
+    const TrainingSpec &spec() const { return spec_; }
+
+    /** One executable segment of the iteration. */
+    struct Segment
+    {
+        sim::Tick duration;
+        power::GpuActivity activity;
+        bool computeBound;   ///< stretches with clock slowdown
+    };
+
+    /**
+     * Iteration segments with compute parts stretched by
+     * @p computeSlowdown (>= 1).
+     */
+    std::vector<Segment> segments(double computeSlowdown) const;
+
+    /** Iteration duration under @p computeSlowdown. */
+    sim::Tick iterationDuration(double computeSlowdown) const;
+
+    /**
+     * Training throughput (iterations/s) relative to the unthrottled
+     * rate, under @p computeSlowdown.
+     */
+    double relativeThroughput(double computeSlowdown) const;
+
+    /** Activity at @p offset ticks into an iteration (max clock). */
+    power::GpuActivity activityAt(sim::Tick offset) const;
+
+  private:
+    TrainingSpec spec_;
+};
+
+} // namespace polca::llm
+
+#endif // POLCA_LLM_TRAINING_MODEL_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * GPU server (DGX-class) power model: eight GPU power models plus a
+ * host-side component (CPUs, fans, memory, storage) so that GPU power
+ * lands at ~60 % of server draw under load (Insight 8) and the
+ * provisioned-power breakdown of Figure 3 is reproducible.
+ */
+
+#ifndef POLCA_POWER_SERVER_MODEL_HH
+#define POLCA_POWER_SERVER_MODEL_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "power/gpu_power_model.hh"
+#include "power/gpu_spec.hh"
+
+namespace polca::power {
+
+/**
+ * Static server parameters.  Defaults model the paper's DGX A100:
+ * 6500 W rated, ~50 % of provisioned power for GPUs, ~25 % for fans,
+ * and an observed all-workload peak of ~5700 W (Section 5, derating).
+ */
+struct ServerSpec
+{
+    std::string name;
+    GpuSpec gpu;
+    std::size_t numGpus;
+
+    /** Rated (provisioned) power, watts. */
+    double ratedPowerWatts;
+
+    /** Host power at idle (CPUs, fans at floor, memory, storage). */
+    double hostIdleWatts;
+
+    /**
+     * Host power above idle per watt of GPU power above GPU idle:
+     * fans, VR losses, and CPU feed all track how hard the GPUs are
+     * drawing.  This coupling is what lets GPU frequency capping
+     * reclaim host power too.
+     */
+    double hostGpuTrackingFactor;
+
+    /** Provisioned power per fan/CPU/memory/other bucket (Fig 3). */
+    double provisionedFansWatts;
+    double provisionedCpuWatts;
+    double provisionedMemoryWatts;
+    double provisionedOtherWatts;
+
+    /** The paper's DGX A100 with 8x A100-80GB (inference machine). */
+    static ServerSpec dgxA100_80gb();
+
+    /** The paper's DGX A100 with 8x A100-40GB (training machine). */
+    static ServerSpec dgxA100_40gb();
+
+    /** DGX H100 (10.2 kW, Section 6.7). */
+    static ServerSpec dgxH100();
+
+    /** Provisioned GPU power = numGpus * gpu TDP. */
+    double provisionedGpuWatts() const;
+
+    /**
+     * Figure 3 breakdown: (component, provisioned watts) pairs.
+     * Sums to ratedPowerWatts.
+     */
+    std::vector<std::pair<std::string, double>>
+    provisionedBreakdown() const;
+};
+
+/**
+ * A live server: owns its GPUs and derives total electrical draw.
+ */
+class ServerModel
+{
+  public:
+    explicit ServerModel(ServerSpec spec);
+
+    const ServerSpec &spec() const { return spec_; }
+
+    std::size_t numGpus() const { return gpus_.size(); }
+    GpuPowerModel &gpu(std::size_t i) { return gpus_.at(i); }
+    const GpuPowerModel &gpu(std::size_t i) const { return gpus_.at(i); }
+
+    /** Sum of instantaneous GPU power, watts. */
+    double gpuPowerWatts() const;
+
+    /** Host-side power: idle + tracking factor x GPU dynamic
+     *  power. */
+    double hostPowerWatts() const;
+
+    /** Total server draw, watts. */
+    double powerWatts() const;
+
+    /** @name Fleet-wide control conveniences */
+    /** @{ */
+    void setActivityAll(const GpuActivity &activity);
+    void lockClockAll(double mhz);
+    void unlockClockAll();
+    void setPowerCapAll(double watts);
+    void clearPowerCapAll();
+    void setPowerBrakeAll(bool engaged);
+    void stepCapControllers();
+    /** @} */
+
+    /**
+     * Slowdown factor of the *slowest* GPU for a phase with the given
+     * compute-bound fraction; tensor-parallel inference advances at
+     * the pace of its slowest shard.
+     */
+    double worstSlowdownFactor(double computeBoundFraction) const;
+
+  private:
+    ServerSpec spec_;
+    std::vector<GpuPowerModel> gpus_;
+};
+
+} // namespace polca::power
+
+#endif // POLCA_POWER_SERVER_MODEL_HH

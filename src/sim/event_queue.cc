@@ -1,0 +1,100 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace polca::sim {
+
+EventQueue::Handle
+EventQueue::schedule(Tick when, Callback callback, std::string name)
+{
+    if (when < now_) {
+        panic("EventQueue: scheduling event '", name, "' at t=", when,
+              " which is in the past (now=", now_, ")");
+    }
+    if (!callback)
+        panic("EventQueue: scheduling empty callback '", name, "'");
+
+    auto record = std::make_shared<Handle::Record>();
+    record->when = when;
+    record->seq = nextSeq_++;
+    record->callback = std::move(callback);
+    record->name = std::move(name);
+    heap_.push(record);
+    ++liveEvents_;
+    return Handle(std::move(record));
+}
+
+EventQueue::Handle
+EventQueue::scheduleAfter(Tick delay, Callback callback, std::string name)
+{
+    if (delay < 0)
+        panic("EventQueue: negative delay ", delay);
+    return schedule(now_ + delay, std::move(callback), std::move(name));
+}
+
+void
+EventQueue::cancel(Handle &handle)
+{
+    if (!handle.record_ || handle.record_->done)
+        return;
+    handle.record_->done = true;
+    handle.record_->callback = nullptr;
+    --liveEvents_;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && heap_.top()->done)
+        heap_.pop();
+}
+
+bool
+EventQueue::runOne()
+{
+    skipDead();
+    if (heap_.empty())
+        return false;
+
+    RecordPtr record = heap_.top();
+    heap_.pop();
+    now_ = record->when;
+    record->done = true;
+    --liveEvents_;
+    ++numProcessed_;
+
+    // Move the callback out so re-entrant scheduling cannot touch it.
+    Callback callback = std::move(record->callback);
+    record->callback = nullptr;
+    callback();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick end)
+{
+    std::uint64_t processed = 0;
+    for (;;) {
+        skipDead();
+        if (heap_.empty() || heap_.top()->when > end)
+            break;
+        runOne();
+        ++processed;
+    }
+    if (now_ < end)
+        now_ = end;
+    return processed;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t processed = 0;
+    while (runOne())
+        ++processed;
+    return processed;
+}
+
+} // namespace polca::sim

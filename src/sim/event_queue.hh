@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal, deterministic event queue: events are callbacks scheduled
+ * at absolute ticks.  Ties are broken by insertion order so that a run
+ * with the same seed always produces the same trajectory.  Events may
+ * be cancelled through the handle returned at scheduling time.
+ */
+
+#ifndef POLCA_SIM_EVENT_QUEUE_HH
+#define POLCA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace polca::sim {
+
+/**
+ * Time-ordered queue of callbacks; the heart of the simulator.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Opaque handle to a scheduled event.  Default-constructed handles
+     * are inert; cancel() on an already-fired or cancelled handle is a
+     * no-op.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** @return true if the event has neither fired nor been
+         *  cancelled. */
+        bool pending() const { return record_ && !record_->done; }
+
+      private:
+        friend class EventQueue;
+
+        struct Record
+        {
+            Tick when = 0;
+            std::uint64_t seq = 0;
+            bool done = false;      ///< fired or cancelled
+            Callback callback;
+            std::string name;
+        };
+
+        explicit Handle(std::shared_ptr<Record> record)
+            : record_(std::move(record))
+        {}
+
+        std::shared_ptr<Record> record_;
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback at absolute tick @p when.
+     *
+     * @param when  Absolute time; must be >= now().
+     * @param callback  Invoked when simulated time reaches @p when.
+     * @param name  Optional label for diagnostics.
+     */
+    Handle schedule(Tick when, Callback callback, std::string name = {});
+
+    /** Schedule a callback @p delay ticks from now (delay >= 0). */
+    Handle scheduleAfter(Tick delay, Callback callback,
+                         std::string name = {});
+
+    /** Cancel a pending event; no-op if already fired or cancelled. */
+    void cancel(Handle &handle);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** @return true if no live (non-cancelled) events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live events currently scheduled. */
+    std::size_t size() const { return liveEvents_; }
+
+    /** Total callbacks executed since construction. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+    /**
+     * Fire the single earliest pending event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run every event with time <= @p end, then advance now() to
+     * @p end even if the queue drains early.
+     * @return number of events processed.
+     */
+    std::uint64_t runUntil(Tick end);
+
+    /** Run until the queue is empty. @return events processed. */
+    std::uint64_t runAll();
+
+  private:
+    using RecordPtr = std::shared_ptr<Handle::Record>;
+
+    struct Later
+    {
+        bool
+        operator()(const RecordPtr &a, const RecordPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Pop cancelled records off the top of the heap. */
+    void skipDead();
+
+    std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numProcessed_ = 0;
+    std::size_t liveEvents_ = 0;
+};
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Four severities, following the gem5 convention:
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              aborts so a debugger or core dump can capture state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits cleanly.
+ *  - warn():   something is suspicious but simulation continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef POLCA_SIM_LOGGING_HH
+#define POLCA_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace polca::sim {
+
+namespace detail {
+
+/** Concatenate a variadic argument pack via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report simulation status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Silence warn()/inform() output (used by tests and sweeps). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is suppressed. */
+bool quiet();
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_LOGGING_HH

@@ -1,0 +1,29 @@
+#include "sim/random.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::sim {
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            panic("Rng::weightedIndex: negative weight ", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("Rng::weightedIndex: weights sum to zero");
+
+    double draw = uniform() * total;
+    double running = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        running += weights[i];
+        if (draw < running)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace polca::sim

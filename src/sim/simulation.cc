@@ -1,0 +1,55 @@
+#include "sim/simulation.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::sim {
+
+Simulation::PeriodicTask::PeriodicTask(Simulation &sim, Tick period,
+                                       std::function<void(Tick)> callback)
+    : sim_(sim), period_(period), callback_(std::move(callback))
+{
+    if (period_ <= 0)
+        panic("PeriodicTask: non-positive period ", period_);
+}
+
+void
+Simulation::PeriodicTask::arm()
+{
+    pending_ = sim_.queue().scheduleAfter(period_, [this] {
+        if (!running_)
+            return;
+        Tick fired = sim_.now();
+        // Re-arm before invoking so the callback may stop() us.
+        arm();
+        callback_(fired);
+    });
+}
+
+void
+Simulation::PeriodicTask::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sim_.queue().cancel(pending_);
+}
+
+std::unique_ptr<Simulation::PeriodicTask>
+Simulation::every(Tick period, std::function<void(Tick)> callback,
+                  Tick phase)
+{
+    auto task = std::unique_ptr<PeriodicTask>(
+        new PeriodicTask(*this, period, std::move(callback)));
+    PeriodicTask *raw = task.get();
+    Tick first = phase >= 0 ? phase : period;
+    task->pending_ = queue_.scheduleAfter(first, [raw] {
+        if (!raw->running_)
+            return;
+        Tick fired = raw->sim_.now();
+        raw->arm();
+        raw->callback_(fired);
+    });
+    return task;
+}
+
+} // namespace polca::sim

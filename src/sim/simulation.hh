@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulation context: owns the event queue and the root random stream
+ * and provides periodic-task scaffolding (telemetry pollers, capping
+ * controllers, and samplers are all periodic).
+ */
+
+#ifndef POLCA_SIM_SIMULATION_HH
+#define POLCA_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace polca::sim {
+
+/**
+ * Owns an EventQueue and the root Rng.  Components hold a reference to
+ * the Simulation and schedule themselves on its queue; the Simulation
+ * must therefore outlive all components.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1)
+        : rng_(seed)
+    {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+    /** Root random stream; fork() children per component. */
+    Rng &rng() { return rng_; }
+
+    /** Current simulated time. */
+    Tick now() const { return queue_.now(); }
+
+    /**
+     * Register a periodic task firing every @p period ticks, first at
+     * now() + @p phase.  Tasks persist until stop() or destruction of
+     * the returned token.  The callback receives the firing tick.
+     */
+    class PeriodicTask
+    {
+      public:
+        ~PeriodicTask() { stop(); }
+        PeriodicTask(const PeriodicTask &) = delete;
+        PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+        /** Cancel any pending firing; the task will not run again. */
+        void stop();
+
+        /** @return true if the task will fire again. */
+        bool running() const { return running_; }
+
+      private:
+        friend class Simulation;
+        PeriodicTask(Simulation &sim, Tick period,
+                     std::function<void(Tick)> callback);
+        void arm();
+
+        Simulation &sim_;
+        Tick period_;
+        std::function<void(Tick)> callback_;
+        EventQueue::Handle pending_;
+        bool running_ = true;
+    };
+
+    /**
+     * Create a periodic task.  @p phase delays the first firing
+     * (default: one full period from now).
+     */
+    std::unique_ptr<PeriodicTask>
+    every(Tick period, std::function<void(Tick)> callback,
+          Tick phase = -1);
+
+    /** Run the simulation until tick @p end. */
+    void runUntil(Tick end) { queue_.runUntil(end); }
+
+    /** Run for @p duration ticks from the current time. */
+    void runFor(Tick duration) { queue_.runUntil(now() + duration); }
+
+  private:
+    EventQueue queue_;
+    Rng rng_;
+};
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_SIMULATION_HH

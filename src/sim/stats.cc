@@ -1,0 +1,187 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::sim {
+
+void
+Accumulator::add(double value)
+{
+    ++count_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double n1 = static_cast<double>(count_);
+    double n2 = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Sampler::add(double value)
+{
+    values_.push_back(value);
+    sorted_ = values_.size() <= 1;
+}
+
+void
+Sampler::reset()
+{
+    values_.clear();
+    sorted_ = true;
+}
+
+double
+Sampler::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+Sampler::min() const
+{
+    if (values_.empty())
+        panic("Sampler::min on empty sampler");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Sampler::max() const
+{
+    if (values_.empty())
+        panic("Sampler::max on empty sampler");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+void
+Sampler::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Sampler::quantile(double q) const
+{
+    if (values_.empty())
+        panic("Sampler::quantile on empty sampler");
+    if (q < 0.0 || q > 1.0)
+        panic("Sampler::quantile: q=", q, " outside [0,1]");
+    ensureSorted();
+
+    double pos = q * static_cast<double>(values_.size() - 1);
+    std::size_t lower = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lower);
+    if (lower + 1 >= values_.size())
+        return values_.back();
+    return values_[lower] * (1.0 - frac) + values_[lower + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram: zero bins");
+    if (!(hi > lo))
+        panic("Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+}
+
+void
+Histogram::add(double value)
+{
+    double t = (value - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+        static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    return binLow(bin + 1);
+}
+
+double
+Histogram::binFraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(bin)) /
+        static_cast<double>(total_);
+}
+
+double
+quantileOf(std::vector<double> values, double q)
+{
+    Sampler sampler;
+    for (double v : values)
+        sampler.add(v);
+    return sampler.quantile(q);
+}
+
+} // namespace polca::sim

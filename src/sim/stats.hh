@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Statistics primitives: running accumulators and exact-percentile
+ * samplers used throughout the models and the POLCA evaluation.
+ */
+
+#ifndef POLCA_SIM_STATS_HH
+#define POLCA_SIM_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace polca::sim {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * O(1) memory; suitable for power samples over week-long runs.
+ */
+class Accumulator
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Drop all observations. */
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Stores every observation for exact quantiles (p50/p99/max latency
+ * reporting).  Values are sorted lazily on first quantile query.
+ */
+class Sampler
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Drop all observations. */
+    void reset();
+
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact quantile with linear interpolation between order
+     * statistics.  @p q in [0, 1]; querying an empty sampler is a
+     * caller error.
+     */
+    double quantile(double q) const;
+
+    /** Convenience aliases. */
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** Read-only access to the raw observations (unsorted order not
+     *  guaranteed after a quantile query). */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
+ * edge bins.  Used for power-draw distribution reporting.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of equal-width bins (>= 1). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double value);
+    void reset();
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    std::size_t binCount(std::size_t bin) const { return counts_.at(bin); }
+
+    /** Lower edge of bin @p bin. */
+    double binLow(std::size_t bin) const;
+
+    /** Upper edge of bin @p bin. */
+    double binHigh(std::size_t bin) const;
+
+    /** Fraction of observations in bin @p bin (0 when empty). */
+    double binFraction(std::size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Exact quantile of a value vector (copies + sorts).  Convenience for
+ * one-shot analysis.
+ */
+double quantileOf(std::vector<double> values, double q);
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_STATS_HH

@@ -1,0 +1,219 @@
+#include "sim/timeseries.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace polca::sim {
+
+void
+TimeSeries::add(Tick time, double value)
+{
+    if (!points_.empty() && time < points_.back().time) {
+        panic("TimeSeries::add: time ", time, " precedes last sample ",
+              points_.back().time);
+    }
+    points_.push_back({time, value});
+}
+
+Tick
+TimeSeries::startTime() const
+{
+    if (points_.empty())
+        panic("TimeSeries::startTime on empty series");
+    return points_.front().time;
+}
+
+Tick
+TimeSeries::endTime() const
+{
+    if (points_.empty())
+        panic("TimeSeries::endTime on empty series");
+    return points_.back().time;
+}
+
+double
+TimeSeries::valueAt(Tick time) const
+{
+    if (points_.empty())
+        panic("TimeSeries::valueAt on empty series");
+    if (time < points_.front().time)
+        return points_.front().value;
+
+    // Last point with point.time <= time.
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), time,
+        [](Tick t, const Point &p) { return t < p.time; });
+    return std::prev(it)->value;
+}
+
+double
+TimeSeries::maxValue() const
+{
+    if (points_.empty())
+        panic("TimeSeries::maxValue on empty series");
+    double best = -std::numeric_limits<double>::infinity();
+    for (const Point &p : points_)
+        best = std::max(best, p.value);
+    return best;
+}
+
+double
+TimeSeries::minValue() const
+{
+    if (points_.empty())
+        panic("TimeSeries::minValue on empty series");
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point &p : points_)
+        best = std::min(best, p.value);
+    return best;
+}
+
+double
+TimeSeries::meanValue() const
+{
+    if (points_.empty())
+        panic("TimeSeries::meanValue on empty series");
+    double sum = 0.0;
+    for (const Point &p : points_)
+        sum += p.value;
+    return sum / static_cast<double>(points_.size());
+}
+
+double
+TimeSeries::timeWeightedMean() const
+{
+    if (points_.empty())
+        panic("TimeSeries::timeWeightedMean on empty series");
+    if (points_.size() == 1)
+        return points_.front().value;
+
+    double integral = 0.0;
+    for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+        double dt = static_cast<double>(points_[i + 1].time -
+                                        points_[i].time);
+        integral += points_[i].value * dt;
+    }
+    double span = static_cast<double>(points_.back().time -
+                                      points_.front().time);
+    if (span <= 0.0)
+        return points_.back().value;
+    return integral / span;
+}
+
+TimeSeries
+TimeSeries::resampled(Tick dt) const
+{
+    if (dt <= 0)
+        panic("TimeSeries::resampled: non-positive period ", dt);
+    TimeSeries out;
+    if (points_.empty())
+        return out;
+
+    std::size_t src = 0;
+    for (Tick t = points_.front().time; t <= points_.back().time; t += dt) {
+        while (src + 1 < points_.size() && points_[src + 1].time <= t)
+            ++src;
+        out.add(t, points_[src].value);
+    }
+    return out;
+}
+
+TimeSeries
+TimeSeries::movingAverage(Tick window) const
+{
+    if (window <= 0)
+        panic("TimeSeries::movingAverage: non-positive window ", window);
+    TimeSeries out;
+    out.reserve(points_.size());
+
+    double sum = 0.0;
+    std::size_t head = 0;  // first index inside the window
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        sum += points_[i].value;
+        while (points_[i].time - points_[head].time >= window) {
+            sum -= points_[head].value;
+            ++head;
+        }
+        out.add(points_[i].time,
+                sum / static_cast<double>(i - head + 1));
+    }
+    return out;
+}
+
+double
+TimeSeries::maxRiseWithin(Tick window) const
+{
+    if (window <= 0)
+        panic("TimeSeries::maxRiseWithin: non-positive window ", window);
+    if (points_.size() < 2)
+        return 0.0;
+
+    // Monotonic deque of candidate minima indices within the trailing
+    // window; for each sample j, the best rise ending at j is
+    // v_j - min(v_i : t_j - t_i <= window, i <= j).
+    std::deque<std::size_t> minima;
+    double best = 0.0;
+    for (std::size_t j = 0; j < points_.size(); ++j) {
+        while (!minima.empty() &&
+               points_[j].time - points_[minima.front()].time > window) {
+            minima.pop_front();
+        }
+        if (!minima.empty()) {
+            best = std::max(
+                best, points_[j].value - points_[minima.front()].value);
+        }
+        while (!minima.empty() &&
+               points_[minima.back()].value >= points_[j].value) {
+            minima.pop_back();
+        }
+        minima.push_back(j);
+    }
+    return best;
+}
+
+TimeSeries
+TimeSeries::scaled(double factor) const
+{
+    TimeSeries out;
+    out.reserve(points_.size());
+    for (const Point &p : points_)
+        out.add(p.time, p.value * factor);
+    return out;
+}
+
+TimeSeries
+sumOnGrid(const std::vector<const TimeSeries *> &series, Tick dt)
+{
+    if (dt <= 0)
+        panic("sumOnGrid: non-positive period ", dt);
+
+    Tick start = maxTick;
+    Tick end = 0;
+    bool any = false;
+    for (const TimeSeries *s : series) {
+        if (!s || s->empty())
+            continue;
+        any = true;
+        start = std::min(start, s->startTime());
+        end = std::max(end, s->endTime());
+    }
+
+    TimeSeries out;
+    if (!any)
+        return out;
+
+    for (Tick t = start; t <= end; t += dt) {
+        double sum = 0.0;
+        for (const TimeSeries *s : series) {
+            if (s && !s->empty())
+                sum += s->valueAt(t);
+        }
+        out.add(t, sum);
+    }
+    return out;
+}
+
+} // namespace polca::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Time-series container and the window analytics the paper's cluster
+ * characterization needs (moving averages, max power spike within a
+ * time window, resampling onto a regular grid).
+ */
+
+#ifndef POLCA_SIM_TIMESERIES_HH
+#define POLCA_SIM_TIMESERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace polca::sim {
+
+/**
+ * Sequence of (tick, value) samples with non-decreasing time.
+ * Values are interpreted as a step function: the recorded value holds
+ * until the next sample.
+ */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        Tick time;
+        double value;
+    };
+
+    TimeSeries() = default;
+
+    /** Reserve capacity for @p n points. */
+    void reserve(std::size_t n) { points_.reserve(n); }
+
+    /** Append a sample; @p time must be >= the last sample's time. */
+    void add(Tick time, double value);
+
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    const std::vector<Point> &points() const { return points_; }
+    const Point &at(std::size_t i) const { return points_.at(i); }
+
+    Tick startTime() const;
+    Tick endTime() const;
+
+    /**
+     * Step-function value at @p time: the value of the last sample at
+     * or before @p time.  Querying before the first sample returns the
+     * first sample's value.
+     */
+    double valueAt(Tick time) const;
+
+    /** Max/min/mean over sample values (unweighted). */
+    double maxValue() const;
+    double minValue() const;
+    double meanValue() const;
+
+    /** Time-weighted mean (step integration over [start, end]). */
+    double timeWeightedMean() const;
+
+    /**
+     * Resample onto a regular grid of period @p dt starting at the
+     * first sample, using step interpolation.
+     */
+    TimeSeries resampled(Tick dt) const;
+
+    /**
+     * Trailing moving average with window @p window: output point i
+     * holds the unweighted mean of all samples in (t_i - window, t_i].
+     * O(n) two-pointer implementation.
+     */
+    TimeSeries movingAverage(Tick window) const;
+
+    /**
+     * Largest upward excursion within any window of length
+     * @p window: max over sample pairs i < j with t_j - t_i <= window
+     * of (v_j - v_i).  This is the paper's "max power spike in N
+     * seconds" metric (Table 4).  Returns 0 for monotonically
+     * non-increasing series.
+     */
+    double maxRiseWithin(Tick window) const;
+
+    /** Scale all values by @p factor (returns a new series). */
+    TimeSeries scaled(double factor) const;
+
+    /** Drop all samples. */
+    void clear() { points_.clear(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+/**
+ * Sum several series on a regular grid of period @p dt spanning the
+ * union of their extents; missing leading values are treated as the
+ * series' first value (step extension).  Used to aggregate per-server
+ * power into row-level power.
+ */
+TimeSeries sumOnGrid(const std::vector<const TimeSeries *> &series,
+                     Tick dt);
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_TIMESERIES_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * All simulated time is kept as an integer number of microseconds
+ * (`Tick`).  Integer time keeps event ordering exact and reproducible;
+ * helpers convert to and from floating-point seconds at the edges.
+ */
+
+#ifndef POLCA_SIM_TYPES_HH
+#define POLCA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace polca::sim {
+
+/** Simulated time in microseconds. */
+using Tick = std::int64_t;
+
+/** Ticks per second / millisecond. */
+constexpr Tick ticksPerSecond = 1'000'000;
+constexpr Tick ticksPerMs = 1'000;
+
+/** Largest representable time; used as "never". */
+constexpr Tick maxTick = INT64_MAX;
+
+/** Convert floating-point seconds to ticks (rounded to nearest). */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * ticksPerSecond + 0.5);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * ticksPerMs + 0.5);
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / ticksPerSecond;
+}
+
+/** Convert ticks to floating-point milliseconds. */
+constexpr double
+ticksToMs(Tick ticks)
+{
+    return static_cast<double>(ticks) / ticksPerMs;
+}
+
+} // namespace polca::sim
+
+#endif // POLCA_SIM_TYPES_HH

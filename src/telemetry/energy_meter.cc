@@ -1,0 +1,49 @@
+#include "telemetry/energy_meter.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::telemetry {
+
+EnergyMeter::EnergyMeter(sim::Simulation &sim, PowerSource source,
+                         sim::Tick interval)
+    : sim_(sim), source_(std::move(source)), interval_(interval)
+{
+    if (!source_)
+        sim::fatal("EnergyMeter: empty power source");
+    if (interval_ <= 0)
+        sim::fatal("EnergyMeter: non-positive interval");
+}
+
+void
+EnergyMeter::start()
+{
+    if (task_)
+        return;
+    // Sample at the *start* of each interval (left rectangle): read
+    // power now, credit it for the next interval.
+    task_ = sim_.every(interval_, [this](sim::Tick now) { sample(now); },
+                       /*phase=*/0);
+}
+
+void
+EnergyMeter::stop()
+{
+    task_.reset();
+}
+
+void
+EnergyMeter::sample(sim::Tick)
+{
+    joules_ += source_() * sim::ticksToSeconds(interval_);
+    meteredTicks_ += interval_;
+}
+
+double
+EnergyMeter::meanPowerWatts() const
+{
+    if (meteredTicks_ <= 0)
+        return 0.0;
+    return joules_ / sim::ticksToSeconds(meteredTicks_);
+}
+
+} // namespace polca::telemetry

@@ -1,0 +1,24 @@
+#include "telemetry/interface_registry.hh"
+
+namespace polca::telemetry {
+
+std::vector<MonitoringInterface>
+monitoringInterfaces()
+{
+    return {
+        {"RAPL", "CPU & DRAM", "IB", "1-10ms", sim::msToTicks(5)},
+        {"DCGM", "GPU", "IB", "100ms+", sim::msToTicks(100)},
+        {"SMBPBI", "GPU", "OOB", "5s+", sim::secondsToTicks(5)},
+        {"IPMI", "Server", "OOB", "1-5s", sim::secondsToTicks(3)},
+        {"Row manager", "Row of racks", "OOB", "2s",
+         sim::secondsToTicks(2)},
+    };
+}
+
+RowParameters
+paperRowParameters()
+{
+    return RowParameters{};
+}
+
+} // namespace polca::telemetry

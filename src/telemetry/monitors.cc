@@ -1,0 +1,69 @@
+#include "telemetry/monitors.hh"
+
+namespace polca::telemetry {
+
+DcgmMonitor::DcgmMonitor(sim::Simulation &sim,
+                         const power::ServerModel &server, sim::Rng rng,
+                         Options options)
+    : sim_(sim), server_(server), rng_(rng), options_(options)
+{
+}
+
+void
+DcgmMonitor::start()
+{
+    if (task_)
+        return;
+    task_ = sim_.every(options_.interval,
+                       [this](sim::Tick now) { sample(now); });
+}
+
+void
+DcgmMonitor::stop()
+{
+    task_.reset();
+}
+
+void
+DcgmMonitor::sample(sim::Tick now)
+{
+    double reading = server_.gpuPowerWatts() +
+        rng_.normal(0.0, options_.noiseStddevWatts);
+    latest_ = reading;
+    gpuPower_.add(now, reading);
+}
+
+IpmiMonitor::IpmiMonitor(sim::Simulation &sim,
+                         const power::ServerModel &server, sim::Rng rng,
+                         Options options)
+    : sim_(sim), server_(server), rng_(rng), options_(options)
+{
+}
+
+void
+IpmiMonitor::start()
+{
+    if (task_)
+        return;
+    task_ = sim_.every(options_.interval,
+                       [this](sim::Tick now) { sample(now); });
+}
+
+void
+IpmiMonitor::stop()
+{
+    task_.reset();
+}
+
+void
+IpmiMonitor::sample(sim::Tick now)
+{
+    double reading = server_.powerWatts() +
+        rng_.normal(0.0, options_.noiseStddevWatts);
+    if (dcgm_ && dcgm_->running())
+        reading += dcgm_->overheadWatts();
+    latest_ = reading;
+    power_.add(now, reading);
+}
+
+} // namespace polca::telemetry

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * In-band and out-of-band power monitors (Section 3.1).
+ *
+ * DcgmMonitor samples GPU power at 100 ms like NVIDIA DCGM; running
+ * it adds a small measurement overhead to server power, which the
+ * paper quantifies at 5-10 W.  IpmiMonitor samples whole-server power
+ * at a 1-5 s OOB cadence and sees that overhead.
+ */
+
+#ifndef POLCA_TELEMETRY_MONITORS_HH
+#define POLCA_TELEMETRY_MONITORS_HH
+
+#include <functional>
+#include <memory>
+
+#include "power/server_model.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/timeseries.hh"
+
+namespace polca::telemetry {
+
+/**
+ * DCGM-style in-band GPU power sampler bound to one server.
+ * Readings carry small gaussian measurement noise.
+ */
+class DcgmMonitor
+{
+  public:
+    struct Options
+    {
+        sim::Tick interval;
+        double noiseStddevWatts;
+        double overheadWatts;
+
+        Options()
+            : interval(sim::msToTicks(100)), noiseStddevWatts(2.0),
+              overheadWatts(7.5)
+        {}
+    };
+
+    DcgmMonitor(sim::Simulation &sim, const power::ServerModel &server,
+                sim::Rng rng, Options options = Options());
+
+    /** Begin periodic sampling. */
+    void start();
+
+    /** Stop sampling (series retained). */
+    void stop();
+
+    bool running() const { return task_ != nullptr; }
+
+    /** Power/perf overhead DCGM adds to the server (Section 3.4). */
+    double overheadWatts() const { return options_.overheadWatts; }
+
+    /** Per-sample sum of GPU power across the server. */
+    const sim::TimeSeries &gpuPowerSeries() const { return gpuPower_; }
+
+    /** Latest aggregate GPU power reading (0 before first sample). */
+    double latestGpuPower() const { return latest_; }
+
+  private:
+    void sample(sim::Tick now);
+
+    sim::Simulation &sim_;
+    const power::ServerModel &server_;
+    sim::Rng rng_;
+    Options options_;
+    sim::TimeSeries gpuPower_;
+    double latest_ = 0.0;
+    std::unique_ptr<sim::Simulation::PeriodicTask> task_;
+};
+
+/**
+ * IPMI-style OOB server power sampler.  Readings include the DCGM
+ * measurement overhead when a DcgmMonitor is attached and running.
+ */
+class IpmiMonitor
+{
+  public:
+    struct Options
+    {
+        sim::Tick interval;
+        double noiseStddevWatts;
+
+        Options()
+            : interval(sim::secondsToTicks(3)), noiseStddevWatts(10.0)
+        {}
+    };
+
+    IpmiMonitor(sim::Simulation &sim, const power::ServerModel &server,
+                sim::Rng rng, Options options = Options());
+
+    /** Include @p dcgm overhead in readings while it runs. */
+    void attachDcgm(const DcgmMonitor *dcgm) { dcgm_ = dcgm; }
+
+    void start();
+    void stop();
+    bool running() const { return task_ != nullptr; }
+
+    const sim::TimeSeries &serverPowerSeries() const { return power_; }
+    double latestServerPower() const { return latest_; }
+
+  private:
+    void sample(sim::Tick now);
+
+    sim::Simulation &sim_;
+    const power::ServerModel &server_;
+    sim::Rng rng_;
+    Options options_;
+    const DcgmMonitor *dcgm_ = nullptr;
+    sim::TimeSeries power_;
+    double latest_ = 0.0;
+    std::unique_ptr<sim::Simulation::PeriodicTask> task_;
+};
+
+} // namespace polca::telemetry
+
+#endif // POLCA_TELEMETRY_MONITORS_HH

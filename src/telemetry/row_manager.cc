@@ -1,0 +1,82 @@
+#include "telemetry/row_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace polca::telemetry {
+
+RowManager::RowManager(sim::Simulation &sim, sim::Tick interval,
+                       bool recordSeries)
+    : sim_(sim), interval_(interval), recordSeries_(recordSeries)
+{
+    if (interval_ <= 0)
+        sim::fatal("RowManager: non-positive interval");
+}
+
+void
+RowManager::addSource(PowerSource source)
+{
+    if (!source)
+        sim::panic("RowManager: empty power source");
+    sources_.push_back(std::move(source));
+}
+
+void
+RowManager::addListener(Listener listener)
+{
+    if (!listener)
+        sim::panic("RowManager: empty listener");
+    listeners_.push_back(std::move(listener));
+}
+
+void
+RowManager::start()
+{
+    if (task_)
+        return;
+    task_ = sim_.every(interval_,
+                       [this](sim::Tick now) { sample(now); });
+}
+
+void
+RowManager::stop()
+{
+    task_.reset();
+}
+
+double
+RowManager::readNow()
+{
+    double total = 0.0;
+    for (const auto &source : sources_)
+        total += source();
+    return total;
+}
+
+void
+RowManager::setDropoutProbability(double probability, sim::Rng rng)
+{
+    if (probability < 0.0 || probability >= 1.0)
+        sim::fatal("RowManager: dropout probability ", probability,
+                   " outside [0,1)");
+    dropoutProbability_ = probability;
+    dropoutRng_ = rng;
+}
+
+void
+RowManager::sample(sim::Tick now)
+{
+    if (dropoutProbability_ > 0.0 &&
+        dropoutRng_.bernoulli(dropoutProbability_)) {
+        ++dropped_;
+        return;  // silent failure: no reading, no notification
+    }
+    double total = readNow();
+    latest_ = total;
+    latestTime_ = now;
+    if (recordSeries_)
+        series_.add(now, total);
+    for (const auto &listener : listeners_)
+        listener(now, total);
+}
+
+} // namespace polca::telemetry

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Row manager: out-of-band aggregation of row (PDU) power every 2 s
+ * (Table 1).  POLCA makes its capping decisions from this reading
+ * because the row is where statistical multiplexing of prompt/token
+ * phases pays off (Insight 9).
+ */
+
+#ifndef POLCA_TELEMETRY_ROW_MANAGER_HH
+#define POLCA_TELEMETRY_ROW_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/timeseries.hh"
+
+namespace polca::telemetry {
+
+/**
+ * Periodically sums power across registered sources and notifies
+ * listeners.  Sources are polled at reading time (step-accurate for
+ * the 2 s cadence).
+ */
+class RowManager
+{
+  public:
+    using PowerSource = std::function<double()>;
+    using Listener = std::function<void(sim::Tick, double)>;
+
+    RowManager(sim::Simulation &sim,
+               sim::Tick interval = sim::secondsToTicks(2),
+               bool recordSeries = true);
+
+    /**
+     * Inject reading dropout: each periodic reading is silently
+     * skipped with probability @p probability (OOB telemetry "may
+     * sometimes fail", Section 3.3).  Listeners simply do not fire
+     * for dropped readings.
+     */
+    void setDropoutProbability(double probability, sim::Rng rng);
+
+    /** Register a power source (e.g. one server's draw). */
+    void addSource(PowerSource source);
+
+    /** Register a reading listener (e.g. the POLCA manager). */
+    void addListener(Listener listener);
+
+    /** Begin periodic readings. */
+    void start();
+
+    /** Stop readings. */
+    void stop();
+
+    /** Sampling interval. */
+    sim::Tick interval() const { return interval_; }
+
+    /** Latest row power reading (0 before the first). */
+    double latestReading() const { return latest_; }
+
+    /** Tick of the latest reading. */
+    sim::Tick latestReadingTime() const { return latestTime_; }
+
+    /** Full reading history (empty when recording disabled). */
+    const sim::TimeSeries &series() const { return series_; }
+
+    /** Take an immediate reading outside the periodic schedule. */
+    double readNow();
+
+    /** Readings silently dropped so far. */
+    std::uint64_t droppedReadings() const { return dropped_; }
+
+  private:
+    void sample(sim::Tick now);
+
+    sim::Simulation &sim_;
+    sim::Tick interval_;
+    bool recordSeries_;
+    std::vector<PowerSource> sources_;
+    std::vector<Listener> listeners_;
+    sim::TimeSeries series_;
+    double latest_ = 0.0;
+    sim::Tick latestTime_ = 0;
+    double dropoutProbability_ = 0.0;
+    sim::Rng dropoutRng_;
+    std::uint64_t dropped_ = 0;
+    std::unique_ptr<sim::Simulation::PeriodicTask> task_;
+};
+
+} // namespace polca::telemetry
+
+#endif // POLCA_TELEMETRY_ROW_MANAGER_HH

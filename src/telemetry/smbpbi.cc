@@ -1,0 +1,58 @@
+#include "telemetry/smbpbi.hh"
+
+namespace polca::telemetry {
+
+SmbpbiController::SmbpbiController(sim::Simulation &sim,
+                                   ClockControllable &target,
+                                   sim::Rng rng, Options options)
+    : sim_(sim), target_(target), rng_(rng), options_(options)
+{
+}
+
+void
+SmbpbiController::issue(double lockMhz)
+{
+    // A newer command supersedes any pending one.
+    sim_.queue().cancel(pending_);
+    ++issued_;
+
+    bool drop = rng_.bernoulli(options_.silentFailureProbability);
+    pending_ = sim_.queue().scheduleAfter(
+        options_.commandLatency,
+        [this, lockMhz, drop] {
+            if (drop) {
+                // Silent failure: no state change, no error signal.
+                ++dropped_;
+                return;
+            }
+            if (lockMhz > 0.0)
+                target_.applyClockLock(lockMhz);
+            else
+                target_.applyClockUnlock();
+        },
+        "smbpbi-cap");
+}
+
+void
+SmbpbiController::requestClockLock(double mhz)
+{
+    issue(mhz);
+}
+
+void
+SmbpbiController::requestClockUnlock()
+{
+    issue(0.0);
+}
+
+void
+SmbpbiController::requestPowerBrake(bool engage)
+{
+    ++brakes_;
+    sim_.queue().scheduleAfter(
+        options_.brakeLatency,
+        [this, engage] { target_.applyPowerBrake(engage); },
+        "smbpbi-brake");
+}
+
+} // namespace polca::telemetry

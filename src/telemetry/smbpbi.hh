@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SMBPBI-style out-of-band GPU control path (Section 3.2/3.3).
+ *
+ * The defining properties the paper measures — and which POLCA must
+ * design around — are modelled here:
+ *  - frequency/power capping commands take up to 40 s to take effect
+ *    on a server;
+ *  - the power brake is faster (~5 s) but drastic (clocks to 288 MHz);
+ *  - commands may fail silently, "without signaling completion or
+ *    errors", so callers need verification guardrails.
+ */
+
+#ifndef POLCA_TELEMETRY_SMBPBI_HH
+#define POLCA_TELEMETRY_SMBPBI_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace polca::telemetry {
+
+/**
+ * Control target of an OOB path.  Implemented by anything whose
+ * clocks a BMC can set: a bare power::ServerModel adapter for the
+ * characterization benches, or cluster::InferenceServer, which also
+ * reschedules in-flight work when the clock changes.
+ */
+class ClockControllable
+{
+  public:
+    virtual ~ClockControllable() = default;
+
+    /** Lock all GPUs' SM clock to @p mhz. */
+    virtual void applyClockLock(double mhz) = 0;
+
+    /** Remove any frequency lock. */
+    virtual void applyClockUnlock() = 0;
+
+    /** Engage/release the power brake on all GPUs. */
+    virtual void applyPowerBrake(bool engaged) = 0;
+
+    /** Currently applied lock in MHz, or 0 when unlocked. */
+    virtual double appliedClockLockMhz() const = 0;
+
+    /** @return true while the power brake is engaged. */
+    virtual bool powerBrakeEngaged() const = 0;
+};
+
+/**
+ * One server's OOB command channel.  At most one capping command is
+ * in flight at a time (the BMC serializes); a command issued while
+ * another is pending supersedes it.  Brake commands use the faster
+ * dedicated path and are never dropped (the brake signal is a simple
+ * hardware line).
+ */
+class SmbpbiController
+{
+  public:
+    struct Options
+    {
+        sim::Tick commandLatency;
+        sim::Tick brakeLatency;
+        double silentFailureProbability;
+
+        Options()
+            : commandLatency(sim::secondsToTicks(40)),
+              brakeLatency(sim::secondsToTicks(5)),
+              silentFailureProbability(0.0)
+        {}
+    };
+
+    SmbpbiController(sim::Simulation &sim, ClockControllable &target,
+                     sim::Rng rng, Options options = Options());
+
+    /** Request a frequency lock; applies after commandLatency. */
+    void requestClockLock(double mhz);
+
+    /** Request removal of the lock; applies after commandLatency. */
+    void requestClockUnlock();
+
+    /** Request brake engage/release; applies after brakeLatency. */
+    void requestPowerBrake(bool engage);
+
+    /** @return true while a capping command is pending. */
+    bool commandPending() const { return pending_.pending(); }
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t commandsIssued() const { return issued_; }
+    std::uint64_t commandsDropped() const { return dropped_; }
+    std::uint64_t brakesIssued() const { return brakes_; }
+    /** @} */
+
+  private:
+    void issue(double lockMhz);
+
+    sim::Simulation &sim_;
+    ClockControllable &target_;
+    sim::Rng rng_;
+    Options options_;
+    sim::EventQueue::Handle pending_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t brakes_ = 0;
+};
+
+} // namespace polca::telemetry
+
+#endif // POLCA_TELEMETRY_SMBPBI_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Diurnal load model: interactive inference traffic follows a daily
+ * cycle with a weekend dip and short-term noise (Table 4: inference
+ * power is "diurnal with short-term variations").  This is the hidden
+ * "production" arrival-rate model from which synthetic traces are
+ * generated per Section 6.4's methodology.
+ */
+
+#ifndef POLCA_WORKLOAD_DIURNAL_HH
+#define POLCA_WORKLOAD_DIURNAL_HH
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace polca::workload {
+
+/**
+ * Utilization-over-time model.  utilizationAt() must be called with
+ * non-decreasing times because the short-term noise is an AR(1)
+ * process advanced along the query sequence.
+ */
+class DiurnalModel
+{
+  public:
+    struct Params
+    {
+        /** Mean busy fraction of the cluster. */
+        double baseUtilization = 0.72;
+
+        /** Peak-to-mean amplitude of the daily sinusoid. */
+        double dailyAmplitude = 0.10;
+
+        /** Utilization reduction on Saturday/Sunday. */
+        double weekendDip = 0.08;
+
+        /** Stddev of the AR(1) short-term noise. */
+        double noiseAmplitude = 0.03;
+
+        /** Correlation time of the noise, seconds. */
+        double noiseCorrSeconds = 600.0;
+
+        /** Time of the daily peak, seconds after midnight. */
+        double peakSecondsOfDay = 14.0 * 3600.0;
+
+        /** Floor/ceiling. */
+        double minUtilization = 0.10;
+        double maxUtilization = 1.00;
+    };
+
+    DiurnalModel(Params params, sim::Rng rng);
+
+    /** Busy-fraction at @p time (call with non-decreasing times). */
+    double utilizationAt(sim::Tick time);
+
+    /** Deterministic component only (no noise); const. */
+    double deterministicAt(sim::Tick time) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    sim::Rng rng_;
+    double noiseState_ = 0.0;
+    sim::Tick lastTime_ = 0;
+    bool first_ = true;
+};
+
+} // namespace polca::workload
+
+#endif // POLCA_WORKLOAD_DIURNAL_HH

@@ -1,0 +1,140 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace polca::workload {
+
+void
+Trace::add(const Request &request)
+{
+    if (!requests_.empty() && request.arrival < requests_.back().arrival) {
+        sim::panic("Trace::add: arrival ", request.arrival,
+                   " precedes previous arrival ",
+                   requests_.back().arrival);
+    }
+    requests_.push_back(request);
+    if (request.arrival > duration_)
+        duration_ = request.arrival;
+}
+
+double
+Trace::meanArrivalRate() const
+{
+    if (duration_ <= 0)
+        return 0.0;
+    return static_cast<double>(requests_.size()) /
+        sim::ticksToSeconds(duration_);
+}
+
+std::vector<std::uint64_t>
+Trace::binnedArrivals(sim::Tick binWidth) const
+{
+    if (binWidth <= 0)
+        sim::panic("Trace::binnedArrivals: non-positive bin width");
+    std::size_t bins =
+        static_cast<std::size_t>((duration_ + binWidth - 1) / binWidth);
+    std::vector<std::uint64_t> counts(bins == 0 ? 1 : bins, 0);
+    for (const auto &request : requests_) {
+        auto bin = static_cast<std::size_t>(request.arrival / binWidth);
+        if (bin >= counts.size())
+            bin = counts.size() - 1;
+        ++counts[bin];
+    }
+    return counts;
+}
+
+Trace
+Trace::slice(sim::Tick start, sim::Tick end) const
+{
+    if (end <= start)
+        sim::panic("Trace::slice: empty interval");
+    Trace out(end - start);
+    for (const auto &request : requests_) {
+        if (request.arrival < start || request.arrival >= end)
+            continue;
+        Request shifted = request;
+        shifted.arrival -= start;
+        out.add(shifted);
+    }
+    out.setDuration(end - start);
+    return out;
+}
+
+double
+Trace::highPriorityFraction() const
+{
+    if (requests_.empty())
+        return 0.0;
+    std::size_t high = 0;
+    for (const auto &request : requests_) {
+        if (request.priority == Priority::High)
+            ++high;
+    }
+    return static_cast<double>(high) /
+        static_cast<double>(requests_.size());
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "arrival_us,id,workload,priority,input_tokens,output_tokens\n";
+    os << "#duration_us=" << duration_ << "\n";
+    for (const auto &r : requests_) {
+        os << r.arrival << ',' << r.id << ',' << r.workloadIndex << ','
+           << (r.priority == Priority::High ? 'H' : 'L') << ','
+           << r.inputTokens << ',' << r.outputTokens << '\n';
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    bool first = true;
+    std::size_t lineNumber = 0;
+    while (std::getline(is, line)) {
+        ++lineNumber;
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;  // header
+            continue;
+        }
+        try {
+            if (line.rfind("#duration_us=", 0) == 0) {
+                trace.setDuration(std::stoll(line.substr(13)));
+                continue;
+            }
+            std::istringstream ss(line);
+            std::string field;
+            Request r;
+            auto next = [&](const char *what) {
+                if (!std::getline(ss, field, ','))
+                    throw std::invalid_argument(what);
+                return field;
+            };
+            r.arrival = std::stoll(next("arrival"));
+            r.id = std::stoull(next("id"));
+            r.workloadIndex =
+                static_cast<std::uint32_t>(std::stoul(next("workload")));
+            r.priority = (next("priority") == "H") ? Priority::High
+                                                   : Priority::Low;
+            r.inputTokens = std::stoi(next("input"));
+            r.outputTokens = std::stoi(next("output"));
+            trace.add(r);
+        } catch (const std::exception &e) {
+            sim::fatal("Trace::load: malformed line ", lineNumber,
+                       " ('", line.substr(0, 60), "'): ", e.what());
+        }
+    }
+    return trace;
+}
+
+} // namespace polca::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Request-level trace container with CSV persistence.  A trace is the
+ * interface between the workload generators and the cluster
+ * simulator, mirroring the paper's synthetic production trace
+ * ("arrivals for each inference request along with their input and
+ * output sizes", Section 6.4).
+ */
+
+#ifndef POLCA_WORKLOAD_TRACE_HH
+#define POLCA_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/workload_spec.hh"
+
+namespace polca::workload {
+
+/** One inference request arrival. */
+struct Request
+{
+    sim::Tick arrival = 0;
+    std::uint64_t id = 0;
+    std::uint32_t workloadIndex = 0;   ///< index into the mix
+    Priority priority = Priority::Low;
+    std::int32_t inputTokens = 0;
+    std::int32_t outputTokens = 0;
+};
+
+/**
+ * Time-ordered request sequence over a fixed horizon.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(sim::Tick duration) : duration_(duration) {}
+
+    /** Append a request; arrivals must be non-decreasing. */
+    void add(const Request &request);
+
+    const std::vector<Request> &requests() const { return requests_; }
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+
+    sim::Tick duration() const { return duration_; }
+    void setDuration(sim::Tick duration) { duration_ = duration; }
+
+    /** Mean arrival rate over the horizon, requests/second. */
+    double meanArrivalRate() const;
+
+    /** Arrival counts per @p binWidth bin across the horizon. */
+    std::vector<std::uint64_t> binnedArrivals(sim::Tick binWidth) const;
+
+    /** Requests with arrival in [start, end); duration = end-start,
+     *  arrivals rebased to 0. */
+    Trace slice(sim::Tick start, sim::Tick end) const;
+
+    /** Fraction of requests at high priority. */
+    double highPriorityFraction() const;
+
+    /** @name CSV persistence */
+    /** @{ */
+    void save(std::ostream &os) const;
+    static Trace load(std::istream &is);
+    /** @} */
+
+  private:
+    std::vector<Request> requests_;
+    sim::Tick duration_ = 0;
+};
+
+} // namespace polca::workload
+
+#endif // POLCA_WORKLOAD_TRACE_HH

@@ -1,0 +1,27 @@
+#include "workload/workload_spec.hh"
+
+namespace polca::workload {
+
+const char *
+toString(Priority priority)
+{
+    return priority == Priority::High ? "High" : "Low";
+}
+
+std::vector<WorkloadSpec>
+paperWorkloadMix()
+{
+    return {
+        {"Summarize", 2048, 8192, 256, 512, 0.25, 0.0},
+        {"Search", 512, 2048, 1024, 2048, 0.25, 1.0},
+        {"Chat", 2048, 4096, 128, 2048, 0.50, 0.5},
+    };
+}
+
+SloSpec
+paperSlos()
+{
+    return SloSpec{};
+}
+
+} // namespace polca::workload

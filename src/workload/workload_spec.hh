@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The inference workload mix and SLOs of the POLCA evaluation
+ * (Table 6): Summarize / Search / Chat tasks over BLOOM-176B with
+ * low/high priorities and latency SLOs per priority.
+ */
+
+#ifndef POLCA_WORKLOAD_WORKLOAD_SPEC_HH
+#define POLCA_WORKLOAD_WORKLOAD_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace polca::workload {
+
+/** Workload priority tiers (pricing tiers / application classes). */
+enum class Priority
+{
+    Low,
+    High,
+};
+
+const char *toString(Priority priority);
+
+/** One row of Table 6. */
+struct WorkloadSpec
+{
+    std::string name;
+    int promptMin;
+    int promptMax;
+    int outputMin;
+    int outputMax;
+
+    /** Fraction of overall traffic. */
+    double trafficFraction;
+
+    /** Fraction of this workload's requests that are high priority
+     *  (Table 6: Summarize 0, Search 1, Chat 0.5). */
+    double highPriorityFraction;
+};
+
+/** Table 6's workload distribution. */
+std::vector<WorkloadSpec> paperWorkloadMix();
+
+/** Latency/availability SLOs of Table 6 (multipliers on the
+ *  unthrottled baseline). */
+struct SloSpec
+{
+    double hpP50Limit = 1.01;   ///< high pri: < 1 % p50 impact
+    double hpP99Limit = 1.05;   ///< high pri: < 5 % p99 impact
+    double lpP50Limit = 1.05;   ///< low pri: < 5 % p50 impact
+    double lpP99Limit = 1.50;   ///< low pri: < 50 % p99 impact
+    int maxPowerBrakes = 0;     ///< zero power-brake events
+};
+
+/** The paper's SLO configuration. */
+SloSpec paperSlos();
+
+} // namespace polca::workload
+
+#endif // POLCA_WORKLOAD_WORKLOAD_SPEC_HH

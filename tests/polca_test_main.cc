@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Shared gtest main: silences warn()/inform() chatter so test output
+ * stays readable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    polca::sim::setQuiet(true);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,73 @@
+/** @file Unit tests for priority-aware server allocation. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.hh"
+
+using namespace polca::cluster;
+using polca::workload::Priority;
+
+namespace {
+
+int
+countLow(const std::vector<Priority> &v)
+{
+    int n = 0;
+    for (Priority p : v)
+        n += p == Priority::Low;
+    return n;
+}
+
+} // namespace
+
+TEST(Allocator, ExactCounts)
+{
+    auto v = allocatePriorities(40, 0.5);
+    EXPECT_EQ(v.size(), 40u);
+    EXPECT_EQ(countLow(v), 20);
+}
+
+TEST(Allocator, RoundsFractionalCounts)
+{
+    EXPECT_EQ(countLow(allocatePriorities(10, 0.25)), 3);
+    EXPECT_EQ(countLow(allocatePriorities(10, 0.33)), 3);
+}
+
+TEST(Allocator, AllLowOrAllHigh)
+{
+    auto low = allocatePriorities(8, 1.0);
+    auto high = allocatePriorities(8, 0.0);
+    EXPECT_EQ(countLow(low), 8);
+    EXPECT_EQ(countLow(high), 0);
+}
+
+TEST(Allocator, InterleavesAcrossRackSlices)
+{
+    // Every contiguous 4-server slice of a 50:50 allocation must
+    // contain both priorities (the "good mix per row" requirement).
+    auto v = allocatePriorities(40, 0.5);
+    for (std::size_t start = 0; start + 4 <= v.size(); ++start) {
+        int low = 0;
+        for (std::size_t i = start; i < start + 4; ++i)
+            low += v[i] == Priority::Low;
+        EXPECT_GE(low, 1) << "slice at " << start;
+        EXPECT_LE(low, 3) << "slice at " << start;
+    }
+}
+
+TEST(Allocator, SparseLowStillSpread)
+{
+    auto v = allocatePriorities(40, 0.1);
+    EXPECT_EQ(countLow(v), 4);
+    // The 4 LP servers should not be adjacent.
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+        EXPECT_FALSE(v[i] == Priority::Low &&
+                     v[i + 1] == Priority::Low);
+    }
+}
+
+TEST(AllocatorDeath, InvalidArgumentsFatal)
+{
+    EXPECT_DEATH(allocatePriorities(0, 0.5), "non-positive");
+    EXPECT_DEATH(allocatePriorities(10, 1.5), "outside");
+}

@@ -1,0 +1,95 @@
+/** @file Unit tests for the ASCII chart renderers. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/ascii_chart.hh"
+
+using namespace polca::analysis;
+using polca::sim::TimeSeries;
+
+namespace {
+
+TimeSeries
+ramp()
+{
+    TimeSeries s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(i * 1000, static_cast<double>(i));
+    return s;
+}
+
+} // namespace
+
+TEST(AsciiChart, RendersNonEmpty)
+{
+    TimeSeries s = ramp();
+    ChartOptions options;
+    options.title = "ramp";
+    std::string out = asciiChart(s, options);
+    EXPECT_NE(out.find("ramp"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiChart, HeightControlsLineCount)
+{
+    TimeSeries s = ramp();
+    ChartOptions options;
+    options.height = 8;
+    std::string out = asciiChart(s, options);
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    // 8 plot rows + axis + time labels.
+    EXPECT_GE(lines, 10);
+    EXPECT_LE(lines, 12);
+}
+
+TEST(AsciiChart, MultipleSeriesUseDistinctGlyphs)
+{
+    TimeSeries a = ramp();
+    TimeSeries b = ramp().scaled(0.5);
+    std::string out = asciiChart({&a, &b}, {"a", "b"});
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(AsciiChartDeath, EmptySeriesPanics)
+{
+    TimeSeries empty;
+    EXPECT_DEATH(asciiChart(empty), "empty series");
+}
+
+TEST(AsciiChartDeath, LabelMismatchPanics)
+{
+    TimeSeries a = ramp();
+    EXPECT_DEATH(asciiChart({&a}, {"x", "y"}), "mismatch");
+}
+
+TEST(AsciiBars, ScalesToMax)
+{
+    std::string out =
+        asciiBars({"small", "large"}, {1.0, 2.0}, 20);
+    // The larger bar must have more '#'.
+    std::size_t firstLine = out.find('\n');
+    std::string line1 = out.substr(0, firstLine);
+    std::string line2 = out.substr(firstLine + 1);
+    auto hashes = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), '#');
+    };
+    EXPECT_LT(hashes(line1), hashes(line2));
+}
+
+TEST(AsciiBars, HandlesAllZero)
+{
+    std::string out = asciiBars({"a"}, {0.0});
+    EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(FormatFixedWidth, PadsLeft)
+{
+    std::string out = formatFixedWidth(1.5, 9);
+    EXPECT_EQ(out.size(), 9u);
+    EXPECT_EQ(out.back(), '0');  // "    1.500"
+}

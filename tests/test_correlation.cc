@@ -1,0 +1,104 @@
+/** @file Unit tests for Pearson correlation utilities. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.hh"
+
+using namespace polca::analysis;
+
+TEST(Pearson, PerfectPositive)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant)
+{
+    std::vector<double> x{1, 5, 2, 8, 3};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(v * 3.5 + 100.0);
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    std::vector<double> x{1, 1, 1};
+    std::vector<double> y{1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, TooFewSamplesGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1.0}, {2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(PearsonDeath, LengthMismatchPanics)
+{
+    std::vector<double> x{1, 2};
+    std::vector<double> y{1};
+    EXPECT_DEATH(pearson(x, y), "length mismatch");
+}
+
+TEST(Pearson, UncorrelatedNearZero)
+{
+    // Deterministic pseudo-random pair with no linear relation.
+    std::vector<double> x, y;
+    unsigned a = 12345, b = 67890;
+    for (int i = 0; i < 2000; ++i) {
+        a = a * 1103515245 + 12345;
+        b = b * 22695477 + 1;
+        x.push_back((a >> 16) % 1000);
+        y.push_back((b >> 16) % 1000);
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.1);
+}
+
+TEST(CorrelationMatrix, DiagonalIsOne)
+{
+    CorrelationMatrix m;
+    m.addSignal("a", {1, 2, 3});
+    m.addSignal("b", {3, 1, 2});
+    auto matrix = m.matrix();
+    EXPECT_DOUBLE_EQ(matrix[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(matrix[1][1], 1.0);
+}
+
+TEST(CorrelationMatrix, Symmetric)
+{
+    CorrelationMatrix m;
+    m.addSignal("a", {1, 2, 3, 4});
+    m.addSignal("b", {2, 1, 4, 3});
+    m.addSignal("c", {4, 3, 2, 1});
+    auto matrix = m.matrix();
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+}
+
+TEST(CorrelationMatrix, AtMatchesPearson)
+{
+    CorrelationMatrix m;
+    std::vector<double> a{1, 2, 3, 5};
+    std::vector<double> b{2, 2, 4, 6};
+    m.addSignal("a", a);
+    m.addSignal("b", b);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), pearson(a, b));
+}
+
+TEST(CorrelationMatrixDeath, MismatchedLengthPanics)
+{
+    CorrelationMatrix m;
+    m.addSignal("a", {1, 2, 3});
+    EXPECT_DEATH(m.addSignal("b", {1, 2}), "expected 3");
+}

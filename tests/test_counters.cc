@@ -1,0 +1,132 @@
+/** @file Tests for GPU counter synthesis (Figure 7 structure). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.hh"
+#include "llm/counters.hh"
+
+using namespace polca::llm;
+using namespace polca::analysis;
+using polca::sim::Rng;
+
+namespace {
+
+/** Collect n samples of each counter into a correlation matrix. */
+CorrelationMatrix
+collect(Phase phase, int n, std::uint64_t seed)
+{
+    ModelCatalog catalog;
+    CounterSynthesizer synth(catalog.byName("BLOOM-176B"), Rng(seed));
+    InferenceConfig config;
+    config.inputTokens = 2048;
+    config.outputTokens = 256;
+
+    auto names = counterNames();
+    std::vector<std::vector<double>> columns(names.size());
+    for (int i = 0; i < n; ++i) {
+        auto values = counterValues(synth.sample(phase, config));
+        for (std::size_t c = 0; c < values.size(); ++c)
+            columns[c].push_back(values[c]);
+    }
+    CorrelationMatrix m;
+    for (std::size_t c = 0; c < names.size(); ++c)
+        m.addSignal(names[c], std::move(columns[c]));
+    return m;
+}
+
+std::size_t
+indexOf(const CorrelationMatrix &m, const std::string &name)
+{
+    for (std::size_t i = 0; i < m.names().size(); ++i) {
+        if (m.names()[i] == name)
+            return i;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+}
+
+} // namespace
+
+TEST(Counters, NamesAndValuesAlign)
+{
+    EXPECT_EQ(counterNames().size(), 7u);
+    CounterSample sample{};
+    EXPECT_EQ(counterValues(sample).size(), counterNames().size());
+}
+
+TEST(Counters, SamplesAreDeterministicPerSeed)
+{
+    ModelCatalog catalog;
+    InferenceConfig config;
+    CounterSynthesizer a(catalog.byName("BLOOM-176B"), Rng(5));
+    CounterSynthesizer b(catalog.byName("BLOOM-176B"), Rng(5));
+    for (int i = 0; i < 10; ++i) {
+        auto sa = a.sample(Phase::Prompt, config);
+        auto sb = b.sample(Phase::Prompt, config);
+        EXPECT_DOUBLE_EQ(sa.powerWatts, sb.powerWatts);
+        EXPECT_DOUBLE_EQ(sa.smActivity, sb.smActivity);
+    }
+}
+
+TEST(Counters, PromptPowerCorrelatesWithSmAndTensor)
+{
+    // Fig 7 left: power moves with SM/tensor activity.
+    auto m = collect(Phase::Prompt, 3000, 11);
+    std::size_t power = indexOf(m, "Power");
+    std::size_t sm = indexOf(m, "SM Activity");
+    std::size_t tensor = indexOf(m, "Tensor Activity");
+    EXPECT_GT(m.at(power, sm), 0.6);
+    EXPECT_GT(m.at(power, tensor), 0.6);
+}
+
+TEST(Counters, PromptPowerAnticorrelatesWithMemory)
+{
+    // Fig 7 left: memory activity moves against power.
+    auto m = collect(Phase::Prompt, 3000, 13);
+    EXPECT_LT(m.at(indexOf(m, "Power"),
+                   indexOf(m, "Memory Util")), -0.6);
+}
+
+TEST(Counters, TokenCountersLargelyUncorrelated)
+{
+    // Fig 7 right: token-phase counters fluctuate independently.
+    auto m = collect(Phase::Token, 3000, 17);
+    std::size_t power = indexOf(m, "Power");
+    for (const char *name :
+         {"SM Activity", "Tensor Activity", "Memory Util"}) {
+        EXPECT_LT(std::abs(m.at(power, indexOf(m, name))), 0.15)
+            << name;
+    }
+}
+
+TEST(Counters, TokenPowerLowerThanPromptPower)
+{
+    ModelCatalog catalog;
+    CounterSynthesizer synth(catalog.byName("BLOOM-176B"), Rng(19));
+    InferenceConfig config;
+    config.inputTokens = 4096;
+    double promptMean = 0.0, tokenMean = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        promptMean += synth.sample(Phase::Prompt, config).powerWatts;
+        tokenMean += synth.sample(Phase::Token, config).powerWatts;
+    }
+    EXPECT_GT(promptMean, tokenMean * 1.2);
+}
+
+TEST(Counters, UtilizationsStayInUnitRange)
+{
+    ModelCatalog catalog;
+    CounterSynthesizer synth(catalog.byName("BLOOM-176B"), Rng(23));
+    InferenceConfig config;
+    for (int i = 0; i < 2000; ++i) {
+        for (Phase phase : {Phase::Prompt, Phase::Token}) {
+            auto s = synth.sample(phase, config);
+            for (double v :
+                 {s.gpuUtilization, s.memoryUtilization, s.smActivity,
+                  s.tensorActivity, s.pcieTxRate, s.pcieRxRate}) {
+                ASSERT_GE(v, 0.0);
+                ASSERT_LE(v, 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+/** @file Unit tests for CSV read/write round-tripping. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/csv.hh"
+
+using namespace polca::analysis;
+
+TEST(Csv, WriterBasicRows)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.header({"a", "b"});
+    w.row({1.5, 2.0});
+    EXPECT_EQ(oss.str(), "a,b\n1.5,2\n");
+}
+
+TEST(Csv, EscapingQuotesAndCommas)
+{
+    EXPECT_EQ(escapeCsvField("plain"), "plain");
+    EXPECT_EQ(escapeCsvField("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(escapeCsvField("with\"quote"), "\"with\"\"quote\"");
+}
+
+TEST(CsvDeath, ColumnCountMismatchPanics)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.header({"a", "b"});
+    EXPECT_DEATH(w.row({1.0}), "expected 2");
+}
+
+TEST(Csv, ParseSimple)
+{
+    auto rows = parseCsv("a,b\n1,2\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, ParseQuotedFields)
+{
+    auto rows = parseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "x,y");
+    EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(Csv, ParseEmptyFields)
+{
+    auto rows = parseCsv("a,,c\n");
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), 3u);
+    EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(Csv, ParseCrlf)
+{
+    auto rows = parseCsv("a,b\r\nc,d\r\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, ParseNoTrailingNewline)
+{
+    auto rows = parseCsv("a,b");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][1], "b");
+}
+
+TEST(Csv, RoundTrip)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.rowStrings({"x,1", "plain", "q\"q"});
+    auto rows = parseCsv(oss.str());
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0], "x,1");
+    EXPECT_EQ(rows[0][1], "plain");
+    EXPECT_EQ(rows[0][2], "q\"q");
+}

@@ -1,0 +1,160 @@
+/** @file Unit tests for the load-balancing dispatcher. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/dispatcher.hh"
+#include "llm/model_spec.hh"
+
+using namespace polca::cluster;
+using namespace polca::workload;
+using namespace polca::sim;
+
+namespace {
+
+struct Fixture
+{
+    Fixture(int lowServers, int highServers)
+        : dispatcher(sim, Rng(3))
+    {
+        auto addServers = [&](int n, Priority p) {
+            for (int i = 0; i < n; ++i) {
+                servers.push_back(std::make_unique<InferenceServer>(
+                    sim, polca::power::ServerSpec::dgxA100_80gb(),
+                    catalog.byName("BLOOM-176B"), p,
+                    static_cast<int>(servers.size())));
+                dispatcher.addServer(servers.back().get());
+            }
+        };
+        addServers(lowServers, Priority::Low);
+        addServers(highServers, Priority::High);
+    }
+
+    Trace
+    burst(int n, Priority priority, Tick start = 0,
+          int output = 64)
+    {
+        Trace trace;
+        for (int i = 0; i < n; ++i) {
+            Request r;
+            r.arrival = start + i;
+            r.id = static_cast<std::uint64_t>(i);
+            r.priority = priority;
+            r.inputTokens = 1024;
+            r.outputTokens = output;
+            trace.add(r);
+        }
+        return trace;
+    }
+
+    Simulation sim;
+    polca::llm::ModelCatalog catalog;
+    Dispatcher dispatcher;
+    std::vector<std::unique_ptr<InferenceServer>> servers;
+};
+
+} // namespace
+
+TEST(Dispatcher, RoutesToMatchingPriorityPool)
+{
+    Fixture f(2, 2);
+    Trace lows = f.burst(2, Priority::Low);
+    f.dispatcher.injectTrace(lows);
+    f.sim.runFor(secondsToTicks(1));
+
+    // Both low-priority servers busy; high pool untouched.
+    EXPECT_FALSE(f.servers[0]->idleNow());
+    EXPECT_FALSE(f.servers[1]->idleNow());
+    EXPECT_TRUE(f.servers[2]->idleNow());
+    EXPECT_TRUE(f.servers[3]->idleNow());
+}
+
+TEST(Dispatcher, CountsArrivalsAndCompletions)
+{
+    Fixture f(2, 0);
+    Trace trace = f.burst(4, Priority::Low);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(60));
+    EXPECT_EQ(f.dispatcher.arrivals(Priority::Low), 4u);
+    EXPECT_EQ(f.dispatcher.completions(Priority::Low), 4u);
+    EXPECT_EQ(f.dispatcher.latencySeconds(Priority::Low).count(), 4u);
+}
+
+TEST(Dispatcher, OverflowGoesToCentralQueueThenDrains)
+{
+    Fixture f(1, 0);
+    // One server, buffer one: 5 requests -> 3 in the central queue.
+    Trace trace = f.burst(5, Priority::Low);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(1));
+    EXPECT_EQ(f.dispatcher.centralQueueDepth(Priority::Low), 3u);
+    f.sim.runFor(secondsToTicks(300));
+    EXPECT_EQ(f.dispatcher.centralQueueDepth(Priority::Low), 0u);
+    EXPECT_EQ(f.dispatcher.completions(Priority::Low), 5u);
+}
+
+TEST(Dispatcher, QueueingInflatesLatencyOfLaterRequests)
+{
+    Fixture f(1, 0);
+    Trace trace = f.burst(3, Priority::Low);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(300));
+    const auto &sampler = f.dispatcher.latencySeconds(Priority::Low);
+    ASSERT_EQ(sampler.count(), 3u);
+    EXPECT_GT(sampler.max(), 2.0 * sampler.min());
+}
+
+TEST(Dispatcher, SpreadsLoadAcrossIdleServers)
+{
+    Fixture f(8, 0);
+    Trace trace = f.burst(8, Priority::Low);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(1));
+    for (const auto &server : f.servers)
+        EXPECT_FALSE(server->idleNow());
+}
+
+TEST(Dispatcher, ThroughputReflectsCompletions)
+{
+    Fixture f(2, 0);
+    Trace trace = f.burst(4, Priority::Low);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(100));
+    EXPECT_NEAR(f.dispatcher.throughput(Priority::Low), 4.0 / 100.0,
+                1e-6);
+}
+
+TEST(Dispatcher, PerWorkloadLatencyTracked)
+{
+    Fixture f(2, 0);
+    Trace trace;
+    Request r;
+    r.arrival = 0;
+    r.priority = Priority::Low;
+    r.workloadIndex = 2;
+    r.inputTokens = 1024;
+    r.outputTokens = 64;
+    trace.add(r);
+    f.dispatcher.injectTrace(trace);
+    f.sim.runFor(secondsToTicks(60));
+    ASSERT_GE(f.dispatcher.latencyByWorkload().size(), 3u);
+    EXPECT_EQ(f.dispatcher.latencyByWorkload()[2].count(), 1u);
+}
+
+TEST(DispatcherDeath, NoPoolServersFatal)
+{
+    Fixture f(1, 0);
+    Trace trace = f.burst(1, Priority::High);
+    f.dispatcher.injectTrace(trace);
+    EXPECT_DEATH(f.sim.runFor(secondsToTicks(1)), "priority pool");
+}
+
+TEST(Dispatcher, EmptyTraceIsNoop)
+{
+    Fixture f(1, 1);
+    Trace empty;
+    f.dispatcher.injectTrace(empty);
+    f.sim.runFor(secondsToTicks(1));
+    EXPECT_EQ(f.dispatcher.arrivals(Priority::Low), 0u);
+}

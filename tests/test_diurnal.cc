@@ -1,0 +1,114 @@
+/** @file Unit tests for the diurnal utilization model. */
+
+#include <gtest/gtest.h>
+
+#include "workload/diurnal.hh"
+
+using namespace polca::workload;
+using namespace polca::sim;
+
+namespace {
+
+constexpr double day = 24.0 * 3600.0;
+
+DiurnalModel::Params
+quietParams()
+{
+    DiurnalModel::Params p;
+    p.noiseAmplitude = 0.0;
+    return p;
+}
+
+} // namespace
+
+TEST(Diurnal, PeakAtConfiguredHour)
+{
+    DiurnalModel model(quietParams(), Rng(1));
+    double peak = model.deterministicAt(secondsToTicks(14 * 3600));
+    double trough = model.deterministicAt(secondsToTicks(2 * 3600));
+    EXPECT_GT(peak, trough);
+    DiurnalModel::Params p = quietParams();
+    EXPECT_NEAR(peak, p.baseUtilization + p.dailyAmplitude, 1e-9);
+}
+
+TEST(Diurnal, DailyPeriodicity)
+{
+    DiurnalModel model(quietParams(), Rng(1));
+    double d0 = model.deterministicAt(secondsToTicks(10 * 3600));
+    double d1 = model.deterministicAt(secondsToTicks(day + 10 * 3600));
+    EXPECT_NEAR(d0, d1, 1e-9);
+}
+
+TEST(Diurnal, WeekendDip)
+{
+    DiurnalModel model(quietParams(), Rng(1));
+    // Day 0 = Monday; day 5 = Saturday.
+    double weekday = model.deterministicAt(
+        secondsToTicks(2 * day + 12 * 3600));
+    double weekend = model.deterministicAt(
+        secondsToTicks(5 * day + 12 * 3600));
+    EXPECT_NEAR(weekday - weekend, quietParams().weekendDip, 1e-9);
+}
+
+TEST(Diurnal, ClampsToConfiguredRange)
+{
+    DiurnalModel::Params p;
+    p.baseUtilization = 0.95;
+    p.dailyAmplitude = 0.30;   // would exceed 1.0
+    p.noiseAmplitude = 0.0;
+    DiurnalModel model(p, Rng(1));
+    for (int h = 0; h < 24; ++h) {
+        double u = model.deterministicAt(secondsToTicks(h * 3600.0));
+        EXPECT_LE(u, p.maxUtilization);
+        EXPECT_GE(u, p.minUtilization);
+    }
+}
+
+TEST(Diurnal, NoiseIsDeterministicPerSeed)
+{
+    DiurnalModel a(DiurnalModel::Params{}, Rng(5));
+    DiurnalModel b(DiurnalModel::Params{}, Rng(5));
+    for (int i = 0; i < 100; ++i) {
+        Tick t = secondsToTicks(i * 60.0);
+        ASSERT_DOUBLE_EQ(a.utilizationAt(t), b.utilizationAt(t));
+    }
+}
+
+TEST(Diurnal, NoiseHasConfiguredScale)
+{
+    DiurnalModel::Params p;
+    p.noiseAmplitude = 0.05;
+    DiurnalModel model(p, Rng(7));
+    double sumSq = 0.0;
+    int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        // Sample far apart so the AR(1) state decorrelates.
+        Tick t = secondsToTicks(i * 3600.0);
+        double noise =
+            model.utilizationAt(t) - model.deterministicAt(t);
+        sumSq += noise * noise;
+    }
+    double stddev = std::sqrt(sumSq / n);
+    // Clamping shaves a bit off the tails.
+    EXPECT_NEAR(stddev, 0.05, 0.02);
+}
+
+TEST(Diurnal, NoiseIsCorrelatedOverShortLags)
+{
+    DiurnalModel::Params p;
+    p.noiseAmplitude = 0.05;
+    p.noiseCorrSeconds = 600.0;
+    DiurnalModel model(p, Rng(9));
+    // Consecutive 1 s samples should be nearly identical.
+    double prev = model.utilizationAt(secondsToTicks(1000.0));
+    double next = model.utilizationAt(secondsToTicks(1001.0));
+    EXPECT_NEAR(next, prev, 0.01);
+}
+
+TEST(DiurnalDeath, BackwardsQueryPanics)
+{
+    DiurnalModel model(DiurnalModel::Params{}, Rng(1));
+    model.utilizationAt(secondsToTicks(100.0));
+    EXPECT_DEATH(model.utilizationAt(secondsToTicks(50.0)),
+                 "precedes");
+}

@@ -1,0 +1,85 @@
+/** @file Unit tests for the energy meter. */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/energy_meter.hh"
+
+using namespace polca::telemetry;
+using namespace polca::sim;
+
+TEST(EnergyMeter, ConstantPowerIntegratesExactly)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, [] { return 1000.0; });
+    meter.start();
+    sim.runFor(secondsToTicks(3600));
+    EXPECT_NEAR(meter.joules(), 1000.0 * 3600.0, 2100.0);
+    EXPECT_NEAR(meter.kilowattHours(), 1.0, 0.001);
+}
+
+TEST(EnergyMeter, StepChangeCaptured)
+{
+    Simulation sim;
+    double watts = 100.0;
+    EnergyMeter meter(sim, [&] { return watts; });
+    meter.start();
+    sim.runFor(secondsToTicks(100));
+    watts = 300.0;
+    sim.runFor(secondsToTicks(100));
+    // 100s at 100W + 100s at 300W = 40 kJ (left-rectangle, +-1
+    // sample of error at the boundary).
+    EXPECT_NEAR(meter.joules(), 40000.0, 700.0);
+}
+
+TEST(EnergyMeter, MeanPowerMatchesIntegral)
+{
+    Simulation sim;
+    double watts = 200.0;
+    EnergyMeter meter(sim, [&] { return watts; });
+    meter.start();
+    sim.runFor(secondsToTicks(50));
+    watts = 400.0;
+    sim.runFor(secondsToTicks(50));
+    EXPECT_NEAR(meter.meanPowerWatts(), 300.0, 10.0);
+}
+
+TEST(EnergyMeter, StopFreezesTotal)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, [] { return 500.0; });
+    meter.start();
+    sim.runFor(secondsToTicks(10));
+    meter.stop();
+    double frozen = meter.joules();
+    sim.runFor(secondsToTicks(100));
+    EXPECT_DOUBLE_EQ(meter.joules(), frozen);
+    EXPECT_FALSE(meter.running());
+}
+
+TEST(EnergyMeter, ZeroBeforeStart)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, [] { return 500.0; });
+    sim.runFor(secondsToTicks(100));
+    EXPECT_DOUBLE_EQ(meter.joules(), 0.0);
+    EXPECT_DOUBLE_EQ(meter.meanPowerWatts(), 0.0);
+}
+
+TEST(EnergyMeter, CustomInterval)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, [] { return 100.0; },
+                      secondsToTicks(10));
+    meter.start();
+    sim.runFor(secondsToTicks(100));
+    EXPECT_NEAR(meter.joules(), 10000.0, 1100.0);
+}
+
+TEST(EnergyMeterDeath, InvalidConstruction)
+{
+    Simulation sim;
+    EXPECT_DEATH(EnergyMeter(sim, EnergyMeter::PowerSource{}),
+                 "empty power source");
+    EXPECT_DEATH(EnergyMeter(sim, [] { return 1.0; }, 0),
+                 "non-positive interval");
+}

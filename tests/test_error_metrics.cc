@@ -1,0 +1,89 @@
+/** @file Unit tests for MAPE/RMSE error metrics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_metrics.hh"
+
+using namespace polca::analysis;
+using polca::sim::TimeSeries;
+using polca::sim::Tick;
+
+TEST(Mape, IdenticalVectorsZero)
+{
+    std::vector<double> v{1, 2, 3};
+    EXPECT_DOUBLE_EQ(mape(v, v), 0.0);
+}
+
+TEST(Mape, KnownValue)
+{
+    std::vector<double> ref{100, 200};
+    std::vector<double> cand{110, 180};
+    // |10|/100 = 0.10, |20|/200 = 0.10 -> 0.10
+    EXPECT_NEAR(mape(ref, cand), 0.10, 1e-12);
+}
+
+TEST(Mape, SkipsNonPositiveReference)
+{
+    std::vector<double> ref{0.0, 100.0};
+    std::vector<double> cand{5.0, 110.0};
+    EXPECT_NEAR(mape(ref, cand), 0.10, 1e-12);
+}
+
+TEST(Mape, AllSkippedGivesZero)
+{
+    std::vector<double> ref{0.0, -1.0};
+    std::vector<double> cand{5.0, 5.0};
+    EXPECT_DOUBLE_EQ(mape(ref, cand), 0.0);
+}
+
+TEST(MapeDeath, LengthMismatchPanics)
+{
+    std::vector<double> a{1.0};
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_DEATH(mape(a, b), "length mismatch");
+}
+
+TEST(Mape, TimeSeriesOverlapGrid)
+{
+    TimeSeries ref, cand;
+    for (Tick t = 0; t <= 100; t += 10) {
+        ref.add(t, 100.0);
+        cand.add(t, 105.0);
+    }
+    EXPECT_NEAR(mape(ref, cand, 10), 0.05, 1e-12);
+}
+
+TEST(Mape, TimeSeriesDifferentExtents)
+{
+    TimeSeries ref, cand;
+    for (Tick t = 0; t <= 100; t += 10)
+        ref.add(t, 100.0);
+    for (Tick t = 50; t <= 200; t += 10)
+        cand.add(t, 110.0);
+    // Overlap [50, 100].
+    EXPECT_NEAR(mape(ref, cand, 10), 0.10, 1e-12);
+}
+
+TEST(MapeDeath, NonOverlappingSeriesPanics)
+{
+    TimeSeries ref, cand;
+    ref.add(0, 1.0);
+    ref.add(10, 1.0);
+    cand.add(100, 1.0);
+    cand.add(110, 1.0);
+    EXPECT_DEATH(mape(ref, cand, 5), "do not overlap");
+}
+
+TEST(Rmse, KnownValue)
+{
+    std::vector<double> ref{0.0, 0.0};
+    std::vector<double> cand{3.0, 4.0};
+    EXPECT_NEAR(rmse(ref, cand), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rmse, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}

@@ -1,0 +1,198 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace polca::sim;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.now(), 0);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_FALSE(queue.runOne());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.schedule(5, [&] { order.push_back(2); });
+    queue.schedule(5, [&] { order.push_back(3); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue queue;
+    Tick seen = -1;
+    queue.schedule(42, [&] { seen = queue.now(); });
+    queue.runOne();
+    EXPECT_EQ(seen, 42);
+    EXPECT_EQ(queue.now(), 42);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&] { ++fired; });
+    queue.schedule(20, [&] { ++fired; });
+    queue.schedule(21, [&] { ++fired; });
+    EXPECT_EQ(queue.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.now(), 20);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
+{
+    EventQueue queue;
+    queue.runUntil(1000);
+    EXPECT_EQ(queue.now(), 1000);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    Tick seen = -1;
+    queue.schedule(100, [&] {
+        queue.scheduleAfter(50, [&] { seen = queue.now(); });
+    });
+    queue.runAll();
+    EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue queue;
+    bool fired = false;
+    auto handle = queue.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(handle.pending());
+    queue.cancel(handle);
+    EXPECT_FALSE(handle.pending());
+    queue.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(queue.numProcessed(), 0u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue queue;
+    auto handle = queue.schedule(10, [] {});
+    queue.runAll();
+    EXPECT_FALSE(handle.pending());
+    queue.cancel(handle);  // must not crash or corrupt counters
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventQueue queue;
+    EventQueue::Handle handle;
+    EXPECT_FALSE(handle.pending());
+    queue.cancel(handle);  // no-op
+}
+
+TEST(EventQueue, CancelledEventsDoNotCountAsLive)
+{
+    EventQueue queue;
+    auto a = queue.schedule(10, [] {});
+    queue.schedule(20, [] {});
+    EXPECT_EQ(queue.size(), 2u);
+    queue.cancel(a);
+    EXPECT_EQ(queue.size(), 1u);
+    EXPECT_FALSE(queue.empty());
+}
+
+TEST(EventQueue, ReentrantSchedulingDuringCallback)
+{
+    EventQueue queue;
+    std::vector<Tick> times;
+    queue.schedule(10, [&] {
+        times.push_back(queue.now());
+        queue.schedule(15, [&] { times.push_back(queue.now()); });
+        queue.schedule(12, [&] { times.push_back(queue.now()); });
+    });
+    queue.runAll();
+    EXPECT_EQ(times, (std::vector<Tick>{10, 12, 15}));
+}
+
+TEST(EventQueue, SchedulingAtCurrentTimeDuringCallbackFiresSameRun)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule(10, [&] {
+        ++count;
+        if (count < 3)
+            queue.schedule(queue.now(), [&] { ++count; });
+    });
+    queue.runAll();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, NumProcessedCounts)
+{
+    EventQueue queue;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(i, [] {});
+    queue.runAll();
+    EXPECT_EQ(queue.numProcessed(), 5u);
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue queue;
+    queue.schedule(10, [] {});
+    queue.runAll();
+    EXPECT_DEATH(queue.schedule(5, [] {}), "in the past");
+}
+
+TEST(EventQueueDeath, NegativeDelayPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.scheduleAfter(-1, [] {}), "negative delay");
+}
+
+TEST(EventQueueDeath, EmptyCallbackPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.schedule(1, EventQueue::Callback{}),
+                 "empty callback");
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue queue;
+    Tick last = -1;
+    bool ordered = true;
+    for (int i = 0; i < 10000; ++i) {
+        Tick when = (i * 7919) % 1000;  // scrambled times
+        queue.schedule(when, [&, when] {
+            if (when < last)
+                ordered = false;
+            last = when;
+        });
+    }
+    queue.runAll();
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(queue.numProcessed(), 10000u);
+}

@@ -1,0 +1,177 @@
+/** @file Unit tests for the sub-stepped segment executor. */
+
+#include <gtest/gtest.h>
+
+#include "llm/executor.hh"
+#include "llm/model_spec.hh"
+#include "llm/phase_model.hh"
+#include "llm/segments.hh"
+#include "llm/training_model.hh"
+
+using namespace polca::llm;
+using namespace polca::power;
+using namespace polca::sim;
+
+namespace {
+
+ServerModel
+makeServer()
+{
+    return ServerModel(ServerSpec::dgxA100_80gb());
+}
+
+std::vector<std::size_t>
+allGpus()
+{
+    return {0, 1, 2, 3, 4, 5, 6, 7};
+}
+
+} // namespace
+
+TEST(SegmentExecutor, UnthrottledSegmentTakesNominalTime)
+{
+    ServerModel server = makeServer();
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment seg{secondsToTicks(2.0), {0.5, 0.5}, 0.9, "work"};
+    Tick elapsed = exec.run({seg});
+    EXPECT_NEAR(ticksToSeconds(elapsed), 2.0, 0.02);
+}
+
+TEST(SegmentExecutor, LockedClockStretchesComputeSegment)
+{
+    ServerModel server = makeServer();
+    server.lockClockAll(705.0);  // 2x slowdown for pure compute
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment seg{secondsToTicks(1.0), {0.5, 0.5}, 1.0, "compute"};
+    Tick elapsed = exec.run({seg});
+    EXPECT_NEAR(ticksToSeconds(elapsed), 2.0, 0.05);
+}
+
+TEST(SegmentExecutor, MemoryBoundSegmentUnaffectedByClock)
+{
+    ServerModel server = makeServer();
+    server.lockClockAll(705.0);
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment seg{secondsToTicks(1.0), {0.3, 0.9}, 0.0, "memory"};
+    Tick elapsed = exec.run({seg});
+    EXPECT_NEAR(ticksToSeconds(elapsed), 1.0, 0.02);
+}
+
+TEST(SegmentExecutor, SamplesPowerAtInterval)
+{
+    ServerModel server = makeServer();
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment seg{secondsToTicks(1.0), {0.5, 0.5}, 0.9, "work"};
+    exec.run({seg});
+    // 100 ms cadence over 1 s -> ~10 samples (plus t=0).
+    EXPECT_GE(exec.gpuPowerSeries().size(), 10u);
+    EXPECT_LE(exec.gpuPowerSeries().size(), 12u);
+    EXPECT_EQ(exec.gpuPowerSeries().size(),
+              exec.serverPowerSeries().size());
+}
+
+TEST(SegmentExecutor, PowerReflectsSegmentActivity)
+{
+    ServerModel server = makeServer();
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment hot{secondsToTicks(1.0), {1.05, 0.5}, 0.9, "hot"};
+    WorkSegment cold{secondsToTicks(1.0), {0.1, 0.2}, 0.9, "cold"};
+    exec.run({hot, cold});
+    const auto &series = exec.gpuPowerSeries();
+    // First-half samples are hotter than the second half.
+    double early = series.valueAt(secondsToTicks(0.5));
+    double late = series.valueAt(secondsToTicks(1.5));
+    EXPECT_GT(early, late * 1.8);
+}
+
+TEST(SegmentExecutor, ReactiveCapStretchesCappedWorkload)
+{
+    // A capped prompt-like phase throttles and therefore takes
+    // longer than nominal.
+    ServerModel server = makeServer();
+    server.setPowerCapAll(325.0);
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment seg{secondsToTicks(2.0), {1.05, 0.5}, 0.9, "prompt"};
+    Tick elapsed = exec.run({seg});
+    EXPECT_GT(ticksToSeconds(elapsed), 2.05);
+    // Steady-state power ends up at/below the cap.
+    EXPECT_LE(server.gpu(0).powerWatts(), 330.0);
+}
+
+TEST(SegmentExecutor, IdleAdvancesTimeAtIdlePower)
+{
+    ServerModel server = makeServer();
+    SegmentExecutor exec(server, allGpus());
+    exec.idle(secondsToTicks(1.0));
+    EXPECT_EQ(exec.now(), secondsToTicks(1.0));
+    double gpuIdle = 8 * server.spec().gpu.idleWatts;
+    EXPECT_NEAR(exec.gpuPowerSeries().points().back().value, gpuIdle,
+                1.0);
+}
+
+TEST(SegmentExecutor, ExecutedSegmentsLogged)
+{
+    ServerModel server = makeServer();
+    SegmentExecutor exec(server, allGpus());
+    WorkSegment a{secondsToTicks(0.5), {0.5, 0.5}, 0.9, "a"};
+    WorkSegment b{secondsToTicks(0.25), {0.5, 0.5}, 0.9, "b"};
+    exec.run({a, b});
+    ASSERT_EQ(exec.executedSegments().size(), 2u);
+    EXPECT_EQ(exec.executedSegments()[0].label, "a");
+    EXPECT_EQ(exec.executedSegments()[1].label, "b");
+    EXPECT_NEAR(
+        ticksToSeconds(exec.executedSegments()[0].duration), 0.5,
+        0.02);
+}
+
+TEST(SegmentExecutorDeath, NoGpusFatal)
+{
+    ServerModel server = makeServer();
+    EXPECT_DEATH(SegmentExecutor(server, {}), "no GPUs");
+}
+
+TEST(SegmentExecutorDeath, GpuIndexOutOfRangeFatal)
+{
+    ServerModel server = makeServer();
+    EXPECT_DEATH(SegmentExecutor(server, {42}), "out of range");
+}
+
+TEST(Segments, InferenceSegmentsMatchPhaseModel)
+{
+    ModelCatalog catalog;
+    PhaseModel phases(catalog.byName("BLOOM-176B"));
+    InferenceConfig config;
+    config.inputTokens = 2048;
+    config.outputTokens = 256;
+    auto segments = inferenceSegments(phases, config);
+    ASSERT_EQ(segments.size(), 2u);
+    EXPECT_EQ(segments[0].label, "prompt");
+    EXPECT_EQ(segments[1].label, "token");
+    EXPECT_EQ(segments[0].workAtMaxClock,
+              phases.promptDuration(config));
+    EXPECT_EQ(segments[1].workAtMaxClock,
+              phases.tokenPhaseDuration(config));
+}
+
+TEST(Segments, ZeroOutputOmitsTokenSegment)
+{
+    ModelCatalog catalog;
+    PhaseModel phases(catalog.byName("BLOOM-176B"));
+    InferenceConfig config;
+    config.outputTokens = 0;
+    auto segments = inferenceSegments(phases, config);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].label, "prompt");
+}
+
+TEST(Segments, TrainingIterationHasFourPhases)
+{
+    TrainingModel model(TrainingSpec::forModel("RoBERTa"));
+    auto segments = trainingIterationSegments(model);
+    ASSERT_EQ(segments.size(), 4u);
+    EXPECT_EQ(segments[0].label, "forward");
+    EXPECT_EQ(segments[3].label, "sync");
+    // Sync is communication: not compute bound.
+    EXPECT_DOUBLE_EQ(segments[3].computeBoundFraction, 0.0);
+    EXPECT_GT(segments[0].computeBoundFraction, 0.4);
+}

@@ -1,0 +1,136 @@
+/** @file Unit tests for the LLM catalog (Table 3). */
+
+#include <gtest/gtest.h>
+
+#include "llm/model_spec.hh"
+
+using namespace polca::llm;
+
+TEST(ModelCatalog, ContainsTable3Models)
+{
+    ModelCatalog catalog;
+    for (const char *name :
+         {"RoBERTa", "Llama2-13B", "Llama2-70B", "GPT-NeoX-20B",
+          "OPT-30B", "BLOOM-176B", "Flan-T5-XXL"}) {
+        EXPECT_TRUE(catalog.contains(name)) << name;
+    }
+    EXPECT_FALSE(catalog.contains("GPT-4"));
+}
+
+TEST(ModelCatalog, Table3GpuCounts)
+{
+    ModelCatalog catalog;
+    EXPECT_EQ(catalog.byName("RoBERTa").inferenceGpus, 1);
+    EXPECT_EQ(catalog.byName("Llama2-13B").inferenceGpus, 1);
+    EXPECT_EQ(catalog.byName("Llama2-70B").inferenceGpus, 4);
+    EXPECT_EQ(catalog.byName("GPT-NeoX-20B").inferenceGpus, 2);
+    EXPECT_EQ(catalog.byName("OPT-30B").inferenceGpus, 4);
+    EXPECT_EQ(catalog.byName("BLOOM-176B").inferenceGpus, 8);
+    EXPECT_EQ(catalog.byName("Flan-T5-XXL").inferenceGpus, 1);
+}
+
+TEST(ModelCatalog, Table3Architectures)
+{
+    ModelCatalog catalog;
+    EXPECT_EQ(catalog.byName("RoBERTa").architecture,
+              Architecture::Encoder);
+    EXPECT_EQ(catalog.byName("BLOOM-176B").architecture,
+              Architecture::Decoder);
+    EXPECT_EQ(catalog.byName("Flan-T5-XXL").architecture,
+              Architecture::EncoderDecoder);
+}
+
+TEST(ModelCatalog, TrainableFlagsMatchPaper)
+{
+    // Table 3 stars Llama2/OPT/BLOOM as inference-only.
+    ModelCatalog catalog;
+    EXPECT_TRUE(catalog.byName("RoBERTa").trainable);
+    EXPECT_TRUE(catalog.byName("GPT-NeoX-20B").trainable);
+    EXPECT_TRUE(catalog.byName("Flan-T5-XXL").trainable);
+    EXPECT_FALSE(catalog.byName("Llama2-70B").trainable);
+    EXPECT_FALSE(catalog.byName("OPT-30B").trainable);
+    EXPECT_FALSE(catalog.byName("BLOOM-176B").trainable);
+}
+
+TEST(ModelCatalogDeath, UnknownModelFatal)
+{
+    ModelCatalog catalog;
+    EXPECT_DEATH(catalog.byName("nonexistent"), "unknown model");
+}
+
+TEST(ModelCatalog, InferenceSubsetIsTheFigure6Five)
+{
+    ModelCatalog catalog;
+    auto names = catalog.inferenceModelNames();
+    EXPECT_EQ(names.size(), 5u);
+    for (const auto &name : names)
+        EXPECT_TRUE(catalog.contains(name));
+}
+
+TEST(ModelCatalog, TrainingSubsetIsTheFigure4Three)
+{
+    ModelCatalog catalog;
+    auto names = catalog.trainingModelNames();
+    EXPECT_EQ(names.size(), 3u);
+    for (const auto &name : names)
+        EXPECT_TRUE(catalog.byName(name).trainable) << name;
+}
+
+TEST(ModelSpec, TokenTimeGrowsWithModelSize)
+{
+    ModelCatalog catalog;
+    EXPECT_LT(catalog.byName("Llama2-13B").tokenTimeMs,
+              catalog.byName("Llama2-70B").tokenTimeMs);
+    EXPECT_LT(catalog.byName("Llama2-70B").tokenTimeMs,
+              catalog.byName("BLOOM-176B").tokenTimeMs);
+}
+
+TEST(ModelSpec, FrequencySensitivityOrdering)
+{
+    // Fig 10a: GPT-NeoX nearly insensitive, BLOOM most sensitive.
+    ModelCatalog catalog;
+    double neox =
+        catalog.byName("GPT-NeoX-20B").tokenComputeBoundFraction;
+    double bloom =
+        catalog.byName("BLOOM-176B").tokenComputeBoundFraction;
+    EXPECT_LT(neox, 0.10);
+    EXPECT_GT(bloom, 0.20);
+}
+
+TEST(ModelSpec, DatatypeGpuRequirements)
+{
+    // Section 4.2: Llama2-70B needs 4 GPUs at FP32, 2 at FP16/INT8;
+    // all Llama2-13B variants fit on one GPU.
+    ModelCatalog catalog;
+    const ModelSpec &llama70 = catalog.byName("Llama2-70B");
+    EXPECT_EQ(llama70.gpusForDatatype(Datatype::FP32), 4);
+    EXPECT_EQ(llama70.gpusForDatatype(Datatype::FP16), 4);  // Table 3
+    EXPECT_EQ(llama70.gpusForDatatype(Datatype::INT8), 2);
+
+    const ModelSpec &llama13 = catalog.byName("Llama2-13B");
+    EXPECT_EQ(llama13.gpusForDatatype(Datatype::FP32), 1);
+    EXPECT_EQ(llama13.gpusForDatatype(Datatype::FP16), 1);
+    EXPECT_EQ(llama13.gpusForDatatype(Datatype::INT8), 1);
+}
+
+TEST(ModelSpec, DatatypeFactors)
+{
+    // FP16 is fastest and peaks highest (tensor cores).
+    EXPECT_LT(ModelSpec::datatypeLatencyFactor(Datatype::FP16),
+              ModelSpec::datatypeLatencyFactor(Datatype::INT8));
+    EXPECT_LT(ModelSpec::datatypeLatencyFactor(Datatype::INT8),
+              ModelSpec::datatypeLatencyFactor(Datatype::FP32));
+    EXPECT_GT(ModelSpec::datatypePowerFactor(Datatype::FP16),
+              ModelSpec::datatypePowerFactor(Datatype::FP32));
+}
+
+TEST(ModelSpec, EnumToStringCoverage)
+{
+    EXPECT_STREQ(toString(Architecture::Encoder), "Encoder");
+    EXPECT_STREQ(toString(Architecture::Decoder), "Decoder");
+    EXPECT_STREQ(toString(Architecture::EncoderDecoder),
+                 "Encoder-Decoder");
+    EXPECT_STREQ(toString(Datatype::FP32), "FP32");
+    EXPECT_STREQ(toString(Datatype::FP16), "FP16");
+    EXPECT_STREQ(toString(Datatype::INT8), "INT8");
+}

@@ -1,0 +1,112 @@
+/** @file Unit tests for DCGM/IPMI monitor simulations. */
+
+#include <gtest/gtest.h>
+
+#include "power/server_model.hh"
+#include "sim/simulation.hh"
+#include "telemetry/interface_registry.hh"
+#include "telemetry/monitors.hh"
+
+using namespace polca::telemetry;
+using namespace polca::power;
+using namespace polca::sim;
+
+TEST(InterfaceRegistry, Table1Contents)
+{
+    auto interfaces = monitoringInterfaces();
+    ASSERT_EQ(interfaces.size(), 5u);
+    EXPECT_EQ(interfaces[1].mechanism, "DCGM");
+    EXPECT_EQ(interfaces[1].path, "IB");
+    EXPECT_EQ(interfaces[1].typicalInterval, msToTicks(100));
+    EXPECT_EQ(interfaces[2].mechanism, "SMBPBI");
+    EXPECT_EQ(interfaces[2].path, "OOB");
+    EXPECT_EQ(interfaces[4].mechanism, "Row manager");
+    EXPECT_EQ(interfaces[4].typicalInterval, secondsToTicks(2));
+}
+
+TEST(InterfaceRegistry, Table2Parameters)
+{
+    RowParameters params = paperRowParameters();
+    EXPECT_EQ(params.numServers, 40);
+    EXPECT_EQ(params.powerTelemetryDelay, secondsToTicks(2));
+    EXPECT_EQ(params.powerBrakeLatency, secondsToTicks(5));
+    EXPECT_EQ(params.oobControlLatency, secondsToTicks(40));
+    EXPECT_EQ(params.upsCappingDeadline, secondsToTicks(10));
+    // The OOB cap path misses the UPS deadline — the design tension
+    // POLCA resolves (Section 6.2).
+    EXPECT_GT(params.oobControlLatency, params.upsCappingDeadline);
+    EXPECT_LT(params.powerBrakeLatency, params.upsCappingDeadline);
+}
+
+TEST(DcgmMonitor, SamplesEvery100ms)
+{
+    Simulation sim;
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    DcgmMonitor dcgm(sim, server, Rng(1));
+    dcgm.start();
+    sim.runFor(secondsToTicks(1));
+    EXPECT_EQ(dcgm.gpuPowerSeries().size(), 10u);
+}
+
+TEST(DcgmMonitor, ReadingsTrackGpuPower)
+{
+    Simulation sim;
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.setActivityAll({0.5, 0.5});
+    DcgmMonitor dcgm(sim, server, Rng(1));
+    dcgm.start();
+    sim.runFor(secondsToTicks(1));
+    EXPECT_NEAR(dcgm.latestGpuPower(), server.gpuPowerWatts(), 10.0);
+}
+
+TEST(DcgmMonitor, StopHaltsSampling)
+{
+    Simulation sim;
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    DcgmMonitor dcgm(sim, server, Rng(1));
+    dcgm.start();
+    sim.runFor(secondsToTicks(0.5));
+    dcgm.stop();
+    EXPECT_FALSE(dcgm.running());
+    std::size_t samples = dcgm.gpuPowerSeries().size();
+    sim.runFor(secondsToTicks(1));
+    EXPECT_EQ(dcgm.gpuPowerSeries().size(), samples);
+}
+
+TEST(IpmiMonitor, SeesDcgmOverheadWhileRunning)
+{
+    // Section 3.4: DCGM adds ~5-10 W to IPMI server readings.
+    Simulation sim;
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    DcgmMonitor dcgm(sim, server, Rng(1));
+
+    IpmiMonitor::Options quietIpmi;
+    quietIpmi.noiseStddevWatts = 0.0;
+    IpmiMonitor ipmi(sim, server, Rng(2), quietIpmi);
+    ipmi.attachDcgm(&dcgm);
+    ipmi.start();
+
+    sim.runFor(secondsToTicks(4));
+    double withoutDcgm = ipmi.latestServerPower();
+
+    dcgm.start();
+    sim.runFor(secondsToTicks(4));
+    double withDcgm = ipmi.latestServerPower();
+
+    EXPECT_NEAR(withDcgm - withoutDcgm, dcgm.overheadWatts(), 0.5);
+    EXPECT_GE(dcgm.overheadWatts(), 5.0);
+    EXPECT_LE(dcgm.overheadWatts(), 10.0);
+}
+
+TEST(IpmiMonitor, SamplesSlowerThanDcgm)
+{
+    Simulation sim;
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    DcgmMonitor dcgm(sim, server, Rng(1));
+    IpmiMonitor ipmi(sim, server, Rng(2));
+    dcgm.start();
+    ipmi.start();
+    sim.runFor(secondsToTicks(9));
+    EXPECT_GT(dcgm.gpuPowerSeries().size(),
+              5 * ipmi.serverPowerSeries().size());
+}

@@ -1,0 +1,249 @@
+/** @file Unit and property tests for the inference phase model. */
+
+#include <gtest/gtest.h>
+
+#include "llm/phase_model.hh"
+#include "power/gpu_power_model.hh"
+
+using namespace polca::llm;
+using namespace polca::sim;
+
+namespace {
+
+const ModelCatalog &
+catalog()
+{
+    static ModelCatalog instance;
+    return instance;
+}
+
+InferenceConfig
+config(int input, int batch, int output)
+{
+    InferenceConfig c;
+    c.inputTokens = input;
+    c.batchSize = batch;
+    c.outputTokens = output;
+    return c;
+}
+
+} // namespace
+
+TEST(PhaseModel, PromptDurationScalesWithInput)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    Tick d1 = m.promptDuration(config(1024, 1, 128));
+    Tick d2 = m.promptDuration(config(4096, 1, 128));
+    EXPECT_NEAR(static_cast<double>(d2) / d1, 4.0, 0.01);
+}
+
+TEST(PhaseModel, PromptDurationScalesWithBatch)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    Tick d1 = m.promptDuration(config(1024, 1, 128));
+    Tick d2 = m.promptDuration(config(1024, 8, 128));
+    EXPECT_NEAR(static_cast<double>(d2) / d1, 8.0, 0.01);
+}
+
+TEST(PhaseModel, TokenPhaseScalesLinearlyWithOutput)
+{
+    // Fig 8f: output size stretches latency linearly.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    Tick d1 = m.tokenPhaseDuration(config(1024, 1, 256));
+    Tick d2 = m.tokenPhaseDuration(config(1024, 1, 1024));
+    EXPECT_NEAR(static_cast<double>(d2) / d1, 4.0, 0.01);
+}
+
+TEST(PhaseModel, BloomPromptAt8kIsSecondsScale)
+{
+    // Calibration anchor: an 8K-token BLOOM prompt takes ~3 s.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    double seconds =
+        ticksToSeconds(m.promptDuration(config(8192, 1, 1)));
+    EXPECT_GT(seconds, 2.0);
+    EXPECT_LT(seconds, 4.0);
+}
+
+TEST(PhaseModel, TokenPhaseDominatesLatencyForLongOutputs)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    InferenceConfig c = config(2048, 1, 1024);
+    EXPECT_GT(m.tokenPhaseDuration(c), 10 * m.promptDuration(c));
+}
+
+TEST(PhaseModel, InputSizeBarelyMovesLatencyUntilVeryLarge)
+{
+    // Fig 8b: latency is insensitive to input size below ~4K.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    Tick small = m.totalLatency(config(256, 1, 512));
+    Tick large = m.totalLatency(config(4096, 1, 512));
+    EXPECT_LT(static_cast<double>(large) / small, 1.10);
+}
+
+TEST(PhaseModel, ZeroOutputSkipsTokenPhase)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    EXPECT_EQ(m.tokenPhaseDuration(config(1024, 1, 0)), 0);
+    EXPECT_EQ(m.totalLatency(config(1024, 1, 0)),
+              m.promptDuration(config(1024, 1, 0)));
+}
+
+TEST(PhaseModel, PromptActivityGrowsAndSaturates)
+{
+    // Fig 8a: peak power rises with input size, then saturates.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    double a256 = m.promptActivity(config(256, 1, 1)).compute;
+    double a2048 = m.promptActivity(config(2048, 1, 1)).compute;
+    double a8192 = m.promptActivity(config(8192, 1, 1)).compute;
+    double a16384 = m.promptActivity(config(16384, 1, 1)).compute;
+    EXPECT_LT(a256, a2048);
+    EXPECT_LT(a2048, a8192);
+    EXPECT_DOUBLE_EQ(a8192, a16384);  // saturated
+    EXPECT_DOUBLE_EQ(a8192, m.model().promptComputeMax);
+}
+
+TEST(PhaseModel, BatchRaisesPromptActivityLikeInput)
+{
+    // Fig 8c: batch multiplies the tokens in the prompt computation.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    double viaBatch = m.promptActivity(config(512, 4, 1)).compute;
+    double viaInput = m.promptActivity(config(2048, 1, 1)).compute;
+    EXPECT_DOUBLE_EQ(viaBatch, viaInput);
+}
+
+TEST(PhaseModel, TokenActivityLowComputeHighMemory)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    polca::power::GpuActivity a = m.tokenActivity(config(2048, 1, 512));
+    EXPECT_LT(a.compute, 0.5);
+    EXPECT_GT(a.memory, 0.8);
+}
+
+TEST(PhaseModel, TokenActivityRisesMildlyWithBatch)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    double b1 = m.tokenActivity(config(2048, 1, 512)).compute;
+    double b16 = m.tokenActivity(config(2048, 16, 512)).compute;
+    EXPECT_GT(b16, b1);
+    EXPECT_LT(b16 / b1, 1.6);
+}
+
+TEST(PhaseModel, OutputSizeDoesNotChangeActivity)
+{
+    // Fig 8e: output size affects duration only.
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    auto a1 = m.tokenActivity(config(2048, 1, 128));
+    auto a2 = m.tokenActivity(config(2048, 1, 4096));
+    EXPECT_DOUBLE_EQ(a1.compute, a2.compute);
+    EXPECT_DOUBLE_EQ(a1.memory, a2.memory);
+}
+
+TEST(PhaseModel, LargerModelsDrawMorePower)
+{
+    PhaseModel small(catalog().byName("Flan-T5-XXL"));
+    PhaseModel large(catalog().byName("BLOOM-176B"));
+    InferenceConfig c = config(2048, 1, 512);
+    EXPECT_LT(small.promptActivity(c).compute,
+              large.promptActivity(c).compute);
+    EXPECT_LT(small.tokenActivity(c).compute,
+              large.tokenActivity(c).compute);
+}
+
+TEST(PhaseModel, DatatypeLatencyOrdering)
+{
+    PhaseModel m(catalog().byName("Llama2-13B"));
+    InferenceConfig fp16 = config(2048, 1, 256);
+    InferenceConfig fp32 = fp16;
+    fp32.datatype = Datatype::FP32;
+    InferenceConfig int8 = fp16;
+    int8.datatype = Datatype::INT8;
+    EXPECT_LT(m.totalLatency(fp16), m.totalLatency(int8));
+    EXPECT_LT(m.totalLatency(int8), m.totalLatency(fp32));
+}
+
+TEST(PhaseModel, DatatypePeakPowerOrdering)
+{
+    // Insight 6: FP16 peaks highest.
+    PhaseModel m(catalog().byName("Llama2-13B"));
+    InferenceConfig fp16 = config(4096, 1, 256);
+    InferenceConfig int8 = fp16;
+    int8.datatype = Datatype::INT8;
+    EXPECT_GT(m.promptActivity(fp16).compute,
+              m.promptActivity(int8).compute);
+}
+
+TEST(PhaseModel, LatencyAtLockedClockStretchesTokenPhaseLess)
+{
+    // Insight 7: memory-bound token phase is clock insensitive.
+    PhaseModel m(catalog().byName("GPT-NeoX-20B"));
+    polca::power::GpuPowerModel gpu(polca::power::GpuSpec::a100_80gb());
+    InferenceConfig c = config(2048, 1, 1024);
+    Tick base = m.latencyAtClock(c, gpu);
+    gpu.lockClock(1100.0);
+    Tick locked = m.latencyAtClock(c, gpu);
+    double slowdown = static_cast<double>(locked) / base;
+    EXPECT_GT(slowdown, 1.0);
+    EXPECT_LT(slowdown, 1.05);  // GPT-NeoX: nearly free (Fig 10a)
+}
+
+TEST(PhaseModel, BloomMoreSensitiveThanNeoX)
+{
+    polca::power::GpuPowerModel gpu(polca::power::GpuSpec::a100_80gb());
+    gpu.lockClock(1100.0);
+    InferenceConfig c = config(2048, 1, 1024);
+
+    PhaseModel neox(catalog().byName("GPT-NeoX-20B"));
+    PhaseModel bloom(catalog().byName("BLOOM-176B"));
+    double neoxSlow = static_cast<double>(neox.latencyAtClock(c, gpu)) /
+        neox.totalLatency(c);
+    double bloomSlow =
+        static_cast<double>(bloom.latencyAtClock(c, gpu)) /
+        bloom.totalLatency(c);
+    EXPECT_LT(neoxSlow, bloomSlow);
+    EXPECT_LT(bloomSlow, 1.12);  // ~10 % at the deepest lock
+}
+
+TEST(PhaseModelDeath, InvalidConfigFatal)
+{
+    PhaseModel m(catalog().byName("BLOOM-176B"));
+    EXPECT_DEATH(m.promptDuration(config(0, 1, 1)), "non-positive");
+    EXPECT_DEATH(m.tokenPhaseDuration(config(16, 1, -1)), "negative");
+}
+
+/** Property sweep across all catalog models. */
+class AllModels : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllModels, DurationsArePositiveAndFinite)
+{
+    PhaseModel m(catalog().byName(GetParam()));
+    InferenceConfig c = config(1024, 2, 128);
+    EXPECT_GT(m.promptDuration(c), 0);
+    EXPECT_GT(m.tokenPhaseDuration(c), 0);
+    EXPECT_EQ(m.totalLatency(c),
+              m.promptDuration(c) + m.tokenPhaseDuration(c));
+}
+
+TEST_P(AllModels, PromptBeatsTokenOnComputeIntensity)
+{
+    // Insight 4 holds for every model: prompt is compute heavy,
+    // token is memory heavy.
+    PhaseModel m(catalog().byName(GetParam()));
+    InferenceConfig c = config(4096, 1, 512);
+    EXPECT_GT(m.promptActivity(c).compute, m.tokenActivity(c).compute);
+    EXPECT_LT(m.promptActivity(c).memory, m.tokenActivity(c).memory);
+}
+
+TEST_P(AllModels, PromptIsComputeBoundTokenIsNot)
+{
+    PhaseModel m(catalog().byName(GetParam()));
+    EXPECT_GT(m.computeBoundFraction(Phase::Prompt), 0.7);
+    EXPECT_LT(m.computeBoundFraction(Phase::Token), 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllModels,
+    ::testing::Values("RoBERTa", "Llama2-13B", "Llama2-70B",
+                      "GPT-NeoX-20B", "OPT-30B", "BLOOM-176B",
+                      "Flan-T5-XXL"));

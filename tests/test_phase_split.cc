@@ -1,0 +1,165 @@
+/** @file Tests for the phase-splitting deployment (Section 5.2). */
+
+#include <gtest/gtest.h>
+
+#include "cluster/phase_split.hh"
+#include "llm/phase_model.hh"
+
+using namespace polca::cluster;
+using namespace polca::workload;
+using namespace polca::sim;
+
+namespace {
+
+PhaseSplitConfig
+smallSplit()
+{
+    PhaseSplitConfig config;
+    config.promptServers = 1;
+    config.tokenServers = 2;
+    return config;
+}
+
+Trace
+singleRequest(int input = 2048, int output = 256)
+{
+    Trace trace;
+    Request r;
+    r.arrival = 0;
+    r.inputTokens = input;
+    r.outputTokens = output;
+    trace.add(r);
+    return trace;
+}
+
+} // namespace
+
+TEST(ServerRole, ToStringCoverage)
+{
+    EXPECT_STREQ(toString(ServerRole::Combined), "combined");
+    EXPECT_STREQ(toString(ServerRole::PromptOnly), "prompt-only");
+    EXPECT_STREQ(toString(ServerRole::TokenOnly), "token-only");
+}
+
+TEST(PhaseSplit, CompletesEndToEnd)
+{
+    Simulation sim;
+    PhaseSplitCluster split(sim, smallSplit(), Rng(1));
+    Trace trace = singleRequest();
+    split.injectTrace(trace);
+    sim.runFor(secondsToTicks(120));
+    EXPECT_EQ(split.completions(), 1u);
+    EXPECT_EQ(split.latencySeconds().count(), 1u);
+}
+
+TEST(PhaseSplit, LatencyIncludesTransferAndTokenLock)
+{
+    Simulation sim;
+    PhaseSplitConfig config = smallSplit();
+    PhaseSplitCluster split(sim, config, Rng(1));
+    Trace trace = singleRequest(2048, 256);
+    split.injectTrace(trace);
+    sim.runFor(secondsToTicks(120));
+
+    polca::llm::ModelCatalog catalog;
+    polca::llm::PhaseModel phases(catalog.byName("BLOOM-176B"));
+    polca::llm::InferenceConfig ic;
+    ic.inputTokens = 2048;
+    ic.outputTokens = 256;
+    double combined = ticksToSeconds(phases.totalLatency(ic));
+
+    ASSERT_EQ(split.completions(), 1u);
+    double measured = split.latencySeconds().max();
+    // Split is slower: transfer (~0.16 s) plus the token lock
+    // slowdown; but within ~15 % of the combined latency.
+    EXPECT_GT(measured, combined);
+    EXPECT_LT(measured, combined * 1.15);
+}
+
+TEST(PhaseSplit, TokenMachinesRunLocked)
+{
+    Simulation sim;
+    PhaseSplitConfig config = smallSplit();
+    config.tokenClockMhz = 1110.0;
+    PhaseSplitCluster split(sim, config, Rng(1));
+    auto servers = split.servers();
+    ASSERT_EQ(servers.size(), 3u);
+    EXPECT_EQ(servers[0]->role(), ServerRole::PromptOnly);
+    EXPECT_DOUBLE_EQ(servers[0]->appliedClockLockMhz(), 0.0);
+    EXPECT_EQ(servers[1]->role(), ServerRole::TokenOnly);
+    EXPECT_DOUBLE_EQ(servers[1]->appliedClockLockMhz(), 1110.0);
+}
+
+TEST(PhaseSplit, PromptServerNeverEntersTokenPhase)
+{
+    // A prompt-only server's power must drop back to idle right
+    // after the (short) prompt, instead of holding a token plateau.
+    Simulation sim;
+    PhaseSplitCluster split(sim, smallSplit(), Rng(1));
+    Trace trace = singleRequest(8192, 4096);  // very long token phase
+    split.injectTrace(trace);
+
+    auto servers = split.servers();
+    InferenceServer *prompt = servers[0];
+    sim.runFor(secondsToTicks(1.0));
+    EXPECT_FALSE(prompt->idleNow());  // mid prompt (~3 s)
+    sim.runFor(secondsToTicks(5.0));
+    EXPECT_TRUE(prompt->idleNow());   // prompt done, token elsewhere
+    EXPECT_EQ(prompt->completedRequests(), 1u);
+    EXPECT_EQ(split.completions(), 0u);  // token stage still running
+}
+
+TEST(PhaseSplit, ManyRequestsAllComplete)
+{
+    Simulation sim;
+    PhaseSplitConfig config;
+    config.promptServers = 2;
+    config.tokenServers = 6;
+    PhaseSplitCluster split(sim, config, Rng(1));
+
+    Trace trace;
+    for (int i = 0; i < 30; ++i) {
+        Request r;
+        r.arrival = secondsToTicks(i * 2.0);
+        r.id = static_cast<std::uint64_t>(i);
+        r.inputTokens = 1024 + (i % 4) * 512;
+        r.outputTokens = 128 + (i % 3) * 64;
+        trace.add(r);
+    }
+    split.injectTrace(trace);
+    sim.runFor(secondsToTicks(600));
+    EXPECT_EQ(split.completions(), 30u);
+}
+
+TEST(PhaseSplit, TokenPoolPowerIsFlat)
+{
+    // The headline benefit: token machines never see prompt spikes,
+    // so their power stays in a narrow band while serving.
+    Simulation sim;
+    PhaseSplitConfig config = smallSplit();
+    PhaseSplitCluster split(sim, config, Rng(1));
+    Trace trace = singleRequest(4096, 1024);
+    split.injectTrace(trace);
+
+    auto servers = split.servers();
+    InferenceServer *token = servers[1];
+    double maxPower = 0.0;
+    // Sample the busy token server.
+    auto sampler = sim.every(msToTicks(100), [&](Tick) {
+        if (!token->idleNow())
+            maxPower = std::max(maxPower, token->powerWatts());
+    });
+    sim.runFor(secondsToTicks(120));
+    ASSERT_GT(maxPower, 0.0);
+    // Never anywhere near the prompt spike level (~5.7 kW).
+    EXPECT_LT(maxPower, 4000.0);
+}
+
+TEST(PhaseSplitDeath, EmptyPoolFatal)
+{
+    Simulation sim;
+    PhaseSplitConfig config = smallSplit();
+    config.tokenServers = 0;
+    EXPECT_DEATH(PhaseSplitCluster(sim, config, Rng(1)),
+                 "both pools");
+}

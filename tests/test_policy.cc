@@ -1,0 +1,102 @@
+/** @file Unit tests for POLCA policy configurations (Table 5). */
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hh"
+
+using namespace polca::core;
+using polca::workload::Priority;
+
+TEST(Policy, PolcaDefaultMatchesPaper)
+{
+    PolicyConfig p = PolicyConfig::polca();
+    EXPECT_EQ(p.name, "POLCA");
+    ASSERT_EQ(p.rules.size(), 3u);
+
+    // T1 = 80 %: LP to the A100 base clock.
+    EXPECT_EQ(p.rules[0].name, "T1");
+    EXPECT_EQ(p.rules[0].target, Priority::Low);
+    EXPECT_DOUBLE_EQ(p.rules[0].capFraction, 0.80);
+    EXPECT_DOUBLE_EQ(p.rules[0].lockMhz, 1275.0);
+
+    // T2 = 89 %: LP deeper to 1110, then HP to 1305.
+    EXPECT_EQ(p.rules[1].target, Priority::Low);
+    EXPECT_DOUBLE_EQ(p.rules[1].capFraction, 0.89);
+    EXPECT_DOUBLE_EQ(p.rules[1].lockMhz, 1110.0);
+    EXPECT_EQ(p.rules[2].target, Priority::High);
+    EXPECT_DOUBLE_EQ(p.rules[2].capFraction, 0.89);
+    EXPECT_DOUBLE_EQ(p.rules[2].lockMhz, 1305.0);
+}
+
+TEST(Policy, UncapThresholdsFivePercentBelow)
+{
+    // Section 6.3: uncap thresholds 5 % below caps.
+    for (const auto &rule : PolicyConfig::polca().rules) {
+        EXPECT_NEAR(rule.capFraction - rule.uncapFraction, 0.05,
+                    1e-12);
+    }
+}
+
+TEST(Policy, ParameterizedThresholds)
+{
+    PolicyConfig p = PolicyConfig::polca(0.75, 0.85, 1200.0);
+    EXPECT_DOUBLE_EQ(p.rules[0].capFraction, 0.75);
+    EXPECT_DOUBLE_EQ(p.rules[0].lockMhz, 1200.0);
+    EXPECT_DOUBLE_EQ(p.rules[1].capFraction, 0.85);
+}
+
+TEST(Policy, OneThreshLowPriSingleRule)
+{
+    PolicyConfig p = PolicyConfig::oneThreshLowPri();
+    ASSERT_EQ(p.rules.size(), 1u);
+    EXPECT_EQ(p.rules[0].target, Priority::Low);
+    EXPECT_DOUBLE_EQ(p.rules[0].capFraction, 0.89);
+    EXPECT_DOUBLE_EQ(p.rules[0].lockMhz, 1110.0);
+}
+
+TEST(Policy, OneThreshAllCapsBothPools)
+{
+    PolicyConfig p = PolicyConfig::oneThreshAll();
+    ASSERT_EQ(p.rules.size(), 2u);
+    EXPECT_EQ(p.rules[0].target, Priority::Low);
+    EXPECT_EQ(p.rules[1].target, Priority::High);
+    EXPECT_DOUBLE_EQ(p.rules[1].lockMhz, 1110.0);  // aggressive
+}
+
+TEST(Policy, NoCapHasNoRulesButKeepsBrake)
+{
+    PolicyConfig p = PolicyConfig::noCap();
+    EXPECT_TRUE(p.rules.empty());
+    EXPECT_TRUE(p.powerBrakeEnabled);
+}
+
+TEST(Policy, AllPoliciesBrakeAtProvisionedLimit)
+{
+    for (const PolicyConfig &p :
+         {PolicyConfig::polca(), PolicyConfig::oneThreshLowPri(),
+          PolicyConfig::oneThreshAll(), PolicyConfig::noCap()}) {
+        EXPECT_DOUBLE_EQ(p.powerBrakeFraction, 1.0) << p.name;
+        EXPECT_LT(p.powerBrakeReleaseFraction, p.powerBrakeFraction);
+    }
+}
+
+TEST(PolicyDeath, ReleaseAboveTriggerFatal)
+{
+    PolicyConfig p = PolicyConfig::polca();
+    p.rules[0].uncapFraction = p.rules[0].capFraction + 0.01;
+    EXPECT_DEATH(p.validate(), "below its trigger");
+}
+
+TEST(PolicyDeath, NonPositiveLockFatal)
+{
+    PolicyConfig p = PolicyConfig::polca();
+    p.rules[0].lockMhz = 0.0;
+    EXPECT_DEATH(p.validate(), "non-positive lock");
+}
+
+TEST(PolicyDeath, BrakeReleaseAboveTriggerFatal)
+{
+    PolicyConfig p = PolicyConfig::noCap();
+    p.powerBrakeReleaseFraction = 1.2;
+    EXPECT_DEATH(p.validate(), "brake release");
+}

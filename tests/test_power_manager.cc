@@ -1,0 +1,252 @@
+/** @file Unit tests for the POLCA power manager state machine. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/power_manager.hh"
+#include "sim/simulation.hh"
+
+using namespace polca::core;
+using namespace polca::telemetry;
+using namespace polca::sim;
+using polca::workload::Priority;
+
+namespace {
+
+/** Recording fake control target. */
+class FakeTarget : public ClockControllable
+{
+  public:
+    void applyClockLock(double mhz) override { lockMhz_ = mhz; }
+    void applyClockUnlock() override { lockMhz_ = 0.0; }
+    void applyPowerBrake(bool engaged) override { brake_ = engaged; }
+    double appliedClockLockMhz() const override { return lockMhz_; }
+    bool powerBrakeEngaged() const override { return brake_; }
+
+  private:
+    double lockMhz_ = 0.0;
+    bool brake_ = false;
+};
+
+/**
+ * Harness: a row manager fed by a scripted power value, a manager
+ * over two pools of fake targets, and a 10 kW provisioned budget so
+ * utilization = watts / 10000.
+ */
+struct Fixture
+{
+    explicit Fixture(PolicyConfig policy = PolicyConfig::polca(),
+                     ManagerOptions options = ManagerOptions())
+        : telemetry(sim, secondsToTicks(2), false),
+          manager(sim, telemetry, 10000.0, std::move(policy), Rng(1),
+                  options)
+    {
+        telemetry.addSource([this] { return watts; });
+        for (int i = 0; i < 2; ++i) {
+            low.push_back(std::make_unique<FakeTarget>());
+            high.push_back(std::make_unique<FakeTarget>());
+            manager.addTarget(Priority::Low, low.back().get());
+            manager.addTarget(Priority::High, high.back().get());
+        }
+        manager.start();
+        telemetry.start();
+    }
+
+    void
+    runSeconds(double seconds)
+    {
+        sim.runFor(secondsToTicks(seconds));
+    }
+
+    Simulation sim;
+    RowManager telemetry;
+    PowerManager manager;
+    std::vector<std::unique_ptr<FakeTarget>> low;
+    std::vector<std::unique_ptr<FakeTarget>> high;
+    double watts = 5000.0;  // 50 % utilization
+};
+
+} // namespace
+
+TEST(PowerManager, QuietBelowThresholds)
+{
+    Fixture f;
+    f.runSeconds(300);
+    EXPECT_EQ(f.manager.capCommands(), 0u);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 0.0);
+    EXPECT_NEAR(f.manager.meanUtilization(), 0.5, 1e-9);
+}
+
+TEST(PowerManager, T1CapsLowPriorityAfterOobLatency)
+{
+    Fixture f;
+    f.watts = 8200.0;  // above T1 = 80 %
+    f.runSeconds(4);   // telemetry notices
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1275.0);
+    // Not yet applied: the OOB path takes 40 s.
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 0.0);
+    f.runSeconds(42);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+    EXPECT_DOUBLE_EQ(f.high[0]->appliedClockLockMhz(), 0.0);
+    EXPECT_EQ(f.manager.capCommands(), 1u);
+}
+
+TEST(PowerManager, T2EscalatesLpThenHp)
+{
+    Fixture f;
+    f.watts = 9200.0;  // above T2 = 89 %
+    f.runSeconds(120);
+    // LP first locked deeper, then HP gently.
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1110.0);
+    EXPECT_DOUBLE_EQ(f.high[0]->appliedClockLockMhz(), 1305.0);
+    EXPECT_GE(f.manager.capCommands(), 2u);
+}
+
+TEST(PowerManager, EscalationIsStaged)
+{
+    Fixture f;
+    f.watts = 9200.0;
+    // After one telemetry reading only T1 is active; HP untouched
+    // even as a desired state.
+    f.runSeconds(3);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 0.0);
+    f.runSeconds(2);  // second reading: T2-LP
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1110.0);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 0.0);
+    f.runSeconds(2);  // third reading: T2-HP
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 1305.0);
+}
+
+TEST(PowerManager, HysteresisHoldsCapUntilRelease)
+{
+    Fixture f;
+    f.watts = 8200.0;  // cross T1 (80 %)
+    f.runSeconds(50);
+    ASSERT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+
+    // Drop just below the cap threshold but above release (75 %).
+    f.watts = 7800.0;
+    f.runSeconds(100);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1275.0);
+
+    // Below the release threshold: uncap (after the smoothing
+    // window drains and the 40 s OOB unlock lands).
+    f.watts = 7400.0;
+    f.runSeconds(90);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 0.0);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 0.0);
+    EXPECT_GE(f.manager.uncapCommands(), 1u);
+}
+
+TEST(PowerManager, DeescalationRestoresShallowerLock)
+{
+    Fixture f;
+    f.watts = 9200.0;
+    f.runSeconds(120);
+    ASSERT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1110.0);
+
+    // Fall to 82 %: releases T2 rules (release 84 %) but T1 stays.
+    f.watts = 8200.0;
+    f.runSeconds(180);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1275.0);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 0.0);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+}
+
+TEST(PowerManager, BrakeEngagesAtProvisionedLimit)
+{
+    Fixture f;
+    f.watts = 10100.0;  // 101 %
+    f.runSeconds(10);   // 2 s telemetry + 5 s brake latency
+    EXPECT_TRUE(f.manager.brakeEngaged());
+    EXPECT_TRUE(f.low[0]->powerBrakeEngaged());
+    EXPECT_TRUE(f.high[0]->powerBrakeEngaged());
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 1u);
+}
+
+TEST(PowerManager, BrakeHeldThenReleased)
+{
+    Fixture f;
+    f.watts = 10100.0;
+    f.runSeconds(10);
+    ASSERT_TRUE(f.manager.brakeEngaged());
+
+    // Power collapses under braking.
+    f.watts = 4000.0;
+    f.runSeconds(4);
+    // Held for the minimum duration despite low power.
+    EXPECT_TRUE(f.manager.brakeEngaged());
+    f.runSeconds(40);
+    EXPECT_FALSE(f.manager.brakeEngaged());
+    EXPECT_FALSE(f.low[0]->powerBrakeEngaged());
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 1u);
+}
+
+TEST(PowerManager, BrakeDisabledPolicyNeverBrakes)
+{
+    PolicyConfig policy = PolicyConfig::noCap();
+    policy.powerBrakeEnabled = false;
+    Fixture f(policy);
+    f.watts = 12000.0;
+    f.runSeconds(60);
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 0u);
+    EXPECT_FALSE(f.low[0]->powerBrakeEngaged());
+}
+
+TEST(PowerManager, NoCapPolicyNeverLocksClocks)
+{
+    Fixture f(PolicyConfig::noCap());
+    f.watts = 9900.0;
+    f.runSeconds(300);
+    EXPECT_EQ(f.manager.capCommands(), 0u);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 0.0);
+}
+
+TEST(PowerManager, SilentFailuresAreReissued)
+{
+    // Guardrail: verification detects a dropped command and
+    // re-issues it until the applied state matches.
+    ManagerOptions options;
+    options.smbpbiFailureProbability = 0.5;
+    Fixture f(PolicyConfig::polca(), options);
+    f.watts = 8200.0;
+    f.runSeconds(600);
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+    EXPECT_DOUBLE_EQ(f.low[1]->appliedClockLockMhz(), 1275.0);
+    EXPECT_GT(f.manager.reissuedCommands(), 0u);
+}
+
+TEST(PowerManager, LockedTimeAccounted)
+{
+    Fixture f;
+    f.watts = 8200.0;
+    f.runSeconds(100);
+    f.watts = 5000.0;
+    f.runSeconds(200);
+    Tick lp = f.manager.lockedTicks(Priority::Low);
+    EXPECT_GT(lp, secondsToTicks(80));
+    EXPECT_LT(lp, secondsToTicks(160));
+    EXPECT_EQ(f.manager.lockedTicks(Priority::High), 0);
+}
+
+TEST(PowerManager, UtilizationStatsTrackTelemetry)
+{
+    Fixture f;
+    f.watts = 6000.0;
+    f.runSeconds(20);
+    f.watts = 9000.0;
+    f.runSeconds(20);
+    EXPECT_NEAR(f.manager.maxUtilization(), 0.9, 1e-9);
+    EXPECT_GT(f.manager.meanUtilization(), 0.6);
+    EXPECT_LT(f.manager.meanUtilization(), 0.9);
+}
+
+TEST(PowerManagerDeath, AddTargetAfterStartPanics)
+{
+    Fixture f;
+    FakeTarget extra;
+    EXPECT_DEATH(f.manager.addTarget(Priority::Low, &extra),
+                 "after start");
+}

@@ -1,0 +1,116 @@
+/** @file Unit tests for the Row topology object. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/row.hh"
+
+using namespace polca::cluster;
+using namespace polca::workload;
+using namespace polca::sim;
+
+namespace {
+
+RowConfig
+smallRow(int base = 4, double added = 0.0)
+{
+    RowConfig config;
+    config.baseServers = base;
+    config.addedServerFraction = added;
+    return config;
+}
+
+} // namespace
+
+TEST(Row, DeploysBasePlusAddedServers)
+{
+    Simulation sim;
+    Row row(sim, smallRow(10, 0.30), Rng(1));
+    EXPECT_EQ(row.numServers(), 13);
+}
+
+TEST(Row, ProvisionedBudgetUsesBaseServersOnly)
+{
+    // Oversubscription adds servers under the *same* budget.
+    Simulation sim;
+    Row row(sim, smallRow(10, 0.30), Rng(1));
+    EXPECT_DOUBLE_EQ(row.provisionedWatts(), 10 * 4950.0);
+}
+
+TEST(Row, PoolSplitFollowsLpFraction)
+{
+    Simulation sim;
+    RowConfig config = smallRow(10);
+    config.lpServerFraction = 0.5;
+    Row row(sim, config, Rng(1));
+    EXPECT_EQ(row.pool(Priority::Low).size(), 5u);
+    EXPECT_EQ(row.pool(Priority::High).size(), 5u);
+}
+
+TEST(Row, IdleRowPowerIsSumOfIdleServers)
+{
+    Simulation sim;
+    Row row(sim, smallRow(4), Rng(1));
+    double perServer = row.servers()[0]->powerWatts();
+    EXPECT_NEAR(row.powerWatts(), 4 * perServer, 1.0);
+}
+
+TEST(Row, RowManagerSeesAllServers)
+{
+    Simulation sim;
+    RowConfig config = smallRow(4);
+    config.recordPowerSeries = true;
+    Row row(sim, config, Rng(1));
+    sim.runFor(secondsToTicks(2));
+    EXPECT_NEAR(row.rowManager().latestReading(), row.powerWatts(),
+                1.0);
+}
+
+TEST(Row, TelemetryIntervalRespected)
+{
+    Simulation sim;
+    RowConfig config = smallRow(2);
+    config.recordPowerSeries = true;
+    config.telemetryInterval = secondsToTicks(5);
+    Row row(sim, config, Rng(1));
+    sim.runFor(secondsToTicks(20));
+    EXPECT_EQ(row.rowManager().series().size(), 4u);
+}
+
+TEST(Row, ServesTrafficEndToEnd)
+{
+    Simulation sim;
+    Row row(sim, smallRow(4), Rng(1));
+
+    Trace trace;
+    for (int i = 0; i < 8; ++i) {
+        Request r;
+        r.arrival = secondsToTicks(static_cast<double>(i));
+        r.id = static_cast<std::uint64_t>(i);
+        r.priority = i % 2 ? Priority::High : Priority::Low;
+        r.inputTokens = 1024;
+        r.outputTokens = 64;
+        trace.add(r);
+    }
+    row.dispatcher().injectTrace(trace);
+    sim.runFor(secondsToTicks(120));
+    EXPECT_EQ(row.dispatcher().completions(Priority::Low), 4u);
+    EXPECT_EQ(row.dispatcher().completions(Priority::High), 4u);
+}
+
+TEST(Row, ModelResolvedFromCatalog)
+{
+    Simulation sim;
+    RowConfig config = smallRow(2);
+    config.modelName = "Llama2-70B";
+    Row row(sim, config, Rng(1));
+    EXPECT_EQ(row.model().name, "Llama2-70B");
+    EXPECT_EQ(row.model().inferenceGpus, 4);
+}
+
+TEST(RowDeath, UnknownModelFatal)
+{
+    Simulation sim;
+    RowConfig config = smallRow(2);
+    config.modelName = "GPT-5";
+    EXPECT_DEATH(Row(sim, config, Rng(1)), "unknown model");
+}

@@ -1,0 +1,129 @@
+/** @file Unit tests for the row manager telemetry aggregator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "telemetry/row_manager.hh"
+
+using namespace polca::telemetry;
+using namespace polca::sim;
+
+TEST(RowManager, SumsSourcesEveryInterval)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    double a = 100.0, b = 200.0;
+    manager.addSource([&] { return a; });
+    manager.addSource([&] { return b; });
+    manager.start();
+    sim.runFor(secondsToTicks(2));
+    EXPECT_DOUBLE_EQ(manager.latestReading(), 300.0);
+    EXPECT_EQ(manager.latestReadingTime(), secondsToTicks(2));
+}
+
+TEST(RowManager, SeriesRecordsHistory)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    double v = 1.0;
+    manager.addSource([&] { return v; });
+    manager.start();
+    sim.runFor(secondsToTicks(2));
+    v = 2.0;
+    sim.runFor(secondsToTicks(2));
+    ASSERT_EQ(manager.series().size(), 2u);
+    EXPECT_DOUBLE_EQ(manager.series().points()[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(manager.series().points()[1].value, 2.0);
+}
+
+TEST(RowManager, RecordingCanBeDisabled)
+{
+    Simulation sim;
+    RowManager manager(sim, secondsToTicks(2), /*recordSeries=*/false);
+    manager.addSource([] { return 5.0; });
+    manager.start();
+    sim.runFor(secondsToTicks(10));
+    EXPECT_TRUE(manager.series().empty());
+    EXPECT_DOUBLE_EQ(manager.latestReading(), 5.0);
+}
+
+TEST(RowManager, ListenersSeeEveryReading)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 7.0; });
+    int calls = 0;
+    double last = 0.0;
+    manager.addListener([&](Tick, double watts) {
+        ++calls;
+        last = watts;
+    });
+    manager.start();
+    sim.runFor(secondsToTicks(10));
+    EXPECT_EQ(calls, 5);
+    EXPECT_DOUBLE_EQ(last, 7.0);
+}
+
+TEST(RowManager, ReadNowBypassesSchedule)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 9.0; });
+    EXPECT_DOUBLE_EQ(manager.readNow(), 9.0);
+    EXPECT_DOUBLE_EQ(manager.latestReading(), 0.0);  // not periodic
+}
+
+TEST(RowManager, StopHaltsReadings)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 1.0; });
+    manager.start();
+    sim.runFor(secondsToTicks(4));
+    manager.stop();
+    sim.runFor(secondsToTicks(10));
+    EXPECT_EQ(manager.series().size(), 2u);
+}
+
+TEST(RowManager, CustomInterval)
+{
+    Simulation sim;
+    RowManager manager(sim, secondsToTicks(5));
+    manager.addSource([] { return 1.0; });
+    manager.start();
+    sim.runFor(secondsToTicks(20));
+    EXPECT_EQ(manager.series().size(), 4u);
+}
+
+TEST(RowManager, DropoutSkipsReadingsSilently)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 1.0; });
+    int notified = 0;
+    manager.addListener([&](Tick, double) { ++notified; });
+    manager.setDropoutProbability(0.5, Rng(3));
+    manager.start();
+    sim.runFor(secondsToTicks(2000));  // 1000 scheduled readings
+    EXPECT_NEAR(static_cast<double>(manager.droppedReadings()),
+                500.0, 80.0);
+    EXPECT_EQ(static_cast<std::uint64_t>(notified) +
+                  manager.droppedReadings(),
+              1000u);
+}
+
+TEST(RowManagerDeath, BadDropoutProbabilityFatal)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    EXPECT_DEATH(manager.setDropoutProbability(1.5, Rng(1)),
+                 "outside");
+}
+
+TEST(RowManagerDeath, EmptySourcePanics)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    EXPECT_DEATH(manager.addSource(RowManager::PowerSource{}),
+                 "empty power source");
+}

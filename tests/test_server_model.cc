@@ -1,0 +1,140 @@
+/** @file Unit tests for the DGX server power model. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "power/server_model.hh"
+
+using namespace polca::power;
+
+TEST(ServerSpec, ProvisionedBreakdownSumsToRated)
+{
+    ServerSpec spec = ServerSpec::dgxA100_80gb();
+    double total = 0.0;
+    for (const auto &[name, watts] : spec.provisionedBreakdown())
+        total += watts;
+    EXPECT_NEAR(total, spec.ratedPowerWatts, 1e-9);
+}
+
+TEST(ServerSpec, GpusAreAboutHalfOfProvisionedPower)
+{
+    // Figure 3: ~50 % of provisioned power goes to GPUs.
+    ServerSpec spec = ServerSpec::dgxA100_80gb();
+    double fraction = spec.provisionedGpuWatts() / spec.ratedPowerWatts;
+    EXPECT_NEAR(fraction, 0.50, 0.03);
+}
+
+TEST(ServerSpec, FansAreAboutQuarterOfProvisionedPower)
+{
+    // Figure 3 / Section 5: fans are nearly 25 % of server power.
+    ServerSpec spec = ServerSpec::dgxA100_80gb();
+    EXPECT_NEAR(spec.provisionedFansWatts / spec.ratedPowerWatts, 0.25,
+                0.02);
+}
+
+TEST(ServerModel, IdlePower)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    double expected = server.spec().hostIdleWatts +
+        8 * server.spec().gpu.idleWatts;
+    EXPECT_DOUBLE_EQ(server.powerWatts(), expected);
+}
+
+TEST(ServerModel, PeakStaysUnderRatedPower)
+{
+    // Section 5: observed peak (~5.7 kW) never hits the 6.5 kW
+    // rating — the derating opportunity.
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    // Worst observed phase: a saturated prompt burst.
+    server.setActivityAll({1.1, 0.55});
+    EXPECT_LT(server.powerWatts(), server.spec().ratedPowerWatts);
+    EXPECT_GT(server.powerWatts(), 5400.0);
+    EXPECT_LT(server.powerWatts(), 5900.0);
+}
+
+TEST(ServerModel, GpusAreMajorityOfLoadedPower)
+{
+    // Insight 8: GPUs ~60 % of server power under load.
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.setActivityAll({1.0, 0.6});
+    double fraction = server.gpuPowerWatts() / server.powerWatts();
+    EXPECT_GT(fraction, 0.55);
+    EXPECT_LT(fraction, 0.70);
+}
+
+TEST(ServerModel, HostPowerTracksGpuPower)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    EXPECT_DOUBLE_EQ(server.hostPowerWatts(),
+                     server.spec().hostIdleWatts);
+    server.setActivityAll({1.0, 0.5});
+    double gpuDynamic = server.gpuPowerWatts() -
+        8 * server.spec().gpu.idleWatts;
+    EXPECT_DOUBLE_EQ(server.hostPowerWatts(),
+                     server.spec().hostIdleWatts +
+                         server.spec().hostGpuTrackingFactor *
+                             gpuDynamic);
+}
+
+TEST(ServerModel, FrequencyCappingReclaimsHostPowerToo)
+{
+    // Fans/VR losses follow GPU draw, so locking clocks reduces
+    // host power as well — part of why row-level capping works.
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.setActivityAll({0.55, 0.9});  // token-phase-like
+    double before = server.hostPowerWatts();
+    server.lockClockAll(1110.0);
+    EXPECT_LT(server.hostPowerWatts(), before);
+}
+
+TEST(ServerModel, FleetControlsReachAllGpus)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.lockClockAll(1200.0);
+    for (std::size_t i = 0; i < server.numGpus(); ++i)
+        EXPECT_DOUBLE_EQ(server.gpu(i).effectiveClockMhz(), 1200.0);
+    server.unlockClockAll();
+    for (std::size_t i = 0; i < server.numGpus(); ++i)
+        EXPECT_FALSE(server.gpu(i).clockLocked());
+    server.setPowerBrakeAll(true);
+    for (std::size_t i = 0; i < server.numGpus(); ++i)
+        EXPECT_TRUE(server.gpu(i).powerBrake());
+}
+
+TEST(ServerModel, WorstSlowdownPicksSlowestGpu)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.gpu(3).lockClock(705.0);
+    EXPECT_NEAR(server.worstSlowdownFactor(1.0), 2.0, 1e-9);
+}
+
+TEST(ServerModel, PerGpuActivityIndependent)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.gpu(0).setActivity({1.0, 0.5});
+    double p = server.gpuPowerWatts();
+    double idle = server.spec().gpu.idleWatts;
+    EXPECT_GT(p, 7 * idle + 300.0);
+    EXPECT_LT(p, 7 * idle + 500.0);
+}
+
+TEST(ServerModel, H100SpecsLoad)
+{
+    ServerModel server(ServerSpec::dgxH100());
+    EXPECT_EQ(server.numGpus(), 8u);
+    EXPECT_DOUBLE_EQ(server.spec().ratedPowerWatts, 10200.0);
+}
+
+TEST(ServerModel, CapControllersStepAcrossGpus)
+{
+    ServerModel server(ServerSpec::dgxA100_80gb());
+    server.setActivityAll({1.05, 0.5});
+    server.setPowerCapAll(325.0);
+    for (int i = 0; i < 200; ++i)
+        server.stepCapControllers();
+    for (std::size_t i = 0; i < server.numGpus(); ++i)
+        EXPECT_LE(server.gpu(i).powerWatts(), 330.0);
+    server.clearPowerCapAll();
+    EXPECT_GT(server.gpu(0).powerWatts(), 400.0);
+}

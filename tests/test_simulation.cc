@@ -1,0 +1,92 @@
+/** @file Unit tests for the Simulation context and periodic tasks. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hh"
+
+using namespace polca::sim;
+
+TEST(Simulation, RunForAdvancesTime)
+{
+    Simulation sim;
+    sim.runFor(secondsToTicks(2));
+    EXPECT_EQ(sim.now(), secondsToTicks(2));
+    sim.runFor(secondsToTicks(1));
+    EXPECT_EQ(sim.now(), secondsToTicks(3));
+}
+
+TEST(Simulation, PeriodicTaskFiresAtPeriod)
+{
+    Simulation sim;
+    std::vector<Tick> fires;
+    auto task = sim.every(100, [&](Tick t) { fires.push_back(t); });
+    sim.runUntil(350);
+    EXPECT_EQ(fires, (std::vector<Tick>{100, 200, 300}));
+}
+
+TEST(Simulation, PeriodicTaskCustomPhase)
+{
+    Simulation sim;
+    std::vector<Tick> fires;
+    auto task = sim.every(100, [&](Tick t) { fires.push_back(t); },
+                          /*phase=*/10);
+    sim.runUntil(250);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 110, 210}));
+}
+
+TEST(Simulation, PeriodicTaskStops)
+{
+    Simulation sim;
+    int count = 0;
+    auto task = sim.every(100, [&](Tick) { ++count; });
+    sim.runUntil(250);
+    task->stop();
+    EXPECT_FALSE(task->running());
+    sim.runUntil(1000);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, PeriodicTaskStopsFromItsOwnCallback)
+{
+    Simulation sim;
+    int count = 0;
+    std::unique_ptr<Simulation::PeriodicTask> task;
+    task = sim.every(100, [&](Tick) {
+        if (++count == 3)
+            task->stop();
+    });
+    sim.runUntil(10000);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, PeriodicTaskDestructionCancels)
+{
+    Simulation sim;
+    int count = 0;
+    {
+        auto task = sim.every(100, [&](Tick) { ++count; });
+        sim.runUntil(150);
+    }
+    sim.runUntil(1000);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, MultiplePeriodicTasksInterleave)
+{
+    Simulation sim;
+    int fast = 0, slow = 0;
+    auto a = sim.every(10, [&](Tick) { ++fast; });
+    auto b = sim.every(25, [&](Tick) { ++slow; });
+    sim.runUntil(100);
+    EXPECT_EQ(fast, 10);
+    EXPECT_EQ(slow, 4);
+}
+
+TEST(Simulation, SeededRngIsDeterministic)
+{
+    Simulation a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+}

@@ -1,0 +1,154 @@
+/** @file Unit tests for the SMBPBI OOB control path simulation. */
+
+#include <gtest/gtest.h>
+
+#include "power/server_model.hh"
+#include "sim/simulation.hh"
+#include "telemetry/smbpbi.hh"
+
+using namespace polca::telemetry;
+using namespace polca::power;
+using namespace polca::sim;
+
+namespace {
+
+/** Bare adapter exposing a ServerModel as a control target. */
+class ServerTarget : public ClockControllable
+{
+  public:
+    explicit ServerTarget(ServerModel &server) : server_(server) {}
+
+    void applyClockLock(double mhz) override
+    {
+        server_.lockClockAll(mhz);
+    }
+    void applyClockUnlock() override { server_.unlockClockAll(); }
+    void applyPowerBrake(bool engaged) override
+    {
+        server_.setPowerBrakeAll(engaged);
+    }
+    double
+    appliedClockLockMhz() const override
+    {
+        return server_.gpu(0).clockLocked()
+            ? server_.gpu(0).lockedClockMhz() : 0.0;
+    }
+    bool
+    powerBrakeEngaged() const override
+    {
+        return server_.gpu(0).powerBrake();
+    }
+
+  private:
+    ServerModel &server_;
+};
+
+struct Fixture
+{
+    Simulation sim;
+    ServerModel server{ServerSpec::dgxA100_80gb()};
+    ServerTarget target{server};
+};
+
+} // namespace
+
+TEST(Smbpbi, CapTakesEffectAfterLatencyNotBefore)
+{
+    Fixture f;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1));
+    smbpbi.requestClockLock(1110.0);
+    EXPECT_TRUE(smbpbi.commandPending());
+
+    f.sim.runFor(secondsToTicks(39));
+    EXPECT_DOUBLE_EQ(f.target.appliedClockLockMhz(), 0.0);
+
+    f.sim.runFor(secondsToTicks(2));
+    EXPECT_DOUBLE_EQ(f.target.appliedClockLockMhz(), 1110.0);
+    EXPECT_FALSE(smbpbi.commandPending());
+}
+
+TEST(Smbpbi, BrakeIsFasterThanCap)
+{
+    Fixture f;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1));
+    smbpbi.requestPowerBrake(true);
+    f.sim.runFor(secondsToTicks(6));
+    EXPECT_TRUE(f.target.powerBrakeEngaged());
+}
+
+TEST(Smbpbi, BrakeRelease)
+{
+    Fixture f;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1));
+    smbpbi.requestPowerBrake(true);
+    f.sim.runFor(secondsToTicks(6));
+    smbpbi.requestPowerBrake(false);
+    f.sim.runFor(secondsToTicks(6));
+    EXPECT_FALSE(f.target.powerBrakeEngaged());
+    EXPECT_EQ(smbpbi.brakesIssued(), 2u);
+}
+
+TEST(Smbpbi, NewerCommandSupersedesPending)
+{
+    Fixture f;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1));
+    smbpbi.requestClockLock(1110.0);
+    f.sim.runFor(secondsToTicks(10));
+    smbpbi.requestClockLock(1275.0);
+    f.sim.runFor(secondsToTicks(41));
+    // Only the newer command lands; 1110 never applies.
+    EXPECT_DOUBLE_EQ(f.target.appliedClockLockMhz(), 1275.0);
+    EXPECT_EQ(smbpbi.commandsIssued(), 2u);
+}
+
+TEST(Smbpbi, UnlockCommand)
+{
+    Fixture f;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1));
+    smbpbi.requestClockLock(1110.0);
+    f.sim.runFor(secondsToTicks(41));
+    smbpbi.requestClockUnlock();
+    f.sim.runFor(secondsToTicks(41));
+    EXPECT_DOUBLE_EQ(f.target.appliedClockLockMhz(), 0.0);
+}
+
+TEST(Smbpbi, SilentFailuresDropCommands)
+{
+    // Section 3.3: OOB interfaces "may sometimes fail without
+    // signaling completion or errors".
+    Fixture f;
+    SmbpbiController::Options options;
+    options.silentFailureProbability = 1.0;  // always fail
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1), options);
+    smbpbi.requestClockLock(1110.0);
+    f.sim.runFor(secondsToTicks(60));
+    EXPECT_DOUBLE_EQ(f.target.appliedClockLockMhz(), 0.0);
+    EXPECT_EQ(smbpbi.commandsDropped(), 1u);
+}
+
+TEST(Smbpbi, FailureRateRoughlyMatchesProbability)
+{
+    Fixture f;
+    SmbpbiController::Options options;
+    options.silentFailureProbability = 0.3;
+    options.commandLatency = secondsToTicks(1);
+    SmbpbiController smbpbi(f.sim, f.target, Rng(42), options);
+    for (int i = 0; i < 500; ++i) {
+        smbpbi.requestClockLock(1110.0);
+        f.sim.runFor(secondsToTicks(2));
+    }
+    double rate = static_cast<double>(smbpbi.commandsDropped()) /
+        static_cast<double>(smbpbi.commandsIssued());
+    EXPECT_NEAR(rate, 0.3, 0.06);
+}
+
+TEST(Smbpbi, BrakeNeverDrops)
+{
+    Fixture f;
+    SmbpbiController::Options options;
+    options.silentFailureProbability = 1.0;
+    SmbpbiController smbpbi(f.sim, f.target, Rng(1), options);
+    smbpbi.requestPowerBrake(true);
+    f.sim.runFor(secondsToTicks(6));
+    EXPECT_TRUE(f.target.powerBrakeEngaged());
+}

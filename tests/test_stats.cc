@@ -1,0 +1,176 @@
+/** @file Unit tests for accumulators, samplers, and histograms. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+using namespace polca::sim;
+
+TEST(Accumulator, EmptyDefaults)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(acc.min()));
+    EXPECT_TRUE(std::isinf(acc.max()));
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        double v = i * 0.37;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(Sampler, QuantilesOfKnownSequence)
+{
+    Sampler s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-12);
+    EXPECT_NEAR(s.p50(), 50.5, 1e-12);
+    EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+}
+
+TEST(Sampler, QuantileInterpolates)
+{
+    Sampler s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_NEAR(s.quantile(0.5), 15.0, 1e-12);
+    EXPECT_NEAR(s.quantile(0.75), 17.5, 1e-12);
+}
+
+TEST(Sampler, SingleValueAllQuantiles)
+{
+    Sampler s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Sampler, AddAfterQuantileStillCorrect)
+{
+    Sampler s;
+    s.add(3.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 2.0);
+    s.add(2.0);  // forces resort on next query
+    EXPECT_DOUBLE_EQ(s.p50(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Sampler, MeanOfEmptyIsZero)
+{
+    Sampler s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SamplerDeath, QuantileOfEmptyPanics)
+{
+    Sampler s;
+    EXPECT_DEATH(s.quantile(0.5), "empty sampler");
+}
+
+TEST(SamplerDeath, QuantileOutOfRangePanics)
+{
+    Sampler s;
+    s.add(1.0);
+    EXPECT_DEATH(s.quantile(1.5), "outside");
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 100.0);
+    double total = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        total += h.binFraction(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramDeath, ZeroBinsFatal)
+{
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "zero bins");
+}
+
+TEST(HistogramDeath, InvertedRangeFatal)
+{
+    EXPECT_DEATH(Histogram(1.0, 0.0, 4), "must exceed");
+}
+
+TEST(QuantileOf, OneShotHelper)
+{
+    EXPECT_DOUBLE_EQ(quantileOf({3.0, 1.0, 2.0}, 0.5), 2.0);
+}

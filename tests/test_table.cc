@@ -1,0 +1,71 @@
+/** @file Unit tests for the ASCII table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/table.hh"
+
+using namespace polca::analysis;
+
+TEST(Table, CellsAndAccessors)
+{
+    Table t({"Name", "Value"});
+    t.row().cell("alpha").cell(1.25, 2);
+    t.row().cell("beta").cell(static_cast<long long>(7));
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.at(0, 0), "alpha");
+    EXPECT_EQ(t.at(0, 1), "1.25");
+    EXPECT_EQ(t.at(1, 1), "7");
+}
+
+TEST(Table, PercentCell)
+{
+    Table t({"x"});
+    t.row().percentCell(0.125, 1);
+    EXPECT_EQ(t.at(0, 0), "12.5%");
+}
+
+TEST(Table, RenderContainsHeaderAndSeparator)
+{
+    Table t({"A", "B"});
+    t.row().cell("1").cell("2");
+    std::string out = t.str();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t({"Col", "V"});
+    t.row().cell("short").cell("1");
+    t.row().cell("a-much-longer-cell").cell("2");
+    std::string out = t.str();
+    // Both "1" and "2" columns start at the same offset.
+    std::size_t line1 = out.find("short");
+    std::size_t line2 = out.find("a-much-longer-cell");
+    ASSERT_NE(line1, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+    std::size_t col1 = out.find('1', line1) - out.rfind('\n', line1);
+    std::size_t col2 = out.find('2', line2) - out.rfind('\n', line2);
+    EXPECT_EQ(col1, col2);
+}
+
+TEST(TableDeath, CellBeforeRowPanics)
+{
+    Table t({"A"});
+    EXPECT_DEATH(t.cell("x"), "before row");
+}
+
+TEST(TableDeath, TooManyCellsPanics)
+{
+    Table t({"A"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("y"), "wider than header");
+}
+
+TEST(FormatHelpers, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.5, 0), "50%");
+}

@@ -1,0 +1,145 @@
+/** @file Unit tests for TimeSeries and its window analytics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/timeseries.hh"
+
+using namespace polca::sim;
+
+namespace {
+
+TimeSeries
+makeSeries(std::initializer_list<std::pair<Tick, double>> points)
+{
+    TimeSeries s;
+    for (const auto &[t, v] : points)
+        s.add(t, v);
+    return s;
+}
+
+} // namespace
+
+TEST(TimeSeries, BasicAccessors)
+{
+    TimeSeries s = makeSeries({{0, 1.0}, {10, 2.0}, {20, 3.0}});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.startTime(), 0);
+    EXPECT_EQ(s.endTime(), 20);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 3.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(s.meanValue(), 2.0);
+}
+
+TEST(TimeSeries, StepValueAt)
+{
+    TimeSeries s = makeSeries({{10, 1.0}, {20, 2.0}});
+    EXPECT_DOUBLE_EQ(s.valueAt(5), 1.0);   // before first: first value
+    EXPECT_DOUBLE_EQ(s.valueAt(10), 1.0);
+    EXPECT_DOUBLE_EQ(s.valueAt(15), 1.0);  // step holds
+    EXPECT_DOUBLE_EQ(s.valueAt(20), 2.0);
+    EXPECT_DOUBLE_EQ(s.valueAt(1000), 2.0);
+}
+
+TEST(TimeSeries, EqualTimestampsAllowed)
+{
+    TimeSeries s = makeSeries({{10, 1.0}, {10, 2.0}});
+    EXPECT_DOUBLE_EQ(s.valueAt(10), 2.0);  // later sample wins
+}
+
+TEST(TimeSeriesDeath, BackwardsTimePanics)
+{
+    TimeSeries s = makeSeries({{10, 1.0}});
+    EXPECT_DEATH(s.add(5, 2.0), "precedes");
+}
+
+TEST(TimeSeries, TimeWeightedMean)
+{
+    // 1.0 for 10 ticks then 3.0 for 10 ticks -> 2.0
+    TimeSeries s = makeSeries({{0, 1.0}, {10, 3.0}, {20, 3.0}});
+    EXPECT_DOUBLE_EQ(s.timeWeightedMean(), 2.0);
+}
+
+TEST(TimeSeries, ResampledOnGrid)
+{
+    TimeSeries s = makeSeries({{0, 1.0}, {25, 2.0}, {50, 3.0}});
+    TimeSeries r = s.resampled(10);
+    EXPECT_EQ(r.size(), 6u);
+    EXPECT_DOUBLE_EQ(r.valueAt(20), 1.0);
+    EXPECT_DOUBLE_EQ(r.valueAt(30), 2.0);
+    EXPECT_DOUBLE_EQ(r.valueAt(50), 3.0);
+}
+
+TEST(TimeSeries, MovingAverageSmooths)
+{
+    TimeSeries s;
+    for (Tick t = 0; t < 10; ++t)
+        s.add(t, t % 2 ? 2.0 : 0.0);  // alternating 0/2
+    TimeSeries avg = s.movingAverage(4);
+    // After warm-up, the 4-tick window holds two 0s and two 2s.
+    EXPECT_NEAR(avg.points().back().value, 1.0, 1e-9);
+}
+
+TEST(TimeSeries, MovingAverageWindowOne)
+{
+    TimeSeries s = makeSeries({{0, 1.0}, {1, 5.0}});
+    TimeSeries avg = s.movingAverage(1);
+    EXPECT_DOUBLE_EQ(avg.points()[1].value, 5.0);
+}
+
+TEST(TimeSeries, MaxRiseWithinFindsSpike)
+{
+    // Rise of 5 within 2 ticks (10->15), bigger rise 9 but over 6
+    // ticks.
+    TimeSeries s = makeSeries(
+        {{0, 10.0}, {2, 15.0}, {4, 12.0}, {6, 19.0}});
+    EXPECT_DOUBLE_EQ(s.maxRiseWithin(2), 7.0);   // 12->19
+    EXPECT_DOUBLE_EQ(s.maxRiseWithin(6), 9.0);   // 10->19
+}
+
+TEST(TimeSeries, MaxRiseMonotonicDecreaseIsZero)
+{
+    TimeSeries s = makeSeries({{0, 5.0}, {1, 4.0}, {2, 3.0}});
+    EXPECT_DOUBLE_EQ(s.maxRiseWithin(10), 0.0);
+}
+
+TEST(TimeSeries, MaxRiseRespectsWindow)
+{
+    TimeSeries s = makeSeries({{0, 0.0}, {100, 10.0}});
+    EXPECT_DOUBLE_EQ(s.maxRiseWithin(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.maxRiseWithin(100), 10.0);
+}
+
+TEST(TimeSeries, ScaledMultipliesValues)
+{
+    TimeSeries s = makeSeries({{0, 1.0}, {10, 2.0}});
+    TimeSeries scaled = s.scaled(3.0);
+    EXPECT_DOUBLE_EQ(scaled.valueAt(0), 3.0);
+    EXPECT_DOUBLE_EQ(scaled.valueAt(10), 6.0);
+}
+
+TEST(TimeSeries, SumOnGridAddsSeries)
+{
+    TimeSeries a = makeSeries({{0, 1.0}, {10, 2.0}});
+    TimeSeries b = makeSeries({{0, 10.0}, {5, 20.0}});
+    TimeSeries sum = sumOnGrid({&a, &b}, 5);
+    EXPECT_DOUBLE_EQ(sum.valueAt(0), 11.0);
+    EXPECT_DOUBLE_EQ(sum.valueAt(5), 21.0);
+    EXPECT_DOUBLE_EQ(sum.valueAt(10), 22.0);
+}
+
+TEST(TimeSeries, SumOnGridHandlesEmptyInputs)
+{
+    TimeSeries a = makeSeries({{0, 1.0}});
+    TimeSeries empty;
+    TimeSeries sum = sumOnGrid({&a, &empty}, 5);
+    EXPECT_EQ(sum.size(), 1u);
+    EXPECT_DOUBLE_EQ(sum.valueAt(0), 1.0);
+}
+
+TEST(TimeSeriesDeath, EmptyAccessorsPanic)
+{
+    TimeSeries s;
+    EXPECT_DEATH(s.maxValue(), "empty series");
+    EXPECT_DEATH(s.startTime(), "empty series");
+    EXPECT_DEATH(s.valueAt(0), "empty series");
+}

@@ -1,0 +1,151 @@
+/** @file Unit tests for the request trace container. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.hh"
+
+using namespace polca::workload;
+using polca::sim::secondsToTicks;
+
+namespace {
+
+Request
+makeRequest(polca::sim::Tick arrival, Priority priority = Priority::Low)
+{
+    Request r;
+    r.arrival = arrival;
+    r.priority = priority;
+    r.inputTokens = 2048;
+    r.outputTokens = 256;
+    return r;
+}
+
+} // namespace
+
+TEST(Trace, AddAndDuration)
+{
+    Trace trace(secondsToTicks(100));
+    trace.add(makeRequest(secondsToTicks(1)));
+    trace.add(makeRequest(secondsToTicks(50)));
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.duration(), secondsToTicks(100));
+}
+
+TEST(Trace, DurationExtendsWithLateArrivals)
+{
+    Trace trace(secondsToTicks(10));
+    trace.add(makeRequest(secondsToTicks(50)));
+    EXPECT_EQ(trace.duration(), secondsToTicks(50));
+}
+
+TEST(TraceDeath, OutOfOrderArrivalPanics)
+{
+    Trace trace;
+    trace.add(makeRequest(100));
+    EXPECT_DEATH(trace.add(makeRequest(50)), "precedes");
+}
+
+TEST(Trace, MeanArrivalRate)
+{
+    Trace trace(secondsToTicks(10));
+    for (int i = 0; i < 20; ++i)
+        trace.add(makeRequest(secondsToTicks(i * 0.5)));
+    EXPECT_NEAR(trace.meanArrivalRate(), 2.0, 0.1);
+}
+
+TEST(Trace, BinnedArrivals)
+{
+    Trace trace(secondsToTicks(30));
+    trace.add(makeRequest(secondsToTicks(1)));
+    trace.add(makeRequest(secondsToTicks(2)));
+    trace.add(makeRequest(secondsToTicks(15)));
+    auto bins = trace.binnedArrivals(secondsToTicks(10));
+    ASSERT_EQ(bins.size(), 3u);
+    EXPECT_EQ(bins[0], 2u);
+    EXPECT_EQ(bins[1], 1u);
+    EXPECT_EQ(bins[2], 0u);
+}
+
+TEST(Trace, SliceRebasesArrivals)
+{
+    Trace trace(secondsToTicks(30));
+    trace.add(makeRequest(secondsToTicks(5)));
+    trace.add(makeRequest(secondsToTicks(15)));
+    trace.add(makeRequest(secondsToTicks(25)));
+    Trace sliced =
+        trace.slice(secondsToTicks(10), secondsToTicks(20));
+    ASSERT_EQ(sliced.size(), 1u);
+    EXPECT_EQ(sliced.requests()[0].arrival, secondsToTicks(5));
+    EXPECT_EQ(sliced.duration(), secondsToTicks(10));
+}
+
+TEST(Trace, HighPriorityFraction)
+{
+    Trace trace;
+    trace.add(makeRequest(1, Priority::High));
+    trace.add(makeRequest(2, Priority::Low));
+    trace.add(makeRequest(3, Priority::High));
+    trace.add(makeRequest(4, Priority::High));
+    EXPECT_DOUBLE_EQ(trace.highPriorityFraction(), 0.75);
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    Trace trace(secondsToTicks(60));
+    Request r = makeRequest(secondsToTicks(3), Priority::High);
+    r.id = 42;
+    r.workloadIndex = 2;
+    r.inputTokens = 4096;
+    r.outputTokens = 1024;
+    trace.add(r);
+    trace.add(makeRequest(secondsToTicks(30)));
+
+    std::stringstream ss;
+    trace.save(ss);
+    Trace loaded = Trace::load(ss);
+
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.duration(), trace.duration());
+    const Request &first = loaded.requests()[0];
+    EXPECT_EQ(first.arrival, secondsToTicks(3));
+    EXPECT_EQ(first.id, 42u);
+    EXPECT_EQ(first.workloadIndex, 2u);
+    EXPECT_EQ(first.priority, Priority::High);
+    EXPECT_EQ(first.inputTokens, 4096);
+    EXPECT_EQ(first.outputTokens, 1024);
+    EXPECT_EQ(loaded.requests()[1].priority, Priority::Low);
+}
+
+TEST(TraceDeath, LoadRejectsMalformedLines)
+{
+    std::stringstream garbage(
+        "arrival_us,id,workload,priority,input_tokens,output_tokens\n"
+        "not-a-number,0,0,L,1,1\n");
+    EXPECT_DEATH(Trace::load(garbage), "malformed line 2");
+
+    std::stringstream truncated(
+        "arrival_us,id,workload,priority,input_tokens,output_tokens\n"
+        "100,1,0,L\n");
+    EXPECT_DEATH(Trace::load(truncated), "malformed line 2");
+}
+
+TEST(Trace, LoadSkipsBlankLines)
+{
+    std::stringstream ss(
+        "arrival_us,id,workload,priority,input_tokens,output_tokens\n"
+        "\n"
+        "100,1,0,H,64,8\n");
+    Trace trace = Trace::load(ss);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.requests()[0].priority, Priority::High);
+}
+
+TEST(Trace, EmptyTraceProperties)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_DOUBLE_EQ(trace.meanArrivalRate(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.highPriorityFraction(), 0.0);
+}

@@ -1,0 +1,118 @@
+/** @file Tests for synchronized training-cluster power at scale. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/training_cluster.hh"
+
+using namespace polca::cluster;
+using namespace polca::llm;
+using namespace polca::sim;
+
+namespace {
+
+TrainingClusterOptions
+shortRun(int servers = 40)
+{
+    TrainingClusterOptions options;
+    options.numServers = servers;
+    options.duration = secondsToTicks(120.0);
+    options.sampleInterval = msToTicks(100);
+    return options;
+}
+
+} // namespace
+
+TEST(TrainingCluster, ProducesSamplesAtCadence)
+{
+    TrainingModel model(TrainingSpec::forModel("GPT-NeoX-20B"));
+    auto series = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun());
+    EXPECT_EQ(series.size(), 1201u);
+}
+
+TEST(TrainingCluster, SwingsAreLargeAndCoordinated)
+{
+    // Insight 2 / Table 4: synchronized training swings a large
+    // fraction of cluster power within seconds.
+    TrainingModel model(TrainingSpec::forModel("Flan-T5-XXL"));
+    auto series = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun());
+    double swing = (series.maxValue() - series.minValue()) /
+        series.maxValue();
+    EXPECT_GT(swing, 0.35);  // Flan-T5 drops to idle at sync
+}
+
+TEST(TrainingCluster, SpikeWithinSecondsMatchesTable4Scale)
+{
+    // Table 4: training can spike ~37.5 % of provisioned power
+    // within 2 s.
+    TrainingModel model(TrainingSpec::forModel("Flan-T5-XXL"));
+    TrainingClusterOptions options = shortRun();
+    auto series = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), options);
+    // Training rows are provisioned for peak (~5.85 kW/server puts
+    // peak utilization at Table 4's ~97 %).
+    double provisioned = options.numServers * 5850.0;
+    double spike = series.maxRiseWithin(secondsToTicks(2.0)) /
+        provisioned;
+    EXPECT_GT(spike, 0.25);
+    EXPECT_LT(spike, 0.85);
+}
+
+TEST(TrainingCluster, RobertaSwingsSmallerThanFlanT5)
+{
+    auto run = [&](const char *name) {
+        TrainingModel model(TrainingSpec::forModel(name));
+        auto series = trainingClusterPower(
+            model, polca::power::ServerSpec::dgxA100_40gb(),
+            shortRun());
+        return (series.maxValue() - series.minValue()) /
+            series.maxValue();
+    };
+    EXPECT_LT(run("RoBERTa"), run("Flan-T5-XXL"));
+}
+
+TEST(TrainingCluster, PowerScalesWithServerCount)
+{
+    TrainingModel model(TrainingSpec::forModel("GPT-NeoX-20B"));
+    auto small = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun(10));
+    auto large = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun(40));
+    EXPECT_NEAR(large.meanValue() / small.meanValue(), 4.0, 0.2);
+}
+
+TEST(TrainingCluster, DeterministicPerSeed)
+{
+    TrainingModel model(TrainingSpec::forModel("GPT-NeoX-20B"));
+    auto a = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun());
+    auto b = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), shortRun());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 100)
+        EXPECT_DOUBLE_EQ(a.at(i).value, b.at(i).value);
+}
+
+TEST(TrainingCluster, PeakUtilizationNearProvisionedLimit)
+{
+    // Table 4: training peak utilization ~97 % of provisioned.
+    TrainingModel model(TrainingSpec::forModel("GPT-NeoX-20B"));
+    TrainingClusterOptions options = shortRun();
+    auto series = trainingClusterPower(
+        model, polca::power::ServerSpec::dgxA100_40gb(), options);
+    double provisioned = options.numServers * 5850.0;
+    double peakUtil = series.maxValue() / provisioned;
+    EXPECT_GT(peakUtil, 0.90);
+    EXPECT_LT(peakUtil, 1.05);
+}
+
+TEST(TrainingClusterDeath, InvalidOptionsFatal)
+{
+    TrainingModel model(TrainingSpec::forModel("RoBERTa"));
+    TrainingClusterOptions options = shortRun(0);
+    EXPECT_DEATH(trainingClusterPower(
+                     model, polca::power::ServerSpec::dgxA100_40gb(),
+                     options),
+                 "invalid options");
+}

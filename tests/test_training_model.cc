@@ -1,0 +1,150 @@
+/** @file Unit tests for the training iteration waveform model. */
+
+#include <gtest/gtest.h>
+
+#include "power/gpu_power_model.hh"
+#include "llm/training_model.hh"
+
+using namespace polca::llm;
+using namespace polca::sim;
+
+namespace {
+
+double
+powerAtActivity(const polca::power::GpuActivity &activity)
+{
+    polca::power::GpuPowerModel gpu(polca::power::GpuSpec::a100_80gb());
+    gpu.setActivity(activity);
+    return gpu.powerWatts();
+}
+
+} // namespace
+
+TEST(TrainingSpec, PaperModelsAvailable)
+{
+    for (const char *name : {"RoBERTa", "GPT-NeoX-20B", "Flan-T5-XXL"})
+        EXPECT_NO_FATAL_FAILURE(TrainingSpec::forModel(name));
+}
+
+TEST(TrainingSpecDeath, InferenceOnlyModelFatal)
+{
+    EXPECT_DEATH(TrainingSpec::forModel("BLOOM-176B"),
+                 "no training calibration");
+}
+
+TEST(TrainingSpec, TroughLevelsMatchFigure4)
+{
+    // Fig 4: sync troughs at ~75 % (RoBERTa), ~50 % (GPT-NeoX),
+    // ~20 % (Flan-T5) of TDP.
+    double tdp = 400.0;
+    double roberta = powerAtActivity(
+        TrainingSpec::forModel("RoBERTa").syncActivity);
+    double neox = powerAtActivity(
+        TrainingSpec::forModel("GPT-NeoX-20B").syncActivity);
+    double flant5 = powerAtActivity(
+        TrainingSpec::forModel("Flan-T5-XXL").syncActivity);
+    EXPECT_NEAR(roberta / tdp, 0.75, 0.03);
+    EXPECT_NEAR(neox / tdp, 0.50, 0.03);
+    EXPECT_NEAR(flant5 / tdp, 0.20, 0.03);
+}
+
+TEST(TrainingSpec, PeaksReachTdpExceptRoberta)
+{
+    // Insight 1 / Fig 4: GPT-NeoX and Flan-T5 reach/exceed TDP;
+    // RoBERTa stays below.
+    double tdp = 400.0;
+    EXPECT_GE(powerAtActivity(
+                  TrainingSpec::forModel("GPT-NeoX-20B")
+                      .computeActivity),
+              tdp);
+    EXPECT_GE(powerAtActivity(
+                  TrainingSpec::forModel("Flan-T5-XXL")
+                      .computeActivity),
+              tdp);
+    EXPECT_LT(powerAtActivity(
+                  TrainingSpec::forModel("RoBERTa").computeActivity),
+              tdp);
+}
+
+TEST(TrainingModel, SegmentsSumToIterationPeriod)
+{
+    TrainingModel m(TrainingSpec::forModel("RoBERTa"));
+    EXPECT_EQ(m.iterationDuration(1.0),
+              m.spec().iterationPeriod);
+}
+
+TEST(TrainingModel, RobertaIterationIsOneSecond)
+{
+    TrainingModel m(TrainingSpec::forModel("RoBERTa"));
+    EXPECT_EQ(m.spec().iterationPeriod, secondsToTicks(1.0));
+}
+
+TEST(TrainingModel, SlowdownStretchesComputeOnly)
+{
+    TrainingModel m(TrainingSpec::forModel("GPT-NeoX-20B"));
+    auto base = m.segments(1.0);
+    auto slow = m.segments(2.0);
+    ASSERT_EQ(base.size(), slow.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (base[i].computeBound)
+            EXPECT_EQ(slow[i].duration, 2 * base[i].duration);
+        else
+            EXPECT_EQ(slow[i].duration, base[i].duration);
+    }
+}
+
+TEST(TrainingModel, ThroughputSublinearInSlowdown)
+{
+    // Sync time is clock-independent, so halving the clock does not
+    // halve throughput.
+    TrainingModel m(TrainingSpec::forModel("GPT-NeoX-20B"));
+    double relative = m.relativeThroughput(2.0);
+    EXPECT_GT(relative, 0.5);
+    EXPECT_LT(relative, 1.0);
+}
+
+TEST(TrainingModel, ActivityAtWalksThePhases)
+{
+    TrainingModel m(TrainingSpec::forModel("GPT-NeoX-20B"));
+    Tick period = m.spec().iterationPeriod;
+    // Early in the iteration: forward compute.
+    EXPECT_DOUBLE_EQ(m.activityAt(period / 10).compute,
+                     m.spec().computeActivity.compute);
+    // At the very end: sync trough.
+    EXPECT_DOUBLE_EQ(m.activityAt(period - 1).compute,
+                     m.spec().syncActivity.compute);
+    // Wraps around modulo the period.
+    EXPECT_DOUBLE_EQ(m.activityAt(period + period / 10).compute,
+                     m.spec().computeActivity.compute);
+}
+
+TEST(TrainingModel, MidDipSitsBetweenForwardAndBackward)
+{
+    TrainingModel m(TrainingSpec::forModel("RoBERTa"));
+    const TrainingSpec &spec = m.spec();
+    Tick period = spec.iterationPeriod;
+    auto fwdEnd = static_cast<Tick>(period * spec.forwardFraction);
+    Tick midDip = fwdEnd + static_cast<Tick>(
+        period * spec.midDipFraction / 2);
+    EXPECT_DOUBLE_EQ(m.activityAt(midDip).compute,
+                     spec.midDipActivity.compute);
+}
+
+TEST(TrainingModelDeath, SlowdownBelowOnePanics)
+{
+    TrainingModel m(TrainingSpec::forModel("RoBERTa"));
+    EXPECT_DEATH(m.segments(0.5), "below 1");
+}
+
+TEST(TrainingModel, DipShallowestForRoberta)
+{
+    // Fig 4: RoBERTa's communication dip is the smallest.
+    double roberta =
+        TrainingSpec::forModel("RoBERTa").syncActivity.compute;
+    double neox =
+        TrainingSpec::forModel("GPT-NeoX-20B").syncActivity.compute;
+    double flant5 =
+        TrainingSpec::forModel("Flan-T5-XXL").syncActivity.compute;
+    EXPECT_GT(roberta, neox);
+    EXPECT_GT(neox, flant5);
+}

@@ -1,0 +1,118 @@
+/** @file Tests for workload-aware policy derivation (Section 6.7). */
+
+#include <gtest/gtest.h>
+
+#include "core/workload_aware.hh"
+#include "core/oversub_experiment.hh"
+#include "power/gpu_power_model.hh"
+
+using namespace polca;
+using namespace polca::core;
+using polca::workload::Priority;
+
+namespace {
+
+const llm::ModelCatalog &
+catalog()
+{
+    static llm::ModelCatalog instance;
+    return instance;
+}
+
+} // namespace
+
+TEST(WorkloadAware, FrequencyInvertsSlowdownModel)
+{
+    // Round trip: lock at the derived frequency, measure the token
+    // slowdown via the GPU model -> equals the target.
+    const llm::ModelSpec &bloom = catalog().byName("BLOOM-176B");
+    power::GpuSpec spec = power::GpuSpec::a100_80gb();
+    double f = frequencyForSlowdown(bloom, spec, 0.08);
+
+    power::GpuPowerModel gpu(spec);
+    gpu.lockClock(f);
+    double slowdown =
+        gpu.slowdownFactor(bloom.tokenComputeBoundFraction) - 1.0;
+    EXPECT_NEAR(slowdown, 0.08, 1e-9);
+}
+
+TEST(WorkloadAware, InsensitiveModelsGetDeeperLocks)
+{
+    // GPT-NeoX (cf 0.05) can be locked far deeper than BLOOM
+    // (cf 0.22) for the same slowdown budget.
+    power::GpuSpec spec = power::GpuSpec::a100_80gb();
+    double neox = frequencyForSlowdown(
+        catalog().byName("GPT-NeoX-20B"), spec, 0.03);
+    double bloom = frequencyForSlowdown(
+        catalog().byName("BLOOM-176B"), spec, 0.03);
+    EXPECT_LT(neox, bloom);
+    EXPECT_LT(neox, 1000.0);
+    EXPECT_GT(bloom, 1150.0);
+}
+
+TEST(WorkloadAware, ClampsToLegalClockRange)
+{
+    power::GpuSpec spec = power::GpuSpec::a100_80gb();
+    // Tiny target -> near max clock.
+    double shallow = frequencyForSlowdown(
+        catalog().byName("BLOOM-176B"), spec, 1e-6);
+    EXPECT_NEAR(shallow, spec.maxSmClockMhz, 1.0);
+    // Huge target -> clamped to min clock.
+    double deep = frequencyForSlowdown(
+        catalog().byName("BLOOM-176B"), spec, 10.0);
+    EXPECT_DOUBLE_EQ(deep, spec.minSmClockMhz);
+}
+
+TEST(WorkloadAware, PolicyValidatesAndOrdersLocks)
+{
+    PolicyConfig policy =
+        workloadAwarePolicy(catalog().byName("BLOOM-176B"));
+    ASSERT_EQ(policy.rules.size(), 3u);
+    // T2's LP lock at least as deep as T1's.
+    EXPECT_LE(policy.rules[1].lockMhz, policy.rules[0].lockMhz);
+    // HP lock is the shallowest cap on HP.
+    EXPECT_GT(policy.rules[2].lockMhz, policy.rules[1].lockMhz);
+    EXPECT_DOUBLE_EQ(policy.rules[0].capFraction, 0.80);
+    EXPECT_DOUBLE_EQ(policy.rules[1].capFraction, 0.89);
+}
+
+TEST(WorkloadAware, BloomPolicyNearPaperConstants)
+{
+    // The paper's Table 5 frequencies were chosen for BLOOM-class
+    // sensitivity; the derived policy should land nearby.
+    PolicyConfig policy =
+        workloadAwarePolicy(catalog().byName("BLOOM-176B"));
+    EXPECT_NEAR(policy.rules[0].lockMhz, 1275.0, 75.0);  // T1
+    EXPECT_NEAR(policy.rules[1].lockMhz, 1110.0, 100.0); // T2-LP
+    EXPECT_NEAR(policy.rules[2].lockMhz, 1305.0, 75.0);  // T2-HP
+}
+
+TEST(WorkloadAware, EndToEndMeetsSlosAt30Percent)
+{
+    ExperimentConfig config;
+    config.row.baseServers = 20;
+    config.row.addedServerFraction = 0.30;
+    config.duration = sim::secondsToTicks(2 * 3600.0);
+    config.seed = 7;
+    config.policy = workloadAwarePolicy(
+        llm::ModelCatalog().byName("BLOOM-176B"));
+
+    ExperimentResult managed = runOversubExperiment(config);
+    ExperimentResult baseline =
+        runOversubExperiment(unthrottledBaseline(config));
+    NormalizedLatency low =
+        normalizeLatency(managed.low, baseline.low);
+    NormalizedLatency high =
+        normalizeLatency(managed.high, baseline.high);
+    EXPECT_EQ(managed.powerBrakeEvents, 0u);
+    EXPECT_TRUE(meetsSlos(low, high, managed.powerBrakeEvents,
+                          workload::paperSlos()));
+}
+
+TEST(WorkloadAwareDeath, NonPositiveTargetFatal)
+{
+    EXPECT_DEATH(frequencyForSlowdown(
+                     catalog().byName("BLOOM-176B"),
+                     power::GpuSpec::a100_80gb(), 0.0),
+                 "non-positive target");
+}

@@ -1,0 +1,68 @@
+/** @file Unit tests for the Table 6 workload mix and SLOs. */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload_spec.hh"
+
+using namespace polca::workload;
+
+TEST(WorkloadSpec, Table6Mix)
+{
+    auto mix = paperWorkloadMix();
+    ASSERT_EQ(mix.size(), 3u);
+
+    EXPECT_EQ(mix[0].name, "Summarize");
+    EXPECT_EQ(mix[0].promptMin, 2048);
+    EXPECT_EQ(mix[0].promptMax, 8192);
+    EXPECT_EQ(mix[0].outputMin, 256);
+    EXPECT_EQ(mix[0].outputMax, 512);
+    EXPECT_DOUBLE_EQ(mix[0].trafficFraction, 0.25);
+    EXPECT_DOUBLE_EQ(mix[0].highPriorityFraction, 0.0);
+
+    EXPECT_EQ(mix[1].name, "Search");
+    EXPECT_DOUBLE_EQ(mix[1].highPriorityFraction, 1.0);
+
+    EXPECT_EQ(mix[2].name, "Chat");
+    EXPECT_DOUBLE_EQ(mix[2].trafficFraction, 0.50);
+    EXPECT_DOUBLE_EQ(mix[2].highPriorityFraction, 0.5);
+}
+
+TEST(WorkloadSpec, TrafficFractionsSumToOne)
+{
+    double total = 0.0;
+    for (const auto &w : paperWorkloadMix())
+        total += w.trafficFraction;
+    EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(WorkloadSpec, OverallHighPriorityShareIsHalf)
+{
+    // Search (25 %, all HP) + half of Chat (50 %) = 50 % HP traffic.
+    double hp = 0.0;
+    for (const auto &w : paperWorkloadMix())
+        hp += w.trafficFraction * w.highPriorityFraction;
+    EXPECT_DOUBLE_EQ(hp, 0.5);
+}
+
+TEST(WorkloadSpec, SummarizeHasLongestPrompts)
+{
+    auto mix = paperWorkloadMix();
+    EXPECT_GT(mix[0].promptMax, mix[1].promptMax);
+    EXPECT_GE(mix[0].promptMax, mix[2].promptMax);
+}
+
+TEST(SloSpec, Table6Slos)
+{
+    SloSpec slos = paperSlos();
+    EXPECT_DOUBLE_EQ(slos.hpP50Limit, 1.01);
+    EXPECT_DOUBLE_EQ(slos.hpP99Limit, 1.05);
+    EXPECT_DOUBLE_EQ(slos.lpP50Limit, 1.05);
+    EXPECT_DOUBLE_EQ(slos.lpP99Limit, 1.50);
+    EXPECT_EQ(slos.maxPowerBrakes, 0);
+}
+
+TEST(Priority, ToString)
+{
+    EXPECT_STREQ(toString(Priority::Low), "Low");
+    EXPECT_STREQ(toString(Priority::High), "High");
+}

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * polcactl — command-line front-end to the polcasim library.
+ *
+ *   polcactl models
+ *   polcactl policy <polca|1tlp|1tall|nocap|aware>
+ *   polcactl trace generate [--days N] [--servers N] [--seed S] \
+ *                           [--out FILE]
+ *   polcactl trace stats FILE
+ *   polcactl trace regenerate FILE [--bin SECONDS] [--seed S] \
+ *                             [--out FILE]
+ *   polcactl run [--added F] [--days N] [--seed S] \
+ *                [--policy NAME] [--power-scale F] [--trace FILE] \
+ *                [--servers N] [--failures P]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "core/oversub_experiment.hh"
+#include "core/workload_aware.hh"
+#include "llm/model_spec.hh"
+#include "llm/phase_model.hh"
+#include "sim/logging.hh"
+#include "workload/trace_gen.hh"
+
+using namespace polca;
+
+namespace {
+
+/** Tiny --flag VALUE parser over argv tail. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0 && i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[arg.substr(2)] = argv[++i];
+            } else if (arg.rfind("--", 0) == 0) {
+                values_[arg.substr(2)] = "1";
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    double
+    number(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atof(it->second.c_str());
+    }
+
+    std::string
+    text(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    const std::vector<std::string> &
+    positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+int
+usage()
+{
+    std::printf(
+        "polcactl -- LLM cluster power management simulator\n\n"
+        "  polcactl models\n"
+        "  polcactl policy <polca|1tlp|1tall|nocap|aware>\n"
+        "  polcactl trace generate [--days N] [--servers N] "
+        "[--seed S] [--out FILE]\n"
+        "  polcactl trace stats FILE\n"
+        "  polcactl trace regenerate FILE [--bin SECONDS] [--seed S] "
+        "[--out FILE]\n"
+        "  polcactl run [--added F] [--days N] [--seed S] "
+        "[--policy NAME]\n"
+        "               [--power-scale F] [--servers N] "
+        "[--failures P] [--trace FILE]\n");
+    return 2;
+}
+
+core::PolicyConfig
+policyByName(const std::string &name)
+{
+    if (name == "polca")
+        return core::PolicyConfig::polca();
+    if (name == "1tlp")
+        return core::PolicyConfig::oneThreshLowPri();
+    if (name == "1tall")
+        return core::PolicyConfig::oneThreshAll();
+    if (name == "nocap")
+        return core::PolicyConfig::noCap();
+    if (name == "aware") {
+        return core::workloadAwarePolicy(
+            llm::ModelCatalog().byName("BLOOM-176B"));
+    }
+    sim::fatal("unknown policy '", name,
+               "' (use polca|1tlp|1tall|nocap|aware)");
+}
+
+int
+cmdModels()
+{
+    llm::ModelCatalog catalog;
+    analysis::Table table({"Model", "Architecture", "Params (B)",
+                           "GPUs", "Token ms", "Prompt ms/Ktok"});
+    for (const auto &model : catalog.models()) {
+        table.row()
+            .cell(model.name)
+            .cell(llm::toString(model.architecture))
+            .cell(model.paramsBillions, 3)
+            .cell(static_cast<long long>(model.inferenceGpus))
+            .cell(model.tokenTimeMs, 1)
+            .cell(model.promptMsPerKtoken, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdPolicy(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    core::PolicyConfig policy = policyByName(args.positional()[0]);
+    std::printf("Policy: %s\n", policy.name.c_str());
+    analysis::Table table({"Rule", "Target", "Cap at", "Uncap at",
+                           "Lock (MHz)"});
+    for (const auto &rule : policy.rules) {
+        table.row()
+            .cell(rule.name)
+            .cell(workload::toString(rule.target))
+            .percentCell(rule.capFraction, 0)
+            .percentCell(rule.uncapFraction, 0)
+            .cell(rule.lockMhz, 0);
+    }
+    table.print(std::cout);
+    std::printf("Power brake at %.0f%% (release %.0f%%), %s\n",
+                policy.powerBrakeFraction * 100.0,
+                policy.powerBrakeReleaseFraction * 100.0,
+                policy.powerBrakeEnabled ? "enabled" : "disabled");
+    return 0;
+}
+
+int
+cmdTraceGenerate(const Args &args)
+{
+    workload::TraceGenerator generator;
+    llm::PhaseModel phases(
+        llm::ModelCatalog().byName("BLOOM-176B"));
+
+    workload::TraceGenOptions options;
+    options.duration = sim::secondsToTicks(
+        args.number("days", 1.0) * 24 * 3600.0);
+    options.numServers =
+        static_cast<int>(args.number("servers", 40));
+    options.serviceSecondsPerRequest =
+        generator.expectedServiceSeconds(phases);
+    options.seed =
+        static_cast<std::uint64_t>(args.number("seed", 42));
+
+    workload::Trace trace = generator.generate(options);
+    std::string out = args.text("out", "");
+    if (out.empty()) {
+        trace.save(std::cout);
+    } else {
+        std::ofstream file(out);
+        if (!file)
+            sim::fatal("cannot open '", out, "' for writing");
+        trace.save(file);
+        std::printf("wrote %zu requests over %.2f days to %s\n",
+                    trace.size(),
+                    sim::ticksToSeconds(trace.duration()) / 86400.0,
+                    out.c_str());
+    }
+    return 0;
+}
+
+workload::Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        sim::fatal("cannot open trace '", path, "'");
+    return workload::Trace::load(file);
+}
+
+int
+cmdTraceStats(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    workload::Trace trace = loadTrace(args.positional()[0]);
+
+    analysis::Table table({"Metric", "Value"});
+    table.row().cell("Requests")
+        .cell(static_cast<long long>(trace.size()));
+    table.row().cell("Duration (days)")
+        .cell(sim::ticksToSeconds(trace.duration()) / 86400.0, 2);
+    table.row().cell("Mean arrival rate (req/s)")
+        .cell(trace.meanArrivalRate(), 4);
+    table.row().cell("High-priority fraction")
+        .percentCell(trace.highPriorityFraction());
+
+    double inputSum = 0.0, outputSum = 0.0;
+    for (const auto &r : trace.requests()) {
+        inputSum += r.inputTokens;
+        outputSum += r.outputTokens;
+    }
+    double n = std::max<double>(1.0, static_cast<double>(trace.size()));
+    table.row().cell("Mean input tokens").cell(inputSum / n, 0);
+    table.row().cell("Mean output tokens").cell(outputSum / n, 0);
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTraceRegenerate(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    workload::Trace reference = loadTrace(args.positional()[0]);
+    workload::TraceGenerator generator;
+    workload::Trace synthetic = generator.regenerate(
+        reference,
+        sim::secondsToTicks(args.number("bin", 300.0)),
+        static_cast<std::uint64_t>(args.number("seed", 99)));
+
+    std::string out = args.text("out", "");
+    if (out.empty()) {
+        synthetic.save(std::cout);
+    } else {
+        std::ofstream file(out);
+        if (!file)
+            sim::fatal("cannot open '", out, "' for writing");
+        synthetic.save(file);
+        std::printf("wrote synthetic trace (%zu requests) to %s\n",
+                    synthetic.size(), out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    core::ExperimentConfig config;
+    config.row.baseServers =
+        static_cast<int>(args.number("servers", 40));
+    config.row.addedServerFraction = args.number("added", 0.30);
+    config.duration = sim::secondsToTicks(
+        args.number("days", 1.0) * 24 * 3600.0);
+    config.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+    config.policy = policyByName(args.text("policy", "polca"));
+    config.powerScaleFactor = args.number("power-scale", 1.0);
+    config.manager.smbpbiFailureProbability =
+        args.number("failures", 0.0);
+
+    workload::Trace external;
+    std::string tracePath = args.text("trace", "");
+    if (!tracePath.empty()) {
+        external = loadTrace(tracePath);
+        config.externalTrace = &external;
+        config.duration = external.duration();
+    }
+
+    std::printf("Running %s on %d+%.0f%% servers for %.2f days "
+                "(seed %llu)...\n",
+                config.policy.name.c_str(), config.row.baseServers,
+                config.row.addedServerFraction * 100.0,
+                sim::ticksToSeconds(config.duration) / 86400.0,
+                static_cast<unsigned long long>(config.seed));
+
+    core::ExperimentResult result = runOversubExperiment(config);
+    core::ExperimentResult baseline =
+        runOversubExperiment(core::unthrottledBaseline(config));
+    core::NormalizedLatency low =
+        core::normalizeLatency(result.low, baseline.low);
+    core::NormalizedLatency high =
+        core::normalizeLatency(result.high, baseline.high);
+
+    analysis::Table table({"Metric", "Value"});
+    table.row().cell("Power brake events")
+        .cell(static_cast<long long>(result.powerBrakeEvents));
+    table.row().cell("Cap / uncap commands")
+        .cell(std::to_string(result.capCommands) + " / " +
+              std::to_string(result.uncapCommands));
+    table.row().cell("Re-issued (failed) commands")
+        .cell(static_cast<long long>(result.reissuedCommands));
+    table.row().cell("Mean / peak row utilization")
+        .cell(analysis::formatPercent(result.meanUtilization) + " / " +
+              analysis::formatPercent(result.maxUtilization));
+    table.row().cell("Requests served")
+        .cell(static_cast<long long>(result.lowCompletions +
+                                     result.highCompletions));
+    table.row().cell("Row energy")
+        .cell(analysis::formatFixed(result.energyKwh, 1) + " kWh (" +
+              analysis::formatFixed(result.energyPerRequestKj, 1) +
+              " kJ/request)");
+    table.row().cell("LP p50/p99 latency (normalized)")
+        .cell(analysis::formatFixed(low.p50, 3) + " / " +
+              analysis::formatFixed(low.p99, 3));
+    table.row().cell("HP p50/p99 latency (normalized)")
+        .cell(analysis::formatFixed(high.p50, 3) + " / " +
+              analysis::formatFixed(high.p99, 3));
+    table.row().cell("LP time locked")
+        .cell(analysis::formatFixed(
+                  sim::ticksToSeconds(result.lpLockedTicks) / 3600.0,
+                  2) + " h");
+    table.row().cell("HP time locked")
+        .cell(analysis::formatFixed(
+                  sim::ticksToSeconds(result.hpLockedTicks) / 3600.0,
+                  2) + " h");
+    table.print(std::cout);
+
+    bool ok = core::meetsSlos(low, high, result.powerBrakeEvents,
+                              workload::paperSlos());
+    std::printf("\nSLOs: %s\n", ok ? "MET" : "VIOLATED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    if (argc < 2)
+        return usage();
+
+    std::string command = argv[1];
+    if (command == "models")
+        return cmdModels();
+    if (command == "policy")
+        return cmdPolicy(Args(argc, argv, 2));
+    if (command == "run")
+        return cmdRun(Args(argc, argv, 2));
+    if (command == "trace") {
+        if (argc < 3)
+            return usage();
+        std::string sub = argv[2];
+        Args args(argc, argv, 3);
+        if (sub == "generate")
+            return cmdTraceGenerate(args);
+        if (sub == "stats")
+            return cmdTraceStats(args);
+        if (sub == "regenerate")
+            return cmdTraceRegenerate(args);
+        return usage();
+    }
+    if (command == "--help" || command == "-h")
+        return usage();
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+}

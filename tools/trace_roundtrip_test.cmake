@@ -1,0 +1,29 @@
+# CLI round-trip test: generate a trace, regenerate a synthetic one
+# from it, and check statistics on both.
+execute_process(
+    COMMAND ${POLCACTL} trace generate --days 0.02 --servers 10
+            --out ${WORK_DIR}/roundtrip_production.csv
+    RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "trace generate failed: ${rc1}")
+endif()
+
+execute_process(
+    COMMAND ${POLCACTL} trace regenerate
+            ${WORK_DIR}/roundtrip_production.csv --bin 60
+            --out ${WORK_DIR}/roundtrip_synthetic.csv
+    RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "trace regenerate failed: ${rc2}")
+endif()
+
+execute_process(
+    COMMAND ${POLCACTL} trace stats ${WORK_DIR}/roundtrip_synthetic.csv
+    RESULT_VARIABLE rc3
+    OUTPUT_VARIABLE stats)
+if(NOT rc3 EQUAL 0)
+    message(FATAL_ERROR "trace stats failed: ${rc3}")
+endif()
+if(NOT stats MATCHES "Requests")
+    message(FATAL_ERROR "stats output missing expected fields")
+endif()
