@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_datatypes"
+  "../bench/bench_datatypes.pdb"
+  "CMakeFiles/bench_datatypes.dir/bench_datatypes.cc.o"
+  "CMakeFiles/bench_datatypes.dir/bench_datatypes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_server_gpu_peak"
+  "../bench/bench_fig11_server_gpu_peak.pdb"
+  "CMakeFiles/bench_fig11_server_gpu_peak.dir/bench_fig11_server_gpu_peak.cc.o"
+  "CMakeFiles/bench_fig11_server_gpu_peak.dir/bench_fig11_server_gpu_peak.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_server_gpu_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

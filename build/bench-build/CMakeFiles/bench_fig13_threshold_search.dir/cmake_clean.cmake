@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_threshold_search"
+  "../bench/bench_fig13_threshold_search.pdb"
+  "CMakeFiles/bench_fig13_threshold_search.dir/bench_fig13_threshold_search.cc.o"
+  "CMakeFiles/bench_fig13_threshold_search.dir/bench_fig13_threshold_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_threshold_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

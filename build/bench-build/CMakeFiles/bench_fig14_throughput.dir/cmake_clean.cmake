@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_throughput"
+  "../bench/bench_fig14_throughput.pdb"
+  "CMakeFiles/bench_fig14_throughput.dir/bench_fig14_throughput.cc.o"
+  "CMakeFiles/bench_fig14_throughput.dir/bench_fig14_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

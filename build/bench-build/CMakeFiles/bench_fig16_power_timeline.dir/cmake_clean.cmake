@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_power_timeline"
+  "../bench/bench_fig16_power_timeline.pdb"
+  "CMakeFiles/bench_fig16_power_timeline.dir/bench_fig16_power_timeline.cc.o"
+  "CMakeFiles/bench_fig16_power_timeline.dir/bench_fig16_power_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_power_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

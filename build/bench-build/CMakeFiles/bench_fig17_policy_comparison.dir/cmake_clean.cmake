@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_policy_comparison"
+  "../bench/bench_fig17_policy_comparison.pdb"
+  "CMakeFiles/bench_fig17_policy_comparison.dir/bench_fig17_policy_comparison.cc.o"
+  "CMakeFiles/bench_fig17_policy_comparison.dir/bench_fig17_policy_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_power_brakes"
+  "../bench/bench_fig18_power_brakes.pdb"
+  "CMakeFiles/bench_fig18_power_brakes.dir/bench_fig18_power_brakes.cc.o"
+  "CMakeFiles/bench_fig18_power_brakes.dir/bench_fig18_power_brakes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_power_brakes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

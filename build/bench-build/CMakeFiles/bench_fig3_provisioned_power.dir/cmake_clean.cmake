@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_provisioned_power"
+  "../bench/bench_fig3_provisioned_power.pdb"
+  "CMakeFiles/bench_fig3_provisioned_power.dir/bench_fig3_provisioned_power.cc.o"
+  "CMakeFiles/bench_fig3_provisioned_power.dir/bench_fig3_provisioned_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_provisioned_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_inference_timeseries"
+  "../bench/bench_fig6_inference_timeseries.pdb"
+  "CMakeFiles/bench_fig6_inference_timeseries.dir/bench_fig6_inference_timeseries.cc.o"
+  "CMakeFiles/bench_fig6_inference_timeseries.dir/bench_fig6_inference_timeseries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inference_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

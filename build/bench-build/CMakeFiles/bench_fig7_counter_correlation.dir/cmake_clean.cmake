@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_counter_correlation"
+  "../bench/bench_fig7_counter_correlation.pdb"
+  "CMakeFiles/bench_fig7_counter_correlation.dir/bench_fig7_counter_correlation.cc.o"
+  "CMakeFiles/bench_fig7_counter_correlation.dir/bench_fig7_counter_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_counter_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

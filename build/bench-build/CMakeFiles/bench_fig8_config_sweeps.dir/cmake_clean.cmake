@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_config_sweeps"
+  "../bench/bench_fig8_config_sweeps.pdb"
+  "CMakeFiles/bench_fig8_config_sweeps.dir/bench_fig8_config_sweeps.cc.o"
+  "CMakeFiles/bench_fig8_config_sweeps.dir/bench_fig8_config_sweeps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_config_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_inference_capping"
+  "../bench/bench_fig9_inference_capping.pdb"
+  "CMakeFiles/bench_fig9_inference_capping.dir/bench_fig9_inference_capping.cc.o"
+  "CMakeFiles/bench_fig9_inference_capping.dir/bench_fig9_inference_capping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_inference_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_phase_split"
+  "../bench/bench_phase_split.pdb"
+  "CMakeFiles/bench_phase_split.dir/bench_phase_split.cc.o"
+  "CMakeFiles/bench_phase_split.dir/bench_phase_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_cluster_power.cc" "bench-build/CMakeFiles/bench_table4_cluster_power.dir/bench_table4_cluster_power.cc.o" "gcc" "bench-build/CMakeFiles/bench_table4_cluster_power.dir/bench_table4_cluster_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/polca_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/polca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/polca_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/polca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/polca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/polca_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/polca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/polca_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

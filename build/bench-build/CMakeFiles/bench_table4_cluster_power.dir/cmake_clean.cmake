@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_cluster_power"
+  "../bench/bench_table4_cluster_power.pdb"
+  "CMakeFiles/bench_table4_cluster_power.dir/bench_table4_cluster_power.cc.o"
+  "CMakeFiles/bench_table4_cluster_power.dir/bench_table4_cluster_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cluster_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_power_modes"
+  "../bench/bench_table5_power_modes.pdb"
+  "CMakeFiles/bench_table5_power_modes.dir/bench_table5_power_modes.cc.o"
+  "CMakeFiles/bench_table5_power_modes.dir/bench_table5_power_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_power_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

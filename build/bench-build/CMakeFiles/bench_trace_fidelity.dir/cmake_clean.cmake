@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_fidelity"
+  "../bench/bench_trace_fidelity.pdb"
+  "CMakeFiles/bench_trace_fidelity.dir/bench_trace_fidelity.cc.o"
+  "CMakeFiles/bench_trace_fidelity.dir/bench_trace_fidelity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/polca_bench_common.dir/bench_common.cc.o.d"
+  "libpolca_bench_common.a"
+  "libpolca_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

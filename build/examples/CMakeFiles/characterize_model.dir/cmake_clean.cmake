@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_model.dir/characterize_model.cpp.o"
+  "CMakeFiles/characterize_model.dir/characterize_model.cpp.o.d"
+  "characterize_model"
+  "characterize_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

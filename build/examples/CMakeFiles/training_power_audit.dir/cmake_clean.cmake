@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_power_audit.dir/training_power_audit.cpp.o"
+  "CMakeFiles/training_power_audit.dir/training_power_audit.cpp.o.d"
+  "training_power_audit"
+  "training_power_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_power_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

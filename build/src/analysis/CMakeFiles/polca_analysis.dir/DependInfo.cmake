@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_chart.cc" "src/analysis/CMakeFiles/polca_analysis.dir/ascii_chart.cc.o" "gcc" "src/analysis/CMakeFiles/polca_analysis.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/analysis/CMakeFiles/polca_analysis.dir/correlation.cc.o" "gcc" "src/analysis/CMakeFiles/polca_analysis.dir/correlation.cc.o.d"
+  "/root/repo/src/analysis/csv.cc" "src/analysis/CMakeFiles/polca_analysis.dir/csv.cc.o" "gcc" "src/analysis/CMakeFiles/polca_analysis.dir/csv.cc.o.d"
+  "/root/repo/src/analysis/error_metrics.cc" "src/analysis/CMakeFiles/polca_analysis.dir/error_metrics.cc.o" "gcc" "src/analysis/CMakeFiles/polca_analysis.dir/error_metrics.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/polca_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/polca_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

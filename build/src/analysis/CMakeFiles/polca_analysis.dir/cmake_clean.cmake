@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_analysis.dir/ascii_chart.cc.o"
+  "CMakeFiles/polca_analysis.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/polca_analysis.dir/correlation.cc.o"
+  "CMakeFiles/polca_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/polca_analysis.dir/csv.cc.o"
+  "CMakeFiles/polca_analysis.dir/csv.cc.o.d"
+  "CMakeFiles/polca_analysis.dir/error_metrics.cc.o"
+  "CMakeFiles/polca_analysis.dir/error_metrics.cc.o.d"
+  "CMakeFiles/polca_analysis.dir/table.cc.o"
+  "CMakeFiles/polca_analysis.dir/table.cc.o.d"
+  "libpolca_analysis.a"
+  "libpolca_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cc" "src/cluster/CMakeFiles/polca_cluster.dir/allocator.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/allocator.cc.o.d"
+  "/root/repo/src/cluster/datacenter.cc" "src/cluster/CMakeFiles/polca_cluster.dir/datacenter.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/datacenter.cc.o.d"
+  "/root/repo/src/cluster/dispatcher.cc" "src/cluster/CMakeFiles/polca_cluster.dir/dispatcher.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/dispatcher.cc.o.d"
+  "/root/repo/src/cluster/inference_server.cc" "src/cluster/CMakeFiles/polca_cluster.dir/inference_server.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/inference_server.cc.o.d"
+  "/root/repo/src/cluster/phase_split.cc" "src/cluster/CMakeFiles/polca_cluster.dir/phase_split.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/phase_split.cc.o.d"
+  "/root/repo/src/cluster/row.cc" "src/cluster/CMakeFiles/polca_cluster.dir/row.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/row.cc.o.d"
+  "/root/repo/src/cluster/training_cluster.cc" "src/cluster/CMakeFiles/polca_cluster.dir/training_cluster.cc.o" "gcc" "src/cluster/CMakeFiles/polca_cluster.dir/training_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/polca_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/polca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/polca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/polca_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_cluster.dir/allocator.cc.o"
+  "CMakeFiles/polca_cluster.dir/allocator.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/datacenter.cc.o"
+  "CMakeFiles/polca_cluster.dir/datacenter.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/dispatcher.cc.o"
+  "CMakeFiles/polca_cluster.dir/dispatcher.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/inference_server.cc.o"
+  "CMakeFiles/polca_cluster.dir/inference_server.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/phase_split.cc.o"
+  "CMakeFiles/polca_cluster.dir/phase_split.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/row.cc.o"
+  "CMakeFiles/polca_cluster.dir/row.cc.o.d"
+  "CMakeFiles/polca_cluster.dir/training_cluster.cc.o"
+  "CMakeFiles/polca_cluster.dir/training_cluster.cc.o.d"
+  "libpolca_cluster.a"
+  "libpolca_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

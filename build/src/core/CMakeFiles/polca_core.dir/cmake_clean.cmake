@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_core.dir/oversub_experiment.cc.o"
+  "CMakeFiles/polca_core.dir/oversub_experiment.cc.o.d"
+  "CMakeFiles/polca_core.dir/policy.cc.o"
+  "CMakeFiles/polca_core.dir/policy.cc.o.d"
+  "CMakeFiles/polca_core.dir/power_manager.cc.o"
+  "CMakeFiles/polca_core.dir/power_manager.cc.o.d"
+  "CMakeFiles/polca_core.dir/workload_aware.cc.o"
+  "CMakeFiles/polca_core.dir/workload_aware.cc.o.d"
+  "libpolca_core.a"
+  "libpolca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

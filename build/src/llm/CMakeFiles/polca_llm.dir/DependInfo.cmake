@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/counters.cc" "src/llm/CMakeFiles/polca_llm.dir/counters.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/counters.cc.o.d"
+  "/root/repo/src/llm/executor.cc" "src/llm/CMakeFiles/polca_llm.dir/executor.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/executor.cc.o.d"
+  "/root/repo/src/llm/model_spec.cc" "src/llm/CMakeFiles/polca_llm.dir/model_spec.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/model_spec.cc.o.d"
+  "/root/repo/src/llm/phase_model.cc" "src/llm/CMakeFiles/polca_llm.dir/phase_model.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/phase_model.cc.o.d"
+  "/root/repo/src/llm/segments.cc" "src/llm/CMakeFiles/polca_llm.dir/segments.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/segments.cc.o.d"
+  "/root/repo/src/llm/training_model.cc" "src/llm/CMakeFiles/polca_llm.dir/training_model.cc.o" "gcc" "src/llm/CMakeFiles/polca_llm.dir/training_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/polca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

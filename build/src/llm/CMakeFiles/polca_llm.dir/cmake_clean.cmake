@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_llm.dir/counters.cc.o"
+  "CMakeFiles/polca_llm.dir/counters.cc.o.d"
+  "CMakeFiles/polca_llm.dir/executor.cc.o"
+  "CMakeFiles/polca_llm.dir/executor.cc.o.d"
+  "CMakeFiles/polca_llm.dir/model_spec.cc.o"
+  "CMakeFiles/polca_llm.dir/model_spec.cc.o.d"
+  "CMakeFiles/polca_llm.dir/phase_model.cc.o"
+  "CMakeFiles/polca_llm.dir/phase_model.cc.o.d"
+  "CMakeFiles/polca_llm.dir/segments.cc.o"
+  "CMakeFiles/polca_llm.dir/segments.cc.o.d"
+  "CMakeFiles/polca_llm.dir/training_model.cc.o"
+  "CMakeFiles/polca_llm.dir/training_model.cc.o.d"
+  "libpolca_llm.a"
+  "libpolca_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

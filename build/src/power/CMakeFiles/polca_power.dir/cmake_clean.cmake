@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_power.dir/gpu_power_model.cc.o"
+  "CMakeFiles/polca_power.dir/gpu_power_model.cc.o.d"
+  "CMakeFiles/polca_power.dir/gpu_spec.cc.o"
+  "CMakeFiles/polca_power.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/polca_power.dir/server_model.cc.o"
+  "CMakeFiles/polca_power.dir/server_model.cc.o.d"
+  "libpolca_power.a"
+  "libpolca_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_sim.dir/event_queue.cc.o"
+  "CMakeFiles/polca_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/polca_sim.dir/logging.cc.o"
+  "CMakeFiles/polca_sim.dir/logging.cc.o.d"
+  "CMakeFiles/polca_sim.dir/random.cc.o"
+  "CMakeFiles/polca_sim.dir/random.cc.o.d"
+  "CMakeFiles/polca_sim.dir/simulation.cc.o"
+  "CMakeFiles/polca_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/polca_sim.dir/stats.cc.o"
+  "CMakeFiles/polca_sim.dir/stats.cc.o.d"
+  "CMakeFiles/polca_sim.dir/timeseries.cc.o"
+  "CMakeFiles/polca_sim.dir/timeseries.cc.o.d"
+  "libpolca_sim.a"
+  "libpolca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpolca_sim.a"
+)

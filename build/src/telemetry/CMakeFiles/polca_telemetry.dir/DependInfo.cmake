@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/energy_meter.cc" "src/telemetry/CMakeFiles/polca_telemetry.dir/energy_meter.cc.o" "gcc" "src/telemetry/CMakeFiles/polca_telemetry.dir/energy_meter.cc.o.d"
+  "/root/repo/src/telemetry/interface_registry.cc" "src/telemetry/CMakeFiles/polca_telemetry.dir/interface_registry.cc.o" "gcc" "src/telemetry/CMakeFiles/polca_telemetry.dir/interface_registry.cc.o.d"
+  "/root/repo/src/telemetry/monitors.cc" "src/telemetry/CMakeFiles/polca_telemetry.dir/monitors.cc.o" "gcc" "src/telemetry/CMakeFiles/polca_telemetry.dir/monitors.cc.o.d"
+  "/root/repo/src/telemetry/row_manager.cc" "src/telemetry/CMakeFiles/polca_telemetry.dir/row_manager.cc.o" "gcc" "src/telemetry/CMakeFiles/polca_telemetry.dir/row_manager.cc.o.d"
+  "/root/repo/src/telemetry/smbpbi.cc" "src/telemetry/CMakeFiles/polca_telemetry.dir/smbpbi.cc.o" "gcc" "src/telemetry/CMakeFiles/polca_telemetry.dir/smbpbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/polca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

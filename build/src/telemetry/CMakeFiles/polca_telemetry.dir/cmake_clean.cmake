@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_telemetry.dir/energy_meter.cc.o"
+  "CMakeFiles/polca_telemetry.dir/energy_meter.cc.o.d"
+  "CMakeFiles/polca_telemetry.dir/interface_registry.cc.o"
+  "CMakeFiles/polca_telemetry.dir/interface_registry.cc.o.d"
+  "CMakeFiles/polca_telemetry.dir/monitors.cc.o"
+  "CMakeFiles/polca_telemetry.dir/monitors.cc.o.d"
+  "CMakeFiles/polca_telemetry.dir/row_manager.cc.o"
+  "CMakeFiles/polca_telemetry.dir/row_manager.cc.o.d"
+  "CMakeFiles/polca_telemetry.dir/smbpbi.cc.o"
+  "CMakeFiles/polca_telemetry.dir/smbpbi.cc.o.d"
+  "libpolca_telemetry.a"
+  "libpolca_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal.cc" "src/workload/CMakeFiles/polca_workload.dir/diurnal.cc.o" "gcc" "src/workload/CMakeFiles/polca_workload.dir/diurnal.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/polca_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/polca_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/polca_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/polca_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/workload/CMakeFiles/polca_workload.dir/workload_spec.cc.o" "gcc" "src/workload/CMakeFiles/polca_workload.dir/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/polca_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/polca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/polca_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_workload.dir/diurnal.cc.o"
+  "CMakeFiles/polca_workload.dir/diurnal.cc.o.d"
+  "CMakeFiles/polca_workload.dir/trace.cc.o"
+  "CMakeFiles/polca_workload.dir/trace.cc.o.d"
+  "CMakeFiles/polca_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/polca_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/polca_workload.dir/workload_spec.cc.o"
+  "CMakeFiles/polca_workload.dir/workload_spec.cc.o.d"
+  "libpolca_workload.a"
+  "libpolca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polca_test_main.dir/polca_test_main.cc.o"
+  "CMakeFiles/polca_test_main.dir/polca_test_main.cc.o.d"
+  "libpolca_test_main.a"
+  "libpolca_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polca_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

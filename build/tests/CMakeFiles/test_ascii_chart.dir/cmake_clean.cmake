@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_chart.dir/test_ascii_chart.cc.o"
+  "CMakeFiles/test_ascii_chart.dir/test_ascii_chart.cc.o.d"
+  "test_ascii_chart"
+  "test_ascii_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_meter.dir/test_energy_meter.cc.o"
+  "CMakeFiles/test_energy_meter.dir/test_energy_meter.cc.o.d"
+  "test_energy_meter"
+  "test_energy_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inference_server.dir/test_inference_server.cc.o"
+  "CMakeFiles/test_inference_server.dir/test_inference_server.cc.o.d"
+  "test_inference_server"
+  "test_inference_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inference_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

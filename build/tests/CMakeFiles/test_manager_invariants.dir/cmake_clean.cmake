@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_invariants.dir/test_manager_invariants.cc.o"
+  "CMakeFiles/test_manager_invariants.dir/test_manager_invariants.cc.o.d"
+  "test_manager_invariants"
+  "test_manager_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_spec.dir/test_model_spec.cc.o"
+  "CMakeFiles/test_model_spec.dir/test_model_spec.cc.o.d"
+  "test_model_spec"
+  "test_model_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

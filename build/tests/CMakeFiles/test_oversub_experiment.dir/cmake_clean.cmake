@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oversub_experiment.dir/test_oversub_experiment.cc.o"
+  "CMakeFiles/test_oversub_experiment.dir/test_oversub_experiment.cc.o.d"
+  "test_oversub_experiment"
+  "test_oversub_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oversub_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_split.dir/test_phase_split.cc.o"
+  "CMakeFiles/test_phase_split.dir/test_phase_split.cc.o.d"
+  "test_phase_split"
+  "test_phase_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

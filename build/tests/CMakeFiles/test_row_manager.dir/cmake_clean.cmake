@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_manager.dir/test_row_manager.cc.o"
+  "CMakeFiles/test_row_manager.dir/test_row_manager.cc.o.d"
+  "test_row_manager"
+  "test_row_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_model.dir/test_server_model.cc.o"
+  "CMakeFiles/test_server_model.dir/test_server_model.cc.o.d"
+  "test_server_model"
+  "test_server_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smbpbi.dir/test_smbpbi.cc.o"
+  "CMakeFiles/test_smbpbi.dir/test_smbpbi.cc.o.d"
+  "test_smbpbi"
+  "test_smbpbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smbpbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

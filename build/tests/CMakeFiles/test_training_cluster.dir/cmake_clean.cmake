@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_cluster.dir/test_training_cluster.cc.o"
+  "CMakeFiles/test_training_cluster.dir/test_training_cluster.cc.o.d"
+  "test_training_cluster"
+  "test_training_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

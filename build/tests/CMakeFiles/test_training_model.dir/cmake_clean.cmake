@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_model.dir/test_training_model.cc.o"
+  "CMakeFiles/test_training_model.dir/test_training_model.cc.o.d"
+  "test_training_model"
+  "test_training_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_aware.dir/test_workload_aware.cc.o"
+  "CMakeFiles/test_workload_aware.dir/test_workload_aware.cc.o.d"
+  "test_workload_aware"
+  "test_workload_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_spec.dir/test_workload_spec.cc.o"
+  "CMakeFiles/test_workload_spec.dir/test_workload_spec.cc.o.d"
+  "test_workload_spec"
+  "test_workload_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polcactl.dir/polcactl.cc.o"
+  "CMakeFiles/polcactl.dir/polcactl.cc.o.d"
+  "polcactl"
+  "polcactl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polcactl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(polcactl_models "/root/repo/build/tools/polcactl" "models")
+set_tests_properties(polcactl_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polcactl_policy "/root/repo/build/tools/polcactl" "policy" "polca")
+set_tests_properties(polcactl_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polcactl_trace_roundtrip "/usr/bin/cmake" "-DPOLCACTL=/root/repo/build/tools/polcactl" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/trace_roundtrip_test.cmake")
+set_tests_properties(polcactl_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polcactl_run_smoke "/root/repo/build/tools/polcactl" "run" "--added" "0.2" "--days" "0.02" "--servers" "10")
+set_tests_properties(polcactl_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
