@@ -68,6 +68,10 @@ InferenceServer::setMaxBatchSize(std::size_t n)
 void
 InferenceServer::submit(const workload::Request &request)
 {
+    if (crashed_) {
+        sim::panic("InferenceServer ", id_,
+                   ": submit while crashed (dispatcher bug)");
+    }
     if (!active_.has_value()) {
         startBatch({request});
     } else if (bufferFree()) {
@@ -238,6 +242,8 @@ InferenceServer::refreshClock()
 void
 InferenceServer::applyClockLock(double mhz)
 {
+    if (crashed_)
+        return;  // command lands on a dead server and is lost
     policyLockMhz_ = mhz;
     refreshClock();
 }
@@ -245,6 +251,8 @@ InferenceServer::applyClockLock(double mhz)
 void
 InferenceServer::applyClockUnlock()
 {
+    if (crashed_)
+        return;
     policyLockMhz_ = 0.0;
     refreshClock();
 }
@@ -261,8 +269,40 @@ InferenceServer::setPhaseAwareTokenClock(double mhz)
 void
 InferenceServer::applyPowerBrake(bool engaged)
 {
+    if (crashed_)
+        return;
     server_.setPowerBrakeAll(engaged);
     clockChanged();
+}
+
+void
+InferenceServer::crash()
+{
+    if (crashed_)
+        return;
+    ++crashes_;
+    crashed_ = true;
+    if (active_.has_value()) {
+        droppedRequests_ += active_->requests.size();
+        sim_.queue().cancel(active_->completionEvent);
+        active_.reset();
+    }
+    droppedRequests_ += buffer_.size();
+    buffer_.clear();
+    // A reboot clears the BMC-applied state: the lock and brake are
+    // gone until the manager's verification pass re-issues them.
+    policyLockMhz_ = 0.0;
+    server_.unlockClockAll();
+    server_.setPowerBrakeAll(false);
+    setPhaseActivity();
+}
+
+void
+InferenceServer::restore()
+{
+    // Comes back empty, unlocked, and idle; powerWatts() resumes
+    // reporting the (idle) electrical draw.
+    crashed_ = false;
 }
 
 double

@@ -78,11 +78,15 @@ class InferenceServer : public telemetry::ClockControllable
 
     /** @name Request flow */
     /** @{ */
-    /** @return true when no request is being served. */
-    bool idleNow() const { return !active_.has_value(); }
+    /** @return true when no request is being served (and the server
+     *  is up — a crashed server is dark, not idle). */
+    bool idleNow() const { return !crashed_ && !active_.has_value(); }
 
     /** @return true when the buffer has room. */
-    bool bufferFree() const { return buffer_.size() < bufferSize_; }
+    bool bufferFree() const
+    {
+        return !crashed_ && buffer_.size() < bufferSize_;
+    }
 
     /** @return true if submit() may be called. */
     bool canAccept() const { return idleNow() || bufferFree(); }
@@ -125,7 +129,10 @@ class InferenceServer : public telemetry::ClockControllable
     /** @} */
 
     /** Instantaneous electrical draw of the whole server. */
-    double powerWatts() const { return server_.powerWatts(); }
+    double powerWatts() const
+    {
+        return crashed_ ? 0.0 : server_.powerWatts();
+    }
 
     /**
      * Scale all GPU activity by @p factor: the Section 6.6 experiment
@@ -146,6 +153,30 @@ class InferenceServer : public telemetry::ClockControllable
     {
         return phaseTokenClockMhz_;
     }
+
+    /** @name Crash/restart fault injection */
+    /** @{ */
+    /**
+     * Take the server down hard: the active batch and everything
+     * buffered are lost (those requests never complete), the draw
+     * drops to zero, and — as after any reboot — the OOB clock lock
+     * and power brake state are cleared.  POLCA's verification
+     * guardrail is what re-establishes the lock afterwards.
+     */
+    void crash();
+
+    /** Bring a crashed server back, empty and idle.  It rejoins
+     *  dispatch on the next arrival routed to its pool. */
+    void restore();
+
+    /** @return true while crashed. */
+    bool crashed() const { return crashed_; }
+
+    std::uint64_t crashCount() const { return crashes_; }
+
+    /** Requests lost to crashes (in flight or buffered). */
+    std::uint64_t droppedRequests() const { return droppedRequests_; }
+    /** @} */
 
     /** Underlying power model (inspection/tests). */
     const power::ServerModel &serverModel() const { return server_; }
@@ -198,6 +229,9 @@ class InferenceServer : public telemetry::ClockControllable
     double powerScale_ = 1.0;
     double policyLockMhz_ = 0.0;     ///< lock commanded via OOB
     double phaseTokenClockMhz_ = 0.0;  ///< phase-aware token clock
+    bool crashed_ = false;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t droppedRequests_ = 0;
 
     std::optional<ActiveBatch> active_;
     std::size_t maxBatchSize_ = 1;

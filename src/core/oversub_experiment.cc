@@ -1,5 +1,6 @@
 #include "core/oversub_experiment.hh"
 
+#include "faults/fault_injector.hh"
 #include "llm/phase_model.hh"
 #include "sim/logging.hh"
 #include "telemetry/energy_meter.hh"
@@ -26,6 +27,9 @@ unthrottledBaseline(ExperimentConfig config)
 {
     config.managed = false;
     config.recordRowSeries = false;
+    // The baseline is the ideal unthrottled reference: no injected
+    // faults, so normalized latencies isolate the policy's cost.
+    config.faultPlan = faults::FaultPlan();
     return config;
 }
 
@@ -94,6 +98,35 @@ runOversubExperiment(const ExperimentConfig &config)
         manager->start();
     }
 
+    // The physical breaker watches the raw electrical draw — not
+    // the row telemetry — so it keeps seeing power through
+    // telemetry blackouts.
+    std::unique_ptr<telemetry::BreakerModel> breaker;
+    if (config.modelBreaker) {
+        telemetry::BreakerModel::Config breakerConfig;
+        breakerConfig.provisionedWatts = provisioned;
+        breakerConfig.breakerLimitWatts =
+            provisioned * config.breakerLimitFraction;
+        breakerConfig.tripDuration = config.breakerTripDuration;
+        breaker = std::make_unique<telemetry::BreakerModel>(
+            sim, [&row] { return row.powerWatts(); }, breakerConfig);
+        breaker->start();
+    }
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!config.faultPlan.empty()) {
+        injector = std::make_unique<faults::FaultInjector>(
+            sim, config.faultPlan, sim.rng().fork(0xFA17));
+        injector->attachTelemetry(row.rowManager());
+        injector->attachServers(row.servers());
+        if (manager) {
+            for (workload::Priority pool :
+                 {workload::Priority::Low, workload::Priority::High})
+                injector->attachChannels(manager->channels(pool));
+        }
+        injector->start();
+    }
+
     row.dispatcher().injectTrace(*trace);
     sim.runUntil(config.duration);
 
@@ -137,7 +170,26 @@ runOversubExperiment(const ExperimentConfig &config)
             manager->lockedTicks(workload::Priority::Low);
         result.hpLockedTicks =
             manager->lockedTicks(workload::Priority::High);
+        result.failSafeEntries = manager->failSafeEntries();
+        result.failSafeTicks = manager->failSafeTicks();
+        result.flaggedChannels = manager->flaggedChannels();
     }
+    if (breaker) {
+        result.breakerTrips = breaker->trips();
+        result.breakerNearTrips = breaker->nearTrips();
+        result.firstBreakerTrip = breaker->firstTripTime();
+        result.ticksAboveProvisioned = breaker->ticksAboveProvisioned();
+        result.overdrawWattSeconds = breaker->overdrawWattSeconds();
+        result.longestOverLimitStreak =
+            breaker->longestOverLimitStreak();
+    }
+    result.droppedReadings = row.rowManager().droppedReadings();
+    if (injector) {
+        result.corruptedReadings = injector->corruptedReadings();
+        result.crashesInjected = injector->crashesInjected();
+    }
+    for (cluster::InferenceServer *server : row.servers())
+        result.droppedRequests += server->droppedRequests();
 
     if (config.recordRowSeries)
         result.rowPowerSeries = row.rowManager().series();

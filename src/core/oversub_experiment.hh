@@ -16,7 +16,9 @@
 #include "cluster/row.hh"
 #include "core/policy.hh"
 #include "core/power_manager.hh"
+#include "faults/fault_plan.hh"
 #include "sim/timeseries.hh"
+#include "telemetry/breaker_model.hh"
 #include "workload/diurnal.hh"
 #include "workload/trace.hh"
 #include "workload/workload_spec.hh"
@@ -62,6 +64,24 @@ struct ExperimentConfig
      *  low- to high-priority ratio by overriding this. */
     std::vector<workload::WorkloadSpec> mix =
         workload::paperWorkloadMix();
+
+    /**
+     * Fault scenario executed against the run (empty = ideal
+     * sensing/actuation).  Stochastic faults derive from `seed`, so
+     * a scenario replays deterministically.
+     */
+    faults::FaultPlan faultPlan;
+
+    /** Model the physical row breaker and violation accounting. */
+    bool modelBreaker = true;
+
+    /** Breaker trip limit as a multiple of provisioned power
+     *  (NEC-style 80 % continuous rating -> 1.25x trip limit). */
+    double breakerLimitFraction = 1.25;
+
+    /** Sustained time above the trip limit before the breaker
+     *  trips. */
+    sim::Tick breakerTripDuration = sim::secondsToTicks(30);
 };
 
 /** Distribution summary of one priority class's latency. */
@@ -97,6 +117,25 @@ struct ExperimentResult
 
     double maxUtilization = 0.0;
     double meanUtilization = 0.0;
+
+    /** @name Survival metrics (breaker, watchdog, faults) */
+    /** @{ */
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t breakerNearTrips = 0;
+    sim::Tick firstBreakerTrip = -1;  ///< tick, -1 = never tripped
+    sim::Tick ticksAboveProvisioned = 0;
+    double overdrawWattSeconds = 0.0;
+    sim::Tick longestOverLimitStreak = 0;
+
+    std::uint64_t failSafeEntries = 0;   ///< watchdog stale events
+    sim::Tick failSafeTicks = 0;         ///< time spent flying blind
+    std::uint64_t flaggedChannels = 0;   ///< OOB circuit breaker
+
+    std::uint64_t droppedReadings = 0;   ///< telemetry losses, total
+    std::uint64_t corruptedReadings = 0;
+    std::uint64_t crashesInjected = 0;
+    std::uint64_t droppedRequests = 0;   ///< lost to server crashes
+    /** @} */
 
     /** Row energy over the run and its per-request share. */
     double energyKwh = 0.0;

@@ -1,10 +1,25 @@
 #include "core/power_manager.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
 namespace polca::core {
+
+namespace {
+
+/** Applied-vs-commanded clocks within this margin count as equal;
+ *  re-issuing over sub-MHz differences would churn the OOB path. */
+constexpr double kClockToleranceMhz = 0.5;
+
+bool
+clocksMatch(double appliedMhz, double commandedMhz)
+{
+    return std::abs(appliedMhz - commandedMhz) <= kClockToleranceMhz;
+}
+
+} // namespace
 
 PowerManager::PowerManager(sim::Simulation &sim,
                            telemetry::RowManager &telemetry,
@@ -55,6 +70,17 @@ PowerManager::addTarget(workload::Priority pool,
             rng_.fork(0x5b + state.channels.size() * 17 +
                       (pool == workload::Priority::High ? 1000 : 0)),
             channelOptions));
+    state.consecutiveReissues.push_back(0);
+    state.flagged.push_back(false);
+}
+
+std::vector<telemetry::SmbpbiController *>
+PowerManager::channels(workload::Priority pool)
+{
+    std::vector<telemetry::SmbpbiController *> out;
+    for (const auto &channel : poolState(pool).channels)
+        out.push_back(channel.get());
+    return out;
 }
 
 void
@@ -63,14 +89,28 @@ PowerManager::start()
     if (started_)
         return;
     started_ = true;
+    // Staleness is measured from start, not from tick 0: a manager
+    // attached mid-run must not instantly declare telemetry dead.
+    lastReadingTime_ = sim_.now();
     telemetry_.addListener([this](sim::Tick now, double watts) {
         onReading(now, watts);
     });
+    if (options_.watchdogEnabled) {
+        watchdog_ = sim_.every(
+            options_.watchdogInterval,
+            [this](sim::Tick now) { watchdogCheck(now); });
+    }
 }
 
 void
 PowerManager::onReading(sim::Tick now, double watts)
 {
+    // A fresh reading means telemetry is back: leave fail-safe.
+    // The escalated rules stay active and release through the normal
+    // hysteresis path below, so recovery is conservative, not abrupt.
+    if (failSafe_)
+        exitFailSafe(now);
+
     double utilization = watts / provisionedWatts_;
     utilization_.add(utilization);
 
@@ -112,7 +152,7 @@ PowerManager::onReading(sim::Tick now, double watts)
     }
     if (policy_.powerBrakeEnabled &&
         utilization >= policy_.powerBrakeFraction) {
-        engageBrake(now);
+        engageBrake(now, /*countEvent=*/true);
         applyDesiredLocks(now);
         return;
     }
@@ -196,8 +236,10 @@ PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
     }
     for (std::size_t i = 0; i < pool.targets.size(); ++i) {
         double applied = pool.targets[i]->appliedClockLockMhz();
-        if (applied == pool.commandedMhz)
+        if (clocksMatch(applied, pool.commandedMhz)) {
+            pool.consecutiveReissues[i] = 0;
             continue;
+        }
         // Silent SMBPBI failure: re-issue on the affected channel.
         if (pool.commandedMhz > 0.0)
             pool.channels[i]->requestClockLock(pool.commandedMhz);
@@ -205,15 +247,96 @@ PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
             pool.channels[i]->requestClockUnlock();
         ++reissued_;
         pool.lastCommandTime = now;
+        // Circuit breaker: a channel that keeps needing re-issues is
+        // likely broken, not unlucky — flag it for the operator.
+        if (++pool.consecutiveReissues[i] >=
+                options_.channelFlagThreshold &&
+            !pool.flagged[i]) {
+            pool.flagged[i] = true;
+            ++flaggedChannels_;
+            sim::warn("PowerManager: OOB channel ", i,
+                         " needed ", pool.consecutiveReissues[i],
+                         " consecutive re-issues; flagging");
+        }
     }
 }
 
 void
-PowerManager::engageBrake(sim::Tick now)
+PowerManager::watchdogCheck(sim::Tick now)
+{
+    if (failSafe_)
+        return;
+    if (now - lastReadingTime_ >= options_.watchdogTimeout)
+        enterFailSafe(now);
+}
+
+void
+PowerManager::escalateAllRules(sim::Tick now)
+{
+    for (std::size_t i = 0; i < policy_.rules.size(); ++i) {
+        if (!ruleActive_[i]) {
+            ruleActive_[i] = true;
+            ruleActivatedAt_[i] = now;
+        }
+    }
+}
+
+void
+PowerManager::enterFailSafe(sim::Tick now)
+{
+    failSafe_ = true;
+    failSafeEnteredAt_ = now;
+    ++failSafeEntries_;
+    sim::warn("PowerManager: telemetry stale for ",
+                 sim::ticksToSeconds(now - lastReadingTime_),
+                 " s; entering fail-safe");
+    // Flying blind: assume the worst.  Escalate every rule to the
+    // deepest caps and, when allowed, pull the brake — its dedicated
+    // hardware line works even when the BMC command path does not.
+    escalateAllRules(now);
+    // Precautionary, not reactive: counted under failSafeEntries,
+    // not powerBrakeEvents.
+    if (options_.failSafeEngageBrake && policy_.powerBrakeEnabled &&
+        !brakeEngaged_) {
+        engageBrake(now, /*countEvent=*/false);
+    }
+    applyDesiredLocks(now);
+}
+
+void
+PowerManager::exitFailSafe(sim::Tick now)
+{
+    failSafe_ = false;
+    failSafeTicks_ += now - failSafeEnteredAt_;
+    // The brake (if we pulled it) releases through the regular
+    // reading path once utilization is back under the release
+    // threshold and the minimum hold has passed.
+}
+
+sim::Tick
+PowerManager::failSafeTicks() const
+{
+    sim::Tick total = failSafeTicks_;
+    if (failSafe_)
+        total += sim_.now() - failSafeEnteredAt_;
+    return total;
+}
+
+bool
+PowerManager::channelFlagged(workload::Priority pool,
+                             std::size_t index) const
+{
+    const PoolState &state = poolState(pool);
+    return index < state.flagged.size() && state.flagged[index];
+}
+
+void
+PowerManager::engageBrake(sim::Tick now, bool countEvent)
 {
     brakeEngaged_ = true;
     brakeEngagedAt_ = now;
-    ++brakeEvents_;
+    if (countEvent)
+        ++brakeEvents_;
     for (PoolState *pool : {&lowPool_, &highPool_}) {
         for (auto &channel : pool->channels)
             channel->requestPowerBrake(true);
@@ -221,12 +344,7 @@ PowerManager::engageBrake(sim::Tick now)
     // Hitting the brake means the policy under-capped: escalate
     // every rule now so the row comes back from the brake at the
     // deepest capping level instead of rebounding over the limit.
-    for (std::size_t i = 0; i < policy_.rules.size(); ++i) {
-        if (!ruleActive_[i]) {
-            ruleActive_[i] = true;
-            ruleActivatedAt_[i] = now;
-        }
-    }
+    escalateAllRules(now);
 }
 
 void

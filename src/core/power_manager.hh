@@ -60,6 +60,33 @@ struct ManagerOptions
      *  considered (uncapping is conservative; capping is not). */
     sim::Tick minRuleDwell;
 
+    /**
+     * Safety watchdog: a self-scheduled heartbeat, independent of
+     * telemetry callbacks, that notices when readings stop arriving.
+     * Without it a telemetry blackout freezes the manager in
+     * whatever state it was in — the brake can never engage while
+     * row power spikes unboundedly.
+     */
+    bool watchdogEnabled;
+
+    /** Heartbeat cadence of the watchdog check. */
+    sim::Tick watchdogInterval;
+
+    /** Telemetry staleness that triggers fail-safe: no reading for
+     *  this long after start().  The default (15 missed 2 s
+     *  readings) is far outside what the benign i.i.d. dropout of
+     *  Section 3.3 produces, so only real blackouts trip it. */
+    sim::Tick watchdogTimeout;
+
+    /** In fail-safe, also engage the power brake (the brake line is
+     *  a dedicated hardware path that survives BMC outages).  The
+     *  policy's powerBrakeEnabled still gates this. */
+    bool failSafeEngageBrake;
+
+    /** Per-channel circuit breaker: consecutive re-issues on one
+     *  OOB channel before it is flagged as needing attention. */
+    std::uint32_t channelFlagThreshold;
+
     ManagerOptions()
         : oobCommandLatency(sim::secondsToTicks(40)),
           brakeLatency(sim::secondsToTicks(5)),
@@ -67,7 +94,12 @@ struct ManagerOptions
           smbpbiFailureProbability(0.0),
           verifySlack(sim::secondsToTicks(4)),
           decisionSmoothingWindow(sim::secondsToTicks(30)),
-          minRuleDwell(sim::secondsToTicks(60))
+          minRuleDwell(sim::secondsToTicks(60)),
+          watchdogEnabled(true),
+          watchdogInterval(sim::secondsToTicks(2)),
+          watchdogTimeout(sim::secondsToTicks(30)),
+          failSafeEngageBrake(true),
+          channelFlagThreshold(3)
     {}
 };
 
@@ -86,14 +118,22 @@ class PowerManager
     void addTarget(workload::Priority pool,
                    telemetry::ClockControllable *target);
 
-    /** Subscribe to telemetry and begin managing. */
+    /** Subscribe to telemetry, arm the watchdog, begin managing. */
     void start();
+
+    /** OOB command channels of a pool (fault injection / tests). */
+    std::vector<telemetry::SmbpbiController *>
+    channels(workload::Priority pool);
 
     const PolicyConfig &policy() const { return policy_; }
     double provisionedWatts() const { return provisionedWatts_; }
 
     /** @name Statistics */
     /** @{ */
+    /** Reactive brake engagements (measured power hit the brake
+     *  threshold).  Precautionary fail-safe engagements are counted
+     *  under failSafeEntries() instead, so this stays comparable to
+     *  the paper's brake-event metric. */
     std::uint64_t powerBrakeEvents() const { return brakeEvents_; }
     std::uint64_t capCommands() const { return capCommands_; }
     std::uint64_t uncapCommands() const { return uncapCommands_; }
@@ -115,6 +155,24 @@ class PowerManager
 
     /** @return true while the power brake is engaged. */
     bool brakeEngaged() const { return brakeEngaged_; }
+
+    /** @name Watchdog / fail-safe */
+    /** @{ */
+    /** @return true while the manager is flying blind in fail-safe. */
+    bool failSafeActive() const { return failSafe_; }
+
+    /** Times the watchdog declared telemetry stale. */
+    std::uint64_t failSafeEntries() const { return failSafeEntries_; }
+
+    /** Total time spent in fail-safe. */
+    sim::Tick failSafeTicks() const;
+
+    /** OOB channels flagged by the re-issue circuit breaker. */
+    std::uint64_t flaggedChannels() const { return flaggedChannels_; }
+
+    /** @return true if channel @p index of @p pool is flagged. */
+    bool channelFlagged(workload::Priority pool,
+                        std::size_t index) const;
     /** @} */
 
   private:
@@ -123,6 +181,8 @@ class PowerManager
         std::vector<telemetry::ClockControllable *> targets;
         std::vector<std::unique_ptr<telemetry::SmbpbiController>>
             channels;
+        std::vector<std::uint32_t> consecutiveReissues;
+        std::vector<bool> flagged;
         double commandedMhz = 0.0;      ///< last commanded lock
         sim::Tick lastCommandTime = -1;
         sim::Tick lockedTicks = 0;
@@ -132,8 +192,12 @@ class PowerManager
     void updateRuleStates(sim::Tick now, double utilization);
     void applyDesiredLocks(sim::Tick now);
     void verifyApplied(sim::Tick now, PoolState &pool);
-    void engageBrake(sim::Tick now);
+    void engageBrake(sim::Tick now, bool countEvent);
     void releaseBrake();
+    void watchdogCheck(sim::Tick now);
+    void enterFailSafe(sim::Tick now);
+    void exitFailSafe(sim::Tick now);
+    void escalateAllRules(sim::Tick now);
     PoolState &poolState(workload::Priority pool);
     const PoolState &poolState(workload::Priority pool) const;
 
@@ -154,11 +218,17 @@ class PowerManager
     bool brakeEngaged_ = false;
     sim::Tick brakeEngagedAt_ = 0;
     sim::Tick lastReadingTime_ = 0;
+    std::unique_ptr<sim::Simulation::PeriodicTask> watchdog_;
+    bool failSafe_ = false;
+    sim::Tick failSafeEnteredAt_ = 0;
 
     std::uint64_t brakeEvents_ = 0;
     std::uint64_t capCommands_ = 0;
     std::uint64_t uncapCommands_ = 0;
     std::uint64_t reissued_ = 0;
+    std::uint64_t failSafeEntries_ = 0;
+    sim::Tick failSafeTicks_ = 0;
+    std::uint64_t flaggedChannels_ = 0;
     sim::Accumulator utilization_;
 };
 

@@ -1,0 +1,154 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::faults {
+
+FaultInjector::FaultInjector(sim::Simulation &sim, FaultPlan plan,
+                             sim::Rng rng)
+    : sim_(sim), plan_(std::move(plan)), rng_(rng)
+{
+    plan_.validate();
+}
+
+void
+FaultInjector::attachTelemetry(telemetry::RowManager &rowManager)
+{
+    rowManager.setFaultHook(
+        [this](sim::Tick now, double watts) {
+            return filterReading(now, watts);
+        });
+}
+
+void
+FaultInjector::attachChannels(
+    std::vector<telemetry::SmbpbiController *> channels)
+{
+    for (telemetry::SmbpbiController *channel : channels) {
+        if (!channel)
+            sim::panic("FaultInjector: null channel");
+        channels_.push_back(channel);
+    }
+}
+
+void
+FaultInjector::attachServers(
+    std::vector<cluster::InferenceServer *> servers)
+{
+    for (cluster::InferenceServer *server : servers) {
+        if (!server)
+            sim::panic("FaultInjector: null server");
+        servers_.push_back(server);
+    }
+}
+
+void
+FaultInjector::setOutage(bool active)
+{
+    for (telemetry::SmbpbiController *channel : channels_)
+        channel->setOutage(active);
+}
+
+void
+FaultInjector::start()
+{
+    if (started_)
+        sim::panic("FaultInjector: start called twice");
+    started_ = true;
+
+    for (const OobOutage &outage : plan_.oobOutages) {
+        if (!channels_.empty()) {
+            sim_.queue().schedule(
+                outage.start, [this] { setOutage(true); },
+                "fault-oob-outage-start");
+            sim_.queue().schedule(
+                outage.start + outage.duration,
+                [this] { setOutage(false); },
+                "fault-oob-outage-end");
+        }
+    }
+
+    for (const ServerCrash &crash : plan_.crashes) {
+        if (static_cast<std::size_t>(crash.serverIndex) >=
+            servers_.size()) {
+            sim::fatal("FaultInjector: crash server index ",
+                       crash.serverIndex, " but only ",
+                       servers_.size(), " servers attached");
+        }
+        cluster::InferenceServer *victim =
+            servers_[static_cast<std::size_t>(crash.serverIndex)];
+        sim_.queue().schedule(
+            crash.at,
+            [this, victim] {
+                victim->crash();
+                ++crashesInjected_;
+            },
+            "fault-crash");
+        sim_.queue().schedule(
+            crash.at + crash.downtime,
+            [victim] { victim->restore(); }, "fault-restore");
+    }
+}
+
+std::optional<double>
+FaultInjector::filterReading(sim::Tick now, double watts)
+{
+    // 1. Blackout windows: the reading never happens.
+    for (const BlackoutWindow &w : plan_.blackouts) {
+        if (now >= w.start && now < w.start + w.duration) {
+            ++blackedOut_;
+            return std::nullopt;
+        }
+    }
+
+    // 2. Bursty loss: advance the Gilbert–Elliott channel once per
+    //    scheduled reading, then lose the reading at the state's
+    //    loss rate.  State advances even for delivered readings so
+    //    the process is well-defined regardless of outcome.
+    if (plan_.burstyLoss.enabled) {
+        const BurstyLoss &ge = plan_.burstyLoss;
+        if (inBurst_)
+            inBurst_ = !rng_.bernoulli(ge.exitBurstProbability);
+        else
+            inBurst_ = rng_.bernoulli(ge.enterBurstProbability);
+        double lossProbability = inBurst_ ? ge.burstLossProbability
+                                          : ge.goodLossProbability;
+        if (lossProbability > 0.0 &&
+            rng_.bernoulli(lossProbability)) {
+            ++burstDropped_;
+            return std::nullopt;
+        }
+    }
+
+    // 3. Sensor corruption: the reading arrives, but lies.
+    bool wasCorrupted = false;
+    for (const SensorFault &fault : plan_.sensorFaults) {
+        if (now < fault.start || now >= fault.start + fault.duration)
+            continue;
+        switch (fault.mode) {
+          case SensorFaultMode::Bias:
+            watts += fault.biasWatts;
+            break;
+          case SensorFaultMode::Noise:
+            watts += rng_.normal(0.0, fault.noiseStddevWatts);
+            break;
+          case SensorFaultMode::StuckAtLast:
+            if (haveLastGood_)
+                watts = lastGoodWatts_;
+            break;
+        }
+        wasCorrupted = true;
+    }
+    if (wasCorrupted) {
+        ++corrupted_;
+        return std::max(0.0, watts);
+    }
+
+    lastGoodWatts_ = watts;
+    haveLastGood_ = true;
+    return watts;
+}
+
+} // namespace polca::faults

@@ -1,0 +1,158 @@
+#include "faults/fault_plan.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::faults {
+
+const char *
+toString(SensorFaultMode mode)
+{
+    switch (mode) {
+      case SensorFaultMode::Bias:
+        return "bias";
+      case SensorFaultMode::Noise:
+        return "noise";
+      case SensorFaultMode::StuckAtLast:
+        return "stuck-at-last";
+    }
+    return "?";
+}
+
+bool
+FaultPlan::empty() const
+{
+    return blackouts.empty() && !burstyLoss.enabled &&
+        sensorFaults.empty() && oobOutages.empty() && crashes.empty();
+}
+
+namespace {
+
+void
+checkWindow(const char *what, sim::Tick start, sim::Tick duration)
+{
+    if (start < 0 || duration <= 0) {
+        sim::fatal("FaultPlan: ", what, " window [", start, ", +",
+                   duration, ") is not a valid interval");
+    }
+}
+
+void
+checkProbability(const char *what, double p)
+{
+    if (p < 0.0 || p > 1.0)
+        sim::fatal("FaultPlan: ", what, " probability ", p,
+                   " outside [0,1]");
+}
+
+} // namespace
+
+void
+FaultPlan::validate() const
+{
+    for (const BlackoutWindow &w : blackouts)
+        checkWindow("blackout", w.start, w.duration);
+    if (burstyLoss.enabled) {
+        checkProbability("enter-burst",
+                         burstyLoss.enterBurstProbability);
+        checkProbability("exit-burst", burstyLoss.exitBurstProbability);
+        checkProbability("good-loss", burstyLoss.goodLossProbability);
+        checkProbability("burst-loss",
+                         burstyLoss.burstLossProbability);
+    }
+    for (const SensorFault &f : sensorFaults) {
+        checkWindow("sensor-fault", f.start, f.duration);
+        if (f.mode == SensorFaultMode::Noise &&
+            f.noiseStddevWatts < 0.0) {
+            sim::fatal("FaultPlan: negative noise stddev");
+        }
+    }
+    for (const OobOutage &o : oobOutages)
+        checkWindow("oob-outage", o.start, o.duration);
+    for (const ServerCrash &c : crashes) {
+        checkWindow("crash", c.at, c.downtime);
+        if (c.serverIndex < 0)
+            sim::fatal("FaultPlan: negative crash server index");
+    }
+}
+
+const std::vector<std::string> &
+scenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "none",   "blackout",   "bursty",
+        "flaky-sensor", "oob-outage", "crashes",
+    };
+    return names;
+}
+
+FaultPlan
+scenarioByName(const std::string &name, sim::Tick duration,
+               int numServers)
+{
+    if (duration <= 0)
+        sim::fatal("scenarioByName: non-positive duration");
+
+    FaultPlan plan;
+    if (name == "none")
+        return plan;
+
+    if (name == "blackout") {
+        BlackoutWindow window;
+        window.start = duration / 4;
+        window.duration =
+            std::min<sim::Tick>(sim::secondsToTicks(900),
+                                duration / 2);
+        plan.blackouts.push_back(window);
+    } else if (name == "bursty") {
+        plan.burstyLoss.enabled = true;
+        plan.burstyLoss.enterBurstProbability = 0.01;
+        plan.burstyLoss.exitBurstProbability = 0.1;
+        plan.burstyLoss.goodLossProbability = 0.01;
+        plan.burstyLoss.burstLossProbability = 0.95;
+    } else if (name == "flaky-sensor") {
+        SensorFault bias;
+        bias.start = duration / 5;
+        bias.duration = duration / 5;
+        bias.mode = SensorFaultMode::Bias;
+        bias.biasWatts = -20000.0;  // under-reports: the unsafe lie
+        plan.sensorFaults.push_back(bias);
+
+        SensorFault stuck;
+        stuck.start = (duration * 3) / 5;
+        stuck.duration = duration / 5;
+        stuck.mode = SensorFaultMode::StuckAtLast;
+        plan.sensorFaults.push_back(stuck);
+    } else if (name == "oob-outage") {
+        OobOutage outage;
+        outage.start = duration / 3;
+        outage.duration =
+            std::min<sim::Tick>(sim::secondsToTicks(1200),
+                                duration / 3);
+        plan.oobOutages.push_back(outage);
+    } else if (name == "crashes") {
+        // A rolling wave: every ~8 % of the run another server goes
+        // down for 5 minutes.
+        int victims = std::max(1, numServers / 4);
+        for (int i = 0; i < victims; ++i) {
+            ServerCrash crash;
+            crash.at = duration / 10 + (duration * i) / 12;
+            crash.downtime =
+                std::min<sim::Tick>(sim::secondsToTicks(300),
+                                    duration / 10);
+            crash.serverIndex = i % std::max(1, numServers);
+            plan.crashes.push_back(crash);
+        }
+    } else {
+        std::string known;
+        for (const std::string &n : scenarioNames())
+            known += (known.empty() ? "" : "|") + n;
+        sim::fatal("unknown fault scenario '", name, "' (use ", known,
+                   ")");
+    }
+    plan.validate();
+    return plan;
+}
+
+} // namespace polca::faults

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Declarative fault scenarios for the control plane POLCA rides on.
+ *
+ * The paper's telemetry and actuation paths are explicitly hostile:
+ * 40 s capping latency, commands that fail "without signaling
+ * completion or errors", and 2 s row telemetry that "may sometimes
+ * fail" (Section 3.3).  A FaultPlan captures a concrete instance of
+ * that hostility — blackout windows, bursty reading loss, sensor
+ * corruption, correlated SMBPBI outages, server crashes — as plain
+ * data that faults::FaultInjector executes against a running
+ * simulation, deterministically under a fixed sim::Rng seed.
+ */
+
+#ifndef POLCA_FAULTS_FAULT_PLAN_HH
+#define POLCA_FAULTS_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace polca::faults {
+
+/** Telemetry goes completely dark for [start, start + duration). */
+struct BlackoutWindow
+{
+    sim::Tick start = 0;
+    sim::Tick duration = 0;
+};
+
+/**
+ * Bursty reading loss: a Gilbert–Elliott two-state channel advanced
+ * once per scheduled reading.  Unlike the i.i.d. dropout the row
+ * manager models natively, losses cluster into streaks — the case
+ * that actually starves a telemetry-driven controller.
+ */
+struct BurstyLoss
+{
+    bool enabled = false;
+    double enterBurstProbability = 0.0;  ///< good -> burst, per reading
+    double exitBurstProbability = 1.0;   ///< burst -> good, per reading
+    double goodLossProbability = 0.0;    ///< loss while in good state
+    double burstLossProbability = 1.0;   ///< loss while in burst state
+};
+
+/** How a corrupted sensor mangles the reading it reports. */
+enum class SensorFaultMode
+{
+    Bias,         ///< constant additive offset
+    Noise,        ///< zero-mean Gaussian noise
+    StuckAtLast,  ///< repeats the last pre-fault value
+};
+
+const char *toString(SensorFaultMode mode);
+
+/** Sensor corruption active over [start, start + duration). */
+struct SensorFault
+{
+    sim::Tick start = 0;
+    sim::Tick duration = 0;
+    SensorFaultMode mode = SensorFaultMode::Bias;
+    double biasWatts = 0.0;         ///< Bias mode offset
+    double noiseStddevWatts = 0.0;  ///< Noise mode sigma
+};
+
+/**
+ * Correlated OOB outage over [start, start + duration): every
+ * attached SMBPBI channel silently swallows capping commands (one
+ * failing BMC aggregator takes out a whole row's command path).
+ * The power-brake hardware line is unaffected.
+ */
+struct OobOutage
+{
+    sim::Tick start = 0;
+    sim::Tick duration = 0;
+};
+
+/** One server crash/restart event. */
+struct ServerCrash
+{
+    sim::Tick at = 0;
+    sim::Tick downtime = 0;  ///< restore at `at + downtime`
+    int serverIndex = 0;     ///< index into the attached server list
+};
+
+/** A complete scenario. */
+struct FaultPlan
+{
+    std::vector<BlackoutWindow> blackouts;
+    BurstyLoss burstyLoss;
+    std::vector<SensorFault> sensorFaults;
+    std::vector<OobOutage> oobOutages;
+    std::vector<ServerCrash> crashes;
+
+    /** @return true when the plan injects nothing. */
+    bool empty() const;
+
+    /** Validate ranges and probabilities; fatal() on error. */
+    void validate() const;
+};
+
+/**
+ * Canned scenarios, scaled to a run of @p duration, for the CLI,
+ * the fault_scenarios example, and apples-to-apples comparisons:
+ *
+ *  - "none":          empty plan
+ *  - "blackout":      telemetry dark for 15 min starting at 25 %
+ *                     of the run
+ *  - "bursty":        Gilbert–Elliott loss (mean burst ~10 readings,
+ *                     ~10 % of time in burst)
+ *  - "flaky-sensor":  low-biased then stuck-at-last sensor windows
+ *                     (a low-reading sensor makes POLCA think the
+ *                     row is safe while it is not)
+ *  - "oob-outage":    all SMBPBI channels dead for 20 min mid-run
+ *  - "crashes":       a rolling wave of server crash/restarts
+ *
+ * @p numServers bounds the crash scenario's server indices.
+ */
+FaultPlan scenarioByName(const std::string &name, sim::Tick duration,
+                         int numServers);
+
+/** Names accepted by scenarioByName, for usage text. */
+const std::vector<std::string> &scenarioNames();
+
+} // namespace polca::faults
+
+#endif // POLCA_FAULTS_FAULT_PLAN_HH

@@ -1,0 +1,87 @@
+#include "telemetry/breaker_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::telemetry {
+
+BreakerModel::BreakerModel(sim::Simulation &sim, PowerSource supply,
+                           Config config)
+    : sim_(sim), supply_(std::move(supply)), config_(config)
+{
+    if (!supply_)
+        sim::panic("BreakerModel: empty power source");
+    if (config_.provisionedWatts <= 0.0)
+        sim::fatal("BreakerModel: non-positive provisioned power");
+    if (config_.sampleInterval <= 0 || config_.tripDuration <= 0)
+        sim::fatal("BreakerModel: non-positive interval/duration");
+    if (config_.nearTripFraction < 0.0 ||
+        config_.nearTripFraction > 1.0) {
+        sim::fatal("BreakerModel: near-trip fraction ",
+                   config_.nearTripFraction, " outside [0,1]");
+    }
+    limitWatts_ = config_.breakerLimitWatts > 0.0
+        ? config_.breakerLimitWatts
+        : config_.provisionedWatts / 0.8;
+    if (limitWatts_ < config_.provisionedWatts)
+        sim::fatal("BreakerModel: breaker limit below provisioned");
+}
+
+void
+BreakerModel::start()
+{
+    if (task_)
+        return;
+    task_ = sim_.every(config_.sampleInterval,
+                       [this](sim::Tick now) { sample(now); });
+}
+
+void
+BreakerModel::stop()
+{
+    task_.reset();
+}
+
+void
+BreakerModel::endStreak()
+{
+    if (streak_ > 0 &&
+        static_cast<double>(streak_) >=
+            config_.nearTripFraction *
+                static_cast<double>(config_.tripDuration)) {
+        ++nearTrips_;
+    }
+    streak_ = 0;
+}
+
+void
+BreakerModel::sample(sim::Tick now)
+{
+    // Left-rectangle accounting: each sample stands for the
+    // preceding interval (same convention as EnergyMeter).
+    double watts = supply_();
+    sim::Tick dt = config_.sampleInterval;
+
+    if (watts > config_.provisionedWatts) {
+        aboveBudget_ += dt;
+        overdrawWs_ += (watts - config_.provisionedWatts) *
+            sim::ticksToSeconds(dt);
+    }
+
+    if (watts > limitWatts_) {
+        aboveLimit_ += dt;
+        streak_ += dt;
+        longestStreak_ = std::max(longestStreak_, streak_);
+        if (streak_ >= config_.tripDuration) {
+            ++trips_;
+            if (firstTrip_ < 0)
+                firstTrip_ = now;
+            streak_ = 0;  // thermal element resets; breaker re-arms
+        }
+    } else {
+        endStreak();
+    }
+}
+
+} // namespace polca::telemetry

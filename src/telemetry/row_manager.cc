@@ -71,6 +71,14 @@ RowManager::sample(sim::Tick now)
         return;  // silent failure: no reading, no notification
     }
     double total = readNow();
+    if (faultHook_) {
+        std::optional<double> faulted = faultHook_(now, total);
+        if (!faulted.has_value()) {
+            ++dropped_;
+            return;  // injected loss: indistinguishable from dropout
+        }
+        total = *faulted;
+    }
     latest_ = total;
     latestTime_ = now;
     if (recordSeries_)

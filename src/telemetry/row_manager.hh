@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/random.hh"
@@ -31,6 +32,17 @@ class RowManager
     using PowerSource = std::function<double()>;
     using Listener = std::function<void(sim::Tick, double)>;
 
+    /**
+     * Hook applied to every periodic reading before it is recorded
+     * and delivered.  Returning std::nullopt drops the reading
+     * (counted in droppedReadings()); returning a value replaces the
+     * measured watts (sensor corruption).  One hook at a time; the
+     * fault-injection subsystem (faults::FaultInjector) composes its
+     * scenarios into a single hook.
+     */
+    using FaultHook =
+        std::function<std::optional<double>(sim::Tick, double)>;
+
     RowManager(sim::Simulation &sim,
                sim::Tick interval = sim::secondsToTicks(2),
                bool recordSeries = true);
@@ -43,17 +55,25 @@ class RowManager
      */
     void setDropoutProbability(double probability, sim::Rng rng);
 
+    /** Install (or clear, with an empty function) the fault hook.
+     *  Applied after the i.i.d. dropout filter. */
+    void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
+
     /** Register a power source (e.g. one server's draw). */
     void addSource(PowerSource source);
 
     /** Register a reading listener (e.g. the POLCA manager). */
     void addListener(Listener listener);
 
-    /** Begin periodic readings. */
+    /** Begin periodic readings; start() after stop() resumes the
+     *  periodic schedule (first reading one interval later). */
     void start();
 
     /** Stop readings. */
     void stop();
+
+    /** @return true while the periodic schedule is active. */
+    bool running() const { return task_ != nullptr; }
 
     /** Sampling interval. */
     sim::Tick interval() const { return interval_; }
@@ -86,6 +106,7 @@ class RowManager
     sim::Tick latestTime_ = 0;
     double dropoutProbability_ = 0.0;
     sim::Rng dropoutRng_;
+    FaultHook faultHook_;
     std::uint64_t dropped_ = 0;
     std::unique_ptr<sim::Simulation::PeriodicTask> task_;
 };

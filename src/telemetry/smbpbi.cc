@@ -16,7 +16,10 @@ SmbpbiController::issue(double lockMhz)
     sim_.queue().cancel(pending_);
     ++issued_;
 
-    bool drop = rng_.bernoulli(options_.silentFailureProbability);
+    // Loss is decided when the command hits the wire: an injected
+    // channel outage swallows it just like a stochastic failure.
+    bool drop = outage_ ||
+        rng_.bernoulli(options_.silentFailureProbability);
     pending_ = sim_.queue().scheduleAfter(
         options_.commandLatency,
         [this, lockMhz, drop] {

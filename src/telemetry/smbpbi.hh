@@ -84,6 +84,18 @@ class SmbpbiController
     /** Request brake engage/release; applies after brakeLatency. */
     void requestPowerBrake(bool engage);
 
+    /**
+     * Channel outage (fault injection): while set, every capping
+     * command is lost on the wire — silently, like the stochastic
+     * failures.  The power brake is a dedicated hardware line and
+     * keeps working, which is exactly why POLCA's fail-safe can
+     * lean on it when the BMC path goes dark.
+     */
+    void setOutage(bool outage) { outage_ = outage; }
+
+    /** @return true while an injected outage is active. */
+    bool outage() const { return outage_; }
+
     /** @return true while a capping command is pending. */
     bool commandPending() const { return pending_.pending(); }
 
@@ -102,6 +114,7 @@ class SmbpbiController
     sim::Rng rng_;
     Options options_;
     sim::EventQueue::Handle pending_;
+    bool outage_ = false;
     std::uint64_t issued_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t brakes_ = 0;

@@ -1,0 +1,143 @@
+/** @file Unit tests for the row circuit-breaker model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "telemetry/breaker_model.hh"
+
+using namespace polca::telemetry;
+using namespace polca::sim;
+
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(double limitWatts = 12500.0)
+    {
+        BreakerModel::Config config;
+        config.provisionedWatts = 10000.0;
+        config.breakerLimitWatts = limitWatts;
+        config.tripDuration = secondsToTicks(30);
+        breaker = std::make_unique<BreakerModel>(
+            sim, [this] { return watts; }, config);
+        breaker->start();
+    }
+
+    void
+    runSeconds(double seconds)
+    {
+        sim.runFor(secondsToTicks(seconds));
+    }
+
+    Simulation sim;
+    std::unique_ptr<BreakerModel> breaker;
+    double watts = 5000.0;
+};
+
+} // namespace
+
+TEST(BreakerModel, QuietUnderProvisionedPower)
+{
+    Fixture f;
+    f.runSeconds(100);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    EXPECT_FALSE(f.breaker->tripped());
+    EXPECT_EQ(f.breaker->ticksAboveProvisioned(), 0);
+    EXPECT_DOUBLE_EQ(f.breaker->overdrawWattSeconds(), 0.0);
+    EXPECT_EQ(f.breaker->firstTripTime(), -1);
+}
+
+TEST(BreakerModel, OverdrawBelowLimitAccountsButNeverTrips)
+{
+    Fixture f;
+    f.watts = 11000.0;  // above provisioned, below the 12.5 kW limit
+    f.runSeconds(100);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    EXPECT_EQ(f.breaker->ticksAboveProvisioned(), secondsToTicks(100));
+    EXPECT_EQ(f.breaker->ticksAboveLimit(), 0);
+    EXPECT_NEAR(f.breaker->overdrawWattSeconds(), 1000.0 * 100.0,
+                1000.0);
+}
+
+TEST(BreakerModel, TripsAfterSustainedOverLimit)
+{
+    Fixture f;
+    f.watts = 13000.0;
+    f.runSeconds(29);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    f.runSeconds(2);
+    EXPECT_EQ(f.breaker->trips(), 1u);
+    EXPECT_TRUE(f.breaker->tripped());
+    EXPECT_NEAR(ticksToSeconds(f.breaker->firstTripTime()), 30.0, 1.1);
+}
+
+TEST(BreakerModel, TransientRidesThrough)
+{
+    Fixture f;
+    f.watts = 14000.0;
+    f.runSeconds(10);  // only 10 s above: thermal element absorbs it
+    f.watts = 5000.0;
+    f.runSeconds(100);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    EXPECT_EQ(f.breaker->nearTrips(), 0u);  // under half the windup
+    EXPECT_EQ(f.breaker->longestOverLimitStreak(), secondsToTicks(10));
+}
+
+TEST(BreakerModel, NearTripCountsLongNonTrippingStreak)
+{
+    Fixture f;
+    f.watts = 13000.0;
+    f.runSeconds(20);  // >= 50 % of the 30 s windup, no trip
+    f.watts = 5000.0;
+    f.runSeconds(10);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    EXPECT_EQ(f.breaker->nearTrips(), 1u);
+}
+
+TEST(BreakerModel, RearmsAndTripsAgain)
+{
+    Fixture f;
+    f.watts = 13000.0;
+    f.runSeconds(65);  // 30 s windup, trip, re-arm, wind up again
+    EXPECT_EQ(f.breaker->trips(), 2u);
+}
+
+TEST(BreakerModel, DefaultLimitIsNecContinuousRating)
+{
+    Simulation sim;
+    BreakerModel::Config config;
+    config.provisionedWatts = 8000.0;
+    BreakerModel breaker(sim, [] { return 0.0; }, config);
+    EXPECT_DOUBLE_EQ(breaker.breakerLimitWatts(), 10000.0);
+}
+
+TEST(BreakerModel, StopFreezesAccounting)
+{
+    Fixture f;
+    f.watts = 13000.0;
+    f.runSeconds(10);
+    f.breaker->stop();
+    EXPECT_FALSE(f.breaker->running());
+    f.runSeconds(100);
+    EXPECT_EQ(f.breaker->trips(), 0u);
+    EXPECT_EQ(f.breaker->ticksAboveLimit(), secondsToTicks(10));
+}
+
+TEST(BreakerModelDeath, LimitBelowProvisionedFatal)
+{
+    Simulation sim;
+    BreakerModel::Config config;
+    config.provisionedWatts = 10000.0;
+    config.breakerLimitWatts = 9000.0;
+    EXPECT_DEATH(BreakerModel(sim, [] { return 0.0; }, config),
+                 "below provisioned");
+}
+
+TEST(BreakerModelDeath, EmptySupplyPanics)
+{
+    Simulation sim;
+    BreakerModel::Config config;
+    config.provisionedWatts = 10000.0;
+    EXPECT_DEATH(BreakerModel(sim, BreakerModel::PowerSource{}, config),
+                 "empty power source");
+}

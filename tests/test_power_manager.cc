@@ -243,6 +243,154 @@ TEST(PowerManager, UtilizationStatsTrackTelemetry)
     EXPECT_LT(f.manager.meanUtilization(), 0.9);
 }
 
+TEST(PowerManager, VerifyToleratesSubMhzApplicationError)
+{
+    // Satellite guardrail fix: applied clocks that differ from the
+    // command by less than the tolerance must not be re-issued
+    // forever.
+    class OffByALittle : public FakeTarget
+    {
+      public:
+        void applyClockLock(double mhz) override
+        {
+            FakeTarget::applyClockLock(mhz + 0.4);
+        }
+    };
+
+    Simulation sim;
+    RowManager telemetry(sim, secondsToTicks(2), false);
+    PowerManager manager(sim, telemetry, 10000.0,
+                         PolicyConfig::polca(), Rng(1));
+    OffByALittle target;
+    manager.addTarget(Priority::Low, &target);
+    manager.start();
+    double watts = 8200.0;  // hold T1 active
+    telemetry.addSource([&watts] { return watts; });
+    telemetry.start();
+
+    sim.runFor(secondsToTicks(600));
+    EXPECT_NEAR(target.appliedClockLockMhz(), 1275.4, 1e-9);
+    EXPECT_EQ(manager.reissuedCommands(), 0u);
+    EXPECT_EQ(manager.flaggedChannels(), 0u);
+}
+
+TEST(PowerManager, WatchdogEntersFailSafeWhenTelemetryGoesDark)
+{
+    ManagerOptions options;
+    options.watchdogTimeout = secondsToTicks(10);
+    Fixture f(PolicyConfig::polca(), options);
+    f.runSeconds(20);  // healthy: readings every 2 s
+    EXPECT_FALSE(f.manager.failSafeActive());
+
+    // Telemetry goes completely dark.
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.runSeconds(30);
+
+    EXPECT_TRUE(f.manager.failSafeActive());
+    EXPECT_EQ(f.manager.failSafeEntries(), 1u);
+    // Flying blind: every rule escalated to the deepest caps...
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1110.0);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 1305.0);
+    // ...and the brake pulled, precautionary (not a brake event).
+    EXPECT_TRUE(f.manager.brakeEngaged());
+    EXPECT_TRUE(f.low[0]->powerBrakeEngaged());
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 0u);
+}
+
+TEST(PowerManager, FailSafeRecoversOnFreshReading)
+{
+    ManagerOptions options;
+    options.watchdogTimeout = secondsToTicks(10);
+    Fixture f(PolicyConfig::polca(), options);
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.runSeconds(40);
+    ASSERT_TRUE(f.manager.failSafeActive());
+
+    f.telemetry.setFaultHook({});  // telemetry returns
+    f.runSeconds(4);
+    EXPECT_FALSE(f.manager.failSafeActive());
+    EXPECT_EQ(f.manager.failSafeEntries(), 1u);
+    EXPECT_GE(f.manager.failSafeTicks(), secondsToTicks(20));
+    EXPECT_LE(f.manager.failSafeTicks(), secondsToTicks(40));
+
+    // At 50 % utilization the escalated rules and the brake release
+    // through the normal hysteresis path.
+    f.runSeconds(200);
+    EXPECT_FALSE(f.manager.brakeEngaged());
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 0.0);
+}
+
+TEST(PowerManager, BrakeCannotEngageWhileBlindWithoutWatchdog)
+{
+    // The failure mode the watchdog exists for, pinned down: with
+    // the watchdog disabled, a telemetry blackout freezes the
+    // manager — power may sit far above the brake threshold and the
+    // brake never engages.
+    ManagerOptions options;
+    options.watchdogEnabled = false;
+    Fixture f(PolicyConfig::polca(), options);
+    f.runSeconds(10);
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.watts = 13000.0;  // 130 % of provisioned, unseen
+    f.runSeconds(600);
+    EXPECT_FALSE(f.manager.brakeEngaged());
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 0u);
+    EXPECT_EQ(f.manager.failSafeEntries(), 0u);
+
+    // The first reading after the blackout triggers the brake.
+    f.telemetry.setFaultHook({});
+    f.runSeconds(10);
+    EXPECT_TRUE(f.manager.brakeEngaged());
+    EXPECT_EQ(f.manager.powerBrakeEvents(), 1u);
+}
+
+TEST(PowerManager, BenignDropoutDoesNotTriggerFailSafe)
+{
+    // The default 30 s timeout is 15 missed 2 s readings: i.i.d.
+    // dropout at the paper's "sometimes fails" rates essentially
+    // never produces such a streak.
+    Fixture f;
+    f.telemetry.setDropoutProbability(0.33, Rng(3));
+    f.runSeconds(4000);
+    EXPECT_EQ(f.manager.failSafeEntries(), 0u);
+    EXPECT_GT(f.telemetry.droppedReadings(), 400u);
+}
+
+TEST(PowerManager, RepeatedlyFailingChannelIsFlagged)
+{
+    ManagerOptions options;
+    options.smbpbiFailureProbability = 1.0;  // OOB path is dead
+    Fixture f(PolicyConfig::polca(), options);
+    f.watts = 8200.0;  // T1 commands a LP lock that never applies
+    f.runSeconds(400);
+
+    // Both LP channels hit the consecutive re-issue threshold; HP
+    // channels never had a command to verify.
+    EXPECT_EQ(f.manager.flaggedChannels(), 2u);
+    EXPECT_TRUE(f.manager.channelFlagged(Priority::Low, 0));
+    EXPECT_TRUE(f.manager.channelFlagged(Priority::Low, 1));
+    EXPECT_FALSE(f.manager.channelFlagged(Priority::High, 0));
+    EXPECT_GE(f.manager.reissuedCommands(),
+              static_cast<std::uint64_t>(
+                  2 * options.channelFlagThreshold));
+}
+
+TEST(PowerManager, HealthyChannelIsNeverFlagged)
+{
+    ManagerOptions options;
+    options.smbpbiFailureProbability = 0.3;  // flaky but alive
+    Fixture f(PolicyConfig::polca(), options);
+    f.watts = 8200.0;
+    f.runSeconds(2000);
+    // Re-issues happen, but a success resets the consecutive count
+    // before the flag threshold with overwhelming probability.
+    EXPECT_GT(f.manager.reissuedCommands(), 0u);
+    EXPECT_EQ(f.manager.flaggedChannels(), 0u);
+}
+
 TEST(PowerManagerDeath, AddTargetAfterStartPanics)
 {
     Fixture f;

@@ -112,6 +112,80 @@ TEST(RowManager, DropoutSkipsReadingsSilently)
               1000u);
 }
 
+TEST(RowManager, StopThenStartResumesSchedule)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 1.0; });
+    manager.start();
+    EXPECT_TRUE(manager.running());
+    sim.runFor(secondsToTicks(4));  // readings at 2 s and 4 s
+    manager.stop();
+    EXPECT_FALSE(manager.running());
+    sim.runFor(secondsToTicks(10));
+    ASSERT_EQ(manager.series().size(), 2u);
+
+    manager.start();
+    EXPECT_TRUE(manager.running());
+    sim.runFor(secondsToTicks(4));  // readings at 16 s and 18 s
+    ASSERT_EQ(manager.series().size(), 4u);
+    EXPECT_EQ(manager.series().points()[2].time, secondsToTicks(16));
+    EXPECT_EQ(manager.latestReadingTime(), secondsToTicks(18));
+}
+
+TEST(RowManager, FaultHookDropsReadings)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 4.0; });
+    int notified = 0;
+    manager.addListener([&](Tick, double) { ++notified; });
+    manager.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    manager.start();
+    sim.runFor(secondsToTicks(10));
+    EXPECT_EQ(notified, 0);
+    EXPECT_EQ(manager.droppedReadings(), 5u);
+    EXPECT_TRUE(manager.series().empty());
+}
+
+TEST(RowManager, FaultHookRewritesValues)
+{
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 4.0; });
+    manager.setFaultHook(
+        [](Tick, double watts) { return std::optional(watts * 2.0); });
+    manager.start();
+    sim.runFor(secondsToTicks(2));
+    EXPECT_DOUBLE_EQ(manager.latestReading(), 8.0);
+    EXPECT_EQ(manager.droppedReadings(), 0u);
+}
+
+TEST(RowManager, FaultHookRunsAfterDropoutFilter)
+{
+    // A reading lost to i.i.d. dropout never reaches the hook, so
+    // hook-based fault statistics exclude benign dropout losses: the
+    // hook fires exactly once per *delivered* reading.
+    Simulation sim;
+    RowManager manager(sim);
+    manager.addSource([] { return 4.0; });
+    int hookCalls = 0, notified = 0;
+    manager.addListener([&](Tick, double) { ++notified; });
+    manager.setDropoutProbability(0.5, Rng(2));
+    manager.setFaultHook([&](Tick, double watts) {
+        ++hookCalls;
+        return std::optional(watts);
+    });
+    manager.start();
+    sim.runFor(secondsToTicks(200));  // 100 scheduled readings
+    EXPECT_EQ(hookCalls, notified);
+    EXPECT_LT(notified, 100);
+    EXPECT_GT(notified, 0);
+    EXPECT_EQ(manager.droppedReadings(),
+              100u - static_cast<std::uint64_t>(notified));
+}
+
 TEST(RowManagerDeath, BadDropoutProbabilityFatal)
 {
     Simulation sim;

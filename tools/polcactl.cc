@@ -11,7 +11,9 @@
  *                             [--out FILE]
  *   polcactl run [--added F] [--days N] [--seed S] \
  *                [--policy NAME] [--power-scale F] [--trace FILE] \
- *                [--servers N] [--failures P]
+ *                [--servers N] [--failures P] [--dropout P] \
+ *                [--scenario NAME] [--watchdog 0|1]
+ *   polcactl scenarios
  */
 
 #include <cstdio>
@@ -26,6 +28,7 @@
 #include "analysis/table.hh"
 #include "core/oversub_experiment.hh"
 #include "core/workload_aware.hh"
+#include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
 #include "llm/phase_model.hh"
 #include "sim/logging.hh"
@@ -95,7 +98,10 @@ usage()
         "  polcactl run [--added F] [--days N] [--seed S] "
         "[--policy NAME]\n"
         "               [--power-scale F] [--servers N] "
-        "[--failures P] [--trace FILE]\n");
+        "[--failures P] [--trace FILE]\n"
+        "               [--dropout P] [--scenario NAME] "
+        "[--watchdog 0|1]\n"
+        "  polcactl scenarios\n");
     return 2;
 }
 
@@ -261,6 +267,25 @@ cmdTraceRegenerate(const Args &args)
 }
 
 int
+cmdScenarios()
+{
+    analysis::Table table({"Scenario", "What it injects"});
+    table.row().cell("none").cell("ideal sensing and actuation");
+    table.row().cell("blackout").cell(
+        "telemetry fully dark for 15 min at 25% of the run");
+    table.row().cell("bursty").cell(
+        "Gilbert-Elliott reading loss (bursts, not i.i.d.)");
+    table.row().cell("flaky-sensor").cell(
+        "low-biased then stuck-at-last sensor windows");
+    table.row().cell("oob-outage").cell(
+        "all SMBPBI command channels dead for 20 min");
+    table.row().cell("crashes").cell(
+        "rolling server crash/restart wave");
+    table.print(std::cout);
+    return 0;
+}
+
+int
 cmdRun(const Args &args)
 {
     core::ExperimentConfig config;
@@ -274,6 +299,9 @@ cmdRun(const Args &args)
     config.powerScaleFactor = args.number("power-scale", 1.0);
     config.manager.smbpbiFailureProbability =
         args.number("failures", 0.0);
+    config.row.telemetryDropoutProbability =
+        args.number("dropout", 0.0);
+    config.manager.watchdogEnabled = args.number("watchdog", 1) != 0;
 
     workload::Trace external;
     std::string tracePath = args.text("trace", "");
@@ -283,12 +311,21 @@ cmdRun(const Args &args)
         config.duration = external.duration();
     }
 
+    std::string scenario = args.text("scenario", "none");
+    config.faultPlan = faults::scenarioByName(
+        scenario, config.duration,
+        static_cast<int>(
+            config.row.baseServers *
+            (1.0 + config.row.addedServerFraction)));
+
     std::printf("Running %s on %d+%.0f%% servers for %.2f days "
-                "(seed %llu)...\n",
+                "(seed %llu, scenario %s, watchdog %s)...\n",
                 config.policy.name.c_str(), config.row.baseServers,
                 config.row.addedServerFraction * 100.0,
                 sim::ticksToSeconds(config.duration) / 86400.0,
-                static_cast<unsigned long long>(config.seed));
+                static_cast<unsigned long long>(config.seed),
+                scenario.c_str(),
+                config.manager.watchdogEnabled ? "on" : "off");
 
     core::ExperimentResult result = runOversubExperiment(config);
     core::ExperimentResult baseline =
@@ -330,6 +367,29 @@ cmdRun(const Args &args)
         .cell(analysis::formatFixed(
                   sim::ticksToSeconds(result.hpLockedTicks) / 3600.0,
                   2) + " h");
+    table.row().cell("Breaker trips / near-trips")
+        .cell(std::to_string(result.breakerTrips) + " / " +
+              std::to_string(result.breakerNearTrips));
+    table.row().cell("Time above provisioned")
+        .cell(analysis::formatFixed(
+                  sim::ticksToSeconds(result.ticksAboveProvisioned),
+                  0) + " s");
+    table.row().cell("Overdraw energy")
+        .cell(analysis::formatFixed(
+                  result.overdrawWattSeconds / 1000.0, 1) + " kJ");
+    table.row().cell("Fail-safe entries / time")
+        .cell(std::to_string(result.failSafeEntries) + " / " +
+              analysis::formatFixed(
+                  sim::ticksToSeconds(result.failSafeTicks), 0) +
+              " s");
+    table.row().cell("Flagged OOB channels")
+        .cell(static_cast<long long>(result.flaggedChannels));
+    table.row().cell("Dropped / corrupted readings")
+        .cell(std::to_string(result.droppedReadings) + " / " +
+              std::to_string(result.corruptedReadings));
+    table.row().cell("Server crashes (dropped requests)")
+        .cell(std::to_string(result.crashesInjected) + " (" +
+              std::to_string(result.droppedRequests) + ")");
     table.print(std::cout);
 
     bool ok = core::meetsSlos(low, high, result.powerBrakeEvents,
@@ -354,6 +414,8 @@ main(int argc, char **argv)
         return cmdPolicy(Args(argc, argv, 2));
     if (command == "run")
         return cmdRun(Args(argc, argv, 2));
+    if (command == "scenarios")
+        return cmdScenarios();
     if (command == "trace") {
         if (argc < 3)
             return usage();
