@@ -10,7 +10,10 @@ namespace polca::analysis {
 std::string
 escapeCsvField(const std::string &field)
 {
-    bool needsQuote = field.find_first_of(",\"\n") != std::string::npos;
+    // CR must force quoting too: the parser swallows bare CRs (CRLF
+    // row endings), so an unquoted embedded CR would not round-trip.
+    bool needsQuote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
     if (!needsQuote)
         return field;
     std::string out = "\"";

@@ -40,11 +40,15 @@ class CsvWriter
 
 /**
  * Parse CSV text into rows of fields.  Handles quoted fields with
- * embedded commas and doubled quotes; no embedded newlines.
+ * embedded commas, doubled quotes, and embedded newlines/CRs (a
+ * quoted field may span lines); bare CRs outside quotes are treated
+ * as part of CRLF row endings and swallowed.
  */
 std::vector<std::vector<std::string>> parseCsv(const std::string &text);
 
-/** Escape one CSV field (quote when needed). */
+/** Escape one CSV field: quoted when it contains a comma, quote,
+ *  newline, or CR, with embedded quotes doubled.  Round-trips
+ *  exactly through parseCsv(). */
 std::string escapeCsvField(const std::string &field);
 
 } // namespace polca::analysis

@@ -41,8 +41,35 @@ Dispatcher::addServer(InferenceServer *server)
             if (c.request.workloadIndex >= byWorkload_.size())
                 byWorkload_.resize(c.request.workloadIndex + 1);
             byWorkload_[c.request.workloadIndex].add(seconds);
+            if (completionStat_)
+                ++*completionStat_;
             onCompletion(s);
         });
+}
+
+void
+Dispatcher::attachObservability(obs::Observability *obs)
+{
+    if (!obs) {
+        trace_ = nullptr;
+        arrivalLowStat_ = arrivalHighStat_ = completionStat_ =
+            spillStat_ = nullptr;
+        queueDepthStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    arrivalLowStat_ = &obs->metrics.counter(
+        "dispatcher.arrivals_low", "low-priority request arrivals");
+    arrivalHighStat_ = &obs->metrics.counter(
+        "dispatcher.arrivals_high", "high-priority request arrivals");
+    completionStat_ = &obs->metrics.counter(
+        "dispatcher.completions", "requests completed (all pools)");
+    spillStat_ = &obs->metrics.counter(
+        "dispatcher.central_spills",
+        "arrivals that found no server and queued centrally");
+    queueDepthStat_ = &obs->metrics.histogram(
+        "dispatcher.central_queue_depth", 0.0, 64.0, 16,
+        "central queue depth sampled at enqueue/drain");
 }
 
 void
@@ -60,10 +87,15 @@ void
 Dispatcher::arrive(const workload::Trace &trace, std::size_t index)
 {
     const workload::Request &request = trace.requests()[index];
-    if (request.priority == workload::Priority::High)
+    if (request.priority == workload::Priority::High) {
         ++highArrivals_;
-    else
+        if (arrivalHighStat_)
+            ++*arrivalHighStat_;
+    } else {
         ++lowArrivals_;
+        if (arrivalLowStat_)
+            ++*arrivalLowStat_;
+    }
     route(request);
 
     std::size_t next = index + 1;
@@ -112,20 +144,35 @@ void
 Dispatcher::route(const workload::Request &request)
 {
     InferenceServer *server = pickServer(request.priority);
-    if (server)
+    if (server) {
         server->submit(request);
-    else
-        central(request.priority).push_back(request);
+        return;
+    }
+    auto &queue = central(request.priority);
+    queue.push_back(request);
+    if (spillStat_)
+        ++*spillStat_;
+    if (queueDepthStat_)
+        queueDepthStat_->add(static_cast<double>(queue.size()));
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Cluster, "central_spill",
+                        sim_.now(), 0,
+                        static_cast<double>(queue.size()));
+    }
 }
 
 void
 Dispatcher::onCompletion(InferenceServer &server)
 {
     auto &queue = central(server.pool());
+    bool drained = false;
     while (!queue.empty() && server.canAccept()) {
         server.submit(queue.front());
         queue.pop_front();
+        drained = true;
     }
+    if (drained && queueDepthStat_)
+        queueDepthStat_->add(static_cast<double>(queue.size()));
 }
 
 const sim::Sampler &

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/inference_server.hh"
+#include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -32,6 +33,13 @@ class Dispatcher
 
     /** Register a server (joins the pool of its priority). */
     void addServer(InferenceServer *server);
+
+    /**
+     * Register arrival/completion/spill counters, the central-queue
+     * depth histogram (sampled at every enqueue/drain), and
+     * central_spill trace instants with @p obs.
+     */
+    void attachObservability(obs::Observability *obs);
 
     /**
      * Schedule the trace's arrivals (lazily, one event at a time).
@@ -85,6 +93,13 @@ class Dispatcher
     std::uint64_t highArrivals_ = 0;
     std::uint64_t lowCompletions_ = 0;
     std::uint64_t highCompletions_ = 0;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *arrivalLowStat_ = nullptr;
+    obs::Counter *arrivalHighStat_ = nullptr;
+    obs::Counter *completionStat_ = nullptr;
+    obs::Counter *spillStat_ = nullptr;
+    obs::Histogram *queueDepthStat_ = nullptr;
 };
 
 } // namespace polca::cluster

@@ -39,6 +39,32 @@ InferenceServer::InferenceServer(sim::Simulation &sim,
         usedGpus_.push_back(static_cast<std::size_t>(i));
 }
 
+void
+InferenceServer::attachObservability(obs::Observability *obs)
+{
+    if (!obs) {
+        trace_ = nullptr;
+        batchStat_ = completionStat_ = droppedStat_ =
+            promptTicksStat_ = tokenTicksStat_ = nullptr;
+        occupancyStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    batchStat_ = &obs->metrics.counter(
+        "server.batches", "batches started across the fleet");
+    completionStat_ = &obs->metrics.counter(
+        "server.completions", "requests completed across the fleet");
+    droppedStat_ = &obs->metrics.counter(
+        "server.dropped_requests", "requests lost to server crashes");
+    promptTicksStat_ = &obs->metrics.counter(
+        "server.prompt_ticks", "ticks spent in prompt phases");
+    tokenTicksStat_ = &obs->metrics.counter(
+        "server.token_ticks", "ticks spent in token phases");
+    occupancyStat_ = &obs->metrics.histogram(
+        "server.batch_occupancy", 0.0, 32.0, 16,
+        "requests coalesced per batch");
+}
+
 llm::InferenceConfig
 InferenceServer::configFor(
     const std::vector<workload::Request> &batch) const
@@ -90,6 +116,12 @@ InferenceServer::startBatch(std::vector<workload::Request> requests)
     active_.emplace();
     active_->requests = std::move(requests);
     active_->serviceStart = sim_.now();
+    if (batchStat_)
+        ++*batchStat_;
+    if (occupancyStat_) {
+        occupancyStat_->add(
+            static_cast<double>(active_->requests.size()));
+    }
     beginPhase(role_ == ServerRole::TokenOnly ? llm::Phase::Token
                                               : llm::Phase::Prompt);
 }
@@ -136,6 +168,7 @@ InferenceServer::beginPhase(llm::Phase phase)
 {
     llm::InferenceConfig config = configFor(active_->requests);
     active_->phase = phase;
+    active_->phaseStart = sim_.now();
     active_->workRemaining = static_cast<double>(
         phase == llm::Phase::Prompt
             ? phases_.promptDuration(config)
@@ -159,6 +192,13 @@ InferenceServer::schedulePhaseEnd()
 void
 InferenceServer::phaseEnded()
 {
+    obs::Counter *phaseTicks = active_->phase == llm::Phase::Prompt
+        ? promptTicksStat_ : tokenTicksStat_;
+    if (phaseTicks) {
+        *phaseTicks += static_cast<std::uint64_t>(
+            sim_.now() - active_->phaseStart);
+    }
+
     bool anyOutput = false;
     for (const workload::Request &r : active_->requests)
         anyOutput |= r.outputTokens > 0;
@@ -181,6 +221,15 @@ InferenceServer::phaseEnded()
     }
     busyTicks_ += sim_.now() - active_->serviceStart;
     completed_ += completions.size();
+    if (completionStat_)
+        *completionStat_ += completions.size();
+    if (trace_) {
+        trace_->complete(obs::TraceCategory::Cluster, "batch",
+                         active_->serviceStart,
+                         sim_.now() - active_->serviceStart, id_,
+                         static_cast<double>(
+                             active_->requests.size()));
+    }
     active_.reset();
     applyDesiredClock();  // release any phase-aware token clock
     setPhaseActivity();   // idle
@@ -282,12 +331,15 @@ InferenceServer::crash()
         return;
     ++crashes_;
     crashed_ = true;
+    std::uint64_t lost = buffer_.size();
     if (active_.has_value()) {
-        droppedRequests_ += active_->requests.size();
+        lost += active_->requests.size();
         sim_.queue().cancel(active_->completionEvent);
         active_.reset();
     }
-    droppedRequests_ += buffer_.size();
+    droppedRequests_ += lost;
+    if (droppedStat_)
+        *droppedStat_ += lost;
     buffer_.clear();
     // A reboot clears the BMC-applied state: the lock and brake are
     // gone until the manager's verification pass re-issues them.

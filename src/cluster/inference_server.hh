@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "llm/phase_model.hh"
+#include "obs/observability.hh"
 #include "power/server_model.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -70,6 +71,14 @@ class InferenceServer : public telemetry::ClockControllable
                     workload::Priority pool, int id,
                     std::size_t bufferSize = 1,
                     ServerRole role = ServerRole::Combined);
+
+    /**
+     * Register fleet-wide serving counters (all servers share the
+     * same "server.*" metric objects, so they aggregate across the
+     * fleet), the batch-occupancy histogram, and per-batch trace
+     * spans (one Chrome "thread" per server id) with @p obs.
+     */
+    void attachObservability(obs::Observability *obs);
 
     int id() const { return id_; }
     workload::Priority pool() const { return pool_; }
@@ -195,6 +204,7 @@ class InferenceServer : public telemetry::ClockControllable
         double workRemaining;       ///< ticks at max clock
         double slowdown;            ///< factor in effect
         sim::Tick phaseUpdateTime;  ///< when slowdown was applied
+        sim::Tick phaseStart;       ///< when the current phase began
         sim::Tick serviceStart;
         sim::EventQueue::Handle completionEvent;
     };
@@ -239,6 +249,14 @@ class InferenceServer : public telemetry::ClockControllable
     CompletionCallback onComplete_;
     std::uint64_t completed_ = 0;
     sim::Tick busyTicks_ = 0;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *batchStat_ = nullptr;
+    obs::Counter *completionStat_ = nullptr;
+    obs::Counter *droppedStat_ = nullptr;
+    obs::Counter *promptTicksStat_ = nullptr;
+    obs::Counter *tokenTicksStat_ = nullptr;
+    obs::Histogram *occupancyStat_ = nullptr;
 };
 
 } // namespace polca::cluster

@@ -1,5 +1,7 @@
 #include "core/oversub_experiment.hh"
 
+#include <chrono>
+
 #include "faults/fault_injector.hh"
 #include "llm/phase_model.hh"
 #include "sim/logging.hh"
@@ -52,6 +54,33 @@ runOversubExperiment(const ExperimentConfig &config)
     if (config.powerScaleFactor != 1.0)
         row.setPowerScaleFactor(config.powerScaleFactor);
 
+    obs::Observability *obs = config.obs;
+    if (obs) {
+        row.rowManager().attachObservability(obs);
+        row.dispatcher().attachObservability(obs);
+        for (cluster::InferenceServer *server : row.servers())
+            server->attachObservability(obs);
+        // Sim-core stats: the sim layer cannot depend on obs, so the
+        // harness registers gauge sources over the queue's own
+        // accessors; freezeGauges() below snapshots them.
+        obs->metrics
+            .gauge("sim.events_processed", "event callbacks executed")
+            .setSource([&sim] {
+                return static_cast<double>(sim.queue().numProcessed());
+            });
+        obs->metrics
+            .gauge("sim.queue_high_water",
+                   "most events pending at once")
+            .setSource([&sim] {
+                return static_cast<double>(
+                    sim.queue().highWaterMark());
+            });
+        obs->metrics
+            .gauge("sim.final_time_s", "simulated time at run end")
+            .setSource(
+                [&sim] { return sim::ticksToSeconds(sim.now()); });
+    }
+
     // Trace: external, or generated at an offered load matched to
     // the deployed server count (oversubscribed rows serve
     // proportionally more traffic — that is the point of adding
@@ -90,6 +119,8 @@ runOversubExperiment(const ExperimentConfig &config)
         manager = std::make_unique<PowerManager>(
             sim, row.rowManager(), row.provisionedWatts(),
             config.policy, sim.rng().fork(0x90CA), config.manager);
+        if (obs)
+            manager->attachObservability(obs);
         for (workload::Priority pool :
              {workload::Priority::Low, workload::Priority::High}) {
             for (cluster::InferenceServer *server : row.pool(pool))
@@ -110,6 +141,8 @@ runOversubExperiment(const ExperimentConfig &config)
         breakerConfig.tripDuration = config.breakerTripDuration;
         breaker = std::make_unique<telemetry::BreakerModel>(
             sim, [&row] { return row.powerWatts(); }, breakerConfig);
+        if (obs)
+            breaker->attachObservability(obs);
         breaker->start();
     }
 
@@ -117,6 +150,8 @@ runOversubExperiment(const ExperimentConfig &config)
     if (!config.faultPlan.empty()) {
         injector = std::make_unique<faults::FaultInjector>(
             sim, config.faultPlan, sim.rng().fork(0xFA17));
+        if (obs)
+            injector->attachObservability(obs);
         injector->attachTelemetry(row.rowManager());
         injector->attachServers(row.servers());
         if (manager) {
@@ -128,7 +163,26 @@ runOversubExperiment(const ExperimentConfig &config)
     }
 
     row.dispatcher().injectTrace(*trace);
+    auto wallStart = std::chrono::steady_clock::now();
     sim.runUntil(config.duration);
+    if (obs) {
+        // Wall-clock throughput is inherently non-reproducible, so
+        // it is a volatile gauge: visible via value(), skipped by
+        // dump() to keep same-seed dumps byte-identical.
+        double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
+        obs::Gauge &rate = obs->metrics.gauge(
+            "sim.wallclock_events_per_s",
+            "event callbacks per wall-clock second (volatile)");
+        rate.setVolatile(true);
+        rate.set(wallSeconds > 0.0
+                     ? static_cast<double>(sim.queue().numProcessed()) /
+                           wallSeconds
+                     : 0.0);
+        obs->metrics.freezeGauges();
+    }
 
     ExperimentResult result;
     cluster::Dispatcher &dispatcher = row.dispatcher();

@@ -17,6 +17,7 @@
 #include "core/policy.hh"
 #include "core/power_manager.hh"
 #include "faults/fault_plan.hh"
+#include "obs/observability.hh"
 #include "sim/timeseries.hh"
 #include "telemetry/breaker_model.hh"
 #include "workload/diurnal.hh"
@@ -82,6 +83,15 @@ struct ExperimentConfig
     /** Sustained time above the trip limit before the breaker
      *  trips. */
     sim::Tick breakerTripDuration = sim::secondsToTicks(30);
+
+    /**
+     * Observability sink (metrics + trace) threaded through every
+     * component of the run; null runs unobserved (zero overhead).
+     * Must outlive the call.  Gauge sources registered during the
+     * run are frozen to plain values before returning, so the sink
+     * stays dumpable after the simulated components are gone.
+     */
+    obs::Observability *obs = nullptr;
 };
 
 /** Distribution summary of one priority class's latency. */

@@ -72,6 +72,57 @@ PowerManager::addTarget(workload::Priority pool,
             channelOptions));
     state.consecutiveReissues.push_back(0);
     state.flagged.push_back(false);
+    if (obs_) {
+        auto track = static_cast<std::int32_t>(
+            state.channels.size() - 1 +
+            (pool == workload::Priority::High ? 100 : 0));
+        state.channels.back()->attachObservability(obs_, track);
+    }
+}
+
+void
+PowerManager::attachObservability(obs::Observability *obs)
+{
+    obs_ = obs;
+    if (!obs) {
+        trace_ = nullptr;
+        capStat_ = uncapStat_ = reissueStat_ = brakeStat_ =
+            failSafeStat_ = flaggedStat_ = nullptr;
+        decisionGapStat_ = nullptr;
+        for (PoolState *pool : {&lowPool_, &highPool_}) {
+            for (auto &channel : pool->channels)
+                channel->attachObservability(nullptr, 0);
+        }
+        return;
+    }
+    trace_ = &obs->trace;
+    capStat_ = &obs->metrics.counter(
+        "manager.cap_commands", "pool-wide capping decisions");
+    uncapStat_ = &obs->metrics.counter(
+        "manager.uncap_commands", "pool-wide uncapping decisions");
+    reissueStat_ = &obs->metrics.counter(
+        "manager.reissues",
+        "commands re-issued after failed verification");
+    brakeStat_ = &obs->metrics.counter(
+        "manager.brake_events", "reactive power-brake engagements");
+    failSafeStat_ = &obs->metrics.counter(
+        "manager.failsafe_entries",
+        "watchdog-declared telemetry blackouts");
+    flaggedStat_ = &obs->metrics.counter(
+        "manager.flagged_channels",
+        "OOB channels flagged by the re-issue circuit breaker");
+    decisionGapStat_ = &obs->metrics.histogram(
+        "manager.decision_gap_s", 0.0, 30.0, 15,
+        "gap between consecutive telemetry readings (seconds)");
+    for (workload::Priority pool :
+         {workload::Priority::Low, workload::Priority::High}) {
+        PoolState &state = poolState(pool);
+        for (std::size_t i = 0; i < state.channels.size(); ++i) {
+            auto track = static_cast<std::int32_t>(
+                i + (pool == workload::Priority::High ? 100 : 0));
+            state.channels[i]->attachObservability(obs, track);
+        }
+    }
 }
 
 std::vector<telemetry::SmbpbiController *>
@@ -133,6 +184,8 @@ PowerManager::onReading(sim::Tick now, double watts)
 
     // Locked-time accounting across the telemetry interval.
     sim::Tick interval = now - lastReadingTime_;
+    if (decisionGapStat_)
+        decisionGapStat_->add(sim::ticksToSeconds(interval));
     lastReadingTime_ = now;
     for (PoolState *pool : {&lowPool_, &highPool_}) {
         if (pool->commandedMhz > 0.0)
@@ -172,6 +225,11 @@ PowerManager::updateRuleStates(sim::Tick now, double utilization)
             utilization <= policy_.rules[i].uncapFraction &&
             now - ruleActivatedAt_[i] >= options_.minRuleDwell) {
             ruleActive_[i] = false;
+            if (trace_) {
+                trace_->instant(obs::TraceCategory::Control,
+                                "rule_release", now, -1,
+                                static_cast<double>(i));
+            }
             return;  // one transition per reading
         }
     }
@@ -181,6 +239,11 @@ PowerManager::updateRuleStates(sim::Tick now, double utilization)
             utilization >= policy_.rules[i].capFraction) {
             ruleActive_[i] = true;
             ruleActivatedAt_[i] = now;
+            if (trace_) {
+                trace_->instant(obs::TraceCategory::Control,
+                                "rule_escalate", now, -1,
+                                static_cast<double>(i));
+            }
             return;
         }
     }
@@ -215,10 +278,15 @@ PowerManager::applyDesiredLocks(sim::Tick now)
             }
             state.commandedMhz = desired;
             state.lastCommandTime = now;
-            if (capping)
+            if (capping) {
                 ++capCommands_;
-            else
+                if (capStat_)
+                    ++*capStat_;
+            } else {
                 ++uncapCommands_;
+                if (uncapStat_)
+                    ++*uncapStat_;
+            }
         } else {
             verifyApplied(now, state);
         }
@@ -246,6 +314,8 @@ PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
         else
             pool.channels[i]->requestClockUnlock();
         ++reissued_;
+        if (reissueStat_)
+            ++*reissueStat_;
         pool.lastCommandTime = now;
         // Circuit breaker: a channel that keeps needing re-issues is
         // likely broken, not unlucky — flag it for the operator.
@@ -254,6 +324,8 @@ PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
             !pool.flagged[i]) {
             pool.flagged[i] = true;
             ++flaggedChannels_;
+            if (flaggedStat_)
+                ++*flaggedStat_;
             sim::warn("PowerManager: OOB channel ", i,
                          " needed ", pool.consecutiveReissues[i],
                          " consecutive re-issues; flagging");
@@ -287,6 +359,13 @@ PowerManager::enterFailSafe(sim::Tick now)
     failSafe_ = true;
     failSafeEnteredAt_ = now;
     ++failSafeEntries_;
+    if (failSafeStat_)
+        ++*failSafeStat_;
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Control, "failsafe_enter",
+                        now, -1,
+                        sim::ticksToSeconds(now - lastReadingTime_));
+    }
     sim::warn("PowerManager: telemetry stale for ",
                  sim::ticksToSeconds(now - lastReadingTime_),
                  " s; entering fail-safe");
@@ -308,6 +387,11 @@ PowerManager::exitFailSafe(sim::Tick now)
 {
     failSafe_ = false;
     failSafeTicks_ += now - failSafeEnteredAt_;
+    if (trace_) {
+        trace_->complete(obs::TraceCategory::Control, "fail_safe",
+                         failSafeEnteredAt_, now - failSafeEnteredAt_,
+                         -1, 0.0);
+    }
     // The brake (if we pulled it) releases through the regular
     // reading path once utilization is back under the release
     // threshold and the minimum hold has passed.
@@ -335,8 +419,15 @@ PowerManager::engageBrake(sim::Tick now, bool countEvent)
 {
     brakeEngaged_ = true;
     brakeEngagedAt_ = now;
-    if (countEvent)
+    if (countEvent) {
         ++brakeEvents_;
+        if (brakeStat_)
+            ++*brakeStat_;
+    }
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Power, "brake_engage",
+                        now, -1, countEvent ? 1.0 : 0.0);
+    }
     for (PoolState *pool : {&lowPool_, &highPool_}) {
         for (auto &channel : pool->channels)
             channel->requestPowerBrake(true);
@@ -351,6 +442,10 @@ void
 PowerManager::releaseBrake()
 {
     brakeEngaged_ = false;
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Power, "brake_release",
+                        sim_.now(), -1, 0.0);
+    }
     for (PoolState *pool : {&lowPool_, &highPool_}) {
         for (auto &channel : pool->channels)
             channel->requestPowerBrake(false);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -117,6 +118,16 @@ class PowerManager
      *  server); call before start(). */
     void addTarget(workload::Priority pool,
                    telemetry::ClockControllable *target);
+
+    /**
+     * Register decision counters, the reading-gap histogram (how
+     * stale the data driving each decision was), and rule /
+     * brake / fail-safe trace events with @p obs; also attaches
+     * every OOB channel (present and future — order relative to
+     * addTarget does not matter).  Low-pool channels trace on
+     * tracks 0..n, high-pool channels on tracks 100+.
+     */
+    void attachObservability(obs::Observability *obs);
 
     /** Subscribe to telemetry, arm the watchdog, begin managing. */
     void start();
@@ -230,6 +241,16 @@ class PowerManager
     sim::Tick failSafeTicks_ = 0;
     std::uint64_t flaggedChannels_ = 0;
     sim::Accumulator utilization_;
+
+    obs::Observability *obs_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *capStat_ = nullptr;
+    obs::Counter *uncapStat_ = nullptr;
+    obs::Counter *reissueStat_ = nullptr;
+    obs::Counter *brakeStat_ = nullptr;
+    obs::Counter *failSafeStat_ = nullptr;
+    obs::Counter *flaggedStat_ = nullptr;
+    obs::Histogram *decisionGapStat_ = nullptr;
 };
 
 } // namespace polca::core

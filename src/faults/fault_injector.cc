@@ -45,6 +45,29 @@ FaultInjector::attachServers(
 }
 
 void
+FaultInjector::attachObservability(obs::Observability *obs)
+{
+    if (!obs) {
+        trace_ = nullptr;
+        blackedOutStat_ = burstDroppedStat_ = corruptedStat_ =
+            crashStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    blackedOutStat_ = &obs->metrics.counter(
+        "faults.blacked_out_readings",
+        "readings suppressed by blackout windows");
+    burstDroppedStat_ = &obs->metrics.counter(
+        "faults.burst_dropped_readings",
+        "readings lost to the bursty-loss channel");
+    corruptedStat_ = &obs->metrics.counter(
+        "faults.corrupted_readings",
+        "readings delivered with a corrupted value");
+    crashStat_ = &obs->metrics.counter(
+        "faults.crashes_injected", "server crash events executed");
+}
+
+void
 FaultInjector::setOutage(bool active)
 {
     for (telemetry::SmbpbiController *channel : channels_)
@@ -57,6 +80,32 @@ FaultInjector::start()
     if (started_)
         sim::panic("FaultInjector: start called twice");
     started_ = true;
+
+    // Every planned window is known a priori; record them as spans
+    // now so the trace shows fault context even for windows whose
+    // effects never fire (e.g. a blackout with no reading in it).
+    if (trace_) {
+        for (const BlackoutWindow &w : plan_.blackouts) {
+            trace_->complete(obs::TraceCategory::Fault,
+                             "telemetry_blackout", w.start,
+                             w.duration, -2, 0.0);
+        }
+        for (const OobOutage &o : plan_.oobOutages) {
+            trace_->complete(obs::TraceCategory::Fault, "oob_outage",
+                             o.start, o.duration, -2, 0.0);
+        }
+        for (const SensorFault &f : plan_.sensorFaults) {
+            trace_->complete(obs::TraceCategory::Fault, "sensor_fault",
+                             f.start, f.duration, -2,
+                             static_cast<double>(f.mode));
+        }
+        for (const ServerCrash &c : plan_.crashes) {
+            trace_->complete(obs::TraceCategory::Fault,
+                             "server_downtime", c.at, c.downtime,
+                             c.serverIndex,
+                             static_cast<double>(c.serverIndex));
+        }
+    }
 
     for (const OobOutage &outage : plan_.oobOutages) {
         if (!channels_.empty()) {
@@ -84,6 +133,14 @@ FaultInjector::start()
             [this, victim] {
                 victim->crash();
                 ++crashesInjected_;
+                if (crashStat_)
+                    ++*crashStat_;
+                if (trace_) {
+                    trace_->instant(obs::TraceCategory::Fault,
+                                    "server_crash", sim_.now(),
+                                    victim->id(),
+                                    static_cast<double>(victim->id()));
+                }
             },
             "fault-crash");
         sim_.queue().schedule(
@@ -99,6 +156,8 @@ FaultInjector::filterReading(sim::Tick now, double watts)
     for (const BlackoutWindow &w : plan_.blackouts) {
         if (now >= w.start && now < w.start + w.duration) {
             ++blackedOut_;
+            if (blackedOutStat_)
+                ++*blackedOutStat_;
             return std::nullopt;
         }
     }
@@ -118,6 +177,8 @@ FaultInjector::filterReading(sim::Tick now, double watts)
         if (lossProbability > 0.0 &&
             rng_.bernoulli(lossProbability)) {
             ++burstDropped_;
+            if (burstDroppedStat_)
+                ++*burstDroppedStat_;
             return std::nullopt;
         }
     }
@@ -143,6 +204,8 @@ FaultInjector::filterReading(sim::Tick now, double watts)
     }
     if (wasCorrupted) {
         ++corrupted_;
+        if (corruptedStat_)
+            ++*corruptedStat_;
         return std::max(0.0, watts);
     }
 

@@ -21,6 +21,7 @@
 
 #include "cluster/inference_server.hh"
 #include "faults/fault_plan.hh"
+#include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "telemetry/row_manager.hh"
@@ -49,6 +50,14 @@ class FaultInjector
     /** Servers subject to crash/restart events; ServerCrash
      *  indices refer to positions in this list. */
     void attachServers(std::vector<cluster::InferenceServer *> servers);
+
+    /**
+     * Register injection counters and fault-window trace spans with
+     * @p obs.  Call before start(): the planned windows (blackouts,
+     * OOB outages, sensor faults, crash downtimes) are known a
+     * priori, so start() records them as complete spans up front.
+     */
+    void attachObservability(obs::Observability *obs);
 
     /** Schedule all time-triggered faults.  Call once, after the
      *  attach calls, before (or at) the start of the run. */
@@ -93,6 +102,12 @@ class FaultInjector
     std::uint64_t burstDropped_ = 0;
     std::uint64_t corrupted_ = 0;
     std::uint64_t crashesInjected_ = 0;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *blackedOutStat_ = nullptr;
+    obs::Counter *burstDroppedStat_ = nullptr;
+    obs::Counter *corruptedStat_ = nullptr;
+    obs::Counter *crashStat_ = nullptr;
 };
 
 } // namespace polca::faults

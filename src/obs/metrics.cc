@@ -1,0 +1,209 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "analysis/csv.hh"
+#include "sim/logging.hh"
+
+namespace polca::obs {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+formatCount(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (buckets == 0 || !(hi > lo))
+        sim::panic("obs::Histogram: bad shape [", lo, ", ", hi,
+                   ") x ", buckets);
+}
+
+void
+Histogram::add(double value)
+{
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bucket = static_cast<std::int64_t>((value - lo_) / width);
+    bucket = std::clamp<std::int64_t>(
+        bucket, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bucket)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &desc)
+{
+    Entry &entry = entries_[name];
+    if (entry.gauge || entry.histogram)
+        sim::panic("MetricsRegistry: '", name,
+                   "' already registered with another kind");
+    if (!entry.counter) {
+        entry.counter = std::make_unique<Counter>();
+        entry.desc = desc;
+    }
+    return *entry.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    Entry &entry = entries_[name];
+    if (entry.counter || entry.histogram)
+        sim::panic("MetricsRegistry: '", name,
+                   "' already registered with another kind");
+    if (!entry.gauge) {
+        entry.gauge = std::make_unique<Gauge>();
+        entry.desc = desc;
+    }
+    return *entry.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, double lo,
+                           double hi, std::size_t buckets,
+                           const std::string &desc)
+{
+    Entry &entry = entries_[name];
+    if (entry.counter || entry.gauge)
+        sim::panic("MetricsRegistry: '", name,
+                   "' already registered with another kind");
+    if (!entry.histogram) {
+        entry.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+        entry.desc = desc;
+    } else if (entry.histogram->lo() != lo ||
+               entry.histogram->hi() != hi ||
+               entry.histogram->buckets() != buckets) {
+        sim::panic("MetricsRegistry: histogram '", name,
+                   "' re-registered with a different shape");
+    }
+    return *entry.histogram;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, entry] : entries_) {
+        if (entry.counter)
+            entry.counter->reset();
+        if (entry.gauge)
+            entry.gauge->reset();
+        if (entry.histogram)
+            entry.histogram->reset();
+    }
+}
+
+void
+MetricsRegistry::freezeGauges()
+{
+    for (auto &[name, entry] : entries_) {
+        if (entry.gauge)
+            entry.gauge->freeze();
+    }
+}
+
+std::vector<std::array<std::string, 3>>
+MetricsRegistry::flatten() const
+{
+    // std::map iteration is name-sorted, which makes both dump
+    // formats deterministic for a fixed set of registrations.
+    std::vector<std::array<std::string, 3>> rows;
+    for (const auto &[name, entry] : entries_) {
+        if (entry.counter) {
+            rows.push_back({name, "counter",
+                            formatCount(entry.counter->value())});
+        } else if (entry.gauge) {
+            if (entry.gauge->isVolatile())
+                continue;
+            rows.push_back({name, "gauge",
+                            formatDouble(entry.gauge->value())});
+        } else if (entry.histogram) {
+            const Histogram &h = *entry.histogram;
+            rows.push_back({name + "::count", "histogram",
+                            formatCount(h.count())});
+            rows.push_back({name + "::mean", "histogram",
+                            formatDouble(h.mean())});
+            if (h.count() > 0) {
+                rows.push_back({name + "::min", "histogram",
+                                formatDouble(h.min())});
+                rows.push_back({name + "::max", "histogram",
+                                formatDouble(h.max())});
+            }
+            for (std::size_t b = 0; b < h.buckets(); ++b) {
+                rows.push_back({name + "::bucket" + std::to_string(b),
+                                "histogram",
+                                formatCount(h.bucketCount(b))});
+            }
+        }
+    }
+    return rows;
+}
+
+void
+MetricsRegistry::dump(std::ostream &os) const
+{
+    // Descriptions ride along as trailing comments, gem5-style.
+    auto rows = flatten();
+    for (const auto &row : rows) {
+        std::string line = row[0];
+        if (line.size() < 48)
+            line.append(48 - line.size(), ' ');
+        line += ' ';
+        line += row[2];
+        // Attach the description of the base name, if any.
+        std::string base = row[0].substr(0, row[0].find("::"));
+        auto it = entries_.find(base);
+        if (it != entries_.end() && !it->second.desc.empty() &&
+            row[0] == base) {
+            line += "  # ";
+            line += it->second.desc;
+        }
+        os << line << '\n';
+    }
+}
+
+void
+MetricsRegistry::dumpCsv(std::ostream &os) const
+{
+    analysis::CsvWriter writer(os);
+    writer.header({"name", "kind", "value"});
+    for (const auto &row : flatten())
+        writer.rowStrings({row[0], row[1], row[2]});
+}
+
+} // namespace polca::obs

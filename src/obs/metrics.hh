@@ -1,0 +1,190 @@
+/**
+ * @file
+ * gem5-stats-flavoured metrics registry.
+ *
+ * Components register named counters, gauges, and fixed-bucket
+ * histograms once (get-or-create: registering the same name twice
+ * returns the same object, so per-server stats aggregate naturally)
+ * and then update them through plain pointers — an update is an
+ * integer add, cheap enough to stay on in every run.
+ *
+ * Dumps are deterministic: entries are stored name-sorted and all
+ * values derive from simulated state, so two runs with the same seed
+ * produce byte-identical dumps.  Wall-clock-derived gauges (e.g.
+ * events/sec) must be marked volatile; they are skipped by dump().
+ */
+
+#ifndef POLCA_OBS_METRICS_HH
+#define POLCA_OBS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace polca::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    Counter &operator++()
+    {
+        ++value_;
+        return *this;
+    }
+    Counter &operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Point-in-time value.  Either set explicitly or backed by a source
+ * callback evaluated at dump time (gem5 functor stats); sources are
+ * snapshotted into plain values by MetricsRegistry::freezeGauges()
+ * so a dump never calls into destroyed components.
+ */
+class Gauge
+{
+  public:
+    using Source = std::function<double()>;
+
+    void set(double v) { value_ = v; }
+    void setSource(Source source) { source_ = std::move(source); }
+
+    double value() const { return source_ ? source_() : value_; }
+
+    /** Evaluate the source once and drop it. */
+    void freeze()
+    {
+        if (source_) {
+            value_ = source_();
+            source_ = nullptr;
+        }
+    }
+
+    /**
+     * Volatile gauges hold wall-clock-derived values (events/sec);
+     * dump() skips them so metric dumps stay reproducible across
+     * runs with the same seed.
+     */
+    void setVolatile(bool v) { volatile_ = v; }
+    bool isVolatile() const { return volatile_; }
+
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+    Source source_;
+    bool volatile_ = false;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi); out-of-range observations
+ * clamp to the edge buckets.  Also tracks count/sum/min/max.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double value);
+    void reset();
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t b) const
+    {
+        return counts_.at(b);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Name-keyed store of the three metric kinds.  Names are dotted
+ * paths ("manager.cap_commands"); the registry must outlive every
+ * component holding a pointer into it.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Get-or-create; panics if @p name exists with another kind. */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+    Gauge &gauge(const std::string &name, const std::string &desc = "");
+
+    /** Get-or-create; panics on kind or shape mismatch. */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t buckets,
+                         const std::string &desc = "");
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Zero every metric (registrations and gauge sources kept). */
+    void reset();
+
+    /** Snapshot all gauge sources into plain values (call before the
+     *  components backing the sources are destroyed). */
+    void freezeGauges();
+
+    /**
+     * gem5-style text dump, name-sorted, one line per scalar;
+     * histograms expand to name::count/mean/min/max/bucketN lines.
+     * Volatile gauges are skipped (reproducibility).
+     */
+    void dump(std::ostream &os) const;
+
+    /** The same scalars as CSV: name,kind,value. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    /** Flattened (name, kind, value-string) rows for both dumps. */
+    std::vector<std::array<std::string, 3>> flatten() const;
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace polca::obs
+
+#endif // POLCA_OBS_METRICS_HH

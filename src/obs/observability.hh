@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The observability context handed to instrumented components.
+ *
+ * One Observability object per experiment bundles the metrics
+ * registry (always cheap, always on once attached) with the trace
+ * recorder (off until a category mask is set).  Components accept a
+ * nullable `Observability *` via attachObservability(); a null
+ * context keeps every hot path free of instrumentation cost.
+ *
+ * Lifetime: the Observability must outlive the components attached
+ * to it *and* any dump/export calls.  Components register gauge
+ * sources that point back into themselves — call
+ * metrics.freezeGauges() before the simulation objects go away
+ * (core::runOversubExperiment does this for you).
+ */
+
+#ifndef POLCA_OBS_OBSERVABILITY_HH
+#define POLCA_OBS_OBSERVABILITY_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace_recorder.hh"
+
+namespace polca::obs {
+
+struct Observability
+{
+    MetricsRegistry metrics;
+    TraceRecorder trace;
+
+    Observability() = default;
+    explicit Observability(std::size_t traceCapacity)
+        : trace(traceCapacity)
+    {}
+};
+
+} // namespace polca::obs
+
+#endif // POLCA_OBS_OBSERVABILITY_HH

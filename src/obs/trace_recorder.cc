@@ -1,0 +1,203 @@
+#include "obs/trace_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "analysis/csv.hh"
+#include "sim/logging.hh"
+
+namespace polca::obs {
+
+const char *
+toString(TraceCategory category)
+{
+    switch (category) {
+      case TraceCategory::Sim:
+        return "sim";
+      case TraceCategory::Telemetry:
+        return "telemetry";
+      case TraceCategory::Control:
+        return "control";
+      case TraceCategory::Power:
+        return "power";
+      case TraceCategory::Cluster:
+        return "cluster";
+      case TraceCategory::Fault:
+        return "fault";
+    }
+    return "?";
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &list)
+{
+    if (list.empty() || list == "all")
+        return kAllTraceCategories;
+
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string token = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        bool known = false;
+        for (TraceCategory c :
+             {TraceCategory::Sim, TraceCategory::Telemetry,
+              TraceCategory::Control, TraceCategory::Power,
+              TraceCategory::Cluster, TraceCategory::Fault}) {
+            if (token == toString(c)) {
+                mask |= static_cast<std::uint32_t>(c);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            sim::fatal("unknown trace category '", token,
+                       "' (use sim,telemetry,control,power,cluster,"
+                       "fault or all)");
+        }
+    }
+    return mask;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        sim::panic("TraceRecorder: zero capacity");
+    buffer_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceRecorder::push(const TraceEvent &event)
+{
+    ++recorded_;
+    if (buffer_.size() < capacity_) {
+        buffer_.push_back(event);
+        return;
+    }
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++overwritten_;
+}
+
+void
+TraceRecorder::instant(TraceCategory category, const char *name,
+                       sim::Tick now, std::int32_t track, double value)
+{
+    if (!enabled(category))
+        return;
+    TraceEvent event;
+    event.start = now;
+    event.duration = -1;
+    event.name = name;
+    event.category = category;
+    event.track = track;
+    event.value = value;
+    push(event);
+}
+
+void
+TraceRecorder::complete(TraceCategory category, const char *name,
+                        sim::Tick start, sim::Tick duration,
+                        std::int32_t track, double value)
+{
+    if (!enabled(category))
+        return;
+    TraceEvent event;
+    event.start = start;
+    event.duration = duration < 0 ? 0 : duration;
+    event.name = name;
+    event.category = category;
+    event.track = track;
+    event.value = value;
+    push(event);
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    // Reassemble insertion order (oldest first), then stable-sort by
+    // start so spans recorded at completion time interleave
+    // correctly with instants.
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    if (buffer_.size() == capacity_) {
+        for (std::size_t i = 0; i < capacity_; ++i)
+            out.push_back(buffer_[(head_ + i) % capacity_]);
+    } else {
+        out = buffer_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.start < b.start;
+                     });
+    return out;
+}
+
+void
+TraceRecorder::clear()
+{
+    buffer_.clear();
+    head_ = 0;
+    recorded_ = 0;
+    overwritten_ = 0;
+}
+
+void
+TraceRecorder::exportChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const TraceEvent &event : events()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        if (event.duration >= 0) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%d,\"ts\":%lld,\"dur\":%lld,"
+                "\"args\":{\"value\":%.6f}}",
+                event.name, toString(event.category), event.track,
+                static_cast<long long>(event.start),
+                static_cast<long long>(event.duration), event.value);
+        } else {
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                "\"s\":\"g\",\"pid\":0,\"tid\":%d,\"ts\":%lld,"
+                "\"args\":{\"value\":%.6f}}",
+                event.name, toString(event.category), event.track,
+                static_cast<long long>(event.start), event.value);
+        }
+        os << buf;
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+TraceRecorder::exportCsv(std::ostream &os) const
+{
+    analysis::CsvWriter writer(os);
+    writer.header({"start_us", "duration_us", "name", "category",
+                   "track", "value"});
+    char value[64];
+    for (const TraceEvent &event : events()) {
+        std::snprintf(value, sizeof(value), "%.6f", event.value);
+        writer.rowStrings(
+            {std::to_string(event.start),
+             event.duration >= 0 ? std::to_string(event.duration) : "",
+             event.name, toString(event.category),
+             std::to_string(event.track), value});
+    }
+}
+
+} // namespace polca::obs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Structured trace recorder for the POLCA control plane.
+ *
+ * Ring-buffered, sim-timestamped spans ("complete" events: cap
+ * issue -> cap applied, breaker windup, fail-safe windows) and
+ * instant events (brake engage, breaker trip, reading dropped),
+ * exportable as Chrome trace_event JSON (load in chrome://tracing or
+ * Perfetto; ticks are microseconds, which is exactly the `ts` unit)
+ * and as CSV.
+ *
+ * Recording is gated by a category bitmask so a full oversubscription
+ * sweep can trace only the control plane; with the mask at zero
+ * (default) every record call is a single test-and-branch.  Event
+ * names must be string literals (static storage): the recorder keeps
+ * only the pointer.
+ */
+
+#ifndef POLCA_OBS_TRACE_RECORDER_HH
+#define POLCA_OBS_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace polca::obs {
+
+/** Event categories (bitmask values). */
+enum class TraceCategory : std::uint32_t
+{
+    Sim = 1u << 0,        ///< event-queue / kernel
+    Telemetry = 1u << 1,  ///< row readings, drops
+    Control = 1u << 2,    ///< manager decisions, OOB commands
+    Power = 1u << 3,      ///< breaker windup / trips
+    Cluster = 1u << 4,    ///< batches, dispatch
+    Fault = 1u << 5,      ///< injected fault windows
+};
+
+constexpr std::uint32_t kAllTraceCategories = 0x3f;
+
+const char *toString(TraceCategory category);
+
+/** Parse "control,fault" / "all" into a mask; fatal() on unknown. */
+std::uint32_t parseTraceCategories(const std::string &list);
+
+/** One recorded event.  duration < 0 means an instant event. */
+struct TraceEvent
+{
+    sim::Tick start = 0;
+    sim::Tick duration = -1;
+    const char *name = "";
+    TraceCategory category = TraceCategory::Sim;
+    std::int32_t track = 0;  ///< Chrome "tid": channel/server index
+    double value = 0.0;      ///< free-form numeric argument
+};
+
+/**
+ * Fixed-capacity ring buffer of TraceEvents; when full the oldest
+ * events are overwritten (and counted), so a week-long run keeps the
+ * most recent window instead of growing without bound.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(std::size_t capacity = 1u << 16);
+
+    /** Categories to record; 0 disables recording entirely. */
+    void setCategoryMask(std::uint32_t mask) { mask_ = mask; }
+    std::uint32_t categoryMask() const { return mask_; }
+
+    bool enabled(TraceCategory category) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(category)) != 0;
+    }
+
+    /** Record an instant event (@p name must be a string literal). */
+    void instant(TraceCategory category, const char *name,
+                 sim::Tick now, std::int32_t track = 0,
+                 double value = 0.0);
+
+    /** Record a span that ran [start, start + duration]. */
+    void complete(TraceCategory category, const char *name,
+                  sim::Tick start, sim::Tick duration,
+                  std::int32_t track = 0, double value = 0.0);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return buffer_.size(); }
+
+    /** Events recorded over the recorder's lifetime. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t overwritten() const { return overwritten_; }
+
+    /** Retained events, ordered by start time (ties: record order). */
+    std::vector<TraceEvent> events() const;
+
+    void clear();
+
+    /** Chrome trace_event JSON ("X" complete / "i" instant phases). */
+    void exportChromeJson(std::ostream &os) const;
+
+    /** CSV: start_us,duration_us,name,category,track,value. */
+    void exportCsv(std::ostream &os) const;
+
+  private:
+    void push(const TraceEvent &event);
+
+    std::size_t capacity_;
+    std::uint32_t mask_ = 0;
+    std::vector<TraceEvent> buffer_;
+    std::size_t head_ = 0;  ///< overwrite position once full
+    std::uint64_t recorded_ = 0;
+    std::uint64_t overwritten_ = 0;
+};
+
+} // namespace polca::obs
+
+#endif // POLCA_OBS_TRACE_RECORDER_HH

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -23,6 +24,7 @@ EventQueue::schedule(Tick when, Callback callback, std::string name)
     record->name = std::move(name);
     heap_.push(record);
     ++liveEvents_;
+    highWater_ = std::max(highWater_, liveEvents_);
     return Handle(std::move(record));
 }
 

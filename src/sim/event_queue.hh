@@ -92,6 +92,9 @@ class EventQueue
     /** Number of live events currently scheduled. */
     std::size_t size() const { return liveEvents_; }
 
+    /** Most live events ever scheduled at once (queue pressure). */
+    std::size_t highWaterMark() const { return highWater_; }
+
     /** Total callbacks executed since construction. */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
@@ -133,6 +136,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numProcessed_ = 0;
     std::size_t liveEvents_ = 0;
+    std::size_t highWater_ = 0;
 };
 
 } // namespace polca::sim

@@ -4,10 +4,55 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/types.hh"
+
 namespace polca::sim {
 
 namespace {
+
 std::atomic<bool> quietFlag{false};
+
+std::function<std::int64_t()> &
+timeSource()
+{
+    static std::function<std::int64_t()> source;
+    return source;
+}
+
+std::function<void(const char *, const std::string &)> &
+logSink()
+{
+    static std::function<void(const char *, const std::string &)> sink;
+    return sink;
+}
+
+/** "[t=12.000000s] msg" when a simulation is active, else "msg". */
+std::string
+withTimePrefix(const std::string &msg)
+{
+    const auto &source = timeSource();
+    if (!source)
+        return msg;
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.6fs] ",
+                  ticksToSeconds(source()));
+    return prefix + msg;
+}
+
+void
+report(const char *severity, std::FILE *stream, const std::string &msg)
+{
+    if (quiet())
+        return;
+    std::string line = withTimePrefix(msg);
+    const auto &sink = logSink();
+    if (sink) {
+        sink(severity, line);
+        return;
+    }
+    std::fprintf(stream, "%s: %s\n", severity, line.c_str());
+}
+
 } // namespace
 
 void
@@ -20,6 +65,20 @@ bool
 quiet()
 {
     return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+setLogTimeSource(std::function<std::int64_t()> source)
+{
+    timeSource() = std::move(source);
+}
+
+void
+setLogSink(
+    std::function<void(const char *severity, const std::string &line)>
+        sink)
+{
+    logSink() = std::move(sink);
 }
 
 namespace detail {
@@ -43,15 +102,13 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet())
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    report("warn", stderr, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet())
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    report("info", stdout, msg);
 }
 
 } // namespace detail

@@ -9,11 +9,18 @@
  *              (bad configuration, invalid arguments); exits cleanly.
  *  - warn():   something is suspicious but simulation continues.
  *  - inform(): plain status output.
+ *
+ * When a Simulation is alive, warn()/inform() lines are prefixed
+ * with the current simulated time ("warn: [t=12.000000s] ...") so
+ * log output correlates with exported traces (obs::TraceRecorder
+ * timestamps are the same ticks).
  */
 
 #ifndef POLCA_SIM_LOGGING_HH
 #define POLCA_SIM_LOGGING_HH
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -70,11 +77,59 @@ inform(Args &&...args)
     detail::informImpl(detail::concat(std::forward<Args>(args)...));
 }
 
-/** Silence warn()/inform() output (used by tests and sweeps). */
+/**
+ * Silence warn()/inform() output (used by tests and sweeps).
+ *
+ * Contract: the flag is process-wide and atomic, so it is safe to
+ * toggle at any point, including from inside event callbacks while a
+ * simulation is running.  It gates only warn()/inform() — panic()
+ * and fatal() always report.  Messages emitted while quiet are
+ * discarded, never buffered: un-quieting does not replay them.
+ * Toggling is not synchronized with concurrent warn()/inform() calls
+ * from *other* threads (the simulator is single-threaded; tests that
+ * flip the flag mid-run from the same thread see it take effect on
+ * the very next message).  Prefer QuietScope in tests so the
+ * previous state is restored on every exit path.
+ */
 void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() output is suppressed. */
 bool quiet();
+
+/** RAII guard: sets the quiet flag and restores the previous value. */
+class QuietScope
+{
+  public:
+    explicit QuietScope(bool quietValue)
+        : previous_(quiet())
+    {
+        setQuiet(quietValue);
+    }
+    ~QuietScope() { setQuiet(previous_); }
+    QuietScope(const QuietScope &) = delete;
+    QuietScope &operator=(const QuietScope &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/**
+ * Install the time source used to prefix warn()/inform() messages
+ * with the current simulated time; pass nullptr to remove it.
+ * Simulation installs/removes itself automatically — user code
+ * rarely calls this directly.
+ */
+void setLogTimeSource(std::function<std::int64_t()> source);
+
+/**
+ * Redirect warn()/inform() lines to @p sink instead of
+ * stderr/stdout (tests); pass nullptr to restore.  The sink receives
+ * the severity ("warn"/"info") and the formatted message including
+ * any time prefix.  The quiet flag still applies.
+ */
+void setLogSink(
+    std::function<void(const char *severity, const std::string &line)>
+        sink);
 
 } // namespace polca::sim
 

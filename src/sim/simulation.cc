@@ -1,8 +1,47 @@
 #include "sim/simulation.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace polca::sim {
+
+namespace {
+
+/**
+ * Stack of live simulations (the simulator is single-threaded;
+ * nesting happens when an experiment builds a sub-simulation).  The
+ * innermost live one provides the log-time prefix.
+ */
+std::vector<Simulation *> &
+activeSimulations()
+{
+    static std::vector<Simulation *> active;
+    return active;
+}
+
+} // namespace
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed)
+{
+    auto &active = activeSimulations();
+    active.push_back(this);
+    if (active.size() == 1) {
+        setLogTimeSource([] {
+            auto &sims = activeSimulations();
+            return sims.empty() ? Tick{0} : sims.back()->now();
+        });
+    }
+}
+
+Simulation::~Simulation()
+{
+    auto &active = activeSimulations();
+    active.erase(std::find(active.begin(), active.end(), this));
+    if (active.empty())
+        setLogTimeSource(nullptr);
+}
 
 Simulation::PeriodicTask::PeriodicTask(Simulation &sim, Tick period,
                                        std::function<void(Tick)> callback)

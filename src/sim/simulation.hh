@@ -27,9 +27,14 @@ namespace polca::sim {
 class Simulation
 {
   public:
-    explicit Simulation(std::uint64_t seed = 1)
-        : rng_(seed)
-    {}
+    /**
+     * Construction also registers this simulation as the "current"
+     * one for log-time prefixing: while at least one Simulation is
+     * alive, warn()/inform() lines carry the innermost live
+     * simulation's now().  Destruction restores the previous one.
+     */
+    explicit Simulation(std::uint64_t seed = 1);
+    ~Simulation();
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;

@@ -44,13 +44,47 @@ BreakerModel::stop()
 }
 
 void
-BreakerModel::endStreak()
+BreakerModel::attachObservability(obs::Observability *obs)
 {
-    if (streak_ > 0 &&
+    if (!obs) {
+        trace_ = nullptr;
+        tripStat_ = nearTripStat_ = nullptr;
+        windupStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    tripStat_ = &obs->metrics.counter("breaker.trips",
+                                      "row breaker trips");
+    nearTripStat_ = &obs->metrics.counter(
+        "breaker.near_trips",
+        "above-limit streaks that nearly tripped");
+    windupStat_ = &obs->metrics.histogram(
+        "breaker.windup_occupancy", 0.0, 1.0, 10,
+        "fraction of the trip windup each streak reached");
+}
+
+void
+BreakerModel::endStreak(sim::Tick now, bool tripped)
+{
+    if (streak_ <= 0)
+        return;
+    if (!tripped &&
         static_cast<double>(streak_) >=
             config_.nearTripFraction *
                 static_cast<double>(config_.tripDuration)) {
         ++nearTrips_;
+        if (nearTripStat_)
+            ++*nearTripStat_;
+    }
+    if (windupStat_) {
+        windupStat_->add(
+            std::min(1.0, static_cast<double>(streak_) /
+                              static_cast<double>(config_.tripDuration)));
+    }
+    if (trace_) {
+        trace_->complete(obs::TraceCategory::Power, "breaker_windup",
+                         now - streak_, streak_, 0,
+                         tripped ? 1.0 : 0.0);
     }
     streak_ = 0;
 }
@@ -75,12 +109,19 @@ BreakerModel::sample(sim::Tick now)
         longestStreak_ = std::max(longestStreak_, streak_);
         if (streak_ >= config_.tripDuration) {
             ++trips_;
+            if (tripStat_)
+                ++*tripStat_;
             if (firstTrip_ < 0)
                 firstTrip_ = now;
-            streak_ = 0;  // thermal element resets; breaker re-arms
+            if (trace_) {
+                trace_->instant(obs::TraceCategory::Power,
+                                "breaker_trip", now, 0, watts);
+            }
+            // Thermal element resets; the breaker re-arms.
+            endStreak(now, /*tripped=*/true);
         }
     } else {
-        endStreak();
+        endStreak(now, /*tripped=*/false);
     }
 }
 

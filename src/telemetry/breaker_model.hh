@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/observability.hh"
 #include "sim/simulation.hh"
 
 namespace polca::telemetry {
@@ -71,6 +72,13 @@ class BreakerModel
     BreakerModel(sim::Simulation &sim, PowerSource supply,
                  Config config);
 
+    /**
+     * Register trip/near-trip counters, the windup-occupancy
+     * histogram (fraction of tripDuration each above-limit streak
+     * reached), and windup/trip trace events with @p obs.
+     */
+    void attachObservability(obs::Observability *obs);
+
     /** Begin sampling the supply. */
     void start();
 
@@ -111,7 +119,7 @@ class BreakerModel
 
   private:
     void sample(sim::Tick now);
-    void endStreak();
+    void endStreak(sim::Tick now, bool tripped);
 
     sim::Simulation &sim_;
     PowerSource supply_;
@@ -127,6 +135,11 @@ class BreakerModel
     std::uint64_t trips_ = 0;
     std::uint64_t nearTrips_ = 0;
     sim::Tick firstTrip_ = -1;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *tripStat_ = nullptr;
+    obs::Counter *nearTripStat_ = nullptr;
+    obs::Histogram *windupStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

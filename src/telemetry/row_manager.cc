@@ -63,11 +63,40 @@ RowManager::setDropoutProbability(double probability, sim::Rng rng)
 }
 
 void
+RowManager::attachObservability(obs::Observability *obs)
+{
+    if (!obs) {
+        trace_ = nullptr;
+        deliveredStat_ = droppedStat_ = corruptedStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    deliveredStat_ = &obs->metrics.counter(
+        "telemetry.readings_delivered",
+        "row power readings delivered to listeners");
+    droppedStat_ = &obs->metrics.counter(
+        "telemetry.readings_dropped",
+        "row power readings lost (dropout or injected faults)");
+    corruptedStat_ = &obs->metrics.counter(
+        "telemetry.readings_corrupted",
+        "readings whose value was altered by the fault hook");
+    obs->metrics
+        .gauge("telemetry.latest_row_watts", "last delivered reading")
+        .setSource([this] { return latest_; });
+}
+
+void
 RowManager::sample(sim::Tick now)
 {
     if (dropoutProbability_ > 0.0 &&
         dropoutRng_.bernoulli(dropoutProbability_)) {
         ++dropped_;
+        if (droppedStat_)
+            ++*droppedStat_;
+        if (trace_) {
+            trace_->instant(obs::TraceCategory::Telemetry,
+                            "reading_dropped", now);
+        }
         return;  // silent failure: no reading, no notification
     }
     double total = readNow();
@@ -75,12 +104,26 @@ RowManager::sample(sim::Tick now)
         std::optional<double> faulted = faultHook_(now, total);
         if (!faulted.has_value()) {
             ++dropped_;
+            if (droppedStat_)
+                ++*droppedStat_;
+            if (trace_) {
+                trace_->instant(obs::TraceCategory::Telemetry,
+                                "reading_dropped", now);
+            }
             return;  // injected loss: indistinguishable from dropout
         }
+        if (corruptedStat_ && *faulted != total)
+            ++*corruptedStat_;
         total = *faulted;
     }
     latest_ = total;
     latestTime_ = now;
+    if (deliveredStat_)
+        ++*deliveredStat_;
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Telemetry, "row_reading",
+                        now, 0, total);
+    }
     if (recordSeries_)
         series_.add(now, total);
     for (const auto &listener : listeners_)

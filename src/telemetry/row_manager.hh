@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/timeseries.hh"
@@ -58,6 +59,13 @@ class RowManager
     /** Install (or clear, with an empty function) the fault hook.
      *  Applied after the i.i.d. dropout filter. */
     void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
+
+    /**
+     * Register reading delivery/drop/corruption counters and row
+     * trace events with @p obs (which must outlive this object).
+     * Null detaches.
+     */
+    void attachObservability(obs::Observability *obs);
 
     /** Register a power source (e.g. one server's draw). */
     void addSource(PowerSource source);
@@ -109,6 +117,11 @@ class RowManager
     FaultHook faultHook_;
     std::uint64_t dropped_ = 0;
     std::unique_ptr<sim::Simulation::PeriodicTask> task_;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *deliveredStat_ = nullptr;
+    obs::Counter *droppedStat_ = nullptr;
+    obs::Counter *corruptedStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

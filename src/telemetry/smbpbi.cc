@@ -10,22 +10,82 @@ SmbpbiController::SmbpbiController(sim::Simulation &sim,
 }
 
 void
+SmbpbiController::attachObservability(obs::Observability *obs,
+                                      std::int32_t track)
+{
+    if (!obs) {
+        trace_ = nullptr;
+        issuedStat_ = droppedStat_ = supersededStat_ = brakeStat_ =
+            nullptr;
+        applyLatencyStat_ = nullptr;
+        return;
+    }
+    trace_ = &obs->trace;
+    track_ = track;
+    issuedStat_ = &obs->metrics.counter(
+        "smbpbi.commands_issued", "OOB capping commands put on the wire");
+    droppedStat_ = &obs->metrics.counter(
+        "smbpbi.commands_dropped", "capping commands lost silently");
+    supersededStat_ = &obs->metrics.counter(
+        "smbpbi.commands_superseded",
+        "capping commands replaced while still in flight");
+    brakeStat_ = &obs->metrics.counter(
+        "smbpbi.brake_commands", "power-brake line togglings");
+    applyLatencyStat_ = &obs->metrics.histogram(
+        "smbpbi.apply_latency_s", 0.0, 60.0, 12,
+        "command issue to application latency (seconds)");
+}
+
+void
 SmbpbiController::issue(double lockMhz)
 {
     // A newer command supersedes any pending one.
+    if (pending_.pending()) {
+        if (supersededStat_)
+            ++*supersededStat_;
+        if (trace_) {
+            trace_->instant(obs::TraceCategory::Control,
+                            "cap_superseded", sim_.now(), track_);
+        }
+    }
     sim_.queue().cancel(pending_);
     ++issued_;
+    if (issuedStat_)
+        ++*issuedStat_;
 
     // Loss is decided when the command hits the wire: an injected
     // channel outage swallows it just like a stochastic failure.
     bool drop = outage_ ||
         rng_.bernoulli(options_.silentFailureProbability);
+    sim::Tick issuedAt = sim_.now();
+    pendingIssueTime_ = issuedAt;
     pending_ = sim_.queue().scheduleAfter(
         options_.commandLatency,
-        [this, lockMhz, drop] {
+        [this, lockMhz, drop, issuedAt] {
+            sim::Tick now = sim_.now();
+            // The cap_issue span covers issue -> (attempted)
+            // application; its duration is the OOB command latency
+            // by construction, which the control_plane_timeline
+            // example cross-checks against the configuration.
+            if (trace_) {
+                trace_->complete(obs::TraceCategory::Control,
+                                 "cap_issue", issuedAt, now - issuedAt,
+                                 track_, lockMhz);
+            }
+            if (applyLatencyStat_) {
+                applyLatencyStat_->add(
+                    sim::ticksToSeconds(now - issuedAt));
+            }
             if (drop) {
                 // Silent failure: no state change, no error signal.
                 ++dropped_;
+                if (droppedStat_)
+                    ++*droppedStat_;
+                if (trace_) {
+                    trace_->instant(obs::TraceCategory::Control,
+                                    "cap_dropped", now, track_,
+                                    lockMhz);
+                }
                 return;
             }
             if (lockMhz > 0.0)
@@ -52,9 +112,20 @@ void
 SmbpbiController::requestPowerBrake(bool engage)
 {
     ++brakes_;
+    if (brakeStat_)
+        ++*brakeStat_;
+    sim::Tick issuedAt = sim_.now();
     sim_.queue().scheduleAfter(
         options_.brakeLatency,
-        [this, engage] { target_.applyPowerBrake(engage); },
+        [this, engage, issuedAt] {
+            if (trace_) {
+                trace_->complete(obs::TraceCategory::Control,
+                                 "brake_cmd", issuedAt,
+                                 sim_.now() - issuedAt, track_,
+                                 engage ? 1.0 : 0.0);
+            }
+            target_.applyPowerBrake(engage);
+        },
         "smbpbi-brake");
 }
 

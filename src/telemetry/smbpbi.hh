@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/types.hh"
@@ -75,6 +76,15 @@ class SmbpbiController
     SmbpbiController(sim::Simulation &sim, ClockControllable &target,
                      sim::Rng rng, Options options = Options());
 
+    /**
+     * Register command counters, the command->apply latency
+     * histogram, and cap_issue/cap_dropped/cap_superseded trace
+     * events with @p obs.  @p track labels this channel in the
+     * exported trace (one Chrome "thread" per channel).
+     */
+    void attachObservability(obs::Observability *obs,
+                             std::int32_t track);
+
     /** Request a frequency lock; applies after commandLatency. */
     void requestClockLock(double mhz);
 
@@ -114,10 +124,19 @@ class SmbpbiController
     sim::Rng rng_;
     Options options_;
     sim::EventQueue::Handle pending_;
+    sim::Tick pendingIssueTime_ = -1;
     bool outage_ = false;
     std::uint64_t issued_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t brakes_ = 0;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    std::int32_t track_ = 0;
+    obs::Counter *issuedStat_ = nullptr;
+    obs::Counter *droppedStat_ = nullptr;
+    obs::Counter *supersededStat_ = nullptr;
+    obs::Counter *brakeStat_ = nullptr;
+    obs::Histogram *applyLatencyStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

@@ -81,3 +81,50 @@ TEST(Csv, RoundTrip)
     EXPECT_EQ(rows[0][1], "plain");
     EXPECT_EQ(rows[0][2], "q\"q");
 }
+
+TEST(Csv, EscapingNewlinesAndCarriageReturns)
+{
+    EXPECT_EQ(escapeCsvField("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(escapeCsvField("cr\rhere"), "\"cr\rhere\"");
+    EXPECT_EQ(escapeCsvField("both\r\n"), "\"both\r\n\"");
+}
+
+TEST(Csv, QuotedFieldSpansLines)
+{
+    auto rows = parseCsv("\"two\nlines\",b\nc,d\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][0], "two\nlines");
+    EXPECT_EQ(rows[0][1], "b");
+    EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, RoundTripHostileFields)
+{
+    // Every CSV metacharacter in one row: commas, quotes, LF, CR,
+    // CRLF, and leading/trailing whitespace must survive exactly.
+    std::vector<std::string> fields = {
+        "two\nlines",       "bare\rcr",       "crlf\r\nend",
+        "mix,\"of\"\nall",  " padded ",       "",
+    };
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.rowStrings(fields);
+    auto rows = parseCsv(oss.str());
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i)
+        EXPECT_EQ(rows[0][i], fields[i]) << "field " << i;
+}
+
+TEST(Csv, RoundTripMultipleRowsWithEmbeddedNewlines)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.header({"name", "value"});
+    w.rowStrings({"a\nb", "1"});
+    w.rowStrings({"c", "2"});
+    auto rows = parseCsv(oss.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1][0], "a\nb");
+    EXPECT_EQ(rows[2][0], "c");
+}

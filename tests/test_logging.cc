@@ -1,0 +1,130 @@
+/**
+ * @file
+ * sim logging: quiet-flag contract, QuietScope, the test sink, and
+ * simulated-time prefixes on warn()/inform().
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace polca;
+
+/** Captures warn()/inform() lines; restores stderr/stdout on exit. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        sim::setLogSink(
+            [this](const char *severity, const std::string &line) {
+                lines_.emplace_back(severity, line);
+            });
+    }
+    ~SinkCapture() { sim::setLogSink(nullptr); }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    lines() const
+    {
+        return lines_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> lines_;
+};
+
+TEST(Logging, QuietScopeRestoresPreviousState)
+{
+    // The shared test main sets quiet(true).
+    ASSERT_TRUE(sim::quiet());
+    {
+        sim::QuietScope loud(false);
+        EXPECT_FALSE(sim::quiet());
+        {
+            sim::QuietScope quiet(true);
+            EXPECT_TRUE(sim::quiet());
+        }
+        EXPECT_FALSE(sim::quiet());
+    }
+    EXPECT_TRUE(sim::quiet());
+}
+
+TEST(Logging, QuietSuppressesSink)
+{
+    SinkCapture capture;
+    sim::warn("dropped on the floor");
+    EXPECT_TRUE(capture.lines().empty());
+
+    sim::QuietScope loud(false);
+    sim::warn("captured");
+    ASSERT_EQ(capture.lines().size(), 1u);
+    EXPECT_EQ(capture.lines()[0].first, "warn");
+    EXPECT_EQ(capture.lines()[0].second, "captured");
+}
+
+TEST(Logging, ToggleMidStreamTakesEffectOnNextMessage)
+{
+    SinkCapture capture;
+    sim::QuietScope loud(false);
+    sim::inform("one");
+    sim::setQuiet(true);
+    sim::inform("two");  // discarded, not buffered
+    sim::setQuiet(false);
+    sim::inform("three");
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0].second, "one");
+    EXPECT_EQ(capture.lines()[1].second, "three");
+}
+
+TEST(Logging, ActiveSimulationPrefixesTime)
+{
+    SinkCapture capture;
+    sim::QuietScope loud(false);
+
+    {
+        sim::Simulation simulation(1);
+        simulation.queue().schedule(sim::secondsToTicks(5.0),
+                                    [] { sim::warn("mid-run"); });
+        simulation.runUntil(sim::secondsToTicks(10.0));
+        sim::inform("after events");
+    }
+    // Simulation destroyed: no prefix any more.
+    sim::warn("no sim");
+
+    ASSERT_EQ(capture.lines().size(), 3u);
+    EXPECT_EQ(capture.lines()[0].second, "[t=5.000000s] mid-run");
+    // runUntil() advances now() to the end time even when the queue
+    // drains early, so post-run messages carry the final time.
+    EXPECT_EQ(capture.lines()[1].second,
+              "[t=10.000000s] after events");
+    EXPECT_EQ(capture.lines()[2].second, "no sim");
+}
+
+TEST(Logging, NestedSimulationsInnermostWins)
+{
+    SinkCapture capture;
+    sim::QuietScope loud(false);
+
+    sim::Simulation outer(1);
+    outer.runUntil(sim::secondsToTicks(100.0));
+    {
+        sim::Simulation inner(2);
+        inner.runUntil(sim::secondsToTicks(3.0));
+        sim::warn("inner speaks");
+    }
+    sim::warn("outer speaks");
+
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0].second, "[t=3.000000s] inner speaks");
+    EXPECT_EQ(capture.lines()[1].second,
+              "[t=100.000000s] outer speaks");
+}
+
+} // namespace

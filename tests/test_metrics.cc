@@ -1,0 +1,212 @@
+/**
+ * @file
+ * obs::MetricsRegistry: counter/gauge/histogram semantics,
+ * get-or-create identity, reset, and deterministic dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/csv.hh"
+#include "obs/metrics.hh"
+
+namespace {
+
+using namespace polca;
+
+TEST(Counter, IncrementForms)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    ++c;
+    c += 40;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndSource)
+{
+    obs::Gauge g;
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+
+    double backing = 7.0;
+    g.setSource([&backing] { return backing; });
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+    backing = 9.0;
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+
+    // freeze() snapshots the source and drops it: later changes to
+    // the backing variable no longer show through.
+    g.freeze();
+    backing = 100.0;
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Gauge, VolatileFlag)
+{
+    obs::Gauge g;
+    EXPECT_FALSE(g.isVolatile());
+    g.setVolatile(true);
+    EXPECT_TRUE(g.isVolatile());
+}
+
+TEST(Histogram, BucketsAndSummary)
+{
+    obs::Histogram h(0.0, 10.0, 5);
+    h.add(1.0);   // bucket 0
+    h.add(3.0);   // bucket 1
+    h.add(9.9);   // bucket 4
+    h.add(-5.0);  // clamps to bucket 0
+    h.add(25.0);  // clamps to bucket 4
+
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 33.9);
+    EXPECT_NEAR(h.mean(), 33.9 / 5.0, 1e-12);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameObject)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &a = registry.counter("x.count", "first");
+    obs::Counter &b = registry.counter("x.count", "ignored");
+    EXPECT_EQ(&a, &b);
+    ++a;
+    ++b;
+    EXPECT_EQ(a.value(), 2u);
+
+    obs::Histogram &h1 = registry.histogram("x.hist", 0.0, 1.0, 4);
+    obs::Histogram &h2 = registry.histogram("x.hist", 0.0, 1.0, 4);
+    EXPECT_EQ(&h1, &h2);
+
+    EXPECT_TRUE(registry.has("x.count"));
+    EXPECT_FALSE(registry.has("x.other"));
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchPanics)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("dup");
+    EXPECT_DEATH(registry.gauge("dup"), "another kind");
+    EXPECT_DEATH(registry.histogram("dup", 0.0, 1.0, 2),
+                 "another kind");
+
+    registry.histogram("shaped", 0.0, 1.0, 4);
+    EXPECT_DEATH(registry.histogram("shaped", 0.0, 2.0, 4),
+                 "different shape");
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("c") += 5;
+    registry.gauge("g").set(2.0);
+    registry.histogram("h", 0.0, 1.0, 2).add(0.5);
+
+    registry.reset();
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+    EXPECT_EQ(registry.histogram("h", 0.0, 1.0, 2).count(), 0u);
+}
+
+TEST(MetricsRegistry, DumpIsNameSortedAndRepeatable)
+{
+    obs::MetricsRegistry registry;
+    // Register deliberately out of order.
+    registry.counter("z.last") += 3;
+    registry.counter("a.first", "described") += 1;
+    registry.gauge("m.middle").set(0.5);
+
+    std::ostringstream first;
+    registry.dump(first);
+    std::ostringstream second;
+    registry.dump(second);
+    EXPECT_EQ(first.str(), second.str());
+
+    std::string text = first.str();
+    std::size_t posA = text.find("a.first");
+    std::size_t posM = text.find("m.middle");
+    std::size_t posZ = text.find("z.last");
+    ASSERT_NE(posA, std::string::npos);
+    ASSERT_NE(posM, std::string::npos);
+    ASSERT_NE(posZ, std::string::npos);
+    EXPECT_LT(posA, posM);
+    EXPECT_LT(posM, posZ);
+    // Descriptions ride along as trailing comments.
+    EXPECT_NE(text.find("# described"), std::string::npos);
+}
+
+TEST(MetricsRegistry, VolatileGaugesSkippedByDumps)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("kept") += 1;
+    obs::Gauge &rate = registry.gauge("wallclock.rate");
+    rate.setVolatile(true);
+    rate.set(123.0);
+
+    std::ostringstream text;
+    registry.dump(text);
+    EXPECT_NE(text.str().find("kept"), std::string::npos);
+    EXPECT_EQ(text.str().find("wallclock.rate"), std::string::npos);
+
+    std::ostringstream csv;
+    registry.dumpCsv(csv);
+    EXPECT_EQ(csv.str().find("wallclock.rate"), std::string::npos);
+
+    // The value itself stays readable for interactive use.
+    EXPECT_DOUBLE_EQ(rate.value(), 123.0);
+}
+
+TEST(MetricsRegistry, DumpCsvParsesBack)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("c.one") += 7;
+    registry.histogram("h.lat", 0.0, 2.0, 2).add(0.5);
+
+    std::ostringstream csv;
+    registry.dumpCsv(csv);
+    auto rows = analysis::parseCsv(csv.str());
+    ASSERT_GE(rows.size(), 2u);
+    EXPECT_EQ(rows[0],
+              (std::vector<std::string>{"name", "kind", "value"}));
+    // First data row is the counter (names sort before h.*).
+    EXPECT_EQ(rows[1][0], "c.one");
+    EXPECT_EQ(rows[1][1], "counter");
+    EXPECT_EQ(rows[1][2], "7");
+    // Histogram expands to ::count/::mean/... scalar rows.
+    bool sawCount = false;
+    for (const auto &row : rows) {
+        if (row[0] == "h.lat::count") {
+            sawCount = true;
+            EXPECT_EQ(row[2], "1");
+        }
+    }
+    EXPECT_TRUE(sawCount);
+}
+
+TEST(MetricsRegistry, FreezeGaugesSnapshotsSources)
+{
+    obs::MetricsRegistry registry;
+    double live = 4.0;
+    registry.gauge("snap").setSource([&live] { return live; });
+    registry.freezeGauges();
+    live = 99.0;  // a destroyed component would dangle here
+    EXPECT_DOUBLE_EQ(registry.gauge("snap").value(), 4.0);
+}
+
+} // namespace

@@ -10,10 +10,18 @@
  *   polcactl trace regenerate FILE [--bin SECONDS] [--seed S] \
  *                             [--out FILE]
  *   polcactl run [--added F] [--days N] [--seed S] \
- *                [--policy NAME] [--power-scale F] [--trace FILE] \
+ *                [--policy NAME] [--power-scale F] [--workload FILE] \
  *                [--servers N] [--failures P] [--dropout P] \
- *                [--scenario NAME] [--watchdog 0|1]
+ *                [--scenario NAME] [--watchdog 0|1] \
+ *                [--trace FILE] [--metrics FILE] \
+ *                [--trace-categories LIST]
  *   polcactl scenarios
+ *
+ * `run --trace` exports the control-plane trace as Chrome
+ * trace_event JSON (chrome://tracing / Perfetto); `--metrics` dumps
+ * the metrics registry (gem5 stats style, or CSV when the file name
+ * ends in .csv).  Flags accept both `--flag VALUE` and
+ * `--flag=VALUE`.
  */
 
 #include <cstdio>
@@ -31,6 +39,7 @@
 #include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
 #include "llm/phase_model.hh"
+#include "obs/observability.hh"
 #include "sim/logging.hh"
 #include "workload/trace_gen.hh"
 
@@ -46,13 +55,18 @@ class Args
     {
         for (int i = start; i < argc; ++i) {
             std::string arg = argv[i];
-            if (arg.rfind("--", 0) == 0 && i + 1 < argc &&
-                std::string(argv[i + 1]).rfind("--", 0) != 0) {
-                values_[arg.substr(2)] = argv[++i];
-            } else if (arg.rfind("--", 0) == 0) {
-                values_[arg.substr(2)] = "1";
-            } else {
+            if (arg.rfind("--", 0) != 0) {
                 positional_.push_back(arg);
+                continue;
+            }
+            std::string::size_type eq = arg.find('=');
+            if (eq != std::string::npos) {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            } else if (i + 1 < argc &&
+                       std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[arg.substr(2)] = argv[++i];
+            } else {
+                values_[arg.substr(2)] = "1";
             }
         }
     }
@@ -98,10 +112,18 @@ usage()
         "  polcactl run [--added F] [--days N] [--seed S] "
         "[--policy NAME]\n"
         "               [--power-scale F] [--servers N] "
-        "[--failures P] [--trace FILE]\n"
+        "[--failures P] [--workload FILE]\n"
         "               [--dropout P] [--scenario NAME] "
         "[--watchdog 0|1]\n"
-        "  polcactl scenarios\n");
+        "               [--trace FILE] [--metrics FILE] "
+        "[--trace-categories LIST]\n"
+        "  polcactl scenarios\n"
+        "\n"
+        "  run --trace exports Chrome trace_event JSON "
+        "(chrome://tracing);\n"
+        "  --metrics dumps the metrics registry (.csv for CSV);\n"
+        "  --trace-categories filters: "
+        "sim,telemetry,control,power,cluster,fault,all\n");
     return 2;
 }
 
@@ -304,11 +326,23 @@ cmdRun(const Args &args)
     config.manager.watchdogEnabled = args.number("watchdog", 1) != 0;
 
     workload::Trace external;
-    std::string tracePath = args.text("trace", "");
-    if (!tracePath.empty()) {
-        external = loadTrace(tracePath);
+    std::string workloadPath = args.text("workload", "");
+    if (!workloadPath.empty()) {
+        external = loadTrace(workloadPath);
         config.externalTrace = &external;
         config.duration = external.duration();
+    }
+
+    // Observability: attach to the managed run only — the baseline
+    // exists purely as a latency reference.
+    std::string traceOut = args.text("trace", "");
+    std::string metricsOut = args.text("metrics", "");
+    obs::Observability observability;
+    if (!traceOut.empty() || !metricsOut.empty()) {
+        observability.trace.setCategoryMask(
+            obs::parseTraceCategories(
+                args.text("trace-categories", "all")));
+        config.obs = &observability;
     }
 
     std::string scenario = args.text("scenario", "none");
@@ -328,8 +362,35 @@ cmdRun(const Args &args)
                 config.manager.watchdogEnabled ? "on" : "off");
 
     core::ExperimentResult result = runOversubExperiment(config);
+
+    if (!traceOut.empty()) {
+        std::ofstream file(traceOut);
+        if (!file)
+            sim::fatal("cannot open '", traceOut, "' for writing");
+        observability.trace.exportChromeJson(file);
+        std::printf("wrote %llu trace events to %s\n",
+                    static_cast<unsigned long long>(
+                        observability.trace.events().size()),
+                    traceOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        std::ofstream file(metricsOut);
+        if (!file)
+            sim::fatal("cannot open '", metricsOut, "' for writing");
+        if (metricsOut.size() >= 4 &&
+            metricsOut.compare(metricsOut.size() - 4, 4, ".csv") == 0)
+            observability.metrics.dumpCsv(file);
+        else
+            observability.metrics.dump(file);
+        std::printf("wrote %zu metrics to %s\n",
+                    observability.metrics.size(), metricsOut.c_str());
+    }
+
+    core::ExperimentConfig baselineConfig =
+        core::unthrottledBaseline(config);
+    baselineConfig.obs = nullptr;
     core::ExperimentResult baseline =
-        runOversubExperiment(core::unthrottledBaseline(config));
+        runOversubExperiment(baselineConfig);
     core::NormalizedLatency low =
         core::normalizeLatency(result.low, baseline.low);
     core::NormalizedLatency high =
