@@ -19,17 +19,25 @@
  * breaker never trips.  Same seed, same trace — the only variable
  * is the watchdog.
  *
+ * Part 2 is declared in scenarios/blackout_watchdog.toml — a
+ * two-point [sweep] over manager.watchdog_enabled — and executed
+ * here through the scenario layer and core::SweepRunner, exactly as
+ * `polcactl run --scenario-file` would.
+ *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/fault_scenarios
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "analysis/table.hh"
+#include "config/scenario.hh"
 #include "core/oversub_experiment.hh"
+#include "core/sweep_runner.hh"
 #include "faults/fault_plan.hh"
 #include "sim/logging.hh"
 
@@ -105,40 +113,89 @@ sweepScenarios()
 int
 spotlightBlackout()
 {
-    core::ExperimentConfig base;
-    base.row.baseServers = 24;
-    base.row.addedServerFraction = 0.50;
-    base.row.modelName = "BLOOM-176B";
-    base.policy = core::PolicyConfig::polca();
-    base.duration = sim::secondsToTicks(6 * 3600.0);
-    base.seed = 42;
-    base.breakerLimitFraction = 1.05;
-    // Steep ramp: light load at the start of the run (below the
-    // first cap trigger, so the manager is frozen in a benign,
-    // uncapped state), peaking at 95% busy 4.5 h in.
-    base.diurnal.baseUtilization = 0.40;
-    base.diurnal.dailyAmplitude = 0.55;
-    base.diurnal.noiseAmplitude = 0.005;
-    base.diurnal.peakSecondsOfDay = 4.5 * 3600.0;
+    // The scenario file carries the whole setup: +50% servers under
+    // a 1.05x breaker, a steep traffic ramp peaking at 95% busy
+    // 4.5 h in, telemetry dark from t=5 min for 3.5 h, and a [sweep]
+    // axis over manager.watchdog_enabled.  The embedded copy mirrors
+    // scenarios/blackout_watchdog.toml so the example runs from any
+    // working directory.
+    static const char *kSpotlightScenario = R"toml(
+[experiment]
+duration = 6h
+seed = 42
+breaker_limit_fraction = 1.05
 
-    faults::BlackoutWindow blackout;
-    blackout.start = sim::secondsToTicks(5 * 60.0);
-    blackout.duration = sim::secondsToTicks(3.5 * 3600.0);
-    base.faultPlan.blackouts.push_back(blackout);
+[row]
+base_servers = 24
+added_server_fraction = 50%
+
+[policy]
+preset = "polca"
+
+[workload.diurnal]
+base_utilization = 40%
+daily_amplitude = 55%
+noise_amplitude = 0.5%
+peak_seconds_of_day = 4.5h
+
+[faults]
+[[faults.blackouts]]
+start = 5min
+duration = 3.5h
+
+[sweep]
+"manager.watchdog_enabled" = [false, true]
+)toml";
+
+    config::Diagnostics diag;
+    config::ScenarioSet scenario;
+    const char *source = nullptr;
+    for (const char *path :
+         {"scenarios/blackout_watchdog.toml",
+          "../scenarios/blackout_watchdog.toml",
+          "../../scenarios/blackout_watchdog.toml"}) {
+        std::ifstream probe(path);
+        if (probe) {
+            scenario = config::loadScenarioFile(path, {}, diag);
+            source = path;
+            break;
+        }
+    }
+    if (!source) {
+        scenario = config::loadScenarioString(
+            kSpotlightScenario, "blackout_watchdog (embedded)", {},
+            diag);
+        source = "embedded scenario";
+    }
+    if (!diag.ok()) {
+        std::fprintf(stderr, "%s\n", diag.str().c_str());
+        return 2;
+    }
 
     std::printf("\nPart 2: spotlight — telemetry goes dark at "
                 "t=5 min while the row is lightly\nloaded and "
                 "uncapped, then stays dark for 3.5 h as traffic "
-                "ramps through the\nbreaker limit.\n\n");
+                "ramps through the\nbreaker limit "
+                "(%zu sweep points from %s).\n\n",
+                scenario.points.size(), source);
+
+    std::vector<core::SweepPoint> points;
+    for (const config::ResolvedScenario &point : scenario.points)
+        points.push_back({point.label, point.config});
+    core::SweepOptions options;
+    options.runBaseline = false;
+    options.echoProgress = false;
+    core::SweepRunner runner(std::move(points), options);
+    const std::vector<core::SweepPointResult> &results = runner.run();
 
     analysis::Table table({"Watchdog", "Brk trips", "First trip s",
                            "Over-limit streak s", "Overdraw kJ",
                            "Fail-safe s", "Peak util"});
     std::uint64_t tripsOff = 0, tripsOn = 0;
-    for (bool watchdog : {false, true}) {
-        core::ExperimentConfig config = base;
-        config.manager.watchdogEnabled = watchdog;
-        core::ExperimentResult result = runOversubExperiment(config);
+    for (const core::SweepPointResult &point : results) {
+        const core::ExperimentResult &result = point.result;
+        bool watchdog =
+            point.label.find("true") != std::string::npos;
         if (watchdog)
             tripsOn = result.breakerTrips;
         else

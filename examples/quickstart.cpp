@@ -1,8 +1,9 @@
 /**
  * @file
- * Quickstart: build a 40-server BLOOM inference row, oversubscribe
- * it by 30%, attach the POLCA power manager, replay a day of
- * diurnal traffic, and print the headline metrics.
+ * Quickstart: run the paper's headline experiment — a 40-server
+ * BLOOM inference row oversubscribed by 30% under the POLCA policy —
+ * from its declarative scenario file (scenarios/quickstart.toml),
+ * and print the headline metrics.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -10,39 +11,74 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
+#include "config/scenario.hh"
 #include "core/oversub_experiment.hh"
 #include "sim/logging.hh"
+
+namespace {
+
+using namespace polca;
+
+/** The shipped scenario, embedded as a fallback so the example runs
+ *  from any working directory.  Mirrors scenarios/quickstart.toml. */
+const char *kQuickstartScenario = R"toml(
+[experiment]
+duration = 2d
+seed = 42
+
+[row]
+base_servers = 40
+added_server_fraction = 30%
+
+[policy]
+preset = "polca"
+)toml";
+
+/** Load scenarios/quickstart.toml from the usual run directories,
+ *  falling back to the embedded copy. */
+config::ScenarioSet
+loadQuickstart(config::Diagnostics &diag)
+{
+    for (const char *path : {"scenarios/quickstart.toml",
+                             "../scenarios/quickstart.toml",
+                             "../../scenarios/quickstart.toml"}) {
+        std::ifstream probe(path);
+        if (probe)
+            return config::loadScenarioFile(path, {}, diag);
+    }
+    return config::loadScenarioString(kQuickstartScenario,
+                                      "quickstart (embedded)", {},
+                                      diag);
+}
+
+} // namespace
 
 int
 main()
 {
-    using namespace polca;
     sim::setQuiet(true);
 
-    // 1. Describe the deployment: a row provisioned for 40 DGX-A100
-    //    servers, serving BLOOM-176B, with 30% extra servers added
-    //    under the same power budget.
-    core::ExperimentConfig config;
-    config.row.baseServers = 40;
-    config.row.addedServerFraction = 0.30;
-    config.row.modelName = "BLOOM-176B";
+    // 1. One scenario file describes the whole experiment: the
+    //    deployment, the policy, and the run parameters.  Resolution
+    //    order is struct defaults < file < --set overrides < sweep.
+    config::Diagnostics diag;
+    config::ScenarioSet scenario = loadQuickstart(diag);
+    if (!diag.ok()) {
+        std::fprintf(stderr, "%s\n", diag.str().c_str());
+        return 2;
+    }
+    core::ExperimentConfig config =
+        scenario.points.front().config;
 
-    // 2. Pick the policy: the paper's dual-threshold POLCA
-    //    (T1 = 80% -> lock low-priority to 1275 MHz;
-    //     T2 = 89% -> LP to 1110 MHz, then HP to 1305 MHz).
-    config.policy = core::PolicyConfig::polca();
-
-    // 3. Simulate two days of diurnal traffic (tail percentiles
-    //    need more than one day to settle).
-    config.duration = sim::secondsToTicks(2 * 24 * 3600.0);
-    config.seed = 42;
-
-    std::printf("Running POLCA on a +30%% oversubscribed row "
-                "(two simulated days)...\n");
+    std::printf("Running POLCA on a +%.0f%% oversubscribed row "
+                "(%.0f simulated days)...\n",
+                config.row.addedServerFraction * 100.0,
+                sim::ticksToSeconds(config.duration) / 86400.0);
     core::ExperimentResult result = runOversubExperiment(config);
 
-    // 4. Compare against the same row without power management.
+    // 2. Compare against the same row without power management.
     core::ExperimentResult baseline =
         runOversubExperiment(core::unthrottledBaseline(config));
     core::NormalizedLatency low =

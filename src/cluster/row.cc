@@ -9,7 +9,9 @@ namespace polca::cluster {
 
 Row::Row(sim::Simulation &sim, RowConfig config, sim::Rng rng)
     : sim_(sim), config_(std::move(config)),
-      model_(llm::ModelCatalog().byName(config_.modelName))
+      model_(config_.modelOverride
+                 ? *config_.modelOverride
+                 : llm::ModelCatalog().byName(config_.modelName))
 {
     if (config_.baseServers <= 0)
         sim::fatal("Row: non-positive base server count");

@@ -10,6 +10,7 @@
 #define POLCA_CLUSTER_ROW_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,11 @@ struct RowConfig
 
     /** Model served by every endpoint (POLCA eval: BLOOM-176B). */
     std::string modelName = "BLOOM-176B";
+
+    /** Full model spec to serve instead of looking @ref modelName up
+     *  in the catalog — lets scenario files tweak or define models
+     *  that are not Table 3 entries. */
+    std::optional<llm::ModelSpec> modelOverride;
 
     /** Servers the row's power budget was provisioned for. */
     int baseServers = 40;

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Declarative scenario layer: one TOML-ish file describes a complete
+ * experiment — deployment ([row], [row.server], [row.server.gpu]),
+ * served model ([model]), policy ([policy] preset or explicit
+ * [[policy.rules]]), control plane ([manager]), traffic
+ * ([workload.diurnal], [[workload.mix]]), fault injection ([faults]
+ * preset or explicit windows), and run parameters ([experiment]).
+ *
+ * Resolution order (later wins): struct defaults < scenario file <
+ * `--set path=value` CLI overrides < sweep axis values.
+ *
+ * A [sweep] section declares axes as dotted config paths with a list
+ * of values (`seed = [1..8]`, `"policy.preset" = ["polca", "1tlp"]`);
+ * the file expands into the cartesian product of its axes, one
+ * resolved ExperimentConfig per point, which core::SweepRunner
+ * executes back-to-back.
+ *
+ * dumpResolved() writes the fully-resolved effective configuration —
+ * every bound field of every struct, with per-value provenance
+ * comments — as a scenario file that reparses to the identical
+ * resolved config (verified by test_scenario), so any run can be
+ * reproduced byte-for-byte from its dumped artifact.
+ */
+
+#ifndef POLCA_CONFIG_SCENARIO_HH
+#define POLCA_CONFIG_SCENARIO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "config/bindings.hh"
+#include "config/config_node.hh"
+
+namespace polca::config {
+
+/** One expanded sweep point (or the single point of a plain file). */
+struct ResolvedScenario
+{
+    /** "seed=1,policy.preset=polca" for sweep points, else "". */
+    std::string label;
+
+    /** Effective source tree: file + CLI overrides + sweep values
+     *  (the [sweep] section itself removed).  Drives provenance in
+     *  dumpResolved(). */
+    ConfigNode tree;
+
+    core::ExperimentConfig config;
+};
+
+/** A loaded scenario file, expanded over its sweep axes. */
+struct ScenarioSet
+{
+    std::string name;  ///< file stem, for artifact naming
+    std::vector<ResolvedScenario> points;
+
+    bool isSweep() const { return points.size() > 1; }
+};
+
+/**
+ * Bind a parsed scenario tree into an ExperimentConfig.  Reports
+ * line-precise errors (unknown sections/keys with suggestions, unit
+ * mismatches, out-of-range values, incomplete list entries) to
+ * @p diag; @return false when anything failed.
+ */
+bool bindExperiment(const ConfigNode &root,
+                    core::ExperimentConfig &config,
+                    Diagnostics &diag);
+
+/**
+ * Load scenario text: parse, apply `path=value` @p overrides (origin
+ * "cli"), expand sweep axes, and bind every point.  On error the
+ * returned set may be partial; check @p diag.
+ */
+ScenarioSet loadScenarioString(const std::string &text,
+                               const std::string &name,
+                               const std::vector<std::string> &overrides,
+                               Diagnostics &diag);
+
+/** Load a scenario file from disk. */
+ScenarioSet loadScenarioFile(const std::string &path,
+                             const std::vector<std::string> &overrides,
+                             Diagnostics &diag);
+
+/**
+ * Dump the fully-resolved effective configuration of @p config as a
+ * reparseable scenario file with per-value provenance comments.
+ * @p source is the effective source tree the config was bound from
+ * (ResolvedScenario::tree); pass an empty section for pure-default
+ * configs.
+ */
+void dumpResolved(const core::ExperimentConfig &config,
+                  const ConfigNode &source, std::ostream &os);
+
+/**
+ * Equality over everything the scenario layer binds (scalars of all
+ * bound structs, policy rules, workload mix, fault plan, and the
+ * effective model spec).  The basis of the dump -> reparse identity
+ * guarantee.
+ */
+bool resolvedConfigsEqual(const core::ExperimentConfig &a,
+                          const core::ExperimentConfig &b);
+
+/** The model a row will serve: the override when set, else the
+ *  catalog entry named by RowConfig::modelName. */
+llm::ModelSpec effectiveModelSpec(const cluster::RowConfig &row);
+
+} // namespace polca::config
+
+#endif // POLCA_CONFIG_SCENARIO_HH

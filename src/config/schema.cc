@@ -1,0 +1,208 @@
+#include "config/schema.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace polca::config {
+
+namespace {
+
+/** Known unit suffixes and the factor into each canonical unit. */
+struct Suffix
+{
+    const char *text;
+    Unit unit;
+    double factor;
+};
+
+constexpr Suffix suffixes[] = {
+    {"%", Unit::Fraction, 0.01},
+    {"ms", Unit::Seconds, 0.001},
+    {"min", Unit::Seconds, 60.0},
+    {"s", Unit::Seconds, 1.0},
+    {"h", Unit::Seconds, 3600.0},
+    {"d", Unit::Seconds, 86400.0},
+    {"kW", Unit::Watts, 1000.0},
+    {"MW", Unit::Watts, 1e6},
+    {"W", Unit::Watts, 1.0},
+    {"MHz", Unit::Megahertz, 1.0},
+    {"GHz", Unit::Megahertz, 1000.0},
+};
+
+const char *
+unitName(Unit unit)
+{
+    switch (unit) {
+      case Unit::None:
+        return "number";
+      case Unit::Fraction:
+        return "fraction (or %)";
+      case Unit::Seconds:
+        return "duration (ms/s/min/h/d)";
+      case Unit::Watts:
+        return "power (W/kW/MW)";
+      case Unit::Megahertz:
+        return "frequency (MHz/GHz)";
+    }
+    return "?";
+}
+
+bool
+parseBareDouble(const std::string &text, double &out)
+{
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc() && ptr == end;
+}
+
+} // namespace
+
+bool
+parseNumberToken(const std::string &raw, Unit unit, double &out,
+                 std::string &err)
+{
+    if (raw.empty()) {
+        err = "empty value";
+        return false;
+    }
+
+    // Split off the longest trailing run of unit characters.
+    std::size_t suffixStart = raw.size();
+    while (suffixStart > 0) {
+        char c = raw[suffixStart - 1];
+        bool unitChar = std::isalpha(static_cast<unsigned char>(c)) ||
+            c == '%';
+        // 'e'/'E' may belong to an exponent ("1e6"): only treat the
+        // tail as a suffix if the remaining head still parses.
+        if (!unitChar)
+            break;
+        --suffixStart;
+    }
+    std::string head = raw.substr(0, suffixStart);
+    std::string suffix = raw.substr(suffixStart);
+
+    double value = 0.0;
+    if (suffix.empty()) {
+        if (!parseBareDouble(raw, value)) {
+            err = "malformed number '" + raw + "'";
+            return false;
+        }
+        out = value;
+        return true;
+    }
+
+    // Exponent notation: "1e6" splits to head "1" suffix "e6"? No —
+    // the suffix run above only eats alphabetic chars, and "e6" stops
+    // at the digit.  "1E" style malformed input lands here and fails
+    // suffix lookup below, which is the right outcome.
+    if (!parseBareDouble(head, value)) {
+        err = "malformed number '" + raw + "'";
+        return false;
+    }
+    for (const Suffix &s : suffixes) {
+        if (suffix == s.text) {
+            if (s.unit != unit) {
+                err = "unit '" + suffix + "' does not fit a " +
+                    unitName(unit) + " field (value '" + raw + "')";
+                return false;
+            }
+            out = value * s.factor;
+            return true;
+        }
+    }
+    err = "unknown unit suffix '" + suffix + "' in '" + raw +
+        "' (expected " + unitName(unit) + ")";
+    return false;
+}
+
+bool
+parseIntToken(const std::string &raw, long long &out,
+              std::string &err)
+{
+    if (raw.empty()) {
+        err = "empty value";
+        return false;
+    }
+    const char *begin = raw.data();
+    const char *end = begin + raw.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr != end) {
+        err = "malformed integer '" + raw + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseBoolToken(const std::string &raw, bool &out, std::string &err)
+{
+    if (raw == "true" || raw == "1") {
+        out = true;
+        return true;
+    }
+    if (raw == "false" || raw == "0") {
+        out = false;
+        return true;
+    }
+    err = "expected true or false, got '" + raw + "'";
+    return false;
+}
+
+bool
+parseStringToken(const std::string &raw, std::string &out,
+                 std::string &err)
+{
+    if (raw.empty()) {
+        err = "empty value";
+        return false;
+    }
+    if (raw.front() != '"') {
+        out = raw;
+        return true;
+    }
+    if (raw.size() < 2 || raw.back() != '"') {
+        err = "unterminated string " + raw;
+        return false;
+    }
+    out.clear();
+    for (std::size_t i = 1; i + 1 < raw.size(); ++i) {
+        char c = raw[i];
+        if (c == '\\' && i + 2 < raw.size()) {
+            char next = raw[++i];
+            switch (next) {
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              default:
+                err = std::string("unknown escape '\\") + next + "'";
+                return false;
+            }
+            continue;
+        }
+        out += c;
+    }
+    return true;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    if (ec != std::errc())
+        return std::to_string(value);
+    return std::string(buf, ptr);
+}
+
+} // namespace polca::config

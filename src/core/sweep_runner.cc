@@ -1,0 +1,140 @@
+#include "core/sweep_runner.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/observability.hh"
+#include "sim/logging.hh"
+
+namespace polca::core {
+
+SweepRunner::SweepRunner(std::vector<SweepPoint> points,
+                         SweepOptions options)
+    : points_(std::move(points)), options_(std::move(options))
+{}
+
+std::string
+SweepRunner::artifactStem(const std::string &label, std::size_t index)
+{
+    if (label.empty())
+        return "point-" + std::to_string(index);
+    std::string stem;
+    stem.reserve(label.size());
+    for (char c : label) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '-' || c == '.') {
+            stem += c;
+        } else if (c == ',') {
+            stem += '_';
+        } else if (c == '=') {
+            stem += '-';
+        } else {
+            stem += '_';
+        }
+    }
+    return stem;
+}
+
+const std::vector<SweepPointResult> &
+SweepRunner::run()
+{
+    results_.clear();
+    results_.reserve(points_.size());
+
+    if (!options_.artifactDir.empty())
+        std::filesystem::create_directories(options_.artifactDir);
+
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const SweepPoint &point = points_[i];
+        if (options_.echoProgress) {
+            std::printf("[sweep %zu/%zu] %s\n", i + 1,
+                        points_.size(),
+                        point.label.empty() ? "(single point)"
+                                            : point.label.c_str());
+            std::fflush(stdout);
+        }
+
+        SweepPointResult out;
+        out.label = point.label;
+
+        obs::Observability obs;
+        ExperimentConfig config = point.config;
+        bool wantArtifact = !options_.artifactDir.empty();
+        if (wantArtifact && !config.obs)
+            config.obs = &obs;
+
+        out.result = runOversubExperiment(config);
+
+        if (options_.runBaseline) {
+            ExperimentConfig base = unthrottledBaseline(point.config);
+            base.obs = nullptr;
+            out.baseline = runOversubExperiment(base);
+            out.lowNorm =
+                normalizeLatency(out.result.low, out.baseline.low);
+            out.highNorm =
+                normalizeLatency(out.result.high, out.baseline.high);
+        }
+
+        if (wantArtifact) {
+            std::string stem = artifactStem(point.label, i);
+            std::filesystem::path path =
+                std::filesystem::path(options_.artifactDir) /
+                (stem + ".metrics.csv");
+            std::ofstream os(path);
+            if (!os) {
+                sim::fatal("SweepRunner: cannot write artifact ",
+                           path.string());
+            }
+            config.obs->metrics.dumpCsv(os);
+            out.artifactPath = path.string();
+        }
+
+        results_.push_back(std::move(out));
+    }
+
+    if (!options_.artifactDir.empty()) {
+        std::filesystem::path path =
+            std::filesystem::path(options_.artifactDir) /
+            "summary.csv";
+        std::ofstream os(path);
+        if (os) {
+            os << "label,lp_p99_s,hp_p99_s,lp_p99_norm,hp_p99_norm,"
+                  "brake_events,breaker_trips,max_utilization,"
+                  "energy_kwh\n";
+            for (const SweepPointResult &r : results_) {
+                os << '"' << r.label << '"' << ','
+                   << r.result.low.p99 << ',' << r.result.high.p99
+                   << ',' << r.lowNorm.p99 << ',' << r.highNorm.p99
+                   << ',' << r.result.powerBrakeEvents << ','
+                   << r.result.breakerTrips << ','
+                   << r.result.maxUtilization << ','
+                   << r.result.energyKwh << '\n';
+            }
+        }
+    }
+    return results_;
+}
+
+analysis::Table
+SweepRunner::summaryTable() const
+{
+    analysis::Table table({"point", "LP p99 (s)", "HP p99 (s)",
+                           "LP p99 (norm)", "HP p99 (norm)", "brakes",
+                           "trips", "max util", "energy (kWh)"});
+    for (const SweepPointResult &r : results_) {
+        table.row()
+            .cell(r.label.empty() ? "(single point)" : r.label)
+            .cell(r.result.low.p99, 2)
+            .cell(r.result.high.p99, 2)
+            .cell(r.lowNorm.p99, 3)
+            .cell(r.highNorm.p99, 3)
+            .cell(static_cast<long long>(r.result.powerBrakeEvents))
+            .cell(static_cast<long long>(r.result.breakerTrips))
+            .percentCell(r.result.maxUtilization)
+            .cell(r.result.energyKwh, 1);
+    }
+    return table;
+}
+
+} // namespace polca::core

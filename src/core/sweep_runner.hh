@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Back-to-back execution of a list of resolved experiment
+ * configurations — the execution half of the scenario layer's sweep
+ * expansion (config/scenario.hh), but usable with any hand-built
+ * config list.
+ *
+ * Each point runs the managed experiment, optionally its unthrottled
+ * baseline (for the paper's normalized-latency y-axes), and — when an
+ * artifact directory is set — writes one metrics CSV per point plus a
+ * combined summary CSV.  summaryTable() renders the cross-point
+ * comparison the CLI prints after a sweep.
+ */
+
+#ifndef POLCA_CORE_SWEEP_RUNNER_HH
+#define POLCA_CORE_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "core/oversub_experiment.hh"
+
+namespace polca::core {
+
+/** One experiment to run, with a display/artifact label. */
+struct SweepPoint
+{
+    /** "seed=1,policy.preset=polca" style; may be empty for a
+     *  single-point run. */
+    std::string label;
+
+    ExperimentConfig config;
+};
+
+struct SweepOptions
+{
+    /** Directory for per-point metrics CSVs and summary.csv; empty
+     *  writes no artifacts. */
+    std::string artifactDir;
+
+    /** Also run the unthrottled baseline per point and normalize
+     *  latencies against it. */
+    bool runBaseline = true;
+
+    /** Print a one-line progress note per point. */
+    bool echoProgress = true;
+};
+
+/** Everything one executed sweep point produced. */
+struct SweepPointResult
+{
+    std::string label;
+    ExperimentResult result;
+
+    /** Valid only when SweepOptions::runBaseline. */
+    ExperimentResult baseline;
+    NormalizedLatency lowNorm;
+    NormalizedLatency highNorm;
+
+    /** Metrics CSV path, empty when no artifact directory was set. */
+    std::string artifactPath;
+};
+
+class SweepRunner
+{
+  public:
+    SweepRunner(std::vector<SweepPoint> points, SweepOptions options);
+
+    /** Execute every point in order; idempotent (reruns replace the
+     *  previous results). */
+    const std::vector<SweepPointResult> &run();
+
+    const std::vector<SweepPointResult> &results() const
+    {
+        return results_;
+    }
+
+    /** Cross-point comparison of the headline metrics. */
+    analysis::Table summaryTable() const;
+
+    /** Label -> filesystem-safe artifact stem ("seed=1,x" ->
+     *  "seed-1_x"); "point-<i>" for empty labels. */
+    static std::string artifactStem(const std::string &label,
+                                    std::size_t index);
+
+  private:
+    std::vector<SweepPoint> points_;
+    SweepOptions options_;
+    std::vector<SweepPointResult> results_;
+};
+
+} // namespace polca::core
+
+#endif // POLCA_CORE_SWEEP_RUNNER_HH

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "sim/logging.hh"
 
@@ -9,25 +10,41 @@ namespace polca::sim {
 namespace {
 
 /**
- * Stack of live simulations (the simulator is single-threaded;
- * nesting happens when an experiment builds a sub-simulation).  The
- * innermost live one provides the log-time prefix.
+ * Per-thread stack of live simulations (nesting happens when an
+ * experiment builds a sub-simulation).  The calling thread's
+ * innermost live one provides its log-time prefix, so simulations on
+ * different threads each stamp their own thread's log lines.
  */
 std::vector<Simulation *> &
 activeSimulations()
 {
-    static std::vector<Simulation *> active;
+    thread_local std::vector<Simulation *> active;
     return active;
 }
+
+/**
+ * The log time source itself is process-global, so it is installed
+ * when the first simulation on *any* thread appears and removed when
+ * the last one (across all threads) dies — counted under a mutex.
+ * The installed callback reads the calling thread's stack.
+ */
+std::mutex &
+timeSourceMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+int liveSimulationCount = 0;  // guarded by timeSourceMutex()
 
 } // namespace
 
 Simulation::Simulation(std::uint64_t seed)
     : rng_(seed)
 {
-    auto &active = activeSimulations();
-    active.push_back(this);
-    if (active.size() == 1) {
+    activeSimulations().push_back(this);
+    std::lock_guard<std::mutex> lock(timeSourceMutex());
+    if (++liveSimulationCount == 1) {
         setLogTimeSource([] {
             auto &sims = activeSimulations();
             return sims.empty() ? Tick{0} : sims.back()->now();
@@ -39,7 +56,8 @@ Simulation::~Simulation()
 {
     auto &active = activeSimulations();
     active.erase(std::find(active.begin(), active.end(), this));
-    if (active.empty())
+    std::lock_guard<std::mutex> lock(timeSourceMutex());
+    if (--liveSimulationCount == 0)
         setLogTimeSource(nullptr);
 }
 

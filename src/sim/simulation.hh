@@ -32,6 +32,11 @@ class Simulation
      * one for log-time prefixing: while at least one Simulation is
      * alive, warn()/inform() lines carry the innermost live
      * simulation's now().  Destruction restores the previous one.
+     *
+     * The "current" stack is thread_local, so simulations running on
+     * different threads (e.g. parallel sweep points) each prefix
+     * their own thread's log lines with their own clock; a thread
+     * with no live simulation logs unprefixed.
      */
     explicit Simulation(std::uint64_t seed = 1);
     ~Simulation();

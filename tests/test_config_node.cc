@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Scenario-file parser tests: the TOML subset (sections, dotted
+ * headers, array-of-tables, lists, ranges, comments, quoting),
+ * line-precise duplicate/conflict errors, path helpers, and the
+ * nearest-key suggestion machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "config/config_node.hh"
+
+namespace {
+
+using namespace polca::config;
+
+ConfigNode
+parseOk(const std::string &text)
+{
+    Diagnostics diag;
+    ConfigNode root = parseConfigString(text, "test.toml", diag);
+    EXPECT_TRUE(diag.ok()) << diag.str();
+    return root;
+}
+
+/** First diagnostic produced by parsing @p text. */
+std::string
+parseError(const std::string &text)
+{
+    Diagnostics diag;
+    parseConfigString(text, "test.toml", diag);
+    EXPECT_FALSE(diag.ok()) << "expected a parse error for: " << text;
+    return diag.ok() ? std::string() : diag.errors().front();
+}
+
+TEST(ConfigNode, ScalarsSectionsComments)
+{
+    ConfigNode root = parseOk("# header comment\n"
+                              "[row]\n"
+                              "base_servers = 40  # trailing\n"
+                              "\n"
+                              "added_server_fraction = 30%\n");
+    const ConfigNode *servers = root.findPath("row.base_servers");
+    ASSERT_NE(servers, nullptr);
+    EXPECT_EQ(servers->kind, ConfigNode::Kind::Scalar);
+    EXPECT_EQ(servers->raw, "40");
+    EXPECT_EQ(servers->loc.line, 3);
+    EXPECT_EQ(servers->origin, "test.toml:3");
+    const ConfigNode *added =
+        root.findPath("row.added_server_fraction");
+    ASSERT_NE(added, nullptr);
+    EXPECT_EQ(added->raw, "30%");
+    EXPECT_EQ(added->loc.line, 5);
+}
+
+TEST(ConfigNode, DottedHeadersNest)
+{
+    ConfigNode root = parseOk("[row.server.gpu]\n"
+                              "tdp_watts = 400\n");
+    const ConfigNode *gpu = root.findPath("row.server.gpu");
+    ASSERT_NE(gpu, nullptr);
+    EXPECT_EQ(gpu->kind, ConfigNode::Kind::Section);
+    const ConfigNode *tdp =
+        root.findPath("row.server.gpu.tdp_watts");
+    ASSERT_NE(tdp, nullptr);
+    EXPECT_EQ(tdp->raw, "400");
+}
+
+TEST(ConfigNode, QuotedKeysStayLiteral)
+{
+    // Dots inside a quoted key do NOT nest — exactly what sweep axes
+    // need.
+    ConfigNode root = parseOk("[sweep]\n"
+                              "\"policy.preset\" = [\"polca\"]\n");
+    const ConfigNode *sweep = root.find("sweep");
+    ASSERT_NE(sweep, nullptr);
+    const ConfigNode *axis = sweep->find("policy.preset");
+    ASSERT_NE(axis, nullptr);
+    EXPECT_EQ(axis->kind, ConfigNode::Kind::List);
+    ASSERT_EQ(axis->items.size(), 1u);
+    EXPECT_EQ(axis->items[0].raw, "\"polca\"");
+}
+
+TEST(ConfigNode, QuotedStringKeepsRawAndHashes)
+{
+    ConfigNode root = parseOk("[model]\n"
+                              "name = \"a # not-a-comment\"\n");
+    const ConfigNode *name = root.findPath("model.name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->raw, "\"a # not-a-comment\"");
+}
+
+TEST(ConfigNode, ListsAndRanges)
+{
+    ConfigNode root = parseOk("[sweep]\n"
+                              "a = [1, 2, 3]\n"
+                              "b = [4..7]\n"
+                              "c = [1, 5..7]\n"
+                              "d = []\n");
+    const ConfigNode *sweep = root.find("sweep");
+    ASSERT_NE(sweep, nullptr);
+    ASSERT_EQ(sweep->find("a")->items.size(), 3u);
+    const ConfigNode *b = sweep->find("b");
+    ASSERT_EQ(b->items.size(), 4u);
+    EXPECT_EQ(b->items.front().raw, "4");
+    EXPECT_EQ(b->items.back().raw, "7");
+    const ConfigNode *c = sweep->find("c");
+    ASSERT_EQ(c->items.size(), 4u);
+    EXPECT_EQ(c->items[0].raw, "1");
+    EXPECT_EQ(c->items[1].raw, "5");
+    EXPECT_EQ(c->items[3].raw, "7");
+    EXPECT_TRUE(sweep->find("d")->items.empty());
+}
+
+TEST(ConfigNode, ArrayOfTables)
+{
+    ConfigNode root = parseOk("[[policy.rules]]\n"
+                              "name = \"t1\"\n"
+                              "[[policy.rules]]\n"
+                              "name = \"t2\"\n");
+    const ConfigNode *rules = root.findPath("policy.rules");
+    ASSERT_NE(rules, nullptr);
+    EXPECT_EQ(rules->kind, ConfigNode::Kind::List);
+    ASSERT_EQ(rules->items.size(), 2u);
+    EXPECT_EQ(rules->items[0].kind, ConfigNode::Kind::Section);
+    EXPECT_EQ(rules->items[0].find("name")->raw, "\"t1\"");
+    EXPECT_EQ(rules->items[1].find("name")->raw, "\"t2\"");
+}
+
+TEST(ConfigNode, DuplicateKeyReportsBothLines)
+{
+    std::string err = parseError("[row]\n"
+                                 "base_servers = 40\n"
+                                 "base_servers = 41\n");
+    EXPECT_NE(err.find("test.toml:3"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate key 'base_servers'"),
+              std::string::npos) << err;
+    EXPECT_NE(err.find("first defined at test.toml:2"),
+              std::string::npos) << err;
+}
+
+TEST(ConfigNode, DuplicateSectionError)
+{
+    std::string err = parseError("[row]\n"
+                                 "base_servers = 40\n"
+                                 "[row]\n");
+    EXPECT_NE(err.find("test.toml:3"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate section [row]"), std::string::npos)
+        << err;
+}
+
+TEST(ConfigNode, SectionValueConflict)
+{
+    std::string err = parseError("x = 1\n"
+                                 "[x]\n"
+                                 "y = 2\n");
+    EXPECT_NE(err.find("already defined as a value at test.toml:1"),
+              std::string::npos) << err;
+}
+
+TEST(ConfigNode, MalformedLineErrors)
+{
+    EXPECT_NE(parseError("just some words\n")
+                  .find("expected 'key = value'"),
+              std::string::npos);
+    EXPECT_NE(parseError("[row\n").find("malformed section header"),
+              std::string::npos);
+    EXPECT_NE(parseError("x = [1, 2\n").find("unterminated list"),
+              std::string::npos);
+    EXPECT_NE(parseError("x = \"abc\n").find("unterminated"),
+              std::string::npos);
+    EXPECT_NE(parseError("x = \n").find("missing value"),
+              std::string::npos);
+    EXPECT_NE(parseError("x = [9..2]\n").find("empty or too large"),
+              std::string::npos);
+    EXPECT_NE(parseError("x = [a..b]\n").find("bad range"),
+              std::string::npos);
+}
+
+TEST(ConfigNode, ErrorsCarryExactLines)
+{
+    Diagnostics diag;
+    parseConfigString("[row]\n"
+                      "ok = 1\n"
+                      "\n"
+                      "# comment\n"
+                      "broken line\n",
+                      "lines.toml", diag);
+    ASSERT_EQ(diag.errors().size(), 1u);
+    EXPECT_NE(diag.errors()[0].find("lines.toml:5"),
+              std::string::npos) << diag.str();
+}
+
+TEST(ConfigNode, SetPathCreatesIntermediates)
+{
+    ConfigNode root;
+    Diagnostics diag;
+    EXPECT_TRUE(root.setPath("row.server.gpu.tdp_watts",
+                             makeScalar("400", "cli"), diag));
+    ASSERT_TRUE(diag.ok()) << diag.str();
+    const ConfigNode *node =
+        root.findPath("row.server.gpu.tdp_watts");
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->raw, "400");
+    EXPECT_EQ(node->origin, "cli");
+}
+
+TEST(ConfigNode, SetPathRejectsConflicts)
+{
+    ConfigNode root = parseOk("[row]\n"
+                              "base_servers = 40\n");
+    Diagnostics diag;
+    // A scalar cannot become an intermediate section...
+    EXPECT_FALSE(root.setPath("row.base_servers.x",
+                              makeScalar("1", "cli"), diag));
+    EXPECT_FALSE(diag.ok());
+    // ...and a section cannot be overwritten by a scalar.
+    Diagnostics diag2;
+    EXPECT_FALSE(root.setPath("row", makeScalar("1", "cli"), diag2));
+    EXPECT_NE(diag2.errors().front().find("names a section"),
+              std::string::npos);
+}
+
+TEST(ConfigNode, FindPathMisses)
+{
+    ConfigNode root = parseOk("[row]\n"
+                              "base_servers = 40\n");
+    EXPECT_EQ(root.findPath("row.nope"), nullptr);
+    EXPECT_EQ(root.findPath("row.base_servers.deeper"), nullptr);
+    EXPECT_EQ(root.findPath("nope.at.all"), nullptr);
+}
+
+TEST(ConfigNode, NearestKeySuggestions)
+{
+    std::vector<std::string> keys = {"base_servers",
+                                     "added_server_fraction",
+                                     "telemetry_interval"};
+    EXPECT_EQ(nearestKey("based_servers", keys), "base_servers");
+    EXPECT_EQ(nearestKey("base_servers", keys), "base_servers");
+    EXPECT_EQ(nearestKey("zzzzz", keys), "");
+}
+
+TEST(ConfigNode, SourceLocFormats)
+{
+    EXPECT_EQ((SourceLoc{}).str(), "<unknown>");
+    EXPECT_EQ((SourceLoc{"a.toml", 7}).str(), "a.toml:7");
+    // Synthetic sources (--set overrides) have a file but no line.
+    EXPECT_EQ((SourceLoc{"--set a.b=c", 0}).str(), "--set a.b=c");
+}
+
+} // namespace

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <latch>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 using namespace polca::sim;
@@ -89,4 +94,105 @@ TEST(Simulation, SeededRngIsDeterministic)
     Simulation a(123), b(123);
     for (int i = 0; i < 100; ++i)
         EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+}
+
+namespace {
+
+/** Thread-safe warn()/inform() capture; restores the sink on exit. */
+class ConcurrentSinkCapture
+{
+  public:
+    ConcurrentSinkCapture()
+    {
+        setLogSink(
+            [this](const char *, const std::string &line) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                lines_.push_back(line);
+            });
+    }
+    ~ConcurrentSinkCapture() { setLogSink(nullptr); }
+
+    std::vector<std::string>
+    lines()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return lines_;
+    }
+
+    /** The captured line containing @p tag ("" when absent). */
+    std::string
+    lineWith(const std::string &tag)
+    {
+        for (const std::string &line : lines()) {
+            if (line.find(tag) != std::string::npos)
+                return line;
+        }
+        return "";
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<std::string> lines_;
+};
+
+} // namespace
+
+TEST(Simulation, LogTimePrefixIsPerThread)
+{
+    // Two threads each run their own simulation to a different time
+    // and log while BOTH simulations are alive.  The "current
+    // simulation" stack is thread_local, so each thread's log lines
+    // must carry its own simulated time, not the other thread's.
+    ConcurrentSinkCapture capture;
+    QuietScope loud(false);
+    std::latch bothAlive(2), bothLogged(2);
+
+    auto worker = [&](double seconds, const std::string &tag) {
+        Simulation sim;
+        sim.runFor(secondsToTicks(seconds));
+        bothAlive.arrive_and_wait();
+        warn("mark ", tag);
+        bothLogged.arrive_and_wait();
+    };
+    std::thread a(worker, 2.0, "alpha");
+    std::thread b(worker, 5.0, "beta");
+    a.join();
+    b.join();
+
+    std::string alpha = capture.lineWith("mark alpha");
+    std::string beta = capture.lineWith("mark beta");
+    ASSERT_FALSE(alpha.empty());
+    ASSERT_FALSE(beta.empty());
+    EXPECT_NE(alpha.find("[t=2.000000s]"), std::string::npos)
+        << alpha;
+    EXPECT_NE(beta.find("[t=5.000000s]"), std::string::npos) << beta;
+
+    // All simulations are gone: the time source is uninstalled and
+    // new messages are unprefixed.
+    warn("mark after");
+    std::string after = capture.lineWith("mark after");
+    ASSERT_FALSE(after.empty());
+    EXPECT_EQ(after.find("[t="), std::string::npos) << after;
+}
+
+TEST(Simulation, InnermostSimulationPrefixesOnOneThread)
+{
+    // Nested simulations on one thread: the innermost live one wins,
+    // and destroying it hands the prefix back to the outer one.
+    ConcurrentSinkCapture capture;
+    QuietScope loud(false);
+
+    Simulation outer;
+    outer.runFor(secondsToTicks(10));
+    {
+        Simulation inner;
+        inner.runFor(secondsToTicks(3));
+        warn("mark inner");
+    }
+    warn("mark outer");
+
+    EXPECT_NE(capture.lineWith("mark inner").find("[t=3.000000s]"),
+              std::string::npos);
+    EXPECT_NE(capture.lineWith("mark outer").find("[t=10.000000s]"),
+              std::string::npos);
 }

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SweepRunner tests: artifact-stem sanitization, per-point metrics
+ * CSVs plus the summary CSV, baseline normalization, and the
+ * cross-point summary table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/sweep_runner.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace polca;
+
+core::ExperimentConfig
+tinyConfig(std::uint64_t seed)
+{
+    core::ExperimentConfig config;
+    config.row.baseServers = 2;
+    config.duration = sim::secondsToTicks(900);
+    config.seed = seed;
+    return config;
+}
+
+TEST(SweepRunner, ArtifactStemSanitizes)
+{
+    EXPECT_EQ(core::SweepRunner::artifactStem(
+                  "seed=1,policy.preset=polca", 0),
+              "seed-1_policy.preset-polca");
+    EXPECT_EQ(core::SweepRunner::artifactStem("", 3), "point-3");
+    EXPECT_EQ(core::SweepRunner::artifactStem("a b/c", 0), "a_b_c");
+}
+
+TEST(SweepRunner, RunsEveryPointAndWritesArtifacts)
+{
+    sim::QuietScope quiet(true);
+    const std::string dir = "sweep_runner_test_artifacts";
+    std::filesystem::remove_all(dir);
+
+    std::vector<core::SweepPoint> points;
+    points.push_back({"seed=1", tinyConfig(1)});
+    points.push_back({"seed=2", tinyConfig(2)});
+
+    core::SweepOptions options;
+    options.artifactDir = dir;
+    options.runBaseline = false;
+    options.echoProgress = false;
+    core::SweepRunner runner(points, options);
+    const std::vector<core::SweepPointResult> &results = runner.run();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].label, "seed=1");
+    EXPECT_EQ(results[1].label, "seed=2");
+    for (const core::SweepPointResult &r : results) {
+        ASSERT_FALSE(r.artifactPath.empty());
+        EXPECT_TRUE(std::filesystem::exists(r.artifactPath))
+            << r.artifactPath;
+        // The metrics CSV has a header plus at least one metric row.
+        std::ifstream in(r.artifactPath);
+        std::string line;
+        EXPECT_TRUE(std::getline(in, line));
+        EXPECT_TRUE(std::getline(in, line)) << r.artifactPath;
+        // Both points actually simulated: work was completed.
+        EXPECT_GT(r.result.lowCompletions + r.result.highCompletions,
+                  0u);
+    }
+    EXPECT_NE(results[0].artifactPath, results[1].artifactPath);
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / "summary.csv"));
+
+    // summary.csv: header + one line per point.
+    std::ifstream summary(std::filesystem::path(dir) /
+                          "summary.csv");
+    int lines = 0;
+    std::string line;
+    while (std::getline(summary, line))
+        ++lines;
+    EXPECT_EQ(lines, 3);
+
+    analysis::Table table = runner.summaryTable();
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.at(0, 0), "seed=1");
+    EXPECT_EQ(table.at(1, 0), "seed=2");
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunner, NoArtifactDirWritesNothing)
+{
+    sim::QuietScope quiet(true);
+    std::vector<core::SweepPoint> points;
+    points.push_back({"", tinyConfig(1)});
+    core::SweepRunner runner(points, core::SweepOptions{
+        /*artifactDir=*/"", /*runBaseline=*/false,
+        /*echoProgress=*/false});
+    const std::vector<core::SweepPointResult> &results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].artifactPath.empty());
+}
+
+TEST(SweepRunner, BaselineNormalization)
+{
+    sim::QuietScope quiet(true);
+    std::vector<core::SweepPoint> points;
+    points.push_back({"seed=1", tinyConfig(1)});
+    core::SweepOptions options;
+    options.runBaseline = true;
+    options.echoProgress = false;
+    core::SweepRunner runner(points, options);
+    const std::vector<core::SweepPointResult> &results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    const core::SweepPointResult &r = results[0];
+    EXPECT_GT(r.baseline.lowCompletions + r.baseline.highCompletions,
+              0u);
+    // Normalized latencies are ratios against the baseline run.
+    EXPECT_GT(r.lowNorm.p99, 0.0);
+    EXPECT_GT(r.highNorm.p99, 0.0);
+}
+
+} // namespace

@@ -9,32 +9,48 @@
  *   polcactl trace stats FILE
  *   polcactl trace regenerate FILE [--bin SECONDS] [--seed S] \
  *                             [--out FILE]
- *   polcactl run [--added F] [--days N] [--seed S] \
- *                [--policy NAME] [--power-scale F] [--workload FILE] \
- *                [--servers N] [--failures P] [--dropout P] \
- *                [--scenario NAME] [--watchdog 0|1] \
- *                [--trace FILE] [--metrics FILE] \
- *                [--trace-categories LIST]
+ *   polcactl run [--scenario-file FILE] [--set path=value]... \
+ *                [--out-dir DIR] [legacy flags]
+ *   polcactl config check FILE...
+ *   polcactl config dump [--scenario-file FILE] [--set path=value]... \
+ *                        [--point N]
  *   polcactl scenarios
+ *
+ * `run` resolves its configuration through the scenario layer
+ * (config/scenario.hh): struct defaults < scenario file < `--set`
+ * dotted-path overrides < sweep axis values.  The legacy flags
+ * (--days, --seed, --policy, --servers, --added, --power-scale,
+ * --failures, --dropout, --scenario, --watchdog) are sugar for the
+ * equivalent --set paths.  A scenario file with a [sweep] section
+ * expands into one run per point, executed back-to-back with one
+ * metrics CSV artifact per point plus a summary table.
+ *
+ * `config dump` prints the fully-resolved effective configuration
+ * with per-value provenance comments; the output reparses to the
+ * identical resolved config.  `config check` validates scenario
+ * files without running anything.
  *
  * `run --trace` exports the control-plane trace as Chrome
  * trace_event JSON (chrome://tracing / Perfetto); `--metrics` dumps
  * the metrics registry (gem5 stats style, or CSV when the file name
  * ends in .csv).  Flags accept both `--flag VALUE` and
- * `--flag=VALUE`.
+ * `--flag=VALUE`; unknown flags are rejected with a nearest-match
+ * suggestion.
  */
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hh"
+#include "config/scenario.hh"
 #include "core/oversub_experiment.hh"
+#include "core/sweep_runner.hh"
 #include "core/workload_aware.hh"
 #include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
@@ -47,11 +63,17 @@ using namespace polca;
 
 namespace {
 
-/** Tiny --flag VALUE parser over argv tail. */
+/**
+ * --flag VALUE parser over an argv tail.  Every flag must be in the
+ * command's known set — a typo is fatal with a nearest-match
+ * suggestion.  Repeated flags accumulate (needed for --set).
+ */
 class Args
 {
   public:
-    Args(int argc, char **argv, int start)
+    Args(int argc, char **argv, int start,
+         std::vector<std::string> known)
+        : known_(std::move(known))
     {
         for (int i = start; i < argc; ++i) {
             std::string arg = argv[i];
@@ -59,31 +81,74 @@ class Args
                 positional_.push_back(arg);
                 continue;
             }
+            std::string key, value;
             std::string::size_type eq = arg.find('=');
             if (eq != std::string::npos) {
-                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+                key = arg.substr(2, eq - 2);
+                value = arg.substr(eq + 1);
             } else if (i + 1 < argc &&
                        std::string(argv[i + 1]).rfind("--", 0) != 0) {
-                values_[arg.substr(2)] = argv[++i];
+                key = arg.substr(2);
+                value = argv[++i];
             } else {
-                values_[arg.substr(2)] = "1";
+                key = arg.substr(2);
+                value = "1";
             }
+            checkKnown(key);
+            values_.emplace_back(std::move(key), std::move(value));
         }
     }
 
-    double
-    number(const std::string &key, double fallback) const
+    bool
+    has(const std::string &key) const
     {
-        auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::atof(it->second.c_str());
+        for (const auto &[k, v] : values_) {
+            if (k == key)
+                return true;
+        }
+        return false;
     }
 
+    /** Last value of @p key (later flags win), or @p fallback. */
     std::string
     text(const std::string &key, const std::string &fallback) const
     {
-        auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
+        const std::string *found = nullptr;
+        for (const auto &[k, v] : values_) {
+            if (k == key)
+                found = &v;
+        }
+        return found ? *found : fallback;
+    }
+
+    /** Strict numeric flag: malformed values are fatal, naming the
+     *  flag and the offending value. */
+    double
+    number(const std::string &key, double fallback) const
+    {
+        std::string raw = text(key, "");
+        if (raw.empty() && !has(key))
+            return fallback;
+        double value = 0.0;
+        const char *begin = raw.data();
+        const char *end = begin + raw.size();
+        auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc() || ptr != end || raw.empty()) {
+            sim::fatal("--", key, ": malformed number '", raw, "'");
+        }
+        return value;
+    }
+
+    /** All values of a repeatable flag, in order. */
+    std::vector<std::string>
+    list(const std::string &key) const
+    {
+        std::vector<std::string> out;
+        for (const auto &[k, v] : values_) {
+            if (k == key)
+                out.push_back(v);
+        }
+        return out;
     }
 
     const std::vector<std::string> &
@@ -93,7 +158,23 @@ class Args
     }
 
   private:
-    std::map<std::string, std::string> values_;
+    void
+    checkKnown(const std::string &key) const
+    {
+        for (const std::string &k : known_) {
+            if (k == key)
+                return;
+        }
+        std::string near = config::nearestKey(key, known_);
+        if (near.empty()) {
+            sim::fatal("unknown flag '--", key, "'");
+        }
+        sim::fatal("unknown flag '--", key, "' (did you mean '--",
+                   near, "'?)");
+    }
+
+    std::vector<std::string> known_;
+    std::vector<std::pair<std::string, std::string>> values_;
     std::vector<std::string> positional_;
 };
 
@@ -109,7 +190,9 @@ usage()
         "  polcactl trace stats FILE\n"
         "  polcactl trace regenerate FILE [--bin SECONDS] [--seed S] "
         "[--out FILE]\n"
-        "  polcactl run [--added F] [--days N] [--seed S] "
+        "  polcactl run [--scenario-file FILE] [--set path=value]... "
+        "[--out-dir DIR]\n"
+        "               [--added F] [--days N] [--seed S] "
         "[--policy NAME]\n"
         "               [--power-scale F] [--servers N] "
         "[--failures P] [--workload FILE]\n"
@@ -117,8 +200,18 @@ usage()
         "[--watchdog 0|1]\n"
         "               [--trace FILE] [--metrics FILE] "
         "[--trace-categories LIST]\n"
+        "  polcactl config check FILE...\n"
+        "  polcactl config dump [--scenario-file FILE] "
+        "[--set path=value]... [--point N]\n"
         "  polcactl scenarios\n"
         "\n"
+        "  run resolves defaults < scenario file < --set overrides "
+        "< sweep values;\n"
+        "  legacy flags are sugar for --set paths "
+        "(--days 2 == --set experiment.duration=2d).\n"
+        "  A [sweep] section runs every point and writes one metrics "
+        "CSV per point\n"
+        "  into --out-dir plus a summary table.\n"
         "  run --trace exports Chrome trace_event JSON "
         "(chrome://tracing);\n"
         "  --metrics dumps the metrics registry (.csv for CSV);\n"
@@ -307,23 +400,74 @@ cmdScenarios()
     return 0;
 }
 
-int
-cmdRun(const Args &args)
+/** Known flags of `run` (and the subset `config dump` reuses). */
+std::vector<std::string>
+runFlags()
 {
-    core::ExperimentConfig config;
-    config.row.baseServers =
-        static_cast<int>(args.number("servers", 40));
-    config.row.addedServerFraction = args.number("added", 0.30);
-    config.duration = sim::secondsToTicks(
-        args.number("days", 1.0) * 24 * 3600.0);
-    config.seed = static_cast<std::uint64_t>(args.number("seed", 42));
-    config.policy = policyByName(args.text("policy", "polca"));
-    config.powerScaleFactor = args.number("power-scale", 1.0);
-    config.manager.smbpbiFailureProbability =
-        args.number("failures", 0.0);
-    config.row.telemetryDropoutProbability =
-        args.number("dropout", 0.0);
-    config.manager.watchdogEnabled = args.number("watchdog", 1) != 0;
+    return {"scenario-file", "set", "out-dir", "added", "days",
+            "seed", "policy", "power-scale", "servers", "failures",
+            "workload", "dropout", "scenario", "watchdog", "trace",
+            "metrics", "trace-categories", "point"};
+}
+
+/**
+ * Resolve the run/dump configuration set: scenario file (or empty
+ * text), legacy-flag sugar, then explicit --set overrides, expanded
+ * over sweep axes.  Legacy flags become --set values *before* the
+ * explicit ones so `--set` always wins.
+ */
+config::ScenarioSet
+resolveScenario(const Args &args, config::Diagnostics &diag)
+{
+    std::vector<std::string> overrides;
+    bool haveFile = args.has("scenario-file");
+
+    auto legacy = [&](const char *flag, const char *path) {
+        if (args.has(flag))
+            overrides.push_back(std::string(path) + "=" +
+                                args.text(flag, ""));
+    };
+    // Pure-CLI runs keep the historical quickstart defaults (+30 %
+    // servers, 1 day); a scenario file states its own.
+    if (!haveFile) {
+        if (!args.has("added"))
+            overrides.push_back("row.added_server_fraction=0.30");
+        if (!args.has("days"))
+            overrides.push_back("experiment.duration=1d");
+    }
+    legacy("servers", "row.base_servers");
+    legacy("added", "row.added_server_fraction");
+    if (args.has("days")) {
+        overrides.push_back(
+            "experiment.duration=" +
+            config::formatDouble(args.number("days", 1.0) * 86400.0));
+    }
+    legacy("seed", "experiment.seed");
+    legacy("policy", "policy.preset");
+    legacy("power-scale", "experiment.power_scale_factor");
+    legacy("failures", "manager.smbpbi_failure_probability");
+    legacy("dropout", "row.telemetry_dropout_probability");
+    legacy("scenario", "faults.scenario");
+    if (args.has("watchdog")) {
+        overrides.push_back(
+            std::string("manager.watchdog_enabled=") +
+            (args.number("watchdog", 1) != 0 ? "true" : "false"));
+    }
+    for (const std::string &set : args.list("set"))
+        overrides.push_back(set);
+
+    if (haveFile) {
+        return config::loadScenarioFile(
+            args.text("scenario-file", ""), overrides, diag);
+    }
+    return config::loadScenarioString("", "cli", overrides, diag);
+}
+
+/** Detailed single-run report (the classic `polcactl run` output). */
+int
+runSinglePoint(const Args &args, config::ResolvedScenario &point)
+{
+    core::ExperimentConfig &config = point.config;
 
     workload::Trace external;
     std::string workloadPath = args.text("workload", "");
@@ -345,20 +489,12 @@ cmdRun(const Args &args)
         config.obs = &observability;
     }
 
-    std::string scenario = args.text("scenario", "none");
-    config.faultPlan = faults::scenarioByName(
-        scenario, config.duration,
-        static_cast<int>(
-            config.row.baseServers *
-            (1.0 + config.row.addedServerFraction)));
-
     std::printf("Running %s on %d+%.0f%% servers for %.2f days "
-                "(seed %llu, scenario %s, watchdog %s)...\n",
+                "(seed %llu, watchdog %s)...\n",
                 config.policy.name.c_str(), config.row.baseServers,
                 config.row.addedServerFraction * 100.0,
                 sim::ticksToSeconds(config.duration) / 86400.0,
                 static_cast<unsigned long long>(config.seed),
-                scenario.c_str(),
                 config.manager.watchdogEnabled ? "on" : "off");
 
     core::ExperimentResult result = runOversubExperiment(config);
@@ -459,6 +595,104 @@ cmdRun(const Args &args)
     return ok ? 0 : 1;
 }
 
+int
+cmdRun(const Args &args)
+{
+    config::Diagnostics diag;
+    config::ScenarioSet set = resolveScenario(args, diag);
+    if (!diag.ok()) {
+        std::fprintf(stderr, "%s\n", diag.str().c_str());
+        return 2;
+    }
+    if (set.points.empty()) {
+        std::fprintf(stderr, "scenario resolved to no points\n");
+        return 2;
+    }
+
+    if (!set.isSweep())
+        return runSinglePoint(args, set.points.front());
+
+    if (args.has("trace") || args.has("metrics") ||
+        args.has("workload")) {
+        sim::fatal("--trace/--metrics/--workload do not apply to "
+                   "sweep runs; use --out-dir for per-point "
+                   "artifacts");
+    }
+
+    std::vector<core::SweepPoint> points;
+    points.reserve(set.points.size());
+    for (config::ResolvedScenario &point : set.points)
+        points.push_back({point.label, point.config});
+
+    core::SweepOptions options;
+    options.artifactDir =
+        args.text("out-dir", "sweep-" + set.name);
+    core::SweepRunner runner(std::move(points), std::move(options));
+    const std::vector<core::SweepPointResult> &results = runner.run();
+
+    std::printf("\nSweep '%s': %zu points\n", set.name.c_str(),
+                results.size());
+    runner.summaryTable().print(std::cout);
+    std::printf("\nArtifacts in %s (one metrics CSV per point + "
+                "summary.csv)\n",
+                args.text("out-dir", "sweep-" + set.name).c_str());
+    return 0;
+}
+
+int
+cmdConfigCheck(const Args &args)
+{
+    if (args.positional().empty()) {
+        std::fprintf(stderr,
+                     "config check: no scenario files given\n");
+        return 2;
+    }
+    int failures = 0;
+    for (const std::string &path : args.positional()) {
+        config::Diagnostics diag;
+        config::ScenarioSet set =
+            config::loadScenarioFile(path, {}, diag);
+        if (!diag.ok()) {
+            std::fprintf(stderr, "%s: FAILED\n%s\n", path.c_str(),
+                         diag.str().c_str());
+            ++failures;
+            continue;
+        }
+        std::printf("%s: OK (%zu point%s)\n", path.c_str(),
+                    set.points.size(),
+                    set.points.size() == 1 ? "" : "s");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdConfigDump(const Args &args)
+{
+    config::Diagnostics diag;
+    config::ScenarioSet set = resolveScenario(args, diag);
+    if (!diag.ok()) {
+        std::fprintf(stderr, "%s\n", diag.str().c_str());
+        return 2;
+    }
+    if (set.points.empty()) {
+        std::fprintf(stderr, "scenario resolved to no points\n");
+        return 2;
+    }
+    std::size_t index =
+        static_cast<std::size_t>(args.number("point", 0));
+    if (index >= set.points.size()) {
+        sim::fatal("--point ", index, " out of range (scenario has ",
+                   set.points.size(), " points)");
+    }
+    const config::ResolvedScenario &point = set.points[index];
+    if (set.isSweep()) {
+        std::printf("# sweep point %zu/%zu: %s\n", index + 1,
+                    set.points.size(), point.label.c_str());
+    }
+    config::dumpResolved(point.config, point.tree, std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -472,16 +706,28 @@ main(int argc, char **argv)
     if (command == "models")
         return cmdModels();
     if (command == "policy")
-        return cmdPolicy(Args(argc, argv, 2));
+        return cmdPolicy(Args(argc, argv, 2, {}));
     if (command == "run")
-        return cmdRun(Args(argc, argv, 2));
+        return cmdRun(Args(argc, argv, 2, runFlags()));
     if (command == "scenarios")
         return cmdScenarios();
+    if (command == "config") {
+        if (argc < 3)
+            return usage();
+        std::string sub = argv[2];
+        if (sub == "check")
+            return cmdConfigCheck(Args(argc, argv, 3, {}));
+        if (sub == "dump")
+            return cmdConfigDump(Args(argc, argv, 3, runFlags()));
+        return usage();
+    }
     if (command == "trace") {
         if (argc < 3)
             return usage();
         std::string sub = argv[2];
-        Args args(argc, argv, 3);
+        std::vector<std::string> traceFlags = {"days", "servers",
+                                               "seed", "out", "bin"};
+        Args args(argc, argv, 3, traceFlags);
         if (sub == "generate")
             return cmdTraceGenerate(args);
         if (sub == "stats")
