@@ -34,6 +34,23 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
 
+/** Fire-and-forget fast path: no Handle, no control block. */
+void
+BM_EventQueuePostRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        queue.reserve(static_cast<std::size_t>(state.range(0)));
+        int fired = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            queue.post((i * 7919) % 100000, [&] { ++fired; });
+        queue.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePostRun)->Arg(1000)->Arg(100000);
+
 void
 BM_GpuPowerEvaluation(benchmark::State &state)
 {

@@ -79,7 +79,7 @@ Dispatcher::injectTrace(const workload::Trace &trace)
         return;
     const workload::Request &first = trace.requests().front();
     sim::Tick when = std::max(first.arrival, sim_.now());
-    sim_.queue().schedule(
+    sim_.queue().post(
         when, [this, &trace] { arrive(trace, 0); }, "arrival");
 }
 
@@ -102,7 +102,7 @@ Dispatcher::arrive(const workload::Trace &trace, std::size_t index)
     if (next < trace.size()) {
         sim::Tick when = std::max(trace.requests()[next].arrival,
                                   sim_.now());
-        sim_.queue().schedule(
+        sim_.queue().post(
             when, [this, &trace, next] { arrive(trace, next); },
             "arrival");
     }

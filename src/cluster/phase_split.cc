@@ -26,7 +26,7 @@ PhaseSplitCluster::PhaseSplitCluster(sim::Simulation &sim,
                 double ms = config_.transferMsPerKtoken *
                     c.request.inputTokens / 1000.0;
                 workload::Request tokenStage = c.request;
-                sim_.queue().scheduleAfter(
+                sim_.queue().postAfter(
                     sim::msToTicks(ms),
                     [this, tokenStage] { routeToken(tokenStage); },
                     "kv-transfer");
@@ -56,7 +56,7 @@ PhaseSplitCluster::injectTrace(const workload::Trace &trace)
         return;
     sim::Tick when =
         std::max(trace.requests().front().arrival, sim_.now());
-    sim_.queue().schedule(
+    sim_.queue().post(
         when, [this, &trace] { arrive(trace, 0); }, "arrival");
 }
 
@@ -69,7 +69,7 @@ PhaseSplitCluster::arrive(const workload::Trace &trace,
     if (next < trace.size()) {
         sim::Tick when = std::max(trace.requests()[next].arrival,
                                   sim_.now());
-        sim_.queue().schedule(
+        sim_.queue().post(
             when, [this, &trace, next] { arrive(trace, next); },
             "arrival");
     }

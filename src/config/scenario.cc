@@ -1,9 +1,11 @@
 #include "config/scenario.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <type_traits>
 
+#include "core/thread_pool.hh"
 #include "core/workload_aware.hh"
 
 namespace polca::config {
@@ -551,8 +553,34 @@ struct SweepAxis
     std::vector<ConfigNode> values;
 };
 
+/** Parse the reserved [sweep] `jobs` key: a non-negative integer
+ *  scalar (0 = one worker per hardware thread). */
+void
+parseSweepJobs(const ConfigNode &node, int &jobs, Diagnostics &diag)
+{
+    if (node.kind != ConfigNode::Kind::Scalar) {
+        diag.error(node.loc,
+                   "[sweep] jobs must be a single integer "
+                   "(it selects parallelism, it is not an axis)");
+        return;
+    }
+    const std::string &raw = node.raw;
+    int value = 0;
+    auto [ptr, ec] = std::from_chars(raw.data(),
+                                     raw.data() + raw.size(), value);
+    if (ec != std::errc() || ptr != raw.data() + raw.size() ||
+        value < 0) {
+        diag.error(node.loc, "[sweep] jobs: expected a non-negative "
+                   "integer, got '" + raw + "'");
+        return;
+    }
+    jobs = value == 0
+        ? static_cast<int>(core::ThreadPool::defaultWorkerCount())
+        : value;
+}
+
 std::vector<SweepAxis>
-extractSweepAxes(ConfigNode &root, Diagnostics &diag)
+extractSweepAxes(ConfigNode &root, int &jobs, Diagnostics &diag)
 {
     std::vector<SweepAxis> axes;
     ConfigNode *sweep = root.find("sweep");
@@ -563,6 +591,10 @@ extractSweepAxes(ConfigNode &root, Diagnostics &diag)
         return axes;
     }
     for (auto &[path, node] : sweep->entries) {
+        if (path == "jobs") {
+            parseSweepJobs(node, jobs, diag);
+            continue;
+        }
         SweepAxis axis;
         axis.path = path;
         if (node.kind == ConfigNode::Kind::Scalar) {
@@ -628,7 +660,8 @@ expandAndBind(ConfigNode root, const std::string &name,
     if (!diag.ok())
         return set;
 
-    std::vector<SweepAxis> axes = extractSweepAxes(root, diag);
+    std::vector<SweepAxis> axes =
+        extractSweepAxes(root, set.jobs, diag);
     if (!diag.ok())
         return set;
 

@@ -14,7 +14,9 @@
  * of values (`seed = [1..8]`, `"policy.preset" = ["polca", "1tlp"]`);
  * the file expands into the cartesian product of its axes, one
  * resolved ExperimentConfig per point, which core::SweepRunner
- * executes back-to-back.
+ * executes.  The reserved key `jobs` is not an axis: it sets how many
+ * worker threads execute the points (`jobs = 4`; 0 = one per
+ * hardware thread), overridable by the CLI's --jobs.
  *
  * dumpResolved() writes the fully-resolved effective configuration —
  * every bound field of every struct, with per-value provenance
@@ -54,6 +56,15 @@ struct ScenarioSet
 {
     std::string name;  ///< file stem, for artifact naming
     std::vector<ResolvedScenario> points;
+
+    /**
+     * Requested sweep parallelism (the reserved `jobs` key of the
+     * [sweep] section, which is not an axis): worker threads for
+     * core::SweepRunner.  1 = sequential; `jobs = 0` in the file
+     * means "one per hardware thread" and is resolved at load time.
+     * The CLI's --jobs flag overrides this.
+     */
+    int jobs = 1;
 
     bool isSweep() const { return points.size() > 1; }
 };

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <utility>
 
-#include "obs/observability.hh"
+#include "core/thread_pool.hh"
 #include "sim/logging.hh"
 
 namespace polca::core {
@@ -36,83 +38,167 @@ SweepRunner::artifactStem(const std::string &label, std::size_t index)
     return stem;
 }
 
+obs::Observability *
+SweepRunner::runManaged(std::size_t index,
+                        obs::Observability *fallbackObs)
+{
+    const SweepPoint &point = points_[index];
+    SweepPointResult &out = results_[index];
+    out.label = point.label;
+
+    ExperimentConfig config = point.config;
+    if (!options_.artifactDir.empty() && !config.obs)
+        config.obs = fallbackObs;
+    out.result = runOversubExperiment(config);
+    return config.obs;
+}
+
+void
+SweepRunner::runBaseline(std::size_t index)
+{
+    ExperimentConfig base = unthrottledBaseline(points_[index].config);
+    base.obs = nullptr;
+    results_[index].baseline = runOversubExperiment(base);
+}
+
+void
+SweepRunner::finishPoint(std::size_t index, obs::Observability *sink)
+{
+    SweepPointResult &out = results_[index];
+    if (options_.runBaseline) {
+        out.lowNorm = normalizeLatency(out.result.low,
+                                       out.baseline.low);
+        out.highNorm = normalizeLatency(out.result.high,
+                                        out.baseline.high);
+    }
+    if (options_.artifactDir.empty())
+        return;
+
+    std::string stem = artifactStem(out.label, index);
+    std::filesystem::path path =
+        std::filesystem::path(options_.artifactDir) /
+        (stem + ".metrics.csv");
+    std::ofstream os(path);
+    if (!os) {
+        sim::fatal("SweepRunner: cannot write artifact ",
+                   path.string());
+    }
+    sink->metrics.dumpCsv(os);
+    out.artifactPath = path.string();
+}
+
+void
+SweepRunner::runSequential()
+{
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (options_.echoProgress) {
+            std::printf("[sweep %zu/%zu] %s\n", i + 1,
+                        points_.size(),
+                        points_[i].label.empty()
+                            ? "(single point)"
+                            : points_[i].label.c_str());
+            std::fflush(stdout);
+        }
+        obs::Observability obs;
+        obs::Observability *sink = runManaged(i, &obs);
+        if (options_.runBaseline)
+            runBaseline(i);
+        finishPoint(i, sink);
+    }
+}
+
+void
+SweepRunner::runParallel(int jobs)
+{
+    std::size_t n = points_.size();
+    if (options_.echoProgress) {
+        std::printf("[sweep] running %zu point%s on %d workers\n", n,
+                    n == 1 ? "" : "s", jobs);
+        std::fflush(stdout);
+    }
+
+    // One sink per point: tasks must not share a metrics registry.
+    std::vector<std::unique_ptr<obs::Observability>> sinks(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sinks[i] = std::make_unique<obs::Observability>();
+
+    std::vector<std::future<obs::Observability *>> managed(n);
+    std::vector<std::future<void>> baselines(n);
+    {
+        ThreadPool pool(static_cast<std::size_t>(jobs));
+        for (std::size_t i = 0; i < n; ++i) {
+            managed[i] = pool.submit([this, i, &sinks] {
+                return runManaged(i, sinks[i].get());
+            });
+            if (options_.runBaseline) {
+                baselines[i] = pool.submit([this, i] {
+                    runBaseline(i);
+                });
+            }
+        }
+
+        // Stitch in point order on this thread: artifacts and
+        // progress come out in the same order as a jobs=1 run.
+        for (std::size_t i = 0; i < n; ++i) {
+            obs::Observability *sink = managed[i].get();
+            if (options_.runBaseline)
+                baselines[i].get();
+            finishPoint(i, sink);
+            if (options_.echoProgress) {
+                std::printf("[sweep %zu/%zu] %s: done\n", i + 1, n,
+                            points_[i].label.empty()
+                                ? "(single point)"
+                                : points_[i].label.c_str());
+                std::fflush(stdout);
+            }
+        }
+    }
+}
+
+void
+SweepRunner::writeSummary() const
+{
+    if (options_.artifactDir.empty())
+        return;
+    std::filesystem::path path =
+        std::filesystem::path(options_.artifactDir) / "summary.csv";
+    std::ofstream os(path);
+    if (!os)
+        return;
+    os << "label,lp_p99_s,hp_p99_s,lp_p99_norm,hp_p99_norm,"
+          "brake_events,breaker_trips,max_utilization,"
+          "energy_kwh\n";
+    for (const SweepPointResult &r : results_) {
+        os << '"' << r.label << '"' << ','
+           << r.result.low.p99 << ',' << r.result.high.p99
+           << ',' << r.lowNorm.p99 << ',' << r.highNorm.p99
+           << ',' << r.result.powerBrakeEvents << ','
+           << r.result.breakerTrips << ','
+           << r.result.maxUtilization << ','
+           << r.result.energyKwh << '\n';
+    }
+}
+
 const std::vector<SweepPointResult> &
 SweepRunner::run()
 {
     results_.clear();
-    results_.reserve(points_.size());
+    results_.resize(points_.size());
 
     if (!options_.artifactDir.empty())
         std::filesystem::create_directories(options_.artifactDir);
 
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        const SweepPoint &point = points_[i];
-        if (options_.echoProgress) {
-            std::printf("[sweep %zu/%zu] %s\n", i + 1,
-                        points_.size(),
-                        point.label.empty() ? "(single point)"
-                                            : point.label.c_str());
-            std::fflush(stdout);
-        }
-
-        SweepPointResult out;
-        out.label = point.label;
-
-        obs::Observability obs;
-        ExperimentConfig config = point.config;
-        bool wantArtifact = !options_.artifactDir.empty();
-        if (wantArtifact && !config.obs)
-            config.obs = &obs;
-
-        out.result = runOversubExperiment(config);
-
-        if (options_.runBaseline) {
-            ExperimentConfig base = unthrottledBaseline(point.config);
-            base.obs = nullptr;
-            out.baseline = runOversubExperiment(base);
-            out.lowNorm =
-                normalizeLatency(out.result.low, out.baseline.low);
-            out.highNorm =
-                normalizeLatency(out.result.high, out.baseline.high);
-        }
-
-        if (wantArtifact) {
-            std::string stem = artifactStem(point.label, i);
-            std::filesystem::path path =
-                std::filesystem::path(options_.artifactDir) /
-                (stem + ".metrics.csv");
-            std::ofstream os(path);
-            if (!os) {
-                sim::fatal("SweepRunner: cannot write artifact ",
-                           path.string());
-            }
-            config.obs->metrics.dumpCsv(os);
-            out.artifactPath = path.string();
-        }
-
-        results_.push_back(std::move(out));
+    int jobs = options_.jobs;
+    if (jobs < 1) {
+        sim::fatal("SweepRunner: jobs must be >= 1 (got ", jobs,
+                   ")");
     }
+    if (jobs == 1)
+        runSequential();
+    else
+        runParallel(jobs);
 
-    if (!options_.artifactDir.empty()) {
-        std::filesystem::path path =
-            std::filesystem::path(options_.artifactDir) /
-            "summary.csv";
-        std::ofstream os(path);
-        if (os) {
-            os << "label,lp_p99_s,hp_p99_s,lp_p99_norm,hp_p99_norm,"
-                  "brake_events,breaker_trips,max_utilization,"
-                  "energy_kwh\n";
-            for (const SweepPointResult &r : results_) {
-                os << '"' << r.label << '"' << ','
-                   << r.result.low.p99 << ',' << r.result.high.p99
-                   << ',' << r.lowNorm.p99 << ',' << r.highNorm.p99
-                   << ',' << r.result.powerBrakeEvents << ','
-                   << r.result.breakerTrips << ','
-                   << r.result.maxUtilization << ','
-                   << r.result.energyKwh << '\n';
-            }
-        }
-    }
+    writeSummary();
     return results_;
 }
 

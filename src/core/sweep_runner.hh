@@ -1,25 +1,35 @@
 /**
  * @file
- * Back-to-back execution of a list of resolved experiment
- * configurations — the execution half of the scenario layer's sweep
- * expansion (config/scenario.hh), but usable with any hand-built
- * config list.
+ * Execution of a list of resolved experiment configurations — the
+ * execution half of the scenario layer's sweep expansion
+ * (config/scenario.hh), but usable with any hand-built config list.
  *
  * Each point runs the managed experiment, optionally its unthrottled
  * baseline (for the paper's normalized-latency y-axes), and — when an
  * artifact directory is set — writes one metrics CSV per point plus a
  * combined summary CSV.  summaryTable() renders the cross-point
  * comparison the CLI prints after a sweep.
+ *
+ * With SweepOptions::jobs > 1 the points — and each point's
+ * managed/baseline pair — execute concurrently on a core::ThreadPool.
+ * Results are stitched back in point order on the calling thread, so
+ * every artifact (per-point metrics CSVs, summary.csv) and the
+ * results() vector are byte-identical to a jobs = 1 run; only
+ * wall-clock time and the interleaving of log lines differ.  Each
+ * point simulates in its own Simulation/EventQueue with its own
+ * observability sink, so tasks share no mutable state.
  */
 
 #ifndef POLCA_CORE_SWEEP_RUNNER_HH
 #define POLCA_CORE_SWEEP_RUNNER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hh"
 #include "core/oversub_experiment.hh"
+#include "obs/observability.hh"
 
 namespace polca::core {
 
@@ -45,6 +55,11 @@ struct SweepOptions
 
     /** Print a one-line progress note per point. */
     bool echoProgress = true;
+
+    /** Worker threads for point execution; 1 = run in order on the
+     *  calling thread, N > 1 = run points (and managed/baseline
+     *  pairs) concurrently with deterministic stitching. */
+    int jobs = 1;
 };
 
 /** Everything one executed sweep point produced. */
@@ -67,8 +82,8 @@ class SweepRunner
   public:
     SweepRunner(std::vector<SweepPoint> points, SweepOptions options);
 
-    /** Execute every point in order; idempotent (reruns replace the
-     *  previous results). */
+    /** Execute every point; idempotent (reruns replace the previous
+     *  results). */
     const std::vector<SweepPointResult> &run();
 
     const std::vector<SweepPointResult> &results() const
@@ -85,6 +100,24 @@ class SweepRunner
                                     std::size_t index);
 
   private:
+    /** Run point @p index's managed experiment into results_[index],
+     *  attaching @p fallbackObs when the point has no sink of its
+     *  own and artifacts are wanted.  @return the effective sink (for
+     *  the artifact dump), or null. */
+    obs::Observability *runManaged(std::size_t index,
+                                   obs::Observability *fallbackObs);
+
+    /** Run point @p index's unthrottled baseline into
+     *  results_[index].baseline. */
+    void runBaseline(std::size_t index);
+
+    /** Normalize latencies and write the per-point artifact CSV. */
+    void finishPoint(std::size_t index, obs::Observability *sink);
+
+    void runSequential();
+    void runParallel(int jobs);
+    void writeSummary() const;
+
     std::vector<SweepPoint> points_;
     SweepOptions options_;
     std::vector<SweepPointResult> results_;

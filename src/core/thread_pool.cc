@@ -1,0 +1,67 @@
+#include "core/thread_pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace polca::core {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers = std::max<std::size_t>(1, workers);
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::defaultWorkerCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            sim::panic("ThreadPool: submit after shutdown began");
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task captures any exception into the future.
+        job();
+    }
+}
+
+} // namespace polca::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size worker pool for running independent experiment tasks
+ * concurrently (parallel sweep points, managed/baseline pairs).
+ *
+ * Tasks are queued in submission order and executed by the first free
+ * worker; submit() returns a std::future so callers can stitch
+ * results back together in a deterministic order and so exceptions
+ * thrown inside a task propagate to whoever calls get().  Destruction
+ * drains the queue: every task submitted before the destructor runs
+ * is executed, then the workers join.
+ *
+ * The pool is intentionally dumb — no work stealing, no priorities —
+ * because sweep tasks are coarse (whole simulations, seconds each)
+ * and the pool's job is just to keep N cores busy.
+ */
+
+#ifndef POLCA_CORE_THREAD_POOL_HH
+#define POLCA_CORE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace polca::core {
+
+class ThreadPool
+{
+  public:
+    /** Start @p workers worker threads (0 is clamped to 1). */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains the queue (all submitted tasks run), then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Queue @p fn for execution.  The returned future yields fn's
+     * result; an exception thrown by fn is captured and rethrown from
+     * future::get().
+     */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F &>>
+    {
+        using Result = std::invoke_result_t<F &>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::move(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /** Hardware thread count, with a floor of 1 when unknown. */
+    static std::size_t defaultWorkerCount();
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace polca::core
+
+#endif // POLCA_CORE_THREAD_POOL_HH

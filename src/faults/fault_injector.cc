@@ -109,10 +109,10 @@ FaultInjector::start()
 
     for (const OobOutage &outage : plan_.oobOutages) {
         if (!channels_.empty()) {
-            sim_.queue().schedule(
+            sim_.queue().post(
                 outage.start, [this] { setOutage(true); },
                 "fault-oob-outage-start");
-            sim_.queue().schedule(
+            sim_.queue().post(
                 outage.start + outage.duration,
                 [this] { setOutage(false); },
                 "fault-oob-outage-end");
@@ -128,7 +128,7 @@ FaultInjector::start()
         }
         cluster::InferenceServer *victim =
             servers_[static_cast<std::size_t>(crash.serverIndex)];
-        sim_.queue().schedule(
+        sim_.queue().post(
             crash.at,
             [this, victim] {
                 victim->crash();
@@ -143,7 +143,7 @@ FaultInjector::start()
                 }
             },
             "fault-crash");
-        sim_.queue().schedule(
+        sim_.queue().post(
             crash.at + crash.downtime,
             [victim] { victim->restore(); }, "fault-restore");
     }

@@ -7,8 +7,33 @@
 
 namespace polca::sim {
 
-EventQueue::Handle
-EventQueue::schedule(Tick when, Callback callback, std::string name)
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != kNoSlot) {
+        std::uint32_t slot = freeHead_;
+        freeHead_ = slab_[slot].nextFree;
+        return slot;
+    }
+    if (slab_.size() >= kNoSlot)
+        panic("EventQueue: slab exhausted (", slab_.size(), " slots)");
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slab_[slot];
+    s.callback = nullptr;
+    s.control.reset();
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+std::uint32_t
+EventQueue::enqueue(Tick when, Callback &callback,
+                    const std::string &name)
 {
     if (when < now_) {
         panic("EventQueue: scheduling event '", name, "' at t=", when,
@@ -17,15 +42,28 @@ EventQueue::schedule(Tick when, Callback callback, std::string name)
     if (!callback)
         panic("EventQueue: scheduling empty callback '", name, "'");
 
-    auto record = std::make_shared<Handle::Record>();
-    record->when = when;
-    record->seq = nextSeq_++;
-    record->callback = std::move(callback);
-    record->name = std::move(name);
-    heap_.push(record);
+    std::uint32_t slot = allocSlot();
+    Slot &s = slab_[slot];
+    s.callback = std::move(callback);
+    s.seq = nextSeq_++;
+    if (namesEnabled_ && !name.empty())
+        names_.emplace(s.seq, name);
+
+    heap_.push_back({when, s.seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++liveEvents_;
     highWater_ = std::max(highWater_, liveEvents_);
-    return Handle(std::move(record));
+    return slot;
+}
+
+EventQueue::Handle
+EventQueue::schedule(Tick when, Callback callback, std::string name)
+{
+    std::uint32_t slot = enqueue(when, callback, name);
+    auto control = std::make_shared<Handle::Control>();
+    control->slot = slot;
+    slab_[slot].control = control;
+    return Handle(std::move(control));
 }
 
 EventQueue::Handle
@@ -37,20 +75,74 @@ EventQueue::scheduleAfter(Tick delay, Callback callback, std::string name)
 }
 
 void
+EventQueue::post(Tick when, Callback callback, std::string name)
+{
+    enqueue(when, callback, name);
+}
+
+void
+EventQueue::postAfter(Tick delay, Callback callback, std::string name)
+{
+    if (delay < 0)
+        panic("EventQueue: negative delay ", delay);
+    post(now_ + delay, std::move(callback), std::move(name));
+}
+
+void
 EventQueue::cancel(Handle &handle)
 {
-    if (!handle.record_ || handle.record_->done)
+    if (!handle.control_ || handle.control_->done)
         return;
-    handle.record_->done = true;
-    handle.record_->callback = nullptr;
+    handle.control_->done = true;
+    // Release the callback's resources now, but keep the slot
+    // occupied until its heap entry surfaces (see Slot).
+    Slot &s = slab_[handle.control_->slot];
+    s.callback = nullptr;
+    s.control.reset();
+    if (!names_.empty())
+        names_.erase(s.seq);
     --liveEvents_;
+}
+
+void
+EventQueue::reserve(std::size_t n)
+{
+    heap_.reserve(n);
+    slab_.reserve(n);
+}
+
+std::vector<std::string>
+EventQueue::pendingEventNames() const
+{
+    std::vector<HeapEntry> live;
+    live.reserve(liveEvents_);
+    for (const HeapEntry &entry : heap_) {
+        if (slab_[entry.slot].callback)
+            live.push_back(entry);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return Later{}(b, a);
+              });
+    std::vector<std::string> names;
+    names.reserve(live.size());
+    for (const HeapEntry &entry : live) {
+        auto it = names_.find(entry.seq);
+        names.push_back(it == names_.end() ? "(unnamed)"
+                                           : it->second);
+    }
+    return names;
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!heap_.empty() && heap_.top()->done)
-        heap_.pop();
+    while (!heap_.empty() && !slab_[heap_.front().slot].callback) {
+        std::uint32_t slot = heap_.front().slot;
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        freeSlot(slot);
+    }
 }
 
 bool
@@ -60,16 +152,25 @@ EventQueue::runOne()
     if (heap_.empty())
         return false;
 
-    RecordPtr record = heap_.top();
-    heap_.pop();
-    now_ = record->when;
-    record->done = true;
+    HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+
+    now_ = top.when;
+    Slot &s = slab_[top.slot];
+    if (s.control) {
+        s.control->done = true;
+        s.control.reset();
+    }
+    if (!names_.empty())
+        names_.erase(top.seq);
+    // Move the callback out before freeing the slot so re-entrant
+    // scheduling can recycle it (and may grow the slab) safely.
+    Callback callback = std::move(s.callback);
+    s.callback = nullptr;
+    freeSlot(top.slot);
     --liveEvents_;
     ++numProcessed_;
-
-    // Move the callback out so re-entrant scheduling cannot touch it.
-    Callback callback = std::move(record->callback);
-    record->callback = nullptr;
     callback();
     return true;
 }
@@ -80,7 +181,7 @@ EventQueue::runUntil(Tick end)
     std::uint64_t processed = 0;
     for (;;) {
         skipDead();
-        if (heap_.empty() || heap_.top()->when > end)
+        if (heap_.empty() || heap_.front().when > end)
             break;
         runOne();
         ++processed;

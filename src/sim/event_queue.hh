@@ -4,8 +4,29 @@
  *
  * A minimal, deterministic event queue: events are callbacks scheduled
  * at absolute ticks.  Ties are broken by insertion order so that a run
- * with the same seed always produces the same trajectory.  Events may
- * be cancelled through the handle returned at scheduling time.
+ * with the same seed always produces the same trajectory.
+ *
+ * Two scheduling paths share one time-ordered heap:
+ *
+ *  - schedule()/scheduleAfter() return a Handle that can cancel the
+ *    event; the handle's control block is the only per-event heap
+ *    allocation.
+ *  - post()/postAfter() are the fire-and-forget fast path: no handle,
+ *    no control block, no allocation beyond the callback itself.
+ *    Components that never cancel (arrival chains, fault triggers,
+ *    one-shot command completions) should prefer it.
+ *
+ * Internally events live in a slab with a free list; the heap itself
+ * orders small POD entries (when, seq, slot), so sift operations never
+ * chase pointers.  The optional diagnostic name is kept out of the hot
+ * record entirely: names are recorded in a side table only while
+ * setNameTracing(true) is active.
+ *
+ * Scheduling in the past (when < now()) or with a negative delay is
+ * rejected with a panic on BOTH paths — accepting such an event would
+ * silently corrupt heap order and break determinism, so it is treated
+ * as a simulator bug, never a recoverable condition.  Empty callbacks
+ * are rejected the same way.
  */
 
 #ifndef POLCA_SIM_EVENT_QUEUE_HH
@@ -14,8 +35,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -33,7 +54,8 @@ class EventQueue
     /**
      * Opaque handle to a scheduled event.  Default-constructed handles
      * are inert; cancel() on an already-fired or cancelled handle is a
-     * no-op.
+     * no-op.  Handles stay valid (inert) after their event fires and
+     * after the queue itself is destroyed.
      */
     class Handle
     {
@@ -42,25 +64,26 @@ class EventQueue
 
         /** @return true if the event has neither fired nor been
          *  cancelled. */
-        bool pending() const { return record_ && !record_->done; }
+        bool pending() const { return control_ && !control_->done; }
 
       private:
         friend class EventQueue;
 
-        struct Record
+        /** Shared between the queue's slab slot and any handles;
+         *  severed (done = true) when the event fires or is
+         *  cancelled, which also makes stale handles inert once the
+         *  slot is recycled. */
+        struct Control
         {
-            Tick when = 0;
-            std::uint64_t seq = 0;
-            bool done = false;      ///< fired or cancelled
-            Callback callback;
-            std::string name;
+            std::uint32_t slot = 0;
+            bool done = false;
         };
 
-        explicit Handle(std::shared_ptr<Record> record)
-            : record_(std::move(record))
+        explicit Handle(std::shared_ptr<Control> control)
+            : control_(std::move(control))
         {}
 
-        std::shared_ptr<Record> record_;
+        std::shared_ptr<Control> control_;
     };
 
     EventQueue() = default;
@@ -68,20 +91,55 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /**
-     * Schedule a callback at absolute tick @p when.
+     * Schedule a cancellable callback at absolute tick @p when.
      *
-     * @param when  Absolute time; must be >= now().
+     * @param when  Absolute time; must be >= now() (panics otherwise —
+     *              see the file comment on past scheduling).
      * @param callback  Invoked when simulated time reaches @p when.
-     * @param name  Optional label for diagnostics.
+     * @param name  Optional label for diagnostics; recorded only while
+     *              name tracing is enabled.
      */
     Handle schedule(Tick when, Callback callback, std::string name = {});
 
-    /** Schedule a callback @p delay ticks from now (delay >= 0). */
+    /** Schedule a cancellable callback @p delay ticks from now
+     *  (delay >= 0; negative delays panic). */
     Handle scheduleAfter(Tick delay, Callback callback,
                          std::string name = {});
 
+    /**
+     * Fire-and-forget fast path: schedule a callback at absolute tick
+     * @p when with no handle and no control-block allocation.  Same
+     * validation as schedule(): the past and empty callbacks panic.
+     */
+    void post(Tick when, Callback callback, std::string name = {});
+
+    /** Fire-and-forget @p delay ticks from now (delay >= 0). */
+    void postAfter(Tick delay, Callback callback, std::string name = {});
+
     /** Cancel a pending event; no-op if already fired or cancelled. */
     void cancel(Handle &handle);
+
+    /** Pre-size the heap and slab for @p n simultaneous live events
+     *  (optional; the queue grows on demand either way). */
+    void reserve(std::size_t n);
+
+    /**
+     * Record event names in a side table while enabled (off by
+     * default: the hot path then never touches a string).  Names of
+     * events scheduled while tracing was off are not recovered
+     * retroactively.
+     */
+    void setNameTracing(bool enabled) { namesEnabled_ = enabled; }
+
+    /** @return true if event names are being recorded. */
+    bool nameTracing() const { return namesEnabled_; }
+
+    /**
+     * Names of live (pending, non-cancelled) events, ordered by firing
+     * time then insertion order.  Events scheduled without a name or
+     * while tracing was off report "(unnamed)".  Diagnostic only.
+     */
+    std::vector<std::string> pendingEventNames() const;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -115,23 +173,58 @@ class EventQueue
     std::uint64_t runAll();
 
   private:
-    using RecordPtr = std::shared_ptr<Handle::Record>;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    /** Slab entry; cancelled events keep their slot (callback
+     *  cleared) until their heap entry surfaces, so a heap entry's
+     *  slot index is never re-targeted underneath it. */
+    struct Slot
+    {
+        Callback callback;
+        std::shared_ptr<Handle::Control> control;  ///< null for posts
+        std::uint64_t seq = 0;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** What the heap actually orders: 24 bytes, no indirection. */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
 
     struct Later
     {
         bool
-        operator()(const RecordPtr &a, const RecordPtr &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->seq > b->seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    /** Pop cancelled records off the top of the heap. */
+    /** Validate (when, callback) and enqueue; shared by both paths.
+     *  @return the slab slot the event landed in. */
+    std::uint32_t enqueue(Tick when, Callback &callback,
+                          const std::string &name);
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    /** Pop cancelled entries off the top of the heap, recycling their
+     *  slots. */
     void skipDead();
 
-    std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later> heap_;
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slab_;
+    std::uint32_t freeHead_ = kNoSlot;
+
+    /** seq -> diagnostic name; populated only while namesEnabled_. */
+    std::unordered_map<std::uint64_t, std::string> names_;
+    bool namesEnabled_ = false;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numProcessed_ = 0;

@@ -1,7 +1,6 @@
 #include "sim/timeseries.hh"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "sim/logging.hh"
@@ -151,25 +150,29 @@ TimeSeries::maxRiseWithin(Tick window) const
     if (points_.size() < 2)
         return 0.0;
 
-    // Monotonic deque of candidate minima indices within the trailing
-    // window; for each sample j, the best rise ending at j is
-    // v_j - min(v_i : t_j - t_i <= window, i <= j).
-    std::deque<std::size_t> minima;
+    // Monotonic sliding window of candidate minima within the
+    // trailing window; for each sample j, the best rise ending at j
+    // is v_j - min(v_i : t_j - t_i <= window, i <= j).  The window
+    // is a flat vector with a head cursor (pop-front = ++head)
+    // holding point copies, so the single pass touches contiguous
+    // memory and never allocates per element — this replaced a
+    // std::deque of indices that cost an indirection per compare.
+    std::vector<Point> minima;
+    minima.reserve(std::min<std::size_t>(points_.size(), 1024));
+    std::size_t head = 0;
     double best = 0.0;
-    for (std::size_t j = 0; j < points_.size(); ++j) {
-        while (!minima.empty() &&
-               points_[j].time - points_[minima.front()].time > window) {
-            minima.pop_front();
+    for (const Point &p : points_) {
+        while (head < minima.size() &&
+               p.time - minima[head].time > window) {
+            ++head;
         }
-        if (!minima.empty()) {
-            best = std::max(
-                best, points_[j].value - points_[minima.front()].value);
-        }
-        while (!minima.empty() &&
-               points_[minima.back()].value >= points_[j].value) {
+        if (head < minima.size())
+            best = std::max(best, p.value - minima[head].value);
+        while (minima.size() > head &&
+               minima.back().value >= p.value) {
             minima.pop_back();
         }
-        minima.push_back(j);
+        minima.push_back(p);
     }
     return best;
 }

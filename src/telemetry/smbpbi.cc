@@ -115,7 +115,7 @@ SmbpbiController::requestPowerBrake(bool engage)
     if (brakeStat_)
         ++*brakeStat_;
     sim::Tick issuedAt = sim_.now();
-    sim_.queue().scheduleAfter(
+    sim_.queue().postAfter(
         options_.brakeLatency,
         [this, engage, issuedAt] {
             if (trace_) {

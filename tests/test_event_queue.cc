@@ -179,6 +179,137 @@ TEST(EventQueueDeath, EmptyCallbackPanics)
                  "empty callback");
 }
 
+TEST(EventQueue, PostFiresInTimeOrderInterleavedWithSchedule)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.post(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.post(20, [&] { order.push_back(2); });
+    queue.schedule(20, [&] { order.push_back(4); });  // tie: after 2
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+    EXPECT_EQ(queue.numProcessed(), 4u);
+}
+
+TEST(EventQueue, PostCountsAsLive)
+{
+    EventQueue queue;
+    queue.post(10, [] {});
+    queue.postAfter(5, [] {});
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_FALSE(queue.empty());
+    queue.runAll();
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.highWaterMark(), 2u);
+}
+
+TEST(EventQueue, PostAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    Tick seen = -1;
+    queue.post(100, [&] {
+        queue.postAfter(50, [&] { seen = queue.now(); });
+    });
+    queue.runAll();
+    EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueueDeath, PostInPastPanics)
+{
+    EventQueue queue;
+    queue.post(10, [] {});
+    queue.runAll();
+    EXPECT_DEATH(queue.post(5, [] {}), "in the past");
+}
+
+TEST(EventQueueDeath, PostAfterNegativeDelayPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.postAfter(-1, [] {}), "negative delay");
+}
+
+TEST(EventQueueDeath, PostEmptyCallbackPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.post(1, EventQueue::Callback{}),
+                 "empty callback");
+}
+
+TEST(EventQueue, StaleHandleCancelDoesNotKillRecycledSlot)
+{
+    EventQueue queue;
+    // Fire A; its slab slot is recycled by B.  Cancelling A's stale
+    // handle afterwards must be a no-op, not kill B.
+    auto a = queue.schedule(10, [] {});
+    queue.runAll();
+    bool bFired = false;
+    auto b = queue.schedule(20, [&] { bFired = true; });
+    queue.cancel(a);
+    EXPECT_TRUE(b.pending());
+    queue.runAll();
+    EXPECT_TRUE(bFired);
+}
+
+TEST(EventQueue, CancelledSlotIsRecycledAfterPop)
+{
+    EventQueue queue;
+    auto a = queue.schedule(10, [] {});
+    queue.cancel(a);
+    int fired = 0;
+    queue.schedule(5, [&] { ++fired; });
+    queue.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.numProcessed(), 1u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, NameTracingOffRecordsNothing)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.nameTracing());
+    queue.schedule(10, [] {}, "visible");
+    queue.post(20, [] {}, "also-visible");
+    std::vector<std::string> names = queue.pendingEventNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "(unnamed)");
+    EXPECT_EQ(names[1], "(unnamed)");
+}
+
+TEST(EventQueue, NameTracingRecordsLiveNamesInFiringOrder)
+{
+    EventQueue queue;
+    queue.setNameTracing(true);
+    queue.post(30, [] {}, "late");
+    auto cancelled = queue.schedule(20, [] {}, "cancelled");
+    queue.schedule(10, [] {}, "early");
+    queue.post(15, [] {});  // unnamed
+    queue.cancel(cancelled);
+    std::vector<std::string> names = queue.pendingEventNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "early");
+    EXPECT_EQ(names[1], "(unnamed)");
+    EXPECT_EQ(names[2], "late");
+
+    // Fired events drop out of the table.
+    queue.runOne();
+    names = queue.pendingEventNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "(unnamed)");
+    EXPECT_EQ(names[1], "late");
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbPendingEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.post(10, [&] { ++fired; });
+    queue.reserve(1000);
+    queue.post(20, [&] { ++fired; });
+    queue.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue queue;
@@ -195,4 +326,39 @@ TEST(EventQueue, ManyEventsStressOrdering)
     queue.runAll();
     EXPECT_TRUE(ordered);
     EXPECT_EQ(queue.numProcessed(), 10000u);
+}
+
+TEST(EventQueue, StressMixedPathsWithCancellations)
+{
+    // Hammer the slab free list: interleave handled and
+    // fire-and-forget events, cancel a deterministic third of the
+    // handled ones, and check the survivors all fire in order.
+    EventQueue queue;
+    Tick last = -1;
+    bool ordered = true;
+    int fired = 0;
+    std::vector<EventQueue::Handle> toCancel;
+    for (int i = 0; i < 5000; ++i) {
+        Tick when = (i * 7919) % 1000;
+        auto cb = [&, when] {
+            if (when < last)
+                ordered = false;
+            last = when;
+            ++fired;
+        };
+        if (i % 2 == 0) {
+            auto handle = queue.schedule(when, cb);
+            if (i % 6 == 0)
+                toCancel.push_back(handle);
+        } else {
+            queue.post(when, cb);
+        }
+    }
+    for (auto &handle : toCancel)
+        queue.cancel(handle);
+    EXPECT_EQ(queue.size(), 5000u - toCancel.size());
+    queue.runAll();
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(fired, 5000 - static_cast<int>(toCancel.size()));
+    EXPECT_TRUE(queue.empty());
 }

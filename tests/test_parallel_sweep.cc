@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Parallel sweep determinism: a sweep executed with jobs=1 and
+ * jobs=8 must produce byte-identical summary.csv and per-point
+ * metrics CSVs, and identical in-memory results.  Also covers the
+ * scenario layer's reserved [sweep] jobs key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/scenario.hh"
+#include "core/sweep_runner.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace polca;
+
+core::ExperimentConfig
+tinyConfig(std::uint64_t seed)
+{
+    core::ExperimentConfig config;
+    config.row.baseServers = 2;
+    config.duration = sim::secondsToTicks(900);
+    config.seed = seed;
+    return config;
+}
+
+std::vector<core::SweepPoint>
+fourPoints()
+{
+    std::vector<core::SweepPoint> points;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        points.push_back({"seed=" + std::to_string(seed),
+                          tinyConfig(seed)});
+    }
+    return points;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(ParallelSweep, ArtifactsAreByteIdenticalAcrossJobCounts)
+{
+    sim::QuietScope quiet(true);
+    const std::string dirSeq = "parallel_sweep_test_j1";
+    const std::string dirPar = "parallel_sweep_test_j8";
+    std::filesystem::remove_all(dirSeq);
+    std::filesystem::remove_all(dirPar);
+
+    core::SweepOptions seq;
+    seq.artifactDir = dirSeq;
+    seq.runBaseline = true;
+    seq.echoProgress = false;
+    seq.jobs = 1;
+
+    core::SweepOptions par = seq;
+    par.artifactDir = dirPar;
+    par.jobs = 8;
+
+    core::SweepRunner seqRunner(fourPoints(), seq);
+    core::SweepRunner parRunner(fourPoints(), par);
+    const auto &seqResults = seqRunner.run();
+    const auto &parResults = parRunner.run();
+
+    ASSERT_EQ(seqResults.size(), 4u);
+    ASSERT_EQ(parResults.size(), 4u);
+
+    EXPECT_EQ(slurp(std::filesystem::path(dirSeq) / "summary.csv"),
+              slurp(std::filesystem::path(dirPar) / "summary.csv"));
+
+    for (std::size_t i = 0; i < seqResults.size(); ++i) {
+        const auto &a = seqResults[i];
+        const auto &b = parResults[i];
+        EXPECT_EQ(a.label, b.label);
+        // Per-point artifact CSVs: same file name stem, same bytes.
+        ASSERT_FALSE(a.artifactPath.empty());
+        ASSERT_FALSE(b.artifactPath.empty());
+        EXPECT_EQ(std::filesystem::path(a.artifactPath).filename(),
+                  std::filesystem::path(b.artifactPath).filename());
+        EXPECT_EQ(slurp(a.artifactPath), slurp(b.artifactPath))
+            << a.artifactPath;
+        // Stitched results match field-for-field where it counts.
+        EXPECT_EQ(a.result.lowCompletions, b.result.lowCompletions);
+        EXPECT_EQ(a.result.highCompletions, b.result.highCompletions);
+        EXPECT_EQ(a.result.powerBrakeEvents,
+                  b.result.powerBrakeEvents);
+        EXPECT_DOUBLE_EQ(a.result.low.p99, b.result.low.p99);
+        EXPECT_DOUBLE_EQ(a.result.energyKwh, b.result.energyKwh);
+        EXPECT_DOUBLE_EQ(a.lowNorm.p99, b.lowNorm.p99);
+        EXPECT_DOUBLE_EQ(a.highNorm.p99, b.highNorm.p99);
+        EXPECT_EQ(a.baseline.lowCompletions,
+                  b.baseline.lowCompletions);
+    }
+
+    std::filesystem::remove_all(dirSeq);
+    std::filesystem::remove_all(dirPar);
+}
+
+TEST(ParallelSweep, MoreWorkersThanPointsCompletes)
+{
+    sim::QuietScope quiet(true);
+    std::vector<core::SweepPoint> points;
+    points.push_back({"only", tinyConfig(3)});
+
+    core::SweepOptions options;
+    options.runBaseline = true;
+    options.echoProgress = false;
+    options.jobs = 8;
+    core::SweepRunner runner(points, options);
+    const auto &results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].result.lowCompletions +
+                  results[0].result.highCompletions,
+              0u);
+    EXPECT_GT(results[0].baseline.lowCompletions +
+                  results[0].baseline.highCompletions,
+              0u);
+}
+
+TEST(ParallelSweep, SweepJobsKeyIsParsedAndIsNotAnAxis)
+{
+    const std::string text =
+        "[experiment]\n"
+        "duration = 900s\n"
+        "[row]\n"
+        "base_servers = 2\n"
+        "[sweep]\n"
+        "jobs = 4\n"
+        "\"experiment.seed\" = [1, 2]\n";
+    config::Diagnostics diag;
+    config::ScenarioSet set =
+        config::loadScenarioString(text, "jobs-key", {}, diag);
+    ASSERT_TRUE(diag.ok()) << diag.str();
+    EXPECT_EQ(set.jobs, 4);
+    // jobs did not multiply the point count.
+    ASSERT_EQ(set.points.size(), 2u);
+    EXPECT_EQ(set.points[0].label, "experiment.seed=1");
+    // ...and did not leak into the point labels.
+    EXPECT_EQ(set.points[0].label.find("jobs"), std::string::npos);
+}
+
+TEST(ParallelSweep, SweepJobsZeroMeansHardwareConcurrency)
+{
+    const std::string text =
+        "[sweep]\n"
+        "jobs = 0\n";
+    config::Diagnostics diag;
+    config::ScenarioSet set =
+        config::loadScenarioString(text, "jobs-zero", {}, diag);
+    ASSERT_TRUE(diag.ok()) << diag.str();
+    EXPECT_GE(set.jobs, 1);
+}
+
+TEST(ParallelSweep, SweepJobsRejectsBadValues)
+{
+    for (const char *bad : {"jobs = -2\n", "jobs = \"many\"\n",
+                            "jobs = [1, 2]\n"}) {
+        config::Diagnostics diag;
+        config::loadScenarioString(std::string("[sweep]\n") + bad,
+                                   "jobs-bad", {}, diag);
+        EXPECT_FALSE(diag.ok()) << bad;
+    }
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ThreadPool tests: result ordering via futures, exception
+ * propagation, zero-worker clamping, more tasks than workers, and
+ * destructor drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.hh"
+
+namespace {
+
+using namespace polca;
+
+TEST(ThreadPool, ZeroWorkersClampsToOne)
+{
+    core::ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive)
+{
+    EXPECT_GE(core::ThreadPool::defaultWorkerCount(), 1u);
+}
+
+TEST(ThreadPool, RunsZeroTasks)
+{
+    core::ThreadPool pool(4);
+    // Construction + destruction with an empty queue must not hang.
+    EXPECT_EQ(pool.workerCount(), 4u);
+}
+
+TEST(ThreadPool, MoreTasksThanWorkersAllComplete)
+{
+    core::ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([i, &completed] {
+            ++completed;
+            return i * i;
+        }));
+    }
+    // Futures preserve submission order even though execution
+    // interleaves — the deterministic-stitching property SweepRunner
+    // relies on.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    core::ThreadPool pool(2);
+    auto ok = pool.submit([] { return 1; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task exploded");
+    });
+    auto after = pool.submit([] { return 2; });
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take its worker down with it.
+    EXPECT_EQ(after.get(), 2);
+}
+
+TEST(ThreadPool, TasksRunConcurrently)
+{
+    core::ThreadPool pool(2);
+    // A handshake that can only complete if both tasks are in
+    // flight at once: each side signals, then waits for the other.
+    std::promise<void> aReady, bReady;
+    std::shared_future<void> aSignal = aReady.get_future().share();
+    std::shared_future<void> bSignal = bReady.get_future().share();
+    auto a = pool.submit([&] {
+        aReady.set_value();
+        return bSignal.wait_for(std::chrono::seconds(30)) ==
+            std::future_status::ready;
+    });
+    auto b = pool.submit([&] {
+        bReady.set_value();
+        return aSignal.wait_for(std::chrono::seconds(30)) ==
+            std::future_status::ready;
+    });
+    EXPECT_TRUE(a.get());
+    EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    {
+        core::ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            futures.push_back(pool.submit([&completed] {
+                ++completed;
+            }));
+        // Destruction joins only after every queued task ran.
+    }
+    EXPECT_EQ(completed.load(), 16);
+    for (auto &f : futures) {
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    }
+}
+
+TEST(ThreadPool, SubmissionOrderResultsAreDeterministic)
+{
+    // Run the same task set on 1 and 8 workers; stitched results
+    // must match exactly.
+    auto runWith = [](std::size_t workers) {
+        core::ThreadPool pool(workers);
+        std::vector<std::future<int>> futures;
+        for (int i = 0; i < 32; ++i)
+            futures.push_back(pool.submit([i] { return 3 * i + 1; }));
+        std::vector<int> out;
+        for (auto &f : futures)
+            out.push_back(f.get());
+        return out;
+    };
+    EXPECT_EQ(runWith(1), runWith(8));
+}
+
+} // namespace

@@ -10,7 +10,7 @@
  *   polcactl trace regenerate FILE [--bin SECONDS] [--seed S] \
  *                             [--out FILE]
  *   polcactl run [--scenario-file FILE] [--set path=value]... \
- *                [--out-dir DIR] [legacy flags]
+ *                [--out-dir DIR] [--jobs N] [legacy flags]
  *   polcactl config check FILE...
  *   polcactl config dump [--scenario-file FILE] [--set path=value]... \
  *                        [--point N]
@@ -22,8 +22,10 @@
  * (--days, --seed, --policy, --servers, --added, --power-scale,
  * --failures, --dropout, --scenario, --watchdog) are sugar for the
  * equivalent --set paths.  A scenario file with a [sweep] section
- * expands into one run per point, executed back-to-back with one
- * metrics CSV artifact per point plus a summary table.
+ * expands into one run per point, executed with one metrics CSV
+ * artifact per point plus a summary table; --jobs N (or the file's
+ * [sweep] jobs key) runs the points on N worker threads with
+ * byte-identical artifacts.
  *
  * `config dump` prints the fully-resolved effective configuration
  * with per-value provenance comments; the output reparses to the
@@ -51,6 +53,7 @@
 #include "config/scenario.hh"
 #include "core/oversub_experiment.hh"
 #include "core/sweep_runner.hh"
+#include "core/thread_pool.hh"
 #include "core/workload_aware.hh"
 #include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
@@ -192,7 +195,7 @@ usage()
         "[--out FILE]\n"
         "  polcactl run [--scenario-file FILE] [--set path=value]... "
         "[--out-dir DIR]\n"
-        "               [--added F] [--days N] [--seed S] "
+        "               [--jobs N] [--added F] [--days N] [--seed S] "
         "[--policy NAME]\n"
         "               [--power-scale F] [--servers N] "
         "[--failures P] [--workload FILE]\n"
@@ -211,7 +214,12 @@ usage()
         "(--days 2 == --set experiment.duration=2d).\n"
         "  A [sweep] section runs every point and writes one metrics "
         "CSV per point\n"
-        "  into --out-dir plus a summary table.\n"
+        "  into --out-dir plus a summary table.  --jobs N runs points "
+        "on N worker\n"
+        "  threads (0 = one per hardware thread) with byte-identical "
+        "artifacts;\n"
+        "  a scenario file can set the same via the [sweep] jobs "
+        "key.\n"
         "  run --trace exports Chrome trace_event JSON "
         "(chrome://tracing);\n"
         "  --metrics dumps the metrics registry (.csv for CSV);\n"
@@ -404,10 +412,10 @@ cmdScenarios()
 std::vector<std::string>
 runFlags()
 {
-    return {"scenario-file", "set", "out-dir", "added", "days",
-            "seed", "policy", "power-scale", "servers", "failures",
-            "workload", "dropout", "scenario", "watchdog", "trace",
-            "metrics", "trace-categories", "point"};
+    return {"scenario-file", "set", "out-dir", "jobs", "added",
+            "days", "seed", "policy", "power-scale", "servers",
+            "failures", "workload", "dropout", "scenario", "watchdog",
+            "trace", "metrics", "trace-categories", "point"};
 }
 
 /**
@@ -627,11 +635,21 @@ cmdRun(const Args &args)
     core::SweepOptions options;
     options.artifactDir =
         args.text("out-dir", "sweep-" + set.name);
+    options.jobs = set.jobs;
+    if (args.has("jobs")) {
+        double jobs = args.number("jobs", 1);
+        if (jobs < 0 || jobs != static_cast<int>(jobs))
+            sim::fatal("--jobs: expected a non-negative integer");
+        options.jobs = jobs == 0
+            ? static_cast<int>(core::ThreadPool::defaultWorkerCount())
+            : static_cast<int>(jobs);
+    }
     core::SweepRunner runner(std::move(points), std::move(options));
     const std::vector<core::SweepPointResult> &results = runner.run();
 
-    std::printf("\nSweep '%s': %zu points\n", set.name.c_str(),
-                results.size());
+    std::printf("\nSweep '%s': %zu points (%d worker%s)\n",
+                set.name.c_str(), results.size(), options.jobs,
+                options.jobs == 1 ? "" : "s");
     runner.summaryTable().print(std::cout);
     std::printf("\nArtifacts in %s (one metrics CSV per point + "
                 "summary.csv)\n",
