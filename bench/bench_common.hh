@@ -6,8 +6,7 @@
  * the paper.
  */
 
-#ifndef POLCA_BENCH_COMMON_HH
-#define POLCA_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -101,4 +100,3 @@ void exportSeriesCsv(const BenchOptions &options,
 
 } // namespace polca::bench
 
-#endif // POLCA_BENCH_COMMON_HH

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <tuple>
+
 #include "core/oversub_experiment.hh"
 #include "llm/phase_model.hh"
 #include "power/gpu_power_model.hh"
@@ -26,7 +28,7 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         sim::EventQueue queue;
         int fired = 0;
         for (int i = 0; i < state.range(0); ++i)
-            queue.schedule((i * 7919) % 100000, [&] { ++fired; });
+            std::ignore = queue.schedule((i * 7919) % 100000, [&] { ++fired; });
         queue.runAll();
         benchmark::DoNotOptimize(fired);
     }

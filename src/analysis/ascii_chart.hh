@@ -5,8 +5,7 @@
  * directly in their stdout output.
  */
 
-#ifndef POLCA_ANALYSIS_ASCII_CHART_HH
-#define POLCA_ANALYSIS_ASCII_CHART_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -55,4 +54,3 @@ std::string formatFixedWidth(double value, int width);
 
 } // namespace polca::analysis
 
-#endif // POLCA_ANALYSIS_ASCII_CHART_HH

@@ -4,8 +4,7 @@
  * counter correlation study (Figure 7).
  */
 
-#ifndef POLCA_ANALYSIS_CORRELATION_HH
-#define POLCA_ANALYSIS_CORRELATION_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ class CorrelationMatrix
 
 } // namespace polca::analysis
 
-#endif // POLCA_ANALYSIS_CORRELATION_HH

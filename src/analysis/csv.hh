@@ -4,8 +4,7 @@
  * exporting bench series to plotting tools.
  */
 
-#ifndef POLCA_ANALYSIS_CSV_HH
-#define POLCA_ANALYSIS_CSV_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -53,4 +52,3 @@ std::string escapeCsvField(const std::string &field);
 
 } // namespace polca::analysis
 
-#endif // POLCA_ANALYSIS_CSV_HH

@@ -5,8 +5,7 @@
  * (Section 6.4).
  */
 
-#ifndef POLCA_ANALYSIS_ERROR_METRICS_HH
-#define POLCA_ANALYSIS_ERROR_METRICS_HH
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ double rmse(const std::vector<double> &reference,
 
 } // namespace polca::analysis
 
-#endif // POLCA_ANALYSIS_ERROR_METRICS_HH

@@ -5,8 +5,7 @@
  * reproductions are easy to eyeball against the paper.
  */
 
-#ifndef POLCA_ANALYSIS_TABLE_HH
-#define POLCA_ANALYSIS_TABLE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -63,4 +62,3 @@ std::string formatPercent(double fraction, int precision = 1);
 
 } // namespace polca::analysis
 
-#endif // POLCA_ANALYSIS_TABLE_HH

@@ -6,8 +6,7 @@
  * before high-priority workloads must be touched.
  */
 
-#ifndef POLCA_CLUSTER_ALLOCATOR_HH
-#define POLCA_CLUSTER_ALLOCATOR_HH
+#pragma once
 
 #include <vector>
 
@@ -25,4 +24,3 @@ allocatePriorities(int num_servers, double lp_fraction);
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_ALLOCATOR_HH

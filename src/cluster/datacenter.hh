@@ -7,8 +7,7 @@
  * fleet-wide statistics.
  */
 
-#ifndef POLCA_CLUSTER_DATACENTER_HH
-#define POLCA_CLUSTER_DATACENTER_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -65,4 +64,3 @@ class Datacenter
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_DATACENTER_HH

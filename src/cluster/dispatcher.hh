@@ -6,8 +6,7 @@
  * setup" with one-request buffers of Section 6.6).
  */
 
-#ifndef POLCA_CLUSTER_DISPATCHER_HH
-#define POLCA_CLUSTER_DISPATCHER_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -104,4 +103,3 @@ class Dispatcher
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_DISPATCHER_HH

@@ -7,8 +7,7 @@
  * frequency locks.
  */
 
-#ifndef POLCA_CLUSTER_INFERENCE_SERVER_HH
-#define POLCA_CLUSTER_INFERENCE_SERVER_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -261,4 +260,3 @@ class InferenceServer : public telemetry::ClockControllable
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_INFERENCE_SERVER_HH

@@ -9,8 +9,7 @@
  * delay.
  */
 
-#ifndef POLCA_CLUSTER_PHASE_SPLIT_HH
-#define POLCA_CLUSTER_PHASE_SPLIT_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -103,4 +102,3 @@ class PhaseSplitCluster
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_PHASE_SPLIT_HH

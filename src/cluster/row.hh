@@ -6,8 +6,7 @@
  * manager telemetry into the object POLCA manages.
  */
 
-#ifndef POLCA_CLUSTER_ROW_HH
-#define POLCA_CLUSTER_ROW_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -125,4 +124,3 @@ class Row
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_ROW_HH

@@ -9,8 +9,7 @@
  * prompt spikes (Insight 9).
  */
 
-#ifndef POLCA_CLUSTER_TRAINING_CLUSTER_HH
-#define POLCA_CLUSTER_TRAINING_CLUSTER_HH
+#pragma once
 
 #include "llm/training_model.hh"
 #include "power/server_model.hh"
@@ -48,4 +47,3 @@ trainingClusterPower(const llm::TrainingModel &model,
 
 } // namespace polca::cluster
 
-#endif // POLCA_CLUSTER_TRAINING_CLUSTER_HH

@@ -10,8 +10,7 @@
  * trips.
  */
 
-#ifndef POLCA_CONFIG_BINDINGS_HH
-#define POLCA_CONFIG_BINDINGS_HH
+#pragma once
 
 #include "cluster/row.hh"
 #include "config/schema.hh"
@@ -46,4 +45,3 @@ const StructSchema<faults::ServerCrash> &serverCrashSchema();
 
 } // namespace polca::config
 
-#endif // POLCA_CONFIG_BINDINGS_HH

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/contracts.hh"
+
 namespace polca::config {
 
 std::string
@@ -93,8 +95,13 @@ ConfigNode::findPath(const std::string &dotted) const
 ConfigNode &
 ConfigNode::obtainSection(const std::string &key)
 {
-    if (ConfigNode *existing = find(key))
+    if (ConfigNode *existing = find(key)) {
+        POLCA_CHECK(existing->kind == Kind::Section,
+                    "obtainSection('", key,
+                    "') found a non-section node (from ",
+                    existing->loc.str(), ")");
         return *existing;
+    }
     ConfigNode section;
     section.kind = Kind::Section;
     entries.emplace_back(key, std::move(section));
@@ -104,6 +111,16 @@ ConfigNode::obtainSection(const std::string &key)
 void
 ConfigNode::set(const std::string &key, ConfigNode node)
 {
+    // Tree-shape contract: each kind uses exactly its own payload
+    // field, so a malformed node cannot enter the tree and surface
+    // later as a confusing parse/bind error.
+    POLCA_DCHECK(node.kind != Kind::Scalar ||
+                     (node.items.empty() && node.entries.empty()),
+                 "scalar node '", key, "' carries children");
+    POLCA_DCHECK(node.kind != Kind::Section || node.raw.empty(),
+                 "section node '", key, "' carries a raw value");
+    POLCA_DCHECK(node.kind != Kind::List || node.entries.empty(),
+                 "list node '", key, "' carries section entries");
     if (ConfigNode *existing = find(key)) {
         *existing = std::move(node);
         return;

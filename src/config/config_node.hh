@@ -21,8 +21,7 @@
  * which is exactly what sweep axes need.
  */
 
-#ifndef POLCA_CONFIG_CONFIG_NODE_HH
-#define POLCA_CONFIG_CONFIG_NODE_HH
+#pragma once
 
 #include <string>
 #include <utility>
@@ -88,13 +87,13 @@ struct ConfigNode
 
     /** @name Section access */
     /** @{ */
-    bool has(const std::string &key) const;
-    const ConfigNode *find(const std::string &key) const;
-    ConfigNode *find(const std::string &key);
+    [[nodiscard]] bool has(const std::string &key) const;
+    [[nodiscard]] const ConfigNode *find(const std::string &key) const;
+    [[nodiscard]] ConfigNode *find(const std::string &key);
 
     /** Child node at a dotted path ("row.server.gpu"); null when any
      *  segment is missing or a non-section intervenes. */
-    const ConfigNode *findPath(const std::string &dotted) const;
+    [[nodiscard]] const ConfigNode *findPath(const std::string &dotted) const;
 
     /** Get-or-create the Section child @p key (must not exist as a
      *  scalar/list). */
@@ -111,7 +110,7 @@ struct ConfigNode
     bool setPath(const std::string &dotted, ConfigNode scalar,
                  Diagnostics &diag);
 
-    std::vector<std::string> keys() const;
+    [[nodiscard]] std::vector<std::string> keys() const;
     /** @} */
 };
 
@@ -145,4 +144,3 @@ std::string nearestKey(const std::string &key,
 
 } // namespace polca::config
 
-#endif // POLCA_CONFIG_CONFIG_NODE_HH

@@ -25,8 +25,7 @@
  * reproduced byte-for-byte from its dumped artifact.
  */
 
-#ifndef POLCA_CONFIG_SCENARIO_HH
-#define POLCA_CONFIG_SCENARIO_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -119,4 +118,3 @@ llm::ModelSpec effectiveModelSpec(const cluster::RowConfig &row);
 
 } // namespace polca::config
 
-#endif // POLCA_CONFIG_SCENARIO_HH

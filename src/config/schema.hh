@@ -21,8 +21,7 @@
  * Bare numbers are read in the field's canonical unit.
  */
 
-#ifndef POLCA_CONFIG_SCHEMA_HH
-#define POLCA_CONFIG_SCHEMA_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -396,4 +395,3 @@ class StructSchema
 
 } // namespace polca::config
 
-#endif // POLCA_CONFIG_SCHEMA_HH

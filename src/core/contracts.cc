@@ -1,0 +1,65 @@
+#include "core/contracts.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace polca::core {
+
+namespace {
+
+/** Print the report and abort, gem5-panic style. */
+void
+abortingHandler(const ContractViolation &violation)
+{
+    std::fprintf(stderr, "%s\n", violation.report().c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+/** Atomic so a handler swap on one thread never tears a concurrent
+ *  failure report on another (parallel sweep workers). */
+std::atomic<ContractFailureHandler> currentHandler{&abortingHandler};
+
+} // namespace
+
+std::string
+ContractViolation::report() const
+{
+    std::ostringstream oss;
+    oss << kind << " failed: " << condition;
+    if (!message.empty())
+        oss << " (" << message << ")";
+    oss << " at " << file << ":" << line << " in " << function;
+    return sim::withSimTimePrefix(oss.str());
+}
+
+ContractFailureHandler
+setContractFailureHandler(ContractFailureHandler handler)
+{
+    if (!handler)
+        handler = &abortingHandler;
+    return currentHandler.exchange(handler);
+}
+
+void
+throwingContractHandler(const ContractViolation &violation)
+{
+    throw ContractError(violation);
+}
+
+void
+contractFail(const char *kind, const char *condition, const char *file,
+             int line, const char *function, std::string message)
+{
+    ContractViolation violation{kind, condition, file, line, function,
+                                std::move(message)};
+    currentHandler.load()(violation);
+    // A handler must abort or throw; returning would let the caller
+    // run on with a violated invariant.
+    std::abort();
+}
+
+} // namespace polca::core

@@ -7,8 +7,7 @@
  * and power-brake counts.
  */
 
-#ifndef POLCA_CORE_OVERSUB_EXPERIMENT_HH
-#define POLCA_CORE_OVERSUB_EXPERIMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -190,4 +189,3 @@ bool meetsSlos(const NormalizedLatency &low,
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_OVERSUB_EXPERIMENT_HH

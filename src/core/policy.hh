@@ -11,8 +11,7 @@
  * the earlier rules have been applied.
  */
 
-#ifndef POLCA_CORE_POLICY_HH
-#define POLCA_CORE_POLICY_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -74,4 +73,3 @@ struct PolicyConfig
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_POLICY_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::core {
@@ -52,10 +53,8 @@ void
 PowerManager::addTarget(workload::Priority pool,
                         telemetry::ClockControllable *target)
 {
-    if (started_)
-        sim::panic("PowerManager: addTarget after start");
-    if (!target)
-        sim::panic("PowerManager: null target");
+    POLCA_CHECK(!started_, "addTarget after start");
+    POLCA_CHECK(target != nullptr, "null target");
 
     PoolState &state = poolState(pool);
     telemetry::SmbpbiController::Options channelOptions;
@@ -156,6 +155,14 @@ PowerManager::start()
 void
 PowerManager::onReading(sim::Tick now, double watts)
 {
+    // Telemetry readings arrive on the simulation clock, so they can
+    // never run backwards, and sensors clamp at zero (FaultInjector
+    // included), so a negative reading is a wiring bug upstream.
+    POLCA_ASSERT(now >= lastReadingTime_,
+                 "reading at t=", now, " behind previous t=",
+                 lastReadingTime_);
+    POLCA_CHECK(watts >= 0.0, "negative row power ", watts, " W");
+
     // A fresh reading means telemetry is back: leave fail-safe.
     // The escalated rules stay active and release through the normal
     // hysteresis path below, so recovery is conservative, not abrupt.
@@ -178,6 +185,11 @@ PowerManager::onReading(sim::Tick now, double watts)
             recentReadings_.pop_front();
         }
     }
+    // The incremental window sum is a sum of non-negative terms;
+    // float cancellation driving it negative would silently corrupt
+    // every later cap decision.
+    POLCA_ASSERT(smoothedSum_ >= -1e-9,
+                 "smoothing window sum went negative: ", smoothedSum_);
     double smoothed = recentReadings_.empty()
         ? utilization
         : smoothedSum_ / static_cast<double>(recentReadings_.size());
@@ -266,6 +278,11 @@ PowerManager::applyDesiredLocks(sim::Tick now)
                 desired = policy_.rules[i].lockMhz;
         }
 
+        // Cap-bound contract: a commanded lock must sit inside the
+        // GPU's controllable range (policy.validate() bounds each
+        // rule, so a violation here means the ladder logic broke).
+        POLCA_ASSERT(desired >= 0.0,
+                     "negative desired lock ", desired, " MHz");
         if (desired != state.commandedMhz) {
             bool capping = desired > 0.0 &&
                 (state.commandedMhz == 0.0 ||
@@ -385,6 +402,9 @@ PowerManager::enterFailSafe(sim::Tick now)
 void
 PowerManager::exitFailSafe(sim::Tick now)
 {
+    POLCA_ASSERT(now >= failSafeEnteredAt_,
+                 "fail-safe exit at t=", now, " before entry at t=",
+                 failSafeEnteredAt_);
     failSafe_ = false;
     failSafeTicks_ += now - failSafeEnteredAt_;
     if (trace_) {
@@ -417,6 +437,7 @@ PowerManager::channelFlagged(workload::Priority pool,
 void
 PowerManager::engageBrake(sim::Tick now, bool countEvent)
 {
+    POLCA_ASSERT(!brakeEngaged_, "brake engaged twice");
     brakeEngaged_ = true;
     brakeEngagedAt_ = now;
     if (countEvent) {
@@ -441,6 +462,7 @@ PowerManager::engageBrake(sim::Tick now, bool countEvent)
 void
 PowerManager::releaseBrake()
 {
+    POLCA_ASSERT(brakeEngaged_, "releasing a brake that is not engaged");
     brakeEngaged_ = false;
     if (trace_) {
         trace_->instant(obs::TraceCategory::Power, "brake_release",

@@ -10,8 +10,7 @@
  * 3.3 calls for).
  */
 
-#ifndef POLCA_CORE_POWER_MANAGER_HH
-#define POLCA_CORE_POWER_MANAGER_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -255,4 +254,3 @@ class PowerManager
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_POWER_MANAGER_HH

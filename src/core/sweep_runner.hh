@@ -20,8 +20,7 @@
  * observability sink, so tasks share no mutable state.
  */
 
-#ifndef POLCA_CORE_SWEEP_RUNNER_HH
-#define POLCA_CORE_SWEEP_RUNNER_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -125,4 +124,3 @@ class SweepRunner
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_SWEEP_RUNNER_HH

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.hh"
+#include "core/contracts.hh"
 
 namespace polca::core {
 
@@ -12,6 +12,8 @@ ThreadPool::ThreadPool(std::size_t workers)
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    POLCA_ASSERT(!workers_.empty(),
+                 "pool constructed with zero worker threads");
 }
 
 ThreadPool::~ThreadPool()
@@ -23,6 +25,9 @@ ThreadPool::~ThreadPool()
     wake_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    POLCA_ASSERT(queue_.empty(),
+                 "workers joined with ", queue_.size(),
+                 " tasks still queued");
 }
 
 std::size_t
@@ -37,8 +42,7 @@ ThreadPool::enqueue(std::function<void()> job)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_)
-            sim::panic("ThreadPool: submit after shutdown began");
+        POLCA_CHECK(!stopping_, "submit after shutdown began");
         queue_.push_back(std::move(job));
     }
     wake_.notify_one();

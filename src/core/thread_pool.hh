@@ -15,8 +15,7 @@
  * and the pool's job is just to keep N cores busy.
  */
 
-#ifndef POLCA_CORE_THREAD_POOL_HH
-#define POLCA_CORE_THREAD_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -43,7 +42,7 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    std::size_t workerCount() const { return workers_.size(); }
+    [[nodiscard]] std::size_t workerCount() const { return workers_.size(); }
 
     /**
      * Queue @p fn for execution.  The returned future yields fn's
@@ -51,7 +50,7 @@ class ThreadPool
      * future::get().
      */
     template <typename F>
-    auto
+    [[nodiscard]] auto
     submit(F fn) -> std::future<std::invoke_result_t<F &>>
     {
         using Result = std::invoke_result_t<F &>;
@@ -78,4 +77,3 @@ class ThreadPool
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_THREAD_POOL_HH

@@ -8,8 +8,7 @@
  * BLOOM for the same SLO cost, reclaiming more power.
  */
 
-#ifndef POLCA_CORE_WORKLOAD_AWARE_HH
-#define POLCA_CORE_WORKLOAD_AWARE_HH
+#pragma once
 
 #include "core/policy.hh"
 #include "llm/model_spec.hh"
@@ -50,4 +49,3 @@ PolicyConfig workloadAwarePolicy(
 
 } // namespace polca::core
 
-#endif // POLCA_CORE_WORKLOAD_AWARE_HH

@@ -12,8 +12,7 @@
  * component's stream.
  */
 
-#ifndef POLCA_FAULTS_FAULT_INJECTOR_HH
-#define POLCA_FAULTS_FAULT_INJECTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -112,4 +111,3 @@ class FaultInjector
 
 } // namespace polca::faults
 
-#endif // POLCA_FAULTS_FAULT_INJECTOR_HH

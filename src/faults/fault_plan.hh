@@ -12,8 +12,7 @@
  * simulation, deterministically under a fixed sim::Rng seed.
  */
 
-#ifndef POLCA_FAULTS_FAULT_PLAN_HH
-#define POLCA_FAULTS_FAULT_PLAN_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -125,4 +124,3 @@ const std::vector<std::string> &scenarioNames();
 
 } // namespace polca::faults
 
-#endif // POLCA_FAULTS_FAULT_PLAN_HH

@@ -7,8 +7,7 @@
  * during token phases the counters fluctuate independently.
  */
 
-#ifndef POLCA_LLM_COUNTERS_HH
-#define POLCA_LLM_COUNTERS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -60,4 +59,3 @@ class CounterSynthesizer
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_COUNTERS_HH

@@ -10,8 +10,7 @@
  * and throttled clocks stretch the remaining work (Figs 4, 9).
  */
 
-#ifndef POLCA_LLM_EXECUTOR_HH
-#define POLCA_LLM_EXECUTOR_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -130,4 +129,3 @@ class SegmentExecutor
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_EXECUTOR_HH

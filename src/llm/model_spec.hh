@@ -11,8 +11,7 @@
  * of TDP (Fig 4).
  */
 
-#ifndef POLCA_LLM_MODEL_SPEC_HH
-#define POLCA_LLM_MODEL_SPEC_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -129,4 +128,3 @@ class ModelCatalog
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_MODEL_SPEC_HH

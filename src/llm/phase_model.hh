@@ -5,8 +5,7 @@
  * and GPU activity factors (Section 4.2 of the paper).
  */
 
-#ifndef POLCA_LLM_PHASE_MODEL_HH
-#define POLCA_LLM_PHASE_MODEL_HH
+#pragma once
 
 #include <utility>
 
@@ -95,4 +94,3 @@ class PhaseModel
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_PHASE_MODEL_HH

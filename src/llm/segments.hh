@@ -4,8 +4,7 @@
  * executable WorkSegment lists.
  */
 
-#ifndef POLCA_LLM_SEGMENTS_HH
-#define POLCA_LLM_SEGMENTS_HH
+#pragma once
 
 #include <vector>
 
@@ -26,4 +25,3 @@ trainingIterationSegments(const TrainingModel &model);
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_SEGMENTS_HH

@@ -9,8 +9,7 @@
  * (idle) for Flan-T5 (Fig 4, Insight 2).
  */
 
-#ifndef POLCA_LLM_TRAINING_MODEL_HH
-#define POLCA_LLM_TRAINING_MODEL_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -102,4 +101,3 @@ class TrainingModel
 
 } // namespace polca::llm
 
-#endif // POLCA_LLM_TRAINING_MODEL_HH

@@ -14,8 +14,7 @@
  * events/sec) must be marked volatile; they are skipped by dump().
  */
 
-#ifndef POLCA_OBS_METRICS_HH
-#define POLCA_OBS_METRICS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -141,17 +140,19 @@ class MetricsRegistry
 {
   public:
     /** Get-or-create; panics if @p name exists with another kind. */
-    Counter &counter(const std::string &name,
+    [[nodiscard]] Counter &counter(const std::string &name,
                      const std::string &desc = "");
-    Gauge &gauge(const std::string &name, const std::string &desc = "");
+    [[nodiscard]] Gauge &gauge(const std::string &name,
+                               const std::string &desc = "");
 
     /** Get-or-create; panics on kind or shape mismatch. */
-    Histogram &histogram(const std::string &name, double lo, double hi,
+    [[nodiscard]] Histogram &histogram(const std::string &name,
+                                       double lo, double hi,
                          std::size_t buckets,
                          const std::string &desc = "");
 
-    bool has(const std::string &name) const;
-    std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] bool has(const std::string &name) const;
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
     /** Zero every metric (registrations and gauge sources kept). */
     void reset();
@@ -187,4 +188,3 @@ class MetricsRegistry
 
 } // namespace polca::obs
 
-#endif // POLCA_OBS_METRICS_HH

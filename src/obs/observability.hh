@@ -15,8 +15,7 @@
  * (core::runOversubExperiment does this for you).
  */
 
-#ifndef POLCA_OBS_OBSERVABILITY_HH
-#define POLCA_OBS_OBSERVABILITY_HH
+#pragma once
 
 #include "obs/metrics.hh"
 #include "obs/trace_recorder.hh"
@@ -36,4 +35,3 @@ struct Observability
 
 } // namespace polca::obs
 
-#endif // POLCA_OBS_OBSERVABILITY_HH

@@ -16,8 +16,7 @@
  * only the pointer.
  */
 
-#ifndef POLCA_OBS_TRACE_RECORDER_HH
-#define POLCA_OBS_TRACE_RECORDER_HH
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -119,4 +118,3 @@ class TraceRecorder
 
 } // namespace polca::obs
 
-#endif // POLCA_OBS_TRACE_RECORDER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::power {
@@ -17,10 +18,9 @@ GpuPowerModel::GpuPowerModel(GpuSpec spec)
 void
 GpuPowerModel::setActivity(const GpuActivity &activity)
 {
-    if (activity.compute < 0.0 || activity.memory < 0.0) {
-        sim::panic("GpuPowerModel: negative activity (",
-                   activity.compute, ", ", activity.memory, ")");
-    }
+    POLCA_CHECK(activity.compute >= 0.0 && activity.memory >= 0.0,
+                "negative activity (", activity.compute, ", ",
+                activity.memory, ")");
     activity_ = activity;
 }
 
@@ -121,10 +121,10 @@ GpuPowerModel::stepCapController()
 double
 GpuPowerModel::slowdownFactor(double computeBoundFraction) const
 {
-    if (computeBoundFraction < 0.0 || computeBoundFraction > 1.0) {
-        sim::panic("GpuPowerModel: compute-bound fraction ",
-                   computeBoundFraction, " outside [0,1]");
-    }
+    POLCA_CHECK(computeBoundFraction >= 0.0 &&
+                    computeBoundFraction <= 1.0,
+                "compute-bound fraction ", computeBoundFraction,
+                " outside [0,1]");
     double f = effectiveClockMhz();
     double ratio = spec_.maxSmClockMhz / f;
     return computeBoundFraction * ratio + (1.0 - computeBoundFraction);

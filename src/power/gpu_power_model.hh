@@ -5,8 +5,7 @@
  * reactive power capping, and the OOB power brake (Section 3.2).
  */
 
-#ifndef POLCA_POWER_GPU_POWER_MODEL_HH
-#define POLCA_POWER_GPU_POWER_MODEL_HH
+#pragma once
 
 #include "power/gpu_spec.hh"
 #include "sim/types.hh"
@@ -127,4 +126,3 @@ class GpuPowerModel
 
 } // namespace polca::power
 
-#endif // POLCA_POWER_GPU_POWER_MODEL_HH

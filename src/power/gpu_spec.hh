@@ -9,8 +9,7 @@
  * reports are reproduced (see DESIGN.md "Model calibration anchors").
  */
 
-#ifndef POLCA_POWER_GPU_SPEC_HH
-#define POLCA_POWER_GPU_SPEC_HH
+#pragma once
 
 #include <string>
 
@@ -78,4 +77,3 @@ struct GpuSpec
 
 } // namespace polca::power
 
-#endif // POLCA_POWER_GPU_SPEC_HH

@@ -6,8 +6,7 @@
  * provisioned-power breakdown of Figure 3 is reproducible.
  */
 
-#ifndef POLCA_POWER_SERVER_MODEL_HH
-#define POLCA_POWER_SERVER_MODEL_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -119,4 +118,3 @@ class ServerModel
 
 } // namespace polca::power
 
-#endif // POLCA_POWER_SERVER_MODEL_HH

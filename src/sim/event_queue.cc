@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::sim {
@@ -12,11 +13,17 @@ EventQueue::allocSlot()
 {
     if (freeHead_ != kNoSlot) {
         std::uint32_t slot = freeHead_;
+        POLCA_DCHECK(slot < slab_.size(),
+                     "free-list head ", slot, " outside slab of ",
+                     slab_.size());
+        POLCA_DCHECK(!slab_[slot].callback,
+                     "free-listed slot ", slot,
+                     " still holds a callback");
         freeHead_ = slab_[slot].nextFree;
         return slot;
     }
-    if (slab_.size() >= kNoSlot)
-        panic("EventQueue: slab exhausted (", slab_.size(), " slots)");
+    POLCA_CHECK(slab_.size() < kNoSlot,
+                "slab exhausted (", slab_.size(), " slots)");
     slab_.emplace_back();
     return static_cast<std::uint32_t>(slab_.size() - 1);
 }
@@ -35,12 +42,11 @@ std::uint32_t
 EventQueue::enqueue(Tick when, Callback &callback,
                     const std::string &name)
 {
-    if (when < now_) {
-        panic("EventQueue: scheduling event '", name, "' at t=", when,
-              " which is in the past (now=", now_, ")");
-    }
-    if (!callback)
-        panic("EventQueue: scheduling empty callback '", name, "'");
+    POLCA_CHECK(when >= now_,
+                "scheduling event '", name, "' at t=", when,
+                " which is in the past (now=", now_, ")");
+    POLCA_CHECK(static_cast<bool>(callback),
+                "scheduling empty callback '", name, "'");
 
     std::uint32_t slot = allocSlot();
     Slot &s = slab_[slot];
@@ -69,8 +75,7 @@ EventQueue::schedule(Tick when, Callback callback, std::string name)
 EventQueue::Handle
 EventQueue::scheduleAfter(Tick delay, Callback callback, std::string name)
 {
-    if (delay < 0)
-        panic("EventQueue: negative delay ", delay);
+    POLCA_CHECK(delay >= 0, "negative delay ", delay);
     return schedule(now_ + delay, std::move(callback), std::move(name));
 }
 
@@ -83,8 +88,7 @@ EventQueue::post(Tick when, Callback callback, std::string name)
 void
 EventQueue::postAfter(Tick delay, Callback callback, std::string name)
 {
-    if (delay < 0)
-        panic("EventQueue: negative delay ", delay);
+    POLCA_CHECK(delay >= 0, "negative delay ", delay);
     post(now_ + delay, std::move(callback), std::move(name));
 }
 
@@ -96,6 +100,11 @@ EventQueue::cancel(Handle &handle)
     handle.control_->done = true;
     // Release the callback's resources now, but keep the slot
     // occupied until its heap entry surfaces (see Slot).
+    POLCA_ASSERT(handle.control_->slot < slab_.size(),
+                 "live handle points at slot ", handle.control_->slot,
+                 " outside slab of ", slab_.size());
+    POLCA_ASSERT(liveEvents_ > 0,
+                 "cancelling a live handle with no live events");
     Slot &s = slab_[handle.control_->slot];
     s.callback = nullptr;
     s.control.reset();
@@ -156,8 +165,21 @@ EventQueue::runOne()
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
 
+    // Heap order is the determinism contract: the popped entry must
+    // never precede the current time, and skipDead() must have left a
+    // live callback on top.
+    POLCA_ASSERT(top.when >= now_,
+                 "heap order violated: popped t=", top.when,
+                 " behind now=", now_);
+    POLCA_DCHECK(top.slot < slab_.size(),
+                 "heap entry slot ", top.slot, " outside slab of ",
+                 slab_.size());
+    POLCA_ASSERT(liveEvents_ > 0,
+                 "firing an event with liveEvents_ == 0");
     now_ = top.when;
     Slot &s = slab_[top.slot];
+    POLCA_DCHECK(static_cast<bool>(s.callback),
+                 "runOne popped a dead slot after skipDead");
     if (s.control) {
         s.control->done = true;
         s.control.reset();

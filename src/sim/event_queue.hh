@@ -29,8 +29,7 @@
  * are rejected the same way.
  */
 
-#ifndef POLCA_SIM_EVENT_QUEUE_HH
-#define POLCA_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -79,11 +78,13 @@ class EventQueue
             bool done = false;
         };
 
-        explicit Handle(std::shared_ptr<Control> control)
+        // Handles are the cold cancellation path, not the per-event
+        // hot path (posts carry no control block at all).
+        explicit Handle(std::shared_ptr<Control> control)  // polca-lint: allow(sim-shared-ptr)
             : control_(std::move(control))
         {}
 
-        std::shared_ptr<Control> control_;
+        std::shared_ptr<Control> control_;  // polca-lint: allow(sim-shared-ptr)
     };
 
     EventQueue() = default;
@@ -99,12 +100,14 @@ class EventQueue
      * @param name  Optional label for diagnostics; recorded only while
      *              name tracing is enabled.
      */
-    Handle schedule(Tick when, Callback callback, std::string name = {});
+    [[nodiscard]] Handle schedule(Tick when, Callback callback,
+                                  std::string name = {});
 
     /** Schedule a cancellable callback @p delay ticks from now
-     *  (delay >= 0; negative delays panic). */
-    Handle scheduleAfter(Tick delay, Callback callback,
-                         std::string name = {});
+     *  (delay >= 0; negative delays panic).  Discarding the Handle
+     *  forfeits cancellation — use post()/postAfter() for that. */
+    [[nodiscard]] Handle scheduleAfter(Tick delay, Callback callback,
+                                       std::string name = {});
 
     /**
      * Fire-and-forget fast path: schedule a callback at absolute tick
@@ -142,19 +145,19 @@ class EventQueue
     std::vector<std::string> pendingEventNames() const;
 
     /** Current simulated time. */
-    Tick now() const { return now_; }
+    [[nodiscard]] Tick now() const { return now_; }
 
     /** @return true if no live (non-cancelled) events remain. */
-    bool empty() const { return liveEvents_ == 0; }
+    [[nodiscard]] bool empty() const { return liveEvents_ == 0; }
 
     /** Number of live events currently scheduled. */
-    std::size_t size() const { return liveEvents_; }
+    [[nodiscard]] std::size_t size() const { return liveEvents_; }
 
     /** Most live events ever scheduled at once (queue pressure). */
-    std::size_t highWaterMark() const { return highWater_; }
+    [[nodiscard]] std::size_t highWaterMark() const { return highWater_; }
 
     /** Total callbacks executed since construction. */
-    std::uint64_t numProcessed() const { return numProcessed_; }
+    [[nodiscard]] std::uint64_t numProcessed() const { return numProcessed_; }
 
     /**
      * Fire the single earliest pending event.
@@ -181,7 +184,7 @@ class EventQueue
     struct Slot
     {
         Callback callback;
-        std::shared_ptr<Handle::Control> control;  ///< null for posts
+        std::shared_ptr<Handle::Control> control;  ///< null for posts  // polca-lint: allow(sim-shared-ptr)
         std::uint64_t seq = 0;
         std::uint32_t nextFree = kNoSlot;
     };
@@ -234,4 +237,3 @@ class EventQueue
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_EVENT_QUEUE_HH

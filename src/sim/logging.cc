@@ -26,25 +26,12 @@ logSink()
     return sink;
 }
 
-/** "[t=12.000000s] msg" when a simulation is active, else "msg". */
-std::string
-withTimePrefix(const std::string &msg)
-{
-    const auto &source = timeSource();
-    if (!source)
-        return msg;
-    char prefix[48];
-    std::snprintf(prefix, sizeof(prefix), "[t=%.6fs] ",
-                  ticksToSeconds(source()));
-    return prefix + msg;
-}
-
 void
 report(const char *severity, std::FILE *stream, const std::string &msg)
 {
     if (quiet())
         return;
-    std::string line = withTimePrefix(msg);
+    std::string line = withSimTimePrefix(msg);
     const auto &sink = logSink();
     if (sink) {
         sink(severity, line);
@@ -54,6 +41,18 @@ report(const char *severity, std::FILE *stream, const std::string &msg)
 }
 
 } // namespace
+
+std::string
+withSimTimePrefix(const std::string &msg)
+{
+    const auto &source = timeSource();
+    if (!source)
+        return msg;
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.6fs] ",
+                  ticksToSeconds(source()));
+    return prefix + msg;
+}
 
 void
 setQuiet(bool quiet)

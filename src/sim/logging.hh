@@ -16,8 +16,7 @@
  * timestamps are the same ticks).
  */
 
-#ifndef POLCA_SIM_LOGGING_HH
-#define POLCA_SIM_LOGGING_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -114,6 +113,14 @@ class QuietScope
 };
 
 /**
+ * Prefix @p msg with "[t=<seconds>s] " when a simulated-time source
+ * is installed (i.e. a Simulation is alive on the calling thread);
+ * returns @p msg unchanged otherwise.  Shared by warn()/inform() and
+ * the contract layer's failure reports.
+ */
+std::string withSimTimePrefix(const std::string &msg);
+
+/**
  * Install the time source used to prefix warn()/inform() messages
  * with the current simulated time; pass nullptr to remove it.
  * Simulation installs/removes itself automatically — user code
@@ -133,4 +140,3 @@ void setLogSink(
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_LOGGING_HH

@@ -1,6 +1,6 @@
 #include "sim/random.hh"
 
-#include "sim/logging.hh"
+#include "core/contracts.hh"
 
 namespace polca::sim {
 
@@ -9,12 +9,10 @@ Rng::weightedIndex(const std::vector<double> &weights)
 {
     double total = 0.0;
     for (double w : weights) {
-        if (w < 0.0)
-            panic("Rng::weightedIndex: negative weight ", w);
+        POLCA_CHECK(w >= 0.0, "negative weight ", w);
         total += w;
     }
-    if (total <= 0.0)
-        panic("Rng::weightedIndex: weights sum to zero");
+    POLCA_CHECK(total > 0.0, "weights sum to zero");
 
     double draw = uniform() * total;
     double running = 0.0;

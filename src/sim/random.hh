@@ -8,8 +8,7 @@
  * forked with independent streams for per-component randomness.
  */
 
-#ifndef POLCA_SIM_RANDOM_HH
-#define POLCA_SIM_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -119,4 +118,3 @@ class Rng
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_RANDOM_HH

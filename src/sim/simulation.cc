@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::sim {
@@ -65,8 +66,7 @@ Simulation::PeriodicTask::PeriodicTask(Simulation &sim, Tick period,
                                        std::function<void(Tick)> callback)
     : sim_(sim), period_(period), callback_(std::move(callback))
 {
-    if (period_ <= 0)
-        panic("PeriodicTask: non-positive period ", period_);
+    POLCA_CHECK(period_ > 0, "non-positive period ", period_);
 }
 
 void
@@ -95,8 +95,10 @@ std::unique_ptr<Simulation::PeriodicTask>
 Simulation::every(Tick period, std::function<void(Tick)> callback,
                   Tick phase)
 {
+    // PeriodicTask's ctor is private, so make_unique cannot reach it;
+    // the unique_ptr takes ownership on the same line.
     auto task = std::unique_ptr<PeriodicTask>(
-        new PeriodicTask(*this, period, std::move(callback)));
+        new PeriodicTask(*this, period, std::move(callback)));  // polca-lint: allow(raw-new-delete)
     PeriodicTask *raw = task.get();
     Tick first = phase >= 0 ? phase : period;
     task->pending_ = queue_.scheduleAfter(first, [raw] {

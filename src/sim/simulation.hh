@@ -5,8 +5,7 @@
  * controllers, and samplers are all periodic).
  */
 
-#ifndef POLCA_SIM_SIMULATION_HH
-#define POLCA_SIM_SIMULATION_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -88,7 +87,7 @@ class Simulation
      * Create a periodic task.  @p phase delays the first firing
      * (default: one full period from now).
      */
-    std::unique_ptr<PeriodicTask>
+    [[nodiscard]] std::unique_ptr<PeriodicTask>
     every(Tick period, std::function<void(Tick)> callback,
           Tick phase = -1);
 
@@ -105,4 +104,3 @@ class Simulation
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_SIMULATION_HH

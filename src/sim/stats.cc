@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.hh"
+#include "core/contracts.hh"
 
 namespace polca::sim {
 
@@ -86,16 +86,14 @@ Sampler::mean() const
 double
 Sampler::min() const
 {
-    if (values_.empty())
-        panic("Sampler::min on empty sampler");
+    POLCA_CHECK(!values_.empty(), "min on empty sampler");
     return *std::min_element(values_.begin(), values_.end());
 }
 
 double
 Sampler::max() const
 {
-    if (values_.empty())
-        panic("Sampler::max on empty sampler");
+    POLCA_CHECK(!values_.empty(), "max on empty sampler");
     return *std::max_element(values_.begin(), values_.end());
 }
 
@@ -111,10 +109,8 @@ Sampler::ensureSorted() const
 double
 Sampler::quantile(double q) const
 {
-    if (values_.empty())
-        panic("Sampler::quantile on empty sampler");
-    if (q < 0.0 || q > 1.0)
-        panic("Sampler::quantile: q=", q, " outside [0,1]");
+    POLCA_CHECK(!values_.empty(), "quantile on empty sampler");
+    POLCA_CHECK(q >= 0.0 && q <= 1.0, "q=", q, " outside [0,1]");
     ensureSorted();
 
     double pos = q * static_cast<double>(values_.size() - 1);
@@ -128,10 +124,8 @@ Sampler::quantile(double q) const
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0)
 {
-    if (bins == 0)
-        panic("Histogram: zero bins");
-    if (!(hi > lo))
-        panic("Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+    POLCA_CHECK(bins > 0, "zero bins");
+    POLCA_CHECK(hi > lo, "hi (", hi, ") must exceed lo (", lo, ")");
 }
 
 void

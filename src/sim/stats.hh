@@ -4,8 +4,7 @@
  * samplers used throughout the models and the POLCA evaluation.
  */
 
-#ifndef POLCA_SIM_STATS_HH
-#define POLCA_SIM_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <limits>
@@ -139,4 +138,3 @@ double quantileOf(std::vector<double> values, double q);
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_STATS_HH

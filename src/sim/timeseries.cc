@@ -3,41 +3,37 @@
 #include <algorithm>
 #include <limits>
 
-#include "sim/logging.hh"
+#include "core/contracts.hh"
 
 namespace polca::sim {
 
 void
 TimeSeries::add(Tick time, double value)
 {
-    if (!points_.empty() && time < points_.back().time) {
-        panic("TimeSeries::add: time ", time, " precedes last sample ",
-              points_.back().time);
-    }
+    POLCA_CHECK(points_.empty() || time >= points_.back().time,
+                "time ", time, " precedes last sample ",
+                points_.empty() ? 0 : points_.back().time);
     points_.push_back({time, value});
 }
 
 Tick
 TimeSeries::startTime() const
 {
-    if (points_.empty())
-        panic("TimeSeries::startTime on empty series");
+    POLCA_CHECK(!points_.empty(), "startTime on empty series");
     return points_.front().time;
 }
 
 Tick
 TimeSeries::endTime() const
 {
-    if (points_.empty())
-        panic("TimeSeries::endTime on empty series");
+    POLCA_CHECK(!points_.empty(), "endTime on empty series");
     return points_.back().time;
 }
 
 double
 TimeSeries::valueAt(Tick time) const
 {
-    if (points_.empty())
-        panic("TimeSeries::valueAt on empty series");
+    POLCA_CHECK(!points_.empty(), "valueAt on empty series");
     if (time < points_.front().time)
         return points_.front().value;
 
@@ -51,8 +47,7 @@ TimeSeries::valueAt(Tick time) const
 double
 TimeSeries::maxValue() const
 {
-    if (points_.empty())
-        panic("TimeSeries::maxValue on empty series");
+    POLCA_CHECK(!points_.empty(), "maxValue on empty series");
     double best = -std::numeric_limits<double>::infinity();
     for (const Point &p : points_)
         best = std::max(best, p.value);
@@ -62,8 +57,7 @@ TimeSeries::maxValue() const
 double
 TimeSeries::minValue() const
 {
-    if (points_.empty())
-        panic("TimeSeries::minValue on empty series");
+    POLCA_CHECK(!points_.empty(), "minValue on empty series");
     double best = std::numeric_limits<double>::infinity();
     for (const Point &p : points_)
         best = std::min(best, p.value);
@@ -73,8 +67,7 @@ TimeSeries::minValue() const
 double
 TimeSeries::meanValue() const
 {
-    if (points_.empty())
-        panic("TimeSeries::meanValue on empty series");
+    POLCA_CHECK(!points_.empty(), "meanValue on empty series");
     double sum = 0.0;
     for (const Point &p : points_)
         sum += p.value;
@@ -84,8 +77,7 @@ TimeSeries::meanValue() const
 double
 TimeSeries::timeWeightedMean() const
 {
-    if (points_.empty())
-        panic("TimeSeries::timeWeightedMean on empty series");
+    POLCA_CHECK(!points_.empty(), "timeWeightedMean on empty series");
     if (points_.size() == 1)
         return points_.front().value;
 
@@ -105,8 +97,7 @@ TimeSeries::timeWeightedMean() const
 TimeSeries
 TimeSeries::resampled(Tick dt) const
 {
-    if (dt <= 0)
-        panic("TimeSeries::resampled: non-positive period ", dt);
+    POLCA_CHECK(dt > 0, "resampled: non-positive period ", dt);
     TimeSeries out;
     if (points_.empty())
         return out;
@@ -123,8 +114,8 @@ TimeSeries::resampled(Tick dt) const
 TimeSeries
 TimeSeries::movingAverage(Tick window) const
 {
-    if (window <= 0)
-        panic("TimeSeries::movingAverage: non-positive window ", window);
+    POLCA_CHECK(window > 0, "movingAverage: non-positive window ",
+                window);
     TimeSeries out;
     out.reserve(points_.size());
 
@@ -145,8 +136,8 @@ TimeSeries::movingAverage(Tick window) const
 double
 TimeSeries::maxRiseWithin(Tick window) const
 {
-    if (window <= 0)
-        panic("TimeSeries::maxRiseWithin: non-positive window ", window);
+    POLCA_CHECK(window > 0, "maxRiseWithin: non-positive window ",
+                window);
     if (points_.size() < 2)
         return 0.0;
 
@@ -190,8 +181,7 @@ TimeSeries::scaled(double factor) const
 TimeSeries
 sumOnGrid(const std::vector<const TimeSeries *> &series, Tick dt)
 {
-    if (dt <= 0)
-        panic("sumOnGrid: non-positive period ", dt);
+    POLCA_CHECK(dt > 0, "sumOnGrid: non-positive period ", dt);
 
     Tick start = maxTick;
     Tick end = 0;

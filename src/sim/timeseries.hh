@@ -5,8 +5,7 @@
  * time window, resampling onto a regular grid).
  */
 
-#ifndef POLCA_SIM_TIMESERIES_HH
-#define POLCA_SIM_TIMESERIES_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -37,42 +36,42 @@ class TimeSeries
     /** Append a sample; @p time must be >= the last sample's time. */
     void add(Tick time, double value);
 
-    bool empty() const { return points_.empty(); }
-    std::size_t size() const { return points_.size(); }
+    [[nodiscard]] bool empty() const { return points_.empty(); }
+    [[nodiscard]] std::size_t size() const { return points_.size(); }
 
     const std::vector<Point> &points() const { return points_; }
     const Point &at(std::size_t i) const { return points_.at(i); }
 
-    Tick startTime() const;
-    Tick endTime() const;
+    [[nodiscard]] Tick startTime() const;
+    [[nodiscard]] Tick endTime() const;
 
     /**
      * Step-function value at @p time: the value of the last sample at
      * or before @p time.  Querying before the first sample returns the
      * first sample's value.
      */
-    double valueAt(Tick time) const;
+    [[nodiscard]] double valueAt(Tick time) const;
 
     /** Max/min/mean over sample values (unweighted). */
-    double maxValue() const;
-    double minValue() const;
-    double meanValue() const;
+    [[nodiscard]] double maxValue() const;
+    [[nodiscard]] double minValue() const;
+    [[nodiscard]] double meanValue() const;
 
     /** Time-weighted mean (step integration over [start, end]). */
-    double timeWeightedMean() const;
+    [[nodiscard]] double timeWeightedMean() const;
 
     /**
      * Resample onto a regular grid of period @p dt starting at the
      * first sample, using step interpolation.
      */
-    TimeSeries resampled(Tick dt) const;
+    [[nodiscard]] TimeSeries resampled(Tick dt) const;
 
     /**
      * Trailing moving average with window @p window: output point i
      * holds the unweighted mean of all samples in (t_i - window, t_i].
      * O(n) two-pointer implementation.
      */
-    TimeSeries movingAverage(Tick window) const;
+    [[nodiscard]] TimeSeries movingAverage(Tick window) const;
 
     /**
      * Largest upward excursion within any window of length
@@ -81,10 +80,10 @@ class TimeSeries
      * seconds" metric (Table 4).  Returns 0 for monotonically
      * non-increasing series.
      */
-    double maxRiseWithin(Tick window) const;
+    [[nodiscard]] double maxRiseWithin(Tick window) const;
 
     /** Scale all values by @p factor (returns a new series). */
-    TimeSeries scaled(double factor) const;
+    [[nodiscard]] TimeSeries scaled(double factor) const;
 
     /** Drop all samples. */
     void clear() { points_.clear(); }
@@ -104,4 +103,3 @@ TimeSeries sumOnGrid(const std::vector<const TimeSeries *> &series,
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_TIMESERIES_HH

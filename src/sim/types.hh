@@ -7,8 +7,7 @@
  * helpers convert to and from floating-point seconds at the edges.
  */
 
-#ifndef POLCA_SIM_TYPES_HH
-#define POLCA_SIM_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -54,4 +53,3 @@ ticksToMs(Tick ticks)
 
 } // namespace polca::sim
 
-#endif // POLCA_SIM_TYPES_HH

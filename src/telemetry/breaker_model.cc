@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::telemetry {
@@ -10,8 +11,7 @@ BreakerModel::BreakerModel(sim::Simulation &sim, PowerSource supply,
                            Config config)
     : sim_(sim), supply_(std::move(supply)), config_(config)
 {
-    if (!supply_)
-        sim::panic("BreakerModel: empty power source");
+    POLCA_CHECK(static_cast<bool>(supply_), "empty power source");
     if (config_.provisionedWatts <= 0.0)
         sim::fatal("BreakerModel: non-positive provisioned power");
     if (config_.sampleInterval <= 0 || config_.tripDuration <= 0)
@@ -96,6 +96,18 @@ BreakerModel::sample(sim::Tick now)
     // preceding interval (same convention as EnergyMeter).
     double watts = supply_();
     sim::Tick dt = config_.sampleInterval;
+
+    // Conserved-accounting invariants: overdraw energy and time above
+    // budget/limit only ever accumulate, and the trip windup can
+    // never outrun the time that has actually elapsed above limit.
+    POLCA_ASSERT(overdrawWs_ >= 0.0,
+                 "overdraw went negative: ", overdrawWs_, " Ws");
+    POLCA_ASSERT(streak_ >= 0 && streak_ <= aboveLimit_,
+                 "windup streak ", streak_,
+                 " outside [0, aboveLimit=", aboveLimit_, "]");
+    POLCA_DCHECK(aboveLimit_ <= aboveBudget_,
+                 "time above limit ", aboveLimit_,
+                 " exceeds time above budget ", aboveBudget_);
 
     if (watts > config_.provisionedWatts) {
         aboveBudget_ += dt;

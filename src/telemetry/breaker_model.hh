@@ -16,8 +16,7 @@
  * have taken the row down.
  */
 
-#ifndef POLCA_TELEMETRY_BREAKER_MODEL_HH
-#define POLCA_TELEMETRY_BREAKER_MODEL_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -144,4 +143,3 @@ class BreakerModel
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_BREAKER_MODEL_HH

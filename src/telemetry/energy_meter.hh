@@ -8,8 +8,7 @@
  * energy implications of capping policies as well.
  */
 
-#ifndef POLCA_TELEMETRY_ENERGY_METER_HH
-#define POLCA_TELEMETRY_ENERGY_METER_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -61,4 +60,3 @@ class EnergyMeter
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_ENERGY_METER_HH

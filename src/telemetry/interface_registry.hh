@@ -7,8 +7,7 @@
  * environment is auditable in one place.
  */
 
-#ifndef POLCA_TELEMETRY_INTERFACE_REGISTRY_HH
-#define POLCA_TELEMETRY_INTERFACE_REGISTRY_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -57,4 +56,3 @@ RowParameters paperRowParameters();
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_INTERFACE_REGISTRY_HH

@@ -8,8 +8,7 @@
  * at a 1-5 s OOB cadence and sees that overhead.
  */
 
-#ifndef POLCA_TELEMETRY_MONITORS_HH
-#define POLCA_TELEMETRY_MONITORS_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -117,4 +116,3 @@ class IpmiMonitor
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_MONITORS_HH

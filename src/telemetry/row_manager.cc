@@ -1,5 +1,6 @@
 #include "telemetry/row_manager.hh"
 
+#include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::telemetry {
@@ -15,16 +16,14 @@ RowManager::RowManager(sim::Simulation &sim, sim::Tick interval,
 void
 RowManager::addSource(PowerSource source)
 {
-    if (!source)
-        sim::panic("RowManager: empty power source");
+    POLCA_CHECK(static_cast<bool>(source), "empty power source");
     sources_.push_back(std::move(source));
 }
 
 void
 RowManager::addListener(Listener listener)
 {
-    if (!listener)
-        sim::panic("RowManager: empty listener");
+    POLCA_CHECK(static_cast<bool>(listener), "empty listener");
     listeners_.push_back(std::move(listener));
 }
 

@@ -6,8 +6,7 @@
  * phases pays off (Insight 9).
  */
 
-#ifndef POLCA_TELEMETRY_ROW_MANAGER_HH
-#define POLCA_TELEMETRY_ROW_MANAGER_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -126,4 +125,3 @@ class RowManager
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_ROW_MANAGER_HH

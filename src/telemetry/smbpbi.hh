@@ -11,8 +11,7 @@
  *    errors", so callers need verification guardrails.
  */
 
-#ifndef POLCA_TELEMETRY_SMBPBI_HH
-#define POLCA_TELEMETRY_SMBPBI_HH
+#pragma once
 
 #include <cstdint>
 
@@ -141,4 +140,3 @@ class SmbpbiController
 
 } // namespace polca::telemetry
 
-#endif // POLCA_TELEMETRY_SMBPBI_HH

@@ -7,8 +7,7 @@
  * generated per Section 6.4's methodology.
  */
 
-#ifndef POLCA_WORKLOAD_DIURNAL_HH
-#define POLCA_WORKLOAD_DIURNAL_HH
+#pragma once
 
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -68,4 +67,3 @@ class DiurnalModel
 
 } // namespace polca::workload
 
-#endif // POLCA_WORKLOAD_DIURNAL_HH

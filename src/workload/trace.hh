@@ -7,8 +7,7 @@
  * output sizes", Section 6.4).
  */
 
-#ifndef POLCA_WORKLOAD_TRACE_HH
-#define POLCA_WORKLOAD_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -75,4 +74,3 @@ class Trace
 
 } // namespace polca::workload
 
-#endif // POLCA_WORKLOAD_TRACE_HH

@@ -12,8 +12,7 @@
  * workload mix.
  */
 
-#ifndef POLCA_WORKLOAD_TRACE_GEN_HH
-#define POLCA_WORKLOAD_TRACE_GEN_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -96,4 +95,3 @@ class TraceGenerator
 
 } // namespace polca::workload
 
-#endif // POLCA_WORKLOAD_TRACE_GEN_HH

@@ -5,8 +5,7 @@
  * low/high priorities and latency SLOs per priority.
  */
 
-#ifndef POLCA_WORKLOAD_WORKLOAD_SPEC_HH
-#define POLCA_WORKLOAD_WORKLOAD_SPEC_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ SloSpec paperSlos();
 
 } // namespace polca::workload
 
-#endif // POLCA_WORKLOAD_WORKLOAD_SPEC_HH

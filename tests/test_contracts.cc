@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The contract layer: macro semantics, failure-report format
+ * (including the simulated-time prefix), the pluggable handler, and
+ * the NDEBUG behavior of POLCA_DCHECK.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/contracts.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+using namespace polca;
+using core::ContractError;
+using core::ScopedContractHandler;
+using core::throwingContractHandler;
+
+TEST(Contracts, PassingConditionsAreSilent)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    int evaluations = 0;
+    POLCA_ASSERT(++evaluations == 1, "assert should pass");
+    POLCA_CHECK(++evaluations == 2, "check should pass");
+    EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Contracts, ThrowingHandlerRoundTrip)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    EXPECT_THROW(POLCA_CHECK(false, "nope"), ContractError);
+    // The layer stays usable after a failure (the handler threw, the
+    // process lives): a passing contract is still silent.
+    POLCA_CHECK(true, "fine");
+}
+
+TEST(Contracts, ReportCarriesAllFields)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    std::string report;
+    try {
+        int limit = 3;
+        POLCA_CHECK(limit > 10, "limit=", limit, " too small");
+    } catch (const ContractError &err) {
+        report = err.what();
+    }
+    EXPECT_NE(report.find("POLCA_CHECK failed"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("limit > 10"), std::string::npos) << report;
+    EXPECT_NE(report.find("limit=3 too small"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("test_contracts.cc"), std::string::npos)
+        << report;
+    // No Simulation is alive here, so no time prefix.
+    EXPECT_EQ(report.find("[t="), std::string::npos) << report;
+}
+
+TEST(Contracts, AssertAndDcheckNameTheirMacro)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    std::string report;
+    try {
+        POLCA_ASSERT(false, "broken invariant");
+    } catch (const ContractError &err) {
+        report = err.what();
+    }
+    EXPECT_NE(report.find("POLCA_ASSERT failed"), std::string::npos)
+        << report;
+}
+
+TEST(Contracts, MessageIsOptional)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    std::string report;
+    try {
+        POLCA_CHECK(1 + 1 == 3);
+    } catch (const ContractError &err) {
+        report = err.what();
+    }
+    EXPECT_NE(report.find("1 + 1 == 3"), std::string::npos) << report;
+}
+
+TEST(Contracts, ReportIncludesSimTimeWhileSimulationRuns)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    sim::Simulation simulation(1);
+    std::string report;
+    simulation.queue().post(sim::secondsToTicks(12.0), [&] {
+        try {
+            POLCA_ASSERT(false, "mid-run failure");
+        } catch (const ContractError &err) {
+            report = err.what();
+        }
+    });
+    simulation.runUntil(sim::secondsToTicks(20.0));
+    EXPECT_NE(report.find("[t=12.000000s]"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("POLCA_ASSERT failed"), std::string::npos)
+        << report;
+}
+
+TEST(Contracts, ScopedHandlerRestoresPrevious)
+{
+    ScopedContractHandler outer(&throwingContractHandler);
+    {
+        // Inner scope installs a distinct handler, then restores the
+        // throwing one on exit.
+        static bool innerCalled;
+        innerCalled = false;
+        ScopedContractHandler inner(
+            +[](const core::ContractViolation &violation) {
+                innerCalled = true;
+                throw ContractError(violation);
+            });
+        EXPECT_THROW(POLCA_CHECK(false), ContractError);
+        EXPECT_TRUE(innerCalled);
+    }
+    // Back to throwingContractHandler: failures still throw (and the
+    // inner handler is gone).
+    EXPECT_THROW(POLCA_CHECK(false), ContractError);
+}
+
+TEST(Contracts, DcheckFollowsNdebug)
+{
+    ScopedContractHandler guard(&throwingContractHandler);
+    int evaluations = 0;
+#ifdef NDEBUG
+    // Compiled out: the condition must not even be evaluated, and a
+    // false condition must not fail.
+    POLCA_DCHECK(++evaluations > 0, "never evaluated");
+    EXPECT_EQ(evaluations, 0);
+    POLCA_DCHECK(false, "compiled out");
+#else
+    // Debug build: behaves exactly like POLCA_ASSERT.
+    POLCA_DCHECK(++evaluations > 0, "evaluated");
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_THROW(POLCA_DCHECK(false, "fires in debug"), ContractError);
+#endif
+}
+
+TEST(ContractsDeathTest, DefaultHandlerAbortsWithReport)
+{
+    // No scoped handler: the default aborting handler prints the
+    // report to stderr and aborts.
+    EXPECT_DEATH(POLCA_CHECK(false, "fatal by default"),
+                 "POLCA_CHECK failed.*fatal by default");
+}

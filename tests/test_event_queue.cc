@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -21,9 +22,9 @@ TEST(EventQueue, FiresInTimeOrder)
 {
     EventQueue queue;
     std::vector<int> order;
-    queue.schedule(30, [&] { order.push_back(3); });
-    queue.schedule(10, [&] { order.push_back(1); });
-    queue.schedule(20, [&] { order.push_back(2); });
+    std::ignore = queue.schedule(30, [&] { order.push_back(3); });
+    std::ignore = queue.schedule(10, [&] { order.push_back(1); });
+    std::ignore = queue.schedule(20, [&] { order.push_back(2); });
     queue.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(queue.now(), 30);
@@ -33,9 +34,9 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
 {
     EventQueue queue;
     std::vector<int> order;
-    queue.schedule(5, [&] { order.push_back(1); });
-    queue.schedule(5, [&] { order.push_back(2); });
-    queue.schedule(5, [&] { order.push_back(3); });
+    std::ignore = queue.schedule(5, [&] { order.push_back(1); });
+    std::ignore = queue.schedule(5, [&] { order.push_back(2); });
+    std::ignore = queue.schedule(5, [&] { order.push_back(3); });
     queue.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -44,7 +45,7 @@ TEST(EventQueue, NowAdvancesToEventTime)
 {
     EventQueue queue;
     Tick seen = -1;
-    queue.schedule(42, [&] { seen = queue.now(); });
+    std::ignore = queue.schedule(42, [&] { seen = queue.now(); });
     queue.runOne();
     EXPECT_EQ(seen, 42);
     EXPECT_EQ(queue.now(), 42);
@@ -54,9 +55,9 @@ TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
 {
     EventQueue queue;
     int fired = 0;
-    queue.schedule(10, [&] { ++fired; });
-    queue.schedule(20, [&] { ++fired; });
-    queue.schedule(21, [&] { ++fired; });
+    std::ignore = queue.schedule(10, [&] { ++fired; });
+    std::ignore = queue.schedule(20, [&] { ++fired; });
+    std::ignore = queue.schedule(21, [&] { ++fired; });
     EXPECT_EQ(queue.runUntil(20), 2u);
     EXPECT_EQ(fired, 2);
     EXPECT_EQ(queue.now(), 20);
@@ -74,8 +75,8 @@ TEST(EventQueue, ScheduleAfterUsesCurrentTime)
 {
     EventQueue queue;
     Tick seen = -1;
-    queue.schedule(100, [&] {
-        queue.scheduleAfter(50, [&] { seen = queue.now(); });
+    std::ignore = queue.schedule(100, [&] {
+        std::ignore = queue.scheduleAfter(50, [&] { seen = queue.now(); });
     });
     queue.runAll();
     EXPECT_EQ(seen, 150);
@@ -116,7 +117,7 @@ TEST(EventQueue, CancelledEventsDoNotCountAsLive)
 {
     EventQueue queue;
     auto a = queue.schedule(10, [] {});
-    queue.schedule(20, [] {});
+    std::ignore = queue.schedule(20, [] {});
     EXPECT_EQ(queue.size(), 2u);
     queue.cancel(a);
     EXPECT_EQ(queue.size(), 1u);
@@ -127,10 +128,10 @@ TEST(EventQueue, ReentrantSchedulingDuringCallback)
 {
     EventQueue queue;
     std::vector<Tick> times;
-    queue.schedule(10, [&] {
+    std::ignore = queue.schedule(10, [&] {
         times.push_back(queue.now());
-        queue.schedule(15, [&] { times.push_back(queue.now()); });
-        queue.schedule(12, [&] { times.push_back(queue.now()); });
+        std::ignore = queue.schedule(15, [&] { times.push_back(queue.now()); });
+        std::ignore = queue.schedule(12, [&] { times.push_back(queue.now()); });
     });
     queue.runAll();
     EXPECT_EQ(times, (std::vector<Tick>{10, 12, 15}));
@@ -140,10 +141,10 @@ TEST(EventQueue, SchedulingAtCurrentTimeDuringCallbackFiresSameRun)
 {
     EventQueue queue;
     int count = 0;
-    queue.schedule(10, [&] {
+    std::ignore = queue.schedule(10, [&] {
         ++count;
         if (count < 3)
-            queue.schedule(queue.now(), [&] { ++count; });
+            std::ignore = queue.schedule(queue.now(), [&] { ++count; });
     });
     queue.runAll();
     EXPECT_EQ(count, 2);
@@ -153,7 +154,7 @@ TEST(EventQueue, NumProcessedCounts)
 {
     EventQueue queue;
     for (int i = 0; i < 5; ++i)
-        queue.schedule(i, [] {});
+        std::ignore = queue.schedule(i, [] {});
     queue.runAll();
     EXPECT_EQ(queue.numProcessed(), 5u);
 }
@@ -161,7 +162,7 @@ TEST(EventQueue, NumProcessedCounts)
 TEST(EventQueueDeath, SchedulingInPastPanics)
 {
     EventQueue queue;
-    queue.schedule(10, [] {});
+    std::ignore = queue.schedule(10, [] {});
     queue.runAll();
     EXPECT_DEATH(queue.schedule(5, [] {}), "in the past");
 }
@@ -184,9 +185,9 @@ TEST(EventQueue, PostFiresInTimeOrderInterleavedWithSchedule)
     EventQueue queue;
     std::vector<int> order;
     queue.post(30, [&] { order.push_back(3); });
-    queue.schedule(10, [&] { order.push_back(1); });
+    std::ignore = queue.schedule(10, [&] { order.push_back(1); });
     queue.post(20, [&] { order.push_back(2); });
-    queue.schedule(20, [&] { order.push_back(4); });  // tie: after 2
+    std::ignore = queue.schedule(20, [&] { order.push_back(4); });  // tie: after 2
     queue.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
     EXPECT_EQ(queue.numProcessed(), 4u);
@@ -257,7 +258,7 @@ TEST(EventQueue, CancelledSlotIsRecycledAfterPop)
     auto a = queue.schedule(10, [] {});
     queue.cancel(a);
     int fired = 0;
-    queue.schedule(5, [&] { ++fired; });
+    std::ignore = queue.schedule(5, [&] { ++fired; });
     queue.runAll();
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(queue.numProcessed(), 1u);
@@ -268,7 +269,7 @@ TEST(EventQueue, NameTracingOffRecordsNothing)
 {
     EventQueue queue;
     EXPECT_FALSE(queue.nameTracing());
-    queue.schedule(10, [] {}, "visible");
+    std::ignore = queue.schedule(10, [] {}, "visible");
     queue.post(20, [] {}, "also-visible");
     std::vector<std::string> names = queue.pendingEventNames();
     ASSERT_EQ(names.size(), 2u);
@@ -282,7 +283,7 @@ TEST(EventQueue, NameTracingRecordsLiveNamesInFiringOrder)
     queue.setNameTracing(true);
     queue.post(30, [] {}, "late");
     auto cancelled = queue.schedule(20, [] {}, "cancelled");
-    queue.schedule(10, [] {}, "early");
+    std::ignore = queue.schedule(10, [] {}, "early");
     queue.post(15, [] {});  // unnamed
     queue.cancel(cancelled);
     std::vector<std::string> names = queue.pendingEventNames();
@@ -317,7 +318,7 @@ TEST(EventQueue, ManyEventsStressOrdering)
     bool ordered = true;
     for (int i = 0; i < 10000; ++i) {
         Tick when = (i * 7919) % 1000;  // scrambled times
-        queue.schedule(when, [&, when] {
+        std::ignore = queue.schedule(when, [&, when] {
             if (when < last)
                 ordered = false;
             last = when;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "cluster/inference_server.hh"
@@ -248,7 +249,7 @@ TEST(FaultInjector, OobOutageSwallowsCommandsBrakeSurvives)
     injector.start();
 
     // During the outage: capping lost on the wire, brake unaffected.
-    sim.queue().schedule(secondsToTicks(12), [&] {
+    std::ignore = sim.queue().schedule(secondsToTicks(12), [&] {
         channel.requestClockLock(1275.0);
         channel.requestPowerBrake(true);
     });
@@ -259,7 +260,7 @@ TEST(FaultInjector, OobOutageSwallowsCommandsBrakeSurvives)
     EXPECT_EQ(channel.commandsDropped(), 1u);
 
     // After the outage the same command goes through.
-    sim.queue().schedule(secondsToTicks(22), [&] {
+    std::ignore = sim.queue().schedule(secondsToTicks(22), [&] {
         channel.requestClockLock(1275.0);
     });
     sim.runFor(secondsToTicks(10));

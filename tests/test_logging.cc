@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -90,7 +91,7 @@ TEST(Logging, ActiveSimulationPrefixesTime)
 
     {
         sim::Simulation simulation(1);
-        simulation.queue().schedule(sim::secondsToTicks(5.0),
+        std::ignore = simulation.queue().schedule(sim::secondsToTicks(5.0),
                                     [] { sim::warn("mid-run"); });
         simulation.runUntil(sim::secondsToTicks(10.0));
         sim::inform("after events");

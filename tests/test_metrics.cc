@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <tuple>
 
 #include "analysis/csv.hh"
 #include "obs/metrics.hh"
@@ -101,13 +102,13 @@ TEST(MetricsRegistry, GetOrCreateReturnsSameObject)
 TEST(MetricsRegistryDeathTest, KindMismatchPanics)
 {
     obs::MetricsRegistry registry;
-    registry.counter("dup");
-    EXPECT_DEATH(registry.gauge("dup"), "another kind");
-    EXPECT_DEATH(registry.histogram("dup", 0.0, 1.0, 2),
+    std::ignore = registry.counter("dup");
+    EXPECT_DEATH(std::ignore = registry.gauge("dup"), "another kind");
+    EXPECT_DEATH(std::ignore = registry.histogram("dup", 0.0, 1.0, 2),
                  "another kind");
 
-    registry.histogram("shaped", 0.0, 1.0, 4);
-    EXPECT_DEATH(registry.histogram("shaped", 0.0, 2.0, 4),
+    std::ignore = registry.histogram("shaped", 0.0, 1.0, 4);
+    EXPECT_DEATH(std::ignore = registry.histogram("shaped", 0.0, 2.0, 4),
                  "different shape");
 }
 

@@ -34,7 +34,8 @@ TEST(PhaseModel, PromptDurationScalesWithInput)
     PhaseModel m(catalog().byName("BLOOM-176B"));
     Tick d1 = m.promptDuration(config(1024, 1, 128));
     Tick d2 = m.promptDuration(config(4096, 1, 128));
-    EXPECT_NEAR(static_cast<double>(d2) / d1, 4.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(d2) / static_cast<double>(d1),
+                4.0, 0.01);
 }
 
 TEST(PhaseModel, PromptDurationScalesWithBatch)
@@ -42,7 +43,8 @@ TEST(PhaseModel, PromptDurationScalesWithBatch)
     PhaseModel m(catalog().byName("BLOOM-176B"));
     Tick d1 = m.promptDuration(config(1024, 1, 128));
     Tick d2 = m.promptDuration(config(1024, 8, 128));
-    EXPECT_NEAR(static_cast<double>(d2) / d1, 8.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(d2) / static_cast<double>(d1),
+                8.0, 0.01);
 }
 
 TEST(PhaseModel, TokenPhaseScalesLinearlyWithOutput)
@@ -51,7 +53,8 @@ TEST(PhaseModel, TokenPhaseScalesLinearlyWithOutput)
     PhaseModel m(catalog().byName("BLOOM-176B"));
     Tick d1 = m.tokenPhaseDuration(config(1024, 1, 256));
     Tick d2 = m.tokenPhaseDuration(config(1024, 1, 1024));
-    EXPECT_NEAR(static_cast<double>(d2) / d1, 4.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(d2) / static_cast<double>(d1),
+                4.0, 0.01);
 }
 
 TEST(PhaseModel, BloomPromptAt8kIsSecondsScale)
@@ -77,7 +80,8 @@ TEST(PhaseModel, InputSizeBarelyMovesLatencyUntilVeryLarge)
     PhaseModel m(catalog().byName("BLOOM-176B"));
     Tick small = m.totalLatency(config(256, 1, 512));
     Tick large = m.totalLatency(config(4096, 1, 512));
-    EXPECT_LT(static_cast<double>(large) / small, 1.10);
+    EXPECT_LT(static_cast<double>(large) / static_cast<double>(small),
+              1.10);
 }
 
 TEST(PhaseModel, ZeroOutputSkipsTokenPhase)
@@ -181,7 +185,8 @@ TEST(PhaseModel, LatencyAtLockedClockStretchesTokenPhaseLess)
     Tick base = m.latencyAtClock(c, gpu);
     gpu.lockClock(1100.0);
     Tick locked = m.latencyAtClock(c, gpu);
-    double slowdown = static_cast<double>(locked) / base;
+    double slowdown =
+        static_cast<double>(locked) / static_cast<double>(base);
     EXPECT_GT(slowdown, 1.0);
     EXPECT_LT(slowdown, 1.05);  // GPT-NeoX: nearly free (Fig 10a)
 }
@@ -194,11 +199,12 @@ TEST(PhaseModel, BloomMoreSensitiveThanNeoX)
 
     PhaseModel neox(catalog().byName("GPT-NeoX-20B"));
     PhaseModel bloom(catalog().byName("BLOOM-176B"));
-    double neoxSlow = static_cast<double>(neox.latencyAtClock(c, gpu)) /
-        neox.totalLatency(c);
+    double neoxSlow =
+        static_cast<double>(neox.latencyAtClock(c, gpu)) /
+        static_cast<double>(neox.totalLatency(c));
     double bloomSlow =
         static_cast<double>(bloom.latencyAtClock(c, gpu)) /
-        bloom.totalLatency(c);
+        static_cast<double>(bloom.totalLatency(c));
     EXPECT_LT(neoxSlow, bloomSlow);
     EXPECT_LT(bloomSlow, 1.12);  // ~10 % at the deepest lock
 }

@@ -134,8 +134,9 @@ TEST(Scenario, CartesianExpansionAndLabels)
               labels.end()) << "sweep labels must be unique";
     // nocap points really bound the nocap policy (no rules).
     for (const ResolvedScenario &point : set.points) {
-        if (point.label.find("nocap") != std::string::npos)
+        if (point.label.find("nocap") != std::string::npos) {
             EXPECT_TRUE(point.config.policy.rules.empty());
+        }
     }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "sim/timeseries.hh"
 
 using namespace polca::sim;
@@ -139,7 +141,7 @@ TEST(TimeSeries, SumOnGridHandlesEmptyInputs)
 TEST(TimeSeriesDeath, EmptyAccessorsPanic)
 {
     TimeSeries s;
-    EXPECT_DEATH(s.maxValue(), "empty series");
-    EXPECT_DEATH(s.startTime(), "empty series");
-    EXPECT_DEATH(s.valueAt(0), "empty series");
+    EXPECT_DEATH(std::ignore = s.maxValue(), "empty series");
+    EXPECT_DEATH(std::ignore = s.startTime(), "empty series");
+    EXPECT_DEATH(std::ignore = s.valueAt(0), "empty series");
 }

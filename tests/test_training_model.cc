@@ -123,9 +123,10 @@ TEST(TrainingModel, MidDipSitsBetweenForwardAndBackward)
     TrainingModel m(TrainingSpec::forModel("RoBERTa"));
     const TrainingSpec &spec = m.spec();
     Tick period = spec.iterationPeriod;
-    auto fwdEnd = static_cast<Tick>(period * spec.forwardFraction);
+    auto fwdEnd = static_cast<Tick>(
+        static_cast<double>(period) * spec.forwardFraction);
     Tick midDip = fwdEnd + static_cast<Tick>(
-        period * spec.midDipFraction / 2);
+        static_cast<double>(period) * spec.midDipFraction / 2);
     EXPECT_DOUBLE_EQ(m.activityAt(midDip).compute,
                      spec.midDipActivity.compute);
 }

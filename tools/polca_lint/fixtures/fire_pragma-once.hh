@@ -1,0 +1,10 @@
+// Fixture: pragma-once must fire — this header opens with an include
+// guard instead of #pragma once.
+#ifndef POLCA_FIXTURE_PRAGMA_ONCE_HH
+#define POLCA_FIXTURE_PRAGMA_ONCE_HH
+
+struct Empty
+{
+};
+
+#endif

@@ -1,0 +1,10 @@
+// Fixture: raw-new-delete must fire on both the new expression and
+// the matching delete.
+int
+leakyAdd(int a, int b)
+{
+    int *sum = new int(a + b);
+    int result = *sum;
+    delete sum;
+    return result;
+}

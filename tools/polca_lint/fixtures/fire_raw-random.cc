@@ -1,0 +1,10 @@
+// Fixture: raw-random must fire on random_device and rand().
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::random_device seedSource;
+    return static_cast<int>(seedSource()) + rand();
+}

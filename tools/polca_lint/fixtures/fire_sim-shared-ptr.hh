@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: sim-shared-ptr must fire — the self-test scans headers as
+// if they lived under src/sim/.
+#include <memory>
+
+struct Node
+{
+    std::shared_ptr<Node> next;
+};

@@ -1,0 +1,7 @@
+// Fixture: todo-issue must fire on a bare marker.
+// TODO tighten the tolerance once the model is calibrated.
+int
+answer()
+{
+    return 42;
+}

@@ -1,0 +1,14 @@
+// Fixture: unordered-iter must fire — this file writes output (it
+// opens an ofstream) and range-fors over an unordered_map.
+#include <fstream>
+#include <unordered_map>
+
+void
+dumpCounts(const char *path)
+{
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;
+    std::ofstream out(path);
+    for (const auto &entry : counts)
+        out << entry.first << "," << entry.second << "\n";
+}

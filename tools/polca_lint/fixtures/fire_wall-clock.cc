@@ -1,0 +1,14 @@
+// Fixture: wall-clock must fire on system_clock and C time().
+#include <chrono>
+#include <ctime>
+
+long
+wallSeconds()
+{
+    auto now = std::chrono::system_clock::now();
+    std::time_t raw = time(nullptr);
+    return static_cast<long>(raw) +
+        std::chrono::duration_cast<std::chrono::seconds>(
+            now.time_since_epoch())
+            .count();
+}

@@ -1,0 +1,10 @@
+// polca-lint: allow(pragma-once) — fixture: the finding anchors to
+// line 1, so a line-1 allow() suppresses it.
+#ifndef POLCA_FIXTURE_SUPPRESSED_PRAGMA_ONCE_HH
+#define POLCA_FIXTURE_SUPPRESSED_PRAGMA_ONCE_HH
+
+struct Empty
+{
+};
+
+#endif

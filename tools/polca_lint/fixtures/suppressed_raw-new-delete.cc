@@ -1,0 +1,18 @@
+// Fixture: allow() silences raw-new-delete; deleted functions,
+// comment prose about "a new series", and words containing the
+// keywords (renewal, deleted_) never fire.
+#include <memory>
+
+struct NoCopy
+{
+    NoCopy() = default;
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) = delete;
+};
+
+int
+renewalCount(int deleted_rows)
+{
+    auto owned = std::unique_ptr<int>(new int(deleted_rows));  // polca-lint: allow(raw-new-delete)
+    return *owned;
+}

@@ -1,0 +1,10 @@
+// Fixture: allow() silences raw-random; identifiers merely containing
+// "rand" (operand, strand) never fire.
+#include <cstdlib>
+
+int
+roll(int operand)
+{
+    int strand = operand + 1;
+    return strand + rand();  // polca-lint: allow(raw-random)
+}

@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: allow() silences sim-shared-ptr; unique_ptr is always
+// fine in sim/ headers.
+#include <memory>
+
+struct Node
+{
+    std::unique_ptr<Node> child;
+    std::shared_ptr<Node> next;  // polca-lint: allow(sim-shared-ptr)
+};

@@ -1,0 +1,9 @@
+// Fixture: a tracked marker is clean by construction, and allow()
+// silences an untracked one.
+// TODO(#101) tighten the tolerance once the model is calibrated.
+// TODO revisit after the calibration lands.  polca-lint: allow(todo-issue)
+int
+answer()
+{
+    return 42;
+}

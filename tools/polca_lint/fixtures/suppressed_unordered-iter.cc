@@ -1,0 +1,15 @@
+// Fixture: allow() silences unordered-iter; point lookups into the
+// map (no iteration) never fire.
+#include <fstream>
+#include <unordered_map>
+
+void
+dumpCounts(const char *path)
+{
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;
+    std::ofstream out(path);
+    out << counts.at(1) << "\n";
+    for (const auto &entry : counts)  // polca-lint: allow(unordered-iter)
+        out << entry.first << "," << entry.second << "\n";
+}

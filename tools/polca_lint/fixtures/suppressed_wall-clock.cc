@@ -1,0 +1,20 @@
+// Fixture: the allow() comment silences wall-clock on its line, and
+// identifiers merely containing "time" (uptime, endTime) never fire.
+#include <chrono>
+
+long
+uptime()
+{
+    return 3;
+}
+
+long
+wallSeconds()
+{
+    auto now = std::chrono::system_clock::now();  // polca-lint: allow(wall-clock)
+    long endTime = uptime();
+    return endTime +
+        std::chrono::duration_cast<std::chrono::seconds>(
+            now.time_since_epoch())
+            .count();
+}

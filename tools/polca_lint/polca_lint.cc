@@ -1,0 +1,689 @@
+/**
+ * @file
+ * polca_lint — the project's determinism and hygiene linter.
+ *
+ * A zero-dependency (C++ stdlib only) source scanner that walks
+ * src/ tools/ examples/ tests/ and rejects the pattern classes that
+ * break the simulator's headline guarantees: byte-identical reruns,
+ * conserved accounting, and leak-free ownership.  Each rule and its
+ * rationale is documented in tools/polca_lint/README.md.
+ *
+ * Rules (names are what suppressions and --format=gcc reference):
+ *   wall-clock      wall-clock time sources outside the allowlist
+ *   raw-random      rand()/srand()/std::random_device outside
+ *                   src/sim/random
+ *   unordered-iter  iterating an unordered container in a file that
+ *                   also writes CSV/JSON/trace output
+ *   raw-new-delete  raw new/delete expressions
+ *   sim-shared-ptr  shared_ptr in src/sim/ headers (hot-path ABI)
+ *   pragma-once     header missing #pragma once as its first
+ *                   directive
+ *   todo-issue      to-do comment without an issue reference
+ *
+ * Per-line suppression:   // polca-lint: allow(<rule>)
+ * Machine output:         --format=gcc   (file:line: error: ... [rule])
+ * Self-test:              --self-test <fixtures-dir>
+ *
+ * The scanner strips comments and string literals (block comments
+ * tracked across lines) before matching code rules, so prose like
+ * "a new series" never trips raw-new-delete; todo-issue runs on the
+ * raw text because to-dos live in comments.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string file;  // repo-relative, '/'-separated
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+struct FileText
+{
+    std::vector<std::string> raw;       ///< original lines
+    std::vector<std::string> code;      ///< comments/strings blanked
+    std::vector<std::set<std::string>> allowed;  ///< per-line rules
+};
+
+/** True if @p text at @p pos starts identifier @p word with word
+ *  boundaries on both sides. */
+bool
+wordAt(const std::string &text, std::size_t pos, const std::string &word)
+{
+    if (pos + word.size() > text.size())
+        return false;
+    if (text.compare(pos, word.size(), word) != 0)
+        return false;
+    auto isIdent = [](unsigned char c) {
+        return std::isalnum(c) != 0 || c == '_';
+    };
+    if (pos > 0 && isIdent(text[pos - 1]))
+        return false;
+    std::size_t end = pos + word.size();
+    if (end < text.size() && isIdent(text[end]))
+        return false;
+    return true;
+}
+
+/** First occurrence of @p word as a whole identifier, or npos. */
+std::size_t
+findWord(const std::string &text, const std::string &word,
+         std::size_t from = 0)
+{
+    for (std::size_t pos = text.find(word, from);
+         pos != std::string::npos; pos = text.find(word, pos + 1)) {
+        if (wordAt(text, pos, word))
+            return pos;
+    }
+    return std::string::npos;
+}
+
+/**
+ * Load a file, record per-line suppressions, and produce a "code"
+ * view with comments and string/char literals blanked out (replaced
+ * by spaces so column positions survive).
+ */
+FileText
+loadFile(const fs::path &path)
+{
+    FileText out;
+    std::ifstream in(path);
+    std::string line;
+    bool inBlockComment = false;
+    while (std::getline(in, line)) {
+        // polca-lint suppressions live in // comments; harvest them
+        // from the raw text before the comment is stripped.
+        std::set<std::string> allows;
+        const std::string tag = "polca-lint: allow(";
+        for (std::size_t pos = line.find(tag);
+             pos != std::string::npos;
+             pos = line.find(tag, pos + 1)) {
+            std::size_t open = pos + tag.size();
+            std::size_t close = line.find(')', open);
+            if (close != std::string::npos)
+                allows.insert(line.substr(open, close - open));
+        }
+
+        std::string code(line.size(), ' ');
+        bool inString = false;
+        bool inChar = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            if (inBlockComment) {
+                if (c == '*' && next == '/') {
+                    inBlockComment = false;
+                    ++i;
+                }
+                continue;
+            }
+            if (inString) {
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    inString = false;
+                    code[i] = '"';
+                }
+                continue;
+            }
+            if (inChar) {
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    inChar = false;
+                    code[i] = '\'';
+                }
+                continue;
+            }
+            if (c == '/' && next == '/')
+                break;  // rest of line is a comment
+            if (c == '/' && next == '*') {
+                inBlockComment = true;
+                ++i;
+                continue;
+            }
+            if (c == '"') {
+                inString = true;
+                code[i] = '"';
+                continue;
+            }
+            if (c == '\'') {
+                // Digit separators (1'000'000) are not char literals.
+                bool digitSep = i > 0 &&
+                    std::isalnum(static_cast<unsigned char>(
+                        line[i - 1])) != 0 &&
+                    i + 1 < line.size() &&
+                    std::isalnum(static_cast<unsigned char>(
+                        line[i + 1])) != 0;
+                if (!digitSep) {
+                    inChar = true;
+                    code[i] = '\'';
+                    continue;
+                }
+            }
+            code[i] = c;
+        }
+        // Unterminated "strings" crossing lines are rare in practice
+        // (raw literals); treat end-of-line as closing them.
+        out.raw.push_back(line);
+        out.code.push_back(code);
+        out.allowed.push_back(std::move(allows));
+    }
+    return out;
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return rel.size() > 3 && (rel.ends_with(".hh") || rel.ends_with(".h"));
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+void
+report(std::vector<Finding> &findings, const FileText &text,
+       const std::string &rel, int line, const std::string &rule,
+       const std::string &message)
+{
+    std::size_t idx = static_cast<std::size_t>(line) - 1;
+    if (idx < text.allowed.size() && text.allowed[idx].count(rule))
+        return;
+    findings.push_back({rel, line, rule, message});
+}
+
+/** Scan one file; @p rel is the repo-relative path with '/'. */
+std::vector<Finding>
+scanFile(const fs::path &path, const std::string &rel)
+{
+    std::vector<Finding> findings;
+    FileText text = loadFile(path);
+    const int n = static_cast<int>(text.code.size());
+
+    // --- wall-clock -----------------------------------------------
+    // steady_clock is fine (monotonic, used only for wall-time
+    // progress reporting); the banned sources are the ones whose
+    // value differs between reruns.
+    static const std::vector<std::string> wallClockWords = {
+        "system_clock", "gettimeofday", "clock_gettime", "localtime",
+        "gmtime", "mktime",
+    };
+    for (int i = 0; i < n; ++i) {
+        const std::string &code = text.code[static_cast<std::size_t>(i)];
+        for (const std::string &word : wallClockWords) {
+            if (findWord(code, word) != std::string::npos) {
+                report(findings, text, rel, i + 1, "wall-clock",
+                       "wall-clock source '" + word +
+                       "' breaks byte-identical reruns; use sim "
+                       "time (EventQueue::now) or steady_clock for "
+                       "progress only");
+            }
+        }
+        // C time(): match the identifier followed by '(' so that
+        // endTime(), totalLatency() and friends never trip it.
+        // Member calls (x.time(), x->time()) and non-std qualified
+        // names (Simulation::time) are someone else's time; only the
+        // free function — bare, ::time or std::time — is the C call.
+        for (std::size_t pos = findWord(code, "time");
+             pos != std::string::npos;
+             pos = findWord(code, "time", pos + 1)) {
+            bool member = pos >= 1 &&
+                (code[pos - 1] == '.' ||
+                 (pos >= 2 && code[pos - 2] == '-' &&
+                  code[pos - 1] == '>'));
+            if (pos >= 2 && code[pos - 2] == ':' &&
+                code[pos - 1] == ':') {
+                std::size_t q = pos - 2;
+                std::size_t qend = q;
+                while (q > 0 &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            code[q - 1])) != 0 ||
+                        code[q - 1] == '_')) {
+                    --q;
+                }
+                if (code.substr(q, qend - q) != "std" && qend != q)
+                    member = true;  // SomeClass::time — not C time()
+            }
+            std::size_t after = pos + 4;
+            while (after < code.size() && code[after] == ' ')
+                ++after;
+            if (!member && after < code.size() && code[after] == '(') {
+                report(findings, text, rel, i + 1, "wall-clock",
+                       "C time() reads the wall clock; use sim time "
+                       "instead");
+            }
+        }
+    }
+
+    // --- raw-random ------------------------------------------------
+    // Everything random must flow from sim::Rng's seeded streams.
+    if (!startsWith(rel, "src/sim/random")) {
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            if (findWord(code, "random_device") != std::string::npos) {
+                report(findings, text, rel, i + 1, "raw-random",
+                       "std::random_device is nondeterministic; fork "
+                       "a stream from sim::Rng");
+            }
+            for (const std::string &fn : {std::string("rand"),
+                                          std::string("srand")}) {
+                std::size_t pos = findWord(code, fn);
+                if (pos == std::string::npos)
+                    continue;
+                std::size_t after = pos + fn.size();
+                while (after < code.size() && code[after] == ' ')
+                    ++after;
+                if (after < code.size() && code[after] == '(') {
+                    report(findings, text, rel, i + 1, "raw-random",
+                           fn + "() bypasses the seeded sim::Rng "
+                           "streams");
+                }
+            }
+        }
+    }
+
+    // --- unordered-iter --------------------------------------------
+    // Iteration order of unordered containers is
+    // implementation-defined; in a file that also writes artifacts
+    // the order leaks into output and breaks rerun diffs.  Heuristic:
+    // collect names declared with an unordered type, then flag
+    // range-fors (or .begin() walks) over them — but only when the
+    // file contains an output-writing marker.
+    bool writesOutput = false;
+    static const std::vector<std::string> outputMarkers = {
+        "ofstream", "fprintf", "writeCsv", "toCsv", "exportCsv",
+        "csvEscape", "Json", "json",
+    };
+    for (int i = 0; i < n && !writesOutput; ++i) {
+        for (const std::string &marker : outputMarkers) {
+            if (text.code[static_cast<std::size_t>(i)].find(marker) !=
+                std::string::npos) {
+                writesOutput = true;
+                break;
+            }
+        }
+    }
+    if (writesOutput) {
+        std::set<std::string> unorderedNames;
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            std::size_t pos = code.find("unordered_");
+            if (pos == std::string::npos)
+                continue;
+            // Declaration heuristic: "unordered_map<...> name" — take
+            // the identifier after the closing template bracket.
+            std::size_t depth = 0;
+            std::size_t j = code.find('<', pos);
+            if (j == std::string::npos)
+                continue;
+            for (; j < code.size(); ++j) {
+                if (code[j] == '<')
+                    ++depth;
+                else if (code[j] == '>' && --depth == 0)
+                    break;
+            }
+            if (j >= code.size())
+                continue;
+            ++j;
+            while (j < code.size() &&
+                   (code[j] == ' ' || code[j] == '&'))
+                ++j;
+            std::size_t start = j;
+            while (j < code.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        code[j])) != 0 || code[j] == '_'))
+                ++j;
+            if (j > start)
+                unorderedNames.insert(code.substr(start, j - start));
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            std::size_t forPos = findWord(code, "for");
+            if (forPos == std::string::npos)
+                continue;
+            for (const std::string &name : unorderedNames) {
+                std::size_t colon = code.find(':', forPos);
+                bool rangeFor = colon != std::string::npos &&
+                    findWord(code, name, colon) != std::string::npos;
+                bool beginWalk =
+                    code.find(name + ".begin()") != std::string::npos;
+                if (rangeFor || beginWalk) {
+                    report(findings, text, rel, i + 1,
+                           "unordered-iter",
+                           "iterating unordered container '" + name +
+                           "' in an output-writing file; sort into a "
+                           "vector first (see MetricsRegistry::dump)");
+                }
+            }
+        }
+    }
+
+    // --- raw-new-delete --------------------------------------------
+    for (int i = 0; i < n; ++i) {
+        const std::string &code = text.code[static_cast<std::size_t>(i)];
+        std::size_t pos = findWord(code, "new");
+        if (pos != std::string::npos) {
+            // Allow "= new (nothrow)"-free placement-new is still raw;
+            // only operator overloads/declarations are exempt.
+            std::size_t after = pos + 3;
+            while (after < code.size() && code[after] == ' ')
+                ++after;
+            bool typeFollows = after < code.size() &&
+                (std::isalpha(static_cast<unsigned char>(
+                     code[after])) != 0 ||
+                 code[after] == ':' || code[after] == '(');
+            bool isOperator =
+                code.find("operator new") != std::string::npos;
+            if (typeFollows && !isOperator) {
+                report(findings, text, rel, i + 1, "raw-new-delete",
+                       "raw new expression; use make_unique/"
+                       "make_shared or a container");
+            }
+        }
+        pos = findWord(code, "delete");
+        if (pos != std::string::npos) {
+            std::size_t after = pos + 6;
+            while (after < code.size() && code[after] == ' ')
+                ++after;
+            // "= delete" (deleted functions) and "operator delete"
+            // are declarations, not deallocations.
+            bool deletedFn = after >= code.size() ||
+                code[after] == ';' || code[after] == ',';
+            bool isOperator =
+                code.find("operator delete") != std::string::npos;
+            if (!deletedFn && !isOperator) {
+                report(findings, text, rel, i + 1, "raw-new-delete",
+                       "raw delete expression; prefer unique_ptr "
+                       "ownership");
+            }
+        }
+    }
+
+    // --- sim-shared-ptr --------------------------------------------
+    if (isHeader(rel) && startsWith(rel, "src/sim/")) {
+        for (int i = 0; i < n; ++i) {
+            if (text.code[static_cast<std::size_t>(i)]
+                    .find("shared_ptr") != std::string::npos) {
+                report(findings, text, rel, i + 1, "sim-shared-ptr",
+                       "shared_ptr in a sim/ hot-path header; "
+                       "per-event refcounting costs the kernel "
+                       "(see PR 4's EventQueue rework)");
+            }
+        }
+    }
+
+    // --- pragma-once -----------------------------------------------
+    if (isHeader(rel)) {
+        bool found = false;
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            std::size_t first = code.find_first_not_of(" \t");
+            if (first == std::string::npos)
+                continue;  // blank or comment-only line
+            if (code.compare(first, 12, "#pragma once") == 0)
+                found = true;
+            break;  // only the first code line may hold it
+        }
+        if (!found) {
+            report(findings, text, rel, 1, "pragma-once",
+                   "header must open with #pragma once (before any "
+                   "other code)");
+        }
+    }
+
+    // --- todo-issue ------------------------------------------------
+    // Runs on raw text: to-dos live in comments.  The marker is
+    // spelled split so the linter's own source stays clean.
+    const std::string todoWord = std::string("TO") + "DO";
+    for (int i = 0; i < n; ++i) {
+        const std::string &raw = text.raw[static_cast<std::size_t>(i)];
+        for (std::size_t pos = raw.find(todoWord);
+             pos != std::string::npos;
+             pos = raw.find(todoWord, pos + 4)) {
+            std::size_t after = pos + 4;
+            bool hasIssue = after + 1 < raw.size() &&
+                raw[after] == '(' && raw[after + 1] == '#';
+            if (!hasIssue) {
+                report(findings, text, rel, i + 1, "todo-issue",
+                       todoWord + " without an issue reference; "
+                       "write " + todoWord +
+                       "(#123) so it can be tracked");
+                break;  // one finding per line is enough
+            }
+        }
+    }
+
+    return findings;
+}
+
+/** All lintable files under @p roots, sorted for deterministic
+ *  output. */
+std::vector<std::pair<fs::path, std::string>>
+collectFiles(const fs::path &base, const std::vector<std::string> &roots)
+{
+    std::vector<std::pair<fs::path, std::string>> files;
+    for (const std::string &root : roots) {
+        fs::path dir = base / root;
+        if (!fs::exists(dir))
+            continue;
+        auto consider = [&](const fs::path &p) {
+            std::string ext = p.extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".h") {
+                return;
+            }
+            std::string rel =
+                fs::relative(p, base).generic_string();
+            // Fixture files violate rules on purpose.
+            if (rel.find("polca_lint/fixtures") != std::string::npos)
+                return;
+            files.emplace_back(p, rel);
+        };
+        if (fs::is_regular_file(dir)) {
+            consider(dir);
+            continue;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                consider(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return files;
+}
+
+void
+printFindings(const std::vector<Finding> &findings, bool gccFormat)
+{
+    for (const Finding &f : findings) {
+        if (gccFormat) {
+            std::cout << f.file << ":" << f.line << ": error: "
+                      << f.message << " [" << f.rule << "]\n";
+        } else {
+            std::cout << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message << "\n";
+        }
+    }
+}
+
+/**
+ * Self-test over the fixtures directory: every fire_<rule>.* file
+ * must produce at least one finding of exactly <rule> (and no other
+ * rule), every suppressed_<rule>.* file must produce none.
+ */
+int
+selfTest(const fs::path &fixtures)
+{
+    int failures = 0;
+    int checked = 0;
+    std::vector<fs::path> entries;
+    for (const auto &entry : fs::directory_iterator(fixtures)) {
+        if (entry.is_regular_file())
+            entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &path : entries) {
+        std::string stem = path.stem().string();
+        bool expectFire = startsWith(stem, "fire_");
+        bool expectClean = startsWith(stem, "suppressed_");
+        if (!expectFire && !expectClean)
+            continue;
+        ++checked;
+        std::string rule = stem.substr(stem.find('_') + 1);
+        // Scan as if the fixture sat at a path the path-scoped rules
+        // care about: headers pose as src/sim/ headers so
+        // sim-shared-ptr and pragma-once apply.
+        std::string ext = path.extension().string();
+        std::string rel = (ext == ".hh" || ext == ".h")
+            ? "src/sim/" + path.filename().string()
+            : "src/" + path.filename().string();
+        std::vector<Finding> findings = scanFile(path, rel);
+        if (expectFire) {
+            bool hit = false;
+            bool wrongRule = false;
+            for (const Finding &f : findings) {
+                if (f.rule == rule)
+                    hit = true;
+                else
+                    wrongRule = true;
+            }
+            if (!hit || wrongRule) {
+                ++failures;
+                std::cout << "FAIL " << path.filename().string()
+                          << ": expected only '" << rule
+                          << "' findings, got";
+                if (findings.empty()) {
+                    std::cout << " none";
+                } else {
+                    for (const Finding &f : findings)
+                        std::cout << " " << f.rule << "@" << f.line;
+                }
+                std::cout << "\n";
+            }
+        } else if (!findings.empty()) {
+            ++failures;
+            std::cout << "FAIL " << path.filename().string()
+                      << ": expected clean, got";
+            for (const Finding &f : findings)
+                std::cout << " " << f.rule << "@" << f.line;
+            std::cout << "\n";
+        }
+    }
+    std::cout << "polca_lint self-test: " << (checked - failures)
+              << "/" << checked << " fixtures ok\n";
+    if (checked == 0) {
+        std::cout << "polca_lint self-test: no fixtures found in "
+                  << fixtures.string() << "\n";
+        return 2;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: polca_lint [--root DIR] [--format=gcc|human] "
+        "[paths...]\n"
+        "       polca_lint --self-test FIXTURES_DIR\n"
+        "       polca_lint --list-rules\n"
+        "\n"
+        "Scans src/ tools/ examples/ tests/ (or the given paths,\n"
+        "relative to --root) for determinism and hygiene violations.\n"
+        "Suppress a line with: // polca-lint: allow(<rule>)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    bool gccFormat = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            std::cout << "wall-clock\nraw-random\nunordered-iter\n"
+                         "raw-new-delete\nsim-shared-ptr\n"
+                         "pragma-once\ntodo-issue\n";
+            return 0;
+        }
+        if (arg == "--self-test") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            return selfTest(argv[i + 1]);
+        }
+        if (arg == "--format=gcc") {
+            gccFormat = true;
+            continue;
+        }
+        if (arg == "--format=human") {
+            gccFormat = false;
+            continue;
+        }
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            root = argv[++i];
+            continue;
+        }
+        if (startsWith(arg, "--")) {
+            std::cout << "polca_lint: unknown flag '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty())
+        paths = {"src", "tools", "examples", "tests"};
+
+    std::vector<Finding> all;
+    auto files = collectFiles(root, paths);
+    for (const auto &[path, rel] : files) {
+        std::vector<Finding> findings = scanFile(path, rel);
+        all.insert(all.end(), findings.begin(), findings.end());
+    }
+    printFindings(all, gccFormat);
+    if (!gccFormat) {
+        std::cout << "polca_lint: " << files.size() << " files, "
+                  << all.size() << " finding"
+                  << (all.size() == 1 ? "" : "s") << "\n";
+    }
+    return all.empty() ? 0 : 1;
+}
