@@ -309,6 +309,8 @@ managerOptionsSchema()
                        0.01, 3600.0)
             .tickField("watchdog_timeout", &M::watchdogTimeout, 0.01,
                        86400.0)
+            .tickField("stale_warn_timeout", &M::staleWarnTimeout,
+                       0.01, 86400.0)
             .boolField("fail_safe_engage_brake",
                        &M::failSafeEngageBrake)
             .intField("channel_flag_threshold",
@@ -420,7 +422,112 @@ serverCrashSchema()
             .tickField("downtime", &faults::ServerCrash::downtime,
                        0.0, 365.0 * 86400.0)
             .intField("server_index",
-                      &faults::ServerCrash::serverIndex, 0, 1000000);
+                      &faults::ServerCrash::serverIndex, 0, 1000000)
+            .boolField("permanent", &faults::ServerCrash::permanent);
+        return s;
+    }();
+    return schema;
+}
+
+const StructSchema<faults::ControllerCrash> &
+controllerCrashSchema()
+{
+    static const StructSchema<faults::ControllerCrash> schema = [] {
+        StructSchema<faults::ControllerCrash> s(
+            "faults.controller_crashes");
+        using C = faults::ControllerCrash;
+        s.tickField("at", &C::at, 0.0, 365.0 * 86400.0)
+            .tickField("downtime", &C::downtime, 0.0, 365.0 * 86400.0)
+            .boolField("cold_restart", &C::coldRestart);
+        return s;
+    }();
+    return schema;
+}
+
+const StructSchema<faults::ChaosConfig> &
+chaosConfigSchema()
+{
+    static const StructSchema<faults::ChaosConfig> schema = [] {
+        StructSchema<faults::ChaosConfig> s("chaos");
+        using C = faults::ChaosConfig;
+        s.boolField("enabled", &C::enabled)
+            .field("intensity", &C::intensity, Unit::Fraction, 0.0,
+                   10.0)
+            .intField("blackout_count_max", &C::blackoutCountMax, 0,
+                      1000)
+            .tickField("blackout_duration_min",
+                       &C::blackoutDurationMin, 1.0, 365.0 * 86400.0)
+            .tickField("blackout_duration_max",
+                       &C::blackoutDurationMax, 1.0, 365.0 * 86400.0)
+            .field("bursty_probability", &C::burstyProbability,
+                   Unit::Fraction, 0.0, 1.0)
+            .intField("sensor_fault_count_max",
+                      &C::sensorFaultCountMax, 0, 1000)
+            .tickField("sensor_fault_duration_min",
+                       &C::sensorFaultDurationMin, 1.0,
+                       365.0 * 86400.0)
+            .tickField("sensor_fault_duration_max",
+                       &C::sensorFaultDurationMax, 1.0,
+                       365.0 * 86400.0)
+            .field("sensor_bias_weight", &C::sensorBiasWeight,
+                   Unit::Fraction, 0.0, 1000.0)
+            .field("sensor_noise_weight", &C::sensorNoiseWeight,
+                   Unit::Fraction, 0.0, 1000.0)
+            .field("sensor_stuck_weight", &C::sensorStuckWeight,
+                   Unit::Fraction, 0.0, 1000.0)
+            .field("sensor_bias_max_watts", &C::sensorBiasMaxWatts,
+                   Unit::Watts, 0.0, 1e7)
+            .field("sensor_noise_max_stddev_watts",
+                   &C::sensorNoiseMaxStddevWatts, Unit::Watts, 0.0,
+                   1e7)
+            .intField("oob_outage_count_max", &C::oobOutageCountMax,
+                      0, 1000)
+            .tickField("oob_outage_duration_min",
+                       &C::oobOutageDurationMin, 1.0,
+                       365.0 * 86400.0)
+            .tickField("oob_outage_duration_max",
+                       &C::oobOutageDurationMax, 1.0,
+                       365.0 * 86400.0)
+            .field("oob_blackout_correlation",
+                   &C::oobBlackoutCorrelation, Unit::Fraction, 0.0,
+                   1.0)
+            .intField("crash_count_max", &C::crashCountMax, 0, 1000)
+            .tickField("crash_downtime_min", &C::crashDowntimeMin,
+                       1.0, 365.0 * 86400.0)
+            .tickField("crash_downtime_max", &C::crashDowntimeMax,
+                       1.0, 365.0 * 86400.0)
+            .intField("controller_crash_count_max",
+                      &C::controllerCrashCountMax, 0, 1000)
+            .tickField("controller_downtime_min",
+                       &C::controllerDowntimeMin, 1.0,
+                       365.0 * 86400.0)
+            .tickField("controller_downtime_max",
+                       &C::controllerDowntimeMax, 1.0,
+                       365.0 * 86400.0)
+            .field("controller_cold_restart_probability",
+                   &C::controllerColdRestartProbability,
+                   Unit::Fraction, 0.0, 1.0);
+        return s;
+    }();
+    return schema;
+}
+
+const StructSchema<core::SafetyOptions> &
+safetyOptionsSchema()
+{
+    static const StructSchema<core::SafetyOptions> schema = [] {
+        StructSchema<core::SafetyOptions> s("safety");
+        using O = core::SafetyOptions;
+        s.boolField("monitor", &O::monitor)
+            .tickField("check_interval", &O::checkInterval, 0.01,
+                       3600.0)
+            .tickField("fail_safe_margin", &O::failSafeMargin, 0.0,
+                       86400.0)
+            .tickField("cap_release_deadline", &O::capReleaseDeadline,
+                       1.0, 7.0 * 86400.0)
+            .field("max_brake_time_fraction",
+                   &O::maxBrakeTimeFraction, Unit::Fraction, 0.0,
+                   1.0);
         return s;
     }();
     return schema;

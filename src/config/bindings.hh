@@ -17,6 +17,8 @@
 #include "core/oversub_experiment.hh"
 #include "core/policy.hh"
 #include "core/power_manager.hh"
+#include "core/safety_monitor.hh"
+#include "faults/chaos.hh"
 #include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
 #include "power/gpu_spec.hh"
@@ -42,6 +44,9 @@ const StructSchema<faults::BurstyLoss> &burstyLossSchema();
 const StructSchema<faults::SensorFault> &sensorFaultSchema();
 const StructSchema<faults::OobOutage> &oobOutageSchema();
 const StructSchema<faults::ServerCrash> &serverCrashSchema();
+const StructSchema<faults::ControllerCrash> &controllerCrashSchema();
+const StructSchema<faults::ChaosConfig> &chaosConfigSchema();
+const StructSchema<core::SafetyOptions> &safetyOptionsSchema();
 
 } // namespace polca::config
 

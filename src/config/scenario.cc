@@ -17,8 +17,8 @@ const std::vector<std::string> &
 topLevelSections()
 {
     static const std::vector<std::string> sections = {
-        "experiment", "row",    "model", "policy",
-        "manager",    "workload", "faults", "sweep",
+        "experiment", "row",    "model",  "policy", "manager",
+        "workload",   "faults", "chaos",  "safety", "sweep",
     };
     return sections;
 }
@@ -423,7 +423,11 @@ bindFaults(const ConfigNode &root, core::ExperimentConfig &config,
                 ok = false;
             continue;
         }
-        auto bindList = [&](auto &plan, const auto &schema) {
+        // Per-entry degeneracy checks run at the entry's own source
+        // line; cross-entry problems (overlaps) are reported against
+        // the section after binding.
+        auto bindList = [&](auto &plan, const auto &schema,
+                            auto check) {
             if (node.kind != ConfigNode::Kind::List) {
                 diag.error(node.loc, "faults." + key +
                            " must be a list of [[faults." + key +
@@ -446,27 +450,73 @@ bindFaults(const ConfigNode &root, core::ExperimentConfig &config,
                     ok = false;
                     continue;
                 }
+                std::string problem = check(entry);
+                if (!problem.empty()) {
+                    diag.error(item.loc, "[[faults." + key + "]]: " +
+                               problem);
+                    ok = false;
+                    continue;
+                }
                 plan.push_back(entry);
             }
         };
+        auto windowCheck = [](const auto &entry) -> std::string {
+            if (entry.duration <= 0)
+                return "zero-length window (duration must be > 0)";
+            return {};
+        };
         if (key == "blackouts") {
-            bindList(config.faultPlan.blackouts, blackoutSchema());
+            bindList(config.faultPlan.blackouts, blackoutSchema(),
+                     windowCheck);
         } else if (key == "sensor_faults") {
             bindList(config.faultPlan.sensorFaults,
-                     sensorFaultSchema());
+                     sensorFaultSchema(), windowCheck);
         } else if (key == "oob_outages") {
-            bindList(config.faultPlan.oobOutages, oobOutageSchema());
+            bindList(config.faultPlan.oobOutages, oobOutageSchema(),
+                     windowCheck);
         } else if (key == "crashes") {
-            bindList(config.faultPlan.crashes, serverCrashSchema());
+            bindList(config.faultPlan.crashes, serverCrashSchema(),
+                     [](const faults::ServerCrash &crash)
+                         -> std::string {
+                         if (crash.permanent && crash.downtime != 0)
+                             return "a permanent crash must not set "
+                                    "a downtime";
+                         if (!crash.permanent && crash.downtime <= 0)
+                             return "crash has no restart; set "
+                                    "permanent = true to "
+                                    "deliberately leave the server "
+                                    "dark";
+                         return {};
+                     });
+        } else if (key == "controller_crashes") {
+            bindList(config.faultPlan.controllerCrashes,
+                     controllerCrashSchema(),
+                     [](const faults::ControllerCrash &crash)
+                         -> std::string {
+                         if (crash.downtime <= 0)
+                             return "controller crash has no restart "
+                                    "(downtime must be > 0)";
+                         return {};
+                     });
         } else {
             std::string near = nearestKey(
                 key, {"scenario", "bursty_loss", "blackouts",
-                      "sensor_faults", "oob_outages", "crashes"});
+                      "sensor_faults", "oob_outages", "crashes",
+                      "controller_crashes"});
             diag.error(node.loc, "unknown key '" + key +
                        "' in [faults]" +
                        (near.empty() ? ""
                                      : " (did you mean '" + near +
                                            "'?)"));
+            ok = false;
+        }
+    }
+    // Cross-entry problems (overlapping windows, crash-while-down)
+    // span multiple source lines, so they anchor on the section.
+    if (ok) {
+        for (const std::string &problem :
+             config.faultPlan.problems()) {
+            diag.error(section->loc, "[faults]: " + problem);
             ok = false;
         }
     }
@@ -531,6 +581,40 @@ bindExperiment(const ConfigNode &root, core::ExperimentConfig &config,
         ok = false;
     if (!bindFaults(root, config, diag))
         ok = false;
+    if (const ConfigNode *chaos = root.find("chaos")) {
+        if (!chaosConfigSchema().apply(*chaos, config.chaos, diag)) {
+            ok = false;
+        } else {
+            // Range sanity the per-field bounds cannot express.
+            auto checkRange = [&](const char *what, sim::Tick min,
+                                  sim::Tick max) {
+                if (min > max) {
+                    diag.error(chaos->loc,
+                               std::string("[chaos]: ") + what +
+                               " duration range is inverted "
+                               "(min > max)");
+                    ok = false;
+                }
+            };
+            const faults::ChaosConfig &c = config.chaos;
+            checkRange("blackout", c.blackoutDurationMin,
+                       c.blackoutDurationMax);
+            checkRange("sensor-fault", c.sensorFaultDurationMin,
+                       c.sensorFaultDurationMax);
+            checkRange("oob-outage", c.oobOutageDurationMin,
+                       c.oobOutageDurationMax);
+            checkRange("crash-downtime", c.crashDowntimeMin,
+                       c.crashDowntimeMax);
+            checkRange("controller-downtime",
+                       c.controllerDowntimeMin,
+                       c.controllerDowntimeMax);
+        }
+    }
+    if (const ConfigNode *safety = root.find("safety")) {
+        if (!safetyOptionsSchema().apply(*safety, config.safety,
+                                         diag))
+            ok = false;
+    }
     return ok;
 }
 
@@ -852,6 +936,14 @@ dumpResolved(const core::ExperimentConfig &config,
     dumpBlocks(os, "faults.crashes", plan.crashes,
                serverCrashSchema(), source, "faults.crashes",
                faultFallback);
+    dumpBlocks(os, "faults.controller_crashes", plan.controllerCrashes,
+               controllerCrashSchema(), source,
+               "faults.controller_crashes", faultFallback);
+
+    dumpSection(os, "chaos", config.chaos, chaosConfigSchema(),
+                source, "chaos");
+    dumpSection(os, "safety", config.safety, safetyOptionsSchema(),
+                source, "safety");
 }
 
 bool
@@ -916,6 +1008,17 @@ resolvedConfigsEqual(const core::ExperimentConfig &a,
         if (!serverCrashSchema().equal(fa.crashes[i], fb.crashes[i]))
             return false;
     }
+    if (fa.controllerCrashes.size() != fb.controllerCrashes.size())
+        return false;
+    for (std::size_t i = 0; i < fa.controllerCrashes.size(); ++i) {
+        if (!controllerCrashSchema().equal(fa.controllerCrashes[i],
+                                           fb.controllerCrashes[i]))
+            return false;
+    }
+    if (!chaosConfigSchema().equal(a.chaos, b.chaos))
+        return false;
+    if (!safetyOptionsSchema().equal(a.safety, b.safety))
+        return false;
     return true;
 }
 

@@ -1,5 +1,6 @@
 #include "core/oversub_experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "faults/fault_injector.hh"
@@ -32,8 +33,30 @@ unthrottledBaseline(ExperimentConfig config)
     // The baseline is the ideal unthrottled reference: no injected
     // faults, so normalized latencies isolate the policy's cost.
     config.faultPlan = faults::FaultPlan();
+    config.chaos.enabled = false;
+    config.safety.monitor = false;
     return config;
 }
+
+namespace {
+
+/** Merge a generated chaos plan into the explicit plan. */
+void
+mergeFaultPlans(faults::FaultPlan &into, faults::FaultPlan add)
+{
+    auto append = [](auto &dst, auto &src) {
+        dst.insert(dst.end(), src.begin(), src.end());
+    };
+    append(into.blackouts, add.blackouts);
+    append(into.sensorFaults, add.sensorFaults);
+    append(into.oobOutages, add.oobOutages);
+    append(into.crashes, add.crashes);
+    append(into.controllerCrashes, add.controllerCrashes);
+    if (add.burstyLoss.enabled)
+        into.burstyLoss = add.burstyLoss;
+}
+
+} // namespace
 
 ExperimentResult
 runOversubExperiment(const ExperimentConfig &config)
@@ -146,10 +169,22 @@ runOversubExperiment(const ExperimentConfig &config)
         breaker->start();
     }
 
+    // Fault plan = explicit scenario faults plus (when enabled) a
+    // chaos plan drawn from the run seed, so a chaos campaign
+    // replays bit-identically.
+    faults::FaultPlan plan = config.faultPlan;
+    if (config.chaos.enabled) {
+        sim::Rng chaosRng = sim.rng().fork(0xC4A0);
+        mergeFaultPlans(plan,
+                        faults::generateChaosPlan(
+                            config.chaos, config.duration,
+                            row.numServers(), chaosRng));
+    }
+
     std::unique_ptr<faults::FaultInjector> injector;
-    if (!config.faultPlan.empty()) {
+    if (!plan.empty()) {
         injector = std::make_unique<faults::FaultInjector>(
-            sim, config.faultPlan, sim.rng().fork(0xFA17));
+            sim, plan, sim.rng().fork(0xFA17));
         if (obs)
             injector->attachObservability(obs);
         injector->attachTelemetry(row.rowManager());
@@ -158,13 +193,52 @@ runOversubExperiment(const ExperimentConfig &config)
             for (workload::Priority pool :
                  {workload::Priority::Low, workload::Priority::High})
                 injector->attachChannels(manager->channels(pool));
+            injector->attachController(manager.get());
         }
         injector->start();
+    }
+
+    // The safety monitor watches ground-truth power (what the
+    // breaker sees), delivered telemetry, and the manager's posture.
+    std::unique_ptr<SafetyMonitor> safety;
+    if (config.safety.monitor) {
+        SafetyMonitor::Limits limits;
+        limits.provisionedWatts = provisioned;
+        limits.breakerLimitWatts =
+            provisioned * config.breakerLimitFraction;
+        limits.breakerGrace = config.breakerTripDuration;
+        limits.failSafeDeadline = config.manager.watchdogTimeout +
+            config.safety.failSafeMargin;
+        limits.capReleaseDeadline = config.safety.capReleaseDeadline;
+        limits.maxBrakeTimeFraction =
+            config.safety.maxBrakeTimeFraction;
+        limits.checkInterval = config.safety.checkInterval;
+        // Quiet = below every release threshold, so no rule (or the
+        // brake) has any reason to stay engaged.
+        limits.quietUtilization = config.policy.powerBrakeEnabled
+            ? config.policy.powerBrakeReleaseFraction
+            : 1.0;
+        for (const ThresholdRule &rule : config.policy.rules) {
+            limits.quietUtilization = std::min(
+                limits.quietUtilization, rule.uncapFraction);
+            if (limits.capFloorMhz == 0.0 ||
+                rule.lockMhz < limits.capFloorMhz)
+                limits.capFloorMhz = rule.lockMhz;
+        }
+        safety = std::make_unique<SafetyMonitor>(
+            sim, limits, [&row] { return row.powerWatts(); },
+            manager.get());
+        if (obs)
+            safety->attachObservability(obs);
+        safety->attachTelemetry(row.rowManager());
+        safety->start();
     }
 
     row.dispatcher().injectTrace(*trace);
     auto wallStart = std::chrono::steady_clock::now();
     sim.runUntil(config.duration);
+    if (safety)
+        safety->finish(config.duration);
     if (obs) {
         // Wall-clock throughput is inherently non-reproducible, so
         // it is a volatile gauge: visible via value(), skipped by
@@ -227,7 +301,20 @@ runOversubExperiment(const ExperimentConfig &config)
         result.failSafeEntries = manager->failSafeEntries();
         result.failSafeTicks = manager->failSafeTicks();
         result.flaggedChannels = manager->flaggedChannels();
+        result.controllerCrashes = manager->controllerCrashes();
+        result.controllerRecoveries = manager->controllerRecoveries();
+        result.controllerDownTicks = manager->controllerDownTicks();
+        result.mttrTotalTicks = manager->mttrTotalTicks();
+        result.mttrMaxTicks = manager->mttrMaxTicks();
+        result.timeToFailSafeMaxTicks =
+            manager->timeToFailSafeMaxTicks();
+        result.capsHeldStaleTicks = manager->capsHeldStaleTicks();
+        result.staleTicks = manager->staleTicks();
+        result.brakeTicks = manager->brakeTicks();
+        result.modeTransitions = manager->modeTransitions();
     }
+    if (safety)
+        result.violations = safety->violations();
     if (breaker) {
         result.breakerTrips = breaker->trips();
         result.breakerNearTrips = breaker->nearTrips();

@@ -15,6 +15,8 @@
 #include "cluster/row.hh"
 #include "core/policy.hh"
 #include "core/power_manager.hh"
+#include "core/safety_monitor.hh"
+#include "faults/chaos.hh"
 #include "faults/fault_plan.hh"
 #include "obs/observability.hh"
 #include "sim/timeseries.hh"
@@ -71,6 +73,16 @@ struct ExperimentConfig
      * a scenario replays deterministically.
      */
     faults::FaultPlan faultPlan;
+
+    /**
+     * Randomized fault generation on top of `faultPlan`: when
+     * enabled, a chaos plan drawn deterministically from `seed` is
+     * merged into the explicit plan before the run.
+     */
+    faults::ChaosConfig chaos;
+
+    /** Arm the runtime safety-invariant monitor for the run. */
+    SafetyOptions safety;
 
     /** Model the physical row breaker and violation accounting. */
     bool modelBreaker = true;
@@ -145,6 +157,24 @@ struct ExperimentResult
     std::uint64_t crashesInjected = 0;
     std::uint64_t droppedRequests = 0;   ///< lost to server crashes
     /** @} */
+
+    /** @name Controller failover / recovery SLOs */
+    /** @{ */
+    std::uint64_t controllerCrashes = 0;
+    std::uint64_t controllerRecoveries = 0;
+    sim::Tick controllerDownTicks = 0;
+    sim::Tick mttrTotalTicks = 0;    ///< sum of crash-to-recovery
+    sim::Tick mttrMaxTicks = 0;      ///< worst single recovery
+    sim::Tick timeToFailSafeMaxTicks = 0;
+    sim::Tick capsHeldStaleTicks = 0;
+    sim::Tick staleTicks = 0;        ///< time in StalePartial mode
+    sim::Tick brakeTicks = 0;        ///< total brake-engaged time
+    std::uint64_t modeTransitions = 0;
+    /** @} */
+
+    /** Safety-monitor breaches (empty when the monitor is off or
+     *  every invariant held). */
+    std::vector<SafetyViolation> violations;
 
     /** Row energy over the run and its per-request share. */
     double energyKwh = 0.0;

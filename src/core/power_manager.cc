@@ -22,6 +22,20 @@ clocksMatch(double appliedMhz, double commandedMhz)
 
 } // namespace
 
+const char *
+toString(ControlMode mode)
+{
+    switch (mode) {
+      case ControlMode::Full:
+        return "full";
+      case ControlMode::StalePartial:
+        return "stale-partial";
+      case ControlMode::Blind:
+        return "blind";
+    }
+    return "unknown";
+}
+
 PowerManager::PowerManager(sim::Simulation &sim,
                            telemetry::RowManager &telemetry,
                            double provisionedWatts, PolicyConfig policy,
@@ -86,7 +100,7 @@ PowerManager::attachObservability(obs::Observability *obs)
     if (!obs) {
         trace_ = nullptr;
         capStat_ = uncapStat_ = reissueStat_ = brakeStat_ =
-            failSafeStat_ = flaggedStat_ = nullptr;
+            failSafeStat_ = flaggedStat_ = modeStat_ = nullptr;
         decisionGapStat_ = nullptr;
         for (PoolState *pool : {&lowPool_, &highPool_}) {
             for (auto &channel : pool->channels)
@@ -110,6 +124,9 @@ PowerManager::attachObservability(obs::Observability *obs)
     flaggedStat_ = &obs->metrics.counter(
         "manager.flagged_channels",
         "OOB channels flagged by the re-issue circuit breaker");
+    modeStat_ = &obs->metrics.counter(
+        "manager.mode_transitions",
+        "control-mode ladder transitions (Full/StalePartial/Blind)");
     decisionGapStat_ = &obs->metrics.histogram(
         "manager.decision_gap_s", 0.0, 30.0, 15,
         "gap between consecutive telemetry readings (seconds)");
@@ -142,6 +159,8 @@ PowerManager::start()
     // Staleness is measured from start, not from tick 0: a manager
     // attached mid-run must not instantly declare telemetry dead.
     lastReadingTime_ = sim_.now();
+    aliveSince_ = sim_.now();
+    modeSince_ = sim_.now();
     telemetry_.addListener([this](sim::Tick now, double watts) {
         onReading(now, watts);
     });
@@ -155,6 +174,11 @@ PowerManager::start()
 void
 PowerManager::onReading(sim::Tick now, double watts)
 {
+    // A dead controller process sees nothing; the listener outlives
+    // the crash, so readings during the downtime are dropped here.
+    if (crashed_)
+        return;
+
     // Telemetry readings arrive on the simulation clock, so they can
     // never run backwards, and sensors clamp at zero (FaultInjector
     // included), so a negative reading is a wiring bug upstream.
@@ -168,6 +192,17 @@ PowerManager::onReading(sim::Tick now, double watts)
     // hysteresis path below, so recovery is conservative, not abrupt.
     if (failSafe_)
         exitFailSafe(now);
+    if (mode_ != ControlMode::Full)
+        setMode(now, ControlMode::Full);
+    if (recovering_) {
+        // First delivered reading since the restart closes the
+        // recovery: the controller is acting on fresh data again.
+        recovering_ = false;
+        ++controllerRecoveries_;
+        sim::Tick mttr = now - crashedAt_;
+        mttrTotalTicks_ += mttr;
+        mttrMaxTicks_ = std::max(mttrMaxTicks_, mttr);
+    }
 
     double utilization = watts / provisionedWatts_;
     utilization_.add(utilization);
@@ -353,10 +388,22 @@ PowerManager::verifyApplied(sim::Tick now, PoolState &pool)
 void
 PowerManager::watchdogCheck(sim::Tick now)
 {
-    if (failSafe_)
-        return;
-    if (now - lastReadingTime_ >= options_.watchdogTimeout)
-        enterFailSafe(now);
+    // The watchdog timer dies with the controller process
+    // (controllerCrash resets it), so this never observes crashed_.
+    sim::Tick staleness = now - lastReadingTime_;
+    if (!failSafe_) {
+        if (staleness >= options_.watchdogTimeout) {
+            enterFailSafe(now);
+        } else if (mode_ == ControlMode::Full &&
+                   staleness >= options_.staleWarnTimeout) {
+            setMode(now, ControlMode::StalePartial);
+        }
+    }
+    // Recovery-SLO accounting: integrate (at heartbeat granularity)
+    // the time the row sits under caps the manager cannot currently
+    // justify with fresh data.
+    if (mode_ != ControlMode::Full && capsHeld())
+        capsHeldStaleTicks_ += options_.watchdogInterval;
 }
 
 void
@@ -375,6 +422,11 @@ PowerManager::enterFailSafe(sim::Tick now)
 {
     failSafe_ = true;
     failSafeEnteredAt_ = now;
+    // How long the row ran unprotected before the watchdog acted —
+    // the headline number the chaos campaign's safety SLO checks.
+    timeToFailSafeMax_ =
+        std::max(timeToFailSafeMax_, now - lastReadingTime_);
+    setMode(now, ControlMode::Blind);
     ++failSafeEntries_;
     if (failSafeStat_)
         ++*failSafeStat_;
@@ -464,6 +516,7 @@ PowerManager::releaseBrake()
 {
     POLCA_ASSERT(brakeEngaged_, "releasing a brake that is not engaged");
     brakeEngaged_ = false;
+    brakeTicks_ += sim_.now() - brakeEngagedAt_;
     if (trace_) {
         trace_->instant(obs::TraceCategory::Power, "brake_release",
                         sim_.now(), -1, 0.0);
@@ -472,6 +525,196 @@ PowerManager::releaseBrake()
         for (auto &channel : pool->channels)
             channel->requestPowerBrake(false);
     }
+}
+
+void
+PowerManager::setMode(sim::Tick now, ControlMode mode)
+{
+    if (mode == mode_)
+        return;
+    if (mode_ == ControlMode::StalePartial)
+        staleTicks_ += now - modeSince_;
+    mode_ = mode;
+    modeSince_ = now;
+    ++modeTransitions_;
+    if (modeStat_)
+        ++*modeStat_;
+    if (trace_) {
+        trace_->instant(obs::TraceCategory::Control, "mode_transition",
+                        now, -1, static_cast<double>(mode));
+    }
+}
+
+bool
+PowerManager::capsHeld() const
+{
+    return brakeEngaged_ || lowPool_.commandedMhz > 0.0 ||
+        highPool_.commandedMhz > 0.0;
+}
+
+PowerManager::Snapshot
+PowerManager::snapshot() const
+{
+    Snapshot snap;
+    snap.ruleActive = ruleActive_;
+    snap.ruleActivatedAt = ruleActivatedAt_;
+    snap.lowCommandedMhz = lowPool_.commandedMhz;
+    snap.highCommandedMhz = highPool_.commandedMhz;
+    snap.brakeEngaged = brakeEngaged_;
+    snap.brakeEngagedAt = brakeEngagedAt_;
+    return snap;
+}
+
+void
+PowerManager::controllerCrash()
+{
+    POLCA_CHECK(started_, "controller crash before start");
+    POLCA_CHECK(!crashed_, "controller crashed twice");
+    sim::Tick now = sim_.now();
+    // The durable store gets the last write before the process dies;
+    // a warm restart rehydrates from exactly this.
+    persistedSnapshot_ = snapshot();
+    // A dead process is not "in" fail-safe: close out the span so
+    // failSafeTicks() stays an honest account of armed fail-safe.
+    if (failSafe_)
+        exitFailSafe(now);
+    crashed_ = true;
+    crashedAt_ = now;
+    ++controllerCrashes_;
+    // Process memory and timers die with the process.  The hardware
+    // side survives: in-flight OOB commands still land, applied
+    // clock locks persist, and the brake line stays asserted
+    // (brakeEngaged_ mirrors that line, so it is not wiped).
+    watchdog_.reset();
+    std::fill(ruleActive_.begin(), ruleActive_.end(), false);
+    std::fill(ruleActivatedAt_.begin(), ruleActivatedAt_.end(),
+              sim::Tick{0});
+    recentReadings_.clear();
+    smoothedSum_ = 0.0;
+    for (PoolState *pool : {&lowPool_, &highPool_}) {
+        pool->commandedMhz = 0.0;
+        pool->lastCommandTime = -1;
+        std::fill(pool->consecutiveReissues.begin(),
+                  pool->consecutiveReissues.end(), 0u);
+        pool->flagged.assign(pool->flagged.size(), false);
+    }
+    setMode(now, ControlMode::Blind);
+    sim::warn("PowerManager: controller crashed at t=",
+              sim::ticksToSeconds(now), " s");
+}
+
+void
+PowerManager::controllerRestart(bool coldRestart)
+{
+    POLCA_CHECK(crashed_, "controller restart without a crash");
+    sim::Tick now = sim_.now();
+    crashed_ = false;
+    controllerDownTicks_ += now - crashedAt_;
+    aliveSince_ = now;
+    // Staleness is measured from revival: the new process cannot
+    // blame its predecessor's blackout for readings it never missed.
+    lastReadingTime_ = now;
+    recovering_ = true;
+    // While the controller was down every cap and the brake line
+    // were frozen in place with nobody watching: the whole downtime
+    // counts as caps-held-stale.
+    if (persistedSnapshot_.brakeEngaged ||
+        persistedSnapshot_.lowCommandedMhz > 0.0 ||
+        persistedSnapshot_.highCommandedMhz > 0.0) {
+        capsHeldStaleTicks_ += now - crashedAt_;
+    }
+    if (options_.watchdogEnabled) {
+        watchdog_ = sim_.every(
+            options_.watchdogInterval,
+            [this](sim::Tick tick) { watchdogCheck(tick); });
+    }
+    if (!coldRestart) {
+        // Warm: resume from last-known caps instead of blind.
+        ruleActive_ = persistedSnapshot_.ruleActive;
+        ruleActivatedAt_ = persistedSnapshot_.ruleActivatedAt;
+        lowPool_.commandedMhz = persistedSnapshot_.lowCommandedMhz;
+        highPool_.commandedMhz = persistedSnapshot_.highCommandedMhz;
+        brakeEngaged_ = persistedSnapshot_.brakeEngaged;
+        brakeEngagedAt_ = persistedSnapshot_.brakeEngagedAt;
+        // Whatever drifted during the downtime is unknowable; push
+        // the rehydrated posture back down every channel.
+        for (PoolState *pool : {&lowPool_, &highPool_}) {
+            if (pool->commandedMhz > 0.0) {
+                for (auto &channel : pool->channels)
+                    channel->requestClockLock(pool->commandedMhz);
+                pool->lastCommandTime = now;
+            }
+            if (brakeEngaged_) {
+                for (auto &channel : pool->channels)
+                    channel->requestPowerBrake(true);
+            }
+        }
+        setMode(now, ControlMode::StalePartial);
+        sim::inform("PowerManager: warm restart at t=",
+                    sim::ticksToSeconds(now),
+                    " s; resumed from snapshot");
+    } else {
+        // Cold: no snapshot to rehydrate.  Assume the worst until
+        // telemetry proves the world out.
+        sim::warn("PowerManager: cold restart at t=",
+                  sim::ticksToSeconds(now),
+                  " s; no snapshot, entering fail-safe");
+        enterFailSafe(now);
+    }
+}
+
+void
+PowerManager::serverRestarted(telemetry::ClockControllable *target)
+{
+    if (crashed_ || target == nullptr)
+        return;  // a dead controller notices nothing
+    sim::Tick now = sim_.now();
+    for (PoolState *pool : {&lowPool_, &highPool_}) {
+        for (std::size_t i = 0; i < pool->targets.size(); ++i) {
+            if (pool->targets[i] != target)
+                continue;
+            // The re-issue streak and any flag described the dead
+            // server, not the channel hardware: reset them.
+            pool->consecutiveReissues[i] = 0;
+            if (pool->flagged[i]) {
+                pool->flagged[i] = false;
+                sim::inform("PowerManager: OOB channel ", i,
+                            " unflagged after server restart");
+            }
+            // The reboot wiped the server's applied OOB state;
+            // re-establish the pool's posture ahead of the next
+            // verification pass.
+            if (pool->commandedMhz > 0.0) {
+                pool->channels[i]->requestClockLock(
+                    pool->commandedMhz);
+                pool->lastCommandTime = now;
+                ++reissued_;
+                if (reissueStat_)
+                    ++*reissueStat_;
+            }
+            if (brakeEngaged_)
+                pool->channels[i]->requestPowerBrake(true);
+            return;
+        }
+    }
+}
+
+sim::Tick
+PowerManager::staleTicks() const
+{
+    sim::Tick total = staleTicks_;
+    if (mode_ == ControlMode::StalePartial)
+        total += sim_.now() - modeSince_;
+    return total;
+}
+
+sim::Tick
+PowerManager::brakeTicks() const
+{
+    sim::Tick total = brakeTicks_;
+    if (brakeEngaged_)
+        total += sim_.now() - brakeEngagedAt_;
+    return total;
 }
 
 sim::Tick

@@ -8,6 +8,15 @@
  * limit, and re-issues commands whose silent failure it detects by
  * comparing desired against applied state (the guardrails Section
  * 3.3 calls for).
+ *
+ * The manager is also a fault target: it implements
+ * faults::ControllerHooks, so a FaultPlan can crash it (process
+ * memory wiped, watchdog dead) and restart it warm (rehydrating
+ * from the snapshot it persisted at crash time) or cold (blind —
+ * straight into fail-safe until telemetry proves the world out).
+ * Degraded-visibility state is tracked explicitly as a ControlMode
+ * ladder (Full -> StalePartial -> Blind) with recovery-SLO
+ * accounting: MTTR, time-to-fail-safe, and caps-held-stale time.
  */
 
 #pragma once
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "faults/controller_hooks.hh"
 #include "obs/observability.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
@@ -27,6 +37,21 @@
 #include "telemetry/smbpbi.hh"
 
 namespace polca::core {
+
+/**
+ * How much of the world the manager can currently see.  The ladder
+ * only descends on evidence (stale telemetry, a crash) and only
+ * returns to Full on a delivered reading.
+ */
+enum class ControlMode
+{
+    Full,         ///< fresh telemetry, acting normally
+    StalePartial, ///< telemetry stale past staleWarnTimeout, or
+                  ///< freshly restarted and re-asserting old state
+    Blind,        ///< fail-safe or crashed: no trustworthy inputs
+};
+
+const char *toString(ControlMode mode);
 
 /** Latency/reliability parameters of the manager's control paths. */
 struct ManagerOptions
@@ -78,6 +103,11 @@ struct ManagerOptions
      *  Section 3.3 produces, so only real blackouts trip it. */
     sim::Tick watchdogTimeout;
 
+    /** Telemetry staleness at which the manager degrades to
+     *  StalePartial mode (an early-warning rung well before the
+     *  fail-safe timeout). */
+    sim::Tick staleWarnTimeout;
+
     /** In fail-safe, also engage the power brake (the brake line is
      *  a dedicated hardware path that survives BMC outages).  The
      *  policy's powerBrakeEnabled still gates this. */
@@ -98,6 +128,7 @@ struct ManagerOptions
           watchdogEnabled(true),
           watchdogInterval(sim::secondsToTicks(2)),
           watchdogTimeout(sim::secondsToTicks(30)),
+          staleWarnTimeout(sim::secondsToTicks(10)),
           failSafeEngageBrake(true),
           channelFlagThreshold(3)
     {}
@@ -106,9 +137,26 @@ struct ManagerOptions
 /**
  * Threshold-policy power manager over one row.
  */
-class PowerManager
+class PowerManager : public faults::ControllerHooks
 {
   public:
+    /**
+     * Durable controller state, persisted on every crash.  This is
+     * what a warm-restarted (or cold-standby) controller rehydrates
+     * from so it resumes from last-known caps instead of blind.
+     * Deliberately small: only the externally-visible control
+     * posture, not the smoothing window or per-channel history.
+     */
+    struct Snapshot
+    {
+        std::vector<bool> ruleActive;
+        std::vector<sim::Tick> ruleActivatedAt;
+        double lowCommandedMhz = 0.0;
+        double highCommandedMhz = 0.0;
+        bool brakeEngaged = false;
+        sim::Tick brakeEngagedAt = 0;
+    };
+
     PowerManager(sim::Simulation &sim, telemetry::RowManager &telemetry,
                  double provisionedWatts, PolicyConfig policy,
                  sim::Rng rng, ManagerOptions options = ManagerOptions());
@@ -185,6 +233,86 @@ class PowerManager
                         std::size_t index) const;
     /** @} */
 
+    /** @name Controller crash / restart (faults::ControllerHooks) */
+    /** @{ */
+    /** Crash the controller process: snapshot durable state, wipe
+     *  process memory, kill the watchdog, go Blind.  In-flight OOB
+     *  commands and the hardware brake line survive. */
+    void controllerCrash() override;
+
+    /** Bring a replacement controller up.  Warm restarts rehydrate
+     *  from the crash-time snapshot and re-assert it down every
+     *  channel; cold restarts have no snapshot and enter fail-safe
+     *  until telemetry proves the world out. */
+    void controllerRestart(bool coldRestart) override;
+
+    /** A crashed server came back: its applied OOB state was wiped
+     *  by the reboot, so reset the channel's re-issue/flag history
+     *  (it described the dead server) and re-assert the pool's lock
+     *  and brake on that channel. */
+    void serverRestarted(telemetry::ClockControllable *target) override;
+
+    /** Capture the durable state a restart would rehydrate from. */
+    Snapshot snapshot() const;
+
+    /** @return true while the controller process is down. */
+    bool crashed() const { return crashed_; }
+
+    /** Start of the current controller incarnation (start() or the
+     *  latest restart). */
+    sim::Tick aliveSince() const { return aliveSince_; }
+
+    /** Current visibility rung. */
+    ControlMode mode() const { return mode_; }
+
+    /** Mode-ladder transitions (each one is also a trace event). */
+    std::uint64_t modeTransitions() const { return modeTransitions_; }
+
+    /** Controller crash events suffered. */
+    std::uint64_t controllerCrashes() const
+    {
+        return controllerCrashes_;
+    }
+
+    /** Recoveries completed (first delivered reading after a
+     *  restart). */
+    std::uint64_t controllerRecoveries() const
+    {
+        return controllerRecoveries_;
+    }
+
+    /** Total time the controller process was down. */
+    sim::Tick controllerDownTicks() const
+    {
+        return controllerDownTicks_;
+    }
+
+    /** Total / worst-case crash-to-first-reading recovery time. */
+    sim::Tick mttrTotalTicks() const { return mttrTotalTicks_; }
+    sim::Tick mttrMaxTicks() const { return mttrMaxTicks_; }
+
+    /** Worst staleness at the moment fail-safe engaged (how long
+     *  the row ran unprotected before the watchdog acted). */
+    sim::Tick timeToFailSafeMaxTicks() const
+    {
+        return timeToFailSafeMax_;
+    }
+
+    /** Time caps/brake were held while visibility was degraded
+     *  (StalePartial or Blind), including controller downtime with
+     *  caps frozen in place. */
+    sim::Tick capsHeldStaleTicks() const
+    {
+        return capsHeldStaleTicks_;
+    }
+
+    /** Total time spent in StalePartial mode. */
+    sim::Tick staleTicks() const;
+
+    /** Total time the power brake has been engaged. */
+    sim::Tick brakeTicks() const;
+    /** @} */
+
   private:
     struct PoolState
     {
@@ -208,6 +336,8 @@ class PowerManager
     void enterFailSafe(sim::Tick now);
     void exitFailSafe(sim::Tick now);
     void escalateAllRules(sim::Tick now);
+    void setMode(sim::Tick now, ControlMode mode);
+    bool capsHeld() const;
     PoolState &poolState(workload::Priority pool);
     const PoolState &poolState(workload::Priority pool) const;
 
@@ -232,6 +362,14 @@ class PowerManager
     bool failSafe_ = false;
     sim::Tick failSafeEnteredAt_ = 0;
 
+    ControlMode mode_ = ControlMode::Full;
+    sim::Tick modeSince_ = 0;
+    bool crashed_ = false;
+    sim::Tick crashedAt_ = 0;
+    sim::Tick aliveSince_ = 0;
+    bool recovering_ = false;
+    Snapshot persistedSnapshot_;
+
     std::uint64_t brakeEvents_ = 0;
     std::uint64_t capCommands_ = 0;
     std::uint64_t uncapCommands_ = 0;
@@ -239,6 +377,16 @@ class PowerManager
     std::uint64_t failSafeEntries_ = 0;
     sim::Tick failSafeTicks_ = 0;
     std::uint64_t flaggedChannels_ = 0;
+    std::uint64_t modeTransitions_ = 0;
+    std::uint64_t controllerCrashes_ = 0;
+    std::uint64_t controllerRecoveries_ = 0;
+    sim::Tick controllerDownTicks_ = 0;
+    sim::Tick mttrTotalTicks_ = 0;
+    sim::Tick mttrMaxTicks_ = 0;
+    sim::Tick timeToFailSafeMax_ = 0;
+    sim::Tick capsHeldStaleTicks_ = 0;
+    sim::Tick staleTicks_ = 0;
+    sim::Tick brakeTicks_ = 0;
     sim::Accumulator utilization_;
 
     obs::Observability *obs_ = nullptr;
@@ -249,6 +397,7 @@ class PowerManager
     obs::Counter *brakeStat_ = nullptr;
     obs::Counter *failSafeStat_ = nullptr;
     obs::Counter *flaggedStat_ = nullptr;
+    obs::Counter *modeStat_ = nullptr;
     obs::Histogram *decisionGapStat_ = nullptr;
 };
 

@@ -167,7 +167,8 @@ SweepRunner::writeSummary() const
         return;
     os << "label,lp_p99_s,hp_p99_s,lp_p99_norm,hp_p99_norm,"
           "brake_events,breaker_trips,max_utilization,"
-          "energy_kwh\n";
+          "energy_kwh,failsafe_s,mttr_max_s,caps_stale_s,"
+          "safety_violations\n";
     for (const SweepPointResult &r : results_) {
         os << '"' << r.label << '"' << ','
            << r.result.low.p99 << ',' << r.result.high.p99
@@ -175,7 +176,11 @@ SweepRunner::writeSummary() const
            << ',' << r.result.powerBrakeEvents << ','
            << r.result.breakerTrips << ','
            << r.result.maxUtilization << ','
-           << r.result.energyKwh << '\n';
+           << r.result.energyKwh << ','
+           << sim::ticksToSeconds(r.result.failSafeTicks) << ','
+           << sim::ticksToSeconds(r.result.mttrMaxTicks) << ','
+           << sim::ticksToSeconds(r.result.capsHeldStaleTicks) << ','
+           << r.result.violations.size() << '\n';
     }
 }
 
@@ -207,7 +212,9 @@ SweepRunner::summaryTable() const
 {
     analysis::Table table({"point", "LP p99 (s)", "HP p99 (s)",
                            "LP p99 (norm)", "HP p99 (norm)", "brakes",
-                           "trips", "max util", "energy (kWh)"});
+                           "trips", "max util", "energy (kWh)",
+                           "failsafe (s)", "MTTR max (s)",
+                           "violations"});
     for (const SweepPointResult &r : results_) {
         table.row()
             .cell(r.label.empty() ? "(single point)" : r.label)
@@ -218,7 +225,10 @@ SweepRunner::summaryTable() const
             .cell(static_cast<long long>(r.result.powerBrakeEvents))
             .cell(static_cast<long long>(r.result.breakerTrips))
             .percentCell(r.result.maxUtilization)
-            .cell(r.result.energyKwh, 1);
+            .cell(r.result.energyKwh, 1)
+            .cell(sim::ticksToSeconds(r.result.failSafeTicks), 0)
+            .cell(sim::ticksToSeconds(r.result.mttrMaxTicks), 0)
+            .cell(static_cast<long long>(r.result.violations.size()));
     }
     return table;
 }

@@ -1,0 +1,269 @@
+#include "faults/chaos.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::faults {
+
+namespace {
+
+void
+checkCount(const char *what, int count)
+{
+    if (count < 0)
+        sim::fatal("ChaosConfig: negative ", what, " count");
+}
+
+void
+checkRange(const char *what, sim::Tick min, sim::Tick max)
+{
+    if (min <= 0 || max < min) {
+        sim::fatal("ChaosConfig: ", what, " duration range [", min,
+                   ", ", max, "] is not a valid range");
+    }
+}
+
+void
+checkProbability(const char *what, double p)
+{
+    if (p < 0.0 || p > 1.0) {
+        sim::fatal("ChaosConfig: ", what, " probability ", p,
+                   " outside [0,1]");
+    }
+}
+
+/** Event-count ceiling after intensity scaling. */
+int
+scaledMax(int countMax, double intensity)
+{
+    return static_cast<int>(
+        std::lround(static_cast<double>(countMax) * intensity));
+}
+
+/** One window of length drawn in [min, max], clamped into the run,
+ *  placed uniformly.  Never returns a degenerate window. */
+std::pair<sim::Tick, sim::Tick>
+drawWindow(sim::Rng &rng, sim::Tick durationMin, sim::Tick durationMax,
+           sim::Tick runDuration)
+{
+    sim::Tick length = rng.uniformInt(durationMin, durationMax);
+    length = std::clamp<sim::Tick>(length, 1, runDuration);
+    sim::Tick latestStart = runDuration - length;
+    sim::Tick start =
+        latestStart > 0 ? rng.uniformInt(0, latestStart) : 0;
+    return {start, length};
+}
+
+/** Sort windows by start and drop any that overlaps its kept
+ *  predecessor (earliest draw wins). */
+template <typename T>
+void
+dropOverlaps(std::vector<T> &windows)
+{
+    std::sort(windows.begin(), windows.end(),
+              [](const T &a, const T &b) { return a.first < b.first; });
+    std::vector<T> kept;
+    sim::Tick busyUntil = 0;
+    for (const T &w : windows) {
+        if (!kept.empty() && w.first < busyUntil)
+            continue;
+        busyUntil = w.first + w.second;
+        kept.push_back(w);
+    }
+    windows = std::move(kept);
+}
+
+} // namespace
+
+void
+ChaosConfig::validate() const
+{
+    if (intensity < 0.0)
+        sim::fatal("ChaosConfig: negative intensity");
+    checkCount("blackout", blackoutCountMax);
+    checkRange("blackout", blackoutDurationMin, blackoutDurationMax);
+    checkProbability("bursty", burstyProbability);
+    checkCount("sensor-fault", sensorFaultCountMax);
+    checkRange("sensor-fault", sensorFaultDurationMin,
+               sensorFaultDurationMax);
+    if (sensorBiasWeight < 0.0 || sensorNoiseWeight < 0.0 ||
+        sensorStuckWeight < 0.0) {
+        sim::fatal("ChaosConfig: negative sensor mode weight");
+    }
+    if (sensorBiasWeight + sensorNoiseWeight + sensorStuckWeight <=
+        0.0) {
+        sim::fatal("ChaosConfig: sensor mode weights sum to zero");
+    }
+    if (sensorBiasMaxWatts < 0.0 || sensorNoiseMaxStddevWatts < 0.0)
+        sim::fatal("ChaosConfig: negative sensor magnitude bound");
+    checkCount("oob-outage", oobOutageCountMax);
+    checkRange("oob-outage", oobOutageDurationMin,
+               oobOutageDurationMax);
+    checkProbability("oob-blackout-correlation",
+                     oobBlackoutCorrelation);
+    checkCount("crash", crashCountMax);
+    checkRange("crash-downtime", crashDowntimeMin, crashDowntimeMax);
+    checkCount("controller-crash", controllerCrashCountMax);
+    checkRange("controller-downtime", controllerDowntimeMin,
+               controllerDowntimeMax);
+    checkProbability("controller-cold-restart",
+                     controllerColdRestartProbability);
+}
+
+FaultPlan
+generateChaosPlan(const ChaosConfig &config, sim::Tick duration,
+                  int numServers, sim::Rng &rng)
+{
+    config.validate();
+    if (duration <= 0)
+        sim::fatal("generateChaosPlan: non-positive duration");
+
+    FaultPlan plan;
+    double intensity = config.intensity;
+
+    // Draw order is part of the determinism contract: blackouts,
+    // bursty loss, sensor faults, OOB outages, server crashes,
+    // controller crashes.  Reordering would silently change every
+    // seeded campaign.
+
+    std::vector<std::pair<sim::Tick, sim::Tick>> windows;
+    int count = scaledMax(config.blackoutCountMax, intensity);
+    count = count > 0 ? static_cast<int>(rng.uniformInt(0, count)) : 0;
+    for (int i = 0; i < count; ++i) {
+        windows.push_back(drawWindow(rng, config.blackoutDurationMin,
+                                     config.blackoutDurationMax,
+                                     duration));
+    }
+    dropOverlaps(windows);
+    for (const auto &[start, length] : windows)
+        plan.blackouts.push_back({start, length});
+
+    if (intensity > 0.0 && rng.bernoulli(config.burstyProbability)) {
+        plan.burstyLoss.enabled = true;
+        plan.burstyLoss.enterBurstProbability = 0.01;
+        plan.burstyLoss.exitBurstProbability = 0.1;
+        plan.burstyLoss.goodLossProbability = 0.01;
+        plan.burstyLoss.burstLossProbability = 0.95;
+    }
+
+    count = scaledMax(config.sensorFaultCountMax, intensity);
+    count = count > 0 ? static_cast<int>(rng.uniformInt(0, count)) : 0;
+    const std::vector<double> modeWeights = {config.sensorBiasWeight,
+                                             config.sensorNoiseWeight,
+                                             config.sensorStuckWeight};
+    for (int i = 0; i < count; ++i) {
+        auto [start, length] =
+            drawWindow(rng, config.sensorFaultDurationMin,
+                       config.sensorFaultDurationMax, duration);
+        SensorFault fault;
+        fault.start = start;
+        fault.duration = length;
+        switch (rng.weightedIndex(modeWeights)) {
+          case 0:
+            fault.mode = SensorFaultMode::Bias;
+            fault.biasWatts = -rng.uniform(0.0,
+                                           config.sensorBiasMaxWatts);
+            break;
+          case 1:
+            fault.mode = SensorFaultMode::Noise;
+            fault.noiseStddevWatts =
+                rng.uniform(0.0, config.sensorNoiseMaxStddevWatts);
+            break;
+          default:
+            fault.mode = SensorFaultMode::StuckAtLast;
+            break;
+        }
+        plan.sensorFaults.push_back(fault);
+    }
+
+    count = scaledMax(config.oobOutageCountMax, intensity);
+    count = count > 0 ? static_cast<int>(rng.uniformInt(0, count)) : 0;
+    for (int i = 0; i < count; ++i) {
+        auto [start, length] =
+            drawWindow(rng, config.oobOutageDurationMin,
+                       config.oobOutageDurationMax, duration);
+        // Common-cause failure: co-start the command outage with one
+        // of the drawn telemetry blackouts.
+        if (!plan.blackouts.empty() &&
+            rng.bernoulli(config.oobBlackoutCorrelation)) {
+            std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+                0,
+                static_cast<std::int64_t>(plan.blackouts.size()) - 1));
+            start = plan.blackouts[pick].start;
+            length = std::min<sim::Tick>(length, duration - start);
+        }
+        plan.oobOutages.push_back({start, std::max<sim::Tick>(
+                                              length, 1)});
+    }
+
+    count = scaledMax(config.crashCountMax, intensity);
+    count = count > 0 ? static_cast<int>(rng.uniformInt(0, count)) : 0;
+    std::vector<ServerCrash> crashes;
+    for (int i = 0; i < count && numServers > 0; ++i) {
+        auto [at, downtime] =
+            drawWindow(rng, config.crashDowntimeMin,
+                       config.crashDowntimeMax, duration);
+        ServerCrash crash;
+        crash.at = at;
+        crash.downtime = downtime;
+        crash.serverIndex =
+            static_cast<int>(rng.uniformInt(0, numServers - 1));
+        crashes.push_back(crash);
+    }
+    // A server must not crash while already down: sort by (server,
+    // time) and drop draws that land inside a kept downtime.
+    std::sort(crashes.begin(), crashes.end(),
+              [](const ServerCrash &a, const ServerCrash &b) {
+                  return a.serverIndex != b.serverIndex
+                             ? a.serverIndex < b.serverIndex
+                             : a.at < b.at;
+              });
+    int lastServer = -1;
+    sim::Tick busyUntil = 0;
+    for (const ServerCrash &crash : crashes) {
+        if (crash.serverIndex == lastServer && crash.at < busyUntil)
+            continue;
+        lastServer = crash.serverIndex;
+        busyUntil = crash.at + crash.downtime;
+        plan.crashes.push_back(crash);
+    }
+
+    count = scaledMax(config.controllerCrashCountMax, intensity);
+    count = count > 0 ? static_cast<int>(rng.uniformInt(0, count)) : 0;
+    std::vector<std::pair<sim::Tick, sim::Tick>> controllerWindows;
+    std::vector<bool> cold;
+    for (int i = 0; i < count; ++i) {
+        controllerWindows.push_back(
+            drawWindow(rng, config.controllerDowntimeMin,
+                       config.controllerDowntimeMax, duration));
+        cold.push_back(
+            rng.bernoulli(config.controllerColdRestartProbability));
+    }
+    // Keep cold/warm attached to their windows through the overlap
+    // filter by filtering pairs manually.
+    std::vector<std::size_t> order(controllerWindows.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return controllerWindows[a].first <
+                      controllerWindows[b].first;
+              });
+    busyUntil = 0;
+    bool first = true;
+    for (std::size_t index : order) {
+        const auto &[at, downtime] = controllerWindows[index];
+        if (!first && at < busyUntil)
+            continue;
+        first = false;
+        busyUntil = at + downtime;
+        plan.controllerCrashes.push_back({at, downtime, cold[index]});
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace polca::faults

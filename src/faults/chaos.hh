@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic, seeded chaos engine over the fault space.
+ *
+ * Hand-authored FaultPlans exercise one failure at a time; the
+ * safety argument the paper makes (Section 3.3's hostile control
+ * paths, Section 6.3's guardrails) needs the *combinations*: a
+ * blackout that lands during an OOB outage, a controller crash
+ * while half the row is rebooting.  A ChaosConfig describes ranges
+ * over the whole fault space; generateChaosPlan() draws one
+ * concrete FaultPlan from it using a caller-supplied sim::Rng, so a
+ * chaos campaign replays bit-identically under a fixed seed and a
+ * single `[sweep]` axis can scale its intensity.
+ */
+
+#pragma once
+
+#include "faults/fault_plan.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace polca::faults {
+
+/**
+ * Typed fault-space bounds for plan generation.  Counts are drawn
+ * uniformly in [0, round(max * intensity)]; window lengths uniformly
+ * in [min, max] (clamped to the run).  All fields are schema-bound
+ * ([chaos] in a scenario file), so every knob is sweepable.
+ */
+struct ChaosConfig
+{
+    /** Master switch: when false the experiment harness ignores the
+     *  rest of the config. */
+    bool enabled = false;
+
+    /** Scales every event-count ceiling (0 disables all randomized
+     *  faults; 2.0 doubles the ceilings).  The natural [sweep]
+     *  axis. */
+    double intensity = 1.0;
+
+    /** @name Telemetry blackouts */
+    /** @{ */
+    int blackoutCountMax = 2;
+    sim::Tick blackoutDurationMin = sim::secondsToTicks(120);
+    sim::Tick blackoutDurationMax = sim::secondsToTicks(900);
+    /** @} */
+
+    /** Probability the Gilbert–Elliott bursty-loss channel is
+     *  enabled for the run (parameters follow the "bursty"
+     *  preset). */
+    double burstyProbability = 0.25;
+
+    /** @name Sensor corruption windows */
+    /** @{ */
+    int sensorFaultCountMax = 2;
+    sim::Tick sensorFaultDurationMin = sim::secondsToTicks(300);
+    sim::Tick sensorFaultDurationMax = sim::secondsToTicks(1800);
+    /** Mode mix: relative weights of bias / noise / stuck-at-last. */
+    double sensorBiasWeight = 1.0;
+    double sensorNoiseWeight = 1.0;
+    double sensorStuckWeight = 1.0;
+    /** Bias drawn in [-max, 0]: under-reporting is the unsafe lie. */
+    double sensorBiasMaxWatts = 30000.0;
+    double sensorNoiseMaxStddevWatts = 4000.0;
+    /** @} */
+
+    /** @name Correlated OOB command outages */
+    /** @{ */
+    int oobOutageCountMax = 1;
+    sim::Tick oobOutageDurationMin = sim::secondsToTicks(300);
+    sim::Tick oobOutageDurationMax = sim::secondsToTicks(1800);
+    /** Probability an outage co-starts with a drawn blackout (the
+     *  common-cause case: one dead BMC aggregator takes out both
+     *  telemetry and the command path). */
+    double oobBlackoutCorrelation = 0.5;
+    /** @} */
+
+    /** @name Server crash/restart waves */
+    /** @{ */
+    int crashCountMax = 3;
+    sim::Tick crashDowntimeMin = sim::secondsToTicks(60);
+    sim::Tick crashDowntimeMax = sim::secondsToTicks(600);
+    /** @} */
+
+    /** @name Controller crash/restart */
+    /** @{ */
+    int controllerCrashCountMax = 1;
+    sim::Tick controllerDowntimeMin = sim::secondsToTicks(60);
+    sim::Tick controllerDowntimeMax = sim::secondsToTicks(600);
+    /** Probability a restart is cold (no snapshot to rehydrate). */
+    double controllerColdRestartProbability = 0.5;
+    /** @} */
+
+    /** Fatal() on out-of-range fields (negative counts, inverted
+     *  min/max ranges, probabilities outside [0,1]). */
+    void validate() const;
+};
+
+/**
+ * Draw one concrete FaultPlan from @p config for a run of
+ * @p duration over @p numServers servers, consuming randomness only
+ * from @p rng.  The returned plan always passes
+ * FaultPlan::validate(): windows fit inside the run, blackout and
+ * controller-crash windows never overlap (overlapping draws are
+ * dropped, earliest wins), and crashes always restart.
+ */
+FaultPlan generateChaosPlan(const ChaosConfig &config,
+                            sim::Tick duration, int numServers,
+                            sim::Rng &rng);
+
+} // namespace polca::faults

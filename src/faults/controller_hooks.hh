@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Controller-facing fault hooks.
+ *
+ * The fault layer cannot depend on core (core links against faults),
+ * so controller crash/restart events and server-restart
+ * notifications go through this narrow interface.  The POLCA power
+ * manager implements it; the injector only ever sees the abstract
+ * hooks.
+ */
+
+#pragma once
+
+namespace polca::telemetry {
+class ClockControllable;
+} // namespace polca::telemetry
+
+namespace polca::faults {
+
+/**
+ * What a power controller must expose for fault injection.
+ *
+ * controllerCrash() models the controller process dying: it must
+ * persist whatever snapshot it wants *before* losing its in-memory
+ * state.  controllerRestart(cold) brings a replacement up; a warm
+ * restart rehydrates from the persisted snapshot, a cold one starts
+ * blind and is expected to fail safe until telemetry returns.
+ * serverRestarted() fires after a crashed server comes back, so the
+ * controller can drop per-channel state that described the dead
+ * server, not the channel.
+ */
+class ControllerHooks
+{
+  public:
+    virtual ~ControllerHooks() = default;
+
+    /** The controller process dies (snapshot first, then wipe). */
+    virtual void controllerCrash() = 0;
+
+    /** A replacement controller comes up; @p coldRestart means no
+     *  persisted snapshot is available. */
+    virtual void controllerRestart(bool coldRestart) = 0;
+
+    /** Control target @p target rebooted and lost its applied
+     *  OOB state. */
+    virtual void
+    serverRestarted(telemetry::ClockControllable *target) = 0;
+};
+
+} // namespace polca::faults

@@ -45,12 +45,18 @@ FaultInjector::attachServers(
 }
 
 void
+FaultInjector::attachController(ControllerHooks *controller)
+{
+    controller_ = controller;
+}
+
+void
 FaultInjector::attachObservability(obs::Observability *obs)
 {
     if (!obs) {
         trace_ = nullptr;
         blackedOutStat_ = burstDroppedStat_ = corruptedStat_ =
-            crashStat_ = nullptr;
+            crashStat_ = controllerCrashStat_ = nullptr;
         return;
     }
     trace_ = &obs->trace;
@@ -65,6 +71,9 @@ FaultInjector::attachObservability(obs::Observability *obs)
         "readings delivered with a corrupted value");
     crashStat_ = &obs->metrics.counter(
         "faults.crashes_injected", "server crash events executed");
+    controllerCrashStat_ = &obs->metrics.counter(
+        "faults.controller_crashes_injected",
+        "controller crash events executed");
 }
 
 void
@@ -105,6 +114,11 @@ FaultInjector::start()
                              c.serverIndex,
                              static_cast<double>(c.serverIndex));
         }
+        for (const ControllerCrash &c : plan_.controllerCrashes) {
+            trace_->complete(obs::TraceCategory::Fault,
+                             "controller_downtime", c.at, c.downtime,
+                             -3, c.coldRestart ? 1.0 : 0.0);
+        }
     }
 
     for (const OobOutage &outage : plan_.oobOutages) {
@@ -143,9 +157,43 @@ FaultInjector::start()
                 }
             },
             "fault-crash");
+        if (crash.permanent)
+            continue;  // deliberately dark for the rest of the run
         sim_.queue().post(
             crash.at + crash.downtime,
-            [victim] { victim->restore(); }, "fault-restore");
+            [this, victim] {
+                victim->restore();
+                // The reboot wiped the server's applied OOB state;
+                // tell the controller so it can reset per-channel
+                // bookkeeping and re-assert its caps.
+                if (controller_)
+                    controller_->serverRestarted(victim);
+            },
+            "fault-restore");
+    }
+
+    for (const ControllerCrash &crash : plan_.controllerCrashes) {
+        if (!controller_)
+            break;  // unmanaged run: nothing to crash
+        bool cold = crash.coldRestart;
+        sim_.queue().post(
+            crash.at,
+            [this] {
+                controller_->controllerCrash();
+                ++controllerCrashesInjected_;
+                if (controllerCrashStat_)
+                    ++*controllerCrashStat_;
+                if (trace_) {
+                    trace_->instant(obs::TraceCategory::Fault,
+                                    "controller_crash", sim_.now(),
+                                    -3, 0.0);
+                }
+            },
+            "fault-controller-crash");
+        sim_.queue().post(
+            crash.at + crash.downtime,
+            [this, cold] { controller_->controllerRestart(cold); },
+            "fault-controller-restart");
     }
 }
 

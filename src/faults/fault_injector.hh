@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/inference_server.hh"
+#include "faults/controller_hooks.hh"
 #include "faults/fault_plan.hh"
 #include "obs/observability.hh"
 #include "sim/random.hh"
@@ -51,6 +52,15 @@ class FaultInjector
     void attachServers(std::vector<cluster::InferenceServer *> servers);
 
     /**
+     * Controller subject to ControllerCrash events; also notified
+     * when a crashed server restarts (so it can reset per-channel
+     * state that described the dead server).  Without an attached
+     * controller, ControllerCrash events are skipped (there is
+     * nothing to crash in an unmanaged run).
+     */
+    void attachController(ControllerHooks *controller);
+
+    /**
      * Register injection counters and fault-window trace spans with
      * @p obs.  Call before start(): the planned windows (blackouts,
      * OOB outages, sensor faults, crash downtimes) are known a
@@ -78,6 +88,12 @@ class FaultInjector
     /** Crash events executed so far. */
     std::uint64_t crashesInjected() const { return crashesInjected_; }
 
+    /** Controller crash events executed so far. */
+    std::uint64_t controllerCrashesInjected() const
+    {
+        return controllerCrashesInjected_;
+    }
+
     /** @return true while the loss channel is in its burst state. */
     bool inBurst() const { return inBurst_; }
     /** @} */
@@ -91,6 +107,7 @@ class FaultInjector
     sim::Rng rng_;
     std::vector<telemetry::SmbpbiController *> channels_;
     std::vector<cluster::InferenceServer *> servers_;
+    ControllerHooks *controller_ = nullptr;
     bool started_ = false;
 
     bool inBurst_ = false;
@@ -101,12 +118,14 @@ class FaultInjector
     std::uint64_t burstDropped_ = 0;
     std::uint64_t corrupted_ = 0;
     std::uint64_t crashesInjected_ = 0;
+    std::uint64_t controllerCrashesInjected_ = 0;
 
     obs::TraceRecorder *trace_ = nullptr;
     obs::Counter *blackedOutStat_ = nullptr;
     obs::Counter *burstDroppedStat_ = nullptr;
     obs::Counter *corruptedStat_ = nullptr;
     obs::Counter *crashStat_ = nullptr;
+    obs::Counter *controllerCrashStat_ = nullptr;
 };
 
 } // namespace polca::faults

@@ -1,6 +1,8 @@
 #include "faults/fault_plan.hh"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -24,57 +26,156 @@ bool
 FaultPlan::empty() const
 {
     return blackouts.empty() && !burstyLoss.enabled &&
-        sensorFaults.empty() && oobOutages.empty() && crashes.empty();
+        sensorFaults.empty() && oobOutages.empty() &&
+        crashes.empty() && controllerCrashes.empty();
 }
 
 namespace {
 
+std::string
+windowText(sim::Tick start, sim::Tick duration)
+{
+    return "[" + std::to_string(start) + ", +" +
+        std::to_string(duration) + ")";
+}
+
 void
-checkWindow(const char *what, sim::Tick start, sim::Tick duration)
+checkWindow(std::vector<std::string> &out, const char *what,
+            sim::Tick start, sim::Tick duration)
 {
     if (start < 0 || duration <= 0) {
-        sim::fatal("FaultPlan: ", what, " window [", start, ", +",
-                   duration, ") is not a valid interval");
+        out.push_back(std::string(what) + " window " +
+                      windowText(start, duration) +
+                      " is not a valid interval");
     }
 }
 
 void
-checkProbability(const char *what, double p)
+checkProbability(std::vector<std::string> &out, const char *what,
+                 double p)
 {
-    if (p < 0.0 || p > 1.0)
-        sim::fatal("FaultPlan: ", what, " probability ", p,
-                   " outside [0,1]");
+    if (p < 0.0 || p > 1.0) {
+        out.push_back(std::string(what) + " probability " +
+                      std::to_string(p) + " outside [0,1]");
+    }
+}
+
+/** Report every pair of overlapping [start, start+duration) windows
+ *  in @p windows (already reduced to start/duration pairs). */
+void
+checkOverlaps(std::vector<std::string> &out, const char *what,
+              std::vector<std::pair<sim::Tick, sim::Tick>> windows)
+{
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+        const auto &[prevStart, prevDuration] = windows[i - 1];
+        const auto &[start, duration] = windows[i];
+        if (prevDuration > 0 && start < prevStart + prevDuration) {
+            out.push_back(std::string(what) + " windows " +
+                          windowText(prevStart, prevDuration) +
+                          " and " + windowText(start, duration) +
+                          " overlap");
+        }
+    }
 }
 
 } // namespace
 
-void
-FaultPlan::validate() const
+std::vector<std::string>
+FaultPlan::problems() const
 {
-    for (const BlackoutWindow &w : blackouts)
-        checkWindow("blackout", w.start, w.duration);
+    std::vector<std::string> out;
+
+    std::vector<std::pair<sim::Tick, sim::Tick>> windows;
+    for (const BlackoutWindow &w : blackouts) {
+        checkWindow(out, "blackout", w.start, w.duration);
+        windows.emplace_back(w.start, w.duration);
+    }
+    checkOverlaps(out, "blackout", windows);
+
     if (burstyLoss.enabled) {
-        checkProbability("enter-burst",
+        checkProbability(out, "enter-burst",
                          burstyLoss.enterBurstProbability);
-        checkProbability("exit-burst", burstyLoss.exitBurstProbability);
-        checkProbability("good-loss", burstyLoss.goodLossProbability);
-        checkProbability("burst-loss",
+        checkProbability(out, "exit-burst",
+                         burstyLoss.exitBurstProbability);
+        checkProbability(out, "good-loss",
+                         burstyLoss.goodLossProbability);
+        checkProbability(out, "burst-loss",
                          burstyLoss.burstLossProbability);
     }
     for (const SensorFault &f : sensorFaults) {
-        checkWindow("sensor-fault", f.start, f.duration);
+        checkWindow(out, "sensor-fault", f.start, f.duration);
         if (f.mode == SensorFaultMode::Noise &&
             f.noiseStddevWatts < 0.0) {
-            sim::fatal("FaultPlan: negative noise stddev");
+            out.push_back("sensor-fault noise stddev is negative");
         }
     }
     for (const OobOutage &o : oobOutages)
-        checkWindow("oob-outage", o.start, o.duration);
+        checkWindow(out, "oob-outage", o.start, o.duration);
+
+    // Crashes: a crash that never restarts leaves the server
+    // permanently dark — legal only when said out loud.  Overlapping
+    // downtime on one server means a crash of a server that is
+    // already down.
+    std::vector<std::pair<int, std::pair<sim::Tick, sim::Tick>>>
+        byServer;
     for (const ServerCrash &c : crashes) {
-        checkWindow("crash", c.at, c.downtime);
+        if (c.at < 0) {
+            out.push_back("crash at negative time " +
+                          std::to_string(c.at));
+        }
         if (c.serverIndex < 0)
-            sim::fatal("FaultPlan: negative crash server index");
+            out.push_back("crash has a negative server index");
+        if (c.permanent) {
+            if (c.downtime != 0) {
+                out.push_back(
+                    "permanent crash at " + std::to_string(c.at) +
+                    " must not set a downtime (it never restarts)");
+            }
+        } else if (c.downtime <= 0) {
+            out.push_back(
+                "crash at " + std::to_string(c.at) + " has no "
+                "restart; set permanent = true to deliberately "
+                "leave the server dark");
+        }
+        byServer.emplace_back(
+            c.serverIndex,
+            std::make_pair(c.at, c.permanent
+                                     ? std::numeric_limits<
+                                           sim::Tick>::max() -
+                                           c.at
+                                     : c.downtime));
     }
+    std::sort(byServer.begin(), byServer.end());
+    for (std::size_t i = 1; i < byServer.size(); ++i) {
+        if (byServer[i].first != byServer[i - 1].first)
+            continue;
+        const auto &[prevStart, prevDuration] = byServer[i - 1].second;
+        const auto &[start, duration] = byServer[i].second;
+        if (start < prevStart + prevDuration) {
+            out.push_back(
+                "server " + std::to_string(byServer[i].first) +
+                " crashes at " + std::to_string(start) +
+                " while already down (downtime " +
+                windowText(prevStart, prevDuration) + ")");
+        }
+    }
+
+    windows.clear();
+    for (const ControllerCrash &c : controllerCrashes) {
+        checkWindow(out, "controller-crash", c.at, c.downtime);
+        windows.emplace_back(c.at, c.downtime);
+    }
+    checkOverlaps(out, "controller-crash", windows);
+    return out;
+}
+
+void
+FaultPlan::validate() const
+{
+    std::vector<std::string> found = problems();
+    if (!found.empty())
+        sim::fatal("FaultPlan: ", found.front());
 }
 
 const std::vector<std::string> &

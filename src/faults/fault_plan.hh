@@ -81,6 +81,25 @@ struct ServerCrash
     sim::Tick at = 0;
     sim::Tick downtime = 0;  ///< restore at `at + downtime`
     int serverIndex = 0;     ///< index into the attached server list
+
+    /** The server never restarts (deliberately dark for the rest of
+     *  the run).  A crash with no restart must be marked permanent
+     *  explicitly — and a permanent crash must leave downtime at 0 —
+     *  or the plan is rejected as degenerate. */
+    bool permanent = false;
+};
+
+/**
+ * The power-management controller process dies at `at` and a
+ * replacement comes up `downtime` later.  A warm restart rehydrates
+ * from the controller's persisted snapshot (resumes from last-known
+ * caps); a cold restart has no snapshot and must start blind.
+ */
+struct ControllerCrash
+{
+    sim::Tick at = 0;
+    sim::Tick downtime = 0;  ///< replacement up at `at + downtime`
+    bool coldRestart = false;  ///< no snapshot to rehydrate from
 };
 
 /** A complete scenario. */
@@ -91,11 +110,23 @@ struct FaultPlan
     std::vector<SensorFault> sensorFaults;
     std::vector<OobOutage> oobOutages;
     std::vector<ServerCrash> crashes;
+    std::vector<ControllerCrash> controllerCrashes;
 
     /** @return true when the plan injects nothing. */
     bool empty() const;
 
-    /** Validate ranges and probabilities; fatal() on error. */
+    /**
+     * Structural problems that make the plan degenerate: windows of
+     * zero or negative length, overlapping blackout windows,
+     * overlapping downtime on one server, overlapping controller
+     * crashes, a crash with no restart that is not marked permanent,
+     * probabilities outside [0,1].  Empty means well-formed.  The
+     * scenario layer re-runs these checks with line-precise
+     * diagnostics; this form serves programmatic plan builders.
+     */
+    std::vector<std::string> problems() const;
+
+    /** Fatal() on the first problems() entry. */
     void validate() const;
 };
 

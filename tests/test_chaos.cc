@@ -1,0 +1,207 @@
+/** @file Unit tests for the seeded chaos fault-space generator. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "faults/chaos.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+using namespace polca::faults;
+using polca::sim::Rng;
+using polca::sim::secondsToTicks;
+using polca::sim::Tick;
+
+namespace {
+
+constexpr Tick kDuration = secondsToTicks(4 * 3600.0);
+constexpr int kServers = 16;
+
+ChaosConfig
+richConfig()
+{
+    // Ceilings high enough that a draw essentially always produces
+    // at least one event of several classes.
+    ChaosConfig config;
+    config.enabled = true;
+    config.blackoutCountMax = 4;
+    config.sensorFaultCountMax = 4;
+    config.crashCountMax = 6;
+    config.controllerCrashCountMax = 2;
+    return config;
+}
+
+bool
+samePlan(const FaultPlan &a, const FaultPlan &b)
+{
+    if (a.blackouts.size() != b.blackouts.size() ||
+        a.sensorFaults.size() != b.sensorFaults.size() ||
+        a.oobOutages.size() != b.oobOutages.size() ||
+        a.crashes.size() != b.crashes.size() ||
+        a.controllerCrashes.size() != b.controllerCrashes.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.blackouts.size(); ++i) {
+        if (a.blackouts[i].start != b.blackouts[i].start ||
+            a.blackouts[i].duration != b.blackouts[i].duration) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.sensorFaults.size(); ++i) {
+        if (a.sensorFaults[i].start != b.sensorFaults[i].start ||
+            a.sensorFaults[i].mode != b.sensorFaults[i].mode ||
+            a.sensorFaults[i].biasWatts != b.sensorFaults[i].biasWatts) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+        if (a.crashes[i].at != b.crashes[i].at ||
+            a.crashes[i].serverIndex != b.crashes[i].serverIndex) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.controllerCrashes.size(); ++i) {
+        if (a.controllerCrashes[i].at != b.controllerCrashes[i].at ||
+            a.controllerCrashes[i].coldRestart !=
+                b.controllerCrashes[i].coldRestart) {
+            return false;
+        }
+    }
+    return a.burstyLoss.enabled == b.burstyLoss.enabled;
+}
+
+} // namespace
+
+TEST(Chaos, SameSeedDrawsIdenticalPlan)
+{
+    ChaosConfig config = richConfig();
+    Rng a(42), b(42);
+    FaultPlan planA = generateChaosPlan(config, kDuration, kServers, a);
+    FaultPlan planB = generateChaosPlan(config, kDuration, kServers, b);
+    EXPECT_TRUE(samePlan(planA, planB));
+}
+
+TEST(Chaos, DifferentSeedsDrawDifferentPlans)
+{
+    ChaosConfig config = richConfig();
+    // A handful of seeds: at least one pair must differ (all-equal
+    // would mean the generator ignores its rng).
+    std::vector<FaultPlan> plans;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        plans.push_back(
+            generateChaosPlan(config, kDuration, kServers, rng));
+    }
+    bool anyDiffer = false;
+    for (std::size_t i = 1; i < plans.size(); ++i)
+        anyDiffer = anyDiffer || !samePlan(plans[0], plans[i]);
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Chaos, GeneratedPlansAreAlwaysWellFormed)
+{
+    // Across many seeds: every window inside the run, no degenerate
+    // windows, and problems() empty (validate() would fatal).
+    ChaosConfig config = richConfig();
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        Rng rng(seed);
+        FaultPlan plan =
+            generateChaosPlan(config, kDuration, kServers, rng);
+        EXPECT_TRUE(plan.problems().empty())
+            << "seed " << seed << ": " << plan.problems().front();
+        for (const BlackoutWindow &w : plan.blackouts) {
+            EXPECT_GT(w.duration, 0);
+            EXPECT_GE(w.start, 0);
+            EXPECT_LE(w.start + w.duration, kDuration);
+        }
+        for (const SensorFault &f : plan.sensorFaults) {
+            EXPECT_GT(f.duration, 0);
+            EXPECT_LE(f.start + f.duration, kDuration);
+            // Bias is drawn negative: under-reporting is the lie
+            // that makes POLCA think an overloaded row is safe.
+            if (f.mode == SensorFaultMode::Bias) {
+                EXPECT_LE(f.biasWatts, 0.0);
+            }
+        }
+        for (const ServerCrash &c : plan.crashes) {
+            EXPECT_GE(c.serverIndex, 0);
+            EXPECT_LT(c.serverIndex, kServers);
+            EXPECT_FALSE(c.permanent);
+            EXPECT_GT(c.downtime, 0);
+        }
+        for (const ControllerCrash &c : plan.controllerCrashes) {
+            EXPECT_GT(c.downtime, 0);
+            EXPECT_LE(c.at + c.downtime, kDuration + c.downtime);
+        }
+    }
+}
+
+TEST(Chaos, BlackoutWindowsNeverOverlap)
+{
+    ChaosConfig config = richConfig();
+    config.blackoutCountMax = 8;
+    config.blackoutDurationMax = secondsToTicks(3600);
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        Rng rng(seed);
+        FaultPlan plan =
+            generateChaosPlan(config, kDuration, kServers, rng);
+        std::vector<BlackoutWindow> sorted = plan.blackouts;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const BlackoutWindow &a, const BlackoutWindow &b) {
+                      return a.start < b.start;
+                  });
+        for (std::size_t i = 1; i < sorted.size(); ++i) {
+            EXPECT_GE(sorted[i].start,
+                      sorted[i - 1].start + sorted[i - 1].duration);
+        }
+    }
+}
+
+TEST(Chaos, ZeroIntensityDrawsNothing)
+{
+    ChaosConfig config = richConfig();
+    config.intensity = 0.0;
+    config.burstyProbability = 0.0;
+    Rng rng(9);
+    FaultPlan plan = generateChaosPlan(config, kDuration, kServers, rng);
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(Chaos, IntensityScalesEventCeilings)
+{
+    // Averaged over seeds, doubling intensity must yield clearly
+    // more events (counts are uniform in [0, round(max*intensity)]).
+    ChaosConfig mild = richConfig();
+    mild.intensity = 0.5;
+    ChaosConfig wild = richConfig();
+    wild.intensity = 2.0;
+    std::size_t mildEvents = 0, wildEvents = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        Rng a(seed), b(seed);
+        FaultPlan planMild =
+            generateChaosPlan(mild, kDuration, kServers, a);
+        FaultPlan planWild =
+            generateChaosPlan(wild, kDuration, kServers, b);
+        mildEvents += planMild.blackouts.size() + planMild.crashes.size();
+        wildEvents += planWild.blackouts.size() + planWild.crashes.size();
+    }
+    EXPECT_GT(wildEvents, mildEvents + mildEvents / 2);
+}
+
+TEST(ChaosDeath, InvalidConfigFatal)
+{
+    ChaosConfig config;
+    config.blackoutCountMax = -1;
+    EXPECT_DEATH(config.validate(), "negative blackout");
+
+    ChaosConfig inverted;
+    inverted.blackoutDurationMin = secondsToTicks(900);
+    inverted.blackoutDurationMax = secondsToTicks(100);
+    EXPECT_DEATH(inverted.validate(), "not a valid range");
+
+    ChaosConfig probability;
+    probability.burstyProbability = 1.5;
+    EXPECT_DEATH(probability.validate(), "outside");
+}

@@ -218,6 +218,173 @@ TEST(FaultInjector, StuckAtLastRepeatsPreFaultValue)
     }
 }
 
+TEST(FaultPlan, ProblemsPinpointDegeneratePlans)
+{
+    FaultPlan plan;
+    BlackoutWindow zero;
+    zero.start = secondsToTicks(10);
+    zero.duration = 0;
+    plan.blackouts.push_back(zero);
+
+    BlackoutWindow a, b;
+    a.start = secondsToTicks(100);
+    a.duration = secondsToTicks(60);
+    b.start = secondsToTicks(120);  // overlaps a
+    b.duration = secondsToTicks(60);
+    plan.blackouts.push_back(a);
+    plan.blackouts.push_back(b);
+
+    ServerCrash noRestart;
+    noRestart.at = secondsToTicks(5);
+    noRestart.downtime = 0;  // no restart, not marked permanent
+    plan.crashes.push_back(noRestart);
+
+    ServerCrash contradictory;
+    contradictory.at = secondsToTicks(10);
+    contradictory.downtime = secondsToTicks(60);
+    contradictory.permanent = true;  // permanent AND a downtime
+    plan.crashes.push_back(contradictory);
+
+    ControllerCrash c1, c2;
+    c1.at = secondsToTicks(100);
+    c1.downtime = secondsToTicks(120);
+    c2.at = secondsToTicks(150);  // inside c1's downtime
+    c2.downtime = secondsToTicks(60);
+    plan.controllerCrashes.push_back(c1);
+    plan.controllerCrashes.push_back(c2);
+
+    std::vector<std::string> problems = plan.problems();
+    EXPECT_EQ(problems.size(), 5u);
+
+    // A well-formed permanent crash reports nothing.
+    FaultPlan good;
+    ServerCrash dark;
+    dark.at = secondsToTicks(5);
+    dark.permanent = true;
+    good.crashes.push_back(dark);
+    EXPECT_TRUE(good.problems().empty());
+}
+
+namespace {
+
+/** Records the crash/restart calls a FaultPlan drives. */
+class RecordingHooks : public ControllerHooks
+{
+  public:
+    void controllerCrash() override { ++crashes; }
+    void controllerRestart(bool coldRestart) override
+    {
+        ++restarts;
+        lastCold = coldRestart;
+    }
+    void serverRestarted(telemetry::ClockControllable *) override
+    {
+        ++serverRestarts;
+    }
+
+    int crashes = 0;
+    int restarts = 0;
+    int serverRestarts = 0;
+    bool lastCold = false;
+};
+
+} // namespace
+
+TEST(FaultInjector, ControllerCrashAndRestartAreScheduled)
+{
+    FaultPlan plan;
+    ControllerCrash crash;
+    crash.at = secondsToTicks(10);
+    crash.downtime = secondsToTicks(20);
+    crash.coldRestart = true;
+    plan.controllerCrashes.push_back(crash);
+
+    Simulation sim;
+    FaultInjector injector(sim, plan, Rng(5));
+    RecordingHooks hooks;
+    injector.attachController(&hooks);
+    injector.start();
+
+    sim.runFor(secondsToTicks(15));
+    EXPECT_EQ(hooks.crashes, 1);
+    EXPECT_EQ(hooks.restarts, 0);
+    EXPECT_EQ(injector.controllerCrashesInjected(), 1u);
+
+    sim.runFor(secondsToTicks(20));  // restore at t=30
+    EXPECT_EQ(hooks.restarts, 1);
+    EXPECT_TRUE(hooks.lastCold);
+}
+
+TEST(FaultInjector, ControllerCrashSkippedWithoutController)
+{
+    // An unmanaged run has nothing to crash: the events are skipped,
+    // not fatal.
+    FaultPlan plan;
+    ControllerCrash crash;
+    crash.at = secondsToTicks(10);
+    crash.downtime = secondsToTicks(20);
+    plan.controllerCrashes.push_back(crash);
+
+    Simulation sim;
+    FaultInjector injector(sim, plan, Rng(5));
+    injector.start();
+    sim.runFor(secondsToTicks(60));
+    EXPECT_EQ(injector.controllerCrashesInjected(), 0u);
+}
+
+TEST(FaultInjector, PermanentCrashNeverRestores)
+{
+    Simulation sim;
+    llm::ModelCatalog catalog;
+    cluster::InferenceServer server(
+        sim, power::ServerSpec::dgxA100_80gb(),
+        catalog.byName("BLOOM-176B"), Priority::Low, 0);
+
+    FaultPlan plan;
+    ServerCrash crash;
+    crash.at = secondsToTicks(10);
+    crash.permanent = true;
+    plan.crashes.push_back(crash);
+
+    FaultInjector injector(sim, plan, Rng(5));
+    RecordingHooks hooks;
+    injector.attachServers({&server});
+    injector.attachController(&hooks);
+    injector.start();
+
+    sim.runFor(secondsToTicks(3600));
+    EXPECT_TRUE(server.crashed());
+    EXPECT_EQ(injector.crashesInjected(), 1u);
+    // No restore event: the controller is never told the server
+    // came back, because it never does.
+    EXPECT_EQ(hooks.serverRestarts, 0);
+}
+
+TEST(FaultInjector, ServerRestoreNotifiesController)
+{
+    Simulation sim;
+    llm::ModelCatalog catalog;
+    cluster::InferenceServer server(
+        sim, power::ServerSpec::dgxA100_80gb(),
+        catalog.byName("BLOOM-176B"), Priority::Low, 0);
+
+    FaultPlan plan;
+    ServerCrash crash;
+    crash.at = secondsToTicks(10);
+    crash.downtime = secondsToTicks(20);
+    plan.crashes.push_back(crash);
+
+    FaultInjector injector(sim, plan, Rng(5));
+    RecordingHooks hooks;
+    injector.attachServers({&server});
+    injector.attachController(&hooks);
+    injector.start();
+
+    sim.runFor(secondsToTicks(60));
+    EXPECT_FALSE(server.crashed());
+    EXPECT_EQ(hooks.serverRestarts, 1);
+}
+
 TEST(FaultInjector, OobOutageSwallowsCommandsBrakeSurvives)
 {
     Simulation sim;

@@ -391,10 +391,237 @@ TEST(PowerManager, HealthyChannelIsNeverFlagged)
     EXPECT_EQ(f.manager.flaggedChannels(), 0u);
 }
 
+TEST(PowerManager, BackToBackBlackoutsCountSeparateFailSafeEntries)
+{
+    ManagerOptions options;
+    options.watchdogTimeout = secondsToTicks(10);
+    Fixture f(PolicyConfig::polca(), options);
+    f.runSeconds(10);
+
+    for (int round = 0; round < 2; ++round) {
+        f.telemetry.setFaultHook(
+            [](Tick, double) { return std::optional<double>(); });
+        f.runSeconds(20);
+        ASSERT_TRUE(f.manager.failSafeActive()) << "round " << round;
+        ASSERT_EQ(f.manager.mode(), ControlMode::Blind);
+        f.telemetry.setFaultHook({});
+        f.runSeconds(4);
+        ASSERT_FALSE(f.manager.failSafeActive()) << "round " << round;
+        ASSERT_EQ(f.manager.mode(), ControlMode::Full);
+    }
+    EXPECT_EQ(f.manager.failSafeEntries(), 2u);
+    // Both spans accounted: each ran from the 10-12 s staleness
+    // trigger to the first delivered reading after restoration.
+    EXPECT_GE(f.manager.failSafeTicks(), secondsToTicks(16));
+    EXPECT_LE(f.manager.failSafeTicks(), secondsToTicks(32));
+}
+
+TEST(PowerManager, FailSafeEngagesExactlyAtWatchdogTimeout)
+{
+    // The watchdog heartbeat shares the 2 s grid with telemetry, so
+    // entry lands at staleness == timeout exactly, never later.
+    ManagerOptions options;
+    options.watchdogTimeout = secondsToTicks(10);
+    Fixture f(PolicyConfig::polca(), options);
+    f.runSeconds(20);
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.runSeconds(7);  // staleness at the last heartbeat < 10 s
+    EXPECT_FALSE(f.manager.failSafeActive());
+    f.runSeconds(5);
+    EXPECT_TRUE(f.manager.failSafeActive());
+    EXPECT_EQ(f.manager.timeToFailSafeMaxTicks(), secondsToTicks(10));
+}
+
+TEST(PowerManager, FailSafeTicksAccountedWhileStillActive)
+{
+    // A run that ends inside fail-safe must still account the open
+    // span (the accessor adds the in-progress time).
+    ManagerOptions options;
+    options.watchdogTimeout = secondsToTicks(10);
+    Fixture f(PolicyConfig::polca(), options);
+    f.runSeconds(20);
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.runSeconds(40);
+    ASSERT_TRUE(f.manager.failSafeActive());
+    EXPECT_GE(f.manager.failSafeTicks(), secondsToTicks(28));
+    EXPECT_LE(f.manager.failSafeTicks(), secondsToTicks(32));
+}
+
+TEST(PowerManager, StaleTelemetryDegradesModeBeforeFailSafe)
+{
+    // The ladder's middle rung: staleness past staleWarnTimeout but
+    // short of the fail-safe timeout reads as StalePartial, and a
+    // delivered reading restores Full.
+    Fixture f;  // warn 10 s, timeout 30 s
+    f.runSeconds(20);
+    EXPECT_EQ(f.manager.mode(), ControlMode::Full);
+    f.telemetry.setFaultHook(
+        [](Tick, double) { return std::optional<double>(); });
+    f.runSeconds(15);
+    EXPECT_EQ(f.manager.mode(), ControlMode::StalePartial);
+    EXPECT_FALSE(f.manager.failSafeActive());
+    f.telemetry.setFaultHook({});
+    f.runSeconds(4);
+    EXPECT_EQ(f.manager.mode(), ControlMode::Full);
+    EXPECT_GE(f.manager.staleTicks(), secondsToTicks(4));
+    EXPECT_EQ(f.manager.failSafeEntries(), 0u);
+}
+
+TEST(PowerManager, ControllerCrashWipesProcessStateNotHardware)
+{
+    Fixture f;
+    f.watts = 8200.0;
+    f.runSeconds(50);
+    ASSERT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+
+    f.manager.controllerCrash();
+    EXPECT_TRUE(f.manager.crashed());
+    EXPECT_EQ(f.manager.mode(), ControlMode::Blind);
+    // Process memory (the commanded posture) is gone...
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 0.0);
+    // ...but applied hardware state survives the crash.
+    EXPECT_DOUBLE_EQ(f.low[0]->appliedClockLockMhz(), 1275.0);
+
+    // Nobody restarts it: readings are ignored and the watchdog
+    // died with the process, so nothing ever fires.
+    f.runSeconds(120);
+    EXPECT_TRUE(f.manager.crashed());
+    EXPECT_EQ(f.manager.failSafeEntries(), 0u);
+    EXPECT_EQ(f.manager.controllerCrashes(), 1u);
+}
+
+TEST(PowerManager, WarmRestartResumesLastKnownCaps)
+{
+    Fixture f;
+    f.watts = 8200.0;
+    f.runSeconds(50);
+    ASSERT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1275.0);
+
+    f.manager.controllerCrash();
+    f.runSeconds(30);
+    f.manager.controllerRestart(/*coldRestart=*/false);
+    EXPECT_FALSE(f.manager.crashed());
+    // Rehydrated from the crash-time snapshot and re-asserting it:
+    // stale until a fresh reading proves the world out.
+    EXPECT_EQ(f.manager.mode(), ControlMode::StalePartial);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1275.0);
+    EXPECT_FALSE(f.manager.failSafeActive());
+
+    f.runSeconds(4);  // first delivered reading completes recovery
+    EXPECT_EQ(f.manager.mode(), ControlMode::Full);
+    EXPECT_EQ(f.manager.controllerCrashes(), 1u);
+    EXPECT_EQ(f.manager.controllerRecoveries(), 1u);
+    EXPECT_EQ(f.manager.controllerDownTicks(), secondsToTicks(30));
+    // MTTR spans crash -> first reading: the downtime plus at most
+    // one telemetry period.
+    EXPECT_GE(f.manager.mttrMaxTicks(), secondsToTicks(30));
+    EXPECT_LE(f.manager.mttrMaxTicks(), secondsToTicks(34));
+    // The whole downtime held a cap with nobody watching.
+    EXPECT_GE(f.manager.capsHeldStaleTicks(), secondsToTicks(30));
+}
+
+TEST(PowerManager, ColdRestartEntersFailSafeUntilTelemetryReturns)
+{
+    Fixture f;
+    f.watts = 8200.0;
+    f.runSeconds(50);
+    f.manager.controllerCrash();
+    f.runSeconds(10);
+    f.manager.controllerRestart(/*coldRestart=*/true);
+    // No snapshot: assume the worst until telemetry proves the
+    // world out — deepest caps, brake pulled, flying blind.
+    EXPECT_TRUE(f.manager.failSafeActive());
+    EXPECT_EQ(f.manager.mode(), ControlMode::Blind);
+    EXPECT_EQ(f.manager.failSafeEntries(), 1u);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::Low), 1110.0);
+    EXPECT_DOUBLE_EQ(f.manager.desiredLockMhz(Priority::High), 1305.0);
+    EXPECT_TRUE(f.manager.brakeEngaged());
+
+    f.runSeconds(4);  // first delivered reading ends the blindness
+    EXPECT_FALSE(f.manager.failSafeActive());
+    EXPECT_EQ(f.manager.mode(), ControlMode::Full);
+    EXPECT_EQ(f.manager.controllerRecoveries(), 1u);
+}
+
+TEST(PowerManager, ServerRestartResetsChannelCircuitBreaker)
+{
+    // Satellite regression: a crashed server's channel racks up
+    // verification re-issues until the breaker flags it.  The flag
+    // and streak describe the dead server, not the channel — both
+    // must reset when it restarts, and the pool's lock must be
+    // re-asserted on the state-wiped server.
+    class Crashable : public FakeTarget
+    {
+      public:
+        bool dead = false;
+        void applyClockLock(double mhz) override
+        {
+            if (!dead)
+                FakeTarget::applyClockLock(mhz);
+        }
+        double appliedClockLockMhz() const override
+        {
+            return dead ? 0.0 : FakeTarget::appliedClockLockMhz();
+        }
+    };
+
+    Simulation sim;
+    RowManager telemetry(sim, secondsToTicks(2), false);
+    PowerManager manager(sim, telemetry, 10000.0,
+                         PolicyConfig::polca(), Rng(1));
+    Crashable target;
+    manager.addTarget(Priority::Low, &target);
+    manager.start();
+    double watts = 8200.0;  // hold T1 active
+    telemetry.addSource([&watts] { return watts; });
+    telemetry.start();
+
+    sim.runFor(secondsToTicks(50));
+    ASSERT_DOUBLE_EQ(target.appliedClockLockMhz(), 1275.0);
+    ASSERT_FALSE(manager.channelFlagged(Priority::Low, 0));
+
+    // The server dies: applied state reads as wiped, every re-issue
+    // fails, the circuit breaker flags the channel.
+    target.dead = true;
+    target.applyClockUnlock();
+    sim.runFor(secondsToTicks(400));
+    ASSERT_TRUE(manager.channelFlagged(Priority::Low, 0));
+    EXPECT_GE(manager.reissuedCommands(), 3u);
+
+    // The server reboots; the fault layer notifies the controller.
+    target.dead = false;
+    manager.serverRestarted(&target);
+    EXPECT_FALSE(manager.channelFlagged(Priority::Low, 0));
+
+    // The restart re-issue lands after the OOB latency and then
+    // verifies clean: the flag stays clear.
+    sim.runFor(secondsToTicks(60));
+    EXPECT_DOUBLE_EQ(target.appliedClockLockMhz(), 1275.0);
+    EXPECT_FALSE(manager.channelFlagged(Priority::Low, 0));
+}
+
 TEST(PowerManagerDeath, AddTargetAfterStartPanics)
 {
     Fixture f;
     FakeTarget extra;
     EXPECT_DEATH(f.manager.addTarget(Priority::Low, &extra),
                  "after start");
+}
+
+TEST(PowerManagerDeath, DoubleCrashPanics)
+{
+    Fixture f;
+    f.runSeconds(10);
+    f.manager.controllerCrash();
+    EXPECT_DEATH(f.manager.controllerCrash(), "twice");
+}
+
+TEST(PowerManagerDeath, RestartWithoutCrashPanics)
+{
+    Fixture f;
+    f.runSeconds(10);
+    EXPECT_DEATH(f.manager.controllerRestart(false),
+                 "without a crash");
 }

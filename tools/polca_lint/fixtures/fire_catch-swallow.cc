@@ -1,0 +1,21 @@
+// Fixture: a catch (...) whose handler never rethrows must fire
+// catch-swallow (and only that rule).  The throw inside the try
+// block must not count as a rethrow — it is outside the handler.
+
+#include <stdexcept>
+
+namespace polca {
+
+int
+swallowEverything(int x)
+{
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+        return x;
+    } catch (...) {
+        return -1;
+    }
+}
+
+} // namespace polca

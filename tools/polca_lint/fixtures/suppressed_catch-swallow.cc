@@ -1,0 +1,44 @@
+// Fixture: none of these may fire catch-swallow — an explicit
+// suppression, a handler that rethrows (across multiple lines),
+// and a typed catch (allowed: it documents what it absorbs).
+
+#include <stdexcept>
+
+namespace polca {
+
+int
+deliberateSink(int x)
+{
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+        return x;
+    } catch (...) {  // polca-lint: allow(catch-swallow)
+        return -1;
+    }
+}
+
+int
+rethrows(int x)
+{
+    try {
+        return x + 1;
+    } catch (...) {
+        if (x > 10) {
+            throw;
+        }
+        throw std::runtime_error("wrapped");
+    }
+}
+
+int
+typedCatch(int x)
+{
+    try {
+        return x + 2;
+    } catch (const std::exception &) {
+        return -2;
+    }
+}
+
+} // namespace polca

@@ -19,6 +19,8 @@
  *   pragma-once     header missing #pragma once as its first
  *                   directive
  *   todo-issue      to-do comment without an issue reference
+ *   catch-swallow   catch (...) in src/ whose handler never
+ *                   rethrows
  *
  * Per-line suppression:   // polca-lint: allow(<rule>)
  * Machine output:         --format=gcc   (file:line: error: ... [rule])
@@ -454,6 +456,80 @@ scanFile(const fs::path &path, const std::string &rel)
         }
     }
 
+    // --- catch-swallow ---------------------------------------------
+    // A catch (...) that never rethrows swallows failures the
+    // simulator's invariants (and the chaos harness) depend on
+    // surfacing.  Typed catches are allowed — they document what is
+    // being absorbed; a deliberate catch-all sink needs a
+    // suppression plus a comment.  Library code only: tools and
+    // tests may sink exceptions at their outermost loop.
+    if (startsWith(rel, "src/")) {
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            for (std::size_t pos = findWord(code, "catch");
+                 pos != std::string::npos;
+                 pos = findWord(code, "catch", pos + 1)) {
+                std::size_t open = code.find('(', pos);
+                if (open == std::string::npos)
+                    break;
+                std::size_t close = code.find(')', open);
+                if (close == std::string::npos)
+                    break;
+                std::string inner =
+                    code.substr(open + 1, close - open - 1);
+                inner.erase(std::remove(inner.begin(), inner.end(),
+                                        ' '),
+                            inner.end());
+                if (inner != "...")
+                    continue;
+                // Walk the brace-balanced handler body (which may
+                // span lines) looking for a rethrow.
+                bool entered = false;
+                bool sawThrow = false;
+                bool done = false;
+                int depth = 0;
+                std::size_t col = close + 1;
+                for (int j = i; j < n && !done; ++j) {
+                    const std::string &body =
+                        text.code[static_cast<std::size_t>(j)];
+                    std::string inside;
+                    for (std::size_t k = col; k < body.size(); ++k) {
+                        char c = body[k];
+                        if (!entered) {
+                            if (c == '{') {
+                                entered = true;
+                                depth = 1;
+                            }
+                            continue;
+                        }
+                        if (c == '{') {
+                            ++depth;
+                        } else if (c == '}') {
+                            if (--depth == 0) {
+                                done = true;
+                                break;
+                            }
+                        }
+                        inside += c;
+                    }
+                    if (findWord(inside, "throw") !=
+                        std::string::npos) {
+                        sawThrow = true;
+                    }
+                    col = 0;
+                }
+                if (entered && !sawThrow) {
+                    report(findings, text, rel, i + 1,
+                           "catch-swallow",
+                           "catch (...) swallows the exception; "
+                           "rethrow, catch a concrete type, or "
+                           "suppress a documented sink");
+                }
+            }
+        }
+    }
+
     // --- todo-issue ------------------------------------------------
     // Runs on raw text: to-dos live in comments.  The marker is
     // spelled split so the linter's own source stays clean.
@@ -637,7 +713,7 @@ main(int argc, char **argv)
         if (arg == "--list-rules") {
             std::cout << "wall-clock\nraw-random\nunordered-iter\n"
                          "raw-new-delete\nsim-shared-ptr\n"
-                         "pragma-once\ntodo-issue\n";
+                         "pragma-once\ntodo-issue\ncatch-swallow\n";
             return 0;
         }
         if (arg == "--self-test") {
