@@ -12,6 +12,7 @@
 
 #include "core/oversub_experiment.hh"
 #include "llm/phase_model.hh"
+#include "obs/observability.hh"
 #include "power/gpu_power_model.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -124,6 +125,34 @@ BM_ClusterHourEndToEnd(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ClusterHourEndToEnd)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Same cluster-hour with a metrics sink attached and interval stats
+ * snapshotting every simulated 60 s.  CI compares this against
+ * BM_ClusterHourEndToEnd with a 2 % bench_compare threshold: the
+ * observability pipeline must stay effectively free.
+ */
+void
+BM_ClusterHourEndToEndIntervalStats(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    for (auto _ : state) {
+        obs::Observability sink;
+        core::ExperimentConfig config;
+        config.row.baseServers = static_cast<int>(state.range(0));
+        config.row.addedServerFraction = 0.30;
+        config.duration = sim::secondsToTicks(3600.0);
+        config.seed = 9;
+        config.obs = &sink;
+        config.obsOptions.metricsInterval = sim::secondsToTicks(60.0);
+        core::ExperimentResult result =
+            runOversubExperiment(config);
+        benchmark::DoNotOptimize(result.lowCompletions);
+        benchmark::DoNotOptimize(sink.interval.rows());
+    }
+}
+BENCHMARK(BM_ClusterHourEndToEndIntervalStats)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

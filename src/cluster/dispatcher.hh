@@ -99,6 +99,7 @@ class Dispatcher
     obs::Counter *completionStat_ = nullptr;
     obs::Counter *spillStat_ = nullptr;
     obs::Histogram *queueDepthStat_ = nullptr;
+    obs::LogHistogram *queueDelayStat_ = nullptr;
 };
 
 } // namespace polca::cluster

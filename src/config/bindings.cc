@@ -533,4 +533,17 @@ safetyOptionsSchema()
     return schema;
 }
 
+const StructSchema<core::ObsOptions> &
+obsOptionsSchema()
+{
+    static const StructSchema<core::ObsOptions> schema = [] {
+        StructSchema<core::ObsOptions> s("obs");
+        // 0 = interval stats disabled.
+        s.tickField("interval", &core::ObsOptions::metricsInterval,
+                    0.0, 365.0 * 86400.0);
+        return s;
+    }();
+    return schema;
+}
+
 } // namespace polca::config

@@ -47,6 +47,7 @@ const StructSchema<faults::ServerCrash> &serverCrashSchema();
 const StructSchema<faults::ControllerCrash> &controllerCrashSchema();
 const StructSchema<faults::ChaosConfig> &chaosConfigSchema();
 const StructSchema<core::SafetyOptions> &safetyOptionsSchema();
+const StructSchema<core::ObsOptions> &obsOptionsSchema();
 
 } // namespace polca::config
 

@@ -17,8 +17,9 @@ const std::vector<std::string> &
 topLevelSections()
 {
     static const std::vector<std::string> sections = {
-        "experiment", "row",    "model",  "policy", "manager",
-        "workload",   "faults", "chaos",  "safety", "sweep",
+        "experiment", "row",    "model", "policy", "manager",
+        "workload",   "faults", "chaos", "safety", "obs",
+        "sweep",
     };
     return sections;
 }
@@ -615,6 +616,11 @@ bindExperiment(const ConfigNode &root, core::ExperimentConfig &config,
                                          diag))
             ok = false;
     }
+    if (const ConfigNode *obsSection = root.find("obs")) {
+        if (!obsOptionsSchema().apply(*obsSection, config.obsOptions,
+                                      diag))
+            ok = false;
+    }
     return ok;
 }
 
@@ -944,6 +950,8 @@ dumpResolved(const core::ExperimentConfig &config,
                 source, "chaos");
     dumpSection(os, "safety", config.safety, safetyOptionsSchema(),
                 source, "safety");
+    dumpSection(os, "obs", config.obsOptions, obsOptionsSchema(),
+                source, "obs");
 }
 
 bool
@@ -1018,6 +1026,8 @@ resolvedConfigsEqual(const core::ExperimentConfig &a,
     if (!chaosConfigSchema().equal(a.chaos, b.chaos))
         return false;
     if (!safetyOptionsSchema().equal(a.safety, b.safety))
+        return false;
+    if (!obsOptionsSchema().equal(a.obsOptions, b.obsOptions))
         return false;
     return true;
 }

@@ -235,10 +235,32 @@ runOversubExperiment(const ExperimentConfig &config)
     }
 
     row.dispatcher().injectTrace(*trace);
+
+    // Interval stats: snapshot the registry on a fixed sim-time
+    // cadence.  Counters are delta'd inside IntervalStats; the
+    // registry itself is never reset, so the end-of-run cumulative
+    // dump is unaffected and reconciles with the column sums.
+    std::unique_ptr<sim::Simulation::PeriodicTask> statsTask;
+    if (obs && config.obsOptions.metricsInterval > 0) {
+        statsTask = sim.every(
+            config.obsOptions.metricsInterval, [obs](sim::Tick at) {
+                obs->interval.snapshot(sim::ticksToSeconds(at),
+                                       obs->metrics);
+            });
+    }
+
     auto wallStart = std::chrono::steady_clock::now();
     sim.runUntil(config.duration);
     if (safety)
         safety->finish(config.duration);
+    if (statsTask) {
+        // Final partial interval at the run end (a no-op when the
+        // cadence divides the duration exactly); after it the column
+        // sums of every delta column equal the cumulative dump.
+        obs->interval.snapshot(sim::ticksToSeconds(config.duration),
+                               obs->metrics);
+        statsTask->stop();
+    }
     if (obs) {
         // Wall-clock throughput is inherently non-reproducible, so
         // it is a volatile gauge: visible via value(), skipped by

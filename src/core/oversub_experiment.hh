@@ -27,6 +27,19 @@
 
 namespace polca::core {
 
+/** Observability knobs a scenario's [obs] section controls. */
+struct ObsOptions
+{
+    /**
+     * Cadence of interval stats snapshots (gem5 dumpresetstats
+     * style): every `interval` of simulated time the registry is
+     * snapshotted into Observability::interval, plus a final partial
+     * snapshot at the run end.  0 disables interval stats.  Has no
+     * effect unless an Observability sink is attached.
+     */
+    sim::Tick metricsInterval = 0;
+};
+
 /** Full experiment configuration. */
 struct ExperimentConfig
 {
@@ -103,6 +116,9 @@ struct ExperimentConfig
      * stays dumpable after the simulated components are gone.
      */
     obs::Observability *obs = nullptr;
+
+    /** Interval-stats cadence and friends (scenario [obs] section). */
+    ObsOptions obsOptions;
 };
 
 /** Distribution summary of one priority class's latency. */

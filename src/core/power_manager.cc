@@ -102,6 +102,7 @@ PowerManager::attachObservability(obs::Observability *obs)
         capStat_ = uncapStat_ = reissueStat_ = brakeStat_ =
             failSafeStat_ = flaggedStat_ = modeStat_ = nullptr;
         decisionGapStat_ = nullptr;
+        brakeDwellStat_ = mttrStat_ = nullptr;
         for (PoolState *pool : {&lowPool_, &highPool_}) {
             for (auto &channel : pool->channels)
                 channel->attachObservability(nullptr, 0);
@@ -130,6 +131,14 @@ PowerManager::attachObservability(obs::Observability *obs)
     decisionGapStat_ = &obs->metrics.histogram(
         "manager.decision_gap_s", 0.0, 30.0, 15,
         "gap between consecutive telemetry readings (seconds)");
+    // 1 ms .. ~1 day at 1 % relative error covers both a minimum
+    // brake hold and a blackout-length dwell or recovery.
+    brakeDwellStat_ = &obs->metrics.logHistogram(
+        "manager.brake_dwell_s", 1e-3, 1e5, 0.01,
+        "power-brake engage-to-release dwell (seconds)");
+    mttrStat_ = &obs->metrics.logHistogram(
+        "manager.mttr_s", 1e-3, 1e5, 0.01,
+        "controller crash to first delivered reading (seconds)");
     for (workload::Priority pool :
          {workload::Priority::Low, workload::Priority::High}) {
         PoolState &state = poolState(pool);
@@ -202,6 +211,8 @@ PowerManager::onReading(sim::Tick now, double watts)
         sim::Tick mttr = now - crashedAt_;
         mttrTotalTicks_ += mttr;
         mttrMaxTicks_ = std::max(mttrMaxTicks_, mttr);
+        if (mttrStat_)
+            mttrStat_->add(sim::ticksToSeconds(mttr));
     }
 
     double utilization = watts / provisionedWatts_;
@@ -517,6 +528,10 @@ PowerManager::releaseBrake()
     POLCA_ASSERT(brakeEngaged_, "releasing a brake that is not engaged");
     brakeEngaged_ = false;
     brakeTicks_ += sim_.now() - brakeEngagedAt_;
+    if (brakeDwellStat_) {
+        brakeDwellStat_->add(
+            sim::ticksToSeconds(sim_.now() - brakeEngagedAt_));
+    }
     if (trace_) {
         trace_->instant(obs::TraceCategory::Power, "brake_release",
                         sim_.now(), -1, 0.0);

@@ -399,6 +399,8 @@ class PowerManager : public faults::ControllerHooks
     obs::Counter *flaggedStat_ = nullptr;
     obs::Counter *modeStat_ = nullptr;
     obs::Histogram *decisionGapStat_ = nullptr;
+    obs::LogHistogram *brakeDwellStat_ = nullptr;
+    obs::LogHistogram *mttrStat_ = nullptr;
 };
 
 } // namespace polca::core

@@ -1,0 +1,200 @@
+#include "core/run_artifacts.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/csv.hh"
+#include "obs/manifest.hh"
+#include "sim/types.hh"
+
+namespace polca::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+fmtTickSeconds(sim::Tick t)
+{
+    return fmt(sim::ticksToSeconds(t));
+}
+
+/** The headline key,value rows of result.csv, in emission order. */
+std::vector<std::pair<std::string, std::string>>
+resultRows(const ExperimentResult &r, const NormalizedLatency &lo,
+           const NormalizedLatency &hi)
+{
+    std::vector<std::pair<std::string, std::string>> rows;
+    auto add = [&](const char *key, std::string value) {
+        rows.emplace_back(key, std::move(value));
+    };
+
+    add("lp_p50_s", fmt(r.low.p50));
+    add("lp_p99_s", fmt(r.low.p99));
+    add("lp_max_s", fmt(r.low.max));
+    add("hp_p50_s", fmt(r.high.p50));
+    add("hp_p99_s", fmt(r.high.p99));
+    add("hp_max_s", fmt(r.high.max));
+    add("lp_p99_norm", fmt(lo.p99));
+    add("hp_p99_norm", fmt(hi.p99));
+    add("lp_completions", fmtCount(r.lowCompletions));
+    add("hp_completions", fmtCount(r.highCompletions));
+    add("lp_throughput_rps", fmt(r.lowThroughput));
+    add("hp_throughput_rps", fmt(r.highThroughput));
+
+    add("brake_events", fmtCount(r.powerBrakeEvents));
+    add("cap_commands", fmtCount(r.capCommands));
+    add("uncap_commands", fmtCount(r.uncapCommands));
+    add("reissued_commands", fmtCount(r.reissuedCommands));
+    add("max_utilization", fmt(r.maxUtilization));
+    add("mean_utilization", fmt(r.meanUtilization));
+    add("energy_kwh", fmt(r.energyKwh));
+    add("energy_per_request_kj", fmt(r.energyPerRequestKj));
+
+    add("breaker_trips", fmtCount(r.breakerTrips));
+    add("breaker_near_trips", fmtCount(r.breakerNearTrips));
+    add("overdraw_watt_seconds", fmt(r.overdrawWattSeconds));
+    add("dropped_readings", fmtCount(r.droppedReadings));
+    add("corrupted_readings", fmtCount(r.corruptedReadings));
+    add("dropped_requests", fmtCount(r.droppedRequests));
+
+    add("failsafe_entries", fmtCount(r.failSafeEntries));
+    add("failsafe_s", fmtTickSeconds(r.failSafeTicks));
+    add("time_to_failsafe_max_s",
+        fmtTickSeconds(r.timeToFailSafeMaxTicks));
+    add("controller_crashes", fmtCount(r.controllerCrashes));
+    add("controller_recoveries", fmtCount(r.controllerRecoveries));
+    add("controller_down_s", fmtTickSeconds(r.controllerDownTicks));
+    add("mttr_total_s", fmtTickSeconds(r.mttrTotalTicks));
+    add("mttr_max_s", fmtTickSeconds(r.mttrMaxTicks));
+    add("caps_stale_s", fmtTickSeconds(r.capsHeldStaleTicks));
+    add("stale_s", fmtTickSeconds(r.staleTicks));
+    add("brake_s", fmtTickSeconds(r.brakeTicks));
+    add("mode_transitions", fmtCount(r.modeTransitions));
+    add("safety_violations",
+        fmtCount(static_cast<std::uint64_t>(r.violations.size())));
+    return rows;
+}
+
+bool
+writeResultCsv(const fs::path &path, const ExperimentResult &result,
+               const NormalizedLatency &lo, const NormalizedLatency &hi)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    analysis::CsvWriter csv(os);
+    csv.header({"metric", "value"});
+    for (const auto &[key, value] : resultRows(result, lo, hi))
+        csv.rowStrings({key, value});
+    return true;
+}
+
+bool
+writeViolationsCsv(const fs::path &path,
+                   const ExperimentResult &result)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    analysis::CsvWriter csv(os);
+    csv.header({"invariant", "at_s", "value", "limit"});
+    for (const SafetyViolation &v : result.violations) {
+        csv.rowStrings({toString(v.invariant),
+                        fmt(sim::ticksToSeconds(v.at)), fmt(v.value),
+                        fmt(v.limit)});
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<std::string>
+writeRunDir(const RunDirOptions &options,
+            const ExperimentConfig &config,
+            const ExperimentResult &result,
+            const NormalizedLatency &lowNorm,
+            const NormalizedLatency &highNorm,
+            const obs::Observability *obs)
+{
+    fs::path dir(options.dir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return {};
+
+    std::vector<std::string> written;
+
+    if (!options.resolvedConfig.empty()) {
+        std::ofstream os(dir / "resolved.toml", std::ios::binary);
+        if (!os)
+            return {};
+        os << options.resolvedConfig;
+        written.push_back("resolved.toml");
+    }
+
+    if (!writeResultCsv(dir / "result.csv", result, lowNorm,
+                        highNorm))
+        return {};
+    written.push_back("result.csv");
+
+    if (config.safety.monitor) {
+        if (!writeViolationsCsv(dir / "violations.csv", result))
+            return {};
+        written.push_back("violations.csv");
+    }
+
+    if (obs) {
+        std::ofstream os(dir / "metrics.csv", std::ios::binary);
+        if (!os)
+            return {};
+        obs->metrics.dumpCsv(os);
+        written.push_back("metrics.csv");
+
+        if (!obs->interval.empty()) {
+            std::ofstream is(dir / "stats_interval.csv",
+                             std::ios::binary);
+            if (!is)
+                return {};
+            obs->interval.writeCsv(is);
+            written.push_back("stats_interval.csv");
+        }
+    }
+
+    obs::RunManifest manifest;
+    manifest.command = options.command;
+    manifest.scenarioPath = options.scenarioPath;
+    manifest.configDigest = obs::fnv1a64Hex(options.resolvedConfig);
+    manifest.seed = config.seed;
+    manifest.jobs = options.jobs;
+    manifest.durationS = sim::ticksToSeconds(config.duration);
+    manifest.metricsIntervalS =
+        sim::ticksToSeconds(config.obsOptions.metricsInterval);
+    manifest.artifacts = written;
+
+    {
+        std::ofstream os(dir / "manifest.json", std::ios::binary);
+        if (!os)
+            return {};
+        manifest.writeJson(os);
+    }
+    written.insert(written.begin(), "manifest.json");
+    return written;
+}
+
+} // namespace polca::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Run-directory artifact emission for single-point runs: given a
+ * finished experiment, lay down the canonical artifact set
+ * `polcactl report` consumes —
+ *
+ *   manifest.json       provenance (scenario, config digest, seed,
+ *                       jobs, duration, tool version) + inventory
+ *   resolved.toml       the fully-resolved scenario with provenance
+ *   result.csv          key,value rows of every headline metric
+ *   violations.csv      safety-monitor breaches (when armed)
+ *   metrics.csv         cumulative registry dump (when observed)
+ *   stats_interval.csv  interval snapshots (when cadence was set)
+ *
+ * Everything is derived from the run's deterministic state; no
+ * wall-clock values are written, so same-seed runs produce
+ * byte-identical directories.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/oversub_experiment.hh"
+#include "obs/observability.hh"
+
+namespace polca::core {
+
+/** What to write and the provenance to stamp on it. */
+struct RunDirOptions
+{
+    /** Output directory; created if missing. */
+    std::string dir;
+
+    /** Scenario file path as given on the command line (may be
+     *  empty for defaults-only runs). */
+    std::string scenarioPath;
+
+    /** Manifest "command" field ("run", "chaos", ...). */
+    std::string command = "run";
+
+    /** Fully-resolved scenario text (config::dumpResolved); hashed
+     *  into the manifest's config digest and written verbatim as
+     *  resolved.toml.  May be empty (digest of ""). */
+    std::string resolvedConfig;
+
+    int jobs = 1;
+};
+
+/**
+ * Write the artifact set for one finished run.  @p obs may be null
+ * (metrics.csv / stats_interval.csv are skipped).  @return the list
+ * of file names written (manifest.json first), empty on I/O failure.
+ */
+std::vector<std::string> writeRunDir(const RunDirOptions &options,
+                                     const ExperimentConfig &config,
+                                     const ExperimentResult &result,
+                                     const NormalizedLatency &lowNorm,
+                                     const NormalizedLatency &highNorm,
+                                     const obs::Observability *obs);
+
+} // namespace polca::core

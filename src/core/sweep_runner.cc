@@ -85,6 +85,21 @@ SweepRunner::finishPoint(std::size_t index, obs::Observability *sink)
     }
     sink->metrics.dumpCsv(os);
     out.artifactPath = path.string();
+    artifacts_.push_back(stem + ".metrics.csv");
+
+    // Interval stats, when the point's [obs] cadence produced any.
+    if (!sink->interval.empty()) {
+        std::filesystem::path ipath =
+            std::filesystem::path(options_.artifactDir) /
+            (stem + ".stats_interval.csv");
+        std::ofstream is(ipath);
+        if (!is) {
+            sim::fatal("SweepRunner: cannot write artifact ",
+                       ipath.string());
+        }
+        sink->interval.writeCsv(is);
+        artifacts_.push_back(stem + ".stats_interval.csv");
+    }
 }
 
 void
@@ -156,7 +171,7 @@ SweepRunner::runParallel(int jobs)
 }
 
 void
-SweepRunner::writeSummary() const
+SweepRunner::writeSummary()
 {
     if (options_.artifactDir.empty())
         return;
@@ -182,6 +197,19 @@ SweepRunner::writeSummary() const
            << sim::ticksToSeconds(r.result.capsHeldStaleTicks) << ','
            << r.result.violations.size() << '\n';
     }
+    os.close();
+    artifacts_.push_back("summary.csv");
+
+    if (options_.writeManifest) {
+        obs::RunManifest manifest = options_.manifest;
+        manifest.artifacts = artifacts_;
+        std::filesystem::path mpath =
+            std::filesystem::path(options_.artifactDir) /
+            "manifest.json";
+        std::ofstream ms(mpath);
+        if (ms)
+            manifest.writeJson(ms);
+    }
 }
 
 const std::vector<SweepPointResult> &
@@ -189,6 +217,7 @@ SweepRunner::run()
 {
     results_.clear();
     results_.resize(points_.size());
+    artifacts_.clear();
 
     if (!options_.artifactDir.empty())
         std::filesystem::create_directories(options_.artifactDir);

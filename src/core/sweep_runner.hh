@@ -28,6 +28,7 @@
 
 #include "analysis/table.hh"
 #include "core/oversub_experiment.hh"
+#include "obs/manifest.hh"
 #include "obs/observability.hh"
 
 namespace polca::core {
@@ -59,6 +60,16 @@ struct SweepOptions
      *  calling thread, N > 1 = run points (and managed/baseline
      *  pairs) concurrently with deterministic stitching. */
     int jobs = 1;
+
+    /**
+     * Write a manifest.json into the artifact directory after the
+     * sweep (inventory filled in from the artifacts actually
+     * written).  Callers pre-populate `manifest` with provenance
+     * (command, scenario path, config digest, seed, duration);
+     * ignored when no artifact directory is set.
+     */
+    bool writeManifest = false;
+    obs::RunManifest manifest;
 };
 
 /** Everything one executed sweep point produced. */
@@ -115,11 +126,15 @@ class SweepRunner
 
     void runSequential();
     void runParallel(int jobs);
-    void writeSummary() const;
+    void writeSummary();
 
     std::vector<SweepPoint> points_;
     SweepOptions options_;
     std::vector<SweepPointResult> results_;
+
+    /** File names (relative to the artifact dir) written this run,
+     *  in emission order; feeds the manifest inventory. */
+    std::vector<std::string> artifacts_;
 };
 
 } // namespace polca::core

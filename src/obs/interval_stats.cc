@@ -1,0 +1,94 @@
+#include "obs/interval_stats.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "analysis/csv.hh"
+#include "core/contracts.hh"
+
+namespace polca::obs {
+
+namespace {
+
+std::string
+formatValue(MetricsRegistry::ScalarKind kind, double v)
+{
+    char buf[64];
+    if (kind == MetricsRegistry::ScalarKind::Gauge)
+        std::snprintf(buf, sizeof(buf), "%.6f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+} // namespace
+
+void
+IntervalStats::snapshot(double timeS, const MetricsRegistry &registry)
+{
+    if (!rows_.empty()) {
+        POLCA_CHECK(timeS >= rows_.back().timeS,
+                    "snapshot time ", timeS,
+                    " precedes last snapshot at ",
+                    rows_.back().timeS);
+        // The end-of-run partial snapshot coincides with the last
+        // periodic firing when the cadence divides the duration.
+        if (timeS == rows_.back().timeS)
+            return;
+    }
+
+    Row row;
+    row.timeS = timeS;
+    registry.visitScalars([&](const std::string &name,
+                              MetricsRegistry::ScalarKind kind,
+                              double value) {
+        kinds_[name] = kind;
+        if (kind == MetricsRegistry::ScalarKind::Gauge) {
+            row.values[name] = value;
+        } else {
+            // Cumulative scalar: report the per-interval delta.  A
+            // metric first seen this interval has an implicit
+            // baseline of 0.
+            row.values[name] = value - prevCumulative_[name];
+            prevCumulative_[name] = value;
+        }
+    });
+    rows_.push_back(std::move(row));
+}
+
+void
+IntervalStats::writeCsv(std::ostream &os) const
+{
+    analysis::CsvWriter writer(os);
+
+    std::vector<std::string> header;
+    header.reserve(kinds_.size() + 1);
+    header.push_back("time_s");
+    for (const auto &[name, kind] : kinds_)
+        header.push_back(name);
+    writer.header(header);
+
+    for (const Row &row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(header.size());
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", row.timeS);
+        cells.emplace_back(buf);
+        for (const auto &[name, kind] : kinds_) {
+            auto it = row.values.find(name);
+            double v = it == row.values.end() ? 0.0 : it->second;
+            cells.push_back(formatValue(kind, v));
+        }
+        writer.rowStrings(cells);
+    }
+}
+
+void
+IntervalStats::clear()
+{
+    kinds_.clear();
+    prevCumulative_.clear();
+    rows_.clear();
+}
+
+} // namespace polca::obs

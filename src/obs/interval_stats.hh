@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sim-time-cadenced registry snapshots (gem5 `dumpresetstats` style).
+ *
+ * An experiment arms a periodic task (Simulation::every) that calls
+ * snapshot() on a fixed sim-time cadence; each snapshot records every
+ * non-volatile scalar in the registry.  When the run ends the
+ * collected rows are written as one columnar stats_interval.csv:
+ *
+ *     time_s,dispatcher.completed,manager.cap_commands,...
+ *
+ * Counters (and histogram sample counts) are reported as per-interval
+ * *deltas* — the row at time T covers activity in (T_prev, T] — while
+ * gauges are point *samples* at the snapshot instant.  The registry
+ * itself is never reset, so the end-of-run cumulative dump is
+ * unaffected and the column sums of the delta columns reconcile with
+ * it exactly (the final row is a partial interval when the run length
+ * is not a multiple of the cadence).
+ *
+ * All values derive from simulated state, so same-seed runs produce
+ * byte-identical CSVs.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace polca::obs {
+
+class IntervalStats
+{
+  public:
+    /**
+     * Record one snapshot of @p registry at simulated time @p timeS.
+     * Times must be strictly increasing; a snapshot at the same time
+     * as the previous one is dropped (the end-of-run partial snapshot
+     * coincides with the last periodic one when the cadence divides
+     * the duration).
+     */
+    void snapshot(double timeS, const MetricsRegistry &registry);
+
+    [[nodiscard]] bool empty() const { return rows_.empty(); }
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+    /** Time of the most recent snapshot; -1 when none taken yet. */
+    [[nodiscard]] double lastTimeS() const
+    {
+        return rows_.empty() ? -1.0 : rows_.back().timeS;
+    }
+
+    /**
+     * Write the collected snapshots as columnar CSV.  Columns are the
+     * name-sorted union of every scalar seen across all snapshots; a
+     * metric registered mid-run reports 0 for rows before it existed.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Drop all collected rows and delta baselines. */
+    void clear();
+
+  private:
+    struct Row
+    {
+        double timeS;
+        std::map<std::string, double> values;
+    };
+
+    std::map<std::string, MetricsRegistry::ScalarKind> kinds_;
+    std::map<std::string, double> prevCumulative_;
+    std::vector<Row> rows_;
+};
+
+} // namespace polca::obs

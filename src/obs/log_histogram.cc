@@ -1,0 +1,141 @@
+#include "obs/log_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace polca::obs {
+
+LogHistogram::LogHistogram(double minValue, double maxValue,
+                           double relativeError)
+    : minValue_(minValue), maxValue_(maxValue),
+      relativeError_(relativeError)
+{
+    if (!(minValue > 0.0) || !(maxValue > minValue) ||
+        !(relativeError > 0.0) || !(relativeError < 1.0)) {
+        sim::panic("obs::LogHistogram: bad shape [", minValue, ", ",
+                   maxValue, ") err ", relativeError);
+    }
+    growth_ = (1.0 + relativeError_) * (1.0 + relativeError_);
+    invLogGrowth_ = 1.0 / std::log(growth_);
+    auto span = static_cast<std::size_t>(std::ceil(
+        std::log(maxValue_ / minValue_) * invLogGrowth_));
+    // Underflow bucket at index 0, overflow bucket at the end.
+    counts_.assign(span + 2, 0);
+}
+
+bool
+LogHistogram::sameShape(const LogHistogram &other) const
+{
+    return minValue_ == other.minValue_ &&
+        maxValue_ == other.maxValue_ &&
+        relativeError_ == other.relativeError_;
+}
+
+std::size_t
+LogHistogram::bucketFor(double value) const
+{
+    if (!(value >= minValue_))
+        return 0;  // underflow: zero, negatives, NaN, sub-min
+    if (value >= maxValue_)
+        return counts_.size() - 1;
+    auto index = static_cast<std::size_t>(
+        std::log(value / minValue_) * invLogGrowth_);
+    // log() rounding can land exactly on an edge; clamp into the
+    // tracked range so in-range values never spill into overflow.
+    return std::min(index + 1, counts_.size() - 2);
+}
+
+void
+LogHistogram::add(double value)
+{
+    ++counts_[bucketFor(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (!sameShape(other)) {
+        sim::panic("obs::LogHistogram::merge: shape mismatch ([",
+                   minValue_, ", ", maxValue_, ") err ",
+                   relativeError_, " vs [", other.minValue_, ", ",
+                   other.maxValue_, ") err ", other.relativeError_,
+                   ")");
+    }
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LogHistogram::bucketLo(std::size_t b) const
+{
+    if (b == 0)
+        return 0.0;
+    if (b == counts_.size() - 1)
+        return maxValue_;
+    return minValue_ * std::pow(growth_, static_cast<double>(b - 1));
+}
+
+double
+LogHistogram::bucketHi(std::size_t b) const
+{
+    if (b == 0)
+        return minValue_;
+    if (b == counts_.size() - 1)
+        return std::numeric_limits<double>::infinity();
+    return minValue_ * std::pow(growth_, static_cast<double>(b));
+}
+
+double
+LogHistogram::bucketRepresentative(std::size_t b) const
+{
+    // Underflow/overflow report the exact tracked extremes: clamped
+    // samples carry no in-bucket position, so the extremes are the
+    // least-surprising (and single-sample-exact) answer.
+    if (b == 0)
+        return std::isfinite(min_) ? std::min(min_, minValue_) : 0.0;
+    if (b == counts_.size() - 1)
+        return std::isfinite(max_) ? max_ : maxValue_;
+    return bucketLo(b) * (1.0 + relativeError_);
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the smallest recorded value v such that at least
+    // ceil(q * n) samples are <= v.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= rank)
+            return bucketRepresentative(b);
+    }
+    return bucketRepresentative(counts_.size() - 1);
+}
+
+} // namespace polca::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * HDR-style log-bucketed histogram with a bounded relative error.
+ *
+ * Buckets grow geometrically: bucket i covers
+ * [min * g^i, min * g^(i+1)) with g = (1 + e)^2, and a query reports
+ * the bucket's geometric-mean-ish representative lo * (1 + e).  For
+ * any recorded value inside [min, max) the reported quantile is
+ * therefore within relative error e of an exact-percentile oracle
+ * (the bound test_log_histogram checks against adversarial
+ * distributions).  Values below min (including zero and negatives)
+ * clamp into a dedicated underflow bucket and values >= max into an
+ * overflow bucket; those two report the tracked exact min/max, so
+ * the error bound formally applies only to in-range samples.
+ *
+ * Histograms with the same shape (min, max, error) are mergeable, and
+ * merging is associative and commutative — per-server histograms
+ * aggregate into row/site rollups in any order with the same result.
+ * All state is integer counts plus exact min/max/sum, so two
+ * same-seed runs dump byte-identical histograms.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace polca::obs {
+
+class LogHistogram
+{
+  public:
+    /**
+     * @param minValue   smallest trackable value (> 0)
+     * @param maxValue   upper edge of the tracked range (> minValue)
+     * @param relativeError  quantile error bound e in (0, 1)
+     */
+    LogHistogram(double minValue, double maxValue,
+                 double relativeError);
+
+    void add(double value);
+    void reset();
+
+    /** Add @p other's samples into this one; shapes must match
+     *  (panics otherwise). */
+    void merge(const LogHistogram &other);
+
+    /** @name Shape (identity for registry get-or-create and merge) */
+    /** @{ */
+    double minValue() const { return minValue_; }
+    double maxValue() const { return maxValue_; }
+    double relativeError() const { return relativeError_; }
+    bool sameShape(const LogHistogram &other) const;
+    /** @} */
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * Value at quantile @p q in [0, 1] (0 on an empty histogram).
+     * For q mapping into the underflow/overflow buckets the exact
+     * tracked min/max is returned; everywhere else the bucket
+     * representative, within relativeError() of the exact answer.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+
+    /** @name Bucket introspection (dump formatting, tests) */
+    /** @{ */
+
+    /** Total buckets, underflow (0) and overflow (last) included. */
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t b) const
+    {
+        return counts_.at(b);
+    }
+
+    /** Lower edge of bucket @p b (0 for the underflow bucket). */
+    double bucketLo(std::size_t b) const;
+
+    /** Upper edge of bucket @p b (+inf for the overflow bucket). */
+    double bucketHi(std::size_t b) const;
+
+    /** The value a quantile landing in bucket @p b reports. */
+    double bucketRepresentative(std::size_t b) const;
+    /** @} */
+
+  private:
+    std::size_t bucketFor(double value) const;
+
+    double minValue_;
+    double maxValue_;
+    double relativeError_;
+    double growth_;     ///< (1 + e)^2, cached
+    double invLogGrowth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace polca::obs

@@ -1,0 +1,94 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace polca::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+fnv1a64Hex(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+void
+RunManifest::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"tool\": \"" << jsonEscape(tool) << "\",\n";
+    os << "  \"command\": \"" << jsonEscape(command) << "\",\n";
+    os << "  \"scenario\": \"" << jsonEscape(scenarioPath) << "\",\n";
+    os << "  \"config_digest\": \"" << jsonEscape(configDigest)
+       << "\",\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"duration_s\": " << jsonNumber(durationS) << ",\n";
+    os << "  \"metrics_interval_s\": " << jsonNumber(metricsIntervalS)
+       << ",\n";
+    os << "  \"artifacts\": [";
+    for (std::size_t i = 0; i < artifacts.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << '"' << jsonEscape(artifacts[i]) << '"';
+    }
+    os << (artifacts.empty() ? "]" : "\n  ]") << "\n";
+    os << "}\n";
+}
+
+} // namespace polca::obs

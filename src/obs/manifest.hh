@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-run manifest: what produced the artifacts sitting next to it.
+ *
+ * Every run directory written by polcactl (single runs, sweeps, chaos
+ * campaigns) gets a `manifest.json` recording the scenario path, a
+ * digest of the fully-resolved configuration, the seed, job count,
+ * simulated duration, tool version, and an inventory of the artifact
+ * files the run produced.  `polcactl report` starts from the
+ * manifest; humans diffing two runs start from the digest.
+ *
+ * Manifests contain no wall-clock timestamps or host identity — two
+ * same-seed runs of the same binary write byte-identical manifests,
+ * the same determinism contract as every other artifact.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polca::obs {
+
+/** Version string stamped into manifests and report footers. */
+inline constexpr const char *kToolVersion = "polca-sim 0.7";
+
+/** FNV-1a 64-bit hash of @p text as a 16-digit lowercase hex string;
+ *  used to fingerprint resolved-config dumps. */
+[[nodiscard]] std::string fnv1a64Hex(const std::string &text);
+
+struct RunManifest
+{
+    std::string tool = kToolVersion;
+    std::string command;       ///< "run", "sweep", or "chaos"
+    std::string scenarioPath;  ///< as given on the CLI ("" if none)
+    std::string configDigest;  ///< fnv1a64Hex of the resolved dump
+    std::uint64_t seed = 0;
+    int jobs = 1;
+    double durationS = 0.0;
+    double metricsIntervalS = 0.0;  ///< 0 = interval stats disabled
+    /** Files the run wrote, relative to the manifest's directory. */
+    std::vector<std::string> artifacts;
+
+    /** Stable-key-order, human-diffable JSON. */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace polca::obs

@@ -25,6 +25,23 @@ formatCount(std::uint64_t v)
     return std::to_string(v);
 }
 
+/** Compact bucket-bound format: "12.5", "1e+06", "inf". */
+std::string
+formatBound(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+bucketLabel(const std::string &name, std::size_t b, double lo,
+            double hi)
+{
+    return name + "::bucket" + std::to_string(b) + "[" +
+        formatBound(lo) + "," + formatBound(hi) + ")";
+}
+
 } // namespace
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -64,7 +81,7 @@ MetricsRegistry::counter(const std::string &name,
                          const std::string &desc)
 {
     Entry &entry = entries_[name];
-    if (entry.gauge || entry.histogram)
+    if (entry.gauge || entry.histogram || entry.logHistogram)
         sim::panic("MetricsRegistry: '", name,
                    "' already registered with another kind");
     if (!entry.counter) {
@@ -78,7 +95,7 @@ Gauge &
 MetricsRegistry::gauge(const std::string &name, const std::string &desc)
 {
     Entry &entry = entries_[name];
-    if (entry.counter || entry.histogram)
+    if (entry.counter || entry.histogram || entry.logHistogram)
         sim::panic("MetricsRegistry: '", name,
                    "' already registered with another kind");
     if (!entry.gauge) {
@@ -94,7 +111,7 @@ MetricsRegistry::histogram(const std::string &name, double lo,
                            const std::string &desc)
 {
     Entry &entry = entries_[name];
-    if (entry.counter || entry.gauge)
+    if (entry.counter || entry.gauge || entry.logHistogram)
         sim::panic("MetricsRegistry: '", name,
                    "' already registered with another kind");
     if (!entry.histogram) {
@@ -107,6 +124,29 @@ MetricsRegistry::histogram(const std::string &name, double lo,
                    "' re-registered with a different shape");
     }
     return *entry.histogram;
+}
+
+LogHistogram &
+MetricsRegistry::logHistogram(const std::string &name,
+                              double minValue, double maxValue,
+                              double relativeError,
+                              const std::string &desc)
+{
+    Entry &entry = entries_[name];
+    if (entry.counter || entry.gauge || entry.histogram)
+        sim::panic("MetricsRegistry: '", name,
+                   "' already registered with another kind");
+    if (!entry.logHistogram) {
+        entry.logHistogram = std::make_unique<LogHistogram>(
+            minValue, maxValue, relativeError);
+        entry.desc = desc;
+    } else if (entry.logHistogram->minValue() != minValue ||
+               entry.logHistogram->maxValue() != maxValue ||
+               entry.logHistogram->relativeError() != relativeError) {
+        sim::panic("MetricsRegistry: log histogram '", name,
+                   "' re-registered with a different shape");
+    }
+    return *entry.logHistogram;
 }
 
 bool
@@ -125,6 +165,8 @@ MetricsRegistry::reset()
             entry.gauge->reset();
         if (entry.histogram)
             entry.histogram->reset();
+        if (entry.logHistogram)
+            entry.logHistogram->reset();
     }
 }
 
@@ -164,9 +206,45 @@ MetricsRegistry::flatten() const
                 rows.push_back({name + "::max", "histogram",
                                 formatDouble(h.max())});
             }
+            double width =
+                (h.hi() - h.lo()) / static_cast<double>(h.buckets());
             for (std::size_t b = 0; b < h.buckets(); ++b) {
-                rows.push_back({name + "::bucket" + std::to_string(b),
+                double lo = h.lo() + width * static_cast<double>(b);
+                rows.push_back({bucketLabel(name, b, lo, lo + width),
                                 "histogram",
+                                formatCount(h.bucketCount(b))});
+            }
+        } else if (entry.logHistogram) {
+            const LogHistogram &h = *entry.logHistogram;
+            rows.push_back({name + "::count", "loghist",
+                            formatCount(h.count())});
+            rows.push_back({name + "::mean", "loghist",
+                            formatDouble(h.mean())});
+            if (h.count() > 0) {
+                rows.push_back({name + "::min", "loghist",
+                                formatDouble(h.min())});
+                rows.push_back({name + "::max", "loghist",
+                                formatDouble(h.max())});
+                rows.push_back({name + "::p50", "loghist",
+                                formatDouble(h.p50())});
+                rows.push_back({name + "::p90", "loghist",
+                                formatDouble(h.p90())});
+                rows.push_back({name + "::p95", "loghist",
+                                formatDouble(h.p95())});
+                rows.push_back({name + "::p99", "loghist",
+                                formatDouble(h.p99())});
+                rows.push_back({name + "::p99.9", "loghist",
+                                formatDouble(h.p999())});
+            }
+            // Log histograms can have hundreds of buckets; only the
+            // occupied ones are informative, and the bounds in the
+            // label keep sparse dumps self-describing.
+            for (std::size_t b = 0; b < h.buckets(); ++b) {
+                if (h.bucketCount(b) == 0)
+                    continue;
+                rows.push_back({bucketLabel(name, b, h.bucketLo(b),
+                                            h.bucketHi(b)),
+                                "loghist",
                                 formatCount(h.bucketCount(b))});
             }
         }
@@ -194,6 +272,28 @@ MetricsRegistry::dump(std::ostream &os) const
             line += it->second.desc;
         }
         os << line << '\n';
+    }
+}
+
+void
+MetricsRegistry::visitScalars(
+    const std::function<void(const std::string &, ScalarKind,
+                             double)> &fn) const
+{
+    for (const auto &[name, entry] : entries_) {
+        if (entry.counter) {
+            fn(name, ScalarKind::Counter,
+               static_cast<double>(entry.counter->value()));
+        } else if (entry.gauge) {
+            if (!entry.gauge->isVolatile())
+                fn(name, ScalarKind::Gauge, entry.gauge->value());
+        } else if (entry.histogram) {
+            fn(name + "::count", ScalarKind::HistogramCount,
+               static_cast<double>(entry.histogram->count()));
+        } else if (entry.logHistogram) {
+            fn(name + "::count", ScalarKind::HistogramCount,
+               static_cast<double>(entry.logHistogram->count()));
+        }
     }
 }
 

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/log_histogram.hh"
+
 namespace polca::obs {
 
 /** Monotonic event count. */
@@ -84,7 +86,22 @@ class Gauge
     void setVolatile(bool v) { volatile_ = v; }
     bool isVolatile() const { return volatile_; }
 
-    void reset() { value_ = 0.0; }
+    /** @return true when a live source callback is attached. */
+    bool hasSource() const { return static_cast<bool>(source_); }
+
+    /**
+     * Zero the cached value.  A source-backed gauge is a *view* of
+     * live component state, not an accumulator, so reset() leaves
+     * the source attached and value() keeps reporting the live
+     * reading — zeroing the shadowed cache would silently resurface
+     * a stale 0.0 after freeze().  Interval snapshots therefore
+     * treat every gauge as a point sample, never as a delta.
+     */
+    void reset()
+    {
+        if (!source_)
+            value_ = 0.0;
+    }
 
   private:
     double value_ = 0.0;
@@ -151,6 +168,12 @@ class MetricsRegistry
                          std::size_t buckets,
                          const std::string &desc = "");
 
+    /** Get-or-create; panics on kind or shape mismatch. */
+    [[nodiscard]] LogHistogram &
+    logHistogram(const std::string &name, double minValue,
+                 double maxValue, double relativeError,
+                 const std::string &desc = "");
+
     [[nodiscard]] bool has(const std::string &name) const;
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
@@ -162,14 +185,36 @@ class MetricsRegistry
     void freezeGauges();
 
     /**
-     * gem5-style text dump, name-sorted, one line per scalar;
-     * histograms expand to name::count/mean/min/max/bucketN lines.
-     * Volatile gauges are skipped (reproducibility).
+     * gem5-style text dump, name-sorted, one line per scalar.
+     * Histograms expand to name::count/mean/min/max plus
+     * self-describing name::bucketN[lo,hi) lines (bounds in the
+     * name, count as the value); log histograms additionally emit
+     * name::p50/p90/p95/p99/p99.9 percentile lines and skip empty
+     * buckets.  Volatile gauges are skipped (reproducibility).
      */
     void dump(std::ostream &os) const;
 
     /** The same scalars as CSV: name,kind,value. */
     void dumpCsv(std::ostream &os) const;
+
+    /** How a scalar reported by visitScalars() accumulates. */
+    enum class ScalarKind
+    {
+        Counter,        ///< cumulative, monotone (delta-able)
+        Gauge,          ///< point-in-time sample
+        HistogramCount, ///< cumulative sample count of a histogram
+    };
+
+    /**
+     * Visit every non-volatile scalar, name-sorted: counters and the
+     * "::count" of each (log) histogram as cumulative values, gauges
+     * as point samples.  The interval-stats snapshotter is the
+     * intended consumer; unlike dump() this reports raw doubles.
+     */
+    void visitScalars(
+        const std::function<void(const std::string &name,
+                                 ScalarKind kind, double value)> &fn)
+        const;
 
   private:
     struct Entry
@@ -178,6 +223,7 @@ class MetricsRegistry
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<LogHistogram> logHistogram;
     };
 
     /** Flattened (name, kind, value-string) rows for both dumps. */

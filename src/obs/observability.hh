@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include "obs/interval_stats.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_recorder.hh"
 
@@ -26,6 +27,7 @@ struct Observability
 {
     MetricsRegistry metrics;
     TraceRecorder trace;
+    IntervalStats interval;
 
     Observability() = default;
     explicit Observability(std::size_t traceCapacity)

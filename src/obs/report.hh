@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Run-report generator behind `polcactl report <run-dir>`.
+ *
+ * Reads the artifacts a run directory holds — manifest.json,
+ * metrics.csv, stats_interval.csv, result.csv, violations.csv,
+ * summary.csv (sweeps), chaos_summary.csv (chaos campaigns) — and
+ * writes two self-contained documents next to them:
+ *
+ *  - report.md    tables only, renders anywhere;
+ *  - report.html  the same content plus an inline-SVG power/cap
+ *                 timeline built from the interval stats.
+ *
+ * Everything is generated from the artifact bytes with fixed-width
+ * formatting and no wall-clock or host state, so two same-seed runs
+ * produce byte-identical reports (ctest-enforced).  Only the C++
+ * standard library is used; missing optional artifacts simply drop
+ * their section.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polca::obs {
+
+struct ReportResult
+{
+    bool ok = false;
+    std::string error;                ///< set when !ok
+    std::vector<std::string> written; ///< paths of emitted files
+};
+
+/**
+ * Generate report.md + report.html inside @p runDir.  Fails (with a
+ * message) when the directory has no manifest.json; every other
+ * artifact is optional.
+ */
+ReportResult writeRunReport(const std::string &runDir);
+
+} // namespace polca::obs

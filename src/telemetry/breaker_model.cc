@@ -50,6 +50,7 @@ BreakerModel::attachObservability(obs::Observability *obs)
         trace_ = nullptr;
         tripStat_ = nearTripStat_ = nullptr;
         windupStat_ = nullptr;
+        overdrawStat_ = nullptr;
         return;
     }
     trace_ = &obs->trace;
@@ -61,6 +62,11 @@ BreakerModel::attachObservability(obs::Observability *obs)
     windupStat_ = &obs->metrics.histogram(
         "breaker.windup_occupancy", 0.0, 1.0, 10,
         "fraction of the trip windup each streak reached");
+    // 1 W .. 10 MW at 1 % relative error; sampled only while the
+    // draw is actually above provisioned.
+    overdrawStat_ = &obs->metrics.logHistogram(
+        "breaker.overdraw_watts", 1.0, 1e7, 0.01,
+        "watts above provisioned, per sample while overdrawn");
 }
 
 void
@@ -113,6 +119,8 @@ BreakerModel::sample(sim::Tick now)
         aboveBudget_ += dt;
         overdrawWs_ += (watts - config_.provisionedWatts) *
             sim::ticksToSeconds(dt);
+        if (overdrawStat_)
+            overdrawStat_->add(watts - config_.provisionedWatts);
     }
 
     if (watts > limitWatts_) {

@@ -139,6 +139,7 @@ class BreakerModel
     obs::Counter *tripStat_ = nullptr;
     obs::Counter *nearTripStat_ = nullptr;
     obs::Histogram *windupStat_ = nullptr;
+    obs::LogHistogram *overdrawStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

@@ -67,6 +67,7 @@ RowManager::attachObservability(obs::Observability *obs)
     if (!obs) {
         trace_ = nullptr;
         deliveredStat_ = droppedStat_ = corruptedStat_ = nullptr;
+        rowWattsStat_ = nullptr;
         return;
     }
     trace_ = &obs->trace;
@@ -82,6 +83,10 @@ RowManager::attachObservability(obs::Observability *obs)
     obs->metrics
         .gauge("telemetry.latest_row_watts", "last delivered reading")
         .setSource([this] { return latest_; });
+    // 1 W .. 10 MW at 1 % relative error spans any modeled row.
+    rowWattsStat_ = &obs->metrics.logHistogram(
+        "telemetry.row_watts", 1.0, 1e7, 0.01,
+        "distribution of delivered row power readings (watts)");
 }
 
 void
@@ -119,6 +124,8 @@ RowManager::sample(sim::Tick now)
     latestTime_ = now;
     if (deliveredStat_)
         ++*deliveredStat_;
+    if (rowWattsStat_)
+        rowWattsStat_->add(total);
     if (trace_) {
         trace_->instant(obs::TraceCategory::Telemetry, "row_reading",
                         now, 0, total);

@@ -121,6 +121,7 @@ class RowManager
     obs::Counter *deliveredStat_ = nullptr;
     obs::Counter *droppedStat_ = nullptr;
     obs::Counter *corruptedStat_ = nullptr;
+    obs::LogHistogram *rowWattsStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

@@ -31,8 +31,10 @@ SmbpbiController::attachObservability(obs::Observability *obs,
         "capping commands replaced while still in flight");
     brakeStat_ = &obs->metrics.counter(
         "smbpbi.brake_commands", "power-brake line togglings");
-    applyLatencyStat_ = &obs->metrics.histogram(
-        "smbpbi.apply_latency_s", 0.0, 60.0, 12,
+    // 100 us .. 100 s at 1 % relative error: OOB command latencies
+    // sit around seconds, brake latencies around milliseconds.
+    applyLatencyStat_ = &obs->metrics.logHistogram(
+        "smbpbi.apply_latency_s", 1e-4, 100.0, 0.01,
         "command issue to application latency (seconds)");
 }
 

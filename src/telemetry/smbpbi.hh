@@ -135,7 +135,7 @@ class SmbpbiController
     obs::Counter *droppedStat_ = nullptr;
     obs::Counter *supersededStat_ = nullptr;
     obs::Counter *brakeStat_ = nullptr;
-    obs::Histogram *applyLatencyStat_ = nullptr;
+    obs::LogHistogram *applyLatencyStat_ = nullptr;
 };
 
 } // namespace polca::telemetry

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * obs::IntervalStats: delta-vs-sample semantics, reconciliation of
+ * interval columns against the cumulative registry dump, dropped
+ * duplicate snapshots, and deterministic CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/csv.hh"
+#include "obs/interval_stats.hh"
+#include "obs/metrics.hh"
+
+namespace {
+
+using namespace polca;
+
+double
+columnSum(const std::vector<std::vector<std::string>> &rows,
+          const std::string &column)
+{
+    std::size_t col = rows[0].size();
+    for (std::size_t c = 0; c < rows[0].size(); ++c) {
+        if (rows[0][c] == column)
+            col = c;
+    }
+    EXPECT_LT(col, rows[0].size()) << "missing column " << column;
+    double sum = 0.0;
+    for (std::size_t r = 1; r < rows.size(); ++r)
+        sum += std::strtod(rows[r][col].c_str(), nullptr);
+    return sum;
+}
+
+TEST(IntervalStats, CountersAreDeltasGaugesAreSamples)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &c = registry.counter("work.done");
+    obs::Gauge &g = registry.gauge("level");
+    obs::IntervalStats stats;
+
+    c += 5;
+    g.set(1.0);
+    stats.snapshot(1.0, registry);
+    c += 7;
+    g.set(2.5);
+    stats.snapshot(2.0, registry);
+
+    std::ostringstream os;
+    stats.writeCsv(os);
+    auto rows = analysis::parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0], "time_s");
+
+    // Counter column: per-interval deltas (5 then 7), not 5 then 12.
+    EXPECT_DOUBLE_EQ(columnSum(rows, "work.done"), 12.0);
+    std::size_t cCol = 0, gCol = 0;
+    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+        if (rows[0][i] == "work.done")
+            cCol = i;
+        if (rows[0][i] == "level")
+            gCol = i;
+    }
+    EXPECT_EQ(rows[1][cCol], "5");
+    EXPECT_EQ(rows[2][cCol], "7");
+    // Gauge column: point samples.
+    EXPECT_EQ(rows[1][gCol], "1.000000");
+    EXPECT_EQ(rows[2][gCol], "2.500000");
+}
+
+TEST(IntervalStats, DeltaColumnsReconcileWithCumulativeDump)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &c = registry.counter("events");
+    obs::LogHistogram &h =
+        registry.logHistogram("lat", 1e-3, 10.0, 0.01);
+    obs::IntervalStats stats;
+
+    // Uneven activity across intervals, including an idle one.
+    for (int interval = 0; interval < 4; ++interval) {
+        int work = interval == 2 ? 0 : (interval + 1) * 3;
+        for (int i = 0; i < work; ++i) {
+            ++c;
+            h.add(0.5);
+        }
+        stats.snapshot(static_cast<double>(interval + 1), registry);
+    }
+
+    std::ostringstream os;
+    stats.writeCsv(os);
+    auto rows = analysis::parseCsv(os.str());
+    // Column sums reconcile exactly with the cumulative registry:
+    // the registry is never reset by snapshots.
+    EXPECT_DOUBLE_EQ(columnSum(rows, "events"),
+                     static_cast<double>(c.value()));
+    EXPECT_DOUBLE_EQ(columnSum(rows, "lat::count"),
+                     static_cast<double>(h.count()));
+    EXPECT_EQ(c.value(), 21u);  // 3 + 6 + 0 + 12
+}
+
+TEST(IntervalStats, DuplicateTimeSnapshotDropped)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("c") += 1;
+    obs::IntervalStats stats;
+    stats.snapshot(5.0, registry);
+    registry.counter("c") += 1;
+    // The end-of-run partial snapshot lands on the last periodic one
+    // when the cadence divides the duration — dropped, not doubled.
+    stats.snapshot(5.0, registry);
+    EXPECT_EQ(stats.rows(), 1u);
+    EXPECT_DOUBLE_EQ(stats.lastTimeS(), 5.0);
+}
+
+TEST(IntervalStatsDeathTest, TimeBackwardsPanics)
+{
+    obs::MetricsRegistry registry;
+    obs::IntervalStats stats;
+    stats.snapshot(2.0, registry);
+    EXPECT_DEATH(stats.snapshot(1.0, registry), "precedes");
+}
+
+TEST(IntervalStats, MetricRegisteredMidRunBackfillsZero)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("early") += 1;
+    obs::IntervalStats stats;
+    stats.snapshot(1.0, registry);
+    registry.counter("late") += 4;
+    stats.snapshot(2.0, registry);
+
+    std::ostringstream os;
+    stats.writeCsv(os);
+    auto rows = analysis::parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 3u);
+    std::size_t lateCol = 0;
+    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+        if (rows[0][i] == "late")
+            lateCol = i;
+    }
+    ASSERT_GT(lateCol, 0u);
+    EXPECT_EQ(rows[1][lateCol], "0");  // before it existed
+    EXPECT_EQ(rows[2][lateCol], "4");
+}
+
+TEST(IntervalStats, WriteCsvDeterministic)
+{
+    auto build = [] {
+        obs::MetricsRegistry registry;
+        obs::IntervalStats stats;
+        registry.counter("b.two") += 2;
+        registry.counter("a.one") += 1;
+        registry.gauge("g").set(0.25);
+        stats.snapshot(1.0, registry);
+        registry.counter("a.one") += 3;
+        stats.snapshot(2.0, registry);
+        std::ostringstream os;
+        stats.writeCsv(os);
+        return os.str();
+    };
+    std::string first = build();
+    EXPECT_EQ(first, build());
+    // Header is name-sorted after time_s.
+    auto rows = analysis::parseCsv(first);
+    ASSERT_GE(rows[0].size(), 4u);
+    EXPECT_EQ(rows[0][0], "time_s");
+    EXPECT_EQ(rows[0][1], "a.one");
+    EXPECT_EQ(rows[0][2], "b.two");
+}
+
+} // namespace

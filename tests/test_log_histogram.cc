@@ -1,0 +1,241 @@
+/**
+ * @file
+ * obs::LogHistogram: the relative-error bound against an
+ * exact-percentile oracle on adversarial distributions, merge
+ * algebra (associative + commutative), empty/single-sample edges,
+ * and byte-identical registry dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace polca;
+
+/** Exact nearest-rank percentile of a sample set. */
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    std::size_t n = values.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    return values[rank - 1];
+}
+
+/** Record @p values and check every headline quantile against the
+ *  oracle within the histogram's documented relative error. */
+void
+expectQuantilesWithin(const std::vector<double> &values, double minV,
+                      double maxV, double err)
+{
+    obs::LogHistogram h(minV, maxV, err);
+    for (double v : values)
+        h.add(v);
+    ASSERT_EQ(h.count(), values.size());
+    for (double q : {0.50, 0.90, 0.95, 0.99, 0.999}) {
+        double exact = exactQuantile(values, q);
+        double approx = h.quantile(q);
+        // In-range samples must honor the bound; clamped samples
+        // report the tracked exact extreme, which also satisfies it.
+        EXPECT_NEAR(approx, exact, exact * err + 1e-12)
+            << "q=" << q << " exact=" << exact
+            << " approx=" << approx;
+    }
+}
+
+TEST(LogHistogram, ErrorBoundLogUniform)
+{
+    // Log-uniform over 5 decades: equal mass per decade is the
+    // adversarial case for linear-bucket histograms.
+    sim::Rng rng(7);
+    std::vector<double> values;
+    values.reserve(20000);
+    for (int i = 0; i < 20000; ++i)
+        values.push_back(std::pow(10.0, rng.uniform(-2.0, 3.0)));
+    expectQuantilesWithin(values, 1e-3, 1e4, 0.01);
+}
+
+TEST(LogHistogram, ErrorBoundHeavyTail)
+{
+    // Pareto-ish tail: most samples tiny, p99/p999 far out in the
+    // tail.  Exercises sparse high buckets.
+    sim::Rng rng(11);
+    std::vector<double> values;
+    values.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform(1e-6, 1.0);
+        values.push_back(0.001 / std::pow(u, 1.5));
+    }
+    expectQuantilesWithin(values, 1e-4, 1e7, 0.01);
+}
+
+TEST(LogHistogram, ErrorBoundClustered)
+{
+    // Point masses right at bucket-boundary-ish values plus
+    // duplicates: nearest-rank must still land within the bound.
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(1.0);
+    for (int i = 0; i < 10; ++i)
+        values.push_back(99.5);
+    for (int i = 0; i < 3; ++i)
+        values.push_back(999.0);
+    expectQuantilesWithin(values, 0.1, 1e4, 0.05);
+}
+
+TEST(LogHistogram, EmptyHistogram)
+{
+    obs::LogHistogram h(0.001, 100.0, 0.01);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(LogHistogram, SingleSample)
+{
+    obs::LogHistogram h(0.001, 100.0, 0.01);
+    h.add(3.25);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 3.25);
+    EXPECT_DOUBLE_EQ(h.max(), 3.25);
+    // Every quantile of a single sample is that sample.
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_NEAR(h.quantile(q), 3.25, 3.25 * 0.01);
+}
+
+TEST(LogHistogram, UnderflowAndOverflowClamp)
+{
+    obs::LogHistogram h(1.0, 1000.0, 0.01);
+    h.add(0.0);
+    h.add(-5.0);
+    h.add(0.25);   // below min
+    h.add(4000.0); // above max
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(h.buckets() - 1), 1u);
+    // Clamped buckets report the tracked exact extremes.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4000.0);
+}
+
+TEST(LogHistogram, ResetClearsEverything)
+{
+    obs::LogHistogram h(0.001, 100.0, 0.01);
+    h.add(1.0);
+    h.add(50.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        EXPECT_EQ(h.bucketCount(b), 0u);
+}
+
+obs::LogHistogram
+filled(std::uint64_t seed, int n)
+{
+    obs::LogHistogram h(1e-3, 1e4, 0.01);
+    sim::Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        h.add(std::pow(10.0, rng.uniform(-2.0, 3.0)));
+    return h;
+}
+
+void
+expectSame(const obs::LogHistogram &a, const obs::LogHistogram &b)
+{
+    ASSERT_EQ(a.buckets(), b.buckets());
+    for (std::size_t i = 0; i < a.buckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), b.bucketCount(i));
+    EXPECT_EQ(a.count(), b.count());
+    // Bucket counts and extremes are exact; the sum is a double
+    // accumulation, associative only up to rounding.
+    EXPECT_NEAR(a.sum(), b.sum(), 1e-9 * std::abs(a.sum()));
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(LogHistogram, MergeCommutative)
+{
+    obs::LogHistogram ab = filled(1, 500);
+    ab.merge(filled(2, 700));
+    obs::LogHistogram ba = filled(2, 700);
+    ba.merge(filled(1, 500));
+    expectSame(ab, ba);
+}
+
+TEST(LogHistogram, MergeAssociative)
+{
+    // (a + b) + c == a + (b + c)
+    obs::LogHistogram left = filled(1, 300);
+    left.merge(filled(2, 400));
+    left.merge(filled(3, 500));
+
+    obs::LogHistogram bc = filled(2, 400);
+    bc.merge(filled(3, 500));
+    obs::LogHistogram right = filled(1, 300);
+    right.merge(bc);
+
+    expectSame(left, right);
+    // And the merged quantiles equal the all-in-one histogram's.
+    obs::LogHistogram all(1e-3, 1e4, 0.01);
+    for (std::uint64_t s : {1u, 2u, 3u}) {
+        sim::Rng rng(s);
+        int n = s == 1 ? 300 : s == 2 ? 400 : 500;
+        for (int i = 0; i < n; ++i)
+            all.add(std::pow(10.0, rng.uniform(-2.0, 3.0)));
+    }
+    expectSame(left, all);
+    EXPECT_DOUBLE_EQ(left.p99(), all.p99());
+}
+
+TEST(LogHistogram, MergeShapeMismatchPanics)
+{
+    obs::LogHistogram a(1e-3, 1e4, 0.01);
+    obs::LogHistogram b(1e-3, 1e4, 0.02);
+    EXPECT_FALSE(a.sameShape(b));
+    EXPECT_DEATH(a.merge(b), "shape");
+}
+
+TEST(LogHistogram, RegistryDumpByteIdentical)
+{
+    // Two registries fed the same samples dump the same bytes — the
+    // determinism contract every artifact depends on.
+    auto build = [](obs::MetricsRegistry &reg) {
+        obs::LogHistogram &h =
+            reg.logHistogram("test.latency_s", 1e-4, 100.0, 0.01,
+                             "test histogram");
+        sim::Rng rng(42);
+        for (int i = 0; i < 5000; ++i)
+            h.add(std::pow(10.0, rng.uniform(-3.0, 1.5)));
+    };
+    obs::MetricsRegistry a, b;
+    build(a);
+    build(b);
+    std::ostringstream dumpA, dumpB, csvA, csvB;
+    a.dump(dumpA);
+    b.dump(dumpB);
+    a.dumpCsv(csvA);
+    b.dumpCsv(csvB);
+    EXPECT_EQ(dumpA.str(), dumpB.str());
+    EXPECT_EQ(csvA.str(), csvB.str());
+    EXPECT_FALSE(dumpA.str().empty());
+    // Percentile lines and bucket bounds are part of the dump.
+    EXPECT_NE(dumpA.str().find("test.latency_s::p99"),
+              std::string::npos);
+    EXPECT_NE(dumpA.str().find("["), std::string::npos);
+}
+
+} // namespace

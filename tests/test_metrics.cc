@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+#include <string>
 #include <tuple>
 
 #include "analysis/csv.hh"
@@ -208,6 +210,111 @@ TEST(MetricsRegistry, FreezeGaugesSnapshotsSources)
     registry.freezeGauges();
     live = 99.0;  // a destroyed component would dangle here
     EXPECT_DOUBLE_EQ(registry.gauge("snap").value(), 4.0);
+}
+
+TEST(Gauge, ResetKeepsSourceBackedView)
+{
+    // A source-backed gauge is a live view, not an accumulator:
+    // reset() must not zero its cached value or drop the source.
+    double live = 6.0;
+    obs::Gauge g;
+    g.setSource([&live] { return live; });
+    EXPECT_TRUE(g.hasSource());
+    g.reset();
+    EXPECT_TRUE(g.hasSource());
+    EXPECT_DOUBLE_EQ(g.value(), 6.0);
+    live = 8.5;
+    EXPECT_DOUBLE_EQ(g.value(), 8.5);
+
+    // A plain set() gauge is owned state and does reset to zero.
+    obs::Gauge plain;
+    plain.set(3.0);
+    EXPECT_FALSE(plain.hasSource());
+    plain.reset();
+    EXPECT_DOUBLE_EQ(plain.value(), 0.0);
+}
+
+TEST(MetricsRegistry, DumpEmitsBucketBounds)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram &h = registry.histogram("fix.hist", 0.0, 10.0, 5);
+    h.add(1.0);
+    h.add(9.9);
+
+    std::ostringstream text;
+    registry.dump(text);
+    // Fixed-width buckets label their [lo,hi) range (all five are
+    // dumped; only log histograms skip empty buckets).
+    EXPECT_NE(text.str().find("fix.hist::bucket0[0,2)"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("fix.hist::bucket1[2,4)"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("fix.hist::bucket4[8,10)"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, LogHistogramDumpHasPercentiles)
+{
+    obs::MetricsRegistry registry;
+    obs::LogHistogram &h =
+        registry.logHistogram("lat.s", 1e-3, 100.0, 0.01);
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i) * 0.01);
+
+    std::ostringstream csv;
+    registry.dumpCsv(csv);
+    auto rows = analysis::parseCsv(csv.str());
+    bool sawP99 = false, sawBucket = false;
+    for (const auto &row : rows) {
+        if (row[0] == "lat.s::p99") {
+            sawP99 = true;
+            EXPECT_EQ(row[1], "loghist");
+            double v = std::stod(row[2]);
+            EXPECT_NEAR(v, 0.99, 0.99 * 0.01 + 1e-9);
+        }
+        if (row[0].rfind("lat.s::bucket", 0) == 0) {
+            sawBucket = true;
+            // Bucket labels carry their bounds.
+            EXPECT_NE(row[0].find('['), std::string::npos);
+            EXPECT_NE(row[0].find(')'), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(sawP99);
+    EXPECT_TRUE(sawBucket);
+}
+
+TEST(MetricsRegistry, VisitScalarsKindsAndVolatileSkip)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("c.total") += 4;
+    registry.gauge("g.level").set(1.5);
+    obs::Gauge &vol = registry.gauge("v.rate");
+    vol.setVolatile(true);
+    vol.set(99.0);
+    registry.histogram("h.fix", 0.0, 1.0, 2).add(0.5);
+    registry.logHistogram("h.log", 1e-3, 10.0, 0.01).add(0.5);
+
+    std::map<std::string,
+             std::pair<obs::MetricsRegistry::ScalarKind, double>>
+        seen;
+    registry.visitScalars([&](const std::string &name,
+                              obs::MetricsRegistry::ScalarKind kind,
+                              double value) {
+        seen[name] = {kind, value};
+    });
+
+    using Kind = obs::MetricsRegistry::ScalarKind;
+    ASSERT_EQ(seen.count("c.total"), 1u);
+    EXPECT_EQ(seen["c.total"].first, Kind::Counter);
+    EXPECT_DOUBLE_EQ(seen["c.total"].second, 4.0);
+    ASSERT_EQ(seen.count("g.level"), 1u);
+    EXPECT_EQ(seen["g.level"].first, Kind::Gauge);
+    EXPECT_EQ(seen.count("v.rate"), 0u);  // volatile gauges skipped
+    ASSERT_EQ(seen.count("h.fix::count"), 1u);
+    EXPECT_EQ(seen["h.fix::count"].first, Kind::HistogramCount);
+    EXPECT_DOUBLE_EQ(seen["h.fix::count"].second, 1.0);
+    ASSERT_EQ(seen.count("h.log::count"), 1u);
+    EXPECT_EQ(seen["h.log::count"].first, Kind::HistogramCount);
 }
 
 } // namespace

@@ -96,9 +96,10 @@ TEST(SweepRunner, NoArtifactDirWritesNothing)
     sim::QuietScope quiet(true);
     std::vector<core::SweepPoint> points;
     points.push_back({"", tinyConfig(1)});
-    core::SweepRunner runner(points, core::SweepOptions{
-        /*artifactDir=*/"", /*runBaseline=*/false,
-        /*echoProgress=*/false});
+    core::SweepOptions options;
+    options.runBaseline = false;
+    options.echoProgress = false;
+    core::SweepRunner runner(points, options);
     const std::vector<core::SweepPointResult> &results = runner.run();
     ASSERT_EQ(results.size(), 1u);
     EXPECT_TRUE(results[0].artifactPath.empty());

@@ -1,0 +1,22 @@
+// Fixture: metric registration names that violate the dotted
+// lowercase [a-z0-9_.] convention must fire metric-name.
+
+struct Registry
+{
+    int &counter(const char *name);
+    double &gauge(const char *name);
+    int &histogram(const char *name, double lo, double hi, int b);
+    int &logHistogram(const char *name, double lo, double hi,
+                      double err);
+};
+
+void
+registerStats(Registry &registry)
+{
+    registry.counter("BadName");       // uppercase and undotted
+    registry.gauge("row watts");       // embedded space
+    registry.histogram("manager.MTTR", 0.0, 1.0, 4);  // uppercase
+    registry.logHistogram(
+        "manager..dwell", 0.0, 1.0, 0.01);  // empty path segment
+    registry.counter(".leading.dot");
+}

@@ -1,0 +1,24 @@
+// Fixture: conforming (or suppressed, or non-literal) registration
+// names produce no metric-name findings.
+
+struct Registry
+{
+    int &counter(const char *name);
+    double &gauge(const char *name);
+    int &histogram(const char *name, double lo, double hi, int b);
+    int &logHistogram(const char *name, double lo, double hi,
+                      double err);
+};
+
+void
+registerStats(Registry &registry, const char *dynamicName)
+{
+    registry.counter("manager.cap_commands");
+    registry.gauge("telemetry.latest_row_watts");
+    registry.histogram("smbpbi.apply_latency_s", 0.0, 1.0, 4);
+    registry.logHistogram(
+        "dispatcher.queue_delay_s", 0.001, 100.0, 0.01);
+    registry.counter(dynamicName);  // non-literal: skipped
+    // A documented legacy exception rides on a suppression:
+    registry.counter("LegacyName");  // polca-lint: allow(metric-name)
+}

@@ -21,6 +21,8 @@
  *   todo-issue      to-do comment without an issue reference
  *   catch-swallow   catch (...) in src/ whose handler never
  *                   rethrows
+ *   metric-name     metric registered in src/ with a name that is
+ *                   not dotted lowercase [a-z0-9_.]
  *
  * Per-line suppression:   // polca-lint: allow(<rule>)
  * Machine output:         --format=gcc   (file:line: error: ... [rule])
@@ -530,6 +532,91 @@ scanFile(const fs::path &path, const std::string &rel)
         }
     }
 
+    // --- metric-name -----------------------------------------------
+    // Registry names are the public observability namespace: every
+    // dump, interval-stats column, and report row keys off them.  A
+    // literal name at a registration site in src/ must be dotted
+    // lowercase "component.metric" ([a-z0-9_.]) so artifacts group
+    // and sort predictably.  Tests and tools may register ad-hoc
+    // names; dynamic (non-literal) names are skipped.  The string
+    // itself is read from the raw text (the code view blanks string
+    // contents), with a two-line lookahead for wrapped calls.
+    if (startsWith(rel, "src/")) {
+        static const std::vector<std::string> registrars = {
+            "counter", "gauge", "histogram", "logHistogram"};
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            for (const std::string &fn : registrars) {
+                for (std::size_t pos = findWord(code, fn);
+                     pos != std::string::npos;
+                     pos = findWord(code, fn, pos + 1)) {
+                    // Member calls only (registry.counter(...)):
+                    // skips definitions (MetricsRegistry::counter)
+                    // and unrelated identifiers.
+                    if (pos == 0 || code[pos - 1] != '.')
+                        continue;
+                    std::size_t open = pos + fn.size();
+                    while (open < code.size() && code[open] == ' ')
+                        ++open;
+                    if (open >= code.size() || code[open] != '(')
+                        continue;
+                    // First argument: a string literal, possibly on
+                    // one of the next two lines for wrapped calls.
+                    std::string name;
+                    bool literal = false, decided = false;
+                    std::size_t col = open + 1;
+                    for (int j = i;
+                         j < std::min(i + 3, n) && !decided; ++j) {
+                        const std::string &raw =
+                            text.raw[static_cast<std::size_t>(j)];
+                        for (std::size_t k = col; k < raw.size();
+                             ++k) {
+                            char ch = raw[k];
+                            if (ch == ' ' || ch == '\t')
+                                continue;
+                            decided = true;
+                            if (ch == '"') {
+                                std::size_t end =
+                                    raw.find('"', k + 1);
+                                if (end != std::string::npos) {
+                                    name = raw.substr(k + 1,
+                                                      end - k - 1);
+                                    literal = true;
+                                }
+                            }
+                            break;
+                        }
+                        col = 0;
+                    }
+                    if (!literal)
+                        continue;
+                    bool valid = !name.empty() &&
+                        name.find('.') != std::string::npos &&
+                        name.front() != '.' && name.back() != '.' &&
+                        name.find("..") == std::string::npos;
+                    for (char ch : name) {
+                        if (!((ch >= 'a' && ch <= 'z') ||
+                              (ch >= '0' && ch <= '9') ||
+                              ch == '_' || ch == '.')) {
+                            valid = false;
+                        }
+                    }
+                    if (!valid) {
+                        report(findings, text, rel, i + 1,
+                               "metric-name",
+                               "metric name \"" + name +
+                               "\" is not dotted lowercase "
+                               "[a-z0-9_.] (e.g. "
+                               "\"manager.cap_commands\"); dumps, "
+                               "interval stats, and reports key off "
+                               "these names");
+                    }
+                }
+            }
+        }
+    }
+
     // --- todo-issue ------------------------------------------------
     // Runs on raw text: to-dos live in comments.  The marker is
     // spelled split so the linter's own source stays clean.
@@ -713,7 +800,8 @@ main(int argc, char **argv)
         if (arg == "--list-rules") {
             std::cout << "wall-clock\nraw-random\nunordered-iter\n"
                          "raw-new-delete\nsim-shared-ptr\n"
-                         "pragma-once\ntodo-issue\ncatch-swallow\n";
+                         "pragma-once\ntodo-issue\ncatch-swallow\n"
+                         "metric-name\n";
             return 0;
         }
         if (arg == "--self-test") {

@@ -11,6 +11,7 @@
  *                             [--out FILE]
  *   polcactl run [--scenario-file FILE] [--set path=value]... \
  *                [--out-dir DIR] [--jobs N] [legacy flags]
+ *   polcactl report <run-dir>...
  *   polcactl config check FILE...
  *   polcactl config dump [--scenario-file FILE] [--set path=value]... \
  *                        [--point N]
@@ -47,19 +48,23 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hh"
 #include "config/scenario.hh"
 #include "core/oversub_experiment.hh"
+#include "core/run_artifacts.hh"
 #include "core/sweep_runner.hh"
 #include "core/thread_pool.hh"
 #include "core/workload_aware.hh"
 #include "faults/fault_plan.hh"
 #include "llm/model_spec.hh"
 #include "llm/phase_model.hh"
+#include "obs/manifest.hh"
 #include "obs/observability.hh"
+#include "obs/report.hh"
 #include "sim/logging.hh"
 #include "workload/trace_gen.hh"
 
@@ -203,10 +208,12 @@ usage()
         "               [--dropout P] [--scenario NAME] "
         "[--watchdog 0|1]\n"
         "               [--trace FILE] [--metrics FILE] "
-        "[--trace-categories LIST]\n"
+        "[--metrics-interval SECS]\n"
+        "               [--trace-categories LIST]\n"
         "  polcactl chaos [--runs N] [--seed S] "
         "[--scenario-file FILE]\n"
         "                 [--set path=value]... [--out-dir DIR]\n"
+        "  polcactl report <run-dir>...\n"
         "  polcactl config check FILE...\n"
         "  polcactl config dump [--scenario-file FILE] "
         "[--set path=value]... [--point N]\n"
@@ -234,7 +241,17 @@ usage()
         "(chrome://tracing);\n"
         "  --metrics dumps the metrics registry (.csv for CSV);\n"
         "  --trace-categories filters: "
-        "sim,telemetry,control,power,cluster,fault,all\n");
+        "sim,telemetry,control,power,cluster,fault,all\n"
+        "  run --metrics-interval S snapshots the registry every S "
+        "simulated seconds\n"
+        "  (sugar for --set obs.interval=S); single-point run "
+        "--out-dir writes the\n"
+        "  full artifact set (manifest.json, resolved.toml, "
+        "result.csv, metrics.csv,\n"
+        "  stats_interval.csv, violations.csv) that `polcactl "
+        "report` turns into\n"
+        "  report.md + report.html (self-contained, inline-SVG "
+        "timeline).\n");
     return 2;
 }
 
@@ -425,7 +442,8 @@ runFlags()
     return {"scenario-file", "set", "out-dir", "jobs", "added",
             "days", "seed", "policy", "power-scale", "servers",
             "failures", "workload", "dropout", "scenario", "watchdog",
-            "trace", "metrics", "trace-categories", "point"};
+            "trace", "metrics", "metrics-interval",
+            "trace-categories", "point"};
 }
 
 /**
@@ -466,6 +484,7 @@ resolveScenario(const Args &args, config::Diagnostics &diag)
     legacy("failures", "manager.smbpbi_failure_probability");
     legacy("dropout", "row.telemetry_dropout_probability");
     legacy("scenario", "faults.scenario");
+    legacy("metrics-interval", "obs.interval");
     if (args.has("watchdog")) {
         overrides.push_back(
             std::string("manager.watchdog_enabled=") +
@@ -496,11 +515,13 @@ runSinglePoint(const Args &args, config::ResolvedScenario &point)
     }
 
     // Observability: attach to the managed run only — the baseline
-    // exists purely as a latency reference.
+    // exists purely as a latency reference.  A run directory
+    // (--out-dir) always gets a metrics dump, so it attaches too.
     std::string traceOut = args.text("trace", "");
     std::string metricsOut = args.text("metrics", "");
+    std::string outDir = args.text("out-dir", "");
     obs::Observability observability;
-    if (!traceOut.empty() || !metricsOut.empty()) {
+    if (!traceOut.empty() || !metricsOut.empty() || !outDir.empty()) {
         observability.trace.setCategoryMask(
             obs::parseTraceCategories(
                 args.text("trace-categories", "all")));
@@ -549,6 +570,24 @@ runSinglePoint(const Args &args, config::ResolvedScenario &point)
         core::normalizeLatency(result.low, baseline.low);
     core::NormalizedLatency high =
         core::normalizeLatency(result.high, baseline.high);
+
+    if (!outDir.empty()) {
+        core::RunDirOptions dirOptions;
+        dirOptions.dir = outDir;
+        dirOptions.scenarioPath = args.text("scenario-file", "");
+        dirOptions.command = "run";
+        std::ostringstream resolved;
+        config::dumpResolved(config, point.tree, resolved);
+        dirOptions.resolvedConfig = resolved.str();
+        std::vector<std::string> written = core::writeRunDir(
+            dirOptions, config, result, low, high,
+            config.obs);
+        if (written.empty())
+            sim::fatal("cannot write run directory '", outDir, "'");
+        std::printf("wrote %zu artifacts to %s (report with: "
+                    "polcactl report %s)\n",
+                    written.size(), outDir.c_str(), outDir.c_str());
+    }
 
     analysis::Table table({"Metric", "Value"});
     table.row().cell("Power brake events")
@@ -654,6 +693,25 @@ cmdRun(const Args &args)
             ? static_cast<int>(core::ThreadPool::defaultWorkerCount())
             : static_cast<int>(jobs);
     }
+
+    // Sweep provenance: the manifest digest covers every point's
+    // fully-resolved configuration, labels included.
+    options.writeManifest = true;
+    options.manifest.command = "sweep";
+    options.manifest.scenarioPath = args.text("scenario-file", "");
+    std::ostringstream resolved;
+    for (const config::ResolvedScenario &point : set.points) {
+        resolved << "# point: " << point.label << "\n";
+        config::dumpResolved(point.config, point.tree, resolved);
+    }
+    options.manifest.configDigest = obs::fnv1a64Hex(resolved.str());
+    options.manifest.seed = set.points.front().config.seed;
+    options.manifest.jobs = options.jobs;
+    options.manifest.durationS =
+        sim::ticksToSeconds(set.points.front().config.duration);
+    options.manifest.metricsIntervalS = sim::ticksToSeconds(
+        set.points.front().config.obsOptions.metricsInterval);
+
     core::SweepRunner runner(std::move(points), std::move(options));
     const std::vector<core::SweepPointResult> &results = runner.run();
 
@@ -721,12 +779,14 @@ cmdChaos(const Args &args)
 
     std::string outDir = args.text("out-dir", "");
     std::ofstream csv;
+    std::vector<std::string> artifacts;
     if (!outDir.empty()) {
         std::filesystem::create_directories(outDir);
         csv.open(std::filesystem::path(outDir) / "chaos_summary.csv");
         csv << "run,seed,controller_crashes,server_crashes,"
                "failsafe_entries,failsafe_s,mttr_max_s,caps_stale_s,"
                "brake_s,violations\n";
+        artifacts.push_back("chaos_summary.csv");
     }
 
     std::printf("Chaos campaign: %d runs (base seed %llu, intensity "
@@ -794,11 +854,30 @@ cmdChaos(const Args &args)
             std::ofstream traceFile(tracePath);
             if (traceFile)
                 observability.trace.exportChromeJson(traceFile);
+            artifacts.push_back(tracePath.filename().string());
             std::printf("run %d: wrote reproduction trace %s\n", i,
                         tracePath.string().c_str());
         }
     }
     table.print(std::cout);
+
+    if (!outDir.empty()) {
+        obs::RunManifest manifest;
+        manifest.command = "chaos";
+        manifest.scenarioPath = args.text("scenario-file", "");
+        std::ostringstream resolved;
+        config::dumpResolved(base, set.points.front().tree, resolved);
+        manifest.configDigest = obs::fnv1a64Hex(resolved.str());
+        manifest.seed = baseSeed;
+        manifest.durationS = sim::ticksToSeconds(base.duration);
+        manifest.metricsIntervalS =
+            sim::ticksToSeconds(base.obsOptions.metricsInterval);
+        manifest.artifacts = artifacts;
+        std::ofstream ms(std::filesystem::path(outDir) /
+                         "manifest.json");
+        if (ms)
+            manifest.writeJson(ms);
+    }
 
     std::printf("\n%d runs, %llu safety violation%s\n", runs,
                 static_cast<unsigned long long>(totalViolations),
@@ -809,6 +888,32 @@ cmdChaos(const Args &args)
         return 1;
     }
     return 0;
+}
+
+/** `polcactl report <run-dir>`: render report.md + report.html from
+ *  the artifacts a previous run wrote. */
+int
+cmdReport(const Args &args)
+{
+    if (args.positional().empty()) {
+        std::fprintf(stderr,
+                     "report: no run directory given "
+                     "(usage: polcactl report <run-dir>)\n");
+        return 2;
+    }
+    int failures = 0;
+    for (const std::string &dir : args.positional()) {
+        obs::ReportResult result = obs::writeRunReport(dir);
+        if (!result.ok) {
+            std::fprintf(stderr, "report: %s\n",
+                         result.error.c_str());
+            ++failures;
+            continue;
+        }
+        for (const std::string &path : result.written)
+            std::printf("wrote %s\n", path.c_str());
+    }
+    return failures == 0 ? 0 : 2;
 }
 
 int
@@ -886,6 +991,8 @@ main(int argc, char **argv)
                              {"runs", "seed", "scenario-file", "set",
                               "out-dir"}));
     }
+    if (command == "report")
+        return cmdReport(Args(argc, argv, 2, {}));
     if (command == "scenarios")
         return cmdScenarios();
     if (command == "config") {
