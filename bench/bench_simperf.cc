@@ -155,6 +155,46 @@ BM_ClusterHourEndToEndIntervalStats(benchmark::State &state)
 BENCHMARK(BM_ClusterHourEndToEndIntervalStats)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Site-mode end to end: a heterogeneous power-domain tree
+ * (range(0) rows per group x two groups, 20 servers per row) for a
+ * simulated 10 minutes.  Exercises the per-rack/row/site rollup
+ * managers and breakers on top of the serving cells; CI gates it
+ * with bench_compare like the flat cluster-hour run.
+ */
+void
+BM_SiteEndToEnd(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    for (auto _ : state) {
+        core::ExperimentConfig config;
+        config.duration = sim::secondsToTicks(600.0);
+        config.seed = 9;
+        config.topology.enabled = true;
+        config.topology.rowBudgetFraction = 0.9;
+        cluster::TopologyRowGroup a100;
+        a100.name = "a100";
+        a100.rows = static_cast<int>(state.range(0));
+        a100.racksPerRow = 2;
+        a100.serversPerRack = 10;
+        config.topology.groups.push_back(a100);
+        cluster::TopologyRowGroup h100;
+        h100.name = "h100";
+        h100.rows = static_cast<int>(state.range(0));
+        h100.racksPerRow = 2;
+        h100.serversPerRack = 10;
+        h100.server = "DGX-H100";
+        h100.model = "Llama2-70B";
+        config.topology.groups.push_back(h100);
+        core::ExperimentResult result =
+            runOversubExperiment(config);
+        benchmark::DoNotOptimize(result.lowCompletions);
+        benchmark::DoNotOptimize(result.domains.size());
+    }
+}
+BENCHMARK(BM_SiteEndToEnd)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

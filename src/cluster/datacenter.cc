@@ -10,21 +10,26 @@ Datacenter::Datacenter(sim::Simulation &sim, DatacenterConfig config,
 {
     if (config_.numRows <= 0)
         sim::fatal("Datacenter: non-positive row count");
+
+    PowerDomain::Options siteOptions;
+    siteOptions.name = "site";
+    siteOptions.level = DomainLevel::Site;
+    site_ = std::make_unique<PowerDomain>(sim_, siteOptions);
+
     rows_.reserve(static_cast<std::size_t>(config_.numRows));
     for (int i = 0; i < config_.numRows; ++i) {
         rows_.push_back(std::make_unique<Row>(
             sim_, config_.row,
-            rng.fork(static_cast<std::uint64_t>(i) + 1)));
+            rng.fork(static_cast<std::uint64_t>(i) + 1), *site_,
+            "row" + std::to_string(i)));
     }
+    site_->finalize();
 }
 
 int
 Datacenter::numServers() const
 {
-    int total = 0;
-    for (const auto &row : rows_)
-        total += row->numServers();
-    return total;
+    return site_->numServers();
 }
 
 double
@@ -39,17 +44,14 @@ Datacenter::provisionedWatts() const
 double
 Datacenter::powerWatts() const
 {
-    double total = 0.0;
-    for (const auto &row : rows_)
-        total += row->powerWatts();
-    return total;
+    return site_->powerWatts();
 }
 
 std::uint64_t
-Datacenter::completions(workload::Priority priority)
+Datacenter::completions(workload::Priority priority) const
 {
     std::uint64_t total = 0;
-    for (auto &row : rows_)
+    for (const auto &row : rows_)
         total += row->dispatcher().completions(priority);
     return total;
 }

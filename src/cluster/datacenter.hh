@@ -5,6 +5,12 @@
  * Power is provisioned and oversubscribed per row — the PDU breaker
  * is the aggregation level POLCA acts on — while this layer rolls up
  * fleet-wide statistics.
+ *
+ * A Datacenter is a thin view over the power-domain tree: it owns a
+ * site-level PowerDomain root whose children are the rows' domains,
+ * so fleet power is the compositional rollup of the per-row draws.
+ * Heterogeneous multi-level sites (racks, mixed row groups, per-level
+ * breakers) are built by cluster::Site (topology.hh) instead.
  */
 
 #pragma once
@@ -12,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/power_domain.hh"
 #include "cluster/row.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
@@ -43,6 +50,14 @@ class Datacenter
 
     int numRows() const { return static_cast<int>(rows_.size()); }
     Row &row(int index) { return *rows_.at(static_cast<std::size_t>(index)); }
+    const Row &row(int index) const
+    {
+        return *rows_.at(static_cast<std::size_t>(index));
+    }
+
+    /** Site-level root of the power-domain tree. */
+    PowerDomain &site() { return *site_; }
+    const PowerDomain &site() const { return *site_; }
 
     /** Total deployed servers across rows. */
     int numServers() const;
@@ -54,13 +69,13 @@ class Datacenter
     double powerWatts() const;
 
     /** Fleet-wide completions across rows. */
-    std::uint64_t completions(workload::Priority priority);
+    std::uint64_t completions(workload::Priority priority) const;
 
   private:
     sim::Simulation &sim_;
     DatacenterConfig config_;
+    std::unique_ptr<PowerDomain> site_;
     std::vector<std::unique_ptr<Row>> rows_;
 };
 
 } // namespace polca::cluster
-

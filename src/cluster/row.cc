@@ -13,26 +13,56 @@ Row::Row(sim::Simulation &sim, RowConfig config, sim::Rng rng)
                  ? *config_.modelOverride
                  : llm::ModelCatalog().byName(config_.modelName))
 {
+    ownedDomain_ =
+        std::make_unique<PowerDomain>(sim_, domainOptions("row"));
+    domain_ = ownedDomain_.get();
+    populate(rng);
+}
+
+Row::Row(sim::Simulation &sim, RowConfig config, sim::Rng rng,
+         PowerDomain &parent, std::string name)
+    : sim_(sim), config_(std::move(config)),
+      model_(config_.modelOverride
+                 ? *config_.modelOverride
+                 : llm::ModelCatalog().byName(config_.modelName))
+{
+    domain_ = &parent.addChild(domainOptions(std::move(name)));
+    populate(rng);
+}
+
+PowerDomain::Options
+Row::domainOptions(std::string name) const
+{
     if (config_.baseServers <= 0)
         sim::fatal("Row: non-positive base server count");
     if (config_.addedServerFraction < 0.0)
         sim::fatal("Row: negative added-server fraction");
 
+    PowerDomain::Options options;
+    options.name = std::move(name);
+    options.level = DomainLevel::Row;
+    options.budgetWatts =
+        config_.provisionedPerServerWatts * config_.baseServers;
+    options.telemetryInterval = config_.telemetryInterval;
+    options.recordSeries = config_.recordPowerSeries;
+    return options;
+}
+
+void
+Row::populate(sim::Rng &rng)
+{
     int total = config_.baseServers + static_cast<int>(std::lround(
         config_.addedServerFraction * config_.baseServers));
 
     dispatcher_ = std::make_unique<Dispatcher>(sim_, rng.fork(0x0d15));
-    rowManager_ = std::make_unique<telemetry::RowManager>(
-        sim_, config_.telemetryInterval, config_.recordPowerSeries);
     if (config_.telemetryDropoutProbability > 0.0) {
-        rowManager_->setDropoutProbability(
+        domain_->manager()->setDropoutProbability(
             config_.telemetryDropoutProbability, rng.fork(0xD80));
     }
 
     std::vector<workload::Priority> priorities =
         allocatePriorities(total, config_.lpServerFraction);
 
-    servers_.reserve(static_cast<std::size_t>(total));
     for (int i = 0; i < total; ++i) {
         auto server = std::make_unique<InferenceServer>(
             sim_, config_.serverSpec, model_,
@@ -45,53 +75,16 @@ Row::Row(sim::Simulation &sim, RowConfig config, sim::Rng rng)
         if (config_.maxBatchSize > 1)
             server->setMaxBatchSize(config_.maxBatchSize);
         dispatcher_->addServer(server.get());
-        InferenceServer *raw = server.get();
-        rowManager_->addSource([raw] { return raw->powerWatts(); });
-        servers_.push_back(std::move(server));
+        domain_->addServer(std::move(server),
+                           config_.provisionedPerServerWatts);
     }
-    rowManager_->start();
-}
-
-double
-Row::provisionedWatts() const
-{
-    return config_.provisionedPerServerWatts * config_.baseServers;
-}
-
-std::vector<InferenceServer *>
-Row::servers()
-{
-    std::vector<InferenceServer *> out;
-    out.reserve(servers_.size());
-    for (auto &server : servers_)
-        out.push_back(server.get());
-    return out;
-}
-
-std::vector<InferenceServer *>
-Row::pool(workload::Priority priority)
-{
-    std::vector<InferenceServer *> out;
-    for (auto &server : servers_) {
-        if (server->pool() == priority)
-            out.push_back(server.get());
-    }
-    return out;
-}
-
-double
-Row::powerWatts() const
-{
-    double total = 0.0;
-    for (const auto &server : servers_)
-        total += server->powerWatts();
-    return total;
+    domain_->finalize();
 }
 
 void
 Row::setPowerScaleFactor(double factor)
 {
-    for (auto &server : servers_)
+    for (InferenceServer *server : domain_->servers())
         server->setPowerScaleFactor(factor);
 }
 

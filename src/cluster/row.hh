@@ -2,8 +2,15 @@
  * @file
  * One datacenter row (PDU domain): the unit at which power is
  * provisioned, measured, and oversubscribed (Figure 2, Table 2).
- * Bundles the servers, the load-balancing dispatcher, and the row
- * manager telemetry into the object POLCA manages.
+ *
+ * Since the topology layer grew into the cluster::PowerDomain tree,
+ * a Row is a thin view over a row-level domain whose children are
+ * its server leaves: the domain owns the servers and the aggregating
+ * telemetry::DomainManager, while the Row bundles the load-balancing
+ * dispatcher and the row-scoped configuration into the object POLCA
+ * manages.  A Row can stand alone (it owns its domain) or live
+ * inside a larger tree (a Datacenter site, where the domain is a
+ * child of the site root).
  */
 
 #pragma once
@@ -15,6 +22,7 @@
 
 #include "cluster/dispatcher.hh"
 #include "cluster/inference_server.hh"
+#include "cluster/power_domain.hh"
 #include "llm/model_spec.hh"
 #include "power/server_model.hh"
 #include "sim/random.hh"
@@ -80,32 +88,54 @@ struct RowConfig
 };
 
 /**
- * Owns the servers of one row plus their dispatcher and telemetry.
+ * View over a row-level power domain plus the row's dispatcher.
  */
 class Row
 {
   public:
+    /** Stand-alone row: owns its power domain. */
     Row(sim::Simulation &sim, RowConfig config, sim::Rng rng);
+
+    /** Row built as the child @p name of @p parent in an existing
+     *  domain tree (the Datacenter site root). */
+    Row(sim::Simulation &sim, RowConfig config, sim::Rng rng,
+        PowerDomain &parent, std::string name);
 
     const RowConfig &config() const { return config_; }
 
     /** Deployed servers (base + added). */
-    int numServers() const { return static_cast<int>(servers_.size()); }
+    int numServers() const { return domain_->numServers(); }
 
     /** Row power budget, watts. */
-    double provisionedWatts() const;
+    double provisionedWatts() const { return domain_->budgetWatts(); }
 
     Dispatcher &dispatcher() { return *dispatcher_; }
-    telemetry::RowManager &rowManager() { return *rowManager_; }
+    const Dispatcher &dispatcher() const { return *dispatcher_; }
 
-    /** All servers (owned by the row). */
-    std::vector<InferenceServer *> servers();
+    telemetry::RowManager &rowManager() { return *domain_->manager(); }
+    const telemetry::RowManager &rowManager() const
+    {
+        return *domain_->manager();
+    }
+
+    /** The backing node of the power-domain tree. */
+    PowerDomain &domain() { return *domain_; }
+    const PowerDomain &domain() const { return *domain_; }
+
+    /** All servers (owned by the row's domain). */
+    std::vector<InferenceServer *> servers()
+    {
+        return domain_->servers();
+    }
 
     /** Servers in the @p priority pool. */
-    std::vector<InferenceServer *> pool(workload::Priority priority);
+    std::vector<InferenceServer *> pool(workload::Priority priority)
+    {
+        return domain_->pool(priority);
+    }
 
     /** Current total row draw (instantaneous, not telemetry). */
-    double powerWatts() const;
+    double powerWatts() const { return domain_->powerWatts(); }
 
     /** Apply the +x% power-intensity experiment to every server. */
     void setPowerScaleFactor(double factor);
@@ -114,13 +144,19 @@ class Row
     const llm::ModelSpec &model() const { return model_; }
 
   private:
+    PowerDomain::Options domainOptions(std::string name) const;
+    void populate(sim::Rng &rng);
+
     sim::Simulation &sim_;
     RowConfig config_;
     llm::ModelSpec model_;
-    std::vector<std::unique_ptr<InferenceServer>> servers_;
+
+    /** Set when the row stands alone; domain_ always points at the
+     *  row's node (owned here or by the parent tree). */
+    std::unique_ptr<PowerDomain> ownedDomain_;
+    PowerDomain *domain_ = nullptr;
+
     std::unique_ptr<Dispatcher> dispatcher_;
-    std::unique_ptr<telemetry::RowManager> rowManager_;
 };
 
 } // namespace polca::cluster
-

@@ -247,6 +247,60 @@ rowConfigSchema()
     return schema;
 }
 
+const StructSchema<cluster::TopologyConfig> &
+topologyConfigSchema()
+{
+    static const StructSchema<cluster::TopologyConfig> schema = [] {
+        StructSchema<cluster::TopologyConfig> s("topology");
+        using T = cluster::TopologyConfig;
+        s.boolField("enabled", &T::enabled)
+            .tickField("telemetry_interval", &T::telemetryInterval,
+                       0.01, 3600.0)
+            .field("row_budget_fraction", &T::rowBudgetFraction,
+                   Unit::Fraction, 0.05, 2.0)
+            .field("site_budget_fraction", &T::siteBudgetFraction,
+                   Unit::Fraction, 0.05, 2.0)
+            // 0 disarms the breaker at that level.
+            .field("rack_breaker_limit_fraction",
+                   &T::rackBreakerLimitFraction, Unit::Fraction, 0.0,
+                   5.0)
+            .field("row_breaker_limit_fraction",
+                   &T::rowBreakerLimitFraction, Unit::Fraction, 0.0,
+                   5.0)
+            .field("site_breaker_limit_fraction",
+                   &T::siteBreakerLimitFraction, Unit::Fraction, 0.0,
+                   5.0)
+            .tickField("breaker_trip_duration",
+                       &T::breakerTripDuration, 0.1, 86400.0)
+            .boolField("manage_rows", &T::manageRows)
+            .boolField("record_series", &T::recordSeries);
+        return s;
+    }();
+    return schema;
+}
+
+const StructSchema<cluster::TopologyRowGroup> &
+topologyRowGroupSchema()
+{
+    static const StructSchema<cluster::TopologyRowGroup> schema = [] {
+        StructSchema<cluster::TopologyRowGroup> s("topology.rows");
+        using G = cluster::TopologyRowGroup;
+        s.stringField("name", &G::name)
+            .intField("rows", &G::rows, 1, 10000)
+            .intField("racks_per_row", &G::racksPerRow, 1, 1000)
+            .intField("servers_per_rack", &G::serversPerRack, 1, 1000)
+            .stringField("server", &G::server)
+            .stringField("model", &G::model)
+            .field("lp_server_fraction", &G::lpServerFraction,
+                   Unit::Fraction, 0.0, 1.0)
+            .field("provisioned_per_server_watts",
+                   &G::provisionedPerServerWatts, Unit::Watts, 100.0,
+                   100000.0);
+        return s;
+    }();
+    return schema;
+}
+
 const StructSchema<core::ThresholdRule> &
 thresholdRuleSchema()
 {

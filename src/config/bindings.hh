@@ -13,6 +13,7 @@
 #pragma once
 
 #include "cluster/row.hh"
+#include "cluster/topology.hh"
 #include "config/schema.hh"
 #include "core/oversub_experiment.hh"
 #include "core/policy.hh"
@@ -34,6 +35,8 @@ const StructSchema<llm::ModelSpec> &modelSpecSchema();
 const StructSchema<workload::WorkloadSpec> &workloadSpecSchema();
 const StructSchema<workload::DiurnalModel::Params> &diurnalSchema();
 const StructSchema<cluster::RowConfig> &rowConfigSchema();
+const StructSchema<cluster::TopologyConfig> &topologyConfigSchema();
+const StructSchema<cluster::TopologyRowGroup> &topologyRowGroupSchema();
 const StructSchema<core::ThresholdRule> &thresholdRuleSchema();
 const StructSchema<core::PolicyConfig> &policyConfigSchema();
 const StructSchema<core::ManagerOptions> &managerOptionsSchema();

@@ -17,9 +17,9 @@ const std::vector<std::string> &
 topLevelSections()
 {
     static const std::vector<std::string> sections = {
-        "experiment", "row",    "model", "policy", "manager",
-        "workload",   "faults", "chaos", "safety", "obs",
-        "sweep",
+        "experiment", "row",    "model",    "policy", "manager",
+        "workload",   "faults", "chaos",    "safety", "obs",
+        "sweep",      "topology",
     };
     return sections;
 }
@@ -524,6 +524,120 @@ bindFaults(const ConfigNode &root, core::ExperimentConfig &config,
     return ok;
 }
 
+/** True when the group name is safe inside a dotted metric path. */
+bool
+validGroupName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_'))
+            return false;
+    }
+    return true;
+}
+
+bool
+bindTopology(const ConfigNode &root, core::ExperimentConfig &config,
+             Diagnostics &diag)
+{
+    const ConfigNode *section = root.find("topology");
+    if (!section)
+        return true;
+    if (section->kind != ConfigNode::Kind::Section) {
+        diag.error(section->loc, "[topology] must be a section");
+        return false;
+    }
+
+    bool ok = topologyConfigSchema().apply(*section, config.topology,
+                                           diag, {"rows"});
+
+    if (const ConfigNode *rows = section->find("rows")) {
+        if (rows->kind != ConfigNode::Kind::List) {
+            diag.error(rows->loc, "topology.rows must be a list of "
+                       "[[topology.rows]] tables");
+            return false;
+        }
+        llm::ModelCatalog catalog;
+        config.topology.groups.clear();
+        for (const ConfigNode &item : rows->items) {
+            if (item.kind != ConfigNode::Kind::Section) {
+                diag.error(item.loc, "[[topology.rows]] entries must "
+                           "be tables");
+                ok = false;
+                continue;
+            }
+            cluster::TopologyRowGroup group{};
+            if (!topologyRowGroupSchema().apply(item, group, diag)) {
+                ok = false;
+                continue;
+            }
+            if (!validGroupName(group.name)) {
+                diag.error(item.loc, "[[topology.rows]] name '" +
+                           group.name + "' must be lowercase "
+                           "[a-z0-9_] (it becomes a metric-path "
+                           "segment)");
+                ok = false;
+            }
+            if (group.server != "DGX-A100-80GB" &&
+                group.server != "DGX-A100-40GB" &&
+                group.server != "DGX-H100") {
+                diag.error(item.loc, "[[topology.rows]] '" +
+                           group.name + "': unknown server preset '" +
+                           group.server + "' (use DGX-A100-80GB|"
+                           "DGX-A100-40GB|DGX-H100)");
+                ok = false;
+            }
+            if (!catalog.contains(group.model)) {
+                diag.error(item.loc, "[[topology.rows]] '" +
+                           group.name + "': unknown model '" +
+                           group.model + "' (not in the Table 3 "
+                           "catalog)");
+                ok = false;
+            }
+            for (const cluster::TopologyRowGroup &other :
+                 config.topology.groups) {
+                if (other.name == group.name) {
+                    diag.error(item.loc, "[[topology.rows]] "
+                               "duplicate group name '" + group.name +
+                               "'");
+                    ok = false;
+                }
+            }
+            config.topology.groups.push_back(group);
+        }
+    }
+
+    if (config.topology.enabled) {
+        if (config.topology.groups.empty()) {
+            diag.error(section->loc, "[topology]: enabled without "
+                       "any [[topology.rows]] groups");
+            ok = false;
+        }
+        // Site mode runs many serving cells; the single-row fault
+        // and chaos machinery does not apply to it (yet).  Reject
+        // *armed* plans rather than section presence so a resolved
+        // dump (which always emits [chaos]) still reparses.
+        const faults::FaultPlan &plan = config.faultPlan;
+        bool hasFaults = plan.burstyLoss.enabled ||
+            !plan.blackouts.empty() || !plan.sensorFaults.empty() ||
+            !plan.oobOutages.empty() || !plan.crashes.empty() ||
+            !plan.controllerCrashes.empty();
+        if (hasFaults) {
+            diag.error(section->loc, "[topology]: site mode does not "
+                       "support fault injection ([faults])");
+            ok = false;
+        }
+        if (config.chaos.enabled) {
+            diag.error(section->loc, "[topology]: site mode does not "
+                       "support chaos generation ([chaos])");
+            ok = false;
+        }
+    }
+    return ok;
+}
+
 } // namespace
 
 llm::ModelSpec
@@ -621,6 +735,9 @@ bindExperiment(const ConfigNode &root, core::ExperimentConfig &config,
                                       diag))
             ok = false;
     }
+    // After [faults]/[chaos]: site mode rejects armed plans.
+    if (!bindTopology(root, config, diag))
+        ok = false;
     return ok;
 }
 
@@ -952,6 +1069,11 @@ dumpResolved(const core::ExperimentConfig &config,
                 source, "safety");
     dumpSection(os, "obs", config.obsOptions, obsOptionsSchema(),
                 source, "obs");
+    dumpSection(os, "topology", config.topology,
+                topologyConfigSchema(), source, "topology");
+    dumpBlocks(os, "topology.rows", config.topology.groups,
+               topologyRowGroupSchema(), source, "topology.rows",
+               "default");
 }
 
 bool
@@ -1029,6 +1151,15 @@ resolvedConfigsEqual(const core::ExperimentConfig &a,
         return false;
     if (!obsOptionsSchema().equal(a.obsOptions, b.obsOptions))
         return false;
+    if (!topologyConfigSchema().equal(a.topology, b.topology))
+        return false;
+    if (a.topology.groups.size() != b.topology.groups.size())
+        return false;
+    for (std::size_t i = 0; i < a.topology.groups.size(); ++i) {
+        if (!topologyRowGroupSchema().equal(a.topology.groups[i],
+                                            b.topology.groups[i]))
+            return false;
+    }
     return true;
 }
 

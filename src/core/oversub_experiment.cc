@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/site_experiment.hh"
 #include "faults/fault_injector.hh"
 #include "llm/phase_model.hh"
 #include "sim/logging.hh"
@@ -61,6 +62,9 @@ mergeFaultPlans(faults::FaultPlan &into, faults::FaultPlan add)
 ExperimentResult
 runOversubExperiment(const ExperimentConfig &config)
 {
+    if (config.topology.enabled)
+        return runSiteExperiment(config);
+
     sim::Simulation sim(config.seed);
 
     cluster::RowConfig rowConfig = config.row;

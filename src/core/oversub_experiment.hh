@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/row.hh"
+#include "cluster/topology.hh"
 #include "core/policy.hh"
 #include "core/power_manager.hh"
 #include "core/safety_monitor.hh"
@@ -44,6 +45,17 @@ struct ObsOptions
 struct ExperimentConfig
 {
     cluster::RowConfig row;
+
+    /**
+     * Hierarchical site topology ([topology] section).  Disabled,
+     * the experiment runs the paper's single flat row built from
+     * `row`; enabled, it builds the heterogeneous
+     * servers → racks → rows → site tree described by the groups
+     * (with `row` supplying the shared per-server knobs) and runs
+     * every row's serving cell under per-level breakers and budgets.
+     */
+    cluster::TopologyConfig topology;
+
     PolicyConfig policy = PolicyConfig::polca();
 
     /** false = run without any power manager (unthrottled). */
@@ -133,6 +145,51 @@ struct LatencyStats
     static LatencyStats from(const sim::Sampler &sampler);
 };
 
+/**
+ * Per-domain rollup of one site-mode run: one entry per non-leaf
+ * tree node, in pre-order (site first, then each row followed by its
+ * racks).  Feeds domains.csv and the `polcactl report` rollup table.
+ */
+struct DomainStats
+{
+    std::string path;   ///< dotted metric path ("site.row3.rack1")
+    std::string level;  ///< "site" | "row" | "rack"
+    int servers = 0;
+
+    double provisionedWatts = 0.0;   ///< nameplate sum of leaf budgets
+    double budgetWatts = 0.0;        ///< oversubscription budget
+    double breakerLimitWatts = 0.0;  ///< 0 = no breaker at this level
+
+    /** Over delivered telemetry readings at this domain. */
+    double peakWatts = 0.0;
+    double meanWatts = 0.0;
+
+    /** @name Breaker accounting (zero when no breaker armed) */
+    /** @{ */
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t breakerNearTrips = 0;
+    double overdrawWattSeconds = 0.0;
+    double secondsAboveBudget = 0.0;
+    /** @} */
+
+    /** @name Serving-cell stats (rows only) */
+    /** @{ */
+    std::uint64_t completions = 0;
+    double lowP99 = 0.0;
+    double highP99 = 0.0;
+    std::uint64_t capCommands = 0;
+    std::uint64_t powerBrakeEvents = 0;
+    std::uint64_t violations = 0;  ///< safety breaches at this level
+    /** @} */
+};
+
+/** One domain's recorded power trace (site mode, when recording). */
+struct DomainPowerSeries
+{
+    std::string path;
+    sim::TimeSeries series;
+};
+
 /** Everything a policy evaluation reports. */
 struct ExperimentResult
 {
@@ -204,6 +261,16 @@ struct ExperimentResult
     sim::Tick hpLockedTicks = 0;
 
     sim::TimeSeries rowPowerSeries;  ///< empty unless recorded
+
+    /** @name Site-mode rollups (empty for flat-row runs) */
+    /** @{ */
+    /** Per-level stats, pre-order over the tree's non-leaf nodes. */
+    std::vector<DomainStats> domains;
+
+    /** Per-row power traces (recordRowSeries only); the site trace
+     *  in rowPowerSeries is their compositional per-tick sum. */
+    std::vector<DomainPowerSeries> domainPowerSeries;
+    /** @} */
 };
 
 /** Run one experiment end to end. */

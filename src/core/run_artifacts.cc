@@ -122,6 +122,70 @@ writeViolationsCsv(const fs::path &path,
     return true;
 }
 
+/** Per-level rollup of a site-mode run (one row per tree node). */
+bool
+writeDomainsCsv(const fs::path &path, const ExperimentResult &result)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    analysis::CsvWriter csv(os);
+    csv.header({"path", "level", "servers", "provisioned_watts",
+                "budget_watts", "breaker_limit_watts", "peak_watts",
+                "mean_watts", "breaker_trips", "breaker_near_trips",
+                "overdraw_watt_seconds", "seconds_above_budget",
+                "completions", "lp_p99_s", "hp_p99_s", "cap_commands",
+                "brake_events", "violations"});
+    for (const DomainStats &d : result.domains) {
+        csv.rowStrings({d.path, d.level, std::to_string(d.servers),
+                        fmt(d.provisionedWatts), fmt(d.budgetWatts),
+                        fmt(d.breakerLimitWatts), fmt(d.peakWatts),
+                        fmt(d.meanWatts), fmtCount(d.breakerTrips),
+                        fmtCount(d.breakerNearTrips),
+                        fmt(d.overdrawWattSeconds),
+                        fmt(d.secondsAboveBudget),
+                        fmtCount(d.completions), fmt(d.lowP99),
+                        fmt(d.highP99), fmtCount(d.capCommands),
+                        fmtCount(d.powerBrakeEvents),
+                        fmtCount(d.violations)});
+    }
+    return true;
+}
+
+/**
+ * Compositional site power trace (Wilkins et al.): the site column
+ * plus one column per row, sampled on the shared telemetry cadence —
+ * each site sample is the rollup of that tick's row samples.
+ */
+bool
+writeSitePowerCsv(const fs::path &path, const ExperimentResult &result)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    analysis::CsvWriter csv(os);
+
+    std::vector<std::string> header{"time_s", "site"};
+    for (const DomainPowerSeries &row : result.domainPowerSeries)
+        header.push_back(row.path);
+    csv.header(header);
+
+    const sim::TimeSeries &site = result.rowPowerSeries;
+    for (std::size_t i = 0; i < site.size(); ++i) {
+        std::vector<std::string> cells;
+        cells.reserve(2 + result.domainPowerSeries.size());
+        cells.push_back(fmt(sim::ticksToSeconds(site.at(i).time)));
+        cells.push_back(fmt(site.at(i).value));
+        for (const DomainPowerSeries &row : result.domainPowerSeries) {
+            cells.push_back(i < row.series.size()
+                                ? fmt(row.series.at(i).value)
+                                : fmt(0.0));
+        }
+        csv.rowStrings(cells);
+    }
+    return true;
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -157,6 +221,18 @@ writeRunDir(const RunDirOptions &options,
         if (!writeViolationsCsv(dir / "violations.csv", result))
             return {};
         written.push_back("violations.csv");
+    }
+
+    if (!result.domains.empty()) {
+        if (!writeDomainsCsv(dir / "domains.csv", result))
+            return {};
+        written.push_back("domains.csv");
+    }
+
+    if (!result.domainPowerSeries.empty()) {
+        if (!writeSitePowerCsv(dir / "site_power.csv", result))
+            return {};
+        written.push_back("site_power.csv");
     }
 
     if (obs) {

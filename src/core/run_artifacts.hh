@@ -11,6 +11,9 @@
  *   violations.csv      safety-monitor breaches (when armed)
  *   metrics.csv         cumulative registry dump (when observed)
  *   stats_interval.csv  interval snapshots (when cadence was set)
+ *   domains.csv         per-level tree rollup (site mode)
+ *   site_power.csv      compositional site + per-row power trace
+ *                       (site mode, when recording series)
  *
  * Everything is derived from the run's deterministic state; no
  * wall-clock values are written, so same-seed runs produce

@@ -1,0 +1,409 @@
+#include "core/site_experiment.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "llm/phase_model.hh"
+#include "sim/logging.hh"
+#include "telemetry/energy_meter.hh"
+#include "workload/trace_gen.hh"
+
+namespace polca::core {
+
+namespace {
+
+/** Same safety-limit derivation as the flat-row harness, scoped to
+ *  one row's budget and breaker. */
+SafetyMonitor::Limits
+rowSafetyLimits(const ExperimentConfig &config, double budgetWatts,
+                double breakerLimitWatts)
+{
+    SafetyMonitor::Limits limits;
+    limits.provisionedWatts = budgetWatts;
+    limits.breakerLimitWatts = breakerLimitWatts > 0.0
+        ? breakerLimitWatts
+        : budgetWatts / 0.8;
+    limits.breakerGrace = config.topology.breakerTripDuration;
+    limits.failSafeDeadline =
+        config.manager.watchdogTimeout + config.safety.failSafeMargin;
+    limits.capReleaseDeadline = config.safety.capReleaseDeadline;
+    limits.maxBrakeTimeFraction = config.safety.maxBrakeTimeFraction;
+    limits.checkInterval = config.safety.checkInterval;
+    limits.quietUtilization = config.policy.powerBrakeEnabled
+        ? config.policy.powerBrakeReleaseFraction
+        : 1.0;
+    for (const ThresholdRule &rule : config.policy.rules) {
+        limits.quietUtilization =
+            std::min(limits.quietUtilization, rule.uncapFraction);
+        if (limits.capFloorMhz == 0.0 ||
+            rule.lockMhz < limits.capFloorMhz)
+            limits.capFloorMhz = rule.lockMhz;
+    }
+    return limits;
+}
+
+} // namespace
+
+ExperimentResult
+runSiteExperiment(const ExperimentConfig &config)
+{
+    if (config.externalTrace)
+        sim::fatal("site mode does not support external traces");
+    if (!config.faultPlan.empty() || config.chaos.enabled)
+        sim::fatal("site mode does not support fault/chaos injection");
+
+    sim::Simulation sim(config.seed);
+
+    cluster::TopologyConfig topology = config.topology;
+    topology.recordSeries =
+        config.topology.recordSeries || config.recordRowSeries;
+    cluster::Site site(sim, topology, config.row,
+                       sim.rng().fork(0xA110));
+
+    if (config.powerScaleFactor != 1.0) {
+        for (cluster::InferenceServer *server : site.root().servers())
+            server->setPowerScaleFactor(config.powerScaleFactor);
+    }
+
+    // Per-domain telemetry statistics, fed by manager listeners.
+    std::map<const cluster::PowerDomain *, sim::Accumulator> wattsAcc;
+    site.root().visit([&wattsAcc](cluster::PowerDomain &domain) {
+        telemetry::DomainManager *manager = domain.manager();
+        if (!manager)
+            return;
+        sim::Accumulator &acc = wattsAcc[&domain];
+        manager->addListener(
+            [&acc](sim::Tick, double watts) { acc.add(watts); });
+    });
+
+    obs::Observability *obs = config.obs;
+    if (obs) {
+        // The site root doubles as "the row" for the flat telemetry
+        // namespace, so dashboards (and the report timeline) read
+        // the site rollup from telemetry.latest_row_watts.
+        site.root().manager()->attachObservability(obs);
+        site.root().visit([obs](cluster::PowerDomain &domain) {
+            if (domain.isLeaf())
+                return;
+            if (domain.manager())
+                domain.manager()->attachDomainObservability(
+                    obs, domain.path());
+            if (domain.breaker())
+                domain.breaker()->attachObservability(
+                    obs, domain.path() + ".breaker");
+        });
+        for (cluster::Site::SiteRow &row : site.rows())
+            row.dispatcher->attachObservability(obs);
+        for (cluster::InferenceServer *server : site.root().servers())
+            server->attachObservability(obs);
+        obs->metrics
+            .gauge("sim.events_processed", "event callbacks executed")
+            .setSource([&sim] {
+                return static_cast<double>(sim.queue().numProcessed());
+            });
+        obs->metrics
+            .gauge("sim.queue_high_water",
+                   "most events pending at once")
+            .setSource([&sim] {
+                return static_cast<double>(
+                    sim.queue().highWaterMark());
+            });
+        obs->metrics
+            .gauge("sim.final_time_s", "simulated time at run end")
+            .setSource(
+                [&sim] { return sim::ticksToSeconds(sim.now()); });
+    }
+
+    // One trace per row, keyed by row *name* (forkPath of the trace
+    // master seed), so a row's offered load is invariant to the rest
+    // of the site layout.
+    sim::Rng traceMaster(config.seed ^ 0x7ace);
+    std::vector<workload::Trace> traces;
+    traces.reserve(site.rows().size());
+    for (cluster::Site::SiteRow &row : site.rows()) {
+        workload::TraceGenerator generator(config.mix);
+        llm::PhaseModel phases(row.model);
+        workload::TraceGenOptions traceOptions;
+        traceOptions.duration = config.duration;
+        traceOptions.numServers = row.domain->numServers();
+        traceOptions.serviceSecondsPerRequest =
+            generator.expectedServiceSeconds(phases);
+        traceOptions.diurnal = config.diurnal;
+        traceOptions.seed = traceMaster.forkPath(row.name).seed();
+        traces.push_back(generator.generate(traceOptions));
+    }
+
+    telemetry::EnergyMeter energy(
+        sim, [&site] { return site.root().powerWatts(); });
+    energy.start();
+
+    // Site utilization against the site budget, from the root
+    // manager's delivered readings (mirrors the flat-row harness).
+    sim::Accumulator utilization;
+    double siteBudget = site.root().budgetWatts();
+    site.root().manager()->addListener(
+        [&utilization, siteBudget](sim::Tick, double watts) {
+            utilization.add(watts / siteBudget);
+        });
+
+    // One POLCA manager per row, capping against the row's
+    // *effective* budget: the row budget shrunk by any tighter
+    // ancestor budget shared out pro rata (parent-budget awareness).
+    std::vector<std::unique_ptr<PowerManager>> managers;
+    if (config.managed && topology.manageRows) {
+        for (cluster::Site::SiteRow &row : site.rows()) {
+            auto manager = std::make_unique<PowerManager>(
+                sim, *row.domain->manager(),
+                row.domain->effectiveBudgetWatts(), config.policy,
+                row.rng.fork(0x90CA), config.manager);
+            if (obs)
+                manager->attachObservability(obs);
+            for (workload::Priority pool :
+                 {workload::Priority::Low, workload::Priority::High}) {
+                for (cluster::InferenceServer *server :
+                     row.domain->pool(pool))
+                    manager->addTarget(pool, server);
+            }
+            manager->start();
+            managers.push_back(std::move(manager));
+        }
+    }
+
+    std::vector<std::unique_ptr<SafetyMonitor>> monitors;
+    if (config.safety.monitor) {
+        for (std::size_t i = 0; i < site.rows().size(); ++i) {
+            cluster::Site::SiteRow &row = site.rows()[i];
+            cluster::PowerDomain *domain = row.domain;
+            SafetyMonitor::Limits limits = rowSafetyLimits(
+                config, domain->budgetWatts(),
+                domain->breaker() ? domain->breaker()->breakerLimitWatts()
+                                  : 0.0);
+            auto monitor = std::make_unique<SafetyMonitor>(
+                sim, limits, [domain] { return domain->powerWatts(); },
+                i < managers.size() ? managers[i].get() : nullptr);
+            if (obs)
+                monitor->attachObservability(obs);
+            monitor->attachTelemetry(*domain->manager());
+            monitor->start();
+            monitors.push_back(std::move(monitor));
+        }
+    }
+
+    for (std::size_t i = 0; i < site.rows().size(); ++i)
+        site.rows()[i].dispatcher->injectTrace(traces[i]);
+
+    std::unique_ptr<sim::Simulation::PeriodicTask> statsTask;
+    if (obs && config.obsOptions.metricsInterval > 0) {
+        statsTask = sim.every(
+            config.obsOptions.metricsInterval, [obs](sim::Tick at) {
+                obs->interval.snapshot(sim::ticksToSeconds(at),
+                                       obs->metrics);
+            });
+    }
+
+    auto wallStart = std::chrono::steady_clock::now();
+    sim.runUntil(config.duration);
+    for (auto &monitor : monitors)
+        monitor->finish(config.duration);
+    if (statsTask) {
+        obs->interval.snapshot(sim::ticksToSeconds(config.duration),
+                               obs->metrics);
+        statsTask->stop();
+    }
+    if (obs) {
+        double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
+        obs::Gauge &rate = obs->metrics.gauge(
+            "sim.wallclock_events_per_s",
+            "event callbacks per wall-clock second (volatile)");
+        rate.setVolatile(true);
+        rate.set(wallSeconds > 0.0
+                     ? static_cast<double>(sim.queue().numProcessed()) /
+                           wallSeconds
+                     : 0.0);
+        obs->metrics.freezeGauges();
+    }
+
+    ExperimentResult result;
+
+    // Fleet latency/throughput: merge every row's serving cell.
+    sim::Sampler lowAll;
+    sim::Sampler highAll;
+    std::vector<sim::Sampler> byWorkload;
+    for (cluster::Site::SiteRow &row : site.rows()) {
+        const cluster::Dispatcher &dispatcher = *row.dispatcher;
+        for (double v :
+             dispatcher.latencySeconds(workload::Priority::Low).values())
+            lowAll.add(v);
+        for (double v :
+             dispatcher.latencySeconds(workload::Priority::High).values())
+            highAll.add(v);
+        const std::vector<sim::Sampler> &perClass =
+            dispatcher.latencyByWorkload();
+        if (byWorkload.size() < perClass.size())
+            byWorkload.resize(perClass.size());
+        for (std::size_t w = 0; w < perClass.size(); ++w) {
+            for (double v : perClass[w].values())
+                byWorkload[w].add(v);
+        }
+        result.lowThroughput +=
+            dispatcher.throughput(workload::Priority::Low);
+        result.highThroughput +=
+            dispatcher.throughput(workload::Priority::High);
+        result.lowArrivals +=
+            dispatcher.arrivals(workload::Priority::Low);
+        result.highArrivals +=
+            dispatcher.arrivals(workload::Priority::High);
+        result.lowCompletions +=
+            dispatcher.completions(workload::Priority::Low);
+        result.highCompletions +=
+            dispatcher.completions(workload::Priority::High);
+    }
+    result.low = LatencyStats::from(lowAll);
+    result.high = LatencyStats::from(highAll);
+    for (const sim::Sampler &sampler : byWorkload)
+        result.byWorkload.push_back(LatencyStats::from(sampler));
+
+    result.energyKwh = energy.kilowattHours();
+    std::uint64_t completions =
+        result.lowCompletions + result.highCompletions;
+    if (completions > 0) {
+        result.energyPerRequestKj = energy.joules() / 1000.0 /
+            static_cast<double>(completions);
+    }
+
+    if (utilization.count() > 0) {
+        result.maxUtilization = utilization.max();
+        result.meanUtilization = utilization.mean();
+    }
+
+    for (const auto &manager : managers) {
+        result.powerBrakeEvents += manager->powerBrakeEvents();
+        result.capCommands += manager->capCommands();
+        result.uncapCommands += manager->uncapCommands();
+        result.reissuedCommands += manager->reissuedCommands();
+        result.lpLockedTicks +=
+            manager->lockedTicks(workload::Priority::Low);
+        result.hpLockedTicks +=
+            manager->lockedTicks(workload::Priority::High);
+        result.failSafeEntries += manager->failSafeEntries();
+        result.failSafeTicks += manager->failSafeTicks();
+        result.flaggedChannels += manager->flaggedChannels();
+        result.controllerCrashes += manager->controllerCrashes();
+        result.controllerRecoveries += manager->controllerRecoveries();
+        result.controllerDownTicks += manager->controllerDownTicks();
+        result.mttrTotalTicks += manager->mttrTotalTicks();
+        result.mttrMaxTicks =
+            std::max(result.mttrMaxTicks, manager->mttrMaxTicks());
+        result.timeToFailSafeMaxTicks =
+            std::max(result.timeToFailSafeMaxTicks,
+                     manager->timeToFailSafeMaxTicks());
+        result.capsHeldStaleTicks += manager->capsHeldStaleTicks();
+        result.staleTicks += manager->staleTicks();
+        result.brakeTicks += manager->brakeTicks();
+        result.modeTransitions += manager->modeTransitions();
+    }
+
+    for (const auto &monitor : monitors) {
+        const std::vector<SafetyViolation> &violations =
+            monitor->violations();
+        result.violations.insert(result.violations.end(),
+                                 violations.begin(), violations.end());
+    }
+
+    // The headline breaker columns report the *site* breaker — the
+    // upstream protection the whole tree must not trip.
+    if (const telemetry::BreakerModel *siteBreaker =
+            site.root().breaker()) {
+        result.breakerTrips = siteBreaker->trips();
+        result.breakerNearTrips = siteBreaker->nearTrips();
+        result.firstBreakerTrip = siteBreaker->firstTripTime();
+        result.ticksAboveProvisioned =
+            siteBreaker->ticksAboveProvisioned();
+        result.overdrawWattSeconds =
+            siteBreaker->overdrawWattSeconds();
+        result.longestOverLimitStreak =
+            siteBreaker->longestOverLimitStreak();
+    }
+
+    // Per-level rollup, pre-order so the site row leads the table.
+    std::map<const cluster::PowerDomain *, std::size_t> rowIndex;
+    for (std::size_t i = 0; i < site.rows().size(); ++i)
+        rowIndex[site.rows()[i].domain] = i;
+    site.root().visit([&](const cluster::PowerDomain &domain) {
+        if (domain.isLeaf())
+            return;
+        DomainStats stats;
+        stats.path = domain.path();
+        stats.level = cluster::toString(domain.level());
+        stats.servers = domain.numServers();
+        stats.provisionedWatts = domain.provisionedWatts();
+        stats.budgetWatts = domain.budgetWatts();
+        auto accIt = wattsAcc.find(&domain);
+        if (accIt != wattsAcc.end() && accIt->second.count() > 0) {
+            stats.peakWatts = accIt->second.max();
+            stats.meanWatts = accIt->second.mean();
+        }
+        if (const telemetry::BreakerModel *breaker = domain.breaker()) {
+            stats.breakerLimitWatts = breaker->breakerLimitWatts();
+            stats.breakerTrips = breaker->trips();
+            stats.breakerNearTrips = breaker->nearTrips();
+            stats.overdrawWattSeconds = breaker->overdrawWattSeconds();
+            stats.secondsAboveBudget = sim::ticksToSeconds(
+                breaker->ticksAboveProvisioned());
+        }
+        auto rowIt = rowIndex.find(&domain);
+        if (rowIt != rowIndex.end()) {
+            std::size_t i = rowIt->second;
+            const cluster::Dispatcher &dispatcher =
+                *site.rows()[i].dispatcher;
+            stats.completions =
+                dispatcher.completions(workload::Priority::Low) +
+                dispatcher.completions(workload::Priority::High);
+            const sim::Sampler &low =
+                dispatcher.latencySeconds(workload::Priority::Low);
+            const sim::Sampler &high =
+                dispatcher.latencySeconds(workload::Priority::High);
+            if (!low.empty())
+                stats.lowP99 = low.p99();
+            if (!high.empty())
+                stats.highP99 = high.p99();
+            if (i < managers.size()) {
+                stats.capCommands = managers[i]->capCommands();
+                stats.powerBrakeEvents =
+                    managers[i]->powerBrakeEvents();
+            }
+            if (i < monitors.size()) {
+                stats.violations = static_cast<std::uint64_t>(
+                    monitors[i]->violations().size());
+            }
+        }
+        result.domains.push_back(std::move(stats));
+    });
+
+    site.root().visit([&result](const cluster::PowerDomain &domain) {
+        if (domain.manager())
+            result.droppedReadings +=
+                domain.manager()->droppedReadings();
+    });
+    for (const cluster::InferenceServer *server :
+         static_cast<const cluster::PowerDomain &>(site.root())
+             .servers())
+        result.droppedRequests += server->droppedRequests();
+
+    if (topology.recordSeries) {
+        result.rowPowerSeries = site.root().manager()->series();
+        for (const cluster::Site::SiteRow &row : site.rows()) {
+            DomainPowerSeries series;
+            series.path = row.domain->path();
+            series.series = row.domain->manager()->series();
+            result.domainPowerSeries.push_back(std::move(series));
+        }
+    }
+    return result;
+}
+
+} // namespace polca::core

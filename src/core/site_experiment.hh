@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Site-mode experiment harness: the topology-enabled half of
+ * runOversubExperiment (oversub_experiment.hh).  Builds the
+ * heterogeneous power-domain tree from ExperimentConfig::topology,
+ * runs every row's serving cell under per-level breakers and
+ * budgets, and rolls per-domain stats into the shared
+ * ExperimentResult.
+ */
+
+#pragma once
+
+#include "core/oversub_experiment.hh"
+
+namespace polca::core {
+
+/**
+ * Run a site-scale experiment end to end.  Callers go through
+ * runOversubExperiment(), which dispatches here when
+ * config.topology.enabled; the split keeps the flat-row harness —
+ * whose trajectories are pinned bit-for-bit by the determinism
+ * suite — untouched by site-mode evolution.
+ *
+ * Site mode restricts a few flat-row features: external traces and
+ * fault/chaos injection are not supported (config check rejects
+ * them), and pool auto-balancing is ignored because every group
+ * declares its split explicitly.
+ */
+ExperimentResult runSiteExperiment(const ExperimentConfig &config);
+
+} // namespace polca::core

@@ -493,6 +493,8 @@ writeRunReport(const std::string &runDir)
                     /*recoveryKeys=*/true);
     violationsSection(doc, loadCsv(dir / "violations.csv"),
                       fs::exists(dir / "violations.csv"));
+    csvSection(doc, "Topology rollup",
+               loadCsv(dir / "domains.csv"));
     csvSection(doc, "Sweep comparison",
                loadCsv(dir / "summary.csv"));
     csvSection(doc, "Chaos campaign",

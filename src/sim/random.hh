@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 #include <vector>
 
 namespace polca::sim {
@@ -51,6 +52,27 @@ class Rng
         mixed *= 0x94D049BB133111EBull;
         mixed ^= mixed >> 29;
         return Rng(mixed);
+    }
+
+    /**
+     * Fork an independent child stream keyed by a name (e.g. a power
+     * domain's name).  The salt is the FNV-1a 64-bit hash of
+     * @p segment, mixed with this stream's seed exactly like fork(),
+     * so the stream a named child receives depends only on
+     * (parent seed, name): adding or removing sibling components
+     * never reshuffles it, unlike sequential draws or index-based
+     * salts.  Nested forkPath() calls key a stream by its full path.
+     */
+    Rng
+    forkPath(std::string_view segment) const
+    {
+        std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset
+        for (char c : segment) {
+            hash ^= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(c));
+            hash *= 0x100000001b3ull;  // FNV-1a prime
+        }
+        return fork(hash);
     }
 
     /** Uniform double in [0, 1). */

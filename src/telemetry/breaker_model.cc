@@ -44,7 +44,8 @@ BreakerModel::stop()
 }
 
 void
-BreakerModel::attachObservability(obs::Observability *obs)
+BreakerModel::attachObservability(obs::Observability *obs,
+                                  const std::string &prefix)
 {
     if (!obs) {
         trace_ = nullptr;
@@ -54,18 +55,18 @@ BreakerModel::attachObservability(obs::Observability *obs)
         return;
     }
     trace_ = &obs->trace;
-    tripStat_ = &obs->metrics.counter("breaker.trips",
-                                      "row breaker trips");
+    tripStat_ = &obs->metrics.counter(prefix + ".trips",
+                                      "breaker trips at this domain");
     nearTripStat_ = &obs->metrics.counter(
-        "breaker.near_trips",
+        prefix + ".near_trips",
         "above-limit streaks that nearly tripped");
     windupStat_ = &obs->metrics.histogram(
-        "breaker.windup_occupancy", 0.0, 1.0, 10,
+        prefix + ".windup_occupancy", 0.0, 1.0, 10,
         "fraction of the trip windup each streak reached");
     // 1 W .. 10 MW at 1 % relative error; sampled only while the
     // draw is actually above provisioned.
     overdrawStat_ = &obs->metrics.logHistogram(
-        "breaker.overdraw_watts", 1.0, 1e7, 0.01,
+        prefix + ".overdraw_watts", 1.0, 1e7, 0.01,
         "watts above provisioned, per sample while overdrawn");
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "obs/observability.hh"
 #include "sim/simulation.hh"
@@ -75,8 +76,15 @@ class BreakerModel
      * Register trip/near-trip counters, the windup-occupancy
      * histogram (fraction of tripDuration each above-limit streak
      * reached), and windup/trip trace events with @p obs.
+     *
+     * @p prefix names the metric namespace: the flat "breaker"
+     * default keeps the historical row-experiment names
+     * (breaker.trips, ...); hierarchical topologies pass the
+     * domain's metric path (e.g. "site.row3.breaker") so every
+     * level's breaker reports under its own namespace.
      */
-    void attachObservability(obs::Observability *obs);
+    void attachObservability(obs::Observability *obs,
+                             const std::string &prefix = "breaker");
 
     /** Begin sampling the supply. */
     void start();

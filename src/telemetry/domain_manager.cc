@@ -1,34 +1,34 @@
-#include "telemetry/row_manager.hh"
+#include "telemetry/domain_manager.hh"
 
 #include "core/contracts.hh"
 #include "sim/logging.hh"
 
 namespace polca::telemetry {
 
-RowManager::RowManager(sim::Simulation &sim, sim::Tick interval,
-                       bool recordSeries)
+DomainManager::DomainManager(sim::Simulation &sim, sim::Tick interval,
+                             bool recordSeries)
     : sim_(sim), interval_(interval), recordSeries_(recordSeries)
 {
     if (interval_ <= 0)
-        sim::fatal("RowManager: non-positive interval");
+        sim::fatal("DomainManager: non-positive interval");
 }
 
 void
-RowManager::addSource(PowerSource source)
+DomainManager::addSource(PowerSource source)
 {
     POLCA_CHECK(static_cast<bool>(source), "empty power source");
     sources_.push_back(std::move(source));
 }
 
 void
-RowManager::addListener(Listener listener)
+DomainManager::addListener(Listener listener)
 {
     POLCA_CHECK(static_cast<bool>(listener), "empty listener");
     listeners_.push_back(std::move(listener));
 }
 
 void
-RowManager::start()
+DomainManager::start()
 {
     if (task_)
         return;
@@ -37,13 +37,13 @@ RowManager::start()
 }
 
 void
-RowManager::stop()
+DomainManager::stop()
 {
     task_.reset();
 }
 
 double
-RowManager::readNow()
+DomainManager::readNow()
 {
     double total = 0.0;
     for (const auto &source : sources_)
@@ -52,17 +52,17 @@ RowManager::readNow()
 }
 
 void
-RowManager::setDropoutProbability(double probability, sim::Rng rng)
+DomainManager::setDropoutProbability(double probability, sim::Rng rng)
 {
     if (probability < 0.0 || probability >= 1.0)
-        sim::fatal("RowManager: dropout probability ", probability,
+        sim::fatal("DomainManager: dropout probability ", probability,
                    " outside [0,1)");
     dropoutProbability_ = probability;
     dropoutRng_ = rng;
 }
 
 void
-RowManager::attachObservability(obs::Observability *obs)
+DomainManager::attachObservability(obs::Observability *obs)
 {
     if (!obs) {
         trace_ = nullptr;
@@ -90,7 +90,19 @@ RowManager::attachObservability(obs::Observability *obs)
 }
 
 void
-RowManager::sample(sim::Tick now)
+DomainManager::attachDomainObservability(obs::Observability *obs,
+                                         const std::string &path)
+{
+    if (!obs)
+        return;
+    obs->metrics
+        .gauge(path + ".power",
+               "latest rolled-up power reading at this domain (watts)")
+        .setSource([this] { return latest_; });
+}
+
+void
+DomainManager::sample(sim::Tick now)
 {
     if (dropoutProbability_ > 0.0 &&
         dropoutRng_.bernoulli(dropoutProbability_)) {

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Domain manager: out-of-band aggregation of one power domain's draw
+ * on a periodic cadence.  For a row (PDU) domain this is the paper's
+ * 2 s row telemetry (Table 1) that POLCA caps from, because the row
+ * is where statistical multiplexing of prompt/token phases pays off
+ * (Insight 9).  The same machinery aggregates racks, rows, and whole
+ * sites: every non-leaf cluster::PowerDomain owns a DomainManager
+ * whose sources are its children, so readings roll up the tree with
+ * each level sampling on its own cadence.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/observability.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/timeseries.hh"
+
+namespace polca::telemetry {
+
+/**
+ * Periodically sums power across registered sources and notifies
+ * listeners.  Sources are polled at reading time (step-accurate for
+ * the 2 s cadence).
+ */
+class DomainManager
+{
+  public:
+    using PowerSource = std::function<double()>;
+    using Listener = std::function<void(sim::Tick, double)>;
+
+    /**
+     * Hook applied to every periodic reading before it is recorded
+     * and delivered.  Returning std::nullopt drops the reading
+     * (counted in droppedReadings()); returning a value replaces the
+     * measured watts (sensor corruption).  One hook at a time; the
+     * fault-injection subsystem (faults::FaultInjector) composes its
+     * scenarios into a single hook.
+     */
+    using FaultHook =
+        std::function<std::optional<double>(sim::Tick, double)>;
+
+    DomainManager(sim::Simulation &sim,
+                  sim::Tick interval = sim::secondsToTicks(2),
+                  bool recordSeries = true);
+
+    /**
+     * Inject reading dropout: each periodic reading is silently
+     * skipped with probability @p probability (OOB telemetry "may
+     * sometimes fail", Section 3.3).  Listeners simply do not fire
+     * for dropped readings.
+     */
+    void setDropoutProbability(double probability, sim::Rng rng);
+
+    /** Install (or clear, with an empty function) the fault hook.
+     *  Applied after the i.i.d. dropout filter. */
+    void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
+
+    /**
+     * Register reading delivery/drop/corruption counters and row
+     * trace events with @p obs (which must outlive this object).
+     * Metric names keep the flat `telemetry.*` namespace the
+     * single-row experiments always used.  Null detaches.
+     */
+    void attachObservability(obs::Observability *obs);
+
+    /**
+     * Register this manager's latest reading as the per-domain gauge
+     * `<path>.power` (e.g. `site.row3.power`), giving each tree
+     * level its own metric namespace.  Composable with
+     * attachObservability(); @p obs must outlive this object.
+     */
+    void attachDomainObservability(obs::Observability *obs,
+                                   const std::string &path);
+
+    /** Register a power source (e.g. one server's draw, or a child
+     *  domain's rolled-up draw). */
+    void addSource(PowerSource source);
+
+    /** Register a reading listener (e.g. the POLCA manager). */
+    void addListener(Listener listener);
+
+    /** Begin periodic readings; start() after stop() resumes the
+     *  periodic schedule (first reading one interval later). */
+    void start();
+
+    /** Stop readings. */
+    void stop();
+
+    /** @return true while the periodic schedule is active. */
+    bool running() const { return task_ != nullptr; }
+
+    /** Sampling interval. */
+    sim::Tick interval() const { return interval_; }
+
+    /** Latest domain power reading (0 before the first). */
+    double latestReading() const { return latest_; }
+
+    /** Tick of the latest reading. */
+    sim::Tick latestReadingTime() const { return latestTime_; }
+
+    /** Full reading history (empty when recording disabled). */
+    const sim::TimeSeries &series() const { return series_; }
+
+    /** Take an immediate reading outside the periodic schedule. */
+    double readNow();
+
+    /** Readings silently dropped so far. */
+    std::uint64_t droppedReadings() const { return dropped_; }
+
+  private:
+    void sample(sim::Tick now);
+
+    sim::Simulation &sim_;
+    sim::Tick interval_;
+    bool recordSeries_;
+    std::vector<PowerSource> sources_;
+    std::vector<Listener> listeners_;
+    sim::TimeSeries series_;
+    double latest_ = 0.0;
+    sim::Tick latestTime_ = 0;
+    double dropoutProbability_ = 0.0;
+    sim::Rng dropoutRng_;
+    FaultHook faultHook_;
+    std::uint64_t dropped_ = 0;
+    std::unique_ptr<sim::Simulation::PeriodicTask> task_;
+
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::Counter *deliveredStat_ = nullptr;
+    obs::Counter *droppedStat_ = nullptr;
+    obs::Counter *corruptedStat_ = nullptr;
+    obs::LogHistogram *rowWattsStat_ = nullptr;
+};
+
+} // namespace polca::telemetry

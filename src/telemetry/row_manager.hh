@@ -1,128 +1,18 @@
 /**
  * @file
- * Row manager: out-of-band aggregation of row (PDU) power every 2 s
- * (Table 1).  POLCA makes its capping decisions from this reading
- * because the row is where statistical multiplexing of prompt/token
- * phases pays off (Insight 9).
+ * Backwards-compatible alias: the row manager was generalized into
+ * telemetry::DomainManager (domain_manager.hh) when the flat
+ * Row/Datacenter topology grew into the cluster::PowerDomain tree.
+ * A "row manager" is simply the domain manager of a row-level
+ * domain; existing call sites keep the RowManager name.
  */
 
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "obs/observability.hh"
-#include "sim/random.hh"
-#include "sim/simulation.hh"
-#include "sim/timeseries.hh"
+#include "telemetry/domain_manager.hh"
 
 namespace polca::telemetry {
 
-/**
- * Periodically sums power across registered sources and notifies
- * listeners.  Sources are polled at reading time (step-accurate for
- * the 2 s cadence).
- */
-class RowManager
-{
-  public:
-    using PowerSource = std::function<double()>;
-    using Listener = std::function<void(sim::Tick, double)>;
-
-    /**
-     * Hook applied to every periodic reading before it is recorded
-     * and delivered.  Returning std::nullopt drops the reading
-     * (counted in droppedReadings()); returning a value replaces the
-     * measured watts (sensor corruption).  One hook at a time; the
-     * fault-injection subsystem (faults::FaultInjector) composes its
-     * scenarios into a single hook.
-     */
-    using FaultHook =
-        std::function<std::optional<double>(sim::Tick, double)>;
-
-    RowManager(sim::Simulation &sim,
-               sim::Tick interval = sim::secondsToTicks(2),
-               bool recordSeries = true);
-
-    /**
-     * Inject reading dropout: each periodic reading is silently
-     * skipped with probability @p probability (OOB telemetry "may
-     * sometimes fail", Section 3.3).  Listeners simply do not fire
-     * for dropped readings.
-     */
-    void setDropoutProbability(double probability, sim::Rng rng);
-
-    /** Install (or clear, with an empty function) the fault hook.
-     *  Applied after the i.i.d. dropout filter. */
-    void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
-
-    /**
-     * Register reading delivery/drop/corruption counters and row
-     * trace events with @p obs (which must outlive this object).
-     * Null detaches.
-     */
-    void attachObservability(obs::Observability *obs);
-
-    /** Register a power source (e.g. one server's draw). */
-    void addSource(PowerSource source);
-
-    /** Register a reading listener (e.g. the POLCA manager). */
-    void addListener(Listener listener);
-
-    /** Begin periodic readings; start() after stop() resumes the
-     *  periodic schedule (first reading one interval later). */
-    void start();
-
-    /** Stop readings. */
-    void stop();
-
-    /** @return true while the periodic schedule is active. */
-    bool running() const { return task_ != nullptr; }
-
-    /** Sampling interval. */
-    sim::Tick interval() const { return interval_; }
-
-    /** Latest row power reading (0 before the first). */
-    double latestReading() const { return latest_; }
-
-    /** Tick of the latest reading. */
-    sim::Tick latestReadingTime() const { return latestTime_; }
-
-    /** Full reading history (empty when recording disabled). */
-    const sim::TimeSeries &series() const { return series_; }
-
-    /** Take an immediate reading outside the periodic schedule. */
-    double readNow();
-
-    /** Readings silently dropped so far. */
-    std::uint64_t droppedReadings() const { return dropped_; }
-
-  private:
-    void sample(sim::Tick now);
-
-    sim::Simulation &sim_;
-    sim::Tick interval_;
-    bool recordSeries_;
-    std::vector<PowerSource> sources_;
-    std::vector<Listener> listeners_;
-    sim::TimeSeries series_;
-    double latest_ = 0.0;
-    sim::Tick latestTime_ = 0;
-    double dropoutProbability_ = 0.0;
-    sim::Rng dropoutRng_;
-    FaultHook faultHook_;
-    std::uint64_t dropped_ = 0;
-    std::unique_ptr<sim::Simulation::PeriodicTask> task_;
-
-    obs::TraceRecorder *trace_ = nullptr;
-    obs::Counter *deliveredStat_ = nullptr;
-    obs::Counter *droppedStat_ = nullptr;
-    obs::Counter *corruptedStat_ = nullptr;
-    obs::LogHistogram *rowWattsStat_ = nullptr;
-};
+using RowManager = DomainManager;
 
 } // namespace polca::telemetry
-

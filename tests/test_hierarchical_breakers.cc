@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Hierarchical breaker accounting over the power-domain tree: each
+ * level's breaker watches only its own rollup, so protection at one
+ * level is independent of the levels above and below it — a site can
+ * trip while every row clears, and one hot row can trip while the
+ * site rides through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/power_domain.hh"
+#include "sim/timeseries.hh"
+
+using namespace polca::cluster;
+using namespace polca::telemetry;
+using namespace polca::sim;
+
+namespace {
+
+PowerDomain::Options
+domain(std::string name, DomainLevel level, double budget,
+       Tick interval = 0, bool record = false)
+{
+    PowerDomain::Options options;
+    options.name = std::move(name);
+    options.level = level;
+    options.budgetWatts = budget;
+    options.telemetryInterval = interval;
+    options.recordSeries = record;
+    return options;
+}
+
+BreakerModel::Config
+breaker(double limitWatts)
+{
+    BreakerModel::Config config;
+    config.breakerLimitWatts = limitWatts;
+    config.tripDuration = secondsToTicks(10);
+    return config;
+}
+
+} // namespace
+
+TEST(HierarchicalBreakers, SiteTripsWhileEveryRowClears)
+{
+    // Two rows, each drawing 90 W against a 120 W row limit — both
+    // clear.  The site breaker sees their 180 W sum against a 160 W
+    // limit and trips.
+    Simulation sim;
+    PowerDomain site(sim, domain("site", DomainLevel::Site, 150.0));
+    PowerDomain &row0 =
+        site.addChild(domain("r0", DomainLevel::Row, 100.0));
+    PowerDomain &row1 =
+        site.addChild(domain("r1", DomainLevel::Row, 100.0));
+    row0.addLeaf("a", [] { return 90.0; }, 100.0);
+    row1.addLeaf("b", [] { return 90.0; }, 100.0);
+    row0.armBreaker(breaker(120.0));
+    row1.armBreaker(breaker(120.0));
+    site.armBreaker(breaker(160.0));
+    site.finalize();
+
+    sim.runFor(secondsToTicks(60));
+
+    EXPECT_TRUE(site.breaker()->tripped());
+    EXPECT_FALSE(row0.breaker()->tripped());
+    EXPECT_FALSE(row1.breaker()->tripped());
+}
+
+TEST(HierarchicalBreakers, RowTripsWhileSiteClears)
+{
+    // One hot row above its own limit; the site rollup stays well
+    // under the site limit because the other row idles.
+    Simulation sim;
+    PowerDomain site(sim, domain("site", DomainLevel::Site, 300.0));
+    PowerDomain &hot =
+        site.addChild(domain("r0", DomainLevel::Row, 100.0));
+    PowerDomain &cold =
+        site.addChild(domain("r1", DomainLevel::Row, 100.0));
+    hot.addLeaf("a", [] { return 140.0; }, 100.0);
+    cold.addLeaf("b", [] { return 10.0; }, 100.0);
+    hot.armBreaker(breaker(120.0));
+    cold.armBreaker(breaker(120.0));
+    site.armBreaker(breaker(300.0));
+    site.finalize();
+
+    sim.runFor(secondsToTicks(60));
+
+    EXPECT_TRUE(hot.breaker()->tripped());
+    EXPECT_FALSE(cold.breaker()->tripped());
+    EXPECT_FALSE(site.breaker()->tripped());
+}
+
+TEST(HierarchicalBreakers, SiteTraceIsExactRowSumAtEveryTick)
+{
+    // The compositional invariant (Wilkins et al.): at every shared
+    // telemetry tick the site reading equals the sum of the row
+    // readings bit for bit, because the parent's sources are
+    // per-child rollups evaluated at the same instant.
+    Simulation sim(3);
+    Tick interval = secondsToTicks(2);
+    PowerDomain site(sim, domain("site", DomainLevel::Site, 0.0,
+                                 interval, /*record=*/true));
+    PowerDomain &row0 = site.addChild(
+        domain("r0", DomainLevel::Row, 0.0, interval, true));
+    PowerDomain &row1 = site.addChild(
+        domain("r1", DomainLevel::Row, 0.0, interval, true));
+
+    // Time-varying, irrational-ish draws so float identity is a real
+    // statement and not an artifact of round numbers.
+    row0.addLeaf("a", [&sim] {
+        return 90.0 + 13.7 * std::sin(ticksToSeconds(sim.now()));
+    }, 100.0);
+    row0.addLeaf("b", [&sim] {
+        return 45.3 + 7.1 * std::cos(0.3 * ticksToSeconds(sim.now()));
+    }, 100.0);
+    row1.addLeaf("c", [&sim] {
+        return 61.9 + 11.3 * std::sin(0.7 * ticksToSeconds(sim.now()));
+    }, 100.0);
+    site.finalize();
+
+    sim.runFor(secondsToTicks(120));
+
+    const TimeSeries &siteSeries = site.manager()->series();
+    const TimeSeries &s0 = row0.manager()->series();
+    const TimeSeries &s1 = row1.manager()->series();
+    ASSERT_GT(siteSeries.size(), 10u);
+    ASSERT_EQ(siteSeries.size(), s0.size());
+    ASSERT_EQ(siteSeries.size(), s1.size());
+    for (std::size_t i = 0; i < siteSeries.size(); ++i) {
+        EXPECT_EQ(siteSeries.at(i).time, s0.at(i).time);
+        // Exact equality on purpose: the rollup must be the
+        // left-to-right float sum, not an approximation of it.
+        EXPECT_EQ(siteSeries.at(i).value,
+                  s0.at(i).value + s1.at(i).value);
+    }
+}
+
+TEST(HierarchicalBreakers, NearTripAccountsAtItsOwnLevelOnly)
+{
+    // A site-level excursion shorter than the trip duration counts a
+    // near trip at the site; the rows never even see their budgets.
+    Simulation sim;
+    PowerDomain site(sim, domain("site", DomainLevel::Site, 150.0));
+    PowerDomain &row0 =
+        site.addChild(domain("r0", DomainLevel::Row, 100.0));
+    PowerDomain &row1 =
+        site.addChild(domain("r1", DomainLevel::Row, 100.0));
+    // Above the 160 W site limit for 8 s of the 10 s trip windup,
+    // then back down: a near trip.
+    row0.addLeaf("a", [&sim] {
+        double t = ticksToSeconds(sim.now());
+        return (t >= 10.0 && t < 18.0) ? 95.0 : 60.0;
+    }, 100.0);
+    row1.addLeaf("b", [&sim] {
+        double t = ticksToSeconds(sim.now());
+        return (t >= 10.0 && t < 18.0) ? 95.0 : 60.0;
+    }, 100.0);
+    row0.armBreaker(breaker(120.0));
+    row1.armBreaker(breaker(120.0));
+    site.armBreaker(breaker(160.0));
+    site.finalize();
+
+    sim.runFor(secondsToTicks(60));
+
+    EXPECT_FALSE(site.breaker()->tripped());
+    EXPECT_EQ(site.breaker()->nearTrips(), 1u);
+    EXPECT_EQ(row0.breaker()->nearTrips(), 0u);
+    EXPECT_EQ(row1.breaker()->nearTrips(), 0u);
+}

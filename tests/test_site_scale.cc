@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scale demonstration: a 10k-server heterogeneous site runs end to
+ * end inside the ctest budget, and two same-seed runs write
+ * byte-identical artifact directories (manifest included).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/oversub_experiment.hh"
+#include "core/run_artifacts.hh"
+
+namespace {
+
+using namespace polca;
+using namespace polca::core;
+namespace fs = std::filesystem;
+
+ExperimentConfig
+tenThousandServerSite()
+{
+    ExperimentConfig config;
+    config.seed = 7;
+    config.duration = sim::secondsToTicks(30);
+    config.topology.enabled = true;
+    config.topology.rowBudgetFraction = 0.9;
+    config.topology.siteBudgetFraction = 0.92;
+    cluster::TopologyRowGroup a;
+    a.name = "a100";
+    a.rows = 6;
+    a.racksPerRow = 24;
+    a.serversPerRack = 42;
+    config.topology.groups.push_back(a);
+    cluster::TopologyRowGroup h;
+    h.name = "h100";
+    h.rows = 4;
+    h.racksPerRow = 24;
+    h.serversPerRack = 42;
+    h.server = "DGX-H100";
+    h.model = "Llama2-70B";
+    config.topology.groups.push_back(h);
+    return config;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+std::vector<std::string>
+writeSiteRun(const fs::path &dir)
+{
+    ExperimentConfig config = tenThousandServerSite();
+    ExperimentResult result = runOversubExperiment(config);
+    EXPECT_GT(result.lowCompletions + result.highCompletions, 0u);
+    EXPECT_EQ(result.domains.front().servers, 10080);
+
+    RunDirOptions options;
+    options.dir = dir.string();
+    options.scenarioPath = "scenarios/site_10k.toml";
+    options.resolvedConfig = "stub";
+    return writeRunDir(options, config, result, NormalizedLatency{},
+                       NormalizedLatency{}, nullptr);
+}
+
+} // namespace
+
+TEST(SiteScale, TenThousandServersRunByteIdentically)
+{
+    fs::path base = fs::temp_directory_path() / "polca_site_scale";
+    fs::remove_all(base);
+    fs::path dirA = base / "a";
+    fs::path dirB = base / "b";
+
+    std::vector<std::string> writtenA = writeSiteRun(dirA);
+    std::vector<std::string> writtenB = writeSiteRun(dirB);
+    ASSERT_FALSE(writtenA.empty());
+    ASSERT_EQ(writtenA, writtenB);
+
+    // manifest.json first, domains.csv present.
+    EXPECT_EQ(writtenA.front(), "manifest.json");
+    EXPECT_NE(std::find(writtenA.begin(), writtenA.end(),
+                        "domains.csv"),
+              writtenA.end());
+
+    for (const std::string &name : writtenA) {
+        EXPECT_EQ(slurp(dirA / name), slurp(dirB / name))
+            << name << " differs between same-seed runs";
+    }
+    fs::remove_all(base);
+}

@@ -19,4 +19,8 @@ registerStats(Registry &registry)
     registry.logHistogram(
         "manager..dwell", 0.0, 1.0, 0.01);  // empty path segment
     registry.counter(".leading.dot");
+    // Hierarchical domain paths obey the same convention at every
+    // level of the tree:
+    registry.gauge("site.Row3.power");       // uppercase segment
+    registry.counter("site.row3.rack 1.trips");  // space in segment
 }

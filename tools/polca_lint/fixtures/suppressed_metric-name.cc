@@ -18,6 +18,10 @@ registerStats(Registry &registry, const char *dynamicName)
     registry.histogram("smbpbi.apply_latency_s", 0.0, 1.0, 4);
     registry.logHistogram(
         "dispatcher.queue_delay_s", 0.001, 100.0, 0.01);
+    // Hierarchical domain paths (site -> row -> rack) are dotted
+    // lowercase segments, so they conform as-is:
+    registry.gauge("site.row3.rack1.power");
+    registry.counter("site.h1000.breaker_trips");
     registry.counter(dynamicName);  // non-literal: skipped
     // A documented legacy exception rides on a suppression:
     registry.counter("LegacyName");  // polca-lint: allow(metric-name)

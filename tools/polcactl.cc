@@ -528,13 +528,25 @@ runSinglePoint(const Args &args, config::ResolvedScenario &point)
         config.obs = &observability;
     }
 
-    std::printf("Running %s on %d+%.0f%% servers for %.2f days "
-                "(seed %llu, watchdog %s)...\n",
-                config.policy.name.c_str(), config.row.baseServers,
-                config.row.addedServerFraction * 100.0,
-                sim::ticksToSeconds(config.duration) / 86400.0,
-                static_cast<unsigned long long>(config.seed),
-                config.manager.watchdogEnabled ? "on" : "off");
+    if (config.topology.enabled) {
+        std::printf("Running %s on a %d-row / %d-server site for "
+                    "%.2f days (seed %llu, watchdog %s)...\n",
+                    config.policy.name.c_str(),
+                    config.topology.numRows(),
+                    config.topology.numServers(),
+                    sim::ticksToSeconds(config.duration) / 86400.0,
+                    static_cast<unsigned long long>(config.seed),
+                    config.manager.watchdogEnabled ? "on" : "off");
+    } else {
+        std::printf("Running %s on %d+%.0f%% servers for %.2f days "
+                    "(seed %llu, watchdog %s)...\n",
+                    config.policy.name.c_str(),
+                    config.row.baseServers,
+                    config.row.addedServerFraction * 100.0,
+                    sim::ticksToSeconds(config.duration) / 86400.0,
+                    static_cast<unsigned long long>(config.seed),
+                    config.manager.watchdogEnabled ? "on" : "off");
+    }
 
     core::ExperimentResult result = runOversubExperiment(config);
 
@@ -645,6 +657,31 @@ runSinglePoint(const Args &args, config::ResolvedScenario &point)
         .cell(std::to_string(result.crashesInjected) + " (" +
               std::to_string(result.droppedRequests) + ")");
     table.print(std::cout);
+
+    if (!result.domains.empty()) {
+        // Site and row levels only; domains.csv keeps the racks.
+        std::printf("\nTopology rollup (racks in domains.csv):\n");
+        analysis::Table rollup({"Domain", "Level", "Servers",
+                                "Budget (kW)", "Peak (kW)",
+                                "Mean (kW)", "Trips / near",
+                                "Overdraw (kJ)", "Completions"});
+        for (const core::DomainStats &d : result.domains) {
+            if (d.level == "rack")
+                continue;
+            rollup.row().cell(d.path).cell(d.level)
+                .cell(static_cast<long long>(d.servers))
+                .cell(analysis::formatFixed(d.budgetWatts / 1000.0,
+                                            1))
+                .cell(analysis::formatFixed(d.peakWatts / 1000.0, 1))
+                .cell(analysis::formatFixed(d.meanWatts / 1000.0, 1))
+                .cell(std::to_string(d.breakerTrips) + " / " +
+                      std::to_string(d.breakerNearTrips))
+                .cell(analysis::formatFixed(
+                          d.overdrawWattSeconds / 1000.0, 1))
+                .cell(static_cast<long long>(d.completions));
+        }
+        rollup.print(std::cout);
+    }
 
     bool ok = core::meetsSlos(low, high, result.powerBrakeEvents,
                               workload::paperSlos());
