@@ -9,8 +9,11 @@
 #include <benchmark/benchmark.h>
 
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/oversub_experiment.hh"
+#include "core/sweep_runner.hh"
 #include "llm/phase_model.hh"
 #include "obs/observability.hh"
 #include "power/gpu_power_model.hh"
@@ -193,6 +196,82 @@ BM_SiteEndToEnd(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SiteEndToEnd)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Merged-cursor grid summation across range(0) server-power series
+ * of 10k samples each (the hot loop behind every per-domain rollup
+ * in the results pipeline).  SetItemsProcessed reports
+ * series x samples so items/s stays comparable across Arg values.
+ */
+void
+BM_SumOnGrid(benchmark::State &state)
+{
+    const int count = static_cast<int>(state.range(0));
+    const int samples = 10000;
+    std::vector<sim::TimeSeries> series(
+        static_cast<std::size_t>(count));
+    std::vector<const sim::TimeSeries *> sources;
+    for (int s = 0; s < count; ++s) {
+        series[static_cast<std::size_t>(s)].reserve(samples);
+        for (int i = 0; i < samples; ++i) {
+            // Offset per series so sample times interleave off-grid.
+            series[static_cast<std::size_t>(s)].add(
+                i * 2000 + s * 7,
+                static_cast<double>((i * 2654435761u + s) % 1000));
+        }
+        sources.push_back(&series[static_cast<std::size_t>(s)]);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::sumOnGrid(sources, 2000).size());
+    }
+    state.SetItemsProcessed(state.iterations() * count * samples);
+}
+BENCHMARK(BM_SumOnGrid)->Arg(8)->Arg(64);
+
+/**
+ * Checkpoint/branch sweep execution against full re-simulation: the
+ * same two-point policy sweep plus per-point baselines, where all
+ * four runs share a 3000 s warmup prefix of a 3600 s horizon.
+ * Arg(0) runs every point from scratch (4 x 3600 simulated
+ * seconds); Arg(1) simulates the warmup once and forks the other
+ * three runs from the in-memory snapshot (3000 + 4 x 600).  The
+ * branched variant must stay >= 2x faster; CI gates both rows via
+ * tools/bench_compare against BENCH_simperf.json.
+ */
+void
+BM_SweepBranchVsFull(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    const bool branch = state.range(0) == 1;
+    auto makeConfig = [](core::PolicyConfig policy) {
+        core::ExperimentConfig config;
+        config.row.baseServers = 10;
+        config.row.addedServerFraction = 0.30;
+        config.duration = sim::secondsToTicks(3600.0);
+        config.warmup = sim::secondsToTicks(3000.0);
+        config.seed = 9;
+        config.policy = std::move(policy);
+        return config;
+    };
+    for (auto _ : state) {
+        std::vector<core::SweepPoint> points;
+        points.push_back(
+            {"polca", makeConfig(core::PolicyConfig::polca()),
+             "shared-warmup"});
+        points.push_back(
+            {"1tlp",
+             makeConfig(core::PolicyConfig::oneThreshLowPri()),
+             "shared-warmup"});
+        core::SweepOptions options;
+        options.runBaseline = true;
+        options.echoProgress = false;
+        options.branch = branch;
+        core::SweepRunner runner(std::move(points), options);
+        benchmark::DoNotOptimize(runner.run().size());
+    }
+}
+BENCHMARK(BM_SweepBranchVsFull)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

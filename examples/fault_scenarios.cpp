@@ -181,7 +181,7 @@ duration = 3.5h
 
     std::vector<core::SweepPoint> points;
     for (const config::ResolvedScenario &point : scenario.points)
-        points.push_back({point.label, point.config});
+        points.push_back({point.label, point.config, ""});
     core::SweepOptions options;
     options.runBaseline = false;
     options.echoProgress = false;

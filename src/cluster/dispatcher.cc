@@ -83,16 +83,27 @@ Dispatcher::injectTrace(const workload::Trace &trace)
 {
     if (trace.empty())
         return;
-    const workload::Request &first = trace.requests().front();
-    sim::Tick when = std::max(first.arrival, sim_.now());
-    sim_.queue().post(
-        when, [this, &trace] { arrive(trace, 0); }, "arrival");
+    feed_ = &trace;
+    scheduleArrival(0);
 }
 
 void
-Dispatcher::arrive(const workload::Trace &trace, std::size_t index)
+Dispatcher::scheduleArrival(std::size_t index)
 {
-    const workload::Request &request = trace.requests()[index];
+    sim::Tick when = std::max(feed_->requests()[index].arrival,
+                              sim_.now());
+    arrivalPending_ = true;
+    nextArrival_ = index;
+    arrivalWhen_ = when;
+    arrivalSeq_ = sim_.queue().post(
+        when, [this, index] { arrive(index); }, "arrival");
+}
+
+void
+Dispatcher::arrive(std::size_t index)
+{
+    arrivalPending_ = false;
+    const workload::Request &request = feed_->requests()[index];
     if (request.priority == workload::Priority::High) {
         ++highArrivals_;
         if (arrivalHighStat_)
@@ -105,13 +116,62 @@ Dispatcher::arrive(const workload::Trace &trace, std::size_t index)
     route(request);
 
     std::size_t next = index + 1;
-    if (next < trace.size()) {
-        sim::Tick when = std::max(trace.requests()[next].arrival,
-                                  sim_.now());
-        sim_.queue().post(
-            when, [this, &trace, next] { arrive(trace, next); },
-            "arrival");
+    if (next < feed_->size())
+        scheduleArrival(next);
+}
+
+Dispatcher::State
+Dispatcher::saveState() const
+{
+    State state;
+    state.rng = rng_;
+    state.centralLow = centralLow_;
+    state.centralHigh = centralHigh_;
+    state.lowLatency = lowLatency_;
+    state.highLatency = highLatency_;
+    state.byWorkload = byWorkload_;
+    state.lowArrivals = lowArrivals_;
+    state.highArrivals = highArrivals_;
+    state.lowCompletions = lowCompletions_;
+    state.highCompletions = highCompletions_;
+    state.arrivalPending = arrivalPending_;
+    if (arrivalPending_) {
+        state.nextArrival = nextArrival_;
+        state.arrivalWhen = arrivalWhen_;
+        state.arrivalSeq = arrivalSeq_;
     }
+    return state;
+}
+
+void
+Dispatcher::restoreState(const State &state,
+                         const workload::Trace *trace)
+{
+    rng_ = state.rng;
+    centralLow_ = state.centralLow;
+    centralHigh_ = state.centralHigh;
+    lowLatency_ = state.lowLatency;
+    highLatency_ = state.highLatency;
+    byWorkload_ = state.byWorkload;
+    lowArrivals_ = state.lowArrivals;
+    highArrivals_ = state.highArrivals;
+    lowCompletions_ = state.lowCompletions;
+    highCompletions_ = state.highCompletions;
+    feed_ = trace;
+    arrivalPending_ = state.arrivalPending;
+    if (!state.arrivalPending)
+        return;
+    if (!feed_) {
+        sim::panic("Dispatcher: restoring an in-flight arrival chain "
+                   "without its trace");
+    }
+    nextArrival_ = state.nextArrival;
+    arrivalWhen_ = state.arrivalWhen;
+    arrivalSeq_ = state.arrivalSeq;
+    std::size_t index = state.nextArrival;
+    sim_.queue().rearmPost(state.arrivalWhen, state.arrivalSeq,
+                           [this, index] { arrive(index); },
+                           "arrival");
 }
 
 InferenceServer *

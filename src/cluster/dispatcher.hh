@@ -46,6 +46,43 @@ class Dispatcher
      */
     void injectTrace(const workload::Trace &trace);
 
+    /**
+     * Full mutable state at a snapshot boundary: the pick stream, the
+     * central queues, the latency samplers and counters, and — if an
+     * arrival chain is in flight — the schedule position of the next
+     * arrival event.
+     */
+    struct State
+    {
+        sim::Rng rng;
+        std::deque<workload::Request> centralLow;
+        std::deque<workload::Request> centralHigh;
+        sim::Sampler lowLatency;
+        sim::Sampler highLatency;
+        std::vector<sim::Sampler> byWorkload;
+        std::uint64_t lowArrivals = 0;
+        std::uint64_t highArrivals = 0;
+        std::uint64_t lowCompletions = 0;
+        std::uint64_t highCompletions = 0;
+        bool arrivalPending = false;
+        std::size_t nextArrival = 0;      ///< trace index of that event
+        sim::Tick arrivalWhen = 0;
+        std::uint64_t arrivalSeq = 0;
+    };
+
+    /** Capture mutable state (snapshot support). */
+    [[nodiscard]] State saveState() const;
+
+    /**
+     * Restore from a snapshot while the queue has a restore open.
+     * @p trace is the same trace object (or an identical copy) the
+     * snapshotted dispatcher was fed; required when the saved state
+     * has an arrival in flight.  Replaces injectTrace() on a branch —
+     * the arrival chain resumes at the saved position.
+     */
+    void restoreState(const State &state,
+                      const workload::Trace *trace);
+
     /** @name Statistics */
     /** @{ */
     /** End-to-end latency (seconds) of completed requests. */
@@ -68,7 +105,8 @@ class Dispatcher
     /** @} */
 
   private:
-    void arrive(const workload::Trace &trace, std::size_t index);
+    void scheduleArrival(std::size_t index);
+    void arrive(std::size_t index);
     void route(const workload::Request &request);
     void onCompletion(InferenceServer &server);
 
@@ -92,6 +130,14 @@ class Dispatcher
     std::uint64_t highArrivals_ = 0;
     std::uint64_t lowCompletions_ = 0;
     std::uint64_t highCompletions_ = 0;
+
+    /** Trace being injected and the arrival chain's position (the
+     *  chain schedules one event at a time; see scheduleArrival). */
+    const workload::Trace *feed_ = nullptr;
+    bool arrivalPending_ = false;
+    std::size_t nextArrival_ = 0;
+    sim::Tick arrivalWhen_ = 0;
+    std::uint64_t arrivalSeq_ = 0;
 
     obs::TraceRecorder *trace_ = nullptr;
     obs::Counter *arrivalLowStat_ = nullptr;

@@ -372,6 +372,66 @@ InferenceServer::powerBrakeEngaged() const
     return server_.gpu(0).powerBrake();
 }
 
+InferenceServer::State
+InferenceServer::saveState() const
+{
+    State state;
+    state.server.emplace(server_);
+    state.powerScale = powerScale_;
+    state.policyLockMhz = policyLockMhz_;
+    state.phaseTokenClockMhz = phaseTokenClockMhz_;
+    state.crashed = crashed_;
+    state.crashes = crashes_;
+    state.droppedRequests = droppedRequests_;
+    state.buffer = buffer_;
+    state.completed = completed_;
+    state.busyTicks = busyTicks_;
+    if (active_.has_value()) {
+        state.active.emplace();
+        state.active->requests = active_->requests;
+        state.active->phase = active_->phase;
+        state.active->workRemaining = active_->workRemaining;
+        state.active->slowdown = active_->slowdown;
+        state.active->phaseUpdateTime = active_->phaseUpdateTime;
+        state.active->phaseStart = active_->phaseStart;
+        state.active->serviceStart = active_->serviceStart;
+        state.active->completionWhen = active_->completionEvent.when();
+        state.active->completionSeq = active_->completionEvent.seq();
+    }
+    return state;
+}
+
+void
+InferenceServer::restoreState(const State &state)
+{
+    if (!state.server.has_value())
+        sim::panic("InferenceServer: restoring an empty state");
+    server_ = *state.server;
+    powerScale_ = state.powerScale;
+    policyLockMhz_ = state.policyLockMhz;
+    phaseTokenClockMhz_ = state.phaseTokenClockMhz;
+    crashed_ = state.crashed;
+    crashes_ = state.crashes;
+    droppedRequests_ = state.droppedRequests;
+    buffer_ = state.buffer;
+    completed_ = state.completed;
+    busyTicks_ = state.busyTicks;
+    active_.reset();
+    if (state.active.has_value()) {
+        active_.emplace();
+        active_->requests = state.active->requests;
+        active_->phase = state.active->phase;
+        active_->workRemaining = state.active->workRemaining;
+        active_->slowdown = state.active->slowdown;
+        active_->phaseUpdateTime = state.active->phaseUpdateTime;
+        active_->phaseStart = state.active->phaseStart;
+        active_->serviceStart = state.active->serviceStart;
+        active_->completionEvent = sim_.queue().rearmSchedule(
+            state.active->completionWhen, state.active->completionSeq,
+            [this] { phaseEnded(); }, "phase-end");
+    }
+}
+
 void
 InferenceServer::setPowerScaleFactor(double factor)
 {

@@ -189,6 +189,51 @@ class InferenceServer : public telemetry::ClockControllable
     /** Underlying power model (inspection/tests). */
     const power::ServerModel &serverModel() const { return server_; }
 
+    /** @name Snapshot support */
+    /** @{ */
+    /** In-flight batch at a snapshot boundary, with the schedule
+     *  position of its phase-end event. */
+    struct BatchState
+    {
+        std::vector<workload::Request> requests;
+        llm::Phase phase = llm::Phase::Prompt;
+        double workRemaining = 0.0;
+        double slowdown = 1.0;
+        sim::Tick phaseUpdateTime = 0;
+        sim::Tick phaseStart = 0;
+        sim::Tick serviceStart = 0;
+        sim::Tick completionWhen = 0;
+        std::uint64_t completionSeq = 0;
+    };
+
+    /** Full mutable server state at a snapshot boundary.  The power
+     *  model is a plain value (per-GPU activity, lock, cap, brake), so
+     *  it is captured by copy. */
+    struct State
+    {
+        /** Always engaged after saveState(); optional only because
+         *  ServerModel has no default construction. */
+        std::optional<power::ServerModel> server;
+        double powerScale = 1.0;
+        double policyLockMhz = 0.0;
+        double phaseTokenClockMhz = 0.0;
+        bool crashed = false;
+        std::uint64_t crashes = 0;
+        std::uint64_t droppedRequests = 0;
+        std::optional<BatchState> active;
+        std::deque<workload::Request> buffer;
+        std::uint64_t completed = 0;
+        sim::Tick busyTicks = 0;
+    };
+
+    /** Capture mutable state (snapshot support). */
+    [[nodiscard]] State saveState() const;
+
+    /** Restore from a snapshot while the queue has a restore open;
+     *  re-arms the phase-end event of any in-flight batch. */
+    void restoreState(const State &state);
+    /** @} */
+
     /** @name Statistics */
     /** @{ */
     std::uint64_t completedRequests() const { return completed_; }

@@ -382,6 +382,7 @@ experimentSchema()
         using E = core::ExperimentConfig;
         s.boolField("managed", &E::managed)
             .tickField("duration", &E::duration, 1.0, 365.0 * 86400.0)
+            .tickField("warmup", &E::warmup, 0.0, 365.0 * 86400.0)
             .intField("seed", &E::seed, 0,
                       std::numeric_limits<long long>::max())
             .field("power_scale_factor", &E::powerScaleFactor,

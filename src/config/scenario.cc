@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <memory>
+#include <sstream>
 #include <type_traits>
 
 #include "core/thread_pool.hh"
 #include "core/workload_aware.hh"
+#include "obs/manifest.hh"
 
 namespace polca::config {
 
@@ -786,8 +789,25 @@ parseSweepJobs(const ConfigNode &node, int &jobs, Diagnostics &diag)
         : value;
 }
 
+/** Parse the reserved [sweep] `branch` key: a boolean scalar. */
+void
+parseSweepBranch(const ConfigNode &node, bool &branch,
+                 Diagnostics &diag)
+{
+    if (node.kind == ConfigNode::Kind::Scalar &&
+        (node.raw == "true" || node.raw == "false")) {
+        branch = node.raw == "true";
+        return;
+    }
+    diag.error(node.loc,
+               "[sweep] branch must be true or false "
+               "(it selects checkpoint/branch execution, it is "
+               "not an axis)");
+}
+
 std::vector<SweepAxis>
-extractSweepAxes(ConfigNode &root, int &jobs, Diagnostics &diag)
+extractSweepAxes(ConfigNode &root, int &jobs, bool &branch,
+                 Diagnostics &diag)
 {
     std::vector<SweepAxis> axes;
     ConfigNode *sweep = root.find("sweep");
@@ -797,9 +817,29 @@ extractSweepAxes(ConfigNode &root, int &jobs, Diagnostics &diag)
         diag.error(sweep->loc, "[sweep] must be a section");
         return axes;
     }
+    // Reserved `warmup` key, applied to experiment.warmup after the
+    // [sweep] section is removed below.
+    std::unique_ptr<ConfigNode> warmup;
     for (auto &[path, node] : sweep->entries) {
         if (path == "jobs") {
             parseSweepJobs(node, jobs, diag);
+            continue;
+        }
+        if (path == "branch") {
+            parseSweepBranch(node, branch, diag);
+            continue;
+        }
+        if (path == "warmup") {
+            if (node.kind != ConfigNode::Kind::Scalar) {
+                diag.error(node.loc,
+                           "[sweep] warmup must be a single "
+                           "duration (it sets the shared prefix "
+                           "every point branches from, it is not "
+                           "an axis; sweep experiment.warmup to "
+                           "vary it)");
+                continue;
+            }
+            warmup = std::make_unique<ConfigNode>(node);
             continue;
         }
         SweepAxis axis;
@@ -835,6 +875,12 @@ extractSweepAxes(ConfigNode &root, int &jobs, Diagnostics &diag)
                            return e.first == "sweep";
                        }),
         root.entries.end());
+
+    if (warmup) {
+        ConfigNode scalar = *warmup;
+        scalar.origin = "sweep";
+        root.setPath("experiment.warmup", std::move(scalar), diag);
+    }
     return axes;
 }
 
@@ -868,7 +914,7 @@ expandAndBind(ConfigNode root, const std::string &name,
         return set;
 
     std::vector<SweepAxis> axes =
-        extractSweepAxes(root, set.jobs, diag);
+        extractSweepAxes(root, set.jobs, set.branch, diag);
     if (!diag.ok())
         return set;
 
@@ -1074,6 +1120,55 @@ dumpResolved(const core::ExperimentConfig &config,
     dumpBlocks(os, "topology.rows", config.topology.groups,
                topologyRowGroupSchema(), source, "topology.rows",
                "default");
+}
+
+std::string
+warmupDigest(const core::ExperimentConfig &config,
+             const ConfigNode &source)
+{
+    std::ostringstream dump;
+    dumpResolved(config, source, dump);
+
+    // The control plane does not exist before t = warmup, so any
+    // section that only configures it cannot influence the warmup
+    // prefix and is dropped from the digest.  Everything else —
+    // deployment, model, workload, [obs] cadence, topology, seed,
+    // warmup itself — stays in.
+    static const char *const controlSections[] = {
+        "policy", "manager", "safety", "faults", "chaos"};
+
+    std::istringstream in(dump.str());
+    std::string filtered, line;
+    filtered.reserve(dump.str().size());
+    bool skip = false;
+    bool inExperiment = false;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.front() == '[') {
+            std::string name = line;
+            while (!name.empty() && name.front() == '[')
+                name.erase(name.begin());
+            while (!name.empty() && name.back() == ']')
+                name.pop_back();
+            std::string head = name.substr(0, name.find('.'));
+            skip = false;
+            for (const char *section : controlSections)
+                skip = skip || head == section;
+            inExperiment = name == "experiment";
+            if (skip)
+                continue;
+        } else if (skip) {
+            continue;
+        } else if (inExperiment &&
+                   (line.rfind("managed ", 0) == 0 ||
+                    line.rfind("record_row_series ", 0) == 0)) {
+            // [experiment] knobs that only steer the control plane
+            // or post-run reporting.
+            continue;
+        }
+        filtered += line;
+        filtered += '\n';
+    }
+    return obs::fnv1a64Hex(filtered);
 }
 
 bool

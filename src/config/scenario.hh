@@ -65,6 +65,17 @@ struct ScenarioSet
      */
     int jobs = 1;
 
+    /**
+     * Checkpoint/branch execution (the reserved `branch` key of the
+     * [sweep] section): when the points share a warmup prefix
+     * (`warmup = "1h"` in [sweep], or experiment.warmup in the
+     * file), the runner simulates the prefix once per distinct
+     * prefix and forks every point — and every baseline — from the
+     * in-memory snapshot.  `branch = false` forces every point to
+     * simulate from t = 0.  The CLI's --branch flag overrides this.
+     */
+    bool branch = true;
+
     bool isSweep() const { return points.size() > 1; }
 };
 
@@ -111,6 +122,20 @@ void dumpResolved(const core::ExperimentConfig &config,
  */
 bool resolvedConfigsEqual(const core::ExperimentConfig &a,
                           const core::ExperimentConfig &b);
+
+/**
+ * Digest of a point's *warmup prefix*: fnv1a64Hex over the resolved
+ * dump (dumpResolved) with every control-plane section filtered out
+ * — [policy*], [manager], [safety], [faults*], [chaos] — plus the
+ * [experiment] keys that only steer the control plane or post-run
+ * reporting (`managed`, `record_row_series`).  Two points with equal
+ * digests share a bit-identical physical trajectory up to
+ * t = warmup, because the control plane does not exist before the
+ * boundary in a warmup run: that is the grouping key for
+ * checkpoint/branch sweep execution (core::SweepPoint::warmupKey).
+ */
+std::string warmupDigest(const core::ExperimentConfig &config,
+                         const ConfigNode &source);
 
 /** The model a row will serve: the override when set, else the
  *  catalog entry named by RowConfig::modelName. */

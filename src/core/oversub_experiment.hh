@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/row.hh"
@@ -27,6 +29,8 @@
 #include "workload/workload_spec.hh"
 
 namespace polca::core {
+
+struct WarmupSnapshot;  // core/warmup_snapshot.hh
 
 /** Observability knobs a scenario's [obs] section controls. */
 struct ObsOptions
@@ -63,6 +67,43 @@ struct ExperimentConfig
 
     sim::Tick duration = sim::secondsToTicks(7 * 24 * 3600.0);
     std::uint64_t seed = 42;
+
+    /**
+     * Warmup boundary ([sweep] warmup / experiment.warmup): the
+     * control plane — power manager, fault injector, safety monitor
+     * — is constructed and started at t = warmup instead of t = 0,
+     * in *every* run with warmup > 0, fresh or branched.  The
+     * physical world (servers, trace, telemetry, breaker, energy
+     * metering) runs from t = 0 regardless.  0 (the default) keeps
+     * the original everything-at-t=0 construction order, whose
+     * trajectories the determinism suite pins bit-for-bit.
+     *
+     * With warmup > 0 the run must satisfy validateWarmupConfig():
+     * chaos generation is rejected and every event-posting fault
+     * (OOB outages, server crashes, controller crashes) must start
+     * at or after the boundary — the injector does not exist before
+     * it.  Window faults (blackouts, sensor corruption) may span
+     * the boundary; only their post-warmup portion acts.
+     */
+    sim::Tick warmup = 0;
+
+    /**
+     * Branch this run from a warmup snapshot instead of simulating
+     * the prefix (runtime-only, like `externalTrace`/`obs`; never
+     * bound from scenario files).  The snapshot must have been
+     * captured by a run with an identical physical configuration
+     * and the same `warmup`; mismatches panic at restore time.
+     */
+    std::shared_ptr<const WarmupSnapshot> resumeFrom;
+
+    /**
+     * Invoked at the warmup boundary of a fresh warmup > 0 run with
+     * the captured snapshot (runtime-only).  Capture is a pure read
+     * of simulation state — a run with the hook and a run without
+     * it produce byte-identical artifacts.
+     */
+    std::function<void(std::shared_ptr<const WarmupSnapshot>)>
+        onWarmupSnapshot;
 
     /** Uniform workload power intensification (1.05 = the paper's
      *  +5 % robustness experiment). */
@@ -275,6 +316,16 @@ struct ExperimentResult
 
 /** Run one experiment end to end. */
 ExperimentResult runOversubExperiment(const ExperimentConfig &config);
+
+/**
+ * Fatal() unless the config's warmup/branch settings are coherent:
+ * warmup within [0, duration), no chaos generation across the
+ * boundary, no event-posting fault scheduled before it, and
+ * `resumeFrom` only alongside a positive matching warmup.  Called
+ * by runOversubExperiment(); exposed for the sweep runner's
+ * fail-fast grouping pass.
+ */
+void validateWarmupConfig(const ExperimentConfig &config);
 
 /**
  * The same configuration with management disabled: the unthrottled

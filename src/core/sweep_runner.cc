@@ -4,9 +4,11 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <utility>
 
 #include "core/thread_pool.hh"
+#include "core/warmup_snapshot.hh"
 #include "sim/logging.hh"
 
 namespace polca::core {
@@ -38,6 +40,48 @@ SweepRunner::artifactStem(const std::string &label, std::size_t index)
     return stem;
 }
 
+void
+SweepRunner::planBranches()
+{
+    std::size_t n = points_.size();
+    group_.assign(n, -1);
+    groupLeader_.clear();
+    groupPromises_.clear();
+    groupSnapshots_.clear();
+    if (!options_.branch)
+        return;
+
+    std::map<std::string, int> byKey;
+    for (std::size_t i = 0; i < n; ++i) {
+        const SweepPoint &point = points_[i];
+        if (point.config.warmup <= 0)
+            continue;
+        // Surface fault-plan/warmup conflicts before any point has
+        // burned simulation time.
+        validateWarmupConfig(point.config);
+        int g = -1;
+        if (!point.warmupKey.empty()) {
+            auto it = byKey.find(point.warmupKey);
+            if (it != byKey.end())
+                g = it->second;
+        }
+        if (g < 0) {
+            g = static_cast<int>(groupLeader_.size());
+            groupLeader_.push_back(i);
+            if (!point.warmupKey.empty())
+                byKey.emplace(point.warmupKey, g);
+        }
+        group_[i] = g;
+    }
+
+    groupPromises_ = std::vector<
+        std::promise<std::shared_ptr<const WarmupSnapshot>>>(
+        groupLeader_.size());
+    groupSnapshots_.resize(groupLeader_.size());
+    for (std::size_t g = 0; g < groupLeader_.size(); ++g)
+        groupSnapshots_[g] = groupPromises_[g].get_future().share();
+}
+
 obs::Observability *
 SweepRunner::runManaged(std::size_t index,
                         obs::Observability *fallbackObs)
@@ -49,6 +93,29 @@ SweepRunner::runManaged(std::size_t index,
     ExperimentConfig config = point.config;
     if (!options_.artifactDir.empty() && !config.obs)
         config.obs = fallbackObs;
+
+    int g = group_[index];
+    if (g >= 0) {
+        if (groupLeader_[static_cast<std::size_t>(g)] == index) {
+            // Leader: run the warmup live and publish the boundary
+            // snapshot for the rest of the group (chaining any hook
+            // the caller installed).
+            auto user = config.onWarmupSnapshot;
+            auto *promise = &groupPromises_[static_cast<std::size_t>(g)];
+            config.onWarmupSnapshot =
+                [promise,
+                 user](std::shared_ptr<const WarmupSnapshot> snap) {
+                    promise->set_value(snap);
+                    if (user)
+                        user(snap);
+                };
+        } else {
+            // Dependent: fork from the leader's snapshot instead of
+            // re-simulating [0, warmup).
+            config.resumeFrom =
+                groupSnapshots_[static_cast<std::size_t>(g)].get();
+        }
+    }
     out.result = runOversubExperiment(config);
     return config.obs;
 }
@@ -58,6 +125,15 @@ SweepRunner::runBaseline(std::size_t index)
 {
     ExperimentConfig base = unthrottledBaseline(points_[index].config);
     base.obs = nullptr;
+    int g = group_[index];
+    if (g >= 0) {
+        // The baseline shares the point's warmup prefix: only
+        // control-plane knobs differ, and the control plane does not
+        // exist before t = warmup.
+        base.onWarmupSnapshot = nullptr;
+        base.resumeFrom =
+            groupSnapshots_[static_cast<std::size_t>(g)].get();
+    }
     results_[index].baseline = runOversubExperiment(base);
 }
 
@@ -141,10 +217,29 @@ SweepRunner::runParallel(int jobs)
     std::vector<std::future<void>> baselines(n);
     {
         ThreadPool pool(static_cast<std::size_t>(jobs));
+
+        // Submit group-leader managed runs first.  The pool's queue
+        // is FIFO, so by the time any worker picks up a dependent
+        // run (which blocks on its group's snapshot future), the
+        // leader that fulfills it has already been picked up by some
+        // worker and is making progress — no worker can starve the
+        // leader it is waiting for.
+        std::vector<char> isLeader(n, 0);
+        for (std::size_t leader : groupLeader_)
+            isLeader[leader] = 1;
         for (std::size_t i = 0; i < n; ++i) {
+            if (!isLeader[i])
+                continue;
             managed[i] = pool.submit([this, i, &sinks] {
                 return runManaged(i, sinks[i].get());
             });
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!isLeader[i]) {
+                managed[i] = pool.submit([this, i, &sinks] {
+                    return runManaged(i, sinks[i].get());
+                });
+            }
             if (options_.runBaseline) {
                 baselines[i] = pool.submit([this, i] {
                     runBaseline(i);
@@ -218,6 +313,23 @@ SweepRunner::run()
     results_.clear();
     results_.resize(points_.size());
     artifacts_.clear();
+
+    planBranches();
+    if (options_.echoProgress && !groupLeader_.empty()) {
+        std::size_t branched = 0;
+        for (int g : group_)
+            branched += g >= 0;
+        // Leaders simulate their own warmup live; every other run
+        // of a group forks from the leader's snapshot.
+        std::size_t runs = branched * (options_.runBaseline ? 2 : 1) -
+                           groupLeader_.size();
+        std::printf("[sweep] branch: %zu warmup snapshot%s feeding "
+                    "%zu run%s\n",
+                    groupLeader_.size(),
+                    groupLeader_.size() == 1 ? "" : "s", runs,
+                    runs == 1 ? "" : "s");
+        std::fflush(stdout);
+    }
 
     if (!options_.artifactDir.empty())
         std::filesystem::create_directories(options_.artifactDir);

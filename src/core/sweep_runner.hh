@@ -18,10 +18,20 @@
  * wall-clock time and the interleaving of log lines differ.  Each
  * point simulates in its own Simulation/EventQueue with its own
  * observability sink, so tasks share no mutable state.
+ *
+ * With SweepOptions::branch (the default) and warmup > 0, points
+ * sharing a warmup prefix (SweepPoint::warmupKey) simulate the prefix
+ * once: the group leader runs its warmup live, captures a
+ * core::WarmupSnapshot at the boundary, and every other member — and
+ * every baseline, including the leader's — forks from the immutable
+ * in-memory snapshot instead of re-simulating [0, warmup).  Branched
+ * runs are bit-exact continuations, so all artifacts stay
+ * byte-identical to a branch = false sweep.
  */
 
 #pragma once
 
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +43,8 @@
 
 namespace polca::core {
 
+struct WarmupSnapshot;
+
 /** One experiment to run, with a display/artifact label. */
 struct SweepPoint
 {
@@ -41,6 +53,19 @@ struct SweepPoint
     std::string label;
 
     ExperimentConfig config;
+
+    /**
+     * Grouping key for checkpoint/branch execution: points with the
+     * same non-empty key and config.warmup > 0 share a bit-identical
+     * physical trajectory up to t = warmup (config::warmupDigest
+     * fills this from the resolved dump with the control-plane
+     * sections filtered out).  The runner simulates the warmup once
+     * per distinct key and forks every member — and every baseline —
+     * from the in-memory snapshot.  Empty key: the point still
+     * branches its own baseline off its managed warmup when
+     * warmup > 0, but shares nothing with other points.
+     */
+    std::string warmupKey;
 };
 
 struct SweepOptions
@@ -60,6 +85,16 @@ struct SweepOptions
      *  calling thread, N > 1 = run points (and managed/baseline
      *  pairs) concurrently with deterministic stitching. */
     int jobs = 1;
+
+    /**
+     * Checkpoint/branch execution: for points with warmup > 0,
+     * simulate each distinct warmup prefix (SweepPoint::warmupKey)
+     * once and fork every dependent run from the captured snapshot
+     * instead of re-simulating from t = 0.  Branched runs produce
+     * byte-identical artifacts to from-scratch runs; false forces
+     * every run to simulate its own warmup.
+     */
+    bool branch = true;
 
     /**
      * Write a manifest.json into the artifact directory after the
@@ -128,9 +163,40 @@ class SweepRunner
     void runParallel(int jobs);
     void writeSummary();
 
+    /**
+     * Group points for checkpoint/branch execution (fills group_,
+     * groupLeader_, groupPromises_, groupSnapshots_).  Points with
+     * warmup > 0 and the same non-empty warmupKey share one group; a
+     * point with an empty key forms a group of its own (its baseline
+     * still branches off its managed warmup).  The group leader —
+     * the lowest point index — runs its managed warmup live and
+     * fulfills the group's snapshot promise; every other run of the
+     * group blocks on the shared future and resumes from the
+     * snapshot.  Fails fast (sim::fatal) on configs whose fault plan
+     * cannot honor a warmup boundary.
+     */
+    void planBranches();
+
     std::vector<SweepPoint> points_;
     SweepOptions options_;
     std::vector<SweepPointResult> results_;
+
+    /** Per-point group id, -1 = unbranched (warmup == 0 or branching
+     *  disabled). */
+    std::vector<int> group_;
+
+    /** Per-group leader point index. */
+    std::vector<std::size_t> groupLeader_;
+
+    /** Per-group snapshot hand-off: the leader's managed run sets the
+     *  promise at its warmup boundary; dependents wait on the shared
+     *  future.  The snapshot itself is immutable, so any number of
+     *  branches may fork from it concurrently. */
+    std::vector<std::promise<std::shared_ptr<const WarmupSnapshot>>>
+        groupPromises_;
+    std::vector<
+        std::shared_future<std::shared_ptr<const WarmupSnapshot>>>
+        groupSnapshots_;
 
     /** File names (relative to the artifact dir) written this run,
      *  in emission order; feeds the manifest inventory. */

@@ -170,6 +170,70 @@ MetricsRegistry::reset()
     }
 }
 
+MetricsRegistry::Values
+MetricsRegistry::saveValues() const
+{
+    Values values;
+    for (const auto &[name, entry] : entries_) {
+        if (entry.counter) {
+            values.counters.emplace(name, entry.counter->value());
+        } else if (entry.gauge) {
+            if (!entry.gauge->hasSource() &&
+                !entry.gauge->isVolatile()) {
+                values.gauges.emplace(name, entry.gauge->value());
+            }
+        } else if (entry.histogram) {
+            values.histograms.emplace(name, *entry.histogram);
+        } else if (entry.logHistogram) {
+            values.logHistograms.emplace(name, *entry.logHistogram);
+        }
+    }
+    return values;
+}
+
+void
+MetricsRegistry::restoreValues(const Values &values)
+{
+    for (const auto &[name, value] : values.counters) {
+        auto it = entries_.find(name);
+        if (it == entries_.end() || !it->second.counter)
+            sim::panic("MetricsRegistry: restoring counter '", name,
+                       "' that this registry never registered");
+        it->second.counter->restore(value);
+    }
+    for (const auto &[name, value] : values.gauges) {
+        auto it = entries_.find(name);
+        if (it == entries_.end() || !it->second.gauge)
+            sim::panic("MetricsRegistry: restoring gauge '", name,
+                       "' that this registry never registered");
+        it->second.gauge->restoreValue(value);
+    }
+    for (const auto &[name, h] : values.histograms) {
+        auto it = entries_.find(name);
+        if (it == entries_.end() || !it->second.histogram)
+            sim::panic("MetricsRegistry: restoring histogram '", name,
+                       "' that this registry never registered");
+        Histogram &mine = *it->second.histogram;
+        if (mine.lo() != h.lo() || mine.hi() != h.hi() ||
+            mine.buckets() != h.buckets()) {
+            sim::panic("MetricsRegistry: histogram '", name,
+                       "' restored with a different shape");
+        }
+        mine = h;
+    }
+    for (const auto &[name, h] : values.logHistograms) {
+        auto it = entries_.find(name);
+        if (it == entries_.end() || !it->second.logHistogram)
+            sim::panic("MetricsRegistry: restoring log histogram '",
+                       name, "' that this registry never registered");
+        if (!it->second.logHistogram->sameShape(h)) {
+            sim::panic("MetricsRegistry: log histogram '", name,
+                       "' restored with a different shape");
+        }
+        *it->second.logHistogram = h;
+    }
+}
+
 void
 MetricsRegistry::freezeGauges()
 {

@@ -49,6 +49,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Adopt a snapshotted count (snapshot support). */
+    void restore(std::uint64_t v) { value_ = v; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -101,6 +104,14 @@ class Gauge
     {
         if (!source_)
             value_ = 0.0;
+    }
+
+    /** Adopt a snapshotted value; a no-op on source-backed gauges,
+     *  which are live views of (restored) component state. */
+    void restoreValue(double v)
+    {
+        if (!source_)
+            value_ = v;
     }
 
   private:
@@ -179,6 +190,33 @@ class MetricsRegistry
 
     /** Zero every metric (registrations and gauge sources kept). */
     void reset();
+
+    /**
+     * Value snapshot of every metric, by name (snapshot support).
+     * Counters and (log) histograms are captured whole; gauges only
+     * when they hold a plain non-volatile value — source-backed
+     * gauges are live views of component state and volatile gauges
+     * are wall-clock-derived, so neither belongs in a snapshot.
+     */
+    struct Values
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, Histogram> histograms;
+        std::map<std::string, LogHistogram> logHistograms;
+    };
+
+    /** Capture every metric's current value (snapshot support). */
+    [[nodiscard]] Values saveValues() const;
+
+    /**
+     * Restore snapshotted values into the already-registered metrics
+     * of this registry.  Every saved name must exist here with the
+     * same kind and shape (a branch registers the identical metric
+     * set by rebuilding from the same configuration); extra
+     * registrations are left untouched.
+     */
+    void restoreValues(const Values &values);
 
     /** Snapshot all gauge sources into plain values (call before the
      *  components backing the sources are destroyed). */

@@ -47,6 +47,10 @@ EventQueue::enqueue(Tick when, Callback &callback,
                 " which is in the past (now=", now_, ")");
     POLCA_CHECK(static_cast<bool>(callback),
                 "scheduling empty callback '", name, "'");
+    POLCA_CHECK(!restoring_,
+                "scheduling event '", name,
+                "' while a snapshot restore is open (use "
+                "rearmSchedule/rearmPost)");
 
     std::uint32_t slot = allocSlot();
     Slot &s = slab_[slot];
@@ -68,6 +72,8 @@ EventQueue::schedule(Tick when, Callback callback, std::string name)
     std::uint32_t slot = enqueue(when, callback, name);
     auto control = std::make_shared<Handle::Control>();
     control->slot = slot;
+    control->when = when;
+    control->seq = slab_[slot].seq;
     slab_[slot].control = control;
     return Handle(std::move(control));
 }
@@ -79,17 +85,18 @@ EventQueue::scheduleAfter(Tick delay, Callback callback, std::string name)
     return schedule(now_ + delay, std::move(callback), std::move(name));
 }
 
-void
+std::uint64_t
 EventQueue::post(Tick when, Callback callback, std::string name)
 {
-    enqueue(when, callback, name);
+    std::uint32_t slot = enqueue(when, callback, name);
+    return slab_[slot].seq;
 }
 
-void
+std::uint64_t
 EventQueue::postAfter(Tick delay, Callback callback, std::string name)
 {
     POLCA_CHECK(delay >= 0, "negative delay ", delay);
-    post(now_ + delay, std::move(callback), std::move(name));
+    return post(now_ + delay, std::move(callback), std::move(name));
 }
 
 void
@@ -220,6 +227,106 @@ EventQueue::runAll()
     while (runOne())
         ++processed;
     return processed;
+}
+
+EventQueueState
+EventQueue::captureState() const
+{
+    EventQueueState state;
+    state.now = now_;
+    state.nextSeq = nextSeq_;
+    state.numProcessed = numProcessed_;
+    state.liveEvents = liveEvents_;
+    state.highWater = highWater_;
+    return state;
+}
+
+void
+EventQueue::beginRestore(const EventQueueState &state)
+{
+    POLCA_CHECK(!restoring_, "beginRestore with a restore open");
+    POLCA_CHECK(state.now >= now_,
+                "restoring to t=", state.now,
+                " which is behind now=", now_);
+    // Discard everything the freshly-built world scheduled; the
+    // components re-arm their own pending events with the saved
+    // (when, seq) pairs.
+    for (const HeapEntry &entry : heap_) {
+        Slot &s = slab_[entry.slot];
+        if (s.control) {
+            s.control->done = true;
+            s.control.reset();
+        }
+    }
+    heap_.clear();
+    slab_.clear();
+    freeHead_ = kNoSlot;
+    names_.clear();
+    now_ = state.now;
+    nextSeq_ = state.nextSeq;
+    numProcessed_ = state.numProcessed;
+    liveEvents_ = 0;
+    highWater_ = state.highWater;
+    restoring_ = true;
+}
+
+std::uint32_t
+EventQueue::rearm(Tick when, std::uint64_t seq, Callback &callback,
+                  const std::string &name)
+{
+    POLCA_CHECK(restoring_,
+                "rearm of '", name, "' outside a restore");
+    POLCA_CHECK(seq < nextSeq_,
+                "rearm of '", name, "' with seq ", seq,
+                " the snapshotted run never allocated (nextSeq=",
+                nextSeq_, ")");
+    POLCA_CHECK(when >= now_,
+                "rearm of '", name, "' at t=", when,
+                " behind the restored now=", now_);
+    POLCA_CHECK(static_cast<bool>(callback),
+                "rearm of empty callback '", name, "'");
+
+    std::uint32_t slot = allocSlot();
+    Slot &s = slab_[slot];
+    s.callback = std::move(callback);
+    s.seq = seq;
+    if (namesEnabled_ && !name.empty())
+        names_.emplace(seq, name);
+    heap_.push_back({when, seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++liveEvents_;
+    highWater_ = std::max(highWater_, liveEvents_);
+    return slot;
+}
+
+EventQueue::Handle
+EventQueue::rearmSchedule(Tick when, std::uint64_t seq,
+                          Callback callback, std::string name)
+{
+    std::uint32_t slot = rearm(when, seq, callback, name);
+    auto control = std::make_shared<Handle::Control>();
+    control->slot = slot;
+    control->when = when;
+    control->seq = seq;
+    slab_[slot].control = control;
+    return Handle(std::move(control));
+}
+
+void
+EventQueue::rearmPost(Tick when, std::uint64_t seq, Callback callback,
+                      std::string name)
+{
+    rearm(when, seq, callback, name);
+}
+
+void
+EventQueue::endRestore(std::size_t expectedLive)
+{
+    POLCA_CHECK(restoring_, "endRestore without beginRestore");
+    POLCA_CHECK(liveEvents_ == expectedLive,
+                "restore re-armed ", liveEvents_,
+                " events, expected ", expectedLive);
+    restoring_ = false;
 }
 
 } // namespace polca::sim

@@ -27,6 +27,19 @@
  * silently corrupt heap order and break determinism, so it is treated
  * as a simulator bug, never a recoverable condition.  Empty callbacks
  * are rejected the same way.
+ *
+ * Snapshot/branch support: captureState() freezes the queue's
+ * counters (time, sequence allocator, processed/high-water marks)
+ * into an EventQueueState.  Callbacks cannot be serialized, so a
+ * snapshot is restored by *re-arming*: beginRestore() discards every
+ * pending event and adopts the saved counters, then each component
+ * re-registers its own pending callbacks via rearmSchedule()/
+ * rearmPost() with the (when, seq) pair it saved — the original seq
+ * is reused, so tie-breaking (and therefore the trajectory) is
+ * bit-identical to the run the snapshot was taken from regardless of
+ * re-arm order.  endRestore() closes the protocol and checks the
+ * expected number of live events.  Normal scheduling panics while a
+ * restore is open.
  */
 
 #pragma once
@@ -41,6 +54,20 @@
 #include "sim/types.hh"
 
 namespace polca::sim {
+
+/**
+ * Counter state of an EventQueue at a snapshot boundary.  Pending
+ * callbacks are not part of this: they are re-armed by their owning
+ * components (the Snapshottable protocol, see sim/snapshot.hh).
+ */
+struct EventQueueState
+{
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numProcessed = 0;
+    std::size_t liveEvents = 0;
+    std::size_t highWater = 0;
+};
 
 /**
  * Time-ordered queue of callbacks; the heart of the simulator.
@@ -65,6 +92,17 @@ class EventQueue
          *  cancelled. */
         bool pending() const { return control_ && !control_->done; }
 
+        /** Firing time of the pending event (snapshot support;
+         *  meaningless unless pending()). */
+        Tick when() const { return control_ ? control_->when : 0; }
+
+        /** Sequence number of the pending event — the tie-break
+         *  identity a re-arm must reuse (see EventQueueState). */
+        std::uint64_t seq() const
+        {
+            return control_ ? control_->seq : 0;
+        }
+
       private:
         friend class EventQueue;
 
@@ -76,6 +114,8 @@ class EventQueue
         {
             std::uint32_t slot = 0;
             bool done = false;
+            Tick when = 0;
+            std::uint64_t seq = 0;
         };
 
         // Handles are the cold cancellation path, not the per-event
@@ -113,11 +153,15 @@ class EventQueue
      * Fire-and-forget fast path: schedule a callback at absolute tick
      * @p when with no handle and no control-block allocation.  Same
      * validation as schedule(): the past and empty callbacks panic.
+     * @return the event's sequence number (components that snapshot
+     *         a pending post save it for the re-arm).
      */
-    void post(Tick when, Callback callback, std::string name = {});
+    std::uint64_t post(Tick when, Callback callback,
+                       std::string name = {});
 
     /** Fire-and-forget @p delay ticks from now (delay >= 0). */
-    void postAfter(Tick delay, Callback callback, std::string name = {});
+    std::uint64_t postAfter(Tick delay, Callback callback,
+                            std::string name = {});
 
     /** Cancel a pending event; no-op if already fired or cancelled. */
     void cancel(Handle &handle);
@@ -175,6 +219,47 @@ class EventQueue
     /** Run until the queue is empty. @return events processed. */
     std::uint64_t runAll();
 
+    /** @name Snapshot/branch protocol (see the file comment) */
+    /** @{ */
+    /** Freeze the queue's counters at the current instant. */
+    [[nodiscard]] EventQueueState captureState() const;
+
+    /**
+     * Open a restore: discard every pending event (their handles
+     * become inert) and adopt @p state's time and counters.  Until
+     * endRestore(), only rearmSchedule()/rearmPost() may add events.
+     */
+    void beginRestore(const EventQueueState &state);
+
+    /**
+     * Re-register a cancellable callback saved from a snapshot.
+     * @p seq must be a sequence number the snapshotted run had
+     * already allocated (seq < nextSeq) and @p when must not precede
+     * the restored now().  Only valid between beginRestore() and
+     * endRestore().
+     */
+    [[nodiscard]] Handle rearmSchedule(Tick when, std::uint64_t seq,
+                                       Callback callback,
+                                       std::string name = {});
+
+    /** Re-register a fire-and-forget callback saved from a
+     *  snapshot; same rules as rearmSchedule(). */
+    void rearmPost(Tick when, std::uint64_t seq, Callback callback,
+                   std::string name = {});
+
+    /**
+     * Close the restore.  @p expectedLive is the number of events
+     * the caller re-armed — passed explicitly rather than taken from
+     * the snapshot because a branch may legitimately re-arm fewer
+     * events than the source run had pending (e.g. an unobserved
+     * baseline branch skips the stats task).
+     */
+    void endRestore(std::size_t expectedLive);
+
+    /** @return true while a restore is open. */
+    bool restoring() const { return restoring_; }
+    /** @} */
+
   private:
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
@@ -213,6 +298,11 @@ class EventQueue
     std::uint32_t enqueue(Tick when, Callback &callback,
                           const std::string &name);
 
+    /** Enqueue with a caller-supplied (snapshot-saved) seq; shared
+     *  by both re-arm paths. */
+    std::uint32_t rearm(Tick when, std::uint64_t seq,
+                        Callback &callback, const std::string &name);
+
     std::uint32_t allocSlot();
     void freeSlot(std::uint32_t slot);
 
@@ -233,6 +323,7 @@ class EventQueue
     std::uint64_t numProcessed_ = 0;
     std::size_t liveEvents_ = 0;
     std::size_t highWater_ = 0;
+    bool restoring_ = false;
 };
 
 } // namespace polca::sim

@@ -70,16 +70,45 @@ Simulation::PeriodicTask::PeriodicTask(Simulation &sim, Tick period,
 }
 
 void
+Simulation::PeriodicTask::fire()
+{
+    if (!running_)
+        return;
+    Tick fired = sim_.now();
+    // Re-arm before invoking so the callback may stop() us.
+    arm();
+    callback_(fired);
+}
+
+void
 Simulation::PeriodicTask::arm()
 {
-    pending_ = sim_.queue().scheduleAfter(period_, [this] {
-        if (!running_)
-            return;
-        Tick fired = sim_.now();
-        // Re-arm before invoking so the callback may stop() us.
-        arm();
-        callback_(fired);
-    });
+    pending_ = sim_.queue().scheduleAfter(period_,
+                                          [this] { fire(); });
+}
+
+Simulation::PeriodicTask::State
+Simulation::PeriodicTask::saveState() const
+{
+    State state;
+    state.running = running_ && pending_.pending();
+    if (state.running) {
+        state.when = pending_.when();
+        state.seq = pending_.seq();
+    }
+    return state;
+}
+
+void
+Simulation::PeriodicTask::restoreState(const State &state)
+{
+    if (!state.running) {
+        running_ = false;
+        return;
+    }
+    running_ = true;
+    pending_ = sim_.queue().rearmSchedule(state.when, state.seq,
+                                          [this] { fire(); });
 }
 
 void
@@ -101,13 +130,8 @@ Simulation::every(Tick period, std::function<void(Tick)> callback,
         new PeriodicTask(*this, period, std::move(callback)));  // polca-lint: allow(raw-new-delete)
     PeriodicTask *raw = task.get();
     Tick first = phase >= 0 ? phase : period;
-    task->pending_ = queue_.scheduleAfter(first, [raw] {
-        if (!raw->running_)
-            return;
-        Tick fired = raw->sim_.now();
-        raw->arm();
-        raw->callback_(fired);
-    });
+    task->pending_ =
+        queue_.scheduleAfter(first, [raw] { raw->fire(); });
     return task;
 }
 

@@ -60,6 +60,14 @@ class Simulation
     class PeriodicTask
     {
       public:
+        /** Schedule position of a task at a snapshot boundary. */
+        struct State
+        {
+            bool running = false;
+            Tick when = 0;          ///< next firing time
+            std::uint64_t seq = 0;  ///< its saved sequence number
+        };
+
         ~PeriodicTask() { stop(); }
         PeriodicTask(const PeriodicTask &) = delete;
         PeriodicTask &operator=(const PeriodicTask &) = delete;
@@ -70,11 +78,22 @@ class Simulation
         /** @return true if the task will fire again. */
         bool running() const { return running_; }
 
+        /** Capture the schedule position (snapshot support). */
+        [[nodiscard]] State saveState() const;
+
+        /**
+         * Re-arm an equivalent task at the saved position.  Only
+         * valid while the owning queue has a restore open (the
+         * build-time pending event was discarded by beginRestore).
+         */
+        void restoreState(const State &state);
+
       private:
         friend class Simulation;
         PeriodicTask(Simulation &sim, Tick period,
                      std::function<void(Tick)> callback);
         void arm();
+        void fire();
 
         Simulation &sim_;
         Tick period_;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Snapshot/branch substrate for checkpointed sweep execution.
+ *
+ * A sweep whose points share an identical warmup prefix (same seed,
+ * same workload, divergent only in policy/budget) wastes
+ * points x warmup re-simulating the same trajectory.  The branch
+ * layer simulates the shared prefix once, freezes the simulation at
+ * the boundary, and forks every point from the in-memory snapshot.
+ *
+ * Callbacks cannot be serialized, so the snapshot does not copy the
+ * event queue's pending events.  Instead every component follows the
+ * *Snapshottable re-arm protocol*:
+ *
+ *  - `saveState()` returns a plain value object: the component's
+ *    mutable counters/buffers plus, for each pending event it owns,
+ *    the (when, seq) pair from the Handle (or the seq returned by
+ *    EventQueue::post).
+ *  - To branch, the caller builds a fresh world from the same
+ *    configuration (structure and wiring are reproduced by
+ *    construction), opens `EventQueue::beginRestore()` — which
+ *    discards every build-time event and adopts the saved counters —
+ *    then calls each component's `restoreState()`, which re-arms its
+ *    pending callbacks via `rearmSchedule()/rearmPost()` with the
+ *    *original* sequence numbers.  Because the queue breaks same-tick
+ *    ties by seq and every seq is unique, the re-arm order is
+ *    irrelevant: the branched trajectory is bit-identical to
+ *    continuing the source run.
+ *  - `EventQueue::endRestore(expectedLive)` closes the protocol.
+ *
+ * Holding mutable state in statics/globals breaks this silently (a
+ * snapshot cannot see it); `polca_lint`'s snapshot-drift rule guards
+ * the tree against that.
+ */
+
+#pragma once
+
+#include "sim/event_queue.hh"
+
+namespace polca::sim {
+
+/**
+ * The simulation-substrate half of a snapshot: the event queue's
+ * counter state at the boundary.  Component states (model, cluster,
+ * telemetry, obs) ride alongside in the experiment-level snapshot
+ * (core::WarmupSnapshot), which owns one of these.
+ *
+ * The root Simulation Rng needs no entry here: Rng::fork()/
+ * forkPath() are const (pure functions of the parent seed), so the
+ * root stream never advances after construction and a rebuilt world
+ * derives the identical child streams.  Component Rngs that *do*
+ * advance during the prefix (dispatcher pick streams, telemetry
+ * dropout streams) are value-copied inside their component's state.
+ */
+struct Snapshot
+{
+    EventQueueState queue;
+};
+
+} // namespace polca::sim

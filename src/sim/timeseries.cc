@@ -197,12 +197,31 @@ sumOnGrid(const std::vector<const TimeSeries *> &series, Tick dt)
     TimeSeries out;
     if (!any)
         return out;
+    out.reserve(static_cast<std::size_t>((end - start) / dt) + 1);
 
+    // Single merged sweep: the grid only moves forward, so one
+    // monotone cursor per series replaces a binary search per
+    // (grid point, series) pair — each cursor advances at most
+    // size() times over the whole sweep, O(samples + grid x series)
+    // instead of O(grid x series x log samples).
+    std::vector<const TimeSeries *> live;
+    live.reserve(series.size());
+    for (const TimeSeries *s : series) {
+        if (s && !s->empty())
+            live.push_back(s);
+    }
+    std::vector<std::size_t> cursor(live.size(), 0);
     for (Tick t = start; t <= end; t += dt) {
         double sum = 0.0;
-        for (const TimeSeries *s : series) {
-            if (s && !s->empty())
-                sum += s->valueAt(t);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::vector<TimeSeries::Point> &points =
+                live[i]->points();
+            std::size_t &c = cursor[i];
+            while (c + 1 < points.size() && points[c + 1].time <= t)
+                ++c;
+            // Before a series' first sample this holds its first
+            // value — the same step extension valueAt() applies.
+            sum += points[c].value;
         }
         out.add(t, sum);
     }

@@ -70,6 +70,42 @@ BreakerModel::attachObservability(obs::Observability *obs,
         "watts above provisioned, per sample while overdrawn");
 }
 
+BreakerModel::State
+BreakerModel::saveState() const
+{
+    State state;
+    state.streak = streak_;
+    state.longestStreak = longestStreak_;
+    state.aboveBudget = aboveBudget_;
+    state.aboveLimit = aboveLimit_;
+    state.overdrawWs = overdrawWs_;
+    state.trips = trips_;
+    state.nearTrips = nearTrips_;
+    state.firstTrip = firstTrip_;
+    if (task_)
+        state.task = task_->saveState();
+    return state;
+}
+
+void
+BreakerModel::restoreState(const State &state)
+{
+    streak_ = state.streak;
+    longestStreak_ = state.longestStreak;
+    aboveBudget_ = state.aboveBudget;
+    aboveLimit_ = state.aboveLimit;
+    overdrawWs_ = state.overdrawWs;
+    trips_ = state.trips;
+    nearTrips_ = state.nearTrips;
+    firstTrip_ = state.firstTrip;
+    if (state.task.running && !task_) {
+        sim::panic("BreakerModel: restoring a running sampler on a "
+                   "stopped breaker (start() it first)");
+    }
+    if (task_)
+        task_->restoreState(state.task);
+}
+
 void
 BreakerModel::endStreak(sim::Tick now, bool tripped)
 {

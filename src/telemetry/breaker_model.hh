@@ -124,6 +124,29 @@ class BreakerModel
     sim::Tick longestOverLimitStreak() const { return longestStreak_; }
     /** @} */
 
+    /** Mutable state at a snapshot boundary: the violation
+     *  accounting plus the sampler's schedule position. */
+    struct State
+    {
+        sim::Tick streak = 0;
+        sim::Tick longestStreak = 0;
+        sim::Tick aboveBudget = 0;
+        sim::Tick aboveLimit = 0;
+        double overdrawWs = 0.0;
+        std::uint64_t trips = 0;
+        std::uint64_t nearTrips = 0;
+        sim::Tick firstTrip = -1;
+        sim::Simulation::PeriodicTask::State task;
+    };
+
+    /** Capture mutable state (snapshot support). */
+    [[nodiscard]] State saveState() const;
+
+    /** Restore from a snapshot while the queue has a restore open;
+     *  the breaker must be start()ed when the saved task was
+     *  running. */
+    void restoreState(const State &state);
+
   private:
     void sample(sim::Tick now);
     void endStreak(sim::Tick now, bool tripped);

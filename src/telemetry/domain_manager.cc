@@ -28,6 +28,15 @@ DomainManager::addListener(Listener listener)
 }
 
 void
+DomainManager::reserveSeries(sim::Tick horizon)
+{
+    if (!recordSeries_ || horizon <= 0)
+        return;
+    series_.reserve(
+        static_cast<std::size_t>(horizon / interval_) + 2);
+}
+
+void
 DomainManager::start()
 {
     if (task_)
@@ -99,6 +108,36 @@ DomainManager::attachDomainObservability(obs::Observability *obs,
         .gauge(path + ".power",
                "latest rolled-up power reading at this domain (watts)")
         .setSource([this] { return latest_; });
+}
+
+DomainManager::State
+DomainManager::saveState() const
+{
+    State state;
+    state.latest = latest_;
+    state.latestTime = latestTime_;
+    state.dropped = dropped_;
+    state.dropoutRng = dropoutRng_;
+    state.series = series_;
+    if (task_)
+        state.task = task_->saveState();
+    return state;
+}
+
+void
+DomainManager::restoreState(const State &state)
+{
+    latest_ = state.latest;
+    latestTime_ = state.latestTime;
+    dropped_ = state.dropped;
+    dropoutRng_ = state.dropoutRng;
+    series_ = state.series;
+    if (state.task.running && !task_) {
+        sim::panic("DomainManager: restoring a running sampler on a "
+                   "stopped manager (start() it first)");
+    }
+    if (task_)
+        task_->restoreState(state.task);
 }
 
 void

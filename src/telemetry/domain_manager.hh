@@ -110,11 +110,39 @@ class DomainManager
     /** Full reading history (empty when recording disabled). */
     const sim::TimeSeries &series() const { return series_; }
 
+    /**
+     * Pre-size the reading history for a run spanning @p horizon
+     * ticks — one sample per interval — so steady-state recording
+     * never reallocates mid-run.  No-op when recording is disabled.
+     */
+    void reserveSeries(sim::Tick horizon);
+
     /** Take an immediate reading outside the periodic schedule. */
     double readNow();
 
     /** Readings silently dropped so far. */
     std::uint64_t droppedReadings() const { return dropped_; }
+
+    /** Mutable state at a snapshot boundary: the reading history and
+     *  dropout stream plus the periodic task's schedule position.
+     *  Sources/listeners/hooks are wiring, reproduced by rebuild. */
+    struct State
+    {
+        double latest = 0.0;
+        sim::Tick latestTime = 0;
+        std::uint64_t dropped = 0;
+        sim::Rng dropoutRng;
+        sim::TimeSeries series;
+        sim::Simulation::PeriodicTask::State task;
+    };
+
+    /** Capture mutable state (snapshot support). */
+    [[nodiscard]] State saveState() const;
+
+    /** Restore from a snapshot while the queue has a restore open.
+     *  The manager must be start()ed (its build-time event was
+     *  discarded by beginRestore) when the saved task was running. */
+    void restoreState(const State &state);
 
   private:
     void sample(sim::Tick now);

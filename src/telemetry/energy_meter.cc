@@ -31,6 +31,30 @@ EnergyMeter::stop()
     task_.reset();
 }
 
+EnergyMeter::State
+EnergyMeter::saveState() const
+{
+    State state;
+    state.joules = joules_;
+    state.meteredTicks = meteredTicks_;
+    if (task_)
+        state.task = task_->saveState();
+    return state;
+}
+
+void
+EnergyMeter::restoreState(const State &state)
+{
+    joules_ = state.joules;
+    meteredTicks_ = state.meteredTicks;
+    if (state.task.running && !task_) {
+        sim::panic("EnergyMeter: restoring a running meter on a "
+                   "stopped one (start() it first)");
+    }
+    if (task_)
+        task_->restoreState(state.task);
+}
+
 void
 EnergyMeter::sample(sim::Tick)
 {

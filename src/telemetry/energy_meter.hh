@@ -47,6 +47,21 @@ class EnergyMeter
     /** Mean power over the metered interval, watts. */
     double meanPowerWatts() const;
 
+    /** Mutable state at a snapshot boundary. */
+    struct State
+    {
+        double joules = 0.0;
+        sim::Tick meteredTicks = 0;
+        sim::Simulation::PeriodicTask::State task;
+    };
+
+    /** Capture mutable state (snapshot support). */
+    [[nodiscard]] State saveState() const;
+
+    /** Restore from a snapshot while the queue has a restore open;
+     *  the meter must be start()ed when the saved task was running. */
+    void restoreState(const State &state);
+
   private:
     void sample(sim::Tick now);
 

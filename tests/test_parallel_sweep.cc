@@ -38,7 +38,7 @@ fourPoints()
     std::vector<core::SweepPoint> points;
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
         points.push_back({"seed=" + std::to_string(seed),
-                          tinyConfig(seed)});
+                          tinyConfig(seed), ""});
     }
     return points;
 }
@@ -114,7 +114,7 @@ TEST(ParallelSweep, MoreWorkersThanPointsCompletes)
 {
     sim::QuietScope quiet(true);
     std::vector<core::SweepPoint> points;
-    points.push_back({"only", tinyConfig(3)});
+    points.push_back({"only", tinyConfig(3), ""});
 
     core::SweepOptions options;
     options.runBaseline = true;
@@ -172,6 +172,150 @@ TEST(ParallelSweep, SweepJobsRejectsBadValues)
         config::Diagnostics diag;
         config::loadScenarioString(std::string("[sweep]\n") + bad,
                                    "jobs-bad", {}, diag);
+        EXPECT_FALSE(diag.ok()) << bad;
+    }
+}
+
+/** A point sharing one warmup trajectory, diverging only in policy. */
+core::ExperimentConfig
+warmupConfig(core::PolicyConfig policy)
+{
+    core::ExperimentConfig config = tinyConfig(9);
+    config.duration = sim::secondsToTicks(1200);
+    config.warmup = sim::secondsToTicks(600);
+    config.obsOptions.metricsInterval = sim::secondsToTicks(120);
+    config.policy = std::move(policy);
+    return config;
+}
+
+TEST(ParallelSweep, BranchedSweepIsByteIdenticalToFullSimulation)
+{
+    sim::QuietScope quiet(true);
+    const std::string dirFull = "parallel_sweep_test_full";
+    const std::string dirBranch = "parallel_sweep_test_branch";
+    std::filesystem::remove_all(dirFull);
+    std::filesystem::remove_all(dirBranch);
+
+    auto makePoints = [] {
+        std::vector<core::SweepPoint> points;
+        points.push_back({"policy=polca",
+                          warmupConfig(core::PolicyConfig::polca()),
+                          "shared-warmup"});
+        points.push_back({"policy=nocap",
+                          warmupConfig(core::PolicyConfig::noCap()),
+                          "shared-warmup"});
+        return points;
+    };
+
+    core::SweepOptions full;
+    full.artifactDir = dirFull;
+    full.runBaseline = true;
+    full.echoProgress = false;
+    full.jobs = 1;
+    full.branch = false;
+
+    core::SweepOptions branched = full;
+    branched.artifactDir = dirBranch;
+    branched.jobs = 4;
+    branched.branch = true;
+
+    core::SweepRunner fullRunner(makePoints(), full);
+    core::SweepRunner branchRunner(makePoints(), branched);
+    const auto &fullResults = fullRunner.run();
+    const auto &branchResults = branchRunner.run();
+
+    ASSERT_EQ(fullResults.size(), 2u);
+    ASSERT_EQ(branchResults.size(), 2u);
+    EXPECT_EQ(slurp(std::filesystem::path(dirFull) / "summary.csv"),
+              slurp(std::filesystem::path(dirBranch) /
+                    "summary.csv"));
+    for (std::size_t i = 0; i < fullResults.size(); ++i) {
+        const auto &a = fullResults[i];
+        const auto &b = branchResults[i];
+        EXPECT_EQ(a.label, b.label);
+        ASSERT_FALSE(a.artifactPath.empty());
+        EXPECT_EQ(slurp(a.artifactPath), slurp(b.artifactPath))
+            << a.artifactPath;
+        EXPECT_EQ(a.result.lowCompletions, b.result.lowCompletions);
+        EXPECT_DOUBLE_EQ(a.result.low.p99, b.result.low.p99);
+        EXPECT_DOUBLE_EQ(a.result.energyKwh, b.result.energyKwh);
+        EXPECT_DOUBLE_EQ(a.lowNorm.p99, b.lowNorm.p99);
+        EXPECT_DOUBLE_EQ(a.highNorm.p99, b.highNorm.p99);
+        EXPECT_EQ(a.baseline.lowCompletions,
+                  b.baseline.lowCompletions);
+        EXPECT_DOUBLE_EQ(a.baseline.low.p99, b.baseline.low.p99);
+    }
+
+    std::filesystem::remove_all(dirFull);
+    std::filesystem::remove_all(dirBranch);
+}
+
+TEST(ParallelSweep, SweepWarmupAndBranchKeysAreReservedNotAxes)
+{
+    const std::string text =
+        "[experiment]\n"
+        "duration = 1200s\n"
+        "[row]\n"
+        "base_servers = 2\n"
+        "[sweep]\n"
+        "warmup = 300s\n"
+        "branch = false\n"
+        "\"experiment.seed\" = [1, 2]\n";
+    config::Diagnostics diag;
+    config::ScenarioSet set =
+        config::loadScenarioString(text, "warmup-key", {}, diag);
+    ASSERT_TRUE(diag.ok()) << diag.str();
+    EXPECT_FALSE(set.branch);
+    ASSERT_EQ(set.points.size(), 2u);
+    for (const config::ResolvedScenario &point : set.points) {
+        EXPECT_EQ(point.config.warmup, sim::secondsToTicks(300));
+        EXPECT_EQ(point.label.find("warmup"), std::string::npos);
+        EXPECT_EQ(point.label.find("branch"), std::string::npos);
+    }
+}
+
+TEST(ParallelSweep, WarmupDigestIgnoresControlPlaneAxesOnly)
+{
+    const std::string text =
+        "[experiment]\n"
+        "duration = 1200s\n"
+        "[row]\n"
+        "base_servers = 2\n"
+        "[sweep]\n"
+        "warmup = 300s\n"
+        "\"policy.preset\" = [\"polca\", \"nocap\"]\n"
+        "\"experiment.seed\" = [1, 2]\n";
+    config::Diagnostics diag;
+    config::ScenarioSet set =
+        config::loadScenarioString(text, "digest", {}, diag);
+    ASSERT_TRUE(diag.ok()) << diag.str();
+    ASSERT_EQ(set.points.size(), 4u);
+
+    std::vector<std::string> digests;
+    for (const config::ResolvedScenario &point : set.points) {
+        digests.push_back(
+            config::warmupDigest(point.config, point.tree));
+    }
+    // Policy divergence keeps points in one warmup group...
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = i + 1; j < 4; ++j) {
+            if (set.points[i].config.seed ==
+                set.points[j].config.seed)
+                EXPECT_EQ(digests[i], digests[j]) << i << "," << j;
+            else  // ...seed divergence does not.
+                EXPECT_NE(digests[i], digests[j]) << i << "," << j;
+        }
+    }
+}
+
+TEST(ParallelSweep, SweepWarmupAndBranchRejectBadValues)
+{
+    for (const char *bad :
+         {"warmup = [300s, 600s]\n", "branch = 7\n",
+          "branch = \"yes\"\n", "branch = [true, false]\n"}) {
+        config::Diagnostics diag;
+        config::loadScenarioString(std::string("[sweep]\n") + bad,
+                                   "reserved-bad", {}, diag);
         EXPECT_FALSE(diag.ok()) << bad;
     }
 }

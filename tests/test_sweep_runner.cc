@@ -44,8 +44,8 @@ TEST(SweepRunner, RunsEveryPointAndWritesArtifacts)
     std::filesystem::remove_all(dir);
 
     std::vector<core::SweepPoint> points;
-    points.push_back({"seed=1", tinyConfig(1)});
-    points.push_back({"seed=2", tinyConfig(2)});
+    points.push_back({"seed=1", tinyConfig(1), ""});
+    points.push_back({"seed=2", tinyConfig(2), ""});
 
     core::SweepOptions options;
     options.artifactDir = dir;
@@ -95,7 +95,7 @@ TEST(SweepRunner, NoArtifactDirWritesNothing)
 {
     sim::QuietScope quiet(true);
     std::vector<core::SweepPoint> points;
-    points.push_back({"", tinyConfig(1)});
+    points.push_back({"", tinyConfig(1), ""});
     core::SweepOptions options;
     options.runBaseline = false;
     options.echoProgress = false;
@@ -109,7 +109,7 @@ TEST(SweepRunner, BaselineNormalization)
 {
     sim::QuietScope quiet(true);
     std::vector<core::SweepPoint> points;
-    points.push_back({"seed=1", tinyConfig(1)});
+    points.push_back({"seed=1", tinyConfig(1), ""});
     core::SweepOptions options;
     options.runBaseline = true;
     options.echoProgress = false;

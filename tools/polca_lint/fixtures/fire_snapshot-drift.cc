@@ -1,0 +1,20 @@
+// Fixture: mutable static/thread_local state that a warmup snapshot
+// cannot capture.  Every declaration below must fire snapshot-drift.
+#include <cstdint>
+
+namespace polca {
+
+static std::uint64_t totalBranches = 0;
+
+thread_local int branchDepth = 0;
+
+int
+countBranch()
+{
+    static int calls = 0;
+    ++calls;
+    totalBranches += static_cast<std::uint64_t>(branchDepth);
+    return calls;
+}
+
+} // namespace polca

@@ -1,0 +1,27 @@
+// Fixture: statics that must NOT fire snapshot-drift — immutable
+// tables, static functions, and a documented suppression.
+#include <cstdint>
+
+namespace polca {
+
+static const int kTableSize = 64;
+static constexpr double kScale = 1.5;
+
+static int
+helper(int x)
+{
+    return x + kTableSize;
+}
+
+// Monotonic diagnostics-only counter; never read by the model, so a
+// branched run cannot diverge on it.
+static std::uint64_t cachedTotal = 0;  // polca-lint: allow(snapshot-drift)
+
+int
+use()
+{
+    cachedTotal += static_cast<std::uint64_t>(helper(1));
+    return static_cast<int>(cachedTotal + static_cast<std::uint64_t>(kScale));
+}
+
+} // namespace polca

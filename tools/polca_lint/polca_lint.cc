@@ -23,6 +23,9 @@
  *                   rethrows
  *   metric-name     metric registered in src/ with a name that is
  *                   not dotted lowercase [a-z0-9_.]
+ *   snapshot-drift  mutable static/thread_local state in src/
+ *                   outside the allowlisted process-wide registries
+ *                   (invisible to warmup snapshots)
  *
  * Per-line suppression:   // polca-lint: allow(<rule>)
  * Machine output:         --format=gcc   (file:line: error: ... [rule])
@@ -617,6 +620,96 @@ scanFile(const fs::path &path, const std::string &rel)
         }
     }
 
+    // --- snapshot-drift --------------------------------------------
+    // Checkpoint/branch sweeps (core::WarmupSnapshot) rebuild a run
+    // from its config and restore captured component state, so any
+    // mutable static or thread_local in library code is state the
+    // snapshot cannot see: a branched run would silently diverge
+    // from the from-scratch run the byte-identity tests compare
+    // against.  Immutable statics (const/constexpr lookup tables)
+    // and static functions are fine.  Two files legitimately hold
+    // process-wide registries that snapshots deliberately do not
+    // capture — src/sim/simulation.cc (the thread-local active-sim
+    // stack) and src/sim/logging.cc (the log sink/time source) —
+    // and are allowlisted; anything else needs a per-line
+    // suppression plus a comment explaining why branching is safe.
+    if (startsWith(rel, "src/") && rel != "src/sim/simulation.cc" &&
+        rel != "src/sim/logging.cc") {
+        for (int i = 0; i < n; ++i) {
+            const std::string &code =
+                text.code[static_cast<std::size_t>(i)];
+            for (const std::string &kw :
+                 {std::string("static"), std::string("thread_local")}) {
+                std::size_t pos = findWord(code, kw);
+                if (pos == std::string::npos)
+                    continue;
+                // Collect the declaration's leading keywords: either
+                // storage keyword may precede the other, and
+                // const/constexpr mark the value immutable.
+                std::size_t j = pos + kw.size();
+                bool immutable = false;
+                for (;;) {
+                    while (j < code.size() && code[j] == ' ')
+                        ++j;
+                    std::size_t start = j;
+                    while (j < code.size() &&
+                           (std::isalnum(static_cast<unsigned char>(
+                                code[j])) != 0 ||
+                            code[j] == '_')) {
+                        ++j;
+                    }
+                    std::string word = code.substr(start, j - start);
+                    if (word == "static" || word == "thread_local" ||
+                        word == "inline") {
+                        continue;  // more storage/linkage keywords
+                    }
+                    if (word == "const" || word == "constexpr")
+                        immutable = true;
+                    break;
+                }
+                if (immutable)
+                    continue;
+                // Walk the rest of the line at template depth 0: a
+                // '(' before ';'/'='/'{' is a function declaration
+                // (or a function-pointer variable, close enough);
+                // hitting ';', '=', or a braced initializer first is
+                // a mutable variable.  Undecided lines (declaration
+                // continues past the line) stay silent — the
+                // terminator line will be scanned on its own and the
+                // rule is a tripwire, not a parser.
+                int depth = 0;
+                bool fired = false;
+                for (; j < code.size(); ++j) {
+                    char c = code[j];
+                    if (c == '<') {
+                        ++depth;
+                    } else if (c == '>') {
+                        if (depth > 0)
+                            --depth;
+                    } else if (depth == 0) {
+                        if (c == '(')
+                            break;  // function-ish: skip
+                        if (c == ';' || c == '=' || c == '{') {
+                            fired = true;
+                            break;
+                        }
+                    }
+                }
+                if (fired) {
+                    report(findings, text, rel, i + 1,
+                           "snapshot-drift",
+                           "mutable " + kw + " state in src/ is "
+                           "invisible to warmup snapshots and makes "
+                           "branched sweeps diverge from "
+                           "from-scratch runs; move it into a "
+                           "component with save/restoreState or "
+                           "suppress with a comment explaining why "
+                           "branching is safe");
+                }
+            }
+        }
+    }
+
     // --- todo-issue ------------------------------------------------
     // Runs on raw text: to-dos live in comments.  The marker is
     // spelled split so the linter's own source stays clean.
@@ -801,7 +894,7 @@ main(int argc, char **argv)
             std::cout << "wall-clock\nraw-random\nunordered-iter\n"
                          "raw-new-delete\nsim-shared-ptr\n"
                          "pragma-once\ntodo-issue\ncatch-swallow\n"
-                         "metric-name\n";
+                         "metric-name\nsnapshot-drift\n";
             return 0;
         }
         if (arg == "--self-test") {

@@ -10,7 +10,8 @@
  *   polcactl trace regenerate FILE [--bin SECONDS] [--seed S] \
  *                             [--out FILE]
  *   polcactl run [--scenario-file FILE] [--set path=value]... \
- *                [--out-dir DIR] [--jobs N] [legacy flags]
+ *                [--out-dir DIR] [--jobs N] [--branch 0|1] \
+ *                [legacy flags]
  *   polcactl report <run-dir>...
  *   polcactl config check FILE...
  *   polcactl config dump [--scenario-file FILE] [--set path=value]... \
@@ -26,7 +27,12 @@
  * expands into one run per point, executed with one metrics CSV
  * artifact per point plus a summary table; --jobs N (or the file's
  * [sweep] jobs key) runs the points on N worker threads with
- * byte-identical artifacts.
+ * byte-identical artifacts.  When the points share a warmup prefix
+ * ([sweep] warmup, sugar for experiment.warmup), the runner
+ * simulates the prefix once per distinct prefix and branches every
+ * point — and every baseline — from the in-memory snapshot
+ * (checkpoint/branch execution; --branch 0 or [sweep] branch =
+ * false disables it), with artifacts byte-identical either way.
  *
  * `config dump` prints the fully-resolved effective configuration
  * with per-value provenance comments; the output reparses to the
@@ -201,8 +207,8 @@ usage()
         "[--out FILE]\n"
         "  polcactl run [--scenario-file FILE] [--set path=value]... "
         "[--out-dir DIR]\n"
-        "               [--jobs N] [--added F] [--days N] [--seed S] "
-        "[--policy NAME]\n"
+        "               [--jobs N] [--branch 0|1] [--added F] "
+        "[--days N] [--seed S] [--policy NAME]\n"
         "               [--power-scale F] [--servers N] "
         "[--failures P] [--workload FILE]\n"
         "               [--dropout P] [--scenario NAME] "
@@ -237,6 +243,12 @@ usage()
         "artifacts;\n"
         "  a scenario file can set the same via the [sweep] jobs "
         "key.\n"
+        "  With [sweep] warmup = \"1h\" (sugar for "
+        "experiment.warmup) points sharing a\n"
+        "  warmup prefix simulate it once and branch from the "
+        "snapshot — artifacts\n"
+        "  stay byte-identical; disable via --branch 0 or [sweep] "
+        "branch = false.\n"
         "  run --trace exports Chrome trace_event JSON "
         "(chrome://tracing);\n"
         "  --metrics dumps the metrics registry (.csv for CSV);\n"
@@ -439,10 +451,10 @@ cmdScenarios()
 std::vector<std::string>
 runFlags()
 {
-    return {"scenario-file", "set", "out-dir", "jobs", "added",
-            "days", "seed", "policy", "power-scale", "servers",
-            "failures", "workload", "dropout", "scenario", "watchdog",
-            "trace", "metrics", "metrics-interval",
+    return {"scenario-file", "set", "out-dir", "jobs", "branch",
+            "added", "days", "seed", "policy", "power-scale",
+            "servers", "failures", "workload", "dropout", "scenario",
+            "watchdog", "trace", "metrics", "metrics-interval",
             "trace-categories", "point"};
 }
 
@@ -715,8 +727,13 @@ cmdRun(const Args &args)
 
     std::vector<core::SweepPoint> points;
     points.reserve(set.points.size());
-    for (config::ResolvedScenario &point : set.points)
-        points.push_back({point.label, point.config});
+    for (config::ResolvedScenario &point : set.points) {
+        points.push_back(
+            {point.label, point.config,
+             point.config.warmup > 0
+                 ? config::warmupDigest(point.config, point.tree)
+                 : std::string()});
+    }
 
     core::SweepOptions options;
     options.artifactDir =
@@ -729,6 +746,13 @@ cmdRun(const Args &args)
         options.jobs = jobs == 0
             ? static_cast<int>(core::ThreadPool::defaultWorkerCount())
             : static_cast<int>(jobs);
+    }
+    options.branch = set.branch;
+    if (args.has("branch")) {
+        double branch = args.number("branch", 1);
+        if (branch != 0 && branch != 1)
+            sim::fatal("--branch: expected 0 or 1");
+        options.branch = branch == 1;
     }
 
     // Sweep provenance: the manifest digest covers every point's
