@@ -119,7 +119,9 @@ class Dispatcher
 
     sim::Simulation &sim_;
     sim::Rng rng_;
+    // polca-snapshot: skip(lowPool_, topology wiring; servers snapshot themselves)
     std::vector<InferenceServer *> lowPool_;
+    // polca-snapshot: skip(highPool_, topology wiring; servers snapshot themselves)
     std::vector<InferenceServer *> highPool_;
     std::deque<workload::Request> centralLow_;
     std::deque<workload::Request> centralHigh_;

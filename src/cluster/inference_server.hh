@@ -274,11 +274,17 @@ class InferenceServer : public telemetry::ClockControllable
 
     sim::Simulation &sim_;
     power::ServerModel server_;
+    // polca-snapshot: skip(phases_, immutable model config set at construction)
     llm::PhaseModel phases_;
+    // polca-snapshot: skip(pool_, immutable placement config)
     workload::Priority pool_;
+    // polca-snapshot: skip(id_, immutable identity)
     int id_;
+    // polca-snapshot: skip(bufferSize_, immutable capacity config)
     std::size_t bufferSize_;
+    // polca-snapshot: skip(role_, immutable role config)
     ServerRole role_;
+    // polca-snapshot: skip(usedGpus_, fixed GPU assignment from construction)
     std::vector<std::size_t> usedGpus_;
     double powerScale_ = 1.0;
     double policyLockMhz_ = 0.0;     ///< lock commanded via OOB
@@ -288,6 +294,7 @@ class InferenceServer : public telemetry::ClockControllable
     std::uint64_t droppedRequests_ = 0;
 
     std::optional<ActiveBatch> active_;
+    // polca-snapshot: skip(maxBatchSize_, setup-time config; set before warmup)
     std::size_t maxBatchSize_ = 1;
     std::deque<workload::Request> buffer_;
     CompletionCallback onComplete_;

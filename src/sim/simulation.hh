@@ -96,6 +96,7 @@ class Simulation
         void fire();
 
         Simulation &sim_;
+        // polca-snapshot: skip(period_, immutable schedule config)
         Tick period_;
         std::function<void(Tick)> callback_;
         EventQueue::Handle pending_;

@@ -153,7 +153,9 @@ class BreakerModel
 
     sim::Simulation &sim_;
     PowerSource supply_;
+    // polca-snapshot: skip(config_, immutable breaker config)
     Config config_;
+    // polca-snapshot: skip(limitWatts_, derived from config_ at construction)
     double limitWatts_;
     std::unique_ptr<sim::Simulation::PeriodicTask> task_;
 

@@ -148,13 +148,16 @@ class DomainManager
     void sample(sim::Tick now);
 
     sim::Simulation &sim_;
+    // polca-snapshot: skip(interval_, immutable sampling config)
     sim::Tick interval_;
+    // polca-snapshot: skip(recordSeries_, immutable recording config)
     bool recordSeries_;
     std::vector<PowerSource> sources_;
     std::vector<Listener> listeners_;
     sim::TimeSeries series_;
     double latest_ = 0.0;
     sim::Tick latestTime_ = 0;
+    // polca-snapshot: skip(dropoutProbability_, setup-time config; set before warmup)
     double dropoutProbability_ = 0.0;
     sim::Rng dropoutRng_;
     FaultHook faultHook_;

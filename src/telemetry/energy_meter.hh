@@ -67,6 +67,7 @@ class EnergyMeter
 
     sim::Simulation &sim_;
     PowerSource source_;
+    // polca-snapshot: skip(interval_, immutable sampling config)
     sim::Tick interval_;
     double joules_ = 0.0;
     sim::Tick meteredTicks_ = 0;

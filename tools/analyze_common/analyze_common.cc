@@ -1,0 +1,418 @@
+#include "analyze_common.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+
+namespace polca::analyze {
+
+bool
+wordAt(const std::string &text, std::size_t pos, const std::string &word)
+{
+    if (pos + word.size() > text.size())
+        return false;
+    if (text.compare(pos, word.size(), word) != 0)
+        return false;
+    auto isIdent = [](unsigned char c) {
+        return std::isalnum(c) != 0 || c == '_';
+    };
+    if (pos > 0 && isIdent(text[pos - 1]))
+        return false;
+    std::size_t end = pos + word.size();
+    if (end < text.size() && isIdent(text[end]))
+        return false;
+    return true;
+}
+
+std::size_t
+findWord(const std::string &text, const std::string &word,
+         std::size_t from)
+{
+    for (std::size_t pos = text.find(word, from);
+         pos != std::string::npos; pos = text.find(word, pos + 1)) {
+        if (wordAt(text, pos, word))
+            return pos;
+    }
+    return std::string::npos;
+}
+
+namespace {
+
+/** Harvest `tag(<payload>)` suppressions on one raw line. */
+void
+harvestAllows(const std::string &line, const std::string &tag,
+              std::set<std::string> &allows)
+{
+    for (std::size_t pos = line.find(tag); pos != std::string::npos;
+         pos = line.find(tag, pos + 1)) {
+        std::size_t open = pos + tag.size();
+        std::size_t close = line.find(')', open);
+        if (close != std::string::npos)
+            allows.insert(line.substr(open, close - open));
+    }
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return {};
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+FileText
+loadFile(const fs::path &path)
+{
+    FileText out;
+    std::ifstream in(path);
+    std::string line;
+    bool inBlockComment = false;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Suppressions and skip annotations live in // comments;
+        // harvest them from the raw text before the comment is
+        // stripped.  Both tools' allow() tags land in one set so a
+        // suppression reviewed for either tool silences both.
+        std::set<std::string> allows;
+        harvestAllows(line, "polca-lint: allow(", allows);
+        harvestAllows(line, "polca-analyze: allow(", allows);
+
+        const std::string skipTag = "polca-snapshot: skip(";
+        for (std::size_t pos = line.find(skipTag);
+             pos != std::string::npos;
+             pos = line.find(skipTag, pos + 1)) {
+            std::size_t open = pos + skipTag.size();
+            std::size_t comma = line.find(',', open);
+            std::size_t close = line.find(')', open);
+            if (close == std::string::npos)
+                continue;
+            SkipAnnotation skip;
+            skip.line = lineNo;
+            if (comma != std::string::npos && comma < close) {
+                skip.member = trimmed(line.substr(open, comma - open));
+                skip.reason =
+                    trimmed(line.substr(comma + 1, close - comma - 1));
+            } else {
+                skip.member = trimmed(line.substr(open, close - open));
+            }
+            if (!skip.member.empty())
+                out.skips.push_back(std::move(skip));
+        }
+
+        std::string code(line.size(), ' ');
+        bool inString = false;
+        bool inChar = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            if (inBlockComment) {
+                if (c == '*' && next == '/') {
+                    inBlockComment = false;
+                    ++i;
+                }
+                continue;
+            }
+            if (inString) {
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    inString = false;
+                    code[i] = '"';
+                }
+                continue;
+            }
+            if (inChar) {
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    inChar = false;
+                    code[i] = '\'';
+                }
+                continue;
+            }
+            if (c == '/' && next == '/')
+                break;  // rest of line is a comment
+            if (c == '/' && next == '*') {
+                inBlockComment = true;
+                ++i;
+                continue;
+            }
+            if (c == '"') {
+                inString = true;
+                code[i] = '"';
+                continue;
+            }
+            if (c == '\'') {
+                // Digit separators (1'000'000) are not char literals.
+                bool digitSep = i > 0 &&
+                    std::isalnum(static_cast<unsigned char>(
+                        line[i - 1])) != 0 &&
+                    i + 1 < line.size() &&
+                    std::isalnum(static_cast<unsigned char>(
+                        line[i + 1])) != 0;
+                if (!digitSep) {
+                    inChar = true;
+                    code[i] = '\'';
+                    continue;
+                }
+            }
+            code[i] = c;
+        }
+        // Unterminated "strings" crossing lines are rare in practice
+        // (raw literals); treat end-of-line as closing them.
+        out.raw.push_back(line);
+        out.code.push_back(code);
+        out.allowed.push_back(std::move(allows));
+    }
+    return out;
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return rel.size() > 3 && (rel.ends_with(".hh") || rel.ends_with(".h"));
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+void
+report(std::vector<Finding> &findings, const FileText &text,
+       const std::string &rel, int line, const std::string &rule,
+       const std::string &message)
+{
+    std::size_t idx = static_cast<std::size_t>(line) - 1;
+    if (idx < text.allowed.size() && text.allowed[idx].count(rule))
+        return;
+    findings.push_back({rel, line, rule, message});
+}
+
+std::vector<std::pair<fs::path, std::string>>
+collectFiles(const fs::path &base, const std::vector<std::string> &roots)
+{
+    std::vector<std::pair<fs::path, std::string>> files;
+    for (const std::string &root : roots) {
+        fs::path dir = base / root;
+        if (!fs::exists(dir))
+            continue;
+        auto consider = [&](const fs::path &p) {
+            std::string ext = p.extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".h") {
+                return;
+            }
+            std::string rel =
+                fs::relative(p, base).generic_string();
+            // Fixture files violate rules on purpose.
+            if (rel.find("/fixtures/") != std::string::npos ||
+                startsWith(rel, "fixtures/")) {
+                return;
+            }
+            files.emplace_back(p, rel);
+        };
+        if (fs::is_regular_file(dir)) {
+            consider(dir);
+            continue;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                consider(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return files;
+}
+
+void
+printFindings(const std::vector<Finding> &findings, bool gccFormat)
+{
+    for (const Finding &f : findings) {
+        if (gccFormat) {
+            std::cout << f.file << ":" << f.line << ": error: "
+                      << f.message << " [" << f.rule << "]\n";
+        } else {
+            std::cout << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message << "\n";
+        }
+    }
+}
+
+int
+selfTest(const fs::path &fixtures, const std::string &toolName,
+         const ScanFn &scan)
+{
+    int failures = 0;
+    int checked = 0;
+    std::vector<fs::path> entries;
+    for (const auto &entry : fs::directory_iterator(fixtures)) {
+        if (entry.is_regular_file())
+            entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &path : entries) {
+        std::string stem = path.stem().string();
+        bool expectFire = startsWith(stem, "fire_");
+        bool expectClean = startsWith(stem, "suppressed_");
+        if (!expectFire && !expectClean)
+            continue;
+        ++checked;
+        std::string rule = stem.substr(stem.find('_') + 1);
+        // Scan as if the fixture sat at a path the path-scoped rules
+        // care about: headers pose as src/sim/ headers so
+        // sim-shared-ptr and pragma-once apply.
+        std::string ext = path.extension().string();
+        std::string rel = (ext == ".hh" || ext == ".h")
+            ? "src/sim/" + path.filename().string()
+            : "src/" + path.filename().string();
+        std::vector<Finding> findings = scan(path, rel);
+        if (expectFire) {
+            bool hit = false;
+            bool wrongRule = false;
+            for (const Finding &f : findings) {
+                if (f.rule == rule)
+                    hit = true;
+                else
+                    wrongRule = true;
+            }
+            if (!hit || wrongRule) {
+                ++failures;
+                std::cout << "FAIL " << path.filename().string()
+                          << ": expected only '" << rule
+                          << "' findings, got";
+                if (findings.empty()) {
+                    std::cout << " none";
+                } else {
+                    for (const Finding &f : findings)
+                        std::cout << " " << f.rule << "@" << f.line;
+                }
+                std::cout << "\n";
+            }
+        } else if (!findings.empty()) {
+            ++failures;
+            std::cout << "FAIL " << path.filename().string()
+                      << ": expected clean, got";
+            for (const Finding &f : findings)
+                std::cout << " " << f.rule << "@" << f.line;
+            std::cout << "\n";
+        }
+    }
+    std::cout << toolName << " self-test: " << (checked - failures)
+              << "/" << checked << " fixtures ok\n";
+    if (checked == 0) {
+        std::cout << toolName << " self-test: no fixtures found in "
+                  << fixtures.string() << "\n";
+        return 2;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+std::vector<Token>
+tokenize(const FileText &text)
+{
+    std::vector<Token> tokens;
+    auto isIdentStart = [](unsigned char c) {
+        return std::isalpha(c) != 0 || c == '_';
+    };
+    auto isIdentChar = [](unsigned char c) {
+        return std::isalnum(c) != 0 || c == '_';
+    };
+    // Multi-character punctuators, longest first within each family.
+    static const std::vector<std::string> puncts = {
+        "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=",
+        "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=",
+        ">=", "&&", "||", "<<", ">>",
+    };
+    for (std::size_t li = 0; li < text.code.size(); ++li) {
+        const std::string &code = text.code[li];
+        int line = static_cast<int>(li) + 1;
+        std::size_t i = 0;
+        while (i < code.size()) {
+            unsigned char c = static_cast<unsigned char>(code[i]);
+            if (c == ' ' || c == '\t') {
+                ++i;
+                continue;
+            }
+            if (c == '"') {
+                // The code view blanks literal contents but keeps the
+                // delimiting quotes; consume to the closing quote.
+                std::size_t end = code.find('"', i + 1);
+                tokens.push_back({TokenKind::String, "\"\"", line});
+                i = end == std::string::npos ? code.size() : end + 1;
+                continue;
+            }
+            if (c == '\'') {
+                std::size_t end = code.find('\'', i + 1);
+                tokens.push_back({TokenKind::CharLit, "''", line});
+                i = end == std::string::npos ? code.size() : end + 1;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                std::size_t start = i;
+                while (i < code.size() &&
+                       isIdentChar(
+                           static_cast<unsigned char>(code[i]))) {
+                    ++i;
+                }
+                tokens.push_back({TokenKind::Ident,
+                                  code.substr(start, i - start), line});
+                continue;
+            }
+            if (std::isdigit(c) != 0) {
+                // Numbers: digits, radix letters, '.', exponents with
+                // an optional sign (3.6e6, 1e-3, 0x1f).
+                std::size_t start = i;
+                while (i < code.size()) {
+                    unsigned char d =
+                        static_cast<unsigned char>(code[i]);
+                    if (std::isalnum(d) != 0 || d == '.') {
+                        ++i;
+                        continue;
+                    }
+                    if ((d == '+' || d == '-') && i > start) {
+                        unsigned char prev = static_cast<unsigned char>(
+                            code[i - 1]);
+                        if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                            prev == 'P') {
+                            ++i;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                tokens.push_back({TokenKind::Number,
+                                  code.substr(start, i - start), line});
+                continue;
+            }
+            bool matched = false;
+            for (const std::string &p : puncts) {
+                if (code.compare(i, p.size(), p) == 0) {
+                    tokens.push_back({TokenKind::Punct, p, line});
+                    i += p.size();
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+            tokens.push_back(
+                {TokenKind::Punct, std::string(1, code[i]), line});
+            ++i;
+        }
+    }
+    return tokens;
+}
+
+} // namespace polca::analyze

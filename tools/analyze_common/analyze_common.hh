@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared infrastructure for the tree's static-analysis tools
+ * (`tools/polca_lint`, `tools/polca_analyze`).
+ *
+ * Both tools are zero-dependency (C++ stdlib only) source scanners;
+ * this library is the single home for everything they have in common
+ * so the two cannot drift apart:
+ *
+ *  - file loading with comment/string stripping (the "code view"),
+ *  - the suppression engine (`// polca-lint: allow(<rule>)` and
+ *    `// polca-analyze: allow(<rule>)` are cross-recognized: either
+ *    tag silences either tool, so moving a hazard from one tool's
+ *    rule to the other's never invalidates a reviewed suppression),
+ *  - `// polca-snapshot: skip(<member>, <reason>)` annotation
+ *    harvesting (consumed by polca_analyze's snapshot-coverage rule),
+ *  - word-boundary search helpers for the line-oriented lint rules,
+ *  - a real tokenizer for the structure-aware analyses,
+ *  - deterministic file collection, finding reporting (`--format=gcc`),
+ *    and the fire/suppressed fixture self-test harness.
+ */
+
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polca::analyze {
+
+namespace fs = std::filesystem;
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file;  ///< repo-relative, '/'-separated
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+/** A `// polca-snapshot: skip(<member>, <reason>)` annotation. */
+struct SkipAnnotation
+{
+    std::string member;  ///< member name as written (e.g. "config_")
+    std::string reason;  ///< free text; must not contain ')'
+    int line;            ///< 1-based line the annotation sits on
+};
+
+/**
+ * A loaded source file: the raw text, a "code" view with comments and
+ * string/char literals blanked (spaces preserve column positions),
+ * per-line suppression sets, and harvested skip annotations.
+ */
+struct FileText
+{
+    std::vector<std::string> raw;       ///< original lines
+    std::vector<std::string> code;      ///< comments/strings blanked
+    std::vector<std::set<std::string>> allowed;  ///< per-line rules
+    std::vector<SkipAnnotation> skips;  ///< polca-snapshot annotations
+};
+
+/** True if @p text at @p pos starts identifier @p word with word
+ *  boundaries on both sides. */
+bool wordAt(const std::string &text, std::size_t pos,
+            const std::string &word);
+
+/** First occurrence of @p word as a whole identifier, or npos. */
+std::size_t findWord(const std::string &text, const std::string &word,
+                     std::size_t from = 0);
+
+/**
+ * Load a file, record per-line suppressions and skip annotations, and
+ * produce the blanked "code" view.
+ */
+FileText loadFile(const fs::path &path);
+
+bool isHeader(const std::string &rel);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Append a finding unless the line suppresses @p rule. */
+void report(std::vector<Finding> &findings, const FileText &text,
+            const std::string &rel, int line, const std::string &rule,
+            const std::string &message);
+
+/**
+ * All scannable files (.cc/.hh/.cpp/.h) under @p roots, sorted by
+ * repo-relative path for deterministic output.  Fixture directories
+ * (`tools/<tool>/fixtures/`) are excluded: their files violate rules
+ * on purpose.
+ */
+std::vector<std::pair<fs::path, std::string>>
+collectFiles(const fs::path &base, const std::vector<std::string> &roots);
+
+void printFindings(const std::vector<Finding> &findings, bool gccFormat);
+
+/** Per-file scan callback: (path, repo-relative path) -> findings. */
+using ScanFn = std::function<std::vector<Finding>(
+    const fs::path &, const std::string &)>;
+
+/**
+ * Self-test over a fixtures directory: every `fire_<rule>.*` file
+ * must produce at least one finding of exactly `<rule>` (and no other
+ * rule), every `suppressed_<rule>.*` file must produce none.  Header
+ * fixtures pose as `src/sim/` headers so path-scoped rules apply;
+ * sources pose as `src/` files.  @p toolName labels the summary line.
+ */
+int selfTest(const fs::path &fixtures, const std::string &toolName,
+             const ScanFn &scan);
+
+/** @name Tokenizer (structure-aware analyses) */
+/** @{ */
+
+enum class TokenKind
+{
+    Ident,    ///< identifier or keyword
+    Number,   ///< numeric literal (incl. 3.6e6, 0x1f, 1'000)
+    Punct,    ///< operator/punctuator (multi-char ops are one token)
+    String,   ///< string literal (contents blanked by the code view)
+    CharLit,  ///< character literal
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;  ///< literal text ("::", "+=", "joules_", ...)
+    int line;          ///< 1-based source line
+};
+
+/**
+ * Tokenize the code view of @p text.  Comments and literal contents
+ * are already blanked, so every token is real code; multi-character
+ * operators (`::`, `->`, `+=`, `==`, `<=`, `<<`, ...) come out as
+ * single tokens so parsers never have to re-assemble them.
+ */
+std::vector<Token> tokenize(const FileText &text);
+
+/** @} */
+
+} // namespace polca::analyze

@@ -1,0 +1,31 @@
+// Fixture: a snapshot-protocol class whose State value object misses
+// a member, plus a stale skip annotation.  Every problem below must
+// fire snapshot-coverage.  With no bodies visible the analyzer uses
+// the naming-convention fallback (member `foo_` <-> State field
+// `foo`), the same path the mutation oracle exercises.
+#pragma once
+
+#include <cstdint>
+
+namespace polca {
+
+class Meter
+{
+  public:
+    struct State
+    {
+        double joules = 0;
+        std::int64_t extraField = 0;  // matches no member: fires
+    };
+
+    State saveState() const;
+    void restoreState(const State &state);
+
+  private:
+    double joules_ = 0;
+    std::int64_t droppedTicks_ = 0;  // no State field: fires
+    // polca-snapshot: skip(ghost_, annotation names no member: fires)
+    bool armed_ = false;  // no State field: fires
+};
+
+} // namespace polca

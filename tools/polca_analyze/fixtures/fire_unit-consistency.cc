@@ -1,0 +1,35 @@
+// Fixture: unit mistakes the dimensional analysis must catch.  Every
+// statement marked below fires unit-consistency.
+
+namespace polca {
+
+double
+mixedDimensions(double powerWatts, double energyJoules)
+{
+    return powerWatts + energyJoules;  // watts + joules: fires
+}
+
+double
+mixedScales(double energyJoules)
+{
+    double totalKwh = energyJoules;  // joules into kWh slot: fires
+    return totalKwh;
+}
+
+bool
+mixedComparison(double timeoutSeconds, double elapsedMs)
+{
+    return elapsedMs > timeoutSeconds;  // ms vs seconds: fires
+}
+
+double
+unannotatedConversion(double energyJoules, double idleSeconds)
+{
+    // Dividing by a bare literal does not change the unit; stuffing
+    // the result into a kWh variable outside a kWh-named function
+    // fires (compare energyMeter::kilowattHours(), which is exempt).
+    double bankedKwh = energyJoules / 3.6e6;  // fires
+    return bankedKwh + idleSeconds * 0.0;
+}
+
+} // namespace polca

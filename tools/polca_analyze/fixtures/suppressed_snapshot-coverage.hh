@@ -1,0 +1,37 @@
+// Fixture: the clean shapes of the snapshot protocol.  Members are
+// either mirrored in State, auto-exempt (static/const/reference/
+// pointer/std::function wiring), annotated with a reviewed skip, or
+// suppressed in place.  Must produce no findings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace polca {
+
+class Meter
+{
+  public:
+    struct State
+    {
+        double joules = 0;
+        std::int64_t meteredTicks = 0;
+    };
+
+    State saveState() const;
+    void restoreState(const State &state);
+
+  private:
+    double joules_ = 0;
+    std::int64_t meteredTicks_ = 0;           // mirrored in State
+    static constexpr int kChannels = 4;       // exempt: constexpr
+    const double calibration_ = 1.0;          // exempt: const
+    int &hostCounter_;                        // exempt: reference
+    int *rawSlot_ = nullptr;                  // exempt: raw pointer
+    std::function<double()> supply_;          // exempt: callback
+    // polca-snapshot: skip(scratch_, rebuilt by first sample after restore)
+    double scratch_ = 0;
+    bool armed_ = false;  // polca-analyze: allow(snapshot-coverage)
+};
+
+} // namespace polca

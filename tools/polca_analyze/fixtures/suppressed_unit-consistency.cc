@@ -1,0 +1,48 @@
+// Fixture: the clean shapes of unit-suffixed arithmetic.  Conversions
+// through named helpers, scale-neutral literals, conversion-named
+// functions, "per" factors, and an explicit suppression.  Must
+// produce no findings.
+
+namespace polca {
+
+double ticksToSeconds(double ticks);
+
+const double ticksPerSecond = 1e6;
+
+double
+meanPowerWatts(double energyJoules, double elapsedTicks)
+{
+    // Crossing ticks -> seconds through the named helper keeps the
+    // dimensions consistent: joules / seconds = watts.
+    return energyJoules / ticksToSeconds(elapsedTicks);
+}
+
+double
+kilowattHours(double energyJoules)
+{
+    // A function named for its unit may rescale within the dimension:
+    // this is the conversion's single annotated home.
+    return energyJoules / 3.6e6;
+}
+
+double
+scaleNeutralLiterals(double budgetWatts)
+{
+    double headroomWatts = budgetWatts * 0.2 + 50.0;
+    return headroomWatts;
+}
+
+double
+conversionFactor(double elapsedTicks)
+{
+    // "per" identifiers are conversion factors, not checkable units.
+    return elapsedTicks / ticksPerSecond;
+}
+
+double
+reviewedMix(double energyJoules, double uptimeSeconds)
+{
+    return energyJoules + uptimeSeconds;  // polca-analyze: allow(unit-consistency)
+}
+
+} // namespace polca

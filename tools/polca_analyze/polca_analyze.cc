@@ -1,0 +1,1613 @@
+/**
+ * @file
+ * polca_analyze: structure-aware static analysis for the POLCA tree.
+ *
+ * Where polca_lint's rules are line-oriented greps, the two rules here
+ * understand program structure (a real tokenizer plus a lightweight
+ * class/member/function-body parser — no compiler dependency, stdlib
+ * only, same as polca_lint):
+ *
+ *  - snapshot-coverage: every class implementing the sim/snapshot.hh
+ *    re-arm protocol (declares BOTH `saveState()` and
+ *    `restoreState(...)`) must capture and restore each of its
+ *    non-static data members.  Members are cross-checked against the
+ *    nested `struct State` value object and against the identifiers
+ *    referenced inside the saveState/restoreState bodies (bodies may
+ *    live out-of-line in a .cc file; the analysis is whole-tree).
+ *    A member that is deliberately rebuilt instead of snapshotted is
+ *    annotated `// polca-snapshot: skip(<member>, <reason>)`; a stale
+ *    annotation (naming no such member) is itself a finding.  When no
+ *    body is visible (header-only scans, e.g. the mutation oracle),
+ *    the check falls back to the tree's naming convention: member
+ *    `foo_` must have a State field `foo` and vice versa.
+ *
+ *    Ownership split with polca_lint: mutable static/global state is
+ *    polca_lint's `snapshot-drift` rule; this rule owns instance
+ *    members of protocol classes.  Static/constexpr members are
+ *    therefore auto-exempt here, as are reference, raw-pointer, const
+ *    and std::function members (wiring that is re-established by the
+ *    constructor, not snapshotted).
+ *
+ *  - unit-consistency: lightweight dimensional analysis over the
+ *    tree's unit-suffixed identifiers (`*_watts`, `*_joules`, `*Kwh`,
+ *    `*_seconds`, `*_ms`, `*_hz`, `*Ticks`, ...).  Assignments,
+ *    additive arithmetic and comparisons between quantities of
+ *    different dimension — or of the same dimension at different
+ *    scale (joules vs kilowatt-hours, seconds vs ms) — are flagged
+ *    unless the conversion happens inside a function whose own name
+ *    carries the target unit (`kilowattHours()` may divide joules by
+ *    3.6e6; an unannotated `joules / 3.6e6` elsewhere may not).
+ *    Numeric literals are scale-neutral in multiplication/division
+ *    precisely so such conversions stay visible; identifiers with a
+ *    "per" segment (`ticksPerSecond`) are conversion factors and are
+ *    treated as wildcards.  Ticks are their own dimension: the
+ *    tick-to-seconds ratio is a runtime constant, so crossing between
+ *    them must go through sim::ticksToSeconds()/secondsToTicks().
+ *
+ * Suppression: `// polca-analyze: allow(<rule>)` on the finding line
+ * (cross-recognized with `// polca-lint: allow(<rule>)`, see
+ * tools/analyze_common).
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage error.
+ * Machine output:         --format=gcc   (file:line: error: ... [rule])
+ * Self-test:              --self-test <fixtures-dir>
+ */
+
+#include "../analyze_common/analyze_common.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using polca::analyze::FileText;
+using polca::analyze::Finding;
+using polca::analyze::SkipAnnotation;
+using polca::analyze::Token;
+using polca::analyze::TokenKind;
+using polca::analyze::collectFiles;
+using polca::analyze::loadFile;
+using polca::analyze::printFindings;
+using polca::analyze::report;
+using polca::analyze::selfTest;
+using polca::analyze::startsWith;
+using polca::analyze::tokenize;
+namespace fs = polca::analyze::fs;
+
+// ===================================================================
+// Unit model
+// ===================================================================
+
+/** Dimension vector over the three base dimensions the tree uses. */
+struct Dim
+{
+    int energy = 0;   ///< joules
+    int seconds = 0;  ///< wall/sim seconds
+    int ticks = 0;    ///< sim::Tick (scale to seconds unknown statically)
+
+    bool operator==(const Dim &o) const
+    {
+        return energy == o.energy && seconds == o.seconds &&
+               ticks == o.ticks;
+    }
+    bool operator!=(const Dim &o) const { return !(*this == o); }
+};
+
+/** A dimension plus a scale factor relative to the base unit. */
+struct Unit
+{
+    Dim dim;
+    double scale = 1.0;
+};
+
+/**
+ * What an expression evaluates to.  Wild: unknown, never flagged.
+ * Pure: a bare numeric literal — dimensionless AND scale-neutral, so
+ * `joules / 3.6e6` keeps the joules scale and a later kWh context can
+ * still see the mismatch.  Known: a unit-suffixed quantity.
+ */
+struct Quantity
+{
+    enum Kind { Wild, Pure, Known } kind = Wild;
+    Unit unit;
+    std::string label;  ///< human-readable unit name for messages
+
+    static Quantity wild() { return {}; }
+    static Quantity pure() { return {Pure, {}, "number"}; }
+    static Quantity known(const Unit &u, const std::string &l)
+    {
+        return {Known, u, l};
+    }
+};
+
+bool
+scaleEq(double a, double b)
+{
+    return std::fabs(a - b) <= 1e-9 * std::max(std::fabs(a),
+                                               std::fabs(b));
+}
+
+/** Unit-suffix table, keyed by lowercased trailing name segment(s). */
+const std::map<std::string, Unit> &
+unitTable()
+{
+    static const std::map<std::string, Unit> table = [] {
+        std::map<std::string, Unit> t;
+        const Dim E{1, 0, 0};    // energy
+        const Dim P{1, -1, 0};   // power
+        const Dim S{0, 1, 0};    // time
+        const Dim F{0, -1, 0};   // frequency
+        const Dim K{0, 0, 1};    // ticks
+        auto put = [&](std::initializer_list<const char *> names,
+                       Dim d, double scale) {
+            for (const char *n : names)
+                t[n] = Unit{d, scale};
+        };
+        put({"joules", "joule"}, E, 1.0);
+        put({"watthours", "watthour", "wh"}, E, 3600.0);
+        put({"kilowatthours", "kilowatthour", "kwh"}, E, 3.6e6);
+        put({"megawatthours", "megawatthour", "mwh"}, E, 3.6e9);
+        put({"watts", "watt"}, P, 1.0);
+        put({"kilowatts", "kilowatt", "kw"}, P, 1e3);
+        put({"megawatts", "megawatt", "mw"}, P, 1e6);
+        put({"gigawatts", "gigawatt", "gw"}, P, 1e9);
+        put({"seconds", "second", "secs", "sec"}, S, 1.0);
+        put({"milliseconds", "millisecond", "millis", "ms"}, S, 1e-3);
+        put({"microseconds", "microsecond", "micros", "us"}, S, 1e-6);
+        put({"nanoseconds", "nanosecond", "nanos", "ns"}, S, 1e-9);
+        put({"minutes", "minute"}, S, 60.0);
+        put({"hours", "hour", "hrs"}, S, 3600.0);
+        put({"days", "day"}, S, 86400.0);
+        put({"hertz", "hz"}, F, 1.0);
+        put({"khz"}, F, 1e3);
+        put({"mhz"}, F, 1e6);
+        put({"ghz"}, F, 1e9);
+        put({"ticks", "tick"}, K, 1.0);
+        return t;
+    }();
+    return table;
+}
+
+/** Split an identifier into lowercased segments on '_' and camelCase
+ *  boundaries ("meteredTicks" -> {"metered","ticks"}). */
+std::vector<std::string>
+segmentsOf(const std::string &name)
+{
+    std::vector<std::string> segs;
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            segs.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        if (c == '_') {
+            flush();
+            continue;
+        }
+        if (std::isupper(static_cast<unsigned char>(c)) && !cur.empty() &&
+            !std::isupper(static_cast<unsigned char>(cur.back())))
+            flush();
+        cur.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    flush();
+    return segs;
+}
+
+/**
+ * Unit implied by an identifier's trailing segment(s), if any.
+ * The two-segment join is tried first so `kilowattHours` resolves to
+ * kWh rather than hours.  Identifiers with a "per" segment are
+ * conversion factors (ticksPerSecond) and carry no checkable unit.
+ */
+std::optional<std::pair<Unit, std::string>>
+unitOfIdentifier(const std::string &name)
+{
+    std::vector<std::string> segs = segmentsOf(name);
+    if (segs.empty())
+        return std::nullopt;
+    for (const std::string &s : segs)
+        if (s == "per")
+            return std::nullopt;
+    const auto &table = unitTable();
+    if (segs.size() >= 2) {
+        std::string two = segs[segs.size() - 2] + segs.back();
+        auto it = table.find(two);
+        if (it != table.end())
+            return std::make_pair(it->second, two);
+    }
+    auto it = table.find(segs.back());
+    if (it != table.end())
+        return std::make_pair(it->second, segs.back());
+    return std::nullopt;
+}
+
+// ===================================================================
+// Expression evaluation (unit-consistency)
+// ===================================================================
+
+/** Shared state for one expression walk. */
+struct ExprCtx
+{
+    const std::vector<Token> *toks;
+    std::size_t end;  ///< exclusive bound of the statement
+    const FileText *text;
+    std::string rel;
+    std::vector<Finding> *findings;
+};
+
+void
+flagUnit(ExprCtx &ctx, int line, const std::string &message)
+{
+    report(*ctx.findings, *ctx.text, ctx.rel, line, "unit-consistency",
+           message);
+}
+
+bool
+unitsMatch(const Quantity &a, const Quantity &b)
+{
+    return a.unit.dim == b.unit.dim && scaleEq(a.unit.scale, b.unit.scale);
+}
+
+Quantity parseExpr(ExprCtx &ctx, std::size_t &i);
+Quantity parseCmp(ExprCtx &ctx, std::size_t &i);
+
+bool
+isPunct(const ExprCtx &ctx, std::size_t i, const char *p)
+{
+    return i < ctx.end && (*ctx.toks)[i].kind == TokenKind::Punct &&
+           (*ctx.toks)[i].text == p;
+}
+
+/** Skip a balanced <...> starting at `<`; false if not balanced. */
+bool
+skipAngles(const ExprCtx &ctx, std::size_t &i)
+{
+    if (!isPunct(ctx, i, "<"))
+        return false;
+    int depth = 0;
+    std::size_t j = i;
+    while (j < ctx.end) {
+        const Token &t = (*ctx.toks)[j];
+        if (t.kind == TokenKind::Punct) {
+            if (t.text == "<")
+                ++depth;
+            else if (t.text == ">")
+                --depth;
+            else if (t.text == ">>")
+                depth -= 2;
+            else if (t.text == ";" || t.text == "{")
+                return false;
+            if (depth <= 0) {
+                i = j + 1;
+                return true;
+            }
+        }
+        ++j;
+    }
+    return false;
+}
+
+/** Skip a balanced (...) / [...] block; i points at the opener. */
+void
+skipBalanced(const ExprCtx &ctx, std::size_t &i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    while (i < ctx.end) {
+        if (isPunct(ctx, i, open))
+            ++depth;
+        else if (isPunct(ctx, i, close)) {
+            if (--depth == 0) {
+                ++i;
+                return;
+            }
+        }
+        ++i;
+    }
+}
+
+/** Parse `(` args `)` evaluating each top-level argument expression
+ *  (so mismatches inside call arguments are still flagged). */
+void
+parseCallArgs(ExprCtx &ctx, std::size_t &i)
+{
+    ++i;  // consume '('
+    if (isPunct(ctx, i, ")")) {
+        ++i;
+        return;
+    }
+    while (i < ctx.end) {
+        parseExpr(ctx, i);
+        if (isPunct(ctx, i, ",")) {
+            ++i;
+            continue;
+        }
+        if (isPunct(ctx, i, ")")) {
+            ++i;
+            return;
+        }
+        ++i;  // unexpected token: keep making progress
+    }
+}
+
+Quantity
+parsePrimary(ExprCtx &ctx, std::size_t &i)
+{
+    if (i >= ctx.end)
+        return Quantity::wild();
+    const Token &t = (*ctx.toks)[i];
+    if (t.kind == TokenKind::Number) {
+        ++i;
+        return Quantity::pure();
+    }
+    if (t.kind == TokenKind::String || t.kind == TokenKind::CharLit) {
+        ++i;
+        return Quantity::wild();
+    }
+    if (t.kind == TokenKind::Punct) {
+        if (t.text == "(") {
+            ++i;
+            Quantity v = parseExpr(ctx, i);
+            while (i < ctx.end && !isPunct(ctx, i, ")")) {
+                if (isPunct(ctx, i, ",")) {  // comma expression
+                    ++i;
+                    v = parseExpr(ctx, i);
+                    continue;
+                }
+                ++i;
+            }
+            if (isPunct(ctx, i, ")"))
+                ++i;
+            return v;
+        }
+        ++i;  // stray punctuation: consume for progress
+        return Quantity::wild();
+    }
+
+    // Identifier chain: a::b.c->d, possibly with template args and a
+    // trailing call.  The unit comes from the last name segment.
+    static const std::set<std::string> casts = {
+        "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast"};
+    if (casts.count(t.text)) {
+        ++i;
+        skipAngles(ctx, i);
+        if (isPunct(ctx, i, "(")) {
+            ++i;
+            Quantity v = parseExpr(ctx, i);
+            if (isPunct(ctx, i, ")"))
+                ++i;
+            return v;  // casts change representation, not unit
+        }
+        return Quantity::wild();
+    }
+
+    std::string last = t.text;
+    ++i;
+    while (i < ctx.end) {
+        if (isPunct(ctx, i, "::") || isPunct(ctx, i, ".") ||
+            isPunct(ctx, i, "->")) {
+            if (i + 1 < ctx.end &&
+                (*ctx.toks)[i + 1].kind == TokenKind::Ident) {
+                last = (*ctx.toks)[i + 1].text;
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        if (isPunct(ctx, i, "[")) {
+            skipBalanced(ctx, i, "[", "]");
+            continue;
+        }
+        break;
+    }
+    bool isCall = isPunct(ctx, i, "(");
+    if (isCall)
+        parseCallArgs(ctx, i);
+    auto u = unitOfIdentifier(last);
+    if (!u)
+        return Quantity::wild();
+    return Quantity::known(u->first, u->second);
+}
+
+Quantity
+parseUnary(ExprCtx &ctx, std::size_t &i)
+{
+    if (i < ctx.end && (*ctx.toks)[i].kind == TokenKind::Punct) {
+        const std::string &p = (*ctx.toks)[i].text;
+        if (p == "-" || p == "+" || p == "++" || p == "--") {
+            ++i;
+            return parseUnary(ctx, i);
+        }
+        if (p == "!" || p == "~") {
+            ++i;
+            parseUnary(ctx, i);
+            return Quantity::pure();
+        }
+        if (p == "*" || p == "&") {  // deref / address-of
+            ++i;
+            parseUnary(ctx, i);
+            return Quantity::wild();
+        }
+    }
+    Quantity v = parsePrimary(ctx, i);
+    while (i < ctx.end && (isPunct(ctx, i, "++") || isPunct(ctx, i, "--")))
+        ++i;
+    return v;
+}
+
+Quantity
+parseMul(ExprCtx &ctx, std::size_t &i)
+{
+    Quantity lhs = parseUnary(ctx, i);
+    while (i < ctx.end &&
+           (isPunct(ctx, i, "*") || isPunct(ctx, i, "/") ||
+            isPunct(ctx, i, "%"))) {
+        std::string op = (*ctx.toks)[i].text;
+        int line = (*ctx.toks)[i].line;
+        ++i;
+        Quantity rhs = parseUnary(ctx, i);
+        if (lhs.kind == Quantity::Wild || rhs.kind == Quantity::Wild) {
+            lhs = Quantity::wild();
+            continue;
+        }
+        if (op == "%") {
+            if (lhs.kind == Quantity::Known &&
+                rhs.kind == Quantity::Known && !unitsMatch(lhs, rhs))
+                flagUnit(ctx, line,
+                         "'%' between mismatched units (" + lhs.label +
+                             " vs " + rhs.label + ")");
+            continue;  // result keeps lhs
+        }
+        if (rhs.kind == Quantity::Pure)
+            continue;  // literals are scale-neutral: lhs unchanged
+        if (lhs.kind == Quantity::Pure) {
+            if (op == "*") {
+                lhs = rhs;
+            } else {  // 1 / unit inverts the dimension
+                Quantity inv = rhs;
+                inv.unit.dim.energy = -inv.unit.dim.energy;
+                inv.unit.dim.seconds = -inv.unit.dim.seconds;
+                inv.unit.dim.ticks = -inv.unit.dim.ticks;
+                inv.unit.scale = 1.0 / inv.unit.scale;
+                inv.label = "1/" + rhs.label;
+                lhs = inv;
+            }
+            continue;
+        }
+        // Known op Known: combine dimensions and scales.
+        Quantity out;
+        out.kind = Quantity::Known;
+        int sign = (op == "*") ? 1 : -1;
+        out.unit.dim.energy =
+            lhs.unit.dim.energy + sign * rhs.unit.dim.energy;
+        out.unit.dim.seconds =
+            lhs.unit.dim.seconds + sign * rhs.unit.dim.seconds;
+        out.unit.dim.ticks = lhs.unit.dim.ticks + sign * rhs.unit.dim.ticks;
+        out.unit.scale = (op == "*") ? lhs.unit.scale * rhs.unit.scale
+                                     : lhs.unit.scale / rhs.unit.scale;
+        out.label = lhs.label + op + rhs.label;
+        lhs = out;
+    }
+    return lhs;
+}
+
+Quantity
+parseAdd(ExprCtx &ctx, std::size_t &i)
+{
+    Quantity lhs = parseMul(ctx, i);
+    while (i < ctx.end &&
+           (isPunct(ctx, i, "+") || isPunct(ctx, i, "-"))) {
+        std::string op = (*ctx.toks)[i].text;
+        int line = (*ctx.toks)[i].line;
+        ++i;
+        Quantity rhs = parseMul(ctx, i);
+        if (lhs.kind == Quantity::Known && rhs.kind == Quantity::Known &&
+            !unitsMatch(lhs, rhs)) {
+            flagUnit(ctx, line,
+                     "'" + op + "' between mismatched units (" +
+                         lhs.label + " vs " + rhs.label +
+                         "); convert through a named helper first");
+            lhs = Quantity::wild();
+            continue;
+        }
+        if (lhs.kind == Quantity::Wild || rhs.kind == Quantity::Wild)
+            lhs = Quantity::wild();
+        else if (lhs.kind == Quantity::Pure)
+            lhs = rhs;  // literal offset keeps the unit
+    }
+    return lhs;
+}
+
+Quantity
+parseCmp(ExprCtx &ctx, std::size_t &i)
+{
+    static const std::set<std::string> cmps = {"<",  ">",  "<=",
+                                               ">=", "==", "!="};
+    Quantity lhs = parseAdd(ctx, i);
+    bool compared = false;
+    while (i < ctx.end && (*ctx.toks)[i].kind == TokenKind::Punct &&
+           cmps.count((*ctx.toks)[i].text)) {
+        std::string op = (*ctx.toks)[i].text;
+        int line = (*ctx.toks)[i].line;
+        ++i;
+        Quantity rhs = parseAdd(ctx, i);
+        if (lhs.kind == Quantity::Known && rhs.kind == Quantity::Known &&
+            !unitsMatch(lhs, rhs))
+            flagUnit(ctx, line,
+                     "comparing mismatched units (" + lhs.label + " " +
+                         op + " " + rhs.label + ")");
+        lhs = rhs;  // chained comparisons check pairwise
+        compared = true;
+    }
+    return compared ? Quantity::pure() : lhs;
+}
+
+Quantity
+parseExpr(ExprCtx &ctx, std::size_t &i)
+{
+    Quantity v = parseCmp(ctx, i);
+    while (i < ctx.end && (*ctx.toks)[i].kind == TokenKind::Punct) {
+        const std::string &p = (*ctx.toks)[i].text;
+        if (p == "?") {  // ternary: branches are independent
+            ++i;
+            parseExpr(ctx, i);
+            if (isPunct(ctx, i, ":"))
+                ++i;
+            parseExpr(ctx, i);
+            v = Quantity::wild();
+            continue;
+        }
+        if (p == ")" || p == "]" || p == "}" || p == ";" || p == ":" ||
+            p == ",")
+            break;
+        // Any other binary operator (<<, &&, |, ...) wildcards the
+        // result but keeps walking so nested mismatches still flag.
+        ++i;
+        parseCmp(ctx, i);
+        v = Quantity::wild();
+    }
+    return v;
+}
+
+// ===================================================================
+// Statement scanner (unit-consistency driver)
+// ===================================================================
+
+/** Tokens with preprocessor lines dropped (tokenize() sees `#include
+ *  <vector>` as code; directives are not statements). */
+std::vector<Token>
+codeTokens(const FileText &text)
+{
+    std::vector<bool> preproc(text.raw.size(), false);
+    bool continued = false;
+    for (std::size_t i = 0; i < text.raw.size(); ++i) {
+        const std::string &code =
+            i < text.code.size() ? text.code[i] : text.raw[i];
+        std::size_t first = code.find_first_not_of(" \t");
+        bool directive =
+            continued ||
+            (first != std::string::npos && code[first] == '#');
+        preproc[i] = directive;
+        const std::string &raw = text.raw[i];
+        continued = directive && !raw.empty() && raw.back() == '\\';
+    }
+    std::vector<Token> out;
+    for (const Token &t : tokenize(text))
+        if (t.line < 1 ||
+            !preproc[static_cast<std::size_t>(t.line - 1)])
+            out.push_back(t);
+    return out;
+}
+
+bool
+isIdent(const std::vector<Token> &t, std::size_t i, const char *word)
+{
+    return i < t.size() && t[i].kind == TokenKind::Ident &&
+           t[i].text == word;
+}
+
+const std::set<std::string> &
+controlKeywords()
+{
+    static const std::set<std::string> kw = {
+        "if", "for", "while", "switch", "catch", "return",
+        "else", "do", "case", "default", "try"};
+    return kw;
+}
+
+/**
+ * If tokens [s,e) look like a function signature (`name (args) ...`),
+ * return the function name.  Constructors and control statements
+ * return nullopt.
+ */
+std::optional<std::string>
+functionSigName(const std::vector<Token> &t, std::size_t s, std::size_t e)
+{
+    if (s >= e)
+        return std::nullopt;
+    if (t[s].kind == TokenKind::Ident &&
+        (controlKeywords().count(t[s].text) || t[s].text == "namespace" ||
+         t[s].text == "class" || t[s].text == "struct" ||
+         t[s].text == "enum" || t[s].text == "union"))
+        return std::nullopt;
+    // Find the last top-level ')' and match it back to its '('.
+    std::size_t close = e;
+    int depth = 0;
+    for (std::size_t j = e; j-- > s;) {
+        if (t[j].kind != TokenKind::Punct)
+            continue;
+        if (t[j].text == ")") {
+            if (depth == 0 && close == e)
+                close = j;
+            ++depth;
+        } else if (t[j].text == "(") {
+            --depth;
+        }
+    }
+    if (close == e)
+        return std::nullopt;
+    depth = 0;
+    std::size_t open = e;
+    for (std::size_t j = close + 1; j-- > s;) {
+        if (t[j].kind != TokenKind::Punct)
+            continue;
+        if (t[j].text == ")")
+            ++depth;
+        else if (t[j].text == "(") {
+            if (--depth == 0) {
+                open = j;
+                break;
+            }
+        }
+    }
+    if (open == e || open == s)
+        return std::nullopt;
+    const Token &name = t[open - 1];
+    if (name.kind != TokenKind::Ident ||
+        controlKeywords().count(name.text))
+        return std::nullopt;
+    return name.text;
+}
+
+/** Analyze one statement [s,e) for unit mismatches. */
+void
+analyzeStatement(const std::vector<Token> &toks, std::size_t s,
+                 std::size_t e, const std::optional<Quantity> &fnUnit,
+                 const FileText &text, const std::string &rel,
+                 std::vector<Finding> &findings)
+{
+    if (s >= e)
+        return;
+    ExprCtx ctx{&toks, e, &text, rel, &findings};
+    static const std::set<std::string> skipLead = {
+        "using",     "typedef",  "template", "namespace", "class",
+        "struct",    "enum",     "union",    "friend",    "public",
+        "private",   "protected", "goto",    "break",     "continue",
+        "static_assert", "extern", "case",   "default",   "delete",
+        "for",       "do",       "else",    "switch",     "catch",
+        "try",       "operator"};
+    const Token &first = toks[s];
+    if (first.kind == TokenKind::Ident && skipLead.count(first.text))
+        return;
+    for (std::size_t j = s; j < e; ++j)
+        if (isIdent(toks, j, "operator"))
+            return;  // operator overloads: not worth the false positives
+
+    if (first.kind == TokenKind::Ident && first.text == "return") {
+        std::size_t i = s + 1;
+        Quantity v = parseExpr(ctx, i);
+        // Conversion exemption: a function named for its unit may
+        // rescale within the dimension (kilowattHours() returning
+        // joules/3.6e6), so only dimension mismatches flag here.
+        if (fnUnit && v.kind == Quantity::Known &&
+            v.unit.dim != fnUnit->unit.dim)
+            flagUnit(ctx, first.line,
+                     "returning " + v.label + " from a function named "
+                     "in " + fnUnit->label);
+        return;
+    }
+    if (first.kind == TokenKind::Ident &&
+        (first.text == "if" || first.text == "while")) {
+        std::size_t i = s + 1;
+        parseExpr(ctx, i);  // the parenthesized condition
+        return;
+    }
+
+    // Assignment? Find the first top-level =, +=, -=, *=, /=.
+    static const std::set<std::string> assignOps = {"=", "+=", "-=",
+                                                    "*=", "/="};
+    int paren = 0;
+    std::size_t assignAt = e;
+    for (std::size_t j = s; j < e; ++j) {
+        if (toks[j].kind != TokenKind::Punct)
+            continue;
+        const std::string &p = toks[j].text;
+        if (p == "(" || p == "[")
+            ++paren;
+        else if (p == ")" || p == "]")
+            --paren;
+        else if (paren == 0 && assignOps.count(p)) {
+            assignAt = j;
+            break;
+        }
+    }
+    if (assignAt == e) {
+        std::size_t i = s;
+        parseExpr(ctx, i);
+        return;
+    }
+    std::string lhsName;
+    for (std::size_t j = assignAt; j-- > s;)
+        if (toks[j].kind == TokenKind::Ident) {
+            lhsName = toks[j].text;
+            break;
+        }
+    std::size_t i = assignAt + 1;
+    Quantity rhs = parseExpr(ctx, i);
+    const std::string &op = toks[assignAt].text;
+    if (op == "*=" || op == "/=")
+        return;  // deliberate dimension/scale change
+    auto lhsUnit = unitOfIdentifier(lhsName);
+    if (lhsUnit && rhs.kind == Quantity::Known) {
+        Quantity lhs = Quantity::known(lhsUnit->first, lhsUnit->second);
+        if (!unitsMatch(lhs, rhs))
+            flagUnit(ctx, toks[assignAt].line,
+                     "assigning " + rhs.label + " to '" + lhsName +
+                         "' (" + lhs.label +
+                         "); convert through a named helper first");
+    }
+}
+
+/** Walk a file's statements, tracking function scopes for the
+ *  return-unit check, and run the unit analysis on each. */
+void
+unitScan(const std::vector<Token> &toks, const FileText &text,
+         const std::string &rel, std::vector<Finding> &findings)
+{
+    struct Scope
+    {
+        std::optional<Quantity> fnUnit;
+        int savedParen;
+    };
+    std::vector<Scope> scopes;
+    std::optional<Quantity> current;
+    int paren = 0;
+    std::size_t stmtStart = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Punct)
+            continue;
+        if (t.text == "(") {
+            ++paren;
+            continue;
+        }
+        if (t.text == ")") {
+            --paren;
+            continue;
+        }
+        if (t.text == ";") {
+            if (paren == 0) {
+                analyzeStatement(toks, stmtStart, i, current, text, rel,
+                                 findings);
+                stmtStart = i + 1;
+            }
+            continue;
+        }
+        if (t.text == "{") {
+            std::optional<Quantity> entered = current;
+            auto name = functionSigName(toks, stmtStart, i);
+            if (name) {
+                entered.reset();
+                if (auto u = unitOfIdentifier(*name))
+                    entered = Quantity::known(u->first, u->second);
+            } else if (stmtStart < i &&
+                       toks[stmtStart].kind == TokenKind::Ident &&
+                       (toks[stmtStart].text == "class" ||
+                        toks[stmtStart].text == "struct" ||
+                        toks[stmtStart].text == "namespace" ||
+                        toks[stmtStart].text == "union" ||
+                        toks[stmtStart].text == "enum")) {
+                entered.reset();
+            }
+            if (!name && stmtStart < i &&
+                toks[stmtStart].kind == TokenKind::Ident &&
+                (toks[stmtStart].text == "if" ||
+                 toks[stmtStart].text == "while"))
+                analyzeStatement(toks, stmtStart, i, current, text, rel,
+                                 findings);
+            scopes.push_back({current, paren});
+            current = entered;
+            paren = 0;
+            stmtStart = i + 1;
+            continue;
+        }
+        if (t.text == "}") {
+            if (paren == 0)
+                analyzeStatement(toks, stmtStart, i, current, text, rel,
+                                 findings);
+            if (!scopes.empty()) {
+                current = scopes.back().fnUnit;
+                paren = scopes.back().savedParen;
+                scopes.pop_back();
+            }
+            stmtStart = i + 1;
+            continue;
+        }
+    }
+}
+
+// ===================================================================
+// Class/member parser (snapshot-coverage)
+// ===================================================================
+
+struct MemberInfo
+{
+    std::string name;
+    int line;
+    bool exempt;  ///< static/constexpr/const/ref/pointer/callback
+};
+
+struct StateField
+{
+    std::string name;
+    int line;
+};
+
+/** Everything known about one class, merged across all scanned files
+ *  (the declaration usually lives in a header, the bodies in a .cc). */
+struct ClassData
+{
+    std::string file;  ///< file holding the class declaration
+    int declLine = 0;
+    int endLine = 0;
+    bool declared = false;
+    bool hasSave = false, hasRestore = false;
+    bool saveBodySeen = false, restoreBodySeen = false;
+    std::set<std::string> saveBody, restoreBody;  ///< referenced idents
+    std::vector<MemberInfo> members;
+    std::vector<StateField> stateFields;
+    std::vector<SkipAnnotation> skips;
+};
+
+using Registry = std::map<std::string, ClassData>;
+
+/** One file's token stream fed into the global registry. */
+class StructParser
+{
+public:
+    StructParser(const std::vector<Token> &toks, const FileText &text,
+                 std::string rel, Registry &reg)
+        : t_(toks), text_(text), rel_(std::move(rel)), reg_(reg)
+    {
+    }
+
+    void run()
+    {
+        parseOuter(t_.size());
+        attachSkips();
+    }
+
+private:
+    const std::vector<Token> &t_;
+    const FileText &text_;
+    std::string rel_;
+    Registry &reg_;
+    std::size_t i_ = 0;
+    /// Declared classes in this file, for innermost skip attachment.
+    std::vector<std::string> declaredHere_;
+
+    bool punct(const char *p) const
+    {
+        return i_ < t_.size() && t_[i_].kind == TokenKind::Punct &&
+               t_[i_].text == p;
+    }
+    bool ident(const char *w) const
+    {
+        return i_ < t_.size() && t_[i_].kind == TokenKind::Ident &&
+               t_[i_].text == w;
+    }
+
+    void skipBraces()
+    {
+        int depth = 0;
+        while (i_ < t_.size()) {
+            if (punct("{"))
+                ++depth;
+            else if (punct("}")) {
+                if (--depth == 0) {
+                    ++i_;
+                    return;
+                }
+            }
+            ++i_;
+        }
+    }
+
+    void skipTemplateArgs()
+    {
+        if (!punct("<"))
+            return;
+        int depth = 0;
+        while (i_ < t_.size()) {
+            if (punct("<"))
+                ++depth;
+            else if (punct(">"))
+                --depth;
+            else if (t_[i_].kind == TokenKind::Punct &&
+                     t_[i_].text == ">>")
+                depth -= 2;
+            else if (punct(";") || punct("{"))
+                return;  // not template args after all
+            ++i_;
+            if (depth <= 0)
+                return;
+        }
+    }
+
+    /** Namespace / file scope: find class definitions and out-of-line
+     *  saveState/restoreState bodies. */
+    void parseOuter(std::size_t end)
+    {
+        std::vector<std::size_t> buf;
+        while (i_ < end && i_ < t_.size()) {
+            if (ident("namespace")) {
+                ++i_;
+                while (i_ < t_.size() && !punct("{") && !punct(";"))
+                    ++i_;
+                if (punct("{")) {
+                    ++i_;
+                    parseOuter(end);  // returns after matching '}'
+                }
+                else if (punct(";"))
+                    ++i_;
+                buf.clear();
+                continue;
+            }
+            if (ident("template")) {
+                ++i_;
+                skipTemplateArgs();
+                continue;
+            }
+            if (ident("class") || ident("struct")) {
+                parseClassIntro("");
+                buf.clear();
+                continue;
+            }
+            if (ident("enum")) {
+                while (i_ < t_.size() && !punct("{") && !punct(";"))
+                    ++i_;
+                if (punct("{"))
+                    skipBraces();
+                buf.clear();
+                continue;
+            }
+            if (punct("{")) {
+                handleOuterBrace(buf);
+                buf.clear();
+                continue;
+            }
+            if (punct(";")) {
+                ++i_;
+                buf.clear();
+                continue;
+            }
+            if (punct("}")) {
+                ++i_;
+                return;  // end of enclosing namespace
+            }
+            buf.push_back(i_);
+            ++i_;
+        }
+    }
+
+    /** A '{' at namespace scope: function body (maybe an out-of-line
+     *  saveState/restoreState), or an initializer block we skip. */
+    void handleOuterBrace(const std::vector<std::size_t> &buf)
+    {
+        std::vector<Token> sig;
+        sig.reserve(buf.size());
+        for (std::size_t idx : buf)
+            sig.push_back(t_[idx]);
+        auto name = functionSigName(sig, 0, sig.size());
+        if (name && (*name == "saveState" || *name == "restoreState")) {
+            // Reconstruct the qualifier chain: idents joined by '::'
+            // immediately before the function name.
+            std::size_t nameIdx = sig.size();
+            for (std::size_t j = sig.size(); j-- > 0;)
+                if (sig[j].kind == TokenKind::Ident &&
+                    sig[j].text == *name) {
+                    nameIdx = j;
+                    break;
+                }
+            std::vector<std::string> chain;
+            std::size_t j = nameIdx;
+            while (j >= 2 && sig[j - 1].kind == TokenKind::Punct &&
+                   sig[j - 1].text == "::" &&
+                   sig[j - 2].kind == TokenKind::Ident) {
+                chain.insert(chain.begin(), sig[j - 2].text);
+                j -= 2;
+            }
+            if (!chain.empty()) {
+                std::string key;
+                for (const std::string &c : chain)
+                    key += (key.empty() ? "" : "::") + c;
+                captureBody(reg_[key], *name == "saveState");
+                return;
+            }
+        }
+        skipBraces();
+    }
+
+    /** i_ sits at '{': record every identifier in the body. */
+    void captureBody(ClassData &cd, bool save)
+    {
+        std::set<std::string> &dst = save ? cd.saveBody : cd.restoreBody;
+        (save ? cd.saveBodySeen : cd.restoreBodySeen) = true;
+        int depth = 0;
+        while (i_ < t_.size()) {
+            if (punct("{"))
+                ++depth;
+            else if (punct("}")) {
+                if (--depth == 0) {
+                    ++i_;
+                    return;
+                }
+            } else if (t_[i_].kind == TokenKind::Ident)
+                dst.insert(t_[i_].text);
+            ++i_;
+        }
+    }
+
+    /** i_ sits at 'class'/'struct': parse the intro and, if this is a
+     *  definition, the body.  @p chain is the enclosing class chain. */
+    void parseClassIntro(const std::string &chain)
+    {
+        ++i_;  // class/struct
+        while (ident("alignas")) {  // rare specifiers before the name
+            ++i_;
+            if (punct("("))
+                skipParens();
+        }
+        if (i_ >= t_.size() || t_[i_].kind != TokenKind::Ident) {
+            // anonymous struct: skip its body if present
+            while (i_ < t_.size() && !punct("{") && !punct(";"))
+                ++i_;
+            if (punct("{"))
+                skipBraces();
+            return;
+        }
+        std::string name = t_[i_].text;
+        ++i_;
+        // Base clause / final / template args up to '{' or ';'.
+        while (i_ < t_.size() && !punct("{") && !punct(";"))
+            ++i_;
+        if (punct(";")) {  // forward declaration
+            ++i_;
+            return;
+        }
+        if (!punct("{"))
+            return;
+        std::string key = chain.empty() ? name : chain + "::" + name;
+        int declLine = t_[i_].line;
+        if (name == "State" && !chain.empty()) {
+            parseStateBody(reg_[chain]);
+            return;
+        }
+        ClassData &cd = reg_[key];
+        cd.declared = true;
+        cd.file = rel_;
+        cd.declLine = declLine;
+        declaredHere_.push_back(key);
+        parseClassBody(key);
+        reg_[key].endLine =
+            i_ > 0 && i_ <= t_.size() ? t_[i_ - 1].line : declLine;
+    }
+
+    void skipParens()
+    {
+        int depth = 0;
+        while (i_ < t_.size()) {
+            if (punct("("))
+                ++depth;
+            else if (punct(")")) {
+                if (--depth == 0) {
+                    ++i_;
+                    return;
+                }
+            }
+            ++i_;
+        }
+    }
+
+    /** i_ sits at the State body '{': record field names. */
+    void parseStateBody(ClassData &cd)
+    {
+        ++i_;
+        std::vector<std::size_t> buf;
+        while (i_ < t_.size()) {
+            if (punct("}")) {
+                ++i_;
+                if (punct(";"))
+                    ++i_;
+                return;
+            }
+            if (punct("{")) {  // brace initializer on a field
+                skipBraces();
+                continue;
+            }
+            if (punct("(")) {  // function in State (rare): drop decl
+                skipParens();
+                while (i_ < t_.size() && !punct(";") && !punct("{"))
+                    ++i_;
+                if (punct("{"))
+                    skipBraces();
+                else if (punct(";"))
+                    ++i_;
+                buf.clear();
+                continue;
+            }
+            if (punct(";")) {
+                if (auto m = declName(buf))
+                    cd.stateFields.push_back({m->first, m->second});
+                buf.clear();
+                ++i_;
+                continue;
+            }
+            buf.push_back(i_);
+            ++i_;
+        }
+    }
+
+    /** Name + line of the declared entity in a member-ish token run
+     *  (last identifier before a top-level '='), or nullopt. */
+    std::optional<std::pair<std::string, int>>
+    declName(const std::vector<std::size_t> &buf) const
+    {
+        std::size_t stop = buf.size();
+        for (std::size_t j = 0; j < buf.size(); ++j) {
+            const Token &tok = t_[buf[j]];
+            if (tok.kind == TokenKind::Punct && tok.text == "=") {
+                stop = j;
+                break;
+            }
+        }
+        for (std::size_t j = stop; j-- > 0;) {
+            const Token &tok = t_[buf[j]];
+            if (tok.kind == TokenKind::Ident)
+                return std::make_pair(tok.text, tok.line);
+        }
+        return std::nullopt;
+    }
+
+    /** i_ sits at the class body '{'. */
+    void parseClassBody(const std::string &key)
+    {
+        ++i_;
+        std::set<std::string> callbackAliases;
+        std::vector<std::size_t> buf;
+        while (i_ < t_.size()) {
+            if (punct("}")) {
+                ++i_;
+                if (punct(";"))
+                    ++i_;
+                return;
+            }
+            if ((ident("public") || ident("private") ||
+                 ident("protected")) &&
+                i_ + 1 < t_.size() &&
+                t_[i_ + 1].kind == TokenKind::Punct &&
+                t_[i_ + 1].text == ":") {
+                i_ += 2;
+                buf.clear();
+                continue;
+            }
+            if (ident("template")) {
+                ++i_;
+                skipTemplateArgs();
+                continue;
+            }
+            if (buf.empty() && (ident("class") || ident("struct"))) {
+                parseClassIntro(key);
+                continue;
+            }
+            if (buf.empty() && ident("enum")) {
+                while (i_ < t_.size() && !punct("{") && !punct(";"))
+                    ++i_;
+                if (punct("{"))
+                    skipBraces();
+                if (punct(";"))
+                    ++i_;
+                continue;
+            }
+            if (punct(";")) {
+                processMemberDecl(key, buf, callbackAliases);
+                buf.clear();
+                ++i_;
+                continue;
+            }
+            if (punct("{")) {
+                // Inline function body, or a brace initializer.
+                bool isFn = false;
+                for (std::size_t idx : buf)
+                    if (t_[idx].kind == TokenKind::Punct &&
+                        t_[idx].text == "(") {
+                        isFn = true;
+                        break;
+                    }
+                if (isFn) {
+                    std::string fn = memberFunctionName(buf);
+                    ClassData &cd = reg_[key];
+                    if (fn == "saveState") {
+                        cd.hasSave = true;
+                        captureBody(cd, true);
+                    } else if (fn == "restoreState") {
+                        cd.hasRestore = true;
+                        captureBody(cd, false);
+                    } else {
+                        skipBraces();
+                    }
+                    if (punct(";"))
+                        ++i_;
+                    buf.clear();
+                } else {
+                    skipBraces();  // brace init: decl continues to ';'
+                }
+                continue;
+            }
+            buf.push_back(i_);
+            ++i_;
+        }
+    }
+
+    /** Identifier before the first top-level '(' in @p buf. */
+    std::string memberFunctionName(const std::vector<std::size_t> &buf)
+        const
+    {
+        for (std::size_t j = 0; j < buf.size(); ++j) {
+            const Token &tok = t_[buf[j]];
+            if (tok.kind == TokenKind::Punct && tok.text == "(") {
+                for (std::size_t k = j; k-- > 0;) {
+                    const Token &p = t_[buf[k]];
+                    if (p.kind == TokenKind::Ident)
+                        return p.text;
+                    if (p.kind == TokenKind::Punct && p.text == "~")
+                        return "~";
+                    break;
+                }
+                break;
+            }
+        }
+        return "";
+    }
+
+    void processMemberDecl(const std::string &key,
+                           const std::vector<std::size_t> &buf,
+                           std::set<std::string> &callbackAliases)
+    {
+        if (buf.empty())
+            return;
+        const Token &first = t_[buf[0]];
+        if (first.kind == TokenKind::Ident) {
+            if (first.text == "using") {
+                bool fn = false;
+                for (std::size_t idx : buf)
+                    if (t_[idx].kind == TokenKind::Ident &&
+                        t_[idx].text == "function")
+                        fn = true;
+                if (fn && buf.size() >= 2 &&
+                    t_[buf[1]].kind == TokenKind::Ident)
+                    callbackAliases.insert(t_[buf[1]].text);
+                return;
+            }
+            if (first.text == "friend" || first.text == "typedef" ||
+                first.text == "static_assert" || first.text == "operator")
+                return;
+        }
+        // Function declaration (has a paren before any '=')?
+        for (std::size_t j = 0; j < buf.size(); ++j) {
+            const Token &tok = t_[buf[j]];
+            if (tok.kind == TokenKind::Punct && tok.text == "=")
+                break;
+            if (tok.kind == TokenKind::Punct && tok.text == "(") {
+                std::string fn = memberFunctionName(buf);
+                ClassData &cd = reg_[key];
+                if (fn == "saveState")
+                    cd.hasSave = true;
+                else if (fn == "restoreState")
+                    cd.hasRestore = true;
+                return;
+            }
+        }
+        auto named = declName(buf);
+        if (!named)
+            return;
+        bool exempt = false;
+        int angle = 0;
+        for (std::size_t idx : buf) {
+            const Token &tok = t_[idx];
+            if (tok.kind == TokenKind::Ident) {
+                if (tok.text == named->first)
+                    break;  // exemptions come from the type part only
+                if (tok.text == "static" || tok.text == "constexpr" ||
+                    tok.text == "const" || tok.text == "function" ||
+                    callbackAliases.count(tok.text))
+                    exempt = true;
+            } else if (tok.kind == TokenKind::Punct) {
+                if (tok.text == "<")
+                    ++angle;
+                else if (tok.text == ">")
+                    angle = std::max(0, angle - 1);
+                else if (tok.text == ">>")
+                    angle = std::max(0, angle - 2);
+                else if (angle == 0 &&
+                         (tok.text == "&" || tok.text == "*"))
+                    exempt = true;  // wiring, re-established by ctor
+            }
+        }
+        reg_[key].members.push_back({named->first, named->second, exempt});
+    }
+
+    /** Attach polca-snapshot skip annotations to the innermost class
+     *  declared in this file whose span contains them. */
+    void attachSkips()
+    {
+        for (const SkipAnnotation &skip : text_.skips) {
+            std::string best;
+            int bestSpan = 0;
+            for (const std::string &key : declaredHere_) {
+                const ClassData &cd = reg_[key];
+                if (skip.line < cd.declLine || skip.line > cd.endLine)
+                    continue;
+                int span = cd.endLine - cd.declLine;
+                if (best.empty() || span < bestSpan) {
+                    best = key;
+                    bestSpan = span;
+                }
+            }
+            if (!best.empty())
+                reg_[best].skips.push_back(skip);
+        }
+    }
+};
+
+// ===================================================================
+// Snapshot-coverage checks over the merged registry
+// ===================================================================
+
+const char *const kSkipHint =
+    "; capture it in State + saveState()/restoreState() or annotate "
+    "'// polca-snapshot: skip(<member>, <reason>)'";
+
+void
+snapshotChecks(const Registry &reg,
+               const std::map<std::string, FileText> &texts,
+               std::vector<Finding> &findings)
+{
+    for (const auto &[key, cd] : reg) {
+        if (!cd.declared || !cd.hasSave || !cd.hasRestore)
+            continue;
+        auto textIt = texts.find(cd.file);
+        if (textIt == texts.end())
+            continue;
+        const FileText &text = textIt->second;
+        std::set<std::string> skipNames;
+        for (const SkipAnnotation &s : cd.skips)
+            skipNames.insert(s.member);
+        const bool bodies = cd.saveBodySeen && cd.restoreBodySeen;
+
+        for (const MemberInfo &m : cd.members) {
+            if (m.exempt || skipNames.count(m.name))
+                continue;
+            if (bodies) {
+                if (!cd.saveBody.count(m.name))
+                    report(findings, text, cd.file, m.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': member '" + m.name +
+                               "' is never referenced by saveState()" +
+                               kSkipHint);
+                if (!cd.restoreBody.count(m.name))
+                    report(findings, text, cd.file, m.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': member '" + m.name +
+                               "' is never referenced by restoreState()" +
+                               kSkipHint);
+            } else {
+                std::string base = m.name;
+                if (!base.empty() && base.back() == '_')
+                    base.pop_back();
+                bool matched = false;
+                for (const StateField &f : cd.stateFields)
+                    if (f.name == base)
+                        matched = true;
+                if (!matched)
+                    report(findings, text, cd.file, m.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': member '" + m.name +
+                               "' has no matching State field '" + base +
+                               "'" + kSkipHint);
+            }
+        }
+
+        for (const StateField &f : cd.stateFields) {
+            if (bodies) {
+                if (!cd.saveBody.count(f.name))
+                    report(findings, text, cd.file, f.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': State field '" + f.name +
+                               "' is never written by saveState()");
+                if (!cd.restoreBody.count(f.name))
+                    report(findings, text, cd.file, f.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': State field '" + f.name +
+                               "' is never read by restoreState()");
+            } else {
+                bool matched = false;
+                for (const MemberInfo &m : cd.members)
+                    if (m.name == f.name + "_" || m.name == f.name)
+                        matched = true;
+                if (!matched)
+                    report(findings, text, cd.file, f.line,
+                           "snapshot-coverage",
+                           "class '" + key + "': State field '" + f.name +
+                               "' matches no member '" + f.name + "_'");
+            }
+        }
+
+        for (const SkipAnnotation &s : cd.skips) {
+            bool known = false;
+            for (const MemberInfo &m : cd.members)
+                if (m.name == s.member)
+                    known = true;
+            if (!known)
+                report(findings, text, cd.file, s.line,
+                       "snapshot-coverage",
+                       "class '" + key + "': stale snapshot skip: no "
+                       "member '" + s.member + "'");
+        }
+    }
+}
+
+// ===================================================================
+// Drivers
+// ===================================================================
+
+/** Feed one file into both analyses.  @p texts and @p reg accumulate
+ *  across files; snapshotChecks() runs after the last file. */
+void
+scanInto(const fs::path &path, const std::string &rel,
+         std::map<std::string, FileText> &texts, Registry &reg,
+         std::vector<Finding> &findings)
+{
+    auto [it, inserted] = texts.emplace(rel, FileText{});
+    if (inserted)
+        it->second = loadFile(path);
+    const FileText &text = it->second;
+    std::vector<Token> toks = codeTokens(text);
+    unitScan(toks, text, rel, findings);
+    StructParser(toks, text, rel, reg).run();
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.rule < b.rule;
+                     });
+}
+
+/** Whole pipeline on a single file: the self-test fixtures and the
+ *  mutation oracles exercise exactly this path. */
+std::vector<Finding>
+scanOneFile(const fs::path &path, const std::string &rel)
+{
+    std::map<std::string, FileText> texts;
+    Registry reg;
+    std::vector<Finding> findings;
+    scanInto(path, rel, texts, reg, findings);
+    snapshotChecks(reg, texts, findings);
+    sortFindings(findings);
+    return findings;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: polca_analyze [--root DIR] [--format=gcc|human] "
+        "[paths...]\n"
+        "       polca_analyze --self-test FIXTURES_DIR\n"
+        "       polca_analyze --list-rules\n"
+        "\n"
+        "Structure-aware analysis of src/ (or the given paths,\n"
+        "relative to --root): snapshot-coverage cross-checks every\n"
+        "save/restoreState class against its State value object;\n"
+        "unit-consistency runs dimensional analysis over unit-suffixed\n"
+        "identifiers.\n"
+        "Suppress a line with: // polca-analyze: allow(<rule>)\n"
+        "Skip a member deliberately rebuilt on restore with:\n"
+        "  // polca-snapshot: skip(<member>, <reason>)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    bool gccFormat = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            std::cout << "snapshot-coverage\nunit-consistency\n";
+            return 0;
+        }
+        if (arg == "--self-test") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            return selfTest(argv[i + 1], "polca_analyze", scanOneFile);
+        }
+        if (arg == "--format=gcc") {
+            gccFormat = true;
+            continue;
+        }
+        if (arg == "--format=human") {
+            gccFormat = false;
+            continue;
+        }
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            root = argv[++i];
+            continue;
+        }
+        if (startsWith(arg, "--")) {
+            std::cout << "polca_analyze: unknown flag '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty())
+        paths = {"src"};
+
+    std::map<std::string, FileText> texts;
+    Registry reg;
+    std::vector<Finding> all;
+    auto files = collectFiles(root, paths);
+    for (const auto &[path, rel] : files)
+        scanInto(path, rel, texts, reg, all);
+    snapshotChecks(reg, texts, all);
+    sortFindings(all);
+    printFindings(all, gccFormat);
+    if (!gccFormat) {
+        std::cout << "polca_analyze: " << files.size() << " files, "
+                  << all.size() << " finding"
+                  << (all.size() == 1 ? "" : "s") << "\n";
+    }
+    return all.empty() ? 0 : 1;
+}

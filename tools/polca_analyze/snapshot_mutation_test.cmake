@@ -1,0 +1,48 @@
+# Mutation oracle for snapshot-coverage: dropping a State field from a
+# real protocol class must make the analyzer fire, and the pristine
+# copy must stay clean.  Uses the header-only fallback (member <->
+# State field name correspondence), the same path a reviewer sees when
+# a header is edited without its .cc.
+set(header src/telemetry/breaker_model.hh)
+set(work ${WORK_DIR}/snapshot_mutation)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work}/pristine/src/telemetry)
+file(MAKE_DIRECTORY ${work}/mutated/src/telemetry)
+
+file(READ ${SOURCE_DIR}/${header} content)
+file(WRITE ${work}/pristine/${header} "${content}")
+
+# Drop one State field (the longest-streak counter).
+string(REPLACE "sim::Tick longestStreak = 0;" "" mutated "${content}")
+if(mutated STREQUAL content)
+    message(FATAL_ERROR
+        "mutation did not apply: 'sim::Tick longestStreak = 0;' "
+        "not found in ${header}")
+endif()
+file(WRITE ${work}/mutated/${header} "${mutated}")
+
+execute_process(
+    COMMAND ${ANALYZER} --root ${work}/pristine --format=gcc
+    RESULT_VARIABLE rc_pristine
+    OUTPUT_VARIABLE out_pristine)
+if(NOT rc_pristine EQUAL 0)
+    message(FATAL_ERROR
+        "pristine ${header} should scan clean:\n${out_pristine}")
+endif()
+
+execute_process(
+    COMMAND ${ANALYZER} --root ${work}/mutated --format=gcc
+    RESULT_VARIABLE rc_mutated
+    OUTPUT_VARIABLE out_mutated)
+if(rc_mutated EQUAL 0)
+    message(FATAL_ERROR
+        "analyzer missed the dropped State field in ${header}")
+endif()
+if(NOT out_mutated MATCHES "snapshot-coverage")
+    message(FATAL_ERROR
+        "expected a snapshot-coverage finding, got:\n${out_mutated}")
+endif()
+if(NOT out_mutated MATCHES "longestStreak")
+    message(FATAL_ERROR
+        "finding does not name the dropped field:\n${out_mutated}")
+endif()

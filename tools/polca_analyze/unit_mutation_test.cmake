@@ -1,0 +1,43 @@
+# Mutation oracle for unit-consistency: deleting the ticks-to-seconds
+# conversion in the energy meter's mean-power computation must make
+# the analyzer fire (joules/ticks returned from a *Watts function),
+# and the pristine copy must stay clean.
+set(source src/telemetry/energy_meter.cc)
+set(work ${WORK_DIR}/unit_mutation)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work}/pristine/src/telemetry)
+file(MAKE_DIRECTORY ${work}/mutated/src/telemetry)
+
+file(READ ${SOURCE_DIR}/${source} content)
+file(WRITE ${work}/pristine/${source} "${content}")
+
+string(REPLACE "joules_ / sim::ticksToSeconds(meteredTicks_)"
+               "joules_ / meteredTicks_" mutated "${content}")
+if(mutated STREQUAL content)
+    message(FATAL_ERROR
+        "mutation did not apply: mean-power expression not found "
+        "in ${source}")
+endif()
+file(WRITE ${work}/mutated/${source} "${mutated}")
+
+execute_process(
+    COMMAND ${ANALYZER} --root ${work}/pristine --format=gcc
+    RESULT_VARIABLE rc_pristine
+    OUTPUT_VARIABLE out_pristine)
+if(NOT rc_pristine EQUAL 0)
+    message(FATAL_ERROR
+        "pristine ${source} should scan clean:\n${out_pristine}")
+endif()
+
+execute_process(
+    COMMAND ${ANALYZER} --root ${work}/mutated --format=gcc
+    RESULT_VARIABLE rc_mutated
+    OUTPUT_VARIABLE out_mutated)
+if(rc_mutated EQUAL 0)
+    message(FATAL_ERROR
+        "analyzer missed the dropped unit conversion in ${source}")
+endif()
+if(NOT out_mutated MATCHES "unit-consistency")
+    message(FATAL_ERROR
+        "expected a unit-consistency finding, got:\n${out_mutated}")
+endif()

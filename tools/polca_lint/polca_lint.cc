@@ -35,188 +35,40 @@
  * tracked across lines) before matching code rules, so prose like
  * "a new series" never trips raw-new-delete; todo-issue runs on the
  * raw text because to-dos live in comments.
+ *
+ * File loading, the suppression engine, finding output, and the
+ * fixture self-test harness live in tools/analyze_common, shared
+ * with polca_analyze so the two tools cannot drift apart.  Note the
+ * ownership split with that tool: snapshot-drift (here) owns the
+ * mutable-static hazard — state *outside any component* that no
+ * snapshot can see — while polca_analyze's snapshot-coverage owns
+ * completeness of each component's saveState()/restoreState() over
+ * its non-static members.  Each hazard has exactly one owning rule.
  */
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "../analyze_common/analyze_common.hh"
 
 namespace {
 
-struct Finding
-{
-    std::string file;  // repo-relative, '/'-separated
-    int line;
-    std::string rule;
-    std::string message;
-};
+using polca::analyze::FileText;
+using polca::analyze::Finding;
+using polca::analyze::collectFiles;
+using polca::analyze::findWord;
+using polca::analyze::isHeader;
+using polca::analyze::loadFile;
+using polca::analyze::printFindings;
+using polca::analyze::report;
+using polca::analyze::selfTest;
+using polca::analyze::startsWith;
 
-struct FileText
-{
-    std::vector<std::string> raw;       ///< original lines
-    std::vector<std::string> code;      ///< comments/strings blanked
-    std::vector<std::set<std::string>> allowed;  ///< per-line rules
-};
-
-/** True if @p text at @p pos starts identifier @p word with word
- *  boundaries on both sides. */
-bool
-wordAt(const std::string &text, std::size_t pos, const std::string &word)
-{
-    if (pos + word.size() > text.size())
-        return false;
-    if (text.compare(pos, word.size(), word) != 0)
-        return false;
-    auto isIdent = [](unsigned char c) {
-        return std::isalnum(c) != 0 || c == '_';
-    };
-    if (pos > 0 && isIdent(text[pos - 1]))
-        return false;
-    std::size_t end = pos + word.size();
-    if (end < text.size() && isIdent(text[end]))
-        return false;
-    return true;
-}
-
-/** First occurrence of @p word as a whole identifier, or npos. */
-std::size_t
-findWord(const std::string &text, const std::string &word,
-         std::size_t from = 0)
-{
-    for (std::size_t pos = text.find(word, from);
-         pos != std::string::npos; pos = text.find(word, pos + 1)) {
-        if (wordAt(text, pos, word))
-            return pos;
-    }
-    return std::string::npos;
-}
-
-/**
- * Load a file, record per-line suppressions, and produce a "code"
- * view with comments and string/char literals blanked out (replaced
- * by spaces so column positions survive).
- */
-FileText
-loadFile(const fs::path &path)
-{
-    FileText out;
-    std::ifstream in(path);
-    std::string line;
-    bool inBlockComment = false;
-    while (std::getline(in, line)) {
-        // polca-lint suppressions live in // comments; harvest them
-        // from the raw text before the comment is stripped.
-        std::set<std::string> allows;
-        const std::string tag = "polca-lint: allow(";
-        for (std::size_t pos = line.find(tag);
-             pos != std::string::npos;
-             pos = line.find(tag, pos + 1)) {
-            std::size_t open = pos + tag.size();
-            std::size_t close = line.find(')', open);
-            if (close != std::string::npos)
-                allows.insert(line.substr(open, close - open));
-        }
-
-        std::string code(line.size(), ' ');
-        bool inString = false;
-        bool inChar = false;
-        for (std::size_t i = 0; i < line.size(); ++i) {
-            char c = line[i];
-            char next = i + 1 < line.size() ? line[i + 1] : '\0';
-            if (inBlockComment) {
-                if (c == '*' && next == '/') {
-                    inBlockComment = false;
-                    ++i;
-                }
-                continue;
-            }
-            if (inString) {
-                if (c == '\\') {
-                    ++i;
-                } else if (c == '"') {
-                    inString = false;
-                    code[i] = '"';
-                }
-                continue;
-            }
-            if (inChar) {
-                if (c == '\\') {
-                    ++i;
-                } else if (c == '\'') {
-                    inChar = false;
-                    code[i] = '\'';
-                }
-                continue;
-            }
-            if (c == '/' && next == '/')
-                break;  // rest of line is a comment
-            if (c == '/' && next == '*') {
-                inBlockComment = true;
-                ++i;
-                continue;
-            }
-            if (c == '"') {
-                inString = true;
-                code[i] = '"';
-                continue;
-            }
-            if (c == '\'') {
-                // Digit separators (1'000'000) are not char literals.
-                bool digitSep = i > 0 &&
-                    std::isalnum(static_cast<unsigned char>(
-                        line[i - 1])) != 0 &&
-                    i + 1 < line.size() &&
-                    std::isalnum(static_cast<unsigned char>(
-                        line[i + 1])) != 0;
-                if (!digitSep) {
-                    inChar = true;
-                    code[i] = '\'';
-                    continue;
-                }
-            }
-            code[i] = c;
-        }
-        // Unterminated "strings" crossing lines are rare in practice
-        // (raw literals); treat end-of-line as closing them.
-        out.raw.push_back(line);
-        out.code.push_back(code);
-        out.allowed.push_back(std::move(allows));
-    }
-    return out;
-}
-
-bool
-isHeader(const std::string &rel)
-{
-    return rel.size() > 3 && (rel.ends_with(".hh") || rel.ends_with(".h"));
-}
-
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-void
-report(std::vector<Finding> &findings, const FileText &text,
-       const std::string &rel, int line, const std::string &rule,
-       const std::string &message)
-{
-    std::size_t idx = static_cast<std::size_t>(line) - 1;
-    if (idx < text.allowed.size() && text.allowed[idx].count(rule))
-        return;
-    findings.push_back({rel, line, rule, message});
-}
+namespace fs = polca::analyze::fs;
 
 /** Scan one file; @p rel is the repo-relative path with '/'. */
 std::vector<Finding>
@@ -735,133 +587,6 @@ scanFile(const fs::path &path, const std::string &rel)
     return findings;
 }
 
-/** All lintable files under @p roots, sorted for deterministic
- *  output. */
-std::vector<std::pair<fs::path, std::string>>
-collectFiles(const fs::path &base, const std::vector<std::string> &roots)
-{
-    std::vector<std::pair<fs::path, std::string>> files;
-    for (const std::string &root : roots) {
-        fs::path dir = base / root;
-        if (!fs::exists(dir))
-            continue;
-        auto consider = [&](const fs::path &p) {
-            std::string ext = p.extension().string();
-            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
-                ext != ".h") {
-                return;
-            }
-            std::string rel =
-                fs::relative(p, base).generic_string();
-            // Fixture files violate rules on purpose.
-            if (rel.find("polca_lint/fixtures") != std::string::npos)
-                return;
-            files.emplace_back(p, rel);
-        };
-        if (fs::is_regular_file(dir)) {
-            consider(dir);
-            continue;
-        }
-        for (const auto &entry :
-             fs::recursive_directory_iterator(dir)) {
-            if (entry.is_regular_file())
-                consider(entry.path());
-        }
-    }
-    std::sort(files.begin(), files.end(),
-              [](const auto &a, const auto &b) {
-                  return a.second < b.second;
-              });
-    return files;
-}
-
-void
-printFindings(const std::vector<Finding> &findings, bool gccFormat)
-{
-    for (const Finding &f : findings) {
-        if (gccFormat) {
-            std::cout << f.file << ":" << f.line << ": error: "
-                      << f.message << " [" << f.rule << "]\n";
-        } else {
-            std::cout << f.file << ":" << f.line << ": [" << f.rule
-                      << "] " << f.message << "\n";
-        }
-    }
-}
-
-/**
- * Self-test over the fixtures directory: every fire_<rule>.* file
- * must produce at least one finding of exactly <rule> (and no other
- * rule), every suppressed_<rule>.* file must produce none.
- */
-int
-selfTest(const fs::path &fixtures)
-{
-    int failures = 0;
-    int checked = 0;
-    std::vector<fs::path> entries;
-    for (const auto &entry : fs::directory_iterator(fixtures)) {
-        if (entry.is_regular_file())
-            entries.push_back(entry.path());
-    }
-    std::sort(entries.begin(), entries.end());
-    for (const fs::path &path : entries) {
-        std::string stem = path.stem().string();
-        bool expectFire = startsWith(stem, "fire_");
-        bool expectClean = startsWith(stem, "suppressed_");
-        if (!expectFire && !expectClean)
-            continue;
-        ++checked;
-        std::string rule = stem.substr(stem.find('_') + 1);
-        // Scan as if the fixture sat at a path the path-scoped rules
-        // care about: headers pose as src/sim/ headers so
-        // sim-shared-ptr and pragma-once apply.
-        std::string ext = path.extension().string();
-        std::string rel = (ext == ".hh" || ext == ".h")
-            ? "src/sim/" + path.filename().string()
-            : "src/" + path.filename().string();
-        std::vector<Finding> findings = scanFile(path, rel);
-        if (expectFire) {
-            bool hit = false;
-            bool wrongRule = false;
-            for (const Finding &f : findings) {
-                if (f.rule == rule)
-                    hit = true;
-                else
-                    wrongRule = true;
-            }
-            if (!hit || wrongRule) {
-                ++failures;
-                std::cout << "FAIL " << path.filename().string()
-                          << ": expected only '" << rule
-                          << "' findings, got";
-                if (findings.empty()) {
-                    std::cout << " none";
-                } else {
-                    for (const Finding &f : findings)
-                        std::cout << " " << f.rule << "@" << f.line;
-                }
-                std::cout << "\n";
-            }
-        } else if (!findings.empty()) {
-            ++failures;
-            std::cout << "FAIL " << path.filename().string()
-                      << ": expected clean, got";
-            for (const Finding &f : findings)
-                std::cout << " " << f.rule << "@" << f.line;
-            std::cout << "\n";
-        }
-    }
-    std::cout << "polca_lint self-test: " << (checked - failures)
-              << "/" << checked << " fixtures ok\n";
-    if (checked == 0) {
-        std::cout << "polca_lint self-test: no fixtures found in "
-                  << fixtures.string() << "\n";
-        return 2;
-    }
-    return failures == 0 ? 0 : 1;
-}
-
 void
 usage()
 {
@@ -902,7 +627,7 @@ main(int argc, char **argv)
                 usage();
                 return 2;
             }
-            return selfTest(argv[i + 1]);
+            return selfTest(argv[i + 1], "polca_lint", scanFile);
         }
         if (arg == "--format=gcc") {
             gccFormat = true;
